@@ -1,0 +1,104 @@
+"""E-checker — the cycle checker is finite state.
+
+Two series: (a) throughput is linear in descriptor length (per-symbol
+cost independent of how many nodes the graph has had *in total*), and
+(b) per-symbol cost grows with the bandwidth bound k (the active
+window).  Both follow Lemma 3.3's design: all work happens inside a
+window of at most k+1 nodes.
+"""
+
+import random
+
+from repro.core.cycle_checker import CycleChecker
+from repro.core.descriptor import EdgeSym, NodeSym
+from repro.util import format_table
+
+
+def _chain_stream(n: int, k: int, rng: random.Random):
+    """A long acyclic stream cycling through k+1 IDs with random
+    forward edges into the window."""
+    window = []
+    syms = []
+    for i in range(n):
+        ident = (i % (k + 1)) + 1
+        syms.append(NodeSym(ident))
+        window.append(ident)
+        if len(window) > k:
+            window.pop(0)
+        for src in rng.sample(window[:-1], min(2, len(window) - 1)):
+            syms.append(EdgeSym(src, ident))
+    return syms
+
+
+def test_throughput_linear_in_length(benchmark, show):
+    rng = random.Random(1)
+    k = 6
+    streams = {n: _chain_stream(n, k, random.Random(1)) for n in (1000, 2000, 4000)}
+
+    def run_longest():
+        c = CycleChecker()
+        assert c.feed_all(streams[4000])
+        return c
+
+    benchmark(run_longest)
+
+    import time
+
+    rows = []
+    for n, syms in streams.items():
+        t0 = time.perf_counter()
+        c = CycleChecker()
+        c.feed_all(syms)
+        dt = time.perf_counter() - t0
+        rows.append((n, len(syms), f"{dt * 1e3:.1f} ms", f"{len(syms) / dt / 1e3:.0f}k sym/s"))
+        assert c.accepts
+        assert c.active_size() <= k + 1
+    show(
+        format_table(
+            ["nodes", "symbols", "time", "throughput"],
+            rows,
+            title=f"Cycle checker: linear scaling at fixed k={k}",
+        )
+    )
+
+
+def test_cost_vs_bandwidth(benchmark, show):
+    import time
+
+    n = 1500
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for k in (2, 4, 8, 16, 32):
+            syms = _chain_stream(n, k, random.Random(2))
+            t0 = time.perf_counter()
+            c = CycleChecker()
+            c.feed_all(syms)
+            dt = time.perf_counter() - t0
+            assert c.accepts
+            rows.append((k, len(syms), f"{dt * 1e3:.1f} ms", f"{dt / len(syms) * 1e6:.1f} µs/sym"))
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        format_table(
+            ["k (bandwidth)", "symbols", "time", "per-symbol cost"],
+            rows,
+            title="Cycle checker: per-symbol cost grows with the window size k",
+        )
+    )
+
+
+def test_rejects_immediately_on_cycle(benchmark):
+    """Early rejection: a cycle at the start makes the rest free."""
+    syms = [NodeSym(1), NodeSym(2), EdgeSym(1, 2), EdgeSym(2, 1)]
+    syms += _chain_stream(5000, 4, random.Random(3))
+
+    def run():
+        c = CycleChecker()
+        c.feed_all(syms)
+        return c
+
+    c = benchmark(run)
+    assert not c.accepts

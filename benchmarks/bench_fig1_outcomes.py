@@ -1,0 +1,67 @@
+"""Figure 1 — allowed outcomes of the two-processor program under
+serial memory, sequential consistency, TSO, and a fully relaxed model.
+
+Reproduces the figure's claims: serial memory at the figure's schedule
+gives exactly (r1=1, r2=2); SC additionally allows (0,0) and (1,0) but
+never (0,2); dropping program order admits (0,2).
+"""
+
+from repro.litmus import (
+    FIGURE1,
+    classify_outcomes,
+    outcomes_relaxed,
+    outcomes_sc,
+    outcomes_serial_realtime,
+    outcomes_tso,
+)
+from repro.util import format_table
+
+SCHEDULE = [(1, 0), (1, 1), (2, 0), (2, 1)]
+
+
+def _fmt(outcome):
+    return " ".join(f"{r}={v}" for r, v in outcome)
+
+
+def test_fig1_outcome_table(benchmark, show):
+    def compute():
+        return (
+            outcomes_serial_realtime(FIGURE1, SCHEDULE),
+            outcomes_sc(FIGURE1),
+            outcomes_tso(FIGURE1),
+            outcomes_relaxed(FIGURE1),
+        )
+
+    serial, sc, tso, relaxed = benchmark(compute)
+
+    rows = [
+        (
+            _fmt(o),
+            "yes" if o in serial else "no",
+            "yes" if o in sc else "no",
+            "yes" if o in tso else "no",
+            "yes" if o in relaxed else "no",
+        )
+        for o in sorted(relaxed)
+    ]
+    show(
+        format_table(
+            ["outcome", "serial (fig. schedule)", "SC", "TSO", "relaxed"],
+            rows,
+            title="Figure 1: memory-model outcome matrix",
+        )
+    )
+
+    # the figure's explicit claims
+    assert serial == {FIGURE1.outcome(r1=1, r2=2)}
+    assert FIGURE1.outcome(r1=0, r2=0) in sc
+    assert FIGURE1.outcome(r1=1, r2=0) in sc
+    assert FIGURE1.outcome(r1=0, r2=2) not in sc
+    assert FIGURE1.outcome(r1=0, r2=2) in relaxed
+
+
+def test_fig1_classification(benchmark, show):
+    tags = benchmark(classify_outcomes, FIGURE1)
+    rows = [(_fmt(o), tag) for o, tag in sorted(tags.items())]
+    show(format_table(["outcome", "strongest model allowing it"], rows))
+    assert tags[FIGURE1.outcome(r1=0, r2=2)] == "relaxed"

@@ -1,0 +1,111 @@
+"""E-baseline — streaming per-run checking vs the exponential VSC
+baselines (the Section 5 testing scenario).
+
+Series: time to decide SC of one protocol run, as a function of trace
+length, for (a) the paper's streaming observer+checker (linear), and
+(b) the brute-force interleaving search and (c) the store-order
+enumeration, both exponential.  The shape to observe: the streaming
+method stays flat while the baselines blow up — they stop being
+feasible around 15–20 operations, which is exactly why the paper's
+finite-state formulation matters.
+"""
+
+import random
+import time
+
+from repro.core.operations import trace_of_run
+from repro.core.protocol import random_run
+from repro.core.verify import check_run
+from repro.litmus import check_trace_bruteforce, check_trace_store_orders
+from repro.memory import MSIProtocol
+from repro.util import format_table
+
+PROTO = MSIProtocol(p=2, b=2, v=2)
+
+
+def _runs_by_trace_length(lengths, seed=5):
+    """One quiescent-ended run per requested trace length."""
+    rng = random.Random(seed)
+    out = {}
+    attempts = 0
+    while len(out) < len(lengths) and attempts < 4000:
+        attempts += 1
+        run = random_run(PROTO, rng.randint(4, max(lengths) * 3), rng, end_quiescent=True)
+        n = len(trace_of_run(run))
+        for want in lengths:
+            if n == want and want not in out:
+                out[want] = run
+    return out
+
+
+def test_streaming_vs_baselines(benchmark, show):
+    lengths = [4, 6, 8, 10, 12]
+    runs = _runs_by_trace_length(lengths)
+
+    def stream_all():
+        return [check_run(PROTO, runs[n]).ok for n in sorted(runs)]
+
+    verdicts = benchmark(stream_all)
+    assert all(verdicts)  # MSI runs always check out
+
+    rows = []
+    for n in sorted(runs):
+        run = runs[n]
+        trace = trace_of_run(run)
+
+        t0 = time.perf_counter()
+        sv = check_run(PROTO, run).ok
+        t_stream = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        bv = check_trace_bruteforce(trace)
+        t_brute = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        ov = check_trace_store_orders(trace)
+        t_orders = time.perf_counter() - t0
+
+        assert sv == bv == ov is True
+        rows.append(
+            (
+                n,
+                len(run),
+                f"{t_stream * 1e3:.2f} ms",
+                f"{t_brute * 1e3:.2f} ms",
+                f"{t_orders * 1e3:.2f} ms",
+            )
+        )
+    show(
+        format_table(
+            ["trace ops", "run actions", "streaming (paper)", "interleaving search", "store-order search"],
+            rows,
+            title="Per-run SC checking: streaming vs exponential baselines (MSI runs)",
+        )
+    )
+
+
+def test_streaming_scales_to_long_runs(benchmark, show):
+    """The streaming checker handles runs far beyond the baselines'
+    reach; time grows linearly."""
+    rng = random.Random(9)
+    long_runs = {n: random_run(PROTO, n, rng, end_quiescent=True) for n in (200, 400, 800)}
+
+    def check_longest():
+        return check_run(PROTO, long_runs[800]).ok
+
+    assert benchmark(check_longest)
+
+    rows = []
+    for n, run in long_runs.items():
+        t0 = time.perf_counter()
+        ok = check_run(PROTO, run).ok
+        dt = time.perf_counter() - t0
+        assert ok
+        rows.append((n, len(trace_of_run(run)), f"{dt * 1e3:.1f} ms"))
+    show(
+        format_table(
+            ["run actions", "trace ops", "streaming check time"],
+            rows,
+            title="Streaming checker on long runs (baselines are infeasible here)",
+        )
+    )

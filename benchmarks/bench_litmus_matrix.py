@@ -1,0 +1,79 @@
+"""E-matrix — litmus corpus × protocol zoo.
+
+For every corpus program and a representative protocol set, compare
+the outcomes the protocol actually produces against the SC reference:
+SC protocols must match SC exactly; the TSO store buffer must show
+exactly the TSO-allowed extras; the fenced variant must match SC
+again.  One table, many claims.
+"""
+
+from repro.litmus import (
+    CORPUS,
+    outcomes_on_protocol,
+    outcomes_sc,
+    outcomes_tso,
+    sb_chain,
+)
+from repro.memory import (
+    DragonProtocol,
+    FencedStoreBufferProtocol,
+    MSIProtocol,
+    StoreBufferProtocol,
+    WriteThroughProtocol,
+)
+from repro.util import format_table
+
+
+def _protocols_for(prog):
+    p = max(2, prog.num_procs)
+    b = max(prog.blocks)
+    v = max(1, prog.max_value)
+    return [
+        ("MSI", MSIProtocol(p=p, b=b, v=v)),
+        ("Dragon", DragonProtocol(p=p, b=b, v=v)),
+        ("WriteThrough", WriteThroughProtocol(p=p, b=b, v=v)),
+        ("FencedSB", FencedStoreBufferProtocol(p=p, b=b, v=v)),
+        ("StoreBuffer", StoreBufferProtocol(p=p, b=b, v=v)),
+    ]
+
+
+# three-or-fewer-processor programs keep the product searches small
+PROGRAMS = [prog for prog in CORPUS if prog.num_procs <= 3] + [sb_chain(3)]
+
+
+def test_litmus_matrix(benchmark, show):
+    rows = []
+
+    def compute():
+        rows.clear()
+        for prog in PROGRAMS:
+            sc = outcomes_sc(prog)
+            tso = outcomes_tso(prog)
+            cells = [prog.name, len(sc), len(tso - sc)]
+            for name, proto in _protocols_for(prog):
+                got = outcomes_on_protocol(proto, prog)
+                if got == sc:
+                    cells.append("=SC")
+                elif got == tso:
+                    cells.append("=TSO")
+                elif got < sc:
+                    cells.append(f"⊂SC ({len(got)})")
+                else:
+                    cells.append(f"other ({len(got)})")
+            rows.append(tuple(cells))
+        return rows
+
+    benchmark.pedantic(compute, rounds=1, iterations=1)
+    show(
+        format_table(
+            ["test", "#SC", "#TSO-extra", "MSI", "Dragon", "WriteThrough",
+             "FencedSB", "StoreBuffer"],
+            rows,
+            title="Litmus corpus × protocol zoo (outcome-set comparison)",
+        )
+    )
+    for row in rows:
+        # every SC protocol matches SC exactly on every program
+        assert row[3] == row[4] == row[5] == row[6] == "=SC", row
+        # the TSO store buffer matches TSO exactly (=SC where TSO=SC)
+        assert row[7] in ("=TSO", "=SC"), row

@@ -1,0 +1,78 @@
+"""E-pdl — the §4.1 automation claim, measured.
+
+Protocols written in the description language get tracking labels for
+free; the table shows that DSL protocols verify identically to their
+hand-written twins (trace-equivalent, same joint-state counts) and
+what the DSL's interpretive overhead costs in wall time.
+"""
+
+import time
+
+from repro.automata import traces_equivalent
+from repro.core.verify import verify_protocol
+from repro.memory import MSIProtocol, SerialMemory
+from repro.pdl import msi_spec, serial_spec, two_level_spec
+from repro.util import format_table
+
+
+def test_dsl_vs_handwritten(benchmark, show):
+    pairs = [
+        ("SerialMemory", serial_spec(p=2, b=1, v=1), SerialMemory(p=2, b=1, v=1)),
+        ("MSI", msi_spec(p=2, b=1, v=1), MSIProtocol(p=2, b=1, v=1)),
+    ]
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for name, dsl, hand in pairs:
+            eq = bool(traces_equivalent(dsl, hand, max_states=200_000))
+            t0 = time.perf_counter()
+            r_dsl = verify_protocol(dsl)
+            t_dsl = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            r_hand = verify_protocol(hand)
+            t_hand = time.perf_counter() - t0
+            assert r_dsl.sequentially_consistent and r_hand.sequentially_consistent
+            rows.append(
+                (
+                    name,
+                    "yes" if eq else "NO",
+                    r_dsl.stats.states,
+                    r_hand.stats.states,
+                    f"{t_dsl:.2f}s",
+                    f"{t_hand:.2f}s",
+                    f"{t_dsl / max(t_hand, 1e-9):.1f}x",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    show(
+        format_table(
+            ["protocol", "trace-equivalent", "DSL states", "hand states",
+             "DSL time", "hand time", "overhead"],
+            rows,
+            title="DSL protocols (automatic tracking labels) vs hand-written",
+        )
+    )
+    assert all(r[1] == "yes" for r in rows)
+    assert all(r[2] == r[3] for r in rows)  # identical joint-state counts
+
+
+def test_two_level_hierarchy_verification(benchmark, show):
+    res = benchmark.pedantic(
+        lambda: verify_protocol(two_level_spec(p=2, b=1, v=1)), rounds=1, iterations=1
+    )
+    show(
+        format_table(
+            ["metric", "value"],
+            [
+                ("protocol", "two-level cache hierarchy (DSL, 6 rules)"),
+                ("verdict", res.verdict),
+                ("joint states", res.stats.states),
+                ("max live nodes", res.stats.max_live_nodes),
+            ],
+            title="A protocol written purely in the DSL, verified end to end",
+        )
+    )
+    assert res.sequentially_consistent

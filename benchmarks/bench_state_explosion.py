@@ -1,0 +1,89 @@
+"""E-explosion — state-space growth over (p, b, v).
+
+The calibration note flags state explosion as the reproduction risk;
+this bench quantifies it at both levels: raw protocol reachability and
+the verification product (protocol × observer × checker).  The shape
+to observe: multiplicative growth in every parameter, with the product
+a constant-to-small factor above the raw protocol for serial memory
+and a large factor for cache protocols (the observer window carries
+more structure).
+"""
+
+from repro.core.verify import verify_protocol
+from repro.memory import MSIProtocol, SerialMemory
+from repro.modelcheck import explore
+from repro.util import format_table
+
+
+def test_protocol_state_growth(benchmark, show):
+    cases = [
+        SerialMemory(2, 1, 2), SerialMemory(2, 2, 2), SerialMemory(2, 3, 2),
+        SerialMemory(2, 2, 4), SerialMemory(4, 2, 2),
+        MSIProtocol(2, 1, 2), MSIProtocol(2, 2, 2), MSIProtocol(3, 1, 2),
+        MSIProtocol(3, 2, 2), MSIProtocol(4, 1, 2),
+    ]
+
+    def sweep():
+        return [explore(proto) for proto in cases]
+
+    stats = benchmark(sweep)
+    rows = [
+        (
+            type(proto).__name__,
+            f"{proto.p}/{proto.b}/{proto.v}",
+            st.states,
+            st.transitions,
+        )
+        for proto, st in zip(cases, stats)
+    ]
+    show(
+        format_table(
+            ["protocol", "p/b/v", "reachable states", "transitions"],
+            rows,
+            title="Raw protocol state growth",
+        )
+    )
+    # multiplicative in b for serial memory: (v+1)^b
+    serial = [st.states for proto, st in zip(cases, stats) if isinstance(proto, SerialMemory)]
+    assert serial[0] == 3 and serial[1] == 9 and serial[2] == 27
+
+
+def test_product_state_growth(benchmark, show):
+    cases = [
+        (SerialMemory(2, 1, 1), None),
+        (SerialMemory(2, 1, 2), None),
+        (SerialMemory(2, 2, 1), None),
+        (MSIProtocol(2, 1, 1), None),
+        (MSIProtocol(2, 1, 2), None),
+    ]
+    results = {}
+
+    def sweep():
+        if not results:
+            for i, (proto, gen) in enumerate(cases):
+                results[i] = verify_protocol(proto, gen)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for i, (proto, _gen) in enumerate(cases):
+        res = results[i]
+        raw = explore(proto).states
+        rows.append(
+            (
+                type(proto).__name__,
+                f"{proto.p}/{proto.b}/{proto.v}",
+                raw,
+                res.stats.states,
+                f"{res.stats.states / raw:.0f}x",
+                res.verdict,
+            )
+        )
+        assert res.sequentially_consistent
+    show(
+        format_table(
+            ["protocol", "p/b/v", "protocol states", "product states", "blow-up", "verdict"],
+            rows,
+            title="Verification-product state growth (the paper's practical concern)",
+        )
+    )

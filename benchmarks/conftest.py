@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures/tables (or one
+of the supplementary experiments in DESIGN.md) and prints the result
+rows — visibly, bypassing pytest's capture — in addition to timing the
+underlying computation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a rendered table bypassing output capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

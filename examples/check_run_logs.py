@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Offline checking of recorded runs (the Section 5 testing scenario).
+
+Reads the sample logs in ``examples/logs/`` — the format a simulator
+or RTL testbench would emit — and judges each with the streaming
+observer/checker.  Equivalent CLI:
+
+    python -m repro check-run examples/logs/msi_session.run
+
+Run:  python examples/check_run_logs.py
+"""
+
+from pathlib import Path
+
+from repro.tracefile import check_run_file
+
+LOGS = Path(__file__).parent / "logs"
+
+
+def main() -> None:
+    for path in sorted(LOGS.glob("*.run")):
+        verdict = check_run_file(path.read_text())
+        status = "OK " if verdict.ok else "BAD"
+        print(f"[{status}] {path.name}: {verdict.verdict}")
+        if not verdict.ok:
+            from repro.core.descriptor import format_descriptor
+
+            print("       witness descriptor:", format_descriptor(verdict.symbols))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Writing a protocol in the description language — and getting the
+tracking labels for free (the Section 4.1 automation claim).
+
+The script builds a tiny "mailbox" protocol from scratch in the DSL:
+each processor owns a private scratch location; a ``post`` action
+copies a scratch value into a shared mailbox; loads read the mailbox.
+No tracking label is written anywhere — they are derived from the
+``writes=`` / ``reads=`` / ``copies=`` declarations — and the standard
+pipeline then verifies the protocol (it is SC: the mailbox serialises
+everything... or does it?  Run and see).
+
+It then shows the headline equivalence: MSI written in the DSL is
+trace-equivalent to the hand-written MSI and verifies identically.
+
+Run:  python examples/dsl_protocol.py
+"""
+
+from repro.automata import traces_equivalent
+from repro.core.verify import verify_protocol
+from repro.memory import MSIProtocol
+from repro.pdl import INVALIDATE, ProtocolSpec, msi_spec
+
+
+def mailbox_protocol(p: int = 2, v: int = 2):
+    """Each processor stages stores privately, then posts them to the
+    shared mailbox; loads read the mailbox only."""
+    spec = ProtocolSpec(p=p, b=1, v=v)
+    spec.control("staged", index=("proc",), domain=(0, 1), init=0)
+    mailbox = spec.data("mailbox", index=("block",))
+    scratch = spec.data("scratch", index=("proc",))
+
+    # a store goes into the processor's scratch slot first
+    spec.store_rule(
+        "stage",
+        writes=scratch.at("P"),
+        guard=lambda ctx: ctx["staged", ctx.P] == 0,
+        updates=lambda ctx: {("staged", ctx.P): 1},
+    )
+    # posting moves it to the mailbox (data movement = copy = label)
+    spec.internal_rule(
+        "post",
+        params=("P",),
+        guard=lambda ctx: ctx["staged", ctx.P] == 1,
+        copies={mailbox.at(1): scratch.at("P")},
+        updates=lambda ctx: {("staged", ctx.P): 0},
+    )
+    # loads read the mailbox — but only when the reader has nothing
+    # staged (the fence that makes this SC; drop it and verification
+    # finds the store-buffer cycle)
+    spec.load_rule(
+        "read",
+        reads=mailbox.at("B"),
+        guard=lambda ctx: ctx["staged", ctx.P] == 0,
+    )
+    spec.quiescent_when(lambda ctx: all(ctx["staged", P] == 0 for P in range(1, p + 1)))
+    spec.may_load_bottom_when(lambda ctx, b: ctx.data(mailbox.at(b)) == 0)
+    return spec.build()
+
+
+def mailbox_unfenced(p: int = 2, v: int = 1):
+    """The same protocol with the load guard dropped — not SC."""
+    spec = ProtocolSpec(p=p, b=1, v=v)
+    spec.control("staged", index=("proc",), domain=(0, 1), init=0)
+    mailbox = spec.data("mailbox", index=("block",))
+    scratch = spec.data("scratch", index=("proc",))
+    spec.store_rule(
+        "stage",
+        writes=scratch.at("P"),
+        guard=lambda ctx: ctx["staged", ctx.P] == 0,
+        updates=lambda ctx: {("staged", ctx.P): 1},
+    )
+    spec.internal_rule(
+        "post",
+        params=("P",),
+        guard=lambda ctx: ctx["staged", ctx.P] == 1,
+        copies={mailbox.at(1): scratch.at("P")},
+        updates=lambda ctx: {("staged", ctx.P): 0},
+    )
+    spec.load_rule("read", reads=mailbox.at("B"))  # no fence!
+    spec.quiescent_when(lambda ctx: all(ctx["staged", P] == 0 for P in range(1, p + 1)))
+    return spec.build()
+
+
+def main() -> None:
+    from repro.core.storder import WriteOrderSTOrder
+
+    gen = lambda: WriteOrderSTOrder(
+        lambda a: a.args[0] if a.name == "post" else None
+    )
+
+    print("=== mailbox protocol (fenced loads) ===")
+    res = verify_protocol(mailbox_protocol(), gen())
+    print(" ", res.summary())
+
+    print("\n=== mailbox protocol, load fence dropped ===")
+    res = verify_protocol(mailbox_unfenced(), gen())
+    print(" ", res.verdict)
+    if res.counterexample:
+        print(res.counterexample.pretty())
+
+    print("\n=== DSL-MSI vs hand-written MSI ===")
+    dsl, hand = msi_spec(p=2, b=1, v=1), MSIProtocol(p=2, b=1, v=1)
+    print("  trace-equivalent:", bool(traces_equivalent(dsl, hand, max_states=200_000)))
+    print(" ", verify_protocol(dsl).summary())
+
+
+if __name__ == "__main__":
+    main()

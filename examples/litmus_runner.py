@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Litmus tests across memory models and protocols (Figure 1 and
+friends).
+
+Prints (a) the Figure 1 outcome table under serial memory at the
+figure's schedule, SC, TSO and the fully relaxed model; (b) the
+classification of every corpus program's outcomes; (c) which outcomes
+concrete protocols actually produce — MSI matches SC exactly, the
+store-buffer protocol matches TSO.
+
+Run:  python examples/litmus_runner.py
+"""
+
+from repro.litmus import (
+    CORPUS,
+    FIGURE1,
+    SB,
+    classify_outcomes,
+    outcomes_on_protocol,
+    outcomes_sc,
+    outcomes_serial_realtime,
+    outcomes_tso,
+)
+from repro.memory import MSIProtocol, StoreBufferProtocol
+from repro.util import print_table
+
+
+def fmt(outcome) -> str:
+    return " ".join(f"{r}={v}" for r, v in outcome)
+
+
+def figure1_table() -> None:
+    sched = [(1, 0), (1, 1), (2, 0), (2, 1)]
+    serial = outcomes_serial_realtime(FIGURE1, sched)
+    sc = outcomes_sc(FIGURE1)
+    tso = outcomes_tso(FIGURE1)
+    tags = classify_outcomes(FIGURE1)
+    rows = []
+    for outcome in sorted(tags):
+        rows.append(
+            (
+                fmt(outcome),
+                "✓" if outcome in serial else "",
+                "✓" if outcome in sc else "",
+                "✓" if outcome in tso else "",
+                "✓",  # relaxed allows everything enumerated
+            )
+        )
+    print_table(
+        ["outcome", "serial@fig1 schedule", "SC", "TSO", "relaxed"],
+        rows,
+        title="Figure 1: allowed outcomes by memory model",
+    )
+
+
+def corpus_table() -> None:
+    rows = []
+    for prog in CORPUS:
+        tags = classify_outcomes(prog)
+        sc = sum(1 for t in tags.values() if t == "SC")
+        tso = sum(1 for t in tags.values() if t == "TSO")
+        rel = sum(1 for t in tags.values() if t == "relaxed")
+        rows.append((prog.name, prog.description, sc, tso, rel))
+    print_table(
+        ["test", "shape", "#SC", "#TSO-only", "#relaxed-only"],
+        rows,
+        title="\nLitmus corpus: outcome counts by strongest allowing model",
+    )
+
+
+def protocols_table() -> None:
+    msi = MSIProtocol(p=2, b=2, v=1)
+    sb_proto = StoreBufferProtocol(p=2, b=2, v=1)
+    rows = []
+    for prog in (SB,):
+        sc = outcomes_sc(prog)
+        tso = outcomes_tso(prog)
+        on_msi = outcomes_on_protocol(msi, prog)
+        on_sb = outcomes_on_protocol(sb_proto, prog)
+        for outcome in sorted(tso):
+            rows.append(
+                (
+                    prog.name,
+                    fmt(outcome),
+                    "✓" if outcome in sc else "✗",
+                    "✓" if outcome in on_msi else "✗",
+                    "✓" if outcome in on_sb else "✗",
+                )
+            )
+    print_table(
+        ["test", "outcome", "SC allows", "MSI produces", "store-buffer produces"],
+        rows,
+        title="\nProtocols under the SB litmus (MSI ≡ SC; store buffer ≡ TSO)",
+    )
+
+
+if __name__ == "__main__":
+    figure1_table()
+    corpus_table()
+    protocols_table()

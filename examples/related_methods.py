@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The paper's Related Work (Section 1.1), run rather than cited.
+
+Three approaches to the same problem, each implemented in
+``repro.related``, each compared against the constraint-graph method
+on live protocols:
+
+1. bounded-reordering witnesses (Henzinger et al., CAV'99),
+2. test model checking (Nalumasu et al., CAV'98),
+3. logical clocks (Plakal et al., SPAA'98).
+
+Run:  python examples/related_methods.py
+"""
+
+import random
+
+from repro.core.observer import Observer
+from repro.core.verify import verify_protocol
+from repro.memory import (
+    LazyCachingProtocol,
+    MSIProtocol,
+    SerialMemory,
+    StoreBufferProtocol,
+    lazy_caching_st_order,
+    store_buffer_st_order,
+)
+from repro.related import minimum_k, run_tmc
+from repro.related.lamport_clocks import ClockChecker
+from repro.util import print_table
+
+
+def bounded_reordering() -> None:
+    print("=== 1. bounded-reordering witnesses ===")
+    rows = []
+    for name, proto, gen in [
+        ("SerialMemory", SerialMemory(p=2, b=1, v=1), None),
+        ("MSI", MSIProtocol(p=2, b=1, v=1), None),
+        ("LazyCaching", LazyCachingProtocol(p=2, b=1, v=1), lazy_caching_st_order()),
+        ("StoreBuffer", StoreBufferProtocol(p=2, b=2, v=1), store_buffer_st_order()),
+    ]:
+        res = minimum_k(proto, k_max=3)
+        ours = verify_protocol(proto, gen)
+        rows.append(
+            (
+                name,
+                f"k={res.k}" if res else "no k ≤ 3",
+                ours.verdict.split(" (")[0],
+            )
+        )
+    print_table(["protocol", "bounded-reordering", "constraint-graph method"], rows)
+    print(
+        "\n  Lazy caching defeats every finite reorder buffer — stale reads\n"
+        "  pile up behind a pending store without bound — which is exactly\n"
+        "  the paper's reason for generalising to constraint graphs.\n"
+    )
+
+
+def tmc() -> None:
+    print("=== 2. test model checking ===")
+    proto = StoreBufferProtocol(p=2, b=2, v=1)
+    report = run_tmc(proto, exhaustive_depth=5, random_runs=50, random_length=12)
+    print(f"  battery on the (non-SC) TSO store buffer: {report.summary()}")
+    ours = verify_protocol(proto, store_buffer_st_order())
+    print(f"  constraint-graph method: {ours.verdict}")
+    print(
+        "\n  Every predefined test passes a protocol that is not SC —\n"
+        "  'close to, but not identical to, sequential consistency'.\n"
+    )
+
+
+def clocks() -> None:
+    print("=== 3. logical clocks ===")
+    proto = SerialMemory(p=2, b=1, v=2)
+    rng = random.Random(0)
+    chk = ClockChecker(proto)
+    obs = Observer(proto)
+    state = proto.initial_state()
+    rows = []
+    for i in range(1, 121):
+        options = list(proto.transitions(state))
+        t = options[rng.randrange(len(options))]
+        chk.feed_action(t.action)
+        obs.on_transition(t)
+        state = t.state
+        if i % 40 == 0:
+            rows.append((i, chk.table_size, chk.clocks().max_clock, obs.ids_in_use))
+    print_table(
+        ["run length", "clock table", "max clock", "observer window"], rows
+    )
+    print(
+        "\n  Clock state grows with the run; the observer's window does not —\n"
+        "  the reduction from unbounded clocks to finite state is the paper's\n"
+        "  key move.\n"
+    )
+
+
+if __name__ == "__main__":
+    bounded_reordering()
+    tmc()
+    clocks()

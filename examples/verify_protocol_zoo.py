@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Verify every protocol in the zoo and print the verdict table.
+
+This is the paper's promise made concrete: one protocol-independent
+checker, one automatically constructed observer per protocol, and a
+model-checking run that either proves sequential consistency (the
+protocol is in Γ) or produces a counterexample run.
+
+Run:  python examples/verify_protocol_zoo.py [--small]
+"""
+
+import argparse
+import time
+
+from repro.core.bounds import bounds_for
+from repro.core.verify import verify_protocol
+from repro.memory import (
+    BuggyMSIProtocol,
+    DirectoryProtocol,
+    DragonProtocol,
+    FencedStoreBufferProtocol,
+    LazyCachingProtocol,
+    MESIProtocol,
+    MOESIProtocol,
+    MSIProtocol,
+    SerialMemory,
+    StoreBufferProtocol,
+    WriteThroughProtocol,
+    lazy_caching_st_order,
+    store_buffer_st_order,
+)
+from repro.util import print_table
+
+
+def zoo(small: bool):
+    if small:
+        return [
+            ("SerialMemory", SerialMemory(p=2, b=1, v=2), None),
+            ("MSI", MSIProtocol(p=2, b=1, v=1), None),
+            ("MESI", MESIProtocol(p=2, b=1, v=1), None),
+            ("MOESI", MOESIProtocol(p=2, b=1, v=1), None),
+            ("Dragon", DragonProtocol(p=2, b=1, v=1), None),
+            ("WriteThrough", WriteThroughProtocol(p=2, b=1, v=2), None),
+            ("Directory", DirectoryProtocol(p=2, b=1, v=1), None),
+            ("LazyCaching", LazyCachingProtocol(p=2, b=1, v=1), lazy_caching_st_order()),
+            ("FencedStoreBuffer", FencedStoreBufferProtocol(p=2, b=1, v=1), store_buffer_st_order()),
+            ("StoreBuffer", StoreBufferProtocol(p=2, b=2, v=1), store_buffer_st_order()),
+            ("BuggyMSI", BuggyMSIProtocol(p=2, b=1, v=1), None),
+        ]
+    return [
+        ("SerialMemory", SerialMemory(p=2, b=2, v=2), None),
+        ("MSI", MSIProtocol(p=2, b=1, v=2), None),
+        ("MESI", MESIProtocol(p=2, b=1, v=2), None),
+        ("MOESI", MOESIProtocol(p=2, b=1, v=2), None),
+        ("Dragon", DragonProtocol(p=2, b=1, v=2), None),
+        ("WriteThrough", WriteThroughProtocol(p=2, b=1, v=2), None),
+        ("Directory", DirectoryProtocol(p=2, b=1, v=2), None),
+        ("LazyCaching", LazyCachingProtocol(p=2, b=1, v=2), lazy_caching_st_order()),
+        ("FencedStoreBuffer", FencedStoreBufferProtocol(p=2, b=2, v=1), store_buffer_st_order()),
+        ("StoreBuffer", StoreBufferProtocol(p=2, b=2, v=1), store_buffer_st_order()),
+        ("BuggyMSI", BuggyMSIProtocol(p=2, b=2, v=1), None),
+    ]
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--small", action="store_true", help="smallest parameters (fast)")
+    args = ap.parse_args()
+
+    rows = []
+    counterexamples = []
+    for name, proto, gen in zoo(args.small):
+        t0 = time.perf_counter()
+        res = verify_protocol(proto, gen)
+        dt = time.perf_counter() - t0
+        bb = bounds_for(proto)
+        rows.append(
+            (
+                name,
+                f"p{proto.p} b{proto.b} v{proto.v} L{proto.num_locations}",
+                "SC ✓" if res.sequentially_consistent else "VIOLATION ✗",
+                res.stats.states,
+                res.stats.transitions,
+                res.stats.max_live_nodes,
+                bb.bandwidth_impl,
+                f"{dt:.2f}s",
+            )
+        )
+        if res.counterexample is not None:
+            counterexamples.append((name, res.counterexample))
+
+    print_table(
+        ["protocol", "params", "verdict", "joint states", "transitions",
+         "max live nodes", "bound L+pb+b+p", "time"],
+        rows,
+        title="Protocol zoo verification (observer + checker product, Figure 2)",
+    )
+
+    for name, cx in counterexamples:
+        print(f"\n--- counterexample for {name} ---")
+        print(cx.pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — a full reproduction of *Automatable Verification of
+Sequential Consistency* (Condon & Hu, SPAA 2001).
+
+The library implements the paper's constraint-graph verification
+method end to end: streamable bounded-bandwidth graph descriptors, the
+finite-state cycle and edge-annotation checkers, tracking-label
+machinery for inheritance edges, ST-order generators (including the
+Lazy-Caching one), the witness observer, and an explicit-state model
+checker that ties them together — plus a zoo of memory-system
+protocols to verify (serial memory, MSI, MESI, a directory protocol,
+Lazy Caching, and two intentionally non-SC designs).
+
+Quick start::
+
+    from repro import verify_protocol
+    from repro.memory import MSIProtocol
+
+    result = verify_protocol(MSIProtocol(p=2, b=1, v=2))
+    print(result.summary())   # SEQUENTIALLY CONSISTENT (in Γ)
+"""
+
+from .core import (
+    BOTTOM,
+    LD,
+    ST,
+    Checker,
+    ConstraintGraph,
+    CycleChecker,
+    EdgeKind,
+    InternalAction,
+    Load,
+    Observer,
+    Operation,
+    Protocol,
+    RealTimeSTOrder,
+    Store,
+    Tracking,
+    Transition,
+    WriteOrderSTOrder,
+    check_run,
+    find_serial_reordering,
+    is_sequentially_consistent_trace,
+    is_serial_trace,
+    verify_protocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOTTOM", "LD", "ST", "Load", "Store", "Operation", "InternalAction",
+    "Protocol", "Tracking", "Transition",
+    "ConstraintGraph", "EdgeKind",
+    "Checker", "CycleChecker", "Observer",
+    "RealTimeSTOrder", "WriteOrderSTOrder",
+    "verify_protocol", "check_run",
+    "is_serial_trace", "find_serial_reordering",
+    "is_sequentially_consistent_trace",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Finite-automata substrate: DFAs/NFAs, product and complement,
+language inclusion/equivalence, and the protocol → trace-DFA bridge
+used by the Definition 3.1(i) trace-equivalence check."""
+
+from .dfa import DFA, dfa_from_table
+from .inclusion import InclusionResult, equivalent, included_in
+from .minimize import equivalent_hk, minimize, num_states
+from .nfa import NFA
+from .protocol_nfa import protocol_nfa, trace_dfa, traces_equivalent
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "dfa_from_table",
+    "included_in",
+    "equivalent",
+    "equivalent_hk",
+    "minimize",
+    "num_states",
+    "InclusionResult",
+    "protocol_nfa",
+    "trace_dfa",
+    "traces_equivalent",
+]

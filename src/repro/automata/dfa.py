@@ -1,0 +1,155 @@
+"""Deterministic finite automata.
+
+Theorem 3.1 reduces witness-hood to language problems between finite
+automata; this package provides the standard constructions — product,
+complement, emptiness, inclusion, equivalence — over lazily- or
+explicitly-defined DFAs.  The library's verification pipeline uses the
+explicit-state product search directly for performance, but the
+automata formulation is exercised on small protocols in tests and the
+trace-equivalence check of Definition 3.1(i).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["DFA", "dfa_from_table"]
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A (possibly partial) deterministic finite automaton.
+
+    ``delta(state, symbol)`` returns the successor or ``None`` (dead).
+    ``accepting(state)`` marks final states.  The state space is
+    implicit — :meth:`reachable_states` enumerates it on demand, so
+    product and complement constructions stay lazy.
+    """
+
+    initial: Hashable
+    alphabet: FrozenSet
+    delta: Callable[[Hashable, Hashable], Optional[Hashable]]
+    accepting: Callable[[Hashable], bool]
+
+    # ------------------------------------------------------------------
+    def step(self, state: Hashable, symbol: Hashable) -> Optional[Hashable]:
+        if symbol not in self.alphabet:
+            raise ValueError(f"symbol {symbol!r} outside alphabet")
+        return self.delta(state, symbol)
+
+    def accepts(self, word: Iterable[Hashable]) -> bool:
+        state: Optional[Hashable] = self.initial
+        for sym in word:
+            if state is None:
+                return False
+            state = self.step(state, sym)
+        return state is not None and self.accepting(state)
+
+    def reachable_states(self, *, max_states: Optional[int] = None) -> List[Hashable]:
+        seen: Set[Hashable] = {self.initial}
+        order: List[Hashable] = [self.initial]
+        queue: deque = deque([self.initial])
+        while queue:
+            q = queue.popleft()
+            for a in self.alphabet:
+                r = self.delta(q, a)
+                if r is not None and r not in seen:
+                    if max_states is not None and len(seen) >= max_states:
+                        raise RuntimeError("state cap exceeded")
+                    seen.add(r)
+                    order.append(r)
+                    queue.append(r)
+        return order
+
+    # ------------------------------------------------------------------
+    def complement(self) -> "DFA":
+        """Accepts exactly the words this DFA rejects (the partial
+        transition function is completed with a sink)."""
+        SINK = ("__sink__",)
+
+        def delta(q, a):
+            if q == SINK:
+                return SINK
+            r = self.delta(q, a)
+            return SINK if r is None else r
+
+        return DFA(
+            initial=self.initial,
+            alphabet=self.alphabet,
+            delta=delta,
+            accepting=lambda q: q == SINK or not self.accepting(q),
+        )
+
+    def intersect(self, other: "DFA") -> "DFA":
+        """Product automaton accepting the intersection."""
+        if self.alphabet != other.alphabet:
+            raise ValueError("alphabets differ")
+
+        def delta(q, a):
+            r1 = self.delta(q[0], a)
+            if r1 is None:
+                return None
+            r2 = other.delta(q[1], a)
+            if r2 is None:
+                return None
+            return (r1, r2)
+
+        return DFA(
+            initial=(self.initial, other.initial),
+            alphabet=self.alphabet,
+            delta=delta,
+            accepting=lambda q: self.accepting(q[0]) and other.accepting(q[1]),
+        )
+
+    def find_accepted_word(
+        self, *, max_states: Optional[int] = None
+    ) -> Optional[List[Hashable]]:
+        """A shortest accepted word, or ``None`` if the language is
+        empty (BFS with parent pointers)."""
+        parents: Dict[Hashable, Tuple[Optional[Hashable], Optional[Hashable]]] = {
+            self.initial: (None, None)
+        }
+        queue: deque = deque([self.initial])
+        while queue:
+            q = queue.popleft()
+            if self.accepting(q):
+                word: List[Hashable] = []
+                cur = q
+                while True:
+                    parent, sym = parents[cur]
+                    if parent is None:
+                        break
+                    word.append(sym)
+                    cur = parent
+                word.reverse()
+                return word
+            for a in self.alphabet:
+                r = self.delta(q, a)
+                if r is not None and r not in parents:
+                    if max_states is not None and len(parents) >= max_states:
+                        raise RuntimeError("state cap exceeded")
+                    parents[r] = (q, a)
+                    queue.append(r)
+        return None
+
+    def is_empty(self, *, max_states: Optional[int] = None) -> bool:
+        return self.find_accepted_word(max_states=max_states) is None
+
+
+def dfa_from_table(
+    initial: Hashable,
+    table: Dict[Tuple[Hashable, Hashable], Hashable],
+    accepting: Set[Hashable],
+    alphabet: Optional[Iterable[Hashable]] = None,
+) -> DFA:
+    """Build a DFA from an explicit ``(state, symbol) -> state`` table."""
+    alpha = frozenset(alphabet) if alphabet is not None else frozenset(a for (_q, a) in table)
+    acc = frozenset(accepting)
+    return DFA(
+        initial=initial,
+        alphabet=alpha,
+        delta=lambda q, a: table.get((q, a)),
+        accepting=lambda q: q in acc,
+    )

@@ -1,0 +1,48 @@
+"""Language inclusion and equivalence between DFAs.
+
+``L(A) ⊆ L(B)`` iff ``L(A) ∩ complement(L(B))`` is empty — the
+standard product-emptiness reduction Theorem 3.1 appeals to.  The
+functions return a counterexample word when the relation fails.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from .dfa import DFA
+
+__all__ = ["included_in", "equivalent", "InclusionResult"]
+
+
+class InclusionResult(Tuple[bool, Optional[List[Hashable]]]):
+    """``(holds, counterexample)`` with tuple semantics."""
+
+    __slots__ = ()
+
+    def __new__(cls, holds: bool, counterexample: Optional[List[Hashable]] = None):
+        return super().__new__(cls, (holds, counterexample))
+
+    @property
+    def holds(self) -> bool:
+        return self[0]
+
+    @property
+    def counterexample(self) -> Optional[List[Hashable]]:
+        return self[1]
+
+    def __bool__(self) -> bool:
+        return self[0]
+
+
+def included_in(a: DFA, b: DFA, *, max_states: Optional[int] = None) -> InclusionResult:
+    """Is ``L(a) ⊆ L(b)``?  A word in ``L(a) \\ L(b)`` witnesses no."""
+    witness = a.intersect(b.complement()).find_accepted_word(max_states=max_states)
+    return InclusionResult(witness is None, witness)
+
+
+def equivalent(a: DFA, b: DFA, *, max_states: Optional[int] = None) -> InclusionResult:
+    """Is ``L(a) = L(b)``?  Returns the first separating word found."""
+    fwd = included_in(a, b, max_states=max_states)
+    if not fwd:
+        return fwd
+    return included_in(b, a, max_states=max_states)

@@ -1,0 +1,98 @@
+"""Nondeterministic finite automata and the subset construction.
+
+Protocols are NFAs over their action alphabet (several transitions can
+share an action); projecting runs onto traces introduces ε-moves
+(internal actions).  :meth:`NFA.project` performs that projection and
+:meth:`NFA.determinize` the subset construction, which together turn a
+protocol into the *trace DFA* used for the Definition 3.1(i) trace-
+equivalence check on small instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+from .dfa import DFA
+
+__all__ = ["NFA"]
+
+
+@dataclass(frozen=True)
+class NFA:
+    """An NFA with optional ε-transitions.
+
+    ``delta(state, symbol)`` yields successor states; ε-moves use the
+    distinguished symbol :attr:`EPSILON` (not part of the alphabet).
+    """
+
+    EPSILON = ("__eps__",)
+
+    initial: FrozenSet
+    alphabet: FrozenSet
+    delta: Callable[[Hashable, Hashable], Iterable[Hashable]]
+    accepting: Callable[[Hashable], bool]
+
+    # ------------------------------------------------------------------
+    def eps_closure(self, states: Iterable[Hashable]) -> FrozenSet:
+        seen: Set[Hashable] = set(states)
+        stack = list(seen)
+        while stack:
+            q = stack.pop()
+            for r in self.delta(q, NFA.EPSILON):
+                if r not in seen:
+                    seen.add(r)
+                    stack.append(r)
+        return frozenset(seen)
+
+    def accepts(self, word: Iterable[Hashable]) -> bool:
+        cur = self.eps_closure(self.initial)
+        for sym in word:
+            nxt: Set[Hashable] = set()
+            for q in cur:
+                nxt.update(self.delta(q, sym))
+            cur = self.eps_closure(nxt)
+            if not cur:
+                return False
+        return any(self.accepting(q) for q in cur)
+
+    # ------------------------------------------------------------------
+    def determinize(self) -> DFA:
+        """Subset construction (lazy — subsets materialise on demand)."""
+        init = self.eps_closure(self.initial)
+
+        def delta(qset: FrozenSet, a: Hashable) -> Optional[FrozenSet]:
+            nxt: Set[Hashable] = set()
+            for q in qset:
+                nxt.update(self.delta(q, a))
+            closed = self.eps_closure(nxt)
+            return closed if closed else None
+
+        return DFA(
+            initial=init,
+            alphabet=self.alphabet,
+            delta=delta,
+            accepting=lambda qset: any(self.accepting(q) for q in qset),
+        )
+
+    def project(self, keep: Callable[[Hashable], bool]) -> "NFA":
+        """Hide symbols failing ``keep`` (they become ε-moves) — the
+        run → trace projection when ``keep`` selects LD/ST actions."""
+        base = self
+
+        def delta(q, a):
+            if a is NFA.EPSILON:
+                yield from base.delta(q, NFA.EPSILON)
+                for sym in base.alphabet:
+                    if not keep(sym):
+                        yield from base.delta(q, sym)
+            else:
+                yield from base.delta(q, a)
+
+        return NFA(
+            initial=base.initial,
+            alphabet=frozenset(a for a in base.alphabet if keep(a)),
+            delta=delta,
+            accepting=base.accepting,
+        )

@@ -1,0 +1,83 @@
+"""Protocols as automata — the Definition 3.1(i) trace-equivalence
+check.
+
+A protocol *is* an NFA over its action alphabet (every state
+accepting: runs are prefix-closed).  Projecting internal actions to ε
+and determinising yields the protocol's **trace DFA**;
+:func:`traces_equivalent` compares two protocols' trace languages —
+exactly condition (i) of witness-hood.  Our observer augments the
+protocol non-interferingly, so the check is trivial by construction,
+but the automata route verifies that claim independently on small
+instances (and would catch an interfering observer).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ..core.operations import Operation
+from ..core.protocol import Protocol
+from .dfa import DFA
+from .inclusion import InclusionResult, equivalent
+from .nfa import NFA
+
+__all__ = ["protocol_nfa", "trace_dfa", "traces_equivalent"]
+
+
+def protocol_nfa(protocol: Protocol, *, max_states: Optional[int] = None) -> NFA:
+    """The protocol's run-NFA (explicit alphabet gathered by
+    exploration; every state accepting)."""
+    # materialise the reachable alphabet first (delta needs a fixed one)
+    from ..modelcheck.explorer import explore
+
+    alphabet = set()
+
+    def visit(state, _depth):
+        for t in protocol.transitions(state):
+            alphabet.add(t.action)
+
+    explore(protocol, max_states=max_states, on_state=visit)
+
+    def delta(q, a):
+        if a is NFA.EPSILON:
+            return
+        for t in protocol.transitions(q):
+            if t.action == a:
+                yield t.state
+
+    return NFA(
+        initial=frozenset([protocol.initial_state()]),
+        alphabet=frozenset(alphabet),
+        delta=delta,
+        accepting=lambda q: True,
+    )
+
+
+def trace_dfa(protocol: Protocol, *, max_states: Optional[int] = None) -> DFA:
+    """The determinised trace language of the protocol (internal
+    actions hidden)."""
+    nfa = protocol_nfa(protocol, max_states=max_states)
+    return nfa.project(lambda a: isinstance(a, Operation)).determinize()
+
+
+def traces_equivalent(
+    a: Protocol, b: Protocol, *, max_states: Optional[int] = None
+) -> InclusionResult:
+    """Do two protocols have the same trace set (Definition 3.1(i))?
+
+    The alphabets are unioned first so a missing operation on one side
+    becomes a counterexample rather than an error.
+    """
+    base_a = trace_dfa(a, max_states=max_states)
+    base_b = trace_dfa(b, max_states=max_states)
+    alpha = base_a.alphabet | base_b.alphabet
+
+    def widen(d: DFA) -> DFA:
+        return DFA(
+            d.initial,
+            alpha,
+            lambda q, s: d.delta(q, s) if s in d.alphabet else None,
+            d.accepting,
+        )
+
+    return equivalent(widen(base_a), widen(base_b), max_states=max_states)

@@ -1,0 +1,345 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``verify``   model-check one protocol (the Figure 2 pipeline)
+``zoo``      verdict table for the whole protocol zoo
+``litmus``   run a litmus program against the reference models and,
+             optionally, a protocol
+``fuzz``     randomised per-run testing (the Section 5 scenario)
+``bounds``   Section 4.4 size-bound table for given parameters
+``report``   condensed re-run of every experiment, as markdown
+``descriptor`` check a descriptor string (paper syntax) for acyclic
+             constraint-graph-ness
+``check-run`` judge a recorded protocol run from a log file (§5)
+
+Protocols are addressed by name (see ``PROTOCOLS``); each entry knows
+its default ST-order generator, so ``python -m repro verify lazy``
+just works.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from .core.bounds import bounds_for
+from .core.storder import STOrderGenerator
+from .core.verify import verify_protocol
+from .litmus import (
+    CORPUS,
+    classify_outcomes,
+    fuzz_protocol,
+    outcomes_on_protocol,
+    outcomes_sc,
+)
+from .memory import (
+    BuggyMSIProtocol,
+    DirectoryProtocol,
+    DragonProtocol,
+    FencedStoreBufferProtocol,
+    LazyCachingProtocol,
+    MESIProtocol,
+    MOESIProtocol,
+    MSIProtocol,
+    SerialMemory,
+    StoreBufferProtocol,
+    WriteThroughProtocol,
+    lazy_caching_st_order,
+    store_buffer_st_order,
+)
+from .util import format_table
+
+__all__ = ["main", "PROTOCOLS"]
+
+#: name -> (constructor, default generator factory or None, default p/b/v)
+PROTOCOLS: Dict[str, Tuple[Callable, Optional[Callable[[], STOrderGenerator]], Tuple[int, int, int]]] = {
+    "serial": (SerialMemory, None, (2, 1, 2)),
+    "msi": (MSIProtocol, None, (2, 1, 2)),
+    "mesi": (MESIProtocol, None, (2, 1, 2)),
+    "moesi": (MOESIProtocol, None, (2, 1, 1)),
+    "dragon": (DragonProtocol, None, (2, 1, 1)),
+    "write-through": (WriteThroughProtocol, None, (2, 1, 2)),
+    "fenced-sb": (FencedStoreBufferProtocol, store_buffer_st_order, (2, 1, 1)),
+    "directory": (DirectoryProtocol, None, (2, 1, 1)),
+    "lazy": (LazyCachingProtocol, lazy_caching_st_order, (2, 1, 1)),
+    "storebuffer": (StoreBufferProtocol, store_buffer_st_order, (2, 2, 1)),
+    "buggy-msi": (BuggyMSIProtocol, None, (2, 1, 1)),
+}
+
+
+def _make_protocol(args) -> Tuple[object, Optional[STOrderGenerator]]:
+    ctor, gen_factory, (dp, db, dv) = PROTOCOLS[args.protocol]
+    proto = ctor(
+        p=args.p if args.p is not None else dp,
+        b=args.b if args.b is not None else db,
+        v=args.v if args.v is not None else dv,
+    )
+    gen = gen_factory() if gen_factory is not None else None
+    if getattr(args, "real_time_order", False):
+        gen = None
+    return proto, gen
+
+
+def _add_protocol_args(sub, with_params: bool = True) -> None:
+    sub.add_argument("protocol", choices=sorted(PROTOCOLS))
+    if with_params:
+        sub.add_argument("--p", type=int, default=None, help="processors")
+        sub.add_argument("--b", type=int, default=None, help="blocks")
+        sub.add_argument("--v", type=int, default=None, help="values")
+
+
+def cmd_verify(args) -> int:
+    proto, gen = _make_protocol(args)
+    t0 = time.perf_counter()
+    res = verify_protocol(
+        proto, gen, mode=args.mode, max_states=args.max_states, max_depth=args.max_depth
+    )
+    dt = time.perf_counter() - t0
+    print(res.summary())
+    print(f"elapsed: {dt:.2f}s")
+    if res.counterexample is not None:
+        print()
+        print(res.counterexample.pretty())
+    return 0 if res.sequentially_consistent else 1
+
+
+def cmd_zoo(args) -> int:
+    rows = []
+    worst = 0
+    for name in sorted(PROTOCOLS):
+        ctor, gen_factory, (dp, db, dv) = PROTOCOLS[name]
+        proto = ctor(p=dp, b=db, v=dv)
+        gen = gen_factory() if gen_factory else None
+        t0 = time.perf_counter()
+        res = verify_protocol(proto, gen, max_states=args.max_states)
+        dt = time.perf_counter() - t0
+        rows.append(
+            (
+                name,
+                f"{proto.p}/{proto.b}/{proto.v}",
+                "SC" if res.sequentially_consistent else "VIOLATION",
+                res.stats.states,
+                res.stats.max_live_nodes,
+                f"{dt:.2f}s",
+            )
+        )
+        worst += 0 if res.sequentially_consistent == (name not in ("storebuffer", "buggy-msi")) else 1
+    print(
+        format_table(
+            ["protocol", "p/b/v", "verdict", "joint states", "max live", "time"],
+            rows,
+            title="Protocol zoo",
+        )
+    )
+    return worst
+
+
+def cmd_litmus(args) -> int:
+    programs = {p.name.lower(): p for p in CORPUS}
+    prog = programs[args.test.lower()]
+    tags = classify_outcomes(prog)
+    rows = [
+        (" ".join(f"{r}={v}" for r, v in o), tag) for o, tag in sorted(tags.items())
+    ]
+    print(format_table(["outcome", "strongest model"], rows, title=f"{prog.name}: {prog.description}"))
+    if args.on is not None:
+        ctor, _gen, (dp, db, dv) = PROTOCOLS[args.on]
+        proto = ctor(
+            p=max(dp, prog.num_procs),
+            b=max(db, max(prog.blocks)),
+            v=max(dv, prog.max_value),
+        )
+        got = outcomes_on_protocol(proto, prog)
+        sc = outcomes_sc(prog)
+        rows = [
+            (
+                " ".join(f"{r}={v}" for r, v in o),
+                "yes" if o in sc else "no",
+                "yes" if o in got else "no",
+            )
+            for o in sorted(got | sc)
+        ]
+        print()
+        print(format_table(["outcome", "SC allows", f"{args.on} produces"], rows))
+        return 0 if got <= sc else 1
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    proto, gen = _make_protocol(args)
+    report = fuzz_protocol(
+        proto,
+        runs=args.runs,
+        length=args.length,
+        seed=args.seed,
+        st_order=gen,
+        cross_check_max_ops=args.cross_check,
+    )
+    print(report.summary())
+    if report.violations:
+        run, reason = report.violations[0]
+        print(f"\nfirst violation ({reason}):")
+        for a in run:
+            print(f"  {a!r}")
+    return 0 if report.ok else 1
+
+
+def cmd_descriptor(args) -> int:
+    import sys as _sys
+
+    from .core.checker import Checker
+    from .core.cycle_checker import CycleChecker
+    from .core.descriptor import NodeSym, parse_descriptor
+    from .core.operations import parse_operation
+
+    text = args.text if args.text is not None else _sys.stdin.read()
+    symbols = parse_descriptor(text)
+    # node labels come back as strings; lift them to operations so the
+    # full annotation checker can judge the graph
+    lifted = []
+    labelled = True
+    for s_ in symbols:
+        if isinstance(s_, NodeSym) and s_.label is not None:
+            try:
+                s_ = NodeSym(s_.id, parse_operation(str(s_.label)))
+            except ValueError:
+                labelled = False
+        lifted.append(s_)
+    cyc = CycleChecker()
+    cyc.feed_all(lifted)
+    print(f"symbols: {len(lifted)}")
+    print(f"cycle checker: {'ACCEPTS (acyclic)' if cyc.accepts else 'REJECTS (cycle)'}")
+    if labelled:
+        chk = Checker()
+        chk.feed_all(lifted)
+        bad = chk.violations()
+        print(
+            "constraint-graph checker: "
+            + ("ACCEPTS" if not bad else f"REJECTS — {bad[0]}")
+        )
+        return 0 if not bad else 1
+    print("constraint-graph checker: skipped (non-operation node labels)")
+    return 0 if cyc.accepts else 1
+
+
+def cmd_check_run(args) -> int:
+    import sys as _sys
+
+    from .tracefile import check_run_file
+
+    text = open(args.file).read() if args.file != "-" else _sys.stdin.read()
+    try:
+        verdict = check_run_file(text)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(verdict.verdict)
+    return 0 if verdict.ok else 1
+
+
+def cmd_report(args) -> int:
+    from .report import generate_report
+
+    text = generate_report()
+    print(text)
+    return 0 if "MISMATCH" not in text else 1
+
+
+def cmd_bounds(args) -> int:
+    rows = []
+    for name in sorted(PROTOCOLS):
+        ctor, _g, (dp, db, dv) = PROTOCOLS[name]
+        proto = ctor(
+            p=args.p if args.p is not None else dp,
+            b=args.b if args.b is not None else db,
+            v=args.v if args.v is not None else dv,
+        )
+        bb = bounds_for(proto)
+        rows.append(
+            (name, f"{bb.p}/{bb.b}/{bb.v}", bb.L, bb.bandwidth, bb.state_bits, bb.state_bits_optimised)
+        )
+    print(
+        format_table(
+            ["protocol", "p/b/v", "L", "bandwidth L+pb", "state bits", "bits (opt.)"],
+            rows,
+            title="Section 4.4 observer size bounds",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Automatable verification of sequential consistency (Condon & Hu, SPAA 2001)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    v = sub.add_parser("verify", help="model-check one protocol")
+    _add_protocol_args(v)
+    v.add_argument("--mode", choices=["fast", "full"], default="fast")
+    v.add_argument("--max-states", type=int, default=None)
+    v.add_argument("--max-depth", type=int, default=None)
+    v.add_argument(
+        "--real-time-order",
+        action="store_true",
+        help="force the trivial real-time ST-order generator (e.g. to see lazy caching rejected)",
+    )
+    v.set_defaults(func=cmd_verify)
+
+    z = sub.add_parser("zoo", help="verify every protocol at default parameters")
+    z.add_argument("--max-states", type=int, default=None)
+    z.set_defaults(func=cmd_zoo)
+
+    l = sub.add_parser("litmus", help="classify a litmus test's outcomes")
+    l.add_argument("test", choices=sorted(p.name.lower() for p in CORPUS))
+    l.add_argument("--on", choices=sorted(PROTOCOLS), default=None,
+                   help="also run the program on this protocol")
+    l.set_defaults(func=cmd_litmus)
+
+    f = sub.add_parser("fuzz", help="randomised per-run testing (Section 5)")
+    _add_protocol_args(f)
+    f.add_argument("--runs", type=int, default=200)
+    f.add_argument("--length", type=int, default=15)
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--cross-check", type=int, default=0, metavar="MAX_OPS",
+                   help="cross-check traces up to this many ops against the brute-force oracle")
+    f.set_defaults(func=cmd_fuzz)
+
+    r = sub.add_parser("report", help="run every experiment condensed; print a markdown report")
+    r.set_defaults(func=cmd_report)
+
+    cr = sub.add_parser(
+        "check-run",
+        help="check a recorded protocol run from a run file (see repro.tracefile)",
+    )
+    cr.add_argument("file", help="run file path, or '-' for stdin")
+    cr.set_defaults(func=cmd_check_run)
+
+    d = sub.add_parser(
+        "descriptor",
+        help="check a k-graph descriptor in the paper's text syntax (from arg or stdin)",
+    )
+    d.add_argument("text", nargs="?", default=None,
+                   help='e.g. "1, ST(P1,B1,1), 2, LD(P2,B1,1), (1,2), inh"')
+    d.set_defaults(func=cmd_descriptor)
+
+    b = sub.add_parser("bounds", help="Section 4.4 size-bound table")
+    b.add_argument("--p", type=int, default=None)
+    b.add_argument("--b", type=int, default=None)
+    b.add_argument("--v", type=int, default=None)
+    b.set_defaults(func=cmd_bounds)
+
+    return ap
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

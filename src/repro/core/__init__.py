@@ -1,0 +1,80 @@
+"""The paper's contribution: constraint graphs, k-graph descriptors,
+finite-state checkers, tracking labels, ST-order generators, the
+witness observer, and the verification pipeline."""
+
+from .annotation_checker import AnnotationChecker, parse_edge_kind
+from .bounds import ObserverBounds, bandwidth_bound, bounds_for, observer_state_bits
+from .checker import Checker, CheckResult, check_constraint_graph, check_descriptor
+from .constraint_graph import (
+    ConstraintGraph,
+    EdgeKind,
+    build_constraint_graph,
+    graph_from_serial_reordering,
+)
+from .cycle_checker import CycleChecker, descriptor_is_acyclic
+from .descriptor import (
+    AddIdSym,
+    DescriptorDecoder,
+    DescriptorError,
+    EdgeSym,
+    NodeSym,
+    Symbol,
+    decode,
+    encode_graph,
+    format_descriptor,
+    parse_descriptor,
+)
+from .observer import Observer
+from .operations import (
+    BOTTOM,
+    LD,
+    ST,
+    InternalAction,
+    Load,
+    Operation,
+    Store,
+    Trace,
+    format_trace,
+    trace_of_run,
+)
+from .protocol import FRESH, Protocol, Tracking, Transition, enumerate_runs, random_run
+from .serial import (
+    find_serial_reordering,
+    is_sequentially_consistent_trace,
+    is_serial_reordering,
+    is_serial_trace,
+)
+from .storder import RealTimeSTOrder, Serialized, STOrderGenerator, WriteOrderSTOrder
+from .tracking import InheritanceGenerator, STIndexTracker, inheritance_edges_of_run, st_indices_after
+from .verify import RunCheck, VerificationResult, check_run, verify_protocol
+
+__all__ = [
+    # operations / traces
+    "BOTTOM", "LD", "ST", "Load", "Store", "Operation", "InternalAction",
+    "Trace", "trace_of_run", "format_trace",
+    # serial semantics
+    "is_serial_trace", "is_serial_reordering", "find_serial_reordering",
+    "is_sequentially_consistent_trace",
+    # constraint graphs
+    "ConstraintGraph", "EdgeKind", "build_constraint_graph",
+    "graph_from_serial_reordering",
+    # descriptors
+    "NodeSym", "EdgeSym", "AddIdSym", "Symbol", "DescriptorDecoder",
+    "DescriptorError", "decode", "encode_graph", "format_descriptor",
+    "parse_descriptor",
+    # checkers
+    "CycleChecker", "descriptor_is_acyclic", "AnnotationChecker",
+    "parse_edge_kind", "Checker", "CheckResult", "check_descriptor",
+    "check_constraint_graph",
+    # protocols & tracking
+    "Protocol", "Tracking", "Transition", "FRESH", "enumerate_runs",
+    "random_run", "STIndexTracker", "st_indices_after",
+    "InheritanceGenerator", "inheritance_edges_of_run",
+    # ST order
+    "STOrderGenerator", "RealTimeSTOrder", "WriteOrderSTOrder", "Serialized",
+    # observer & verification
+    "Observer", "verify_protocol", "VerificationResult", "check_run",
+    "RunCheck",
+    # bounds
+    "ObserverBounds", "bounds_for", "bandwidth_bound", "observer_state_bits",
+]

@@ -1,0 +1,109 @@
+"""Observer size bounds (Section 4.4).
+
+For a protocol with ``L`` locations, ``p`` processors, ``b`` blocks and
+``v`` values per block, assuming real-time ST ordering and that a ST's
+value stays in some location until its ST-order successor happens, the
+paper bounds:
+
+* the **bandwidth** of the witness constraint graph by ``L + p·b``
+  (at most ``L`` inh-active STs plus up to ``p·b`` LDs tracked for
+  forced edges; program-order and ST-order bookkeeping nodes are
+  already counted among these);
+* the **extra observer state** by
+  ``(L + p·b) · (⌈lg p⌉ + ⌈lg b⌉ + ⌈lg v⌉ + 1) + L·⌈lg L⌉`` bits
+  (a label per active node plus an ID per location), with a further
+  ``⌈lg v⌉`` per node recoverable by checking values separately.
+
+Our observer additionally keeps each block's STo head alive (for
+⊥-load forced edges) and each processor's latest node (for program
+order), so its measured high-water mark is compared against
+``L + p·b + b + p`` in the benchmarks — the paper's bound plus the two
+explicitly-counted families.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .protocol import Protocol
+
+__all__ = ["ObserverBounds", "bounds_for", "bandwidth_bound", "observer_state_bits"]
+
+
+def _lg(x: int) -> int:
+    """⌈log2 x⌉ with lg 1 = 0 (the paper's ``lg``)."""
+    if x < 1:
+        raise ValueError("lg of non-positive value")
+    return math.ceil(math.log2(x)) if x > 1 else 0
+
+
+def bandwidth_bound(p: int, b: int, L: int) -> int:
+    """The paper's bandwidth bound ``L + p·b`` (Section 4.4)."""
+    return L + p * b
+
+
+def implementation_bandwidth_bound(p: int, b: int, L: int) -> int:
+    """The bound our observer's bookkeeping actually guarantees:
+    ``L + p·b`` plus the ``b`` block heads and ``p`` latest-per-
+    processor nodes it pins explicitly."""
+    return L + p * b + b + p
+
+
+def node_label_bits(p: int, b: int, v: int) -> int:
+    """Bits per active node: LD/ST flag plus the (P, B, V) fields."""
+    return _lg(p) + _lg(b) + _lg(v) + 1
+
+
+def observer_state_bits(p: int, b: int, v: int, L: int) -> int:
+    """The headline bound: ``(L+pb)(lg p + lg b + lg v + 1) + L lg L``."""
+    return bandwidth_bound(p, b, L) * node_label_bits(p, b, v) + L * _lg(L)
+
+
+def observer_state_bits_optimised(p: int, b: int, v: int, L: int) -> int:
+    """Section 4.4's suggested optimisation: drop the ``lg v`` bits per
+    node by checking values separately from cycle-testing."""
+    return bandwidth_bound(p, b, L) * (_lg(p) + _lg(b) + 1) + L * _lg(L)
+
+
+@dataclass(frozen=True)
+class ObserverBounds:
+    """All Section 4.4 quantities for one protocol instance."""
+
+    p: int
+    b: int
+    v: int
+    L: int
+    bandwidth: int
+    bandwidth_impl: int
+    label_bits: int
+    state_bits: int
+    state_bits_optimised: int
+
+    def as_row(self) -> tuple:
+        return (
+            self.p,
+            self.b,
+            self.v,
+            self.L,
+            self.bandwidth,
+            self.bandwidth_impl,
+            self.state_bits,
+            self.state_bits_optimised,
+        )
+
+
+def bounds_for(protocol: Protocol) -> ObserverBounds:
+    """Evaluate the Section 4.4 formulas for a concrete protocol."""
+    p, b, v, L = protocol.p, protocol.b, protocol.v, protocol.num_locations
+    return ObserverBounds(
+        p=p,
+        b=b,
+        v=v,
+        L=L,
+        bandwidth=bandwidth_bound(p, b, L),
+        bandwidth_impl=implementation_bandwidth_bound(p, b, L),
+        label_bits=node_label_bits(p, b, v),
+        state_bits=observer_state_bits(p, b, v, L),
+        state_bits_optimised=observer_state_bits_optimised(p, b, v, L),
+    )

@@ -1,0 +1,378 @@
+"""k-graph descriptors: streaming bounded-bandwidth graphs (Section 3.2).
+
+A k-bandwidth-bounded graph is serialised as a string of three symbol
+kinds over the ID space ``1..k+1``:
+
+* :class:`NodeSym` — "a new node, identified by this ID (recycling the
+  ID from whichever node held it), optionally labelled";
+* :class:`EdgeSym` — "an edge between the nodes currently holding these
+  two IDs, optionally labelled";
+* :class:`AddIdSym` — ``add-ID(I, I')``: grant ID ``I'`` (taken from
+  its current holder, if any) to the node currently holding ``I``.
+
+:class:`DescriptorDecoder` implements the paper's formal ID-set
+semantics and reconstructs the full graph; :func:`encode_graph` is a
+constructive Lemma 3.2 — it turns any k-bandwidth-bounded graph into a
+descriptor using at most ``k+1`` IDs (retiring each node as soon as its
+last incident edge has been emitted).  :func:`format_descriptor` /
+:func:`parse_descriptor` give the paper's comma-separated text syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..graphs import Digraph, node_bandwidth
+
+__all__ = [
+    "NodeSym",
+    "EdgeSym",
+    "AddIdSym",
+    "FreeIdSym",
+    "Symbol",
+    "DescriptorError",
+    "DescriptorDecoder",
+    "decode",
+    "encode_graph",
+    "format_descriptor",
+    "parse_descriptor",
+    "LabelledGraph",
+]
+
+
+class DescriptorError(ValueError):
+    """A malformed descriptor (e.g. an edge naming an unheld ID)."""
+
+
+def _merge_labels(old: Any, new: Any) -> Any:
+    """Combine labels of a re-mentioned edge: flag-like labels (e.g.
+    ``EdgeKind``) are OR-ed, anything else is replaced by the newer."""
+    if old is None:
+        return new
+    if new is None:
+        return old
+    try:
+        return old | new
+    except TypeError:
+        return new
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSym:
+    """A node descriptor: ID plus optional label."""
+
+    id: int
+    label: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeSym:
+    """An edge descriptor ``(src, dst)`` plus optional label."""
+
+    src: int
+    dst: int
+    label: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class AddIdSym:
+    """``add-ID(id, new_id)`` — alias ``new_id`` onto ``id``'s node."""
+
+    id: int
+    new_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class FreeIdSym:
+    """``free-ID(id)`` — retire an ID without assigning it to a node.
+
+    An implementation extension of the paper's alphabet: the described
+    graph is unchanged (the paper frees an ID only implicitly, by
+    reusing it on the next node), but announcing retirement eagerly
+    lets the streaming checkers run their per-node exit checks — and
+    forget the node — as soon as the observer knows no further edge
+    can touch it.  This keeps the reachable joint state space small
+    during product model checking; semantically it commutes with the
+    later reuse the paper relies on.
+    """
+
+    id: int
+
+
+Symbol = Union[NodeSym, EdgeSym, AddIdSym, FreeIdSym]
+
+
+@dataclass
+class LabelledGraph:
+    """A decoded descriptor: the graph over nodes ``1..n`` plus labels."""
+
+    graph: Digraph
+    node_labels: List[Any]  # index i-1 -> label of node i
+
+    @property
+    def n(self) -> int:
+        return len(self.node_labels)
+
+
+class DescriptorDecoder:
+    """Stream a descriptor and reconstruct the full (unbounded) graph.
+
+    Follows the ID-set semantics of Section 3.2 exactly, including
+    multi-ID nodes created by ``add-ID``.  With ``strict=True``
+    (default) an edge or add-ID referencing an ID held by no node
+    raises :class:`DescriptorError`; with ``strict=False`` such symbols
+    are silently dropped, matching the formal definition (which simply
+    produces no edge).
+    """
+
+    def __init__(self, max_id: Optional[int] = None, *, strict: bool = True):
+        self.max_id = max_id
+        self.strict = strict
+        self.graph = Digraph()
+        self.node_labels: List[Any] = []
+        self._owner: Dict[int, int] = {}  # ID -> node number holding it
+        self._idset: Dict[int, Set[int]] = {}  # node number -> held IDs
+
+    # ------------------------------------------------------------------
+    def _check_id(self, i: int) -> None:
+        if i < 1 or (self.max_id is not None and i > self.max_id):
+            raise DescriptorError(f"ID {i} outside 1..{self.max_id}")
+
+    def _release(self, i: int) -> None:
+        """ID ``i`` is being taken for other use: remove it from its
+        current holder's ID-set (the holder may become inactive)."""
+        holder = self._owner.pop(i, None)
+        if holder is not None:
+            ids = self._idset[holder]
+            ids.discard(i)
+            if not ids:
+                del self._idset[holder]
+
+    def feed(self, sym: Symbol) -> None:
+        if isinstance(sym, NodeSym):
+            self._check_id(sym.id)
+            self._release(sym.id)
+            n = len(self.node_labels) + 1
+            self.node_labels.append(sym.label)
+            self.graph.add_node(n)
+            self._owner[sym.id] = n
+            self._idset[n] = {sym.id}
+        elif isinstance(sym, AddIdSym):
+            self._check_id(sym.id)
+            self._check_id(sym.new_id)
+            target = self._owner.get(sym.id)
+            if sym.new_id != sym.id:
+                self._release(sym.new_id)
+            if target is None:
+                if self.strict:
+                    raise DescriptorError(f"add-ID({sym.id},{sym.new_id}): ID {sym.id} unheld")
+                return
+            self._owner[sym.new_id] = target
+            self._idset[target].add(sym.new_id)
+        elif isinstance(sym, FreeIdSym):
+            self._check_id(sym.id)
+            self._release(sym.id)
+        elif isinstance(sym, EdgeSym):
+            self._check_id(sym.src)
+            self._check_id(sym.dst)
+            u = self._owner.get(sym.src)
+            v = self._owner.get(sym.dst)
+            if u is None or v is None:
+                if self.strict:
+                    raise DescriptorError(
+                        f"edge ({sym.src},{sym.dst}): unheld ID "
+                        f"({'src' if u is None else 'dst'})"
+                    )
+                return
+            # a re-mentioned edge accumulates annotations (an observer
+            # may add e.g. a forced annotation to an existing po edge
+            # in a later step); non-mergeable labels are replaced
+            self.graph.add_edge(u, v, sym.label, merge=_merge_labels)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a descriptor symbol: {sym!r}")
+
+    def feed_all(self, symbols: Iterable[Symbol]) -> "DescriptorDecoder":
+        for s in symbols:
+            self.feed(s)
+        return self
+
+    def result(self) -> LabelledGraph:
+        return LabelledGraph(self.graph, self.node_labels)
+
+    def active_nodes(self) -> Dict[int, Set[int]]:
+        """node number -> its current (non-empty) ID-set."""
+        return {n: set(ids) for n, ids in self._idset.items()}
+
+
+def decode(
+    symbols: Iterable[Symbol], max_id: Optional[int] = None, *, strict: bool = True
+) -> LabelledGraph:
+    """One-shot decode of a whole descriptor."""
+    return DescriptorDecoder(max_id, strict=strict).feed_all(symbols).result()
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.2: encoding a k-bandwidth-bounded graph
+# ----------------------------------------------------------------------
+def encode_graph(
+    graph: Digraph,
+    node_labels: Optional[Sequence[Any]] = None,
+    *,
+    k: Optional[int] = None,
+) -> List[Symbol]:
+    """Serialise a graph over nodes ``1..n`` into a k-graph descriptor.
+
+    ``k`` defaults to the graph's actual node bandwidth, so the
+    descriptor uses IDs ``1..bandwidth+1``.  The encoder walks nodes in
+    order; a node's ID is retired (made reusable) once every node it
+    shares an edge with has been emitted.  By the bandwidth bound, a
+    free ID always exists — asserted, since this *is* Lemma 3.2.
+    """
+    n = len(graph)
+    if node_labels is not None and len(node_labels) != n:
+        raise ValueError("node_labels length must equal node count")
+    if k is None:
+        k = node_bandwidth(graph, n)
+    pool_size = k + 1
+
+    # last[u]: index of the last node sharing an edge with u
+    last: Dict[int, int] = {}
+    for u in range(1, n + 1):
+        m = u
+        for v in graph.successors(u):
+            m = max(m, v)
+        for v in graph.predecessors(u):
+            m = max(m, v)
+        last[u] = m
+
+    free: List[int] = list(range(pool_size, 0, -1))  # pop() yields 1 first
+    id_of: Dict[int, int] = {}
+    retire_at: Dict[int, List[int]] = {}  # step i -> nodes whose last == i
+    out: List[Symbol] = []
+
+    for i in range(1, n + 1):
+        if not free:
+            raise AssertionError(
+                f"Lemma 3.2 violated: no free ID at node {i} with k={k}"
+            )
+        ident = free.pop()
+        out.append(NodeSym(ident, node_labels[i - 1] if node_labels else None))
+        id_of[i] = ident
+        retire_at.setdefault(last[i], []).append(i)
+        # emit every edge between i and an earlier (still live) node
+        for u in sorted(graph.predecessors(i)):
+            if u == i:
+                out.append(EdgeSym(ident, ident, graph.label(i, i)))
+            elif u < i:
+                out.append(EdgeSym(id_of[u], ident, graph.label(u, i)))
+        for v in sorted(graph.successors(i)):
+            if v < i:
+                out.append(EdgeSym(ident, id_of[v], graph.label(i, v)))
+        # retire nodes whose last incident edge has now been emitted
+        for u in retire_at.pop(i, ()):
+            free.append(id_of.pop(u))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Text syntax (the paper's comma-separated rendering)
+# ----------------------------------------------------------------------
+def format_descriptor(symbols: Iterable[Symbol]) -> str:
+    """Render symbols in the paper's style::
+
+        1, ST(P1,B1,1), 2, LD(P2,B1,1), (1,2), inh, add-ID(1,3)
+    """
+    parts: List[str] = []
+    for s in symbols:
+        if isinstance(s, NodeSym):
+            parts.append(str(s.id))
+            if s.label is not None:
+                parts.append(_label_str(s.label))
+        elif isinstance(s, EdgeSym):
+            parts.append(f"({s.src},{s.dst})")
+            if s.label is not None:
+                parts.append(_label_str(s.label))
+        elif isinstance(s, AddIdSym):
+            parts.append(f"add-ID({s.id},{s.new_id})")
+        else:
+            parts.append(f"free-ID({s.id})")
+    return ", ".join(parts)
+
+
+def _label_str(label: Any) -> str:
+    short = getattr(label, "short", None)
+    return short() if callable(short) else str(label)
+
+
+def parse_descriptor(text: str) -> List[Symbol]:
+    """Parse the textual syntax back into symbols (labels stay strings).
+
+    Inverse of :func:`format_descriptor` up to label types: node and
+    edge labels come back as their string renderings.
+    """
+    tokens = _tokenise(text)
+    out: List[Symbol] = []
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok.startswith("add-ID("):
+            inner = tok[len("add-ID(") : -1]
+            a, b = inner.split(",")
+            out.append(AddIdSym(int(a), int(b)))
+            i += 1
+        elif tok.startswith("free-ID("):
+            out.append(FreeIdSym(int(tok[len("free-ID(") : -1])))
+            i += 1
+        elif tok.startswith("("):
+            a, b = tok[1:-1].split(",", 1)
+            label = None
+            if i + 1 < len(tokens) and not _is_structural(tokens[i + 1]):
+                label = tokens[i + 1]
+                i += 1
+            out.append(EdgeSym(int(a), int(b), label))
+            i += 1
+        elif tok.isdigit():
+            label = None
+            if i + 1 < len(tokens) and not _is_structural(tokens[i + 1]):
+                label = tokens[i + 1]
+                i += 1
+            out.append(NodeSym(int(tok), label))
+            i += 1
+        else:
+            raise DescriptorError(f"unexpected token {tok!r}")
+    return out
+
+
+def _is_structural(tok: str) -> bool:
+    return (
+        tok.isdigit()
+        or tok.startswith("(")
+        or tok.startswith("add-ID(")
+        or tok.startswith("free-ID(")
+    )
+
+
+def _tokenise(text: str) -> List[str]:
+    """Split on top-level commas (commas inside parentheses stay)."""
+    out: List[str] = []
+    depth = 0
+    cur: List[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+            cur.append(ch)
+        elif ch == ")":
+            depth -= 1
+            cur.append(ch)
+        elif ch == "," and depth == 0:
+            tok = "".join(cur).strip()
+            if tok:
+                out.append(tok)
+            cur = []
+        else:
+            cur.append(ch)
+    tok = "".join(cur).strip()
+    if tok:
+        out.append(tok)
+    return out

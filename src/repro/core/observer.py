@@ -1,0 +1,411 @@
+"""The finite-state witness observer of Theorem 4.1.
+
+The observer shadows a protocol's execution without interfering: for
+each protocol transition it emits descriptor symbols that extend the
+run's witness graph ``W(R)`` —
+
+* a node (with the operation as label) for every LD and ST;
+* **program-order** edges by remembering each processor's latest node;
+* **inheritance** edges by the tracking-label / ST-index machinery of
+  Section 4.1 (a per-location map from location to the node whose ST
+  produced its value);
+* **STo** edges as dictated by the plugged-in
+  :class:`~repro.core.storder.STOrderGenerator` (Section 4.2);
+* **forced** edges the moment they become determined (Theorem 4.1's
+  two release conditions): when ST ``N`` gains its STo-successor
+  ``S``, every tracked LD inheriting from ``N`` gets a forced edge to
+  ``S``, and any LD inheriting from ``N`` afterwards gets it
+  immediately; ⊥-loads get a forced edge to their block's STo head.
+
+Node handles are retired — their descriptor IDs freed for reuse — as
+soon as no future edge can touch them, which keeps the set of live
+nodes bounded by roughly ``L + p·b`` (Section 4.4; the exact roots are
+spelled out in ``_roots``).  The high-water mark of IDs in use is
+recorded so benchmarks can compare the measured bandwidth against the
+paper's bound.
+
+The protocol is **in the class Γ** (Definition 4.1) with respect to
+its tracking labels and the chosen generator iff the checker accepts
+every emitted stream — which is exactly what
+:func:`repro.core.verify.verify_protocol` model-checks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+from .constraint_graph import EdgeKind
+from .descriptor import EdgeSym, FreeIdSym, NodeSym, Symbol
+from .operations import BOTTOM, InternalAction, Load, Operation, Store
+from .protocol import FRESH, Protocol, Tracking, Transition
+from .storder import RealTimeSTOrder, Serialized, STOrderGenerator
+
+__all__ = ["Observer"]
+
+Handle = int
+
+
+class Observer:
+    """Witness-graph emitter for one protocol execution.
+
+    Drive it with :meth:`on_transition` for every step of a run (trace
+    operations *and* internal actions); collect the returned descriptor
+    symbols.  :meth:`fork` produces an independent copy for branching
+    exploration.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        st_order: Optional[STOrderGenerator] = None,
+        *,
+        self_check: bool = False,
+        eager_free: bool = True,
+        unpin_heads: bool = True,
+    ):
+        self.protocol = protocol
+        self.gen: STOrderGenerator = st_order if st_order is not None else RealTimeSTOrder()
+        #: with self_check on, the observer validates the tracking
+        #: labels inline (LD value/block must match the ST whose value
+        #: the read location holds) and records the first mismatch in
+        #: :attr:`violation` — the "fast" verification mode relies on
+        #: this plus the cycle checker alone
+        self.self_check = self_check
+        #: ablation switches (see benchmarks/bench_ablation.py):
+        #: emit free-ID symbols the moment a node retires, and unpin
+        #: block heads once the protocol rules out further ⊥-loads —
+        #: both sound to disable, at a joint-state-count cost
+        self.eager_free = eager_free
+        self.unpin_heads = unpin_heads
+        self.violation: Optional[str] = None
+        self._next_handle = 1
+
+        self._op: Dict[Handle, Operation] = {}
+        self._id: Dict[Handle, int] = {}
+        self._free_ids: List[int] = []  # heap
+        self._ids_allocated = 0
+
+        L = protocol.num_locations
+        self._loc: Dict[int, Optional[Handle]] = {l: None for l in range(1, L + 1)}
+        self._last_of_proc: Dict[int, Handle] = {}
+        self._tail_of_block: Dict[int, Handle] = {}
+        self._head_of_block: Dict[int, Handle] = {}
+        self._succ: Dict[Handle, Handle] = {}  # STo successor
+        self._pending_load: Dict[Tuple[int, Handle], Handle] = {}
+        self._pending_bottom: Dict[Tuple[int, int], Handle] = {}
+        # blocks whose protocol declared ⊥-loads impossible from now on
+        self._bottom_dead: set = set()
+
+        #: high-water mark of simultaneously live nodes (measured
+        #: bandwidth; compare with bounds.bandwidth_bound)
+        self.max_live = 0
+
+    # ------------------------------------------------------------------
+    # ID pool
+    # ------------------------------------------------------------------
+    def _alloc_id(self) -> int:
+        if self._free_ids:
+            return heapq.heappop(self._free_ids)
+        self._ids_allocated += 1
+        return self._ids_allocated
+
+    def _free_handle(self, h: Handle, out: List[Symbol]) -> None:
+        ident = self._id.pop(h)
+        heapq.heappush(self._free_ids, ident)
+        if self.eager_free:
+            out.append(FreeIdSym(ident))
+        self._op.pop(h, None)
+        self._succ.pop(h, None)
+        for block in [b for b, x in self._head_of_block.items() if x == h]:
+            del self._head_of_block[block]
+        # a freed node can no longer be a forced-edge target; any ST
+        # still pointing at it is no longer inh-active (else h would
+        # have been a root), so the successor record is moot
+        for u in [u for u, s in self._succ.items() if s == h]:
+            del self._succ[u]
+
+    @property
+    def ids_in_use(self) -> int:
+        return len(self._id)
+
+    @property
+    def max_ids_allocated(self) -> int:
+        """Size of the ID pool ever needed — the k of the emitted
+        k-graph descriptor (minus one)."""
+        return self._ids_allocated
+
+    # ------------------------------------------------------------------
+    # node creation
+    # ------------------------------------------------------------------
+    def _new_node(self, op: Operation, out: List[Symbol]) -> Handle:
+        h = self._next_handle
+        self._next_handle += 1
+        ident = self._alloc_id()
+        self._op[h] = op
+        self._id[h] = ident
+        out.append(NodeSym(ident, op))
+        return h
+
+    def _edge(self, u: Handle, v: Handle, kind: EdgeKind, edges: Dict) -> None:
+        """Stage an edge emission; same-pair annotations within one
+        protocol step merge into the paper's combined labels
+        (``po-inh``, ``po-STo``, ...)."""
+        key = (self._id[u], self._id[v])
+        edges[key] = edges.get(key, EdgeKind.NONE) | kind
+
+    # ------------------------------------------------------------------
+    # the main step
+    # ------------------------------------------------------------------
+    def on_transition(self, transition: Transition) -> List[Symbol]:
+        """Process one protocol step; returns the symbols it emits."""
+        out: List[Symbol] = []
+        edges: Dict[Tuple[int, int], EdgeKind] = {}
+        action = transition.action
+        tracking = transition.tracking
+
+        if isinstance(action, Store):
+            h = self._new_node(action, out)
+            self._po_edge(action.proc, h, edges)
+            l = tracking.location
+            if l is None:
+                raise ValueError(f"ST transition without a location label: {action!r}")
+            self._loc[l] = h
+            if tracking.copies:
+                # write-through fan-out: copies apply after the store's
+                # own write (post-store snapshot)
+                snapshot = dict(self._loc)
+                for dst, src_l in tracking.copies.items():
+                    self._loc[dst] = None if src_l == FRESH else snapshot[src_l]
+            for ev in self.gen.on_store(h, action):
+                self._serialize(ev, edges)
+        elif isinstance(action, Load):
+            h = self._new_node(action, out)
+            self._po_edge(action.proc, h, edges)
+            l = tracking.location
+            if l is None:
+                raise ValueError(f"LD transition without a location label: {action!r}")
+            src = self._loc[l]
+            if self.self_check and self.violation is None:
+                if src is None:
+                    if action.value != BOTTOM:
+                        self.violation = (
+                            f"{action!r} returns a value, but location {l} "
+                            f"holds no ST's value (⊥)"
+                        )
+                else:
+                    sop = self._op[src]
+                    if sop.block != action.block or sop.value != action.value:
+                        self.violation = (
+                            f"{action!r} reads location {l}, which holds the "
+                            f"value of {sop!r}"
+                        )
+                    elif action.value == BOTTOM:
+                        self.violation = f"{action!r} is a ⊥-load of a tracked ST value"
+            if src is not None:
+                self._edge(src, h, EdgeKind.INH, edges)
+                succ = self._succ.get(src)
+                if succ is not None:
+                    self._edge(h, succ, EdgeKind.FORCED, edges)
+                else:
+                    self._pending_load[(action.proc, src)] = h
+            else:
+                if action.block in self._bottom_dead:
+                    raise ValueError(
+                        f"{action!r}: protocol reported may_load_bottom("
+                        f"block={action.block}) False earlier, yet a ⊥-load "
+                        f"occurred — the override is not monotone/sound"
+                    )
+                head = self._head_of_block.get(action.block)
+                if head is not None:
+                    self._edge(h, head, EdgeKind.FORCED, edges)
+                else:
+                    self._pending_bottom[(action.proc, action.block)] = h
+        else:
+            assert isinstance(action, InternalAction)
+            if tracking.copies:
+                snapshot = dict(self._loc)
+                for l, src_l in tracking.copies.items():
+                    self._loc[l] = None if src_l == FRESH else snapshot[src_l]
+            for ev in self.gen.on_internal(action):
+                self._serialize(ev, edges)
+
+        out.extend(EdgeSym(u, v, kind) for (u, v), kind in edges.items())
+        if self.unpin_heads:
+            for block in range(1, self.protocol.b + 1):
+                if block not in self._bottom_dead and not self.protocol.may_load_bottom(
+                    transition.state, block
+                ):
+                    self._bottom_dead.add(block)
+        self._collect_garbage(out)
+        live = len(self._id)
+        if live > self.max_live:
+            self.max_live = live
+        return out
+
+    def _po_edge(self, proc: int, h: Handle, edges: Dict) -> None:
+        prev = self._last_of_proc.get(proc)
+        if prev is not None:
+            self._edge(prev, h, EdgeKind.PO, edges)
+        self._last_of_proc[proc] = h
+
+    def _serialize(self, ev: Serialized, edges: Dict) -> None:
+        """ST node ``ev.handle`` takes the next slot in its block's
+        total ST order."""
+        h, block = ev.handle, ev.block
+        tail = self._tail_of_block.get(block)
+        if tail is None:
+            # h is the first ST in the block's ST order: resolve the
+            # ⊥-load obligations of constraint 5(b)
+            self._head_of_block[block] = h
+            for key in [k for k in self._pending_bottom if k[1] == block]:
+                ld = self._pending_bottom.pop(key)
+                self._edge(ld, h, EdgeKind.FORCED, edges)
+        else:
+            self._edge(tail, h, EdgeKind.STO, edges)
+            self._succ[tail] = h
+            # tracked LDs inheriting from the old tail now know their
+            # forced-edge target (Theorem 4.1, release condition (ii))
+            for key in [k for k in self._pending_load if k[1] == tail]:
+                ld = self._pending_load.pop(key)
+                self._edge(ld, h, EdgeKind.FORCED, edges)
+        self._tail_of_block[block] = h
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def _roots(self) -> Set[Handle]:
+        roots: Set[Handle] = set()
+        roots.update(self._last_of_proc.values())
+        inh_active = {h for h in self._loc.values() if h is not None}
+        roots.update(inh_active)
+        # the STo-successor of an inh-active ST is a future forced-edge
+        # target and must stay addressable
+        for h in inh_active:
+            s = self._succ.get(h)
+            if s is not None:
+                roots.add(s)
+        roots.update(self.gen.live_handles())
+        roots.update(self._tail_of_block.values())
+        # block heads stay live as long as ⊥ views of the block may
+        # still be loaded (they are the forced-edge targets of future
+        # ⊥-loads); the protocol's may_load_bottom bounds that window
+        for block, h in self._head_of_block.items():
+            if block not in self._bottom_dead:
+                roots.add(h)
+        roots.update(self._pending_load.values())
+        roots.update(self._pending_bottom.values())
+        return roots
+
+    def _collect_garbage(self, out: List[Symbol]) -> None:
+        roots = self._roots()
+        for h in [h for h in self._id if h not in roots]:
+            self._free_handle(h, out)
+
+    # ------------------------------------------------------------------
+    # forking and canonical state
+    # ------------------------------------------------------------------
+    def fork(self) -> "Observer":
+        other = Observer.__new__(Observer)
+        other.protocol = self.protocol
+        other.gen = self.gen.copy()
+        other._next_handle = self._next_handle
+        other._op = dict(self._op)
+        other._id = dict(self._id)
+        other._free_ids = list(self._free_ids)
+        other._ids_allocated = self._ids_allocated
+        other._loc = dict(self._loc)
+        other._last_of_proc = dict(self._last_of_proc)
+        other._tail_of_block = dict(self._tail_of_block)
+        other._head_of_block = dict(self._head_of_block)
+        other._succ = dict(self._succ)
+        other._pending_load = dict(self._pending_load)
+        other._pending_bottom = dict(self._pending_bottom)
+        other._bottom_dead = set(self._bottom_dead)
+        other.eager_free = self.eager_free
+        other.unpin_heads = self.unpin_heads
+        other.max_live = self.max_live
+        other.self_check = self.self_check
+        other.violation = self.violation
+        return other
+
+    def canonical_renaming(self) -> Dict[int, int]:
+        """A deterministic renaming ``descriptor ID -> 0..n-1``.
+
+        Two joint exploration states that agree up to a permutation of
+        descriptor IDs behave identically up to that permutation, so
+        the model checker keys states under this renaming.  It is built
+        by walking the observer's role slots in a fixed order (location
+        map, per-processor last nodes, block tails/heads, generator
+        FIFOs, pending obligations); every live node fills at least one
+        role (that is what keeps it alive), so the walk covers all IDs.
+        """
+        canon: Dict[int, int] = {}
+
+        def visit(h: Optional[Handle]) -> None:
+            if h is None:
+                return
+            i = self._id[h]
+            if i not in canon:
+                canon[i] = len(canon)
+
+        for l in sorted(self._loc):
+            visit(self._loc[l])
+        for p in sorted(self._last_of_proc):
+            visit(self._last_of_proc[p])
+        for b in sorted(self._tail_of_block):
+            visit(self._tail_of_block[b])
+        for b in sorted(self._head_of_block):
+            visit(self._head_of_block[b])
+        for h in sorted(self.gen.live_handles()):
+            visit(h)
+        for u in sorted(self._succ, key=lambda x: self._id[x]):
+            visit(self._succ[u])
+        for key in sorted(self._pending_load, key=lambda k: (k[0], self._id[k[1]])):
+            visit(self._pending_load[key])
+        for key in sorted(self._pending_bottom):
+            visit(self._pending_bottom[key])
+        # safety net: anything still unnamed (should not happen)
+        for h in sorted(self._id):
+            visit(h)
+        return canon
+
+    def state_key(self, canon: Optional[Dict[int, int]] = None) -> Tuple:
+        """Canonical hashable state under an ID renaming (defaults to
+        :meth:`canonical_renaming`).
+
+        Operation labels are deliberately *not* part of the key: the
+        observer never reads them back, so states differing only in
+        dead history merge.  The exception is self-check mode, whose
+        future behaviour depends on the (block, value) each location's
+        ST wrote — those are included then.
+        """
+        if canon is None:
+            canon = self.canonical_renaming()
+
+        def rn(h: Optional[Handle]):
+            return None if h is None else canon[self._id[h]]
+
+        loc_data: Tuple = ()
+        if self.self_check:
+            loc_data = tuple(
+                (
+                    None
+                    if self._loc[l] is None
+                    else (self._op[self._loc[l]].block, self._op[self._loc[l]].value)
+                )
+                for l in sorted(self._loc)
+            )
+        return (
+            self.violation,
+            loc_data,
+            tuple(rn(self._loc[l]) for l in sorted(self._loc)),
+            tuple(sorted((p, rn(h)) for p, h in self._last_of_proc.items())),
+            tuple(sorted((b, rn(h)) for b, h in self._tail_of_block.items())),
+            tuple(sorted((b, rn(h)) for b, h in self._head_of_block.items())),
+            tuple(sorted((rn(u), rn(v)) for u, v in self._succ.items())),
+            tuple(sorted(((p, rn(s)), rn(h)) for (p, s), h in self._pending_load.items())),
+            tuple(sorted((k, rn(h)) for k, h in self._pending_bottom.items())),
+            tuple(sorted(self._bottom_dead)),
+            self.gen.state_key(lambda h: canon[self._id[h]]),
+        )

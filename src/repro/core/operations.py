@@ -1,0 +1,185 @@
+"""Memory operations, internal actions, and traces (Section 2.1).
+
+A protocol's alphabet splits into the *trace alphabet*
+``A = LD(*,*,*) ∪ ST(*,*,*)`` and the internal alphabet ``A'`` of
+everything else (bus transactions, queue pops, writebacks, ...).  The
+paper's ``*`` wildcard sets are provided by :func:`ld_set` /
+:func:`st_set`.
+
+Conventions throughout the library:
+
+* processors are numbered ``1..p``, blocks ``1..b``, values ``1..v``;
+* the initial value ``⊥`` is represented by :data:`BOTTOM` (``0``) —
+  a LD may return it, a ST may never write it;
+* a *trace* is a tuple of :class:`Load`/:class:`Store`;
+* a *run* is a tuple of operations and :class:`InternalAction` s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "BOTTOM",
+    "Operation",
+    "Load",
+    "Store",
+    "InternalAction",
+    "Action",
+    "Trace",
+    "Run",
+    "LD",
+    "ST",
+    "ld_set",
+    "st_set",
+    "trace_of_run",
+    "ops_of_processor",
+    "stores_to_block",
+    "format_trace",
+    "parse_operation",
+    "validate_operation",
+]
+
+#: The initial ("undefined") value of every memory block.  A load that
+#: observes memory never written returns :data:`BOTTOM`.
+BOTTOM = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """Common shape of LD and ST: a (processor, block, value) triple."""
+
+    proc: int
+    block: int
+    value: int
+
+    @property
+    def is_load(self) -> bool:
+        return isinstance(self, Load)
+
+    @property
+    def is_store(self) -> bool:
+        return isinstance(self, Store)
+
+
+@dataclass(frozen=True, slots=True)
+class Load(Operation):
+    """``LD(P, B, V)`` — processor ``P`` reads value ``V`` from block
+    ``B``.  ``V`` may be :data:`BOTTOM`."""
+
+    def __repr__(self) -> str:
+        v = "⊥" if self.value == BOTTOM else self.value
+        return f"LD(P{self.proc},B{self.block},{v})"
+
+
+@dataclass(frozen=True, slots=True)
+class Store(Operation):
+    """``ST(P, B, V)`` — processor ``P`` writes value ``V`` to block
+    ``B``.  ``V`` must be a real value (never :data:`BOTTOM`)."""
+
+    def __repr__(self) -> str:
+        return f"ST(P{self.proc},B{self.block},{self.value})"
+
+
+@dataclass(frozen=True, slots=True)
+class InternalAction:
+    """An action in ``A'`` — invisible in the trace.
+
+    ``name`` identifies the kind of step (``"BusRdX"``,
+    ``"memory-write"``, ...); ``args`` carries its parameters.
+    """
+
+    name: str
+    args: Tuple = ()
+
+    def __repr__(self) -> str:
+        inner = ",".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+Action = Union[Operation, InternalAction]
+Trace = Tuple[Operation, ...]
+Run = Tuple[Action, ...]
+
+
+def LD(proc: int, block: int, value: int) -> Load:
+    """Terse constructor matching the paper's notation."""
+    return Load(proc, block, value)
+
+
+def ST(proc: int, block: int, value: int) -> Store:
+    """Terse constructor matching the paper's notation."""
+    return Store(proc, block, value)
+
+
+def ld_set(p: int, b: int, v: int, *, include_bottom: bool = True) -> Set[Load]:
+    """The wildcard set ``LD(*,*,*)`` for given parameter bounds."""
+    values = range(0 if include_bottom else 1, v + 1)
+    return {Load(P, B, V) for P in range(1, p + 1) for B in range(1, b + 1) for V in values}
+
+
+def st_set(p: int, b: int, v: int) -> Set[Store]:
+    """The wildcard set ``ST(*,*,*)`` for given parameter bounds."""
+    return {Store(P, B, V) for P in range(1, p + 1) for B in range(1, b + 1) for V in range(1, v + 1)}
+
+
+def trace_of_run(run: Iterable[Action]) -> Trace:
+    """Project a run onto its trace: the subsequence of LD/ST actions."""
+    return tuple(a for a in run if isinstance(a, Operation))
+
+
+def ops_of_processor(trace: Sequence[Operation], proc: int) -> Tuple[int, ...]:
+    """Indices (1-based, trace order) of processor ``proc``'s operations."""
+    return tuple(i for i, op in enumerate(trace, start=1) if op.proc == proc)
+
+
+def stores_to_block(trace: Sequence[Operation], block: int) -> Tuple[int, ...]:
+    """Indices (1-based, trace order) of the STs to ``block``."""
+    return tuple(
+        i for i, op in enumerate(trace, start=1) if op.is_store and op.block == block
+    )
+
+
+def format_trace(trace: Sequence[Operation]) -> str:
+    """One-line human-readable rendering, numbered from 1."""
+    return " ".join(f"{i}:{op!r}" for i, op in enumerate(trace, start=1))
+
+
+_OP_RE = None
+
+
+def parse_operation(text: str) -> Operation:
+    """Parse the ``repr`` notation back into an operation:
+    ``"ST(P1,B2,3)"`` → ``Store(1, 2, 3)``, ``"LD(P2,B1,⊥)"`` →
+    ``Load(2, 1, 0)`` (``"bot"`` and ``"0"`` also mean ⊥)."""
+    global _OP_RE
+    if _OP_RE is None:
+        import re
+
+        _OP_RE = re.compile(r"^\s*(LD|ST)\(\s*P(\d+)\s*,\s*B(\d+)\s*,\s*(⊥|bot|\d+)\s*\)\s*$")
+    m = _OP_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse operation {text!r}")
+    kind, proc, block, value = m.groups()
+    val = BOTTOM if value in ("⊥", "bot") else int(value)
+    if kind == "ST":
+        if val == BOTTOM:
+            raise ValueError("a ST cannot write ⊥")
+        return Store(int(proc), int(block), val)
+    return Load(int(proc), int(block), val)
+
+
+def validate_operation(op: Operation, p: int, b: int, v: int) -> None:
+    """Raise ``ValueError`` if ``op`` is outside the (p, b, v) bounds or
+    is a ST of ⊥."""
+    if not 1 <= op.proc <= p:
+        raise ValueError(f"{op!r}: processor out of range 1..{p}")
+    if not 1 <= op.block <= b:
+        raise ValueError(f"{op!r}: block out of range 1..{b}")
+    if op.is_store:
+        if not 1 <= op.value <= v:
+            raise ValueError(f"{op!r}: ST value out of range 1..{v}")
+    else:
+        if not 0 <= op.value <= v:
+            raise ValueError(f"{op!r}: LD value out of range 0..{v}")

@@ -1,0 +1,140 @@
+"""Serial traces and serial reorderings (Section 2.2).
+
+A trace is *serial* when every LD returns the value of the most recent
+prior ST to the same block (⊥ if there is none).  A *serial reordering*
+of a trace ``T`` is a permutation Π that preserves each processor's
+program order and whose reordered trace is serial; a protocol is
+sequentially consistent iff every trace has one.
+
+This module gives the direct (non-graph) definitions plus a
+brute-force search for a serial reordering.  The search memoises on
+(per-processor positions, memory contents), which is exactly the
+product automaton of "merge the program orders" × "serial memory" —
+exponential in the worst case but exact; it serves as the ground-truth
+oracle against which the constraint-graph machinery is tested, and as
+the baseline in the Gibbons–Korach benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .operations import BOTTOM, Operation, Trace
+
+__all__ = [
+    "is_serial_trace",
+    "apply_reordering",
+    "is_serial_reordering",
+    "find_serial_reordering",
+    "is_sequentially_consistent_trace",
+]
+
+
+def is_serial_trace(trace: Sequence[Operation]) -> bool:
+    """Section 2.2's serial-trace predicate, evaluated with a single
+    left-to-right sweep carrying the memory contents."""
+    mem: Dict[int, int] = {}
+    for op in trace:
+        if op.is_store:
+            mem[op.block] = op.value
+        else:
+            if mem.get(op.block, BOTTOM) != op.value:
+                return False
+    return True
+
+
+def apply_reordering(trace: Sequence[Operation], perm: Sequence[int]) -> Trace:
+    """``T' = t_{π(1)}, ..., t_{π(k)}`` for a 1-based permutation π."""
+    if sorted(perm) != list(range(1, len(trace) + 1)):
+        raise ValueError("perm is not a permutation of 1..len(trace)")
+    return tuple(trace[i - 1] for i in perm)
+
+
+def _preserves_program_order(trace: Sequence[Operation], perm: Sequence[int]) -> bool:
+    """For each processor, the relative order of its operations in the
+    reordered trace must equal their trace order."""
+    last_seen: Dict[int, int] = {}
+    for idx in perm:  # idx is the trace position appearing next in T'
+        op = trace[idx - 1]
+        if last_seen.get(op.proc, 0) > idx:
+            return False
+        last_seen[op.proc] = idx
+    return True
+
+
+def is_serial_reordering(trace: Sequence[Operation], perm: Sequence[int]) -> bool:
+    """Both conditions of Section 2.2: program order preserved and the
+    reordered trace serial."""
+    return _preserves_program_order(trace, perm) and is_serial_trace(
+        apply_reordering(trace, perm)
+    )
+
+
+def find_serial_reordering(trace: Sequence[Operation]) -> Optional[List[int]]:
+    """Search for a serial reordering; ``None`` if none exists.
+
+    Depth-first over partial interleavings of the per-processor
+    streams.  State = (next index per processor, memory contents);
+    failed states are memoised so each is expanded once.  Worst case is
+    exponential in the number of processors' interleavings — this is
+    the VSC problem, NP-hard in general (Gibbons & Korach) — but small
+    traces (tests, litmus programs, short protocol runs) are fine.
+    """
+    procs = sorted({op.proc for op in trace})
+    streams: Dict[int, List[int]] = {P: [] for P in procs}
+    for i, op in enumerate(trace, start=1):
+        streams[op.proc].append(i)
+
+    n = len(trace)
+    failed: set = set()
+    pos: Dict[int, int] = {P: 0 for P in procs}
+    mem: Dict[int, int] = {}
+    out: List[int] = []
+
+    def key() -> Tuple:
+        return (tuple(pos[P] for P in procs), tuple(sorted(mem.items())))
+
+    def rec() -> bool:
+        if len(out) == n:
+            return True
+        k = key()
+        if k in failed:
+            return False
+        for P in procs:
+            i = pos[P]
+            if i >= len(streams[P]):
+                continue
+            t_idx = streams[P][i]
+            op = trace[t_idx - 1]
+            if op.is_store:
+                old = mem.get(op.block)
+                had = op.block in mem
+                mem[op.block] = op.value
+                pos[P] = i + 1
+                out.append(t_idx)
+                if rec():
+                    return True
+                out.pop()
+                pos[P] = i
+                if had:
+                    mem[op.block] = old  # type: ignore[assignment]
+                else:
+                    del mem[op.block]
+            else:
+                if mem.get(op.block, BOTTOM) != op.value:
+                    continue
+                pos[P] = i + 1
+                out.append(t_idx)
+                if rec():
+                    return True
+                out.pop()
+                pos[P] = i
+        failed.add(k)
+        return False
+
+    return list(out) if rec() else None
+
+
+def is_sequentially_consistent_trace(trace: Sequence[Operation]) -> bool:
+    """``True`` iff the trace admits a serial reordering."""
+    return find_serial_reordering(trace) is not None

@@ -1,0 +1,151 @@
+"""ST-order generators (Section 4.2).
+
+A *ST order generator* decides, as a finite-state function of the run,
+the total order in which the STs to each block are serialised.  The
+generator does not emit graph edges itself; it emits
+:class:`Serialized` events — "this ST node is the next one in its
+block's total order" — and the observer turns those into STo edges,
+identifies each block's STo head, and discharges forced-edge
+obligations.
+
+Two generators cover every protocol in this repository (and, the paper
+argues, every realistic protocol):
+
+* :class:`RealTimeSTOrder` — the ``|G| = 0`` case: the serialisation
+  order *is* the trace order of STs.  True of almost all implemented
+  protocols.
+* :class:`WriteOrderSTOrder` — serialisation happens at a designated
+  internal action (Lazy Caching's ``memory-write``, a store buffer's
+  ``flush``): per-processor FIFOs of unserialised ST nodes are popped
+  as those actions fire.  This is the paper's Lazy-Caching generator.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from .operations import InternalAction, Store
+
+__all__ = ["Serialized", "STOrderGenerator", "RealTimeSTOrder", "WriteOrderSTOrder"]
+
+Handle = int  # observer node handles (opaque ints)
+
+
+@dataclass(frozen=True, slots=True)
+class Serialized:
+    """Event: ST node ``handle`` (a ST to ``block``) takes the next
+    position in ``block``'s total ST order."""
+
+    handle: Handle
+    block: int
+
+
+class STOrderGenerator(abc.ABC):
+    """Finite-state serialisation-order oracle.
+
+    The observer calls :meth:`on_store` when a ST trace operation
+    creates a node, and :meth:`on_internal` for every internal action;
+    both return the :class:`Serialized` events that the step resolves,
+    in order.
+    """
+
+    @abc.abstractmethod
+    def on_store(self, handle: Handle, op: Store) -> List[Serialized]:
+        """A new ST node was created."""
+
+    @abc.abstractmethod
+    def on_internal(self, action: InternalAction) -> List[Serialized]:
+        """An internal protocol action occurred."""
+
+    @abc.abstractmethod
+    def live_handles(self) -> Set[Handle]:
+        """Node handles the generator still references (these must keep
+        their descriptor IDs until serialised)."""
+
+    @abc.abstractmethod
+    def state_key(self, rename: Callable[[Handle], int] = lambda h: h) -> Tuple:
+        """Hashable snapshot of generator state.  ``rename`` maps node
+        handles to canonical names (the observer passes its
+        handle-to-descriptor-ID map so keys are run-independent)."""
+
+    def copy(self) -> "STOrderGenerator":
+        """Independent copy (used when the model checker forks)."""
+        raise NotImplementedError
+
+    @property
+    def is_drained(self) -> bool:
+        """No ST is awaiting serialisation (part of quiescence)."""
+        return not self.live_handles()
+
+
+class RealTimeSTOrder(STOrderGenerator):
+    """The trivial generator (``|G| = 0``): STs serialise in trace
+    order, per block, at the instant they execute.  Stateless."""
+
+    def on_store(self, handle: Handle, op: Store) -> List[Serialized]:
+        return [Serialized(handle, op.block)]
+
+    def on_internal(self, action: InternalAction) -> List[Serialized]:
+        return []
+
+    def live_handles(self) -> Set[Handle]:
+        return set()
+
+    def state_key(self, rename: Callable[[Handle], int] = lambda h: h) -> Tuple:
+        return ("real-time",)
+
+    def copy(self) -> "RealTimeSTOrder":
+        return self
+
+
+class WriteOrderSTOrder(STOrderGenerator):
+    """Serialisation at designated internal actions (Section 4.2's
+    Lazy-Caching generator, generalised).
+
+    ``serialize_proc(action)`` inspects an internal action and returns
+    the processor whose *oldest unserialised ST* it serialises (e.g.
+    Lazy Caching's ``memory-write(P)`` → ``P``), or ``None`` if the
+    action serialises nothing.  Per-processor FIFOs mirror the
+    protocol's buffers/queues; their depth — and hence the generator's
+    state — is bounded by the protocol's own queue capacity.
+    """
+
+    def __init__(self, serialize_proc: Callable[[InternalAction], Optional[int]]):
+        self._serialize_proc = serialize_proc
+        self._fifo: Dict[int, Deque[Tuple[Handle, int]]] = {}
+
+    def on_store(self, handle: Handle, op: Store) -> List[Serialized]:
+        self._fifo.setdefault(op.proc, deque()).append((handle, op.block))
+        return []
+
+    def on_internal(self, action: InternalAction) -> List[Serialized]:
+        proc = self._serialize_proc(action)
+        if proc is None:
+            return []
+        fifo = self._fifo.get(proc)
+        if not fifo:
+            raise ValueError(
+                f"{action!r} serialises a ST of processor {proc}, but the "
+                f"generator has none pending — serialize_proc is out of "
+                f"sync with the protocol"
+            )
+        handle, block = fifo.popleft()
+        return [Serialized(handle, block)]
+
+    def live_handles(self) -> Set[Handle]:
+        return {h for fifo in self._fifo.values() for (h, _) in fifo}
+
+    def state_key(self, rename: Callable[[Handle], int] = lambda h: h) -> Tuple:
+        return tuple(
+            (proc, tuple((rename(h), blk) for (h, blk) in fifo))
+            for proc, fifo in sorted(self._fifo.items())
+            if fifo
+        )
+
+    def copy(self) -> "WriteOrderSTOrder":
+        g = WriteOrderSTOrder(self._serialize_proc)
+        g._fifo = {proc: deque(fifo) for proc, fifo in self._fifo.items()}
+        return g

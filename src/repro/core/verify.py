@@ -1,0 +1,159 @@
+"""The end-to-end verification pipeline (Figure 2).
+
+``verify_protocol`` is the library's headline entry point: given a
+protocol (with tracking labels) and optionally a ST-order generator,
+it model-checks the protocol × observer × checker product and returns
+a verdict — the protocol is in the class Γ (hence sequentially
+consistent) with respect to those tracking functions and that
+generator, or a counterexample run is produced.
+
+A rejection means *this observer is not a witness*; for protocols with
+correct tracking labels and generator, that is equivalent to an SC
+violation in practice, and every non-SC protocol is rejected no matter
+the observer (an acyclic constraint graph for a non-SC trace cannot
+exist, Lemma 3.1).
+
+``check_run`` supports the Section 5 testing scenario: feed one
+concrete run (e.g. from a random simulation too big to model-check)
+through observer + checker and report whether its witness graph is an
+acyclic constraint graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..modelcheck.counterexample import Counterexample
+from ..modelcheck.product import ProductResult, explore_product
+from ..modelcheck.stats import ExplorationStats
+from .checker import Checker
+from .descriptor import Symbol
+from .observer import Observer
+from .operations import Action
+from .protocol import Protocol
+from .storder import STOrderGenerator
+
+__all__ = ["VerificationResult", "verify_protocol", "check_run", "RunCheck"]
+
+
+@dataclass
+class VerificationResult:
+    """Verdict of :func:`verify_protocol`."""
+
+    protocol: str
+    sequentially_consistent: bool
+    complete: bool  #: False when caps truncated the search
+    counterexample: Optional[Counterexample]
+    stats: ExplorationStats
+    non_quiescible: int = 0
+
+    @property
+    def verdict(self) -> str:
+        if self.counterexample is not None:
+            return "NOT SC (counterexample found)"
+        if self.non_quiescible:
+            return "INCONCLUSIVE (quiescence unreachable from some states)"
+        if not self.complete:
+            return "NO VIOLATION (bounded search)"
+        return "SEQUENTIALLY CONSISTENT (in Γ)"
+
+    def summary(self) -> str:
+        s = self.stats
+        return (
+            f"{self.protocol}: {self.verdict} — {s.states} joint states, "
+            f"{s.transitions} transitions, {s.quiescent_states} quiescent, "
+            f"max {s.max_live_nodes} live graph nodes "
+            f"({s.max_descriptor_ids} descriptor IDs)"
+        )
+
+
+def verify_protocol(
+    protocol: Protocol,
+    st_order: Optional[STOrderGenerator] = None,
+    *,
+    mode: str = "fast",
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+) -> VerificationResult:
+    """Model-check sequential consistency of ``protocol``.
+
+    Uses the real-time ST order generator (the ``|G| = 0`` case that
+    all implemented protocols satisfy) unless ``st_order`` is given.
+    With no caps, termination is guaranteed because the joint state
+    space is finite for protocols in Γ; caps turn the run into a
+    bounded search with a correspondingly weaker verdict.
+
+    ``mode="fast"`` (default) checks the protocol-dependent conditions
+    only (acyclicity + tracking consistency), relying on Theorem 4.1
+    for the structural constraints the observer guarantees by
+    construction; ``mode="full"`` carries the paper's complete
+    protocol-independent checker through the product — same verdicts,
+    far more joint states (see
+    :func:`repro.modelcheck.product.explore_product`).
+    """
+    res: ProductResult = explore_product(
+        protocol,
+        st_order,
+        mode=mode,
+        max_states=max_states,
+        max_depth=max_depth,
+    )
+    return VerificationResult(
+        protocol=protocol.describe(),
+        sequentially_consistent=res.ok,
+        complete=not res.stats.truncated,
+        counterexample=res.counterexample,
+        stats=res.stats,
+        non_quiescible=res.non_quiescible,
+    )
+
+
+@dataclass
+class RunCheck:
+    """Verdict of :func:`check_run` on one concrete run."""
+
+    ok: bool
+    reason: Optional[str]
+    symbols: Tuple[Symbol, ...]
+    quiescent_end: bool
+
+    @property
+    def verdict(self) -> str:
+        if self.ok:
+            return "run consistent" + ("" if self.quiescent_end else " (non-quiescent end; partial check)")
+        return f"violation: {self.reason}"
+
+
+def check_run(
+    protocol: Protocol,
+    run: Iterable[Action],
+    st_order: Optional[STOrderGenerator] = None,
+) -> RunCheck:
+    """Check a single run (the testing scenario of Section 5).
+
+    Replays ``run`` on the protocol, streams the observer's witness
+    descriptor into the checker, and evaluates end conditions if the
+    run ends quiescent (for a non-quiescent end, only the eager safety
+    checks apply — serialisation obligations may legitimately still be
+    open).
+    """
+    observer = Observer(protocol, st_order.copy() if st_order is not None else None)
+    checker = Checker()
+    state = protocol.initial_state()
+    symbols: List[Symbol] = []
+    for i, action in enumerate(run):
+        for t in protocol.transitions(state):
+            if t.action == action:
+                break
+        else:
+            raise ValueError(f"action #{i} ({action!r}) is not enabled — not a run")
+        syms = observer.on_transition(t)
+        symbols.extend(syms)
+        if not checker.feed_all(syms):
+            return RunCheck(False, checker.violations()[0], tuple(symbols), False)
+        state = t.state
+    quiescent = protocol.is_quiescent(state)
+    if quiescent and not checker.accepts_at_end():
+        return RunCheck(False, checker.violations()[0], tuple(symbols), True)
+    return RunCheck(True, None, tuple(symbols), quiescent)

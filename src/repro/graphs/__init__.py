@@ -1,0 +1,20 @@
+"""Directed-graph substrate: container, cycle tests, topological sorts,
+and the node-bandwidth measure of Section 3.2."""
+
+from .bandwidth import active_profile, is_k_bandwidth_bounded, node_bandwidth
+from .cycles import find_cycle, has_cycle, would_close_cycle
+from .digraph import Digraph
+from .toposort import CycleError, all_topological_sorts, topological_sort
+
+__all__ = [
+    "Digraph",
+    "find_cycle",
+    "has_cycle",
+    "would_close_cycle",
+    "CycleError",
+    "topological_sort",
+    "all_topological_sorts",
+    "node_bandwidth",
+    "active_profile",
+    "is_k_bandwidth_bounded",
+]

@@ -1,0 +1,71 @@
+"""Node-bandwidth of an ordered graph (Section 3.2 of the paper).
+
+A graph with node set ``{1..n}`` is *k-node-bandwidth bounded* if for
+every prefix ``N_i = {1..i}`` at most ``k`` nodes of ``N_i`` have edges
+to or from the suffix ``{i+1..n}``.  Note this counts *nodes*, not
+edges — a single boundary node with many crossing edges costs 1.
+
+The definition is directional-agnostic: an edge in either direction
+across the cut makes its prefix endpoint "active".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .digraph import Digraph
+
+__all__ = ["node_bandwidth", "active_profile", "is_k_bandwidth_bounded"]
+
+
+def _last_crossing(g: Digraph, n: int) -> Dict[int, int]:
+    """For each node ``u`` the largest neighbour index (either
+    direction); ``u`` itself if isolated."""
+    last: Dict[int, int] = {}
+    for u in range(1, n + 1):
+        m = u
+        for v in g.successors(u):
+            if v > m:
+                m = v
+        for v in g.predecessors(u):
+            if v > m:
+                m = v
+        last[u] = m
+    return last
+
+
+def active_profile(g: Digraph, n: int | None = None) -> List[int]:
+    """``profile[i-1]`` = number of nodes in ``N_i`` with an edge across
+    the cut ``(N_i, N_n - N_i)``.
+
+    Nodes must be the integers ``1..n``; ``n`` defaults to ``len(g)``.
+    A node ``u`` crosses cut ``i`` iff ``u <= i < last_neighbour(u)``,
+    so the profile is computed in O(V + E) with a sweep.
+    """
+    if n is None:
+        n = len(g)
+    last = _last_crossing(g, n)
+    # diff[i] accumulates +1 at u, -1 at last[u] for nodes with last > u
+    diff = [0] * (n + 2)
+    for u in range(1, n + 1):
+        if last[u] > u:
+            diff[u] += 1
+            diff[last[u]] -= 1
+    profile: List[int] = []
+    run = 0
+    for i in range(1, n + 1):
+        run += diff[i]
+        profile.append(run)
+    return profile
+
+
+def node_bandwidth(g: Digraph, n: int | None = None) -> int:
+    """The smallest ``k`` such that ``g`` (with its given ``1..n``
+    ordering) is k-node-bandwidth bounded.  0 for edgeless graphs."""
+    prof = active_profile(g, n)
+    return max(prof, default=0)
+
+
+def is_k_bandwidth_bounded(g: Digraph, k: int, n: int | None = None) -> bool:
+    """Check the Section 3.2 property directly."""
+    return node_bandwidth(g, n) <= k

@@ -1,0 +1,74 @@
+"""Cycle detection for :class:`~repro.graphs.digraph.Digraph`.
+
+The full (unbounded) constraint graph of a trace is checked for
+acyclicity here when an offline answer is wanted (tests, Lemma 3.1
+oracle, the per-trace Gibbons–Korach checker).  The *streaming*
+finite-state equivalent lives in :mod:`repro.core.cycle_checker`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from .digraph import Digraph
+
+__all__ = ["has_cycle", "find_cycle", "would_close_cycle"]
+
+_WHITE, _GRAY, _BLACK = 0, 1, 2
+
+
+def find_cycle(g: Digraph) -> Optional[List[Hashable]]:
+    """Return one cycle as a node list ``[v0, v1, ..., v0]``, or ``None``.
+
+    Iterative colouring DFS (the graphs involved can be long chains —
+    a trace of 10^5 operations yields recursion depths Python cannot
+    handle).
+    """
+    colour = {u: _WHITE for u in g.nodes()}
+    parent: dict = {}
+    for root in g.nodes():
+        if colour[root] != _WHITE:
+            continue
+        stack: List[tuple] = [(root, iter(tuple(g.successors(root))))]
+        colour[root] = _GRAY
+        while stack:
+            u, it = stack[-1]
+            advanced = False
+            for v in it:
+                if colour[v] == _WHITE:
+                    colour[v] = _GRAY
+                    parent[v] = u
+                    stack.append((v, iter(tuple(g.successors(v)))))
+                    advanced = True
+                    break
+                if colour[v] == _GRAY:
+                    # back edge u -> v closes a cycle v ... u v
+                    cycle = [v]
+                    w = u
+                    while w != v:
+                        cycle.append(w)
+                        w = parent[w]
+                    cycle.append(v)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                colour[u] = _BLACK
+                stack.pop()
+    return None
+
+
+def has_cycle(g: Digraph) -> bool:
+    """``True`` iff ``g`` contains a directed cycle (self-loops count)."""
+    return find_cycle(g) is not None
+
+
+def would_close_cycle(g: Digraph, u: Hashable, v: Hashable) -> bool:
+    """``True`` iff adding edge ``u -> v`` to acyclic ``g`` creates a cycle.
+
+    Equivalent to: is there already a path ``v ->* u``?  Used by the
+    incremental cycle checker, where the graph is small (bounded by the
+    bandwidth bound), so a plain DFS per insertion is the right tool.
+    """
+    if u == v:
+        return True
+    return g.has_path(v, u)

@@ -1,0 +1,201 @@
+"""A small directed-graph container used throughout the library.
+
+The library manipulates three kinds of graphs:
+
+* full constraint graphs over the operations of a trace (node set
+  ``1..n`` in trace order, see :mod:`repro.core.constraint_graph`);
+* the bounded *active graphs* maintained by the finite-state cycle
+  checker and the observer;
+* assorted scratch graphs in tests and benchmarks.
+
+``networkx`` is deliberately not used in library code — it is reserved
+as an independent oracle in the test suite — so this module provides
+the handful of primitives the library needs: edge insertion with
+optional labels, successor/predecessor queries, and node removal with
+or without path contraction.
+
+Nodes may be any hashable value.  Edges may carry an arbitrary label
+(the constraint-graph code stores :class:`~repro.core.constraint_graph.EdgeKind`
+flags there).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+__all__ = ["Digraph"]
+
+
+class Digraph:
+    """A mutable directed graph with labelled edges.
+
+    Parallel edges are not supported: inserting an edge that already
+    exists replaces (or, via :meth:`add_edge` with ``merge``, combines)
+    its label.  Self-loops *are* supported — the cycle-detection code
+    must be able to represent and reject them.
+    """
+
+    __slots__ = ("_succ", "_pred", "_labels")
+
+    def __init__(self) -> None:
+        self._succ: Dict[Hashable, Set[Hashable]] = {}
+        self._pred: Dict[Hashable, Set[Hashable]] = {}
+        self._labels: Dict[Tuple[Hashable, Hashable], Any] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, u: Hashable) -> None:
+        """Ensure ``u`` is present (no-op if it already is)."""
+        if u not in self._succ:
+            self._succ[u] = set()
+            self._pred[u] = set()
+
+    def add_edge(self, u: Hashable, v: Hashable, label: Any = None, *, merge=None) -> None:
+        """Insert edge ``u -> v``.
+
+        ``label`` replaces any existing label unless ``merge`` is given,
+        in which case the stored label becomes ``merge(old, label)``
+        when the edge already exists.  Endpoints are added implicitly.
+        """
+        self.add_node(u)
+        self.add_node(v)
+        key = (u, v)
+        if key in self._labels and merge is not None:
+            self._labels[key] = merge(self._labels[key], label)
+        else:
+            self._labels[key] = label
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+
+    def remove_edge(self, u: Hashable, v: Hashable) -> None:
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+        self._labels.pop((u, v), None)
+
+    def remove_node(self, u: Hashable) -> None:
+        """Remove ``u`` and every incident edge."""
+        for v in tuple(self._succ.get(u, ())):
+            self.remove_edge(u, v)
+        for v in tuple(self._pred.get(u, ())):
+            self.remove_edge(v, u)
+        self._succ.pop(u, None)
+        self._pred.pop(u, None)
+
+    def contract_node(self, u: Hashable, *, label_merge=None) -> None:
+        """Remove ``u``, preserving connectivity through it.
+
+        For every pair of edges ``(h, u)`` and ``(u, j)`` an edge
+        ``(h, j)`` is added (the *contraction* of Lemma 3.3).  When both
+        a label merge function and labels on the two contracted edges
+        are present, the new edge's label is
+        ``label_merge(label(h,u), label(u,j), existing)`` where
+        ``existing`` is the prior label of ``(h, j)`` or ``None``.
+
+        A self-loop created by contraction (``h == j``) is preserved —
+        it witnesses a cycle through ``u``.
+        """
+        preds = tuple(self._pred.get(u, ()))
+        succs = tuple(self._succ.get(u, ()))
+        for h in preds:
+            if h == u:
+                continue
+            for j in succs:
+                if j == u:
+                    continue
+                if label_merge is not None:
+                    new = label_merge(
+                        self._labels.get((h, u)),
+                        self._labels.get((u, j)),
+                        self._labels.get((h, j)),
+                    )
+                    self.add_edge(h, j, new)
+                else:
+                    if (h, j) not in self._labels:
+                        self.add_edge(h, j)
+        self.remove_node(u)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, u: Hashable) -> bool:
+        return u in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def nodes(self) -> Iterator[Hashable]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Tuple[Hashable, Hashable]]:
+        return iter(tuple(self._labels))
+
+    def num_edges(self) -> int:
+        return len(self._labels)
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return (u, v) in self._labels
+
+    def label(self, u: Hashable, v: Hashable) -> Any:
+        return self._labels[(u, v)]
+
+    def successors(self, u: Hashable) -> Iterable[Hashable]:
+        return self._succ.get(u, ())
+
+    def predecessors(self, u: Hashable) -> Iterable[Hashable]:
+        return self._pred.get(u, ())
+
+    def out_degree(self, u: Hashable) -> int:
+        return len(self._succ.get(u, ()))
+
+    def in_degree(self, u: Hashable) -> int:
+        return len(self._pred.get(u, ()))
+
+    # ------------------------------------------------------------------
+    # reachability
+    # ------------------------------------------------------------------
+    def reachable_from(self, u: Hashable) -> Set[Hashable]:
+        """All nodes reachable from ``u`` (excluding ``u`` itself unless
+        it lies on a cycle through itself)."""
+        seen: Set[Hashable] = set()
+        stack = list(self._succ.get(u, ()))
+        while stack:
+            w = stack.pop()
+            if w in seen:
+                continue
+            seen.add(w)
+            stack.extend(self._succ.get(w, ()))
+        return seen
+
+    def has_path(self, u: Hashable, v: Hashable) -> bool:
+        if u not in self._succ:
+            return False
+        if v in self._succ.get(u, ()):
+            return True
+        return v in self.reachable_from(u)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "Digraph":
+        g = Digraph()
+        for u, ss in self._succ.items():
+            g._succ[u] = set(ss)
+        for u, ps in self._pred.items():
+            g._pred[u] = set(ps)
+        g._labels = dict(self._labels)
+        return g
+
+    def canonical_key(self) -> Tuple:
+        """A hashable snapshot of the graph (requires sortable nodes).
+
+        Used by the model checker to deduplicate checker states.
+        """
+        nodes = tuple(sorted(self._succ, key=repr))
+        edges = tuple(
+            sorted(((u, v, self._labels[(u, v)]) for (u, v) in self._labels), key=repr)
+        )
+        return (nodes, edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Digraph(|V|={len(self)}, |E|={self.num_edges()})"

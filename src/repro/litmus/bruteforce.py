@@ -1,0 +1,84 @@
+"""Baseline per-trace SC checkers (the VSC problem of Gibbons & Korach).
+
+Two exact but exponential algorithms against which the paper's
+streaming observer/checker is benchmarked:
+
+* :func:`check_trace_bruteforce` — interleaving search with
+  memoisation (re-exported from :mod:`repro.core.serial`); worst case
+  exponential in the number of processors' merge choices.
+* :func:`check_trace_store_orders` — the constraint-graph angle
+  without an observer: enumerate every per-block total ST order and
+  every consistent inheritance assignment, build the canonical
+  constraint graph (Lemma 3.1) and test acyclicity.  Exponential in
+  the number of same-block stores, but typically much smaller than
+  the interleaving space; it also doubles as an independent oracle
+  for Lemma 3.1 in the tests.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations, product as iproduct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.constraint_graph import ConstraintGraph, build_constraint_graph
+from ..core.operations import BOTTOM, Operation
+from ..core.serial import find_serial_reordering
+
+__all__ = [
+    "check_trace_bruteforce",
+    "check_trace_store_orders",
+    "witness_constraint_graph",
+]
+
+
+def check_trace_bruteforce(trace: Sequence[Operation]) -> bool:
+    """Interleaving-search baseline: ``True`` iff the trace is SC."""
+    return find_serial_reordering(trace) is not None
+
+
+def _candidate_graphs(trace: Sequence[Operation]):
+    """Yield every canonical constraint graph for ``trace`` (one per
+    choice of per-block ST order × inheritance assignment)."""
+    stores_by_block: Dict[int, List[int]] = {}
+    for i, op in enumerate(trace, start=1):
+        if op.is_store:
+            stores_by_block.setdefault(op.block, []).append(i)
+
+    load_candidates: List[Tuple[int, List[int]]] = []
+    for j, op in enumerate(trace, start=1):
+        if op.is_load and op.value != BOTTOM:
+            cands = [
+                i
+                for i in stores_by_block.get(op.block, ())
+                if trace[i - 1].value == op.value
+            ]
+            if not cands:
+                return  # some load's value was never stored: no graph
+            load_candidates.append((j, cands))
+
+    blocks = sorted(stores_by_block)
+    order_choices = [permutations(stores_by_block[b]) for b in blocks]
+    for orders in iproduct(*order_choices):
+        st_order = {b: list(perm) for b, perm in zip(blocks, orders)}
+        for inh_combo in iproduct(*(c for (_j, c) in load_candidates)):
+            inherit = {j: i for (j, _), i in zip(load_candidates, inh_combo)}
+            yield build_constraint_graph(trace, st_order, inherit)
+
+
+def witness_constraint_graph(
+    trace: Sequence[Operation],
+) -> Optional[ConstraintGraph]:
+    """The first acyclic *valid* constraint graph found, or ``None``.
+
+    By Lemma 3.1, a witness exists iff the trace is SC.
+    """
+    for g in _candidate_graphs(trace) or ():
+        if g.is_acyclic() and g.is_valid():
+            return g
+    return None
+
+
+def check_trace_store_orders(trace: Sequence[Operation]) -> bool:
+    """Store-order/inheritance enumeration baseline: ``True`` iff the
+    trace is SC (some constraint graph is acyclic)."""
+    return witness_constraint_graph(trace) is not None

@@ -1,0 +1,116 @@
+"""Parameterised litmus-program families.
+
+The fixed corpus in :mod:`repro.litmus.programs` covers the classic
+two-to-four-processor shapes; these generators scale them:
+
+* :func:`sb_chain` — n-processor store-buffering ring (Dekker's
+  generalisation): everyone stores their own flag then reads their
+  neighbour's; the all-⊥ outcome needs every load to pass its
+  neighbour's store — non-SC for every n ≥ 2, TSO-reachable for all n.
+* :func:`mp_chain` — message passing through a chain of relayers; the
+  outcome where the last reader sees the last flag but stale data is
+  non-SC.
+* :func:`corr_chain` — k coherent reads of one location: any
+  new-then-old pair among the reads is non-SC (per-location
+  coherence).
+* :func:`iriw_general` — w writers to distinct blocks, two observers
+  reading them in opposite orders; observers disagreeing on the write
+  order is non-SC.
+
+Each generator returns a :class:`~repro.litmus.programs.LitmusProgram`
+with ``forbidden_sc`` filled in, so the whole reference/verification
+machinery applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .programs import Ld, LitmusProgram, St
+
+__all__ = ["sb_chain", "mp_chain", "corr_chain", "iriw_general"]
+
+
+def sb_chain(n: int) -> LitmusProgram:
+    """n-processor store-buffering ring (n ≥ 2)."""
+    if n < 2:
+        raise ValueError("sb_chain needs at least 2 processors")
+    procs = tuple(
+        (St(i, 1), Ld(i % n + 1, f"r{i}")) for i in range(1, n + 1)
+    )
+    forbidden = {f"r{i}": 0 for i in range(1, n + 1)}
+    return LitmusProgram(
+        name=f"SB{n}",
+        procs=procs,
+        description=f"{n}-processor store-buffering ring",
+        forbidden_sc=(forbidden,),
+        allowed_tso=(forbidden,),
+    )
+
+
+def mp_chain(n: int) -> LitmusProgram:
+    """Message passing relayed through n−2 middlemen (n ≥ 2 procs).
+
+    P1 writes data (block 1) then flag₁; Pᵢ reads flagᵢ₋₁ and writes
+    flagᵢ; Pₙ reads flagₙ₋₁ then the data.  Seeing the last flag but
+    stale data is forbidden under SC.
+    """
+    if n < 2:
+        raise ValueError("mp_chain needs at least 2 processors")
+    data = 1
+    flags = list(range(2, n + 1))  # blocks 2..n
+    procs = [(St(data, 1), St(flags[0], 1))]
+    for i in range(1, n - 1):
+        procs.append((Ld(flags[i - 1], f"f{i}"), St(flags[i], 1)))
+    procs.append((Ld(flags[-1], f"f{n-1}"), Ld(data, "d")))
+    forbidden = {f"f{i}": 1 for i in range(1, n)}
+    forbidden["d"] = 0
+    return LitmusProgram(
+        name=f"MP{n}",
+        procs=tuple(procs),
+        description=f"message passing through {n - 2} relayers",
+        forbidden_sc=(forbidden,),
+    )
+
+
+def corr_chain(k: int) -> LitmusProgram:
+    """One writer, one reader doing k successive reads of the block;
+    any 1-then-0 (new-then-old) adjacent pair is non-SC."""
+    if k < 2:
+        raise ValueError("corr_chain needs at least 2 reads")
+    reader = tuple(Ld(1, f"r{i}") for i in range(1, k + 1))
+    forbidden = []
+    for i in range(1, k):
+        bad = {f"r{j}": 0 for j in range(1, k + 1)}
+        bad[f"r{i}"] = 1  # read i sees the store, read i+1 goes stale
+        forbidden.append(bad)
+    return LitmusProgram(
+        name=f"CoRR{k}",
+        procs=((St(1, 1),), reader),
+        description=f"coherent {k}-read chain",
+        forbidden_sc=tuple(forbidden),
+    )
+
+
+def iriw_general(w: int) -> LitmusProgram:
+    """w independent writers (blocks 1..w) and two observers reading
+    the blocks in opposite orders; the outcome where observer A sees
+    block 1 written but block w not, while observer B sees block w
+    written but block 1 not, is non-SC (they disagree on the order)."""
+    if w < 2:
+        raise ValueError("iriw_general needs at least 2 writers")
+    writers = tuple((St(i, 1),) for i in range(1, w + 1))
+    obs_a = tuple(Ld(i, f"a{i}") for i in range(1, w + 1))
+    obs_b = tuple(Ld(i, f"b{i}") for i in range(w, 0, -1))
+    forbidden: Dict[str, int] = {f"a{i}": 0 for i in range(1, w + 1)}
+    forbidden.update({f"b{i}": 0 for i in range(1, w + 1)})
+    forbidden["a1"] = 1  # A: first written...
+    forbidden[f"a{w}"] = 0  # ...last not
+    forbidden[f"b{w}"] = 1  # B: last written...
+    forbidden["b1"] = 0  # ...first not
+    return LitmusProgram(
+        name=f"IRIW{w}",
+        procs=writers + (obs_a, obs_b),
+        description=f"independent reads of {w} independent writes",
+        forbidden_sc=(forbidden,),
+    )

@@ -1,0 +1,235 @@
+"""Litmus programs: tiny multiprocessor programs whose observable
+outcomes separate memory models.
+
+A program is a per-processor sequence of instructions over named
+blocks; loads write registers, and an *outcome* is the final register
+assignment.  Figure 1 of the paper is :data:`FIGURE1` (the classic
+message-passing shape); the rest of the corpus covers the standard
+SC/TSO separators.
+
+Block and register naming: blocks are 1-based ints (use the ``x``/
+``y`` aliases below for readability); registers are strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "St",
+    "Ld",
+    "Instr",
+    "LitmusProgram",
+    "x", "y", "z",
+    "FIGURE1",
+    "SB",
+    "MP",
+    "LB",
+    "CORR",
+    "COWR",
+    "CORW",
+    "WRC",
+    "IRIW",
+    "TWO_PLUS_TWO_W",
+    "CORPUS",
+]
+
+x, y, z = 1, 2, 3
+
+
+@dataclass(frozen=True, slots=True)
+class St:
+    """Store ``value`` to ``block``."""
+
+    block: int
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Ld:
+    """Load ``block`` into register ``reg``."""
+
+    block: int
+    reg: str
+
+
+Instr = object  # St | Ld
+Outcome = Tuple[Tuple[str, int], ...]  # sorted (register, value) pairs
+
+
+@dataclass(frozen=True)
+class LitmusProgram:
+    """A named litmus test.
+
+    ``forbidden_sc`` lists outcomes (as register dicts) that sequential
+    consistency must forbid — the tests assert our enumerators agree.
+    ``allowed_tso`` lists outcomes TSO additionally allows.
+    """
+
+    name: str
+    procs: Tuple[Tuple[Instr, ...], ...]
+    description: str = ""
+    forbidden_sc: Tuple[Dict[str, int], ...] = ()
+    allowed_tso: Tuple[Dict[str, int], ...] = ()
+
+    @property
+    def num_procs(self) -> int:
+        return len(self.procs)
+
+    @property
+    def blocks(self) -> List[int]:
+        out = set()
+        for seq in self.procs:
+            for ins in seq:
+                out.add(ins.block)  # type: ignore[attr-defined]
+        return sorted(out)
+
+    @property
+    def max_value(self) -> int:
+        vals = [ins.value for seq in self.procs for ins in seq if isinstance(ins, St)]
+        return max(vals, default=1)
+
+    @property
+    def registers(self) -> List[str]:
+        return sorted(
+            ins.reg for seq in self.procs for ins in seq if isinstance(ins, Ld)
+        )
+
+    def outcome(self, **regs: int) -> Outcome:
+        """Build a canonical outcome tuple from keyword registers."""
+        missing = set(self.registers) - set(regs)
+        if missing:
+            raise ValueError(f"outcome missing registers {sorted(missing)}")
+        return tuple(sorted(regs.items()))
+
+
+def _o(**regs: int) -> Dict[str, int]:
+    return dict(regs)
+
+
+#: Figure 1 of the paper: P1 stores x:=1 then y:=2; P2 loads y then x.
+#: Serial memory at the figure's fixed real-time schedule gives
+#: (r1=1, r2=2); SC also allows (0,0) and (1,0) but never (0,2);
+#: relaxed models that drop program order allow (0,2).
+FIGURE1 = LitmusProgram(
+    name="figure1",
+    procs=(
+        (St(x, 1), St(y, 2)),
+        (Ld(y, "r2"), Ld(x, "r1")),
+    ),
+    description="Figure 1 (message passing, values 1/2)",
+    forbidden_sc=(_o(r1=0, r2=2),),
+)
+
+#: Dekker / store buffering: both loads 0 is non-SC, allowed by TSO.
+SB = LitmusProgram(
+    name="SB",
+    procs=(
+        (St(x, 1), Ld(y, "r1")),
+        (St(y, 1), Ld(x, "r2")),
+    ),
+    description="store buffering (Dekker)",
+    forbidden_sc=(_o(r1=0, r2=0),),
+    allowed_tso=(_o(r1=0, r2=0),),
+)
+
+#: Message passing: seeing the flag but stale data is non-SC (and
+#: non-TSO).
+MP = LitmusProgram(
+    name="MP",
+    procs=(
+        (St(x, 1), St(y, 1)),
+        (Ld(y, "r1"), Ld(x, "r2")),
+    ),
+    description="message passing",
+    forbidden_sc=(_o(r1=1, r2=0),),
+)
+
+#: Load buffering: both loads seeing the other's (later) store.
+LB = LitmusProgram(
+    name="LB",
+    procs=(
+        (Ld(x, "r1"), St(y, 1)),
+        (Ld(y, "r2"), St(x, 1)),
+    ),
+    description="load buffering",
+    forbidden_sc=(_o(r1=1, r2=1),),
+)
+
+#: Coherence of reads to one location: new-then-old is non-SC.
+CORR = LitmusProgram(
+    name="CoRR",
+    procs=(
+        (St(x, 1),),
+        (Ld(x, "r1"), Ld(x, "r2")),
+    ),
+    description="coherent read-read",
+    forbidden_sc=(_o(r1=1, r2=0),),
+)
+
+#: Write-to-read causality across three processors.
+WRC = LitmusProgram(
+    name="WRC",
+    procs=(
+        (St(x, 1),),
+        (Ld(x, "r1"), St(y, 1)),
+        (Ld(y, "r2"), Ld(x, "r3")),
+    ),
+    description="write-to-read causality",
+    forbidden_sc=(_o(r1=1, r2=1, r3=0),),
+)
+
+#: Independent reads of independent writes: the two observers must
+#: agree on the store order under SC (and TSO).
+IRIW = LitmusProgram(
+    name="IRIW",
+    procs=(
+        (St(x, 1),),
+        (St(y, 1),),
+        (Ld(x, "r1"), Ld(y, "r2")),
+        (Ld(y, "r3"), Ld(x, "r4")),
+    ),
+    description="independent reads of independent writes",
+    forbidden_sc=(_o(r1=1, r2=0, r3=1, r4=0),),
+)
+
+#: CoWR: a processor reads back its own write (or a newer one) — never
+#: the initial value.
+COWR = LitmusProgram(
+    name="CoWR",
+    procs=(
+        (St(x, 1), Ld(x, "r1")),
+        (St(x, 2),),
+    ),
+    description="coherent write-read",
+    forbidden_sc=(_o(r1=0),),
+)
+
+#: CoRW: a load cannot observe a store that follows it in its own
+#: program order.
+CORW = LitmusProgram(
+    name="CoRW",
+    procs=(
+        (St(x, 1),),
+        (Ld(x, "r1"), St(x, 2)),
+    ),
+    description="coherent read-write",
+    forbidden_sc=(_o(r1=2),),
+)
+
+#: 2+2W: writes to two locations from both sides; both "lost" is
+#: non-SC.  Observed through trailing reads.
+TWO_PLUS_TWO_W = LitmusProgram(
+    name="2+2W",
+    procs=(
+        (St(x, 1), St(y, 2), Ld(y, "r1")),
+        (St(y, 1), St(x, 2), Ld(x, "r2")),
+    ),
+    description="2+2W with observing reads",
+    forbidden_sc=(),
+)
+
+CORPUS: Tuple[LitmusProgram, ...] = (
+    FIGURE1, SB, MP, LB, CORR, COWR, CORW, WRC, IRIW, TWO_PLUS_TWO_W,
+)

@@ -1,0 +1,102 @@
+"""Run litmus programs on concrete protocols.
+
+:func:`outcomes_on_protocol` drives a :class:`~repro.core.protocol.Protocol`
+with a litmus program: each processor must issue its instructions in
+program order (stores with the program's values, loads accepting
+whatever value the protocol offers), while internal protocol actions
+interleave freely.  The result is the set of outcomes the *protocol*
+can produce — compare it against :func:`repro.litmus.semantics.outcomes_sc`
+to test protocol-level sequential consistency on that program, and
+against TSO to characterise the store-buffer design.
+
+:func:`runs_for_outcome` additionally returns a witness run per
+outcome, which feeds the per-trace checking scenario of Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.operations import Action, Load, Store
+from ..core.protocol import Protocol
+from .programs import Ld, LitmusProgram, Outcome, St
+
+__all__ = ["outcomes_on_protocol", "runs_for_outcome"]
+
+
+def _search(
+    protocol: Protocol,
+    program: LitmusProgram,
+    *,
+    require_quiescent_end: bool = True,
+    collect_runs: bool = False,
+) -> Dict[Outcome, Tuple[Action, ...]]:
+    if program.num_procs > protocol.p:
+        raise ValueError(
+            f"program needs {program.num_procs} processors, protocol has {protocol.p}"
+        )
+    if program.max_value > protocol.v:
+        raise ValueError("program stores values beyond the protocol's v")
+    if max(program.blocks, default=1) > protocol.b:
+        raise ValueError("program touches blocks beyond the protocol's b")
+
+    n = program.num_procs
+    results: Dict[Outcome, Tuple[Action, ...]] = {}
+    seen: Set[Tuple] = set()
+
+    # iterative DFS (paths can exceed Python's recursion limit on the
+    # larger protocol × program products); each stack entry carries the
+    # action that led to it so witness runs can be reconstructed
+    init = (protocol.initial_state(), (0,) * n, ())
+    stack: List[Tuple[Tuple, Optional[Tuple[Action, ...]]]] = [(init, ())]
+    while stack:
+        (state, pos, regs), run = stack.pop()
+        if all(pos[i] == len(program.procs[i]) for i in range(n)) and (
+            not require_quiescent_end or protocol.is_quiescent(state)
+        ):
+            outcome = tuple(sorted(regs))
+            if outcome not in results:
+                results[outcome] = run if collect_runs else ()
+        key = (state, pos, regs)
+        if key in seen:
+            continue
+        seen.add(key)
+        for t in protocol.transitions(state):
+            a = t.action
+            if isinstance(a, (Load, Store)):
+                if a.proc > n or pos[a.proc - 1] >= len(program.procs[a.proc - 1]):
+                    continue
+                ins = program.procs[a.proc - 1][pos[a.proc - 1]]
+                if isinstance(ins, St):
+                    if not (isinstance(a, Store) and a.block == ins.block and a.value == ins.value):
+                        continue
+                    nregs = regs
+                else:
+                    if not (isinstance(a, Load) and a.block == ins.block):
+                        continue
+                    nregs = regs + ((ins.reg, a.value),)
+                npos = pos[: a.proc - 1] + (pos[a.proc - 1] + 1,) + pos[a.proc :]
+                stack.append(((t.state, npos, nregs), run + (a,) if collect_runs else ()))
+            else:
+                stack.append(((t.state, pos, regs), run + (a,) if collect_runs else ()))
+    return results
+
+
+def outcomes_on_protocol(
+    protocol: Protocol,
+    program: LitmusProgram,
+    *,
+    require_quiescent_end: bool = True,
+) -> Set[Outcome]:
+    """All outcomes the protocol can produce for ``program``."""
+    return set(
+        _search(protocol, program, require_quiescent_end=require_quiescent_end)
+    )
+
+
+def runs_for_outcome(
+    protocol: Protocol,
+    program: LitmusProgram,
+) -> Dict[Outcome, Tuple[Action, ...]]:
+    """One witness run (full action sequence) per reachable outcome."""
+    return _search(protocol, program, collect_runs=True)

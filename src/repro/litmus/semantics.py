@@ -1,0 +1,178 @@
+"""Reference semantics for litmus programs under four memory models.
+
+Each enumerator returns the *set of outcomes* (canonical sorted
+register tuples) the model allows:
+
+* :func:`outcomes_serial_realtime` — the paper's "serial memory" read
+  of Figure 1: operations execute atomically at a *fixed* real-time
+  schedule, so exactly one outcome results.
+* :func:`outcomes_sc` — sequential consistency: every interleaving of
+  the program orders against an atomic memory.
+* :func:`outcomes_tso` — total store order: per-processor FIFO store
+  buffers with forwarding and nondeterministic drain.
+* :func:`outcomes_relaxed` — the fully relaxed model Figure 1 alludes
+  to ("ignoring program order"): each load may return the value of any
+  store to its block, or ⊥, independently (no coherence, no order).
+
+All are exhaustive searches with memoisation; litmus programs are tiny.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iproduct
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .programs import Ld, LitmusProgram, Outcome, St
+
+__all__ = [
+    "outcomes_serial_realtime",
+    "outcomes_sc",
+    "outcomes_tso",
+    "outcomes_relaxed",
+    "classify_outcomes",
+]
+
+BOTTOM = 0
+
+
+def _canon(regs: Dict[str, int]) -> Outcome:
+    return tuple(sorted(regs.items()))
+
+
+def outcomes_serial_realtime(
+    program: LitmusProgram, schedule: Sequence[Tuple[int, int]]
+) -> Set[Outcome]:
+    """Execute at a fixed real-time schedule: ``schedule`` lists
+    ``(proc, instr_index)`` pairs in real-time order and must cover
+    every instruction exactly once.  Returns the single outcome."""
+    mem: Dict[int, int] = {}
+    regs: Dict[str, int] = {}
+    done = [0] * program.num_procs
+    for proc, idx in schedule:
+        if idx != done[proc - 1]:
+            raise ValueError("schedule violates per-processor order")
+        ins = program.procs[proc - 1][idx]
+        if isinstance(ins, St):
+            mem[ins.block] = ins.value
+        else:
+            regs[ins.reg] = mem.get(ins.block, BOTTOM)
+        done[proc - 1] += 1
+    if any(d != len(program.procs[i]) for i, d in enumerate(done)):
+        raise ValueError("schedule does not cover the whole program")
+    return {_canon(regs)}
+
+
+def outcomes_sc(program: LitmusProgram) -> Set[Outcome]:
+    """All outcomes over all interleavings (sequential consistency)."""
+    n = program.num_procs
+    out: Set[Outcome] = set()
+    seen: Set[Tuple] = set()
+
+    def rec(pos: Tuple[int, ...], mem: Tuple[Tuple[int, int], ...], regs: Tuple):
+        key = (pos, mem, regs)
+        if key in seen:
+            return
+        seen.add(key)
+        if all(pos[i] == len(program.procs[i]) for i in range(n)):
+            out.add(tuple(sorted(regs)))
+            return
+        memd = dict(mem)
+        for i in range(n):
+            if pos[i] == len(program.procs[i]):
+                continue
+            ins = program.procs[i][pos[i]]
+            npos = pos[:i] + (pos[i] + 1,) + pos[i + 1 :]
+            if isinstance(ins, St):
+                nmem = dict(memd)
+                nmem[ins.block] = ins.value
+                rec(npos, tuple(sorted(nmem.items())), regs)
+            else:
+                val = memd.get(ins.block, BOTTOM)
+                rec(npos, mem, regs + ((ins.reg, val),))
+
+    rec((0,) * n, (), ())
+    return out
+
+
+def outcomes_tso(program: LitmusProgram) -> Set[Outcome]:
+    """All outcomes under TSO: FIFO store buffer per processor, with
+    store-to-load forwarding and nondeterministic flushes."""
+    n = program.num_procs
+    out: Set[Outcome] = set()
+    seen: Set[Tuple] = set()
+
+    def rec(pos, mem, bufs, regs):
+        key = (pos, mem, bufs, regs)
+        if key in seen:
+            return
+        seen.add(key)
+        if all(pos[i] == len(program.procs[i]) for i in range(n)) and all(
+            not b for b in bufs
+        ):
+            out.add(tuple(sorted(regs)))
+            return
+        memd = dict(mem)
+        for i in range(n):
+            # flush the oldest buffered store
+            if bufs[i]:
+                (blk, val) = bufs[i][0]
+                nmem = dict(memd)
+                nmem[blk] = val
+                nbufs = bufs[:i] + (bufs[i][1:],) + bufs[i + 1 :]
+                rec(pos, tuple(sorted(nmem.items())), nbufs, regs)
+            # issue the next instruction
+            if pos[i] < len(program.procs[i]):
+                ins = program.procs[i][pos[i]]
+                npos = pos[:i] + (pos[i] + 1,) + pos[i + 1 :]
+                if isinstance(ins, St):
+                    nbufs = bufs[:i] + (bufs[i] + ((ins.block, ins.value),),) + bufs[i + 1 :]
+                    rec(npos, mem, nbufs, regs)
+                else:
+                    fwd = None
+                    for (blk, val) in reversed(bufs[i]):
+                        if blk == ins.block:
+                            fwd = val
+                            break
+                    val = fwd if fwd is not None else memd.get(ins.block, BOTTOM)
+                    rec(npos, mem, bufs, regs + ((ins.reg, val),))
+
+    rec((0,) * n, (), ((),) * n, ())
+    return out
+
+
+def outcomes_relaxed(program: LitmusProgram) -> Set[Outcome]:
+    """The "no program order" model of Figure 1's last sentence: every
+    load independently returns ⊥ or the value of *any* store to its
+    block anywhere in the program."""
+    loads: List[Ld] = [
+        ins for seq in program.procs for ins in seq if isinstance(ins, Ld)
+    ]
+    per_block: Dict[int, Set[int]] = {}
+    for seq in program.procs:
+        for ins in seq:
+            if isinstance(ins, St):
+                per_block.setdefault(ins.block, set()).add(ins.value)
+    choices = [
+        sorted(per_block.get(ld.block, set()) | {BOTTOM}) for ld in loads
+    ]
+    out: Set[Outcome] = set()
+    for combo in iproduct(*choices):
+        out.add(_canon({ld.reg: v for ld, v in zip(loads, combo)}))
+    return out
+
+
+def classify_outcomes(program: LitmusProgram) -> Dict[Outcome, str]:
+    """Tag every relaxed-reachable outcome with the strongest model
+    allowing it: ``"SC"`` ⊂ ``"TSO"`` ⊂ ``"relaxed"``."""
+    sc = outcomes_sc(program)
+    tso = outcomes_tso(program)
+    relaxed = outcomes_relaxed(program)
+    tags: Dict[Outcome, str] = {}
+    for o in sorted(relaxed | tso | sc):
+        if o in sc:
+            tags[o] = "SC"
+        elif o in tso:
+            tags[o] = "TSO"
+        else:
+            tags[o] = "relaxed"
+    return tags

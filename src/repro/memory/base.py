@@ -1,0 +1,108 @@
+"""Shared helpers for the memory-protocol zoo.
+
+Protocol states are nested tuples (hashable, canonical); the helpers
+here keep the per-protocol code focused on the interesting part — the
+coherence actions and their tracking labels.
+
+Location-numbering convention used by every protocol in this package:
+
+* locations ``1..b`` are main memory, one per block;
+* further locations are assigned per protocol (cache entries, queue
+  slots, channels) via :class:`LocationMap`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.operations import Load, Store
+from ..core.protocol import Protocol, Tracking, Transition
+
+__all__ = ["LocationMap", "MemoryProtocol", "replace_at"]
+
+
+def replace_at(t: tuple, i: int, value) -> tuple:
+    """A tuple with index ``i`` replaced (states are immutable)."""
+    return t[:i] + (value,) + t[i + 1 :]
+
+
+class LocationMap:
+    """Sequential allocator of storage-location numbers.
+
+    Build it once in a protocol's ``__init__``; it hands out
+    contiguous 1-based location numbers for named groups, e.g.::
+
+        locs = LocationMap()
+        mem = locs.add_group("mem", b)          # mem(block)
+        cache = locs.add_group("cache", p * b)  # cache(proc, block)
+    """
+
+    def __init__(self) -> None:
+        self._next = 1
+        self._groups: Dict[str, Tuple[int, int]] = {}  # name -> (base, size)
+
+    def add_group(self, name: str, size: int) -> int:
+        """Reserve ``size`` locations; returns the base number."""
+        if name in self._groups:
+            raise ValueError(f"location group {name!r} already defined")
+        base = self._next
+        self._groups[name] = (base, size)
+        self._next += size
+        return base
+
+    def loc(self, name: str, offset: int = 0) -> int:
+        """The ``offset``-th location of a group (0-based offset)."""
+        base, size = self._groups[name]
+        if not 0 <= offset < size:
+            raise IndexError(f"offset {offset} outside group {name!r} of size {size}")
+        return base + offset
+
+    @property
+    def total(self) -> int:
+        """Number of locations allocated so far (the protocol's L)."""
+        return self._next - 1
+
+    def describe(self) -> str:
+        parts = [
+            f"{name}@{base}..{base + size - 1}"
+            for name, (base, size) in self._groups.items()
+        ]
+        return ", ".join(parts)
+
+
+class MemoryProtocol(Protocol):
+    """Convenience base: parameter storage plus LD/ST transition
+    builders with the right tracking labels."""
+
+    def __init__(self, p: int, b: int, v: int):
+        if p < 1 or b < 1 or v < 1:
+            raise ValueError("p, b, v must all be at least 1")
+        self.p = p
+        self.b = b
+        self.v = v
+
+    # shorthand iterators ------------------------------------------------
+    @property
+    def procs(self) -> range:
+        return range(1, self.p + 1)
+
+    @property
+    def blocks(self) -> range:
+        return range(1, self.b + 1)
+
+    @property
+    def values(self) -> range:
+        return range(1, self.v + 1)
+
+    # transition builders ------------------------------------------------
+    @staticmethod
+    def load(proc: int, block: int, value: int, state, location: int) -> Transition:
+        """A LD transition reading ``location`` (state unchanged by
+        default — override by passing a different successor state)."""
+        return Transition(Load(proc, block, value), state, Tracking(location=location))
+
+    @staticmethod
+    def store(proc: int, block: int, value: int, state, location: int) -> Transition:
+        """A ST transition writing ``location``; ``state`` is the
+        successor state reflecting the write."""
+        return Transition(Store(proc, block, value), state, Tracking(location=location))

@@ -1,0 +1,36 @@
+"""An intentionally broken MSI: ``AcquireM`` forgets to invalidate
+other processors' valid copies.
+
+The classic coherence bug.  Without invalidation two processors can
+hold M simultaneously, stale copies survive writes, and stale data can
+even flow back into memory over a fresher value.  Verification finds a
+strikingly small counterexample already at ``p=2, b=1, v=1``::
+
+    AcquireM(P1); AcquireM(P2)   # P1 not invalidated: two owners
+    ST(P1,B1,1); Evict(P1)       # memory := 1
+    AcquireS(P1)                 # P2 (stale owner, ⊥) supplies data!
+    LD(P1,B1,⊥)
+
+The trace ``ST(P1,B1,1), LD(P1,B1,⊥)`` has no serial reordering —
+program order forces the LD after the ST, which forces it to return 1.
+The checker reports the cycle and the run above as the counterexample.
+
+Larger configurations also exhibit the textbook cross-processor
+violation (P1 observes a newer write to ``y`` and then a stale ``x``),
+exercised in the tests.
+"""
+
+from __future__ import annotations
+
+from .msi import MSIProtocol
+
+__all__ = ["BuggyMSIProtocol"]
+
+
+class BuggyMSIProtocol(MSIProtocol):
+    """MSI with the invalidation on AcquireM omitted — not SC."""
+
+    invalidate_on_acquire_m = False
+
+    def __init__(self, p: int = 2, b: int = 1, v: int = 1, *, allow_evict: bool = True):
+        super().__init__(p, b, v, allow_evict=allow_evict)

@@ -1,0 +1,194 @@
+"""A directory-based cache-coherence protocol (home node, two-phase
+transactions).
+
+Unlike the atomic-bus MSI/MESI models, coherence transactions here are
+*split*: a processor posts a request message, the home node (which owns
+the directory and memory) processes it — pulling data from a modified
+owner and invalidating sharers as needed — and posts a grant carrying
+the data, which the requester then absorbs.  One transaction may be in
+flight at a time (single-slot network), which is enough to exercise
+transient states, in-flight data, and the extra storage location the
+network introduces, while keeping the model small.
+
+Protocol actions:
+
+* ``ReqS(P,B)`` / ``ReqM(P,B)`` — post a request (network empty).
+* ``Grant(B)`` — home services the pending request: on ReqS a modified
+  owner writes back and downgrades; on ReqM the owner supplies data
+  and every other copy is invalidated.  The reply data is placed in
+  the network data slot.
+* ``Recv(P,B)`` — requester copies the network data into its cache and
+  enters S or M.
+* ``WB(P,B)`` — a modified owner writes back and invalidates itself
+  (allowed any time, even mid-transaction of another processor).
+
+The protocol is sequentially consistent with real-time ST order (the
+single writer per block serialises stores at the caches).
+
+State: ``(mem, cstate, cval, net, netval)`` where ``net`` is ``None``
+or ``(phase, kind, P, B)`` with phase ``REQ``/``GRANT``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.operations import BOTTOM, InternalAction
+from ..core.protocol import FRESH, Tracking, Transition
+from .base import LocationMap, MemoryProtocol, replace_at
+
+__all__ = ["DirectoryProtocol"]
+
+I, S, M = 0, 1, 2
+REQ, GRANT = 0, 1
+KS, KM = 0, 1  # request kinds
+
+
+class DirectoryProtocol(MemoryProtocol):
+    """Home-directory protocol with split transactions."""
+
+    def __init__(self, p: int = 2, b: int = 1, v: int = 1, *, allow_wb: bool = True):
+        super().__init__(p, b, v)
+        self.allow_wb = allow_wb
+        self._locs = LocationMap()
+        self._locs.add_group("mem", b)
+        self._locs.add_group("cache", p * b)
+        self._locs.add_group("net", 1)
+        self.num_locations = self._locs.total
+
+    def mem_loc(self, block: int) -> int:
+        return self._locs.loc("mem", block - 1)
+
+    def cache_loc(self, proc: int, block: int) -> int:
+        return self._locs.loc("cache", (proc - 1) * self.b + (block - 1))
+
+    def net_loc(self) -> int:
+        return self._locs.loc("net", 0)
+
+    def _idx(self, proc: int, block: int) -> int:
+        return (proc - 1) * self.b + (block - 1)
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Tuple:
+        return (
+            (BOTTOM,) * self.b,
+            (I,) * (self.p * self.b),
+            (BOTTOM,) * (self.p * self.b),
+            None,
+            BOTTOM,
+        )
+
+    def is_quiescent(self, state: Tuple) -> bool:
+        return state[3] is None
+
+    def may_load_bottom(self, state: Tuple, block: int) -> bool:
+        mem, cstate, cval, net, netval = state
+        if mem[block - 1] == BOTTOM:
+            return True
+        if any(
+            cstate[self._idx(P, block)] != I and cval[self._idx(P, block)] == BOTTOM
+            for P in self.procs
+        ):
+            return True
+        # in-flight ⊥ data will become a valid cache copy on Recv
+        return net is not None and net[0] == GRANT and net[3] == block and netval == BOTTOM
+
+    # ------------------------------------------------------------------
+    def _owner(self, cstate: Tuple, block: int) -> Optional[int]:
+        for Q in self.procs:
+            if cstate[self._idx(Q, block)] == M:
+                return Q
+        return None
+
+    def transitions(self, state: Tuple) -> Iterable[Transition]:
+        mem, cstate, cval, net, netval = state
+        for P in self.procs:
+            for B in self.blocks:
+                i = self._idx(P, B)
+                st = cstate[i]
+                if st != I:
+                    yield self.load(P, B, cval[i], state, self.cache_loc(P, B))
+                if st == M:
+                    for V in self.values:
+                        ns = (mem, cstate, replace_at(cval, i, V), net, netval)
+                        yield self.store(P, B, V, ns, self.cache_loc(P, B))
+                if net is None:
+                    if st == I:
+                        yield Transition(
+                            InternalAction("ReqS", (P, B)),
+                            (mem, cstate, cval, (REQ, KS, P, B), netval),
+                            Tracking(),
+                        )
+                    if st != M:
+                        yield Transition(
+                            InternalAction("ReqM", (P, B)),
+                            (mem, cstate, cval, (REQ, KM, P, B), netval),
+                            Tracking(),
+                        )
+                if self.allow_wb and st == M:
+                    copies: Dict[int, int] = {
+                        self.mem_loc(B): self.cache_loc(P, B),
+                        self.cache_loc(P, B): FRESH,
+                    }
+                    ns = (
+                        replace_at(mem, B - 1, cval[i]),
+                        replace_at(cstate, i, I),
+                        replace_at(cval, i, BOTTOM),
+                        net,
+                        netval,
+                    )
+                    yield Transition(InternalAction("WB", (P, B)), ns, Tracking(copies=copies))
+        if net is not None and net[0] == REQ:
+            yield self._grant(state)
+        if net is not None and net[0] == GRANT:
+            yield self._recv(state)
+
+    # ------------------------------------------------------------------
+    def _grant(self, state: Tuple) -> Transition:
+        mem, cstate, cval, net, _netval = state
+        _phase, kind, P, B = net
+        owner = self._owner(cstate, B)
+        copies: Dict[int, int] = {}
+        if owner is not None and owner != P:
+            j = self._idx(owner, B)
+            # owner's data flows to memory and onto the network
+            copies[self.mem_loc(B)] = self.cache_loc(owner, B)
+            copies[self.net_loc()] = self.cache_loc(owner, B)
+            data = cval[j]
+            mem = replace_at(mem, B - 1, data)
+            cstate = replace_at(cstate, j, S if kind == KS else I)
+            if kind == KM:
+                cval = replace_at(cval, j, BOTTOM)
+                copies[self.cache_loc(owner, B)] = FRESH
+        else:
+            copies[self.net_loc()] = self.mem_loc(B)
+            data = mem[B - 1]
+        if kind == KM:
+            # invalidate every other valid copy
+            for Q in self.procs:
+                if Q == P:
+                    continue
+                j = self._idx(Q, B)
+                if cstate[j] != I:
+                    cstate = replace_at(cstate, j, I)
+                    cval = replace_at(cval, j, BOTTOM)
+                    copies[self.cache_loc(Q, B)] = FRESH
+        ns = (mem, cstate, cval, (GRANT, kind, P, B), data)
+        return Transition(InternalAction("Grant", (B,)), ns, Tracking(copies=copies))
+
+    def _recv(self, state: Tuple) -> Transition:
+        mem, cstate, cval, net, netval = state
+        _phase, kind, P, B = net
+        i = self._idx(P, B)
+        copies: Dict[int, int] = {
+            self.cache_loc(P, B): self.net_loc(),
+            self.net_loc(): FRESH,
+        }
+        ns = (
+            mem,
+            replace_at(cstate, i, S if kind == KS else M),
+            replace_at(cval, i, netval),
+            None,
+            BOTTOM,
+        )
+        return Transition(InternalAction("Recv", (P, B)), ns, Tracking(copies=copies))

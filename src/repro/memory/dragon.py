@@ -1,0 +1,171 @@
+"""The Dragon protocol — write-update with dirty sharing.
+
+Xerox Dragon keeps every cached copy *current* by broadcasting each
+write to all sharers (no invalidations at all) and tracks a single
+owner responsible for the dirty data:
+
+states per (processor, block):
+  I  invalid
+  Sc shared clean  — current value, someone else owns writeback duty
+  Sm shared modified — current value, *this* cache owns writeback duty
+  E  exclusive clean
+  M  exclusive modified
+
+* ``ReadMiss(P,B)`` — another valid copy supplies the data (a dirty
+  owner downgrades M→Sm, a clean exclusive E→Sc); with no copies the
+  line fills from memory into E.
+* ``ST(P,B,V)`` — requires a valid line; the new value is broadcast to
+  every other valid copy in the same atomic step (write-update: the
+  post-store ``copies`` fan-out); the writer becomes the owner
+  (Sm with sharers, M alone) and any previous owner downgrades to Sc.
+* ``Evict(P,B)`` — owners (Sm/M) write back; Sc/E drop silently
+  (their value matches memory or the surviving owner by the update
+  invariant).
+
+Sequentially consistent: updates are atomic, so all valid copies agree
+at all times — the protocol's defining invariant, asserted reachably
+in the tests.  Like MOESI, memory can be stale while an owner exists;
+unlike MOESI, *sharers are never invalidated*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.operations import BOTTOM, InternalAction
+from ..core.protocol import FRESH, Tracking, Transition
+from .base import LocationMap, MemoryProtocol, replace_at
+
+__all__ = ["DragonProtocol", "I", "SC_", "SM", "E", "M"]
+
+I, SC_, SM, E, M = 0, 1, 2, 3, 4
+_OWNER_STATES = (SM, M)
+_VALID = (SC_, SM, E, M)
+
+
+class DragonProtocol(MemoryProtocol):
+    """Write-update (Dragon) coherence — SC."""
+
+    def __init__(self, p: int = 2, b: int = 1, v: int = 2, *, allow_evict: bool = True):
+        super().__init__(p, b, v)
+        self.allow_evict = allow_evict
+        self._locs = LocationMap()
+        self._locs.add_group("mem", b)
+        self._locs.add_group("cache", p * b)
+        self.num_locations = self._locs.total
+
+    def mem_loc(self, block: int) -> int:
+        return self._locs.loc("mem", block - 1)
+
+    def cache_loc(self, proc: int, block: int) -> int:
+        return self._locs.loc("cache", (proc - 1) * self.b + (block - 1))
+
+    def _idx(self, proc: int, block: int) -> int:
+        return (proc - 1) * self.b + (block - 1)
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Tuple:
+        return (
+            (BOTTOM,) * self.b,
+            (I,) * (self.p * self.b),
+            (BOTTOM,) * (self.p * self.b),
+        )
+
+    def may_load_bottom(self, state: Tuple, block: int) -> bool:
+        mem, cstate, cval = state
+        holders = [P for P in self.procs if cstate[self._idx(P, block)] != I]
+        if any(cval[self._idx(P, block)] == BOTTOM for P in holders):
+            return True
+        return not holders and mem[block - 1] == BOTTOM
+
+    # ------------------------------------------------------------------
+    def _holders(self, cstate: Tuple, block: int):
+        return [Q for Q in self.procs if cstate[self._idx(Q, block)] != I]
+
+    def _supplier(self, cstate: Tuple, block: int) -> Optional[int]:
+        """Who answers a read miss: the owner if any, else any holder."""
+        holders = self._holders(cstate, block)
+        for Q in holders:
+            if cstate[self._idx(Q, block)] in _OWNER_STATES:
+                return Q
+        return holders[0] if holders else None
+
+    def transitions(self, state: Tuple) -> Iterable[Transition]:
+        mem, cstate, cval = state
+        for P in self.procs:
+            for B in self.blocks:
+                i = self._idx(P, B)
+                st = cstate[i]
+                if st != I:
+                    yield self.load(P, B, cval[i], state, self.cache_loc(P, B))
+                    for V in self.values:
+                        yield self._store(state, P, B, V)
+                else:
+                    yield self._read_miss(state, P, B)
+                if self.allow_evict and st != I:
+                    yield self._evict(state, P, B)
+
+    # ------------------------------------------------------------------
+    def _store(self, state: Tuple, P: int, B: int, V: int) -> Transition:
+        mem, cstate, cval = state
+        i = self._idx(P, B)
+        others = [Q for Q in self._holders(cstate, B) if Q != P]
+        ncval = replace_at(cval, i, V)
+        ncstate = cstate
+        copies: Dict[int, int] = {}
+        # broadcast the new value to every other valid copy
+        for Q in others:
+            j = self._idx(Q, B)
+            ncval = replace_at(ncval, j, V)
+            copies[self.cache_loc(Q, B)] = self.cache_loc(P, B)
+            # the previous owner hands over ownership
+            if ncstate[j] in _OWNER_STATES:
+                ncstate = replace_at(ncstate, j, SC_)
+            elif ncstate[j] == E:
+                ncstate = replace_at(ncstate, j, SC_)
+        ncstate = replace_at(ncstate, i, SM if others else M)
+        return Transition(
+            self.store(P, B, V, None, self.cache_loc(P, B)).action,
+            (mem, ncstate, ncval),
+            Tracking(location=self.cache_loc(P, B), copies=copies),
+        )
+
+    def _read_miss(self, state: Tuple, P: int, B: int) -> Transition:
+        mem, cstate, cval = state
+        i = self._idx(P, B)
+        supplier = self._supplier(cstate, B)
+        copies: Dict[int, int] = {}
+        if supplier is not None:
+            j = self._idx(supplier, B)
+            copies[self.cache_loc(P, B)] = self.cache_loc(supplier, B)
+            data = cval[j]
+            # dirty owner downgrades M -> Sm; clean exclusive E -> Sc
+            if cstate[j] == M:
+                cstate = replace_at(cstate, j, SM)
+            elif cstate[j] == E:
+                cstate = replace_at(cstate, j, SC_)
+            grant = SC_
+        else:
+            copies[self.cache_loc(P, B)] = self.mem_loc(B)
+            data = mem[B - 1]
+            grant = E
+        cstate = replace_at(cstate, i, grant)
+        cval = replace_at(cval, i, data)
+        return Transition(
+            InternalAction("ReadMiss", (P, B)), (mem, cstate, cval), Tracking(copies=copies)
+        )
+
+    def _evict(self, state: Tuple, P: int, B: int) -> Transition:
+        mem, cstate, cval = state
+        i = self._idx(P, B)
+        copies: Dict[int, int] = {self.cache_loc(P, B): FRESH}
+        if cstate[i] in _OWNER_STATES:
+            mem = replace_at(mem, B - 1, cval[i])
+            copies[self.mem_loc(B)] = self.cache_loc(P, B)
+            # writeback duty passes to... nobody: remaining sharers are
+            # clean (their value equals the freshly written-back memory)
+        cstate = replace_at(cstate, i, I)
+        cval = replace_at(cval, i, BOTTOM)
+        return Transition(
+            InternalAction("Evict", (P, B)), (mem, cstate, cval), Tracking(copies=copies)
+        )

@@ -1,0 +1,36 @@
+"""A store buffer with a drain-before-load rule — sequentially
+consistent.
+
+Identical substrate to :class:`~repro.memory.store_buffer.StoreBufferProtocol`
+except for one rule: **a processor may not load while its own store
+buffer is non-empty** (equivalently: an implicit full fence before
+every load).  That single change closes the TSO hole — the SB litmus
+outcome (⊥, ⊥) becomes unreachable — and verification flips from
+VIOLATION to SC with the very same flush-order ST generator.
+
+A minimal pair for the test suite and a nice demonstration that the
+method localises *why* a design is broken: compare
+``verify_protocol(StoreBufferProtocol(...), store_buffer_st_order())``
+with the fenced variant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..core.operations import Load
+from ..core.protocol import Transition
+from .store_buffer import StoreBufferProtocol
+
+__all__ = ["FencedStoreBufferProtocol"]
+
+
+class FencedStoreBufferProtocol(StoreBufferProtocol):
+    """Store buffering with loads fenced behind buffer drain (SC)."""
+
+    def transitions(self, state: Tuple) -> Iterable[Transition]:
+        _mem, buffers = state
+        for t in super().transitions(state):
+            if isinstance(t.action, Load) and buffers[t.action.proc - 1]:
+                continue  # the fence: no load past a non-empty buffer
+            yield t

@@ -1,0 +1,128 @@
+"""The toy protocol of the paper's Figure 4.
+
+Two processors, each with two scratchpad locations that can hold a
+``(block, value)`` pair; a ``Get-Shared(P, B)`` action copies another
+processor's copy of block ``B`` into one of P's locations.  The figure
+uses it to illustrate tracking labels and ST-indices — it is a *data
+movement* demo, not a coherent memory system (it is deliberately not
+SC: nothing stops stale copies from being read after newer stores), so
+it appears in the tracking tests and the Figure 4 benchmark rather
+than the verification zoo.
+
+State: per location, ``None`` or ``(block, value)``.
+
+The exact run of Figure 4(a) is provided as :func:`figure4_run`, and
+reproduces Figure 4(c)'s ST-index table through
+:func:`repro.core.tracking.st_indices_after`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..core.operations import BOTTOM, InternalAction, LD, ST
+from ..core.protocol import Tracking, Transition
+from .base import LocationMap, MemoryProtocol
+
+__all__ = ["Figure4Protocol", "figure4_run", "figure4_steps"]
+
+Slot = Optional[Tuple[int, int]]  # (block, value) or empty
+
+
+class Figure4Protocol(MemoryProtocol):
+    """The scratchpad protocol behind the paper's Figure 4 example."""
+
+    #: locations per processor (the figure uses 2)
+    SLOTS = 2
+
+    def __init__(self, p: int = 2, b: int = 3, v: int = 3):
+        super().__init__(p, b, v)
+        self._locs = LocationMap()
+        self._locs.add_group("slot", p * self.SLOTS)
+        self.num_locations = self._locs.total
+
+    def slot_loc(self, proc: int, slot: int) -> int:
+        return self._locs.loc("slot", (proc - 1) * self.SLOTS + slot)
+
+    def _idx(self, proc: int, slot: int) -> int:
+        return (proc - 1) * self.SLOTS + slot
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Tuple[Slot, ...]:
+        return (None,) * (self.p * self.SLOTS)
+
+    def transitions(self, state: Tuple[Slot, ...]) -> Iterable[Transition]:
+        for P in self.procs:
+            for slot in range(self.SLOTS):
+                i = self._idx(P, slot)
+                held = state[i]
+                # LD any block/value this slot holds (⊥ if slot empty —
+                # the figure's caches start holding ⊥ for any block)
+                if held is not None:
+                    yield self.load(P, held[0], held[1], state, self.slot_loc(P, slot))
+                # ST any (block, value) into this slot (overwriting)
+                for B in self.blocks:
+                    for V in self.values:
+                        ns = state[:i] + ((B, V),) + state[i + 1 :]
+                        yield self.store(P, B, V, ns, self.slot_loc(P, slot))
+            # Get-Shared(P, B): copy another processor's copy of B into
+            # one of P's slots (the first free one, else slot 0)
+            for B in self.blocks:
+                for Q in self.procs:
+                    if Q == P:
+                        continue
+                    for qslot in range(self.SLOTS):
+                        held = state[self._idx(Q, qslot)]
+                        if held is None or held[0] != B:
+                            continue
+                        free = [s for s in range(self.SLOTS) if state[self._idx(P, s)] is None]
+                        dst = free[0] if free else 0
+                        i = self._idx(P, dst)
+                        ns = state[:i] + (held,) + state[i + 1 :]
+                        yield Transition(
+                            InternalAction("Get-Shared", (P, B)),
+                            ns,
+                            Tracking(
+                                copies={self.slot_loc(P, dst): self.slot_loc(Q, qslot)}
+                            ),
+                        )
+
+
+def figure4_run():
+    """The four-action run of Figure 4(a)::
+
+        ST(P1,B1,1), ST(P2,B2,2), Get-Shared(P2,B1), ST(P1,B3,3)
+
+    Every action is enabled on :class:`Figure4Protocol`; for the exact
+    tracking labels of the figure (which pin *which slot* each store
+    hits — information the LD/ST actions themselves don't carry), use
+    :func:`figure4_steps`.
+    """
+    return (
+        ST(1, 1, 1),
+        ST(2, 2, 2),
+        InternalAction("Get-Shared", (2, 1)),
+        ST(1, 3, 3),
+    )
+
+
+def figure4_steps():
+    """Figure 4's run with its exact tracking labels, as the
+    ``(action, tracking)`` pairs consumed by
+    :class:`repro.core.tracking.STIndexTracker`:
+
+    * ``ST(P1,B1,1)`` writes location 1,
+    * ``ST(P2,B2,2)`` writes location 4,
+    * ``Get-Shared(P2,B1)`` copies location 1 into location 3
+      (``c_3 = 1``; all other copy labels are the identity),
+    * ``ST(P1,B3,3)`` overwrites location 1.
+
+    Feeding these to ``STIndexTracker(4)`` yields Figure 4(c)'s table:
+    ``{1: 3, 2: 0, 3: 1, 4: 2}``.
+    """
+    return (
+        (ST(1, 1, 1), Tracking(location=1)),
+        (ST(2, 2, 2), Tracking(location=4)),
+        (InternalAction("Get-Shared", (2, 1)), Tracking(copies={3: 1})),
+        (ST(1, 3, 3), Tracking(location=1)),
+    )

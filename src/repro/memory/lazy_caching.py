@@ -1,0 +1,214 @@
+"""The Lazy Caching protocol of Afek, Brown & Merritt (TOPLAS 1993).
+
+The paper's flagship hard case: Lazy Caching is sequentially
+consistent but **not** real-time ST ordered — stores sit in
+per-processor out-queues and serialise only when a ``memory-write``
+pops them into memory, so the serial order of STs to a block is the
+memory-write order, not the trace order.  Verifying it requires the
+non-trivial finite-state ST-order generator of Section 4.2
+(:class:`~repro.core.storder.WriteOrderSTOrder` here).
+
+Structure (faithful to the original, with bounded queues):
+
+* full memory, one location per block;
+* each processor has a cache (one entry per block, possibly invalid),
+  a FIFO **out-queue** of its own pending ``(block, value)`` stores,
+  and a FIFO **in-queue** of memory updates not yet applied to its
+  cache; in-queue entries for the processor's *own* stores are
+  *starred*.
+* ``ST(P,B,V)`` appends to P's out-queue (and nothing else).
+* ``memory-write(P)`` pops P's out-queue head into memory and appends
+  the update to *every* in-queue (starred in P's own).
+* ``cache-update(P)`` pops P's in-queue head into P's cache.
+* ``LD(P,B,V)`` reads P's cache entry for B — enabled only when P's
+  out-queue is empty and P's in-queue holds no starred entry (the
+  conditions that make the protocol SC: a processor must observe its
+  own stores before reading anything).
+* ``cache-invalidate(P,B)`` models capacity eviction (optional).
+
+State: ``(mem, caches, outqs, inqs)``; queue capacities are
+constructor parameters (1 slot each by default — enough to exhibit
+the non-real-time serialisation while keeping model checking cheap).
+
+Storage locations: memory per block, cache per (proc, block), one per
+out-queue slot and one per in-queue slot, so data provably flows
+ST → out-queue → {memory, in-queues} → cache → LD under the copy
+tracking labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.operations import BOTTOM, InternalAction
+from ..core.protocol import FRESH, Tracking, Transition
+from ..core.storder import WriteOrderSTOrder
+from .base import LocationMap, MemoryProtocol, replace_at
+
+__all__ = ["LazyCachingProtocol", "lazy_caching_st_order"]
+
+# cache entries: value or INVALID (distinct from holding ⊥, which is a
+# *valid* copy of the initial memory contents)
+INVALID = -1
+
+
+def lazy_caching_st_order() -> WriteOrderSTOrder:
+    """The Section 4.2 ST-order generator for Lazy Caching: a ST
+    serialises when its processor's ``memory-write`` fires."""
+    return WriteOrderSTOrder(
+        lambda action: action.args[0] if action.name == "memory-write" else None
+    )
+
+
+class LazyCachingProtocol(MemoryProtocol):
+    """Afek/Brown/Merritt lazy caching with bounded queues."""
+
+    def __init__(
+        self,
+        p: int = 2,
+        b: int = 1,
+        v: int = 1,
+        *,
+        out_depth: int = 1,
+        in_depth: int = 1,
+        allow_invalidate: bool = False,
+        valid_initial_caches: bool = True,
+    ):
+        super().__init__(p, b, v)
+        if out_depth < 1 or in_depth < 1:
+            raise ValueError("queue depths must be at least 1")
+        self.out_depth = out_depth
+        self.in_depth = in_depth
+        self.allow_invalidate = allow_invalidate
+        self.valid_initial_caches = valid_initial_caches
+        self._locs = LocationMap()
+        self._locs.add_group("mem", b)
+        self._locs.add_group("cache", p * b)
+        self._locs.add_group("outq", p * out_depth)
+        self._locs.add_group("inq", p * in_depth)
+        self.num_locations = self._locs.total
+
+    # location helpers --------------------------------------------------
+    def mem_loc(self, block: int) -> int:
+        return self._locs.loc("mem", block - 1)
+
+    def cache_loc(self, proc: int, block: int) -> int:
+        return self._locs.loc("cache", (proc - 1) * self.b + (block - 1))
+
+    def outq_loc(self, proc: int, slot: int) -> int:
+        return self._locs.loc("outq", (proc - 1) * self.out_depth + slot)
+
+    def inq_loc(self, proc: int, slot: int) -> int:
+        return self._locs.loc("inq", (proc - 1) * self.in_depth + slot)
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Tuple:
+        mem = (BOTTOM,) * self.b
+        cache_val = BOTTOM if self.valid_initial_caches else INVALID
+        caches = ((cache_val,) * self.b,) * self.p
+        outqs = ((),) * self.p  # per proc: tuple of (block, value)
+        inqs = ((),) * self.p  # per proc: tuple of (block, value, starred)
+        return (mem, caches, outqs, inqs)
+
+    def is_quiescent(self, state: Tuple) -> bool:
+        _mem, _caches, outqs, inqs = state
+        return all(not q for q in outqs) and all(not q for q in inqs)
+
+    def may_load_bottom(self, state: Tuple, block: int) -> bool:
+        _mem, caches, _outqs, _inqs = state
+        # a ⊥-load of B needs a valid ⊥ cache copy; updates only write
+        # store values (never ⊥), so ⊥ copies monotonically disappear
+        return any(caches[P - 1][block - 1] == BOTTOM for P in self.procs)
+
+    # ------------------------------------------------------------------
+    def transitions(self, state: Tuple) -> Iterable[Transition]:
+        mem, caches, outqs, inqs = state
+        for P in self.procs:
+            outq, inq = outqs[P - 1], inqs[P - 1]
+            # LD: out-queue empty, no starred in-queue entries
+            if not outq and not any(st for (_b, _v, st) in inq):
+                for B in self.blocks:
+                    cv = caches[P - 1][B - 1]
+                    if cv != INVALID:
+                        yield self.load(P, B, cv, state, self.cache_loc(P, B))
+            # ST: space in the out-queue
+            if len(outq) < self.out_depth:
+                slot = len(outq)
+                for B in self.blocks:
+                    for V in self.values:
+                        ns = (
+                            mem,
+                            caches,
+                            replace_at(outqs, P - 1, outq + ((B, V),)),
+                            inqs,
+                        )
+                        yield self.store(P, B, V, ns, self.outq_loc(P, slot))
+            # memory-write: out-queue non-empty, room in every in-queue
+            if outq and all(len(q) < self.in_depth for q in inqs):
+                yield self._memory_write(state, P)
+            # cache-update: in-queue non-empty
+            if inq:
+                yield self._cache_update(state, P)
+            # cache-invalidate (optional capacity eviction)
+            if self.allow_invalidate:
+                for B in self.blocks:
+                    if caches[P - 1][B - 1] != INVALID:
+                        yield self._invalidate(state, P, B)
+
+    # ------------------------------------------------------------------
+    def _memory_write(self, state: Tuple, P: int) -> Transition:
+        mem, caches, outqs, inqs = state
+        outq = outqs[P - 1]
+        (B, V) = outq[0]
+        src = self.outq_loc(P, 0)
+        copies: Dict[int, int] = {self.mem_loc(B): src}
+        new_inqs = []
+        for Q in self.procs:
+            q = inqs[Q - 1]
+            copies[self.inq_loc(Q, len(q))] = src
+            new_inqs.append(q + ((B, V, Q == P),))
+        # the popped out-queue shifts down; remaining entries move one
+        # slot earlier (their locations shift too)
+        rest = outq[1:]
+        for i in range(len(rest)):
+            copies[self.outq_loc(P, i)] = self.outq_loc(P, i + 1)
+        if not any(
+            dst == self.outq_loc(P, len(rest)) for dst in copies
+        ):
+            copies[self.outq_loc(P, len(rest))] = FRESH
+        ns = (
+            replace_at(mem, B - 1, V),
+            caches,
+            replace_at(outqs, P - 1, rest),
+            tuple(new_inqs),
+        )
+        return Transition(InternalAction("memory-write", (P,)), ns, Tracking(copies=copies))
+
+    def _cache_update(self, state: Tuple, P: int) -> Transition:
+        mem, caches, outqs, inqs = state
+        inq = inqs[P - 1]
+        (B, V, _starred) = inq[0]
+        copies: Dict[int, int] = {self.cache_loc(P, B): self.inq_loc(P, 0)}
+        rest = inq[1:]
+        for i in range(len(rest)):
+            copies[self.inq_loc(P, i)] = self.inq_loc(P, i + 1)
+        tail = self.inq_loc(P, len(rest))
+        if tail not in copies:
+            copies[tail] = FRESH
+        new_caches = replace_at(
+            caches, P - 1, replace_at(caches[P - 1], B - 1, V)
+        )
+        ns = (mem, new_caches, outqs, replace_at(inqs, P - 1, rest))
+        return Transition(InternalAction("cache-update", (P,)), ns, Tracking(copies=copies))
+
+    def _invalidate(self, state: Tuple, P: int, B: int) -> Transition:
+        mem, caches, outqs, inqs = state
+        new_caches = replace_at(
+            caches, P - 1, replace_at(caches[P - 1], B - 1, INVALID)
+        )
+        ns = (mem, new_caches, outqs, inqs)
+        return Transition(
+            InternalAction("cache-invalidate", (P, B)),
+            ns,
+            Tracking(copies={self.cache_loc(P, B): FRESH}),
+        )

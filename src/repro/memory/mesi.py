@@ -1,0 +1,160 @@
+"""MESI — MSI plus the E(xclusive-clean) state.
+
+``AcquireS`` grants E instead of S when no other processor holds a
+valid copy; a store from E upgrades to M *silently* (no bus action,
+the defining optimisation of MESI).  Everything else follows MSI.
+
+State encoding matches :class:`~repro.memory.msi.MSIProtocol` with a
+fourth cache state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..core.operations import BOTTOM, InternalAction
+from ..core.protocol import FRESH, Tracking, Transition
+from .base import LocationMap, MemoryProtocol, replace_at
+
+__all__ = ["MESIProtocol", "I", "S", "E", "M"]
+
+I, S, E, M = 0, 1, 2, 3
+
+
+class MESIProtocol(MemoryProtocol):
+    """Atomic-bus MESI (sequentially consistent)."""
+
+    def __init__(self, p: int = 2, b: int = 1, v: int = 2, *, allow_evict: bool = True):
+        super().__init__(p, b, v)
+        self.allow_evict = allow_evict
+        self._locs = LocationMap()
+        self._locs.add_group("mem", b)
+        self._locs.add_group("cache", p * b)
+        self.num_locations = self._locs.total
+
+    def mem_loc(self, block: int) -> int:
+        return self._locs.loc("mem", block - 1)
+
+    def cache_loc(self, proc: int, block: int) -> int:
+        return self._locs.loc("cache", (proc - 1) * self.b + (block - 1))
+
+    def _idx(self, proc: int, block: int) -> int:
+        return (proc - 1) * self.b + (block - 1)
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Tuple:
+        return (
+            (BOTTOM,) * self.b,
+            (I,) * (self.p * self.b),
+            (BOTTOM,) * (self.p * self.b),
+        )
+
+    def may_load_bottom(self, state: Tuple, block: int) -> bool:
+        mem, cstate, cval = state
+        if mem[block - 1] == BOTTOM:
+            return True
+        return any(
+            cstate[self._idx(P, block)] != I and cval[self._idx(P, block)] == BOTTOM
+            for P in self.procs
+        )
+
+    # ------------------------------------------------------------------
+    def transitions(self, state: Tuple) -> Iterable[Transition]:
+        mem, cstate, cval = state
+        for P in self.procs:
+            for B in self.blocks:
+                i = self._idx(P, B)
+                st = cstate[i]
+                if st != I:
+                    yield self.load(P, B, cval[i], state, self.cache_loc(P, B))
+                if st in (E, M):
+                    for V in self.values:
+                        # silent E -> M upgrade on first store
+                        ns = (
+                            mem,
+                            replace_at(cstate, i, M),
+                            replace_at(cval, i, V),
+                        )
+                        yield self.store(P, B, V, ns, self.cache_loc(P, B))
+                if st == I:
+                    yield self._acquire_s(state, P, B)
+                if st in (I, S):
+                    yield self._acquire_m(state, P, B)
+                if self.allow_evict and st != I:
+                    yield self._evict(state, P, B)
+
+    # ------------------------------------------------------------------
+    def _holders(self, cstate: Tuple, block: int):
+        return [Q for Q in self.procs if cstate[self._idx(Q, block)] != I]
+
+    def _owner(self, cstate: Tuple, block: int):
+        for Q in self.procs:
+            if cstate[self._idx(Q, block)] in (E, M):
+                return Q
+        return None
+
+    def _acquire_s(self, state: Tuple, P: int, B: int) -> Transition:
+        mem, cstate, cval = state
+        i = self._idx(P, B)
+        owner = self._owner(cstate, B)
+        copies: Dict[int, int] = {}
+        if owner is not None:
+            j = self._idx(owner, B)
+            # owner (E or M) supplies data and downgrades to S; a
+            # modified owner also updates memory
+            if cstate[j] == M:
+                mem = replace_at(mem, B - 1, cval[j])
+                copies[self.mem_loc(B)] = self.cache_loc(owner, B)
+            cstate = replace_at(cstate, j, S)
+            copies[self.cache_loc(P, B)] = self.cache_loc(owner, B)
+            data = cval[j]
+            new_state = S
+        else:
+            copies[self.cache_loc(P, B)] = self.mem_loc(B)
+            data = mem[B - 1]
+            # exclusive-clean grant when nobody else holds the block
+            new_state = S if self._holders(cstate, B) else E
+        cstate = replace_at(cstate, i, new_state)
+        cval = replace_at(cval, i, data)
+        return Transition(
+            InternalAction("AcquireS", (P, B)), (mem, cstate, cval), Tracking(copies=copies)
+        )
+
+    def _acquire_m(self, state: Tuple, P: int, B: int) -> Transition:
+        mem, cstate, cval = state
+        i = self._idx(P, B)
+        owner = self._owner(cstate, B)
+        copies: Dict[int, int] = {}
+        if owner is not None:
+            j = self._idx(owner, B)
+            copies[self.cache_loc(P, B)] = self.cache_loc(owner, B)
+            data = cval[j]
+        else:
+            copies[self.cache_loc(P, B)] = self.mem_loc(B)
+            data = mem[B - 1]
+        for Q in self.procs:
+            if Q == P:
+                continue
+            j = self._idx(Q, B)
+            if cstate[j] != I:
+                cstate = replace_at(cstate, j, I)
+                cval = replace_at(cval, j, BOTTOM)
+                copies[self.cache_loc(Q, B)] = FRESH
+        cstate = replace_at(cstate, i, M)
+        cval = replace_at(cval, i, data)
+        return Transition(
+            InternalAction("AcquireM", (P, B)), (mem, cstate, cval), Tracking(copies=copies)
+        )
+
+    def _evict(self, state: Tuple, P: int, B: int) -> Transition:
+        mem, cstate, cval = state
+        i = self._idx(P, B)
+        copies: Dict[int, int] = {self.cache_loc(P, B): FRESH}
+        if cstate[i] == M:
+            mem = replace_at(mem, B - 1, cval[i])
+            copies[self.mem_loc(B)] = self.cache_loc(P, B)
+        cstate = replace_at(cstate, i, I)
+        cval = replace_at(cval, i, BOTTOM)
+        return Transition(
+            InternalAction("Evict", (P, B)), (mem, cstate, cval), Tracking(copies=copies)
+        )

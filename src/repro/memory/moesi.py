@@ -1,0 +1,179 @@
+"""MOESI — five-state coherence with dirty sharing.
+
+Adds the O(wned) state to MESI: a modified owner answering a share
+request keeps the only up-to-date copy (state O) and supplies data
+cache-to-cache *without* writing memory back — memory stays stale
+until the owner evicts.  This exercises a tracking pattern none of the
+other protocols have: the memory location can hold an old ST's value
+while newer values circulate between caches, so correct inheritance
+hinges entirely on the copy labels.
+
+States per (processor, block): I, S, E, O, M.
+
+* ``AcquireS``: data from the M/O/E owner if any (owner goes O if it
+  was M/O — dirty sharing — or S if it was clean E), else from memory
+  with an E grant when no-one holds the block.
+* ``AcquireM``: data from owner or memory; every other copy
+  invalidated.
+* ``Evict``: M and O write back; E/S drop silently.
+
+Sequentially consistent (single writer, invalidation on write).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.operations import BOTTOM, InternalAction
+from ..core.protocol import FRESH, Tracking, Transition
+from .base import LocationMap, MemoryProtocol, replace_at
+
+__all__ = ["MOESIProtocol", "I", "S", "E", "O", "M"]
+
+I, S, E, O, M = 0, 1, 2, 3, 4
+
+
+class MOESIProtocol(MemoryProtocol):
+    """Atomic-bus MOESI with dirty sharing."""
+
+    def __init__(self, p: int = 2, b: int = 1, v: int = 2, *, allow_evict: bool = True):
+        super().__init__(p, b, v)
+        self.allow_evict = allow_evict
+        self._locs = LocationMap()
+        self._locs.add_group("mem", b)
+        self._locs.add_group("cache", p * b)
+        self.num_locations = self._locs.total
+
+    def mem_loc(self, block: int) -> int:
+        return self._locs.loc("mem", block - 1)
+
+    def cache_loc(self, proc: int, block: int) -> int:
+        return self._locs.loc("cache", (proc - 1) * self.b + (block - 1))
+
+    def _idx(self, proc: int, block: int) -> int:
+        return (proc - 1) * self.b + (block - 1)
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Tuple:
+        return (
+            (BOTTOM,) * self.b,
+            (I,) * (self.p * self.b),
+            (BOTTOM,) * (self.p * self.b),
+        )
+
+    def may_load_bottom(self, state: Tuple, block: int) -> bool:
+        mem, cstate, cval = state
+        owner = self._owner(cstate, block)
+        if owner is None and mem[block - 1] == BOTTOM:
+            return True
+        return any(
+            cstate[self._idx(P, block)] != I and cval[self._idx(P, block)] == BOTTOM
+            for P in self.procs
+        )
+
+    # ------------------------------------------------------------------
+    def _owner(self, cstate: Tuple, block: int) -> Optional[int]:
+        """The processor responsible for supplying data (M, O or E)."""
+        for Q in self.procs:
+            if cstate[self._idx(Q, block)] in (M, O, E):
+                return Q
+        return None
+
+    def _holders(self, cstate: Tuple, block: int):
+        return [Q for Q in self.procs if cstate[self._idx(Q, block)] != I]
+
+    def transitions(self, state: Tuple) -> Iterable[Transition]:
+        mem, cstate, cval = state
+        for P in self.procs:
+            for B in self.blocks:
+                i = self._idx(P, B)
+                st = cstate[i]
+                if st != I:
+                    yield self.load(P, B, cval[i], state, self.cache_loc(P, B))
+                if st in (E, M, O):
+                    for V in self.values:
+                        # O and E silently upgrade to M on a store; an
+                        # O-store must invalidate the stale sharers
+                        ns_cstate = replace_at(cstate, i, M)
+                        ns_cval = replace_at(cval, i, V)
+                        if st == O:
+                            for Q in self.procs:
+                                if Q == P:
+                                    continue
+                                j = self._idx(Q, B)
+                                if ns_cstate[j] != I:
+                                    ns_cstate = replace_at(ns_cstate, j, I)
+                                    ns_cval = replace_at(ns_cval, j, BOTTOM)
+                            # the invalidations move no data; the ST's
+                            # own location label carries the new value
+                        yield self.store(P, B, V, (mem, ns_cstate, ns_cval), self.cache_loc(P, B))
+                if st == I:
+                    yield self._acquire_s(state, P, B)
+                if st in (I, S):
+                    yield self._acquire_m(state, P, B)
+                if self.allow_evict and st != I:
+                    yield self._evict(state, P, B)
+
+    # ------------------------------------------------------------------
+    def _acquire_s(self, state: Tuple, P: int, B: int) -> Transition:
+        mem, cstate, cval = state
+        i = self._idx(P, B)
+        owner = self._owner(cstate, B)
+        copies: Dict[int, int] = {}
+        if owner is not None:
+            j = self._idx(owner, B)
+            # dirty sharing: M/O owner supplies data cache-to-cache and
+            # keeps responsibility in O; memory is NOT updated.  A
+            # clean E owner downgrades to S.
+            new_owner_state = O if cstate[j] in (M, O) else S
+            cstate = replace_at(cstate, j, new_owner_state)
+            copies[self.cache_loc(P, B)] = self.cache_loc(owner, B)
+            data = cval[j]
+            grant = S
+        else:
+            copies[self.cache_loc(P, B)] = self.mem_loc(B)
+            data = mem[B - 1]
+            grant = S if self._holders(cstate, B) else E
+        cstate = replace_at(cstate, i, grant)
+        cval = replace_at(cval, i, data)
+        return Transition(
+            InternalAction("AcquireS", (P, B)), (mem, cstate, cval), Tracking(copies=copies)
+        )
+
+    def _acquire_m(self, state: Tuple, P: int, B: int) -> Transition:
+        mem, cstate, cval = state
+        i = self._idx(P, B)
+        owner = self._owner(cstate, B)
+        copies: Dict[int, int] = {}
+        if owner is not None:
+            copies[self.cache_loc(P, B)] = self.cache_loc(owner, B)
+            data = cval[self._idx(owner, B)]
+        else:
+            copies[self.cache_loc(P, B)] = self.mem_loc(B)
+            data = mem[B - 1]
+        for Q in self.procs:
+            if Q == P:
+                continue
+            j = self._idx(Q, B)
+            if cstate[j] != I:
+                cstate = replace_at(cstate, j, I)
+                cval = replace_at(cval, j, BOTTOM)
+                copies[self.cache_loc(Q, B)] = FRESH
+        cstate = replace_at(cstate, i, M)
+        cval = replace_at(cval, i, data)
+        return Transition(
+            InternalAction("AcquireM", (P, B)), (mem, cstate, cval), Tracking(copies=copies)
+        )
+
+    def _evict(self, state: Tuple, P: int, B: int) -> Transition:
+        mem, cstate, cval = state
+        i = self._idx(P, B)
+        copies: Dict[int, int] = {self.cache_loc(P, B): FRESH}
+        if cstate[i] in (M, O):
+            mem = replace_at(mem, B - 1, cval[i])
+            copies[self.mem_loc(B)] = self.cache_loc(P, B)
+        cstate = replace_at(cstate, i, I)
+        cval = replace_at(cval, i, BOTTOM)
+        return Transition(
+            InternalAction("Evict", (P, B)), (mem, cstate, cval), Tracking(copies=copies)
+        )

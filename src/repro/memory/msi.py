@@ -1,0 +1,176 @@
+"""Snooping MSI cache-coherence protocol (atomic bus, write-back).
+
+Each processor has one cache entry per block in state I(nvalid),
+S(hared) or M(odified).  Bus transactions are atomic internal actions:
+
+* ``AcquireS(P,B)`` — P obtains a shared copy; a modified owner (if
+  any) supplies the data and downgrades to S, updating memory.
+* ``AcquireM(P,B)`` — P obtains an exclusive copy; the previous owner
+  (if any) supplies data, every other valid copy is invalidated.
+* ``Evict(P,B)`` — P drops its copy, writing back first if modified.
+
+Loads hit only valid entries; stores require M.  The protocol is
+sequentially consistent (stores serialise in real time at the cache,
+because exclusivity guarantees a single writer per block) and its
+tracking labels fall out of the copy structure: data moves cache ↔
+memory ↔ cache explicitly.
+
+State: ``(mem, cstate, cval)`` with ``mem`` a b-tuple of values,
+``cstate``/``cval`` p·b-tuples (processor-major).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..core.operations import BOTTOM, InternalAction
+from ..core.protocol import FRESH, Tracking, Transition
+from .base import LocationMap, MemoryProtocol, replace_at
+
+__all__ = ["MSIProtocol", "I", "S", "M"]
+
+I, S, M = 0, 1, 2
+_STATE_NAMES = {I: "I", S: "S", M: "M"}
+
+
+class MSIProtocol(MemoryProtocol):
+    """Atomic-bus MSI.  ``allow_evict`` can be disabled to shrink the
+    state space for the most expensive verifications."""
+
+    #: invalidate other copies on AcquireM (the buggy variant flips it)
+    invalidate_on_acquire_m: bool = True
+
+    def __init__(self, p: int = 2, b: int = 1, v: int = 2, *, allow_evict: bool = True):
+        super().__init__(p, b, v)
+        self.allow_evict = allow_evict
+        self._locs = LocationMap()
+        self._locs.add_group("mem", b)
+        self._locs.add_group("cache", p * b)
+        self.num_locations = self._locs.total
+
+    # location helpers --------------------------------------------------
+    def mem_loc(self, block: int) -> int:
+        return self._locs.loc("mem", block - 1)
+
+    def cache_loc(self, proc: int, block: int) -> int:
+        return self._locs.loc("cache", (proc - 1) * self.b + (block - 1))
+
+    @staticmethod
+    def _idx(proc: int, block: int, b: int) -> int:
+        return (proc - 1) * b + (block - 1)
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Tuple:
+        mem = (BOTTOM,) * self.b
+        cstate = (I,) * (self.p * self.b)
+        cval = (BOTTOM,) * (self.p * self.b)
+        return (mem, cstate, cval)
+
+    def may_load_bottom(self, state: Tuple, block: int) -> bool:
+        mem, cstate, cval = state
+        if mem[block - 1] == BOTTOM:
+            return True
+        return any(
+            cstate[self._idx(P, block, self.b)] != I
+            and cval[self._idx(P, block, self.b)] == BOTTOM
+            for P in self.procs
+        )
+
+    def is_quiescent(self, state: Tuple) -> bool:
+        return True  # bus transactions are atomic; nothing is in flight
+
+    # ------------------------------------------------------------------
+    def transitions(self, state: Tuple) -> Iterable[Transition]:
+        mem, cstate, cval = state
+        b = self.b
+        for P in self.procs:
+            for B in self.blocks:
+                i = self._idx(P, B, b)
+                st = cstate[i]
+                # LD: any valid copy serves the (unique) cached value
+                if st != I:
+                    yield self.load(P, B, cval[i], state, self.cache_loc(P, B))
+                # ST: requires exclusive ownership
+                if st == M:
+                    for V in self.values:
+                        ns = (mem, cstate, replace_at(cval, i, V))
+                        yield self.store(P, B, V, ns, self.cache_loc(P, B))
+                # AcquireS
+                if st == I:
+                    yield self._acquire_s(state, P, B)
+                # AcquireM
+                if st != M:
+                    yield self._acquire_m(state, P, B)
+                # Evict
+                if self.allow_evict and st != I:
+                    yield self._evict(state, P, B)
+
+    # ------------------------------------------------------------------
+    def _owner(self, cstate: Tuple, block: int) -> int | None:
+        for Q in self.procs:
+            if cstate[self._idx(Q, block, self.b)] == M:
+                return Q
+        return None
+
+    def _acquire_s(self, state: Tuple, P: int, B: int) -> Transition:
+        mem, cstate, cval = state
+        b = self.b
+        i = self._idx(P, B, b)
+        owner = self._owner(cstate, B)
+        copies: Dict[int, int] = {}
+        if owner is not None:
+            j = self._idx(owner, B, b)
+            # owner writes back and downgrades; P copies the same data
+            mem = replace_at(mem, B - 1, cval[j])
+            cstate = replace_at(cstate, j, S)
+            copies[self.mem_loc(B)] = self.cache_loc(owner, B)
+            copies[self.cache_loc(P, B)] = self.cache_loc(owner, B)
+            data = cval[j]
+        else:
+            copies[self.cache_loc(P, B)] = self.mem_loc(B)
+            data = mem[B - 1]
+        cstate = replace_at(cstate, i, S)
+        cval = replace_at(cval, i, data)
+        return Transition(
+            InternalAction("AcquireS", (P, B)), (mem, cstate, cval), Tracking(copies=copies)
+        )
+
+    def _acquire_m(self, state: Tuple, P: int, B: int) -> Transition:
+        mem, cstate, cval = state
+        b = self.b
+        i = self._idx(P, B, b)
+        owner = self._owner(cstate, B)
+        copies: Dict[int, int] = {}
+        if owner is not None:
+            j = self._idx(owner, B, b)
+            copies[self.cache_loc(P, B)] = self.cache_loc(owner, B)
+            data = cval[j]
+        else:
+            copies[self.cache_loc(P, B)] = self.mem_loc(B)
+            data = mem[B - 1]
+        for Q in self.procs:
+            if Q == P:
+                continue
+            j = self._idx(Q, B, b)
+            if cstate[j] != I and self.invalidate_on_acquire_m:
+                cstate = replace_at(cstate, j, I)
+                cval = replace_at(cval, j, BOTTOM)
+                copies[self.cache_loc(Q, B)] = FRESH
+        cstate = replace_at(cstate, i, M)
+        cval = replace_at(cval, i, data)
+        return Transition(
+            InternalAction("AcquireM", (P, B)), (mem, cstate, cval), Tracking(copies=copies)
+        )
+
+    def _evict(self, state: Tuple, P: int, B: int) -> Transition:
+        mem, cstate, cval = state
+        i = self._idx(P, B, self.b)
+        copies: Dict[int, int] = {self.cache_loc(P, B): FRESH}
+        if cstate[i] == M:
+            mem = replace_at(mem, B - 1, cval[i])
+            copies[self.mem_loc(B)] = self.cache_loc(P, B)
+        cstate = replace_at(cstate, i, I)
+        cval = replace_at(cval, i, BOTTOM)
+        return Transition(
+            InternalAction("Evict", (P, B)), (mem, cstate, cval), Tracking(copies=copies)
+        )

@@ -1,0 +1,51 @@
+"""Serial (atomic) memory — the baseline protocol.
+
+One storage location per block; every LD and ST acts on it
+instantaneously.  Trivially sequentially consistent (its traces *are*
+serial), with real-time ST order, no internal actions, and the
+smallest possible state space: ``(v+1)^b`` states.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..core.operations import BOTTOM
+from ..core.protocol import Transition
+from .base import LocationMap, MemoryProtocol, replace_at
+
+__all__ = ["SerialMemory"]
+
+
+class SerialMemory(MemoryProtocol):
+    """The paper's "serial memory": loads return the value of the most
+    recent store, atomically, in real time.
+
+    State: a tuple ``mem`` of length ``b`` with ``mem[B-1]`` the current
+    value of block ``B`` (``BOTTOM`` initially).
+    """
+
+    def __init__(self, p: int = 2, b: int = 1, v: int = 2):
+        super().__init__(p, b, v)
+        self._locs = LocationMap()
+        self._locs.add_group("mem", b)
+        self.num_locations = self._locs.total
+
+    def initial_state(self) -> Tuple[int, ...]:
+        return (BOTTOM,) * self.b
+
+    def may_load_bottom(self, state: Tuple[int, ...], block: int) -> bool:
+        # the single memory location is the only readable copy; once
+        # written it never reverts to ⊥
+        return state[block - 1] == BOTTOM
+
+    def transitions(self, state: Tuple[int, ...]) -> Iterable[Transition]:
+        for proc in self.procs:
+            for block in self.blocks:
+                loc = self._locs.loc("mem", block - 1)
+                # the only loadable value is the current one
+                yield self.load(proc, block, state[block - 1], state, loc)
+                for value in self.values:
+                    yield self.store(
+                        proc, block, value, replace_at(state, block - 1, value), loc
+                    )

@@ -1,0 +1,116 @@
+"""A store-buffer (TSO-like) memory system — **not** sequentially
+consistent.
+
+Each processor writes into a private FIFO store buffer; buffered
+stores drain to memory via ``flush`` actions.  Loads read the youngest
+buffered store to the same block if one exists (store-to-load
+forwarding), else memory.  Because a processor can read memory *past*
+its own buffered stores, the classic Dekker/store-buffer litmus
+outcome is reachable::
+
+    P1: ST(x,1); LD(y,⊥)      P2: ST(y,1); LD(x,⊥)
+
+Both loads returning ⊥ cannot be serialised: each LD must precede the
+other processor's ST, yet follow its own — a constraint-graph cycle.
+Verification finds exactly this run as a counterexample.
+
+ST order is the flush order (a :class:`WriteOrderSTOrder` over the
+``flush`` action), mirroring how TSO serialises stores at memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.operations import BOTTOM, InternalAction
+from ..core.protocol import FRESH, Tracking, Transition
+from ..core.storder import WriteOrderSTOrder
+from .base import LocationMap, MemoryProtocol, replace_at
+
+__all__ = ["StoreBufferProtocol", "store_buffer_st_order"]
+
+
+def store_buffer_st_order() -> WriteOrderSTOrder:
+    """STs serialise when their processor's ``flush`` pops them."""
+    return WriteOrderSTOrder(
+        lambda action: action.args[0] if action.name == "flush" else None
+    )
+
+
+class StoreBufferProtocol(MemoryProtocol):
+    """TSO-style store buffering (violates SC).
+
+    State: ``(mem, buffers)`` with ``buffers[P-1]`` a tuple of
+    ``(block, value)`` in FIFO order, capacity ``depth``.
+    """
+
+    def __init__(self, p: int = 2, b: int = 2, v: int = 1, *, depth: int = 1,
+                 forwarding: bool = True):
+        super().__init__(p, b, v)
+        if depth < 1:
+            raise ValueError("buffer depth must be at least 1")
+        self.depth = depth
+        self.forwarding = forwarding
+        self._locs = LocationMap()
+        self._locs.add_group("mem", b)
+        self._locs.add_group("buf", p * depth)
+        self.num_locations = self._locs.total
+
+    def mem_loc(self, block: int) -> int:
+        return self._locs.loc("mem", block - 1)
+
+    def buf_loc(self, proc: int, slot: int) -> int:
+        return self._locs.loc("buf", (proc - 1) * self.depth + slot)
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Tuple:
+        return ((BOTTOM,) * self.b, ((),) * self.p)
+
+    def is_quiescent(self, state: Tuple) -> bool:
+        return all(not buf for buf in state[1])
+
+    def may_load_bottom(self, state: Tuple, block: int) -> bool:
+        # only memory can supply ⊥, and it is never reset
+        return state[0][block - 1] == BOTTOM
+
+    # ------------------------------------------------------------------
+    def transitions(self, state: Tuple) -> Iterable[Transition]:
+        mem, buffers = state
+        for P in self.procs:
+            buf = buffers[P - 1]
+            for B in self.blocks:
+                # LD: forward from the youngest buffered store to B, or
+                # read memory straight past the buffer (the TSO hole)
+                fwd_slot = None
+                if self.forwarding:
+                    for i in range(len(buf) - 1, -1, -1):
+                        if buf[i][0] == B:
+                            fwd_slot = i
+                            break
+                if fwd_slot is not None:
+                    yield self.load(P, B, buf[fwd_slot][1], state, self.buf_loc(P, fwd_slot))
+                else:
+                    yield self.load(P, B, mem[B - 1], state, self.mem_loc(B))
+                # ST: append to the buffer
+                if len(buf) < self.depth:
+                    slot = len(buf)
+                    for V in self.values:
+                        ns = (mem, replace_at(buffers, P - 1, buf + ((B, V),)))
+                        yield self.store(P, B, V, ns, self.buf_loc(P, slot))
+            # flush the oldest buffered store to memory
+            if buf:
+                yield self._flush(state, P)
+
+    def _flush(self, state: Tuple, P: int) -> Transition:
+        mem, buffers = state
+        buf = buffers[P - 1]
+        (B, _V) = buf[0]
+        copies: Dict[int, int] = {self.mem_loc(B): self.buf_loc(P, 0)}
+        rest = buf[1:]
+        for i in range(len(rest)):
+            copies[self.buf_loc(P, i)] = self.buf_loc(P, i + 1)
+        tail = self.buf_loc(P, len(rest))
+        if tail not in copies:
+            copies[tail] = FRESH
+        ns = (replace_at(mem, B - 1, buf[0][1]), replace_at(buffers, P - 1, rest))
+        return Transition(InternalAction("flush", (P,)), ns, Tracking(copies=copies))

@@ -1,0 +1,107 @@
+"""A write-through, write-update protocol (Dragon/Firefly style).
+
+Stores write memory and *update* every valid cache copy in the same
+atomic step — no invalidations, no dirty state.  Caches only ever hold
+clean data, so eviction is silent and misses fill from memory.
+
+A useful contrast case for tracking: one ST's value lands in up to
+``p + 1`` locations in a single transition.  This uses the ST-with-
+copies extension of :mod:`repro.core.protocol` (the copies read the
+post-store snapshot, so ``cache(P,B) -> mem(B)`` and
+``cache(P,B) -> cache(Q,B)`` all carry the freshly stored value), and
+on the descriptor side the new ST node's ID-set immediately covers all
+those locations via ``add-ID``.
+
+Sequentially consistent (the update is atomic across all copies).
+
+State: ``(mem, valid, cval)`` with ``valid`` a p·b bit-tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..core.operations import BOTTOM, InternalAction
+from ..core.protocol import FRESH, Tracking, Transition
+from .base import LocationMap, MemoryProtocol, replace_at
+
+__all__ = ["WriteThroughProtocol"]
+
+
+class WriteThroughProtocol(MemoryProtocol):
+    """Write-through + write-update caches (SC)."""
+
+    def __init__(self, p: int = 2, b: int = 1, v: int = 2, *, allow_evict: bool = True):
+        super().__init__(p, b, v)
+        self.allow_evict = allow_evict
+        self._locs = LocationMap()
+        self._locs.add_group("mem", b)
+        self._locs.add_group("cache", p * b)
+        self.num_locations = self._locs.total
+
+    def mem_loc(self, block: int) -> int:
+        return self._locs.loc("mem", block - 1)
+
+    def cache_loc(self, proc: int, block: int) -> int:
+        return self._locs.loc("cache", (proc - 1) * self.b + (block - 1))
+
+    def _idx(self, proc: int, block: int) -> int:
+        return (proc - 1) * self.b + (block - 1)
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Tuple:
+        return (
+            (BOTTOM,) * self.b,
+            (False,) * (self.p * self.b),
+            (BOTTOM,) * (self.p * self.b),
+        )
+
+    def may_load_bottom(self, state: Tuple, block: int) -> bool:
+        mem, valid, cval = state
+        if mem[block - 1] == BOTTOM:
+            return True
+        return any(
+            valid[self._idx(P, block)] and cval[self._idx(P, block)] == BOTTOM
+            for P in self.procs
+        )
+
+    # ------------------------------------------------------------------
+    def transitions(self, state: Tuple) -> Iterable[Transition]:
+        mem, valid, cval = state
+        for P in self.procs:
+            for B in self.blocks:
+                i = self._idx(P, B)
+                if valid[i]:
+                    yield self.load(P, B, cval[i], state, self.cache_loc(P, B))
+                # ST: own cache becomes valid with V; memory and every
+                # other valid copy are updated atomically (fan-out
+                # copies from the just-written cache location)
+                for V in self.values:
+                    nmem = replace_at(mem, B - 1, V)
+                    nvalid = replace_at(valid, i, True)
+                    ncval = replace_at(cval, i, V)
+                    copies: Dict[int, int] = {self.mem_loc(B): self.cache_loc(P, B)}
+                    for Q in self.procs:
+                        if Q == P:
+                            continue
+                        j = self._idx(Q, B)
+                        if valid[j]:
+                            ncval = replace_at(ncval, j, V)
+                            copies[self.cache_loc(Q, B)] = self.cache_loc(P, B)
+                    yield Transition(
+                        self.store(P, B, V, None, self.cache_loc(P, B)).action,
+                        (nmem, nvalid, ncval),
+                        Tracking(location=self.cache_loc(P, B), copies=copies),
+                    )
+                if self.allow_evict and valid[i]:
+                    yield Transition(
+                        InternalAction("Evict", (P, B)),
+                        (mem, replace_at(valid, i, False), replace_at(cval, i, BOTTOM)),
+                        Tracking(copies={self.cache_loc(P, B): FRESH}),
+                    )
+                if not valid[i]:
+                    yield Transition(
+                        InternalAction("Fill", (P, B)),
+                        (mem, replace_at(valid, i, True), replace_at(cval, i, mem[B - 1])),
+                        Tracking(copies={self.cache_loc(P, B): self.mem_loc(B)}),
+                    )

@@ -1,0 +1,40 @@
+"""Counterexample runs extracted by the product explorer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.operations import Action, Operation, Run, Trace, format_trace, trace_of_run
+from ..core.descriptor import Symbol, format_descriptor
+
+__all__ = ["Counterexample"]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A protocol run on which the checker rejected.
+
+    ``run`` is the full action sequence (internal actions included);
+    ``trace`` its LD/ST projection; ``symbols`` the descriptor the
+    observer emitted for the whole run; ``reason`` the first checker
+    violation.
+    """
+
+    run: Run
+    symbols: Tuple[Symbol, ...]
+    reason: str
+
+    @property
+    def trace(self) -> Trace:
+        return trace_of_run(self.run)
+
+    def pretty(self) -> str:
+        lines = [
+            f"SC violation: {self.reason}",
+            f"run ({len(self.run)} actions):",
+        ]
+        lines += [f"  {i}: {a!r}" for i, a in enumerate(self.run, start=1)]
+        lines.append(f"trace: {format_trace(self.trace)}")
+        lines.append(f"descriptor: {format_descriptor(self.symbols)}")
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Plain reachability over a protocol's own state space.
+
+Used on its own for the state-explosion benchmarks (how many states
+does MSI have at (p, b, v)?) and as the skeleton the product explorer
+follows.  Breadth-first, so ``max_depth`` means "all runs of at most
+that many actions".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+
+from ..core.protocol import Protocol
+from .stats import ExplorationStats
+
+__all__ = ["explore", "reachable_states", "count_actions"]
+
+
+def explore(
+    protocol: Protocol,
+    *,
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    on_state: Optional[Callable[[Hashable, int], None]] = None,
+) -> ExplorationStats:
+    """BFS over the protocol's reachable states.
+
+    ``on_state(state, depth)`` is invoked once per distinct state.
+    Caps mark the result ``truncated`` instead of raising.
+    """
+    stats = ExplorationStats()
+    init = protocol.initial_state()
+    seen: Set[Hashable] = {init}
+    queue: deque = deque([(init, 0)])
+    stats.states = 1
+    if on_state:
+        on_state(init, 0)
+    while queue:
+        state, depth = queue.popleft()
+        stats.max_depth = max(stats.max_depth, depth)
+        if max_depth is not None and depth >= max_depth:
+            stats.truncated = True
+            continue
+        for t in protocol.transitions(state):
+            stats.transitions += 1
+            if t.state in seen:
+                continue
+            if max_states is not None and stats.states >= max_states:
+                stats.truncated = True
+                return stats
+            seen.add(t.state)
+            stats.states += 1
+            if on_state:
+                on_state(t.state, depth + 1)
+            queue.append((t.state, depth + 1))
+    return stats
+
+
+def reachable_states(
+    protocol: Protocol, *, max_states: Optional[int] = None
+) -> List[Hashable]:
+    """All reachable states (BFS order)."""
+    out: List[Hashable] = []
+    explore(protocol, max_states=max_states, on_state=lambda s, d: out.append(s))
+    return out
+
+
+def count_actions(protocol: Protocol, *, max_states: Optional[int] = None) -> Dict[str, int]:
+    """Histogram of action kinds over all transitions of the reachable
+    fragment (diagnostic; also exercised by tests)."""
+    counts: Dict[str, int] = {}
+
+    def visit(state, _depth):
+        for t in protocol.transitions(state):
+            name = type(t.action).__name__
+            if hasattr(t.action, "name"):
+                name = t.action.name  # type: ignore[union-attr]
+            counts[name] = counts.get(name, 0) + 1
+
+    explore(protocol, max_states=max_states, on_state=visit)
+    return counts

@@ -1,0 +1,236 @@
+"""Product exploration: protocol × observer × checker.
+
+This is the model-checking step of Figure 2: breadth-first search over
+joint states ``(protocol state, observer state, checker state)``.  The
+observer emits descriptor symbols for each protocol transition; the
+checker consumes them.  The search reports the first reachable
+violation — either an eager safety rejection (a cycle, a malformed
+edge) or an end-of-string failure at a *quiescent* protocol state —
+as a :class:`~repro.modelcheck.counterexample.Counterexample`.
+
+End checks only at quiescent states are justified by prefix closure:
+the constraint graph of any run prefix embeds into the graph of a
+quiescent extension (every added STo/forced edge is implied by a path
+there), so acyclicity and validity at quiescent states imply a serial
+reordering for every prefix trace.  For this to cover all behaviour,
+quiescence must be reachable from every state — which
+:func:`explore_product` verifies on the explored graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..core.checker import Checker
+from ..core.cycle_checker import CycleChecker
+from ..core.observer import Observer
+from ..core.operations import Action
+from ..core.protocol import Protocol
+from ..core.storder import STOrderGenerator
+from .counterexample import Counterexample
+from .stats import ExplorationStats
+
+__all__ = ["ProductResult", "explore_product"]
+
+
+@dataclass
+class ProductResult:
+    """Outcome of a product exploration."""
+
+    ok: bool
+    counterexample: Optional[Counterexample]
+    stats: ExplorationStats
+    #: joint states from which no quiescent state is reachable (empty
+    #: when verification is complete); non-empty makes ``ok`` False
+    #: unless the protocol genuinely never quiesces from there
+    non_quiescible: int = 0
+
+    @property
+    def verdict(self) -> str:
+        if self.ok:
+            return "VERIFIED (bounded)" if self.stats.truncated else "VERIFIED"
+        if self.counterexample is not None:
+            return "VIOLATION"
+        return "INCOMPLETE"
+
+
+def _replay(
+    protocol: Protocol,
+    st_order: Optional[STOrderGenerator],
+    actions: List[Action],
+) -> Tuple[Tuple, str]:
+    """Re-execute a run to recover the emitted symbols and the first
+    checker violation message."""
+    observer = Observer(
+        protocol, st_order.copy() if st_order is not None else None, self_check=True
+    )
+    checker = Checker()
+    state = protocol.initial_state()
+    symbols = []
+    for action in actions:
+        for t in protocol.transitions(state):
+            if t.action == action:
+                break
+        else:  # pragma: no cover - internal invariant
+            raise AssertionError("counterexample replay diverged")
+        symbols.extend(observer.on_transition(t))
+        state = t.state
+    checker.feed_all(symbols)
+    violations = checker.violations()
+    if observer.violation is not None:
+        violations.insert(0, observer.violation)
+    reason = violations[0] if violations else "checker rejected"
+    return tuple(symbols), reason
+
+
+def explore_product(
+    protocol: Protocol,
+    st_order: Optional[STOrderGenerator] = None,
+    *,
+    mode: str = "full",
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    check_quiescence_reachability: bool = True,
+    canonical_ids: bool = True,
+    eager_free: bool = True,
+    unpin_heads: bool = True,
+) -> ProductResult:
+    """Run the verification search.
+
+    ``st_order`` is a *template* generator — it is copied for the
+    initial observer (``None`` = real-time ST order).  Caps make the
+    result a bounded (testing-grade) verdict rather than a proof.
+
+    ``mode`` selects the checking depth:
+
+    * ``"full"`` — the literal Figure 2 pipeline: the complete
+      protocol-independent checker (cycle + all five edge-annotation
+      constraints) rides along in the product.  Exactly the paper, but
+      the checker's window state multiplies the joint state space.
+    * ``"fast"`` — exploits Theorem 4.1: the observer's output
+      satisfies the structural constraints (2, 3, 5 and the edge shape
+      of 4) *by construction* (a property the test suite verifies
+      against the full checker on both exhaustive and random runs), so
+      only the protocol-dependent checks ride along: acyclicity
+      (CycleChecker) and value/block agreement of inheritance
+      (observer self-check).  Same verdicts, far fewer joint states.
+    """
+    if mode not in ("full", "fast"):
+        raise ValueError(f"unknown mode {mode!r}")
+    fast = mode == "fast"
+    stats = ExplorationStats()
+    observer0 = Observer(
+        protocol,
+        st_order.copy() if st_order is not None else None,
+        self_check=fast,
+        eager_free=eager_free,
+        unpin_heads=unpin_heads,
+    )
+    checker0 = CycleChecker() if fast else Checker()
+    init_pstate = protocol.initial_state()
+
+    def joint_key(pstate, obs: Observer, chk) -> Tuple:
+        canon = obs.canonical_renaming() if canonical_ids else None
+        return (pstate, obs.state_key(canon), chk.state_key(canon))
+
+    init_key = joint_key(init_pstate, observer0, checker0)
+    seen: Set[Tuple] = {init_key}
+    parents: Dict[Tuple, Tuple[Optional[Tuple], Optional[Action]]] = {init_key: (None, None)}
+    succs: Dict[Tuple, List[Tuple]] = {}
+    quiescent_keys: Set[Tuple] = set()
+    queue: deque = deque([(init_pstate, observer0, checker0, init_key, 0)])
+    stats.states = 1
+
+    def end_check(pstate, chk, key) -> bool:
+        """True if OK (or not applicable)."""
+        if not protocol.is_quiescent(pstate):
+            return True
+        stats.quiescent_states += 1
+        quiescent_keys.add(key)
+        if fast:
+            # structural end conditions hold by observer construction;
+            # acyclicity is checked eagerly on every symbol
+            return True
+        return chk.accepts_at_end()
+
+    def build_cx(key) -> Counterexample:
+        actions: List[Action] = []
+        k = key
+        while True:
+            parent, action = parents[k]
+            if parent is None:
+                break
+            actions.append(action)  # type: ignore[arg-type]
+            k = parent
+        actions.reverse()
+        symbols, reason = _replay(protocol, st_order, actions)
+        return Counterexample(tuple(actions), symbols, reason)
+
+    if not end_check(init_pstate, checker0, init_key):
+        return ProductResult(False, build_cx(init_key), stats)
+
+    while queue:
+        if stats.truncated and max_states is not None and stats.states >= max_states:
+            break  # cap reached: stop expanding entirely
+        pstate, obs, chk, key, depth = queue.popleft()
+        stats.max_depth = max(stats.max_depth, depth)
+        if max_depth is not None and depth >= max_depth:
+            stats.truncated = True
+            continue
+        kids = succs.setdefault(key, [])
+        for t in protocol.transitions(pstate):
+            stats.transitions += 1
+            obs2 = obs.fork()
+            symbols = obs2.on_transition(t)
+            if symbols:
+                chk2 = chk.fork()
+                ok = chk2.feed_all(symbols) and obs2.violation is None
+            else:
+                # nothing emitted: the checker state is unchanged, so the
+                # parent's (accepted) checker can be shared — it is only
+                # ever mutated immediately after a fork
+                chk2 = chk
+                ok = obs2.violation is None
+            stats.max_live_nodes = max(stats.max_live_nodes, obs2.max_live)
+            stats.max_descriptor_ids = max(stats.max_descriptor_ids, obs2.max_ids_allocated)
+            key2 = joint_key(t.state, obs2, chk2)
+            kids.append(key2)
+            if key2 in seen:
+                # a revisit: identical joint state, so its checks (eager
+                # and end-of-string alike) happened on first encounter
+                continue
+            seen.add(key2)
+            parents[key2] = (key, t.action)
+            stats.states += 1
+            if not ok:
+                return ProductResult(False, build_cx(key2), stats)
+            if not end_check(t.state, chk2, key2):
+                return ProductResult(False, build_cx(key2), stats)
+            if max_states is not None and stats.states >= max_states:
+                stats.truncated = True
+                continue
+            queue.append((t.state, obs2, chk2, key2, depth + 1))
+
+    # quiescence reachability: every explored state must be able to
+    # reach a quiescent one, otherwise some prefixes were never
+    # end-checked and the verdict would be unsound
+    non_quiescible = 0
+    if check_quiescence_reachability and not stats.truncated:
+        reach: Set[Tuple] = set(quiescent_keys)
+        # backward closure over explored edges
+        preds: Dict[Tuple, List[Tuple]] = {}
+        for u, vs in succs.items():
+            for v in vs:
+                preds.setdefault(v, []).append(u)
+        frontier = list(reach)
+        while frontier:
+            v = frontier.pop()
+            for u in preds.get(v, ()):
+                if u not in reach:
+                    reach.add(u)
+                    frontier.append(u)
+        non_quiescible = len(seen - reach)
+
+    return ProductResult(non_quiescible == 0, None, stats, non_quiescible)

@@ -1,0 +1,31 @@
+"""Exploration statistics shared by the explorers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExplorationStats"]
+
+
+@dataclass
+class ExplorationStats:
+    """Counters filled in by a reachability / product exploration."""
+
+    states: int = 0  #: distinct states found
+    transitions: int = 0  #: transitions expanded
+    max_depth: int = 0  #: deepest BFS layer reached
+    truncated: bool = False  #: hit a state / depth cap before exhausting
+    quiescent_states: int = 0  #: states where the end-check was evaluated
+    max_live_nodes: int = 0  #: observer active-graph high-water mark
+    max_descriptor_ids: int = 0  #: IDs the observer ever allocated
+
+    def as_dict(self) -> dict:
+        return {
+            "states": self.states,
+            "transitions": self.transitions,
+            "max_depth": self.max_depth,
+            "truncated": self.truncated,
+            "quiescent_states": self.quiescent_states,
+            "max_live_nodes": self.max_live_nodes,
+            "max_descriptor_ids": self.max_descriptor_ids,
+        }

@@ -1,0 +1,20 @@
+"""Protocol description language with automatically derived tracking
+labels (the §4.1 automation claim).  See :mod:`repro.pdl.spec` for the
+language and :mod:`repro.pdl.examples` for protocols written in it."""
+
+from .examples import buggy_msi_spec, msi_spec, serial_spec
+from .two_level import two_level_spec
+from .spec import INVALIDATE, LocRef, ProtocolSpec, RuleContext, SpecError, SpecProtocol
+
+__all__ = [
+    "ProtocolSpec",
+    "SpecProtocol",
+    "LocRef",
+    "RuleContext",
+    "INVALIDATE",
+    "SpecError",
+    "serial_spec",
+    "msi_spec",
+    "buggy_msi_spec",
+    "two_level_spec",
+]

@@ -1,0 +1,150 @@
+"""Protocols written in the description language.
+
+:func:`msi_spec` re-expresses the hand-written
+:class:`~repro.memory.msi.MSIProtocol` rule for rule; the test suite
+checks the two are trace-equivalent (via the automata route) and that
+the DSL version — with its *automatically derived* tracking labels —
+verifies sequentially consistent through the standard pipeline.  That
+is the paper's §4.1 automation claim end to end.
+
+:func:`serial_spec` is the one-rule-pair baseline, and
+:func:`buggy_msi_spec` drops the invalidation to show the pipeline
+rejecting a DSL protocol too.
+"""
+
+from __future__ import annotations
+
+from .spec import INVALIDATE, ProtocolSpec, SpecProtocol
+
+__all__ = ["serial_spec", "msi_spec", "buggy_msi_spec", "I", "S", "M"]
+
+I, S, M = 0, 1, 2
+
+
+def serial_spec(p: int = 2, b: int = 1, v: int = 2) -> SpecProtocol:
+    """Serial memory in the DSL: one location per block, direct LD/ST."""
+    spec = ProtocolSpec(p, b, v)
+    mem = spec.data("mem", index=("block",))
+    spec.load_rule("read", reads=mem.at("B"))
+    spec.store_rule("write", writes=mem.at("B"))
+    spec.may_load_bottom_when(lambda ctx, block: ctx.data(mem.at(block)) == 0)
+    return spec.build()
+
+
+def _owner(ctx, p: int, B: int):
+    for Q in range(1, p + 1):
+        if ctx["cstate", Q, B] == M:
+            return Q
+    return None
+
+
+def msi_spec(
+    p: int = 2, b: int = 1, v: int = 2, *, allow_evict: bool = True,
+    invalidate_on_acquire_m: bool = True,
+) -> SpecProtocol:
+    """Atomic-bus MSI in the DSL — mirrors ``memory.msi.MSIProtocol``.
+
+    The interesting part is what is *absent*: no tracking labels
+    anywhere.  Data movement is written as ``copies={dst: src}``
+    assignments, and the labels fall out of them.
+    """
+    spec = ProtocolSpec(p, b, v)
+    spec.control("cstate", index=("proc", "block"), domain=(I, S, M), init=I)
+    mem = spec.data("mem", index=("block",))
+    cache = spec.data("cache", index=("proc", "block"))
+
+    spec.load_rule(
+        "read",
+        guard=lambda ctx: ctx["cstate", ctx.P, ctx.B] != I,
+        reads=cache.at("P", "B"),
+    )
+    spec.store_rule(
+        "write",
+        guard=lambda ctx: ctx["cstate", ctx.P, ctx.B] == M,
+        writes=cache.at("P", "B"),
+    )
+
+    def acquire_s_updates(ctx):
+        updates = {("cstate", ctx.P, ctx.B): S}
+        owner = _owner(ctx, p, ctx.B)
+        if owner is not None:
+            updates[("cstate", owner, ctx.B)] = S
+        return updates
+
+    def acquire_s_copies(ctx):
+        owner = _owner(ctx, p, ctx.B)
+        if owner is not None:
+            # owner writes back and supplies the data
+            return {
+                mem.at(ctx.B): cache.at(owner, ctx.B),
+                cache.at(ctx.P, ctx.B): cache.at(owner, ctx.B),
+            }
+        return {cache.at(ctx.P, ctx.B): mem.at(ctx.B)}
+
+    spec.internal_rule(
+        "AcquireS",
+        params=("P", "B"),
+        guard=lambda ctx: ctx["cstate", ctx.P, ctx.B] == I,
+        updates=acquire_s_updates,
+        copies=acquire_s_copies,
+    )
+
+    def acquire_m_updates(ctx):
+        updates = {("cstate", ctx.P, ctx.B): M}
+        if invalidate_on_acquire_m:
+            for Q in range(1, p + 1):
+                if Q != ctx.P and ctx["cstate", Q, ctx.B] != I:
+                    updates[("cstate", Q, ctx.B)] = I
+        return updates
+
+    def acquire_m_copies(ctx):
+        owner = _owner(ctx, p, ctx.B)
+        copies = {}
+        if owner is not None:
+            copies[cache.at(ctx.P, ctx.B)] = cache.at(owner, ctx.B)
+        else:
+            copies[cache.at(ctx.P, ctx.B)] = mem.at(ctx.B)
+        if invalidate_on_acquire_m:
+            for Q in range(1, p + 1):
+                if Q != ctx.P and ctx["cstate", Q, ctx.B] != I:
+                    copies[cache.at(Q, ctx.B)] = INVALIDATE
+        return copies
+
+    spec.internal_rule(
+        "AcquireM",
+        params=("P", "B"),
+        guard=lambda ctx: ctx["cstate", ctx.P, ctx.B] != M,
+        updates=acquire_m_updates,
+        copies=acquire_m_copies,
+    )
+
+    if allow_evict:
+        def evict_copies(ctx):
+            copies = {cache.at(ctx.P, ctx.B): INVALIDATE}
+            if ctx["cstate", ctx.P, ctx.B] == M:
+                copies[mem.at(ctx.B)] = cache.at(ctx.P, ctx.B)
+            return copies
+
+        spec.internal_rule(
+            "Evict",
+            params=("P", "B"),
+            guard=lambda ctx: ctx["cstate", ctx.P, ctx.B] != I,
+            updates=lambda ctx: {("cstate", ctx.P, ctx.B): I},
+            copies=evict_copies,
+        )
+
+    def bottom_possible(ctx, block: int) -> bool:
+        if ctx.data(mem.at(block)) == 0:
+            return True
+        return any(
+            ctx["cstate", P, block] != I and ctx.data(cache.at(P, block)) == 0
+            for P in range(1, p + 1)
+        )
+
+    spec.may_load_bottom_when(bottom_possible)
+    return spec.build()
+
+
+def buggy_msi_spec(p: int = 2, b: int = 1, v: int = 1) -> SpecProtocol:
+    """The missing-invalidation bug, in the DSL."""
+    return msi_spec(p, b, v, invalidate_on_acquire_m=False)

@@ -1,0 +1,443 @@
+"""A protocol description language with automatic tracking labels.
+
+Section 4.1 of the paper claims that "with an appropriate protocol
+description language the labeling could be generated automatically
+from the protocol description".  This package makes that claim
+concrete: protocols are written as guarded rules over *control
+variables* and *data locations*, where every movement of block data is
+a declarative assignment between locations — and the tracking
+functions ``f`` and ``c_l`` fall out of the syntax:
+
+* a **load rule** declares ``reads=<location>`` → ``f(t)`` is that
+  location;
+* a **store rule** declares ``writes=<location>`` → ``f(t)`` is that
+  location (plus optional post-store ``copies`` for write-update
+  fan-out);
+* an **internal rule** declares ``copies={dst: src}`` (or
+  ``dst: INVALIDATE``) → exactly the copy labels ``c_l(t)``.
+
+Rules are templates quantified over metavariables (``P``, ``B``,
+``V``, and any extra ones such as a second processor ``Q``); guards
+and control updates are plain Python callables over a small read-only
+context; data values are managed by the interpreter itself, so a rule
+*cannot* move data except through declared copies — which is what
+makes the automatic labels sound by construction.
+
+See :mod:`repro.pdl.examples` for MSI and a store buffer written in
+the DSL, and the tests for the equivalence of DSL-MSI with the
+hand-written :class:`~repro.memory.msi.MSIProtocol`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.operations import BOTTOM, InternalAction, Load, Store
+from ..core.protocol import FRESH, Protocol, Tracking, Transition
+
+__all__ = ["INVALIDATE", "LocRef", "ProtocolSpec", "RuleContext", "SpecError"]
+
+#: assignment target value meaning "erase this data location"
+INVALIDATE = ("__invalidate__",)
+
+
+class SpecError(ValueError):
+    """A malformed protocol specification."""
+
+
+@dataclass(frozen=True)
+class LocRef:
+    """A (possibly metavariable-indexed) reference to a data location.
+
+    ``family`` names a declared data family; ``index`` is a tuple of
+    metavariable names (strings) or concrete ints, resolved against a
+    rule binding at expansion time.
+    """
+
+    family: str
+    index: Tuple = ()
+
+    def resolve(self, binding: Mapping[str, int]) -> Tuple[str, Tuple[int, ...]]:
+        out = []
+        for i in self.index:
+            if isinstance(i, str):
+                if i not in binding:
+                    raise SpecError(f"unbound metavariable {i!r} in {self}")
+                out.append(binding[i])
+            else:
+                out.append(i)
+        return (self.family, tuple(out))
+
+
+class _DataFamily:
+    """Handle returned by :meth:`ProtocolSpec.data`."""
+
+    def __init__(self, name: str, arity: int):
+        self.name = name
+        self.arity = arity
+
+    def at(self, *index) -> LocRef:
+        if len(index) != self.arity:
+            raise SpecError(
+                f"data family {self.name!r} expects {self.arity} indices, got {len(index)}"
+            )
+        return LocRef(self.name, tuple(index))
+
+
+class RuleContext:
+    """Read-only view of the protocol state handed to guards and
+    control updates.
+
+    * ``ctx[var, i, j]`` — value of control variable ``var`` at index
+      ``(i, j)`` (scalars: ``ctx[var]``);
+    * ``ctx.data(locref)`` — current value of a data location (an int;
+      ``BOTTOM`` for ⊥/invalid);
+    * metavariables are attributes: ``ctx.P``, ``ctx.B``, ``ctx.V``,
+      plus any rule-specific ones.
+    """
+
+    def __init__(self, spec: "ProtocolSpec", control, data, binding: Mapping[str, int]):
+        self._spec = spec
+        self._control = control
+        self._data = data
+        self._binding = dict(binding)
+
+    def __getitem__(self, key):
+        if isinstance(key, tuple):
+            var, *idx = key
+        else:
+            var, idx = key, []
+        return self._control[self._spec._control_slot(var, tuple(idx))]
+
+    def data(self, ref: LocRef) -> int:
+        fam, idx = ref.resolve(self._binding)
+        return self._data[self._spec._data_slot(fam, idx)]
+
+    def __getattr__(self, name: str) -> int:
+        binding = object.__getattribute__(self, "_binding")
+        if name in binding:
+            return binding[name]
+        raise AttributeError(name)
+
+
+@dataclass
+class _Rule:
+    kind: str  # "load" | "store" | "internal"
+    name: str
+    metavars: Tuple[str, ...]
+    ranges: Dict[str, Sequence[int]]
+    guard: Callable[[RuleContext], bool]
+    reads: Any  # LocRef | callable -> LocRef
+    writes: Any  # LocRef | callable -> LocRef
+    copies: Any  # mapping LocRef -> (LocRef | INVALIDATE), or callable -> such a mapping
+    updates: Callable[[RuleContext], Mapping]  # control updates
+
+
+class ProtocolSpec:
+    """Builder for DSL protocols.
+
+    Declare control variables and data families, add rules, then call
+    :meth:`build` for a :class:`~repro.core.protocol.Protocol` whose
+    tracking labels are derived from the rule syntax.
+    """
+
+    def __init__(self, p: int, b: int, v: int):
+        if min(p, b, v) < 1:
+            raise SpecError("p, b, v must be at least 1")
+        self.p, self.b, self.v = p, b, v
+        self._control_vars: Dict[str, Tuple[Tuple[int, ...], Any]] = {}  # name -> (shape, init)
+        self._control_slots: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+        self._data_families: Dict[str, Tuple[int, ...]] = {}  # name -> shape
+        self._data_slots: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+        self._rules: List[_Rule] = []
+        self._quiescent: Optional[Callable] = None
+        self._bottom: Optional[Callable] = None
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+    def _shape(self, index: Sequence[str]) -> Tuple[int, ...]:
+        dims = {"proc": self.p, "block": self.b, "value": self.v}
+        out = []
+        for d in index:
+            if isinstance(d, int):
+                out.append(d)
+            elif d in dims:
+                out.append(dims[d])
+            else:
+                raise SpecError(f"unknown index dimension {d!r} (use 'proc'/'block'/'value' or an int)")
+        return tuple(out)
+
+    def control(self, name: str, *, index: Sequence[str] = (), domain: Sequence = (), init) -> str:
+        """Declare a finite-domain control variable (or family)."""
+        if self._built:
+            raise SpecError("spec already built")
+        if name in self._control_vars or name in self._data_families:
+            raise SpecError(f"duplicate declaration {name!r}")
+        shape = self._shape(index)
+        if domain and init not in domain:
+            raise SpecError(f"init {init!r} outside domain of {name!r}")
+        self._control_vars[name] = (shape, init)
+        for idx in itertools.product(*(range(1, n + 1) for n in shape)):
+            self._control_slots[(name, idx)] = len(self._control_slots)
+        return name
+
+    def data(self, name: str, *, index: Sequence[str] = ()) -> _DataFamily:
+        """Declare a family of data (storage) locations.
+
+        Every location starts holding ⊥ and can only be changed by
+        rule-declared stores and copies — the basis for automatic
+        tracking labels.
+        """
+        if self._built:
+            raise SpecError("spec already built")
+        if name in self._control_vars or name in self._data_families:
+            raise SpecError(f"duplicate declaration {name!r}")
+        shape = self._shape(index)
+        self._data_families[name] = shape
+        for idx in itertools.product(*(range(1, n + 1) for n in shape)):
+            self._data_slots[(name, idx)] = len(self._data_slots)
+        return _DataFamily(name, len(shape))
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    def _add_rule(self, rule: _Rule) -> None:
+        if self._built:
+            raise SpecError("spec already built")
+        self._rules.append(rule)
+
+    def _std_ranges(self, extra: Mapping[str, Sequence[int]]) -> Dict[str, Sequence[int]]:
+        ranges = {
+            "P": range(1, self.p + 1),
+            "B": range(1, self.b + 1),
+            "V": range(1, self.v + 1),
+        }
+        ranges.update(extra)
+        return ranges
+
+    def load_rule(
+        self,
+        name: str,
+        *,
+        reads,
+        guard: Callable[[RuleContext], bool] = lambda ctx: True,
+        where: Mapping[str, Sequence[int]] = {},
+        updates: Callable[[RuleContext], Mapping] = lambda ctx: {},
+    ) -> None:
+        """``LD(P, B, value-at(reads))`` whenever the guard holds.
+
+        The loaded value is whatever ``reads`` currently holds — rules
+        cannot invent values, which is exactly what keeps tracking
+        honest."""
+        self._add_rule(
+            _Rule("load", name, ("P", "B"), self._std_ranges(where), guard, reads, None, (), updates)
+        )
+
+    def store_rule(
+        self,
+        name: str,
+        *,
+        writes,
+        guard: Callable[[RuleContext], bool] = lambda ctx: True,
+        where: Mapping[str, Sequence[int]] = {},
+        copies=None,
+        updates: Callable[[RuleContext], Mapping] = lambda ctx: {},
+    ) -> None:
+        """``ST(P, B, V)`` writing ``writes``; optional post-store
+        ``copies`` model write-update fan-out.
+
+        ``writes`` and ``copies`` may be callables on the rule context
+        (for state-dependent targets, e.g. the next free queue slot);
+        whatever they return is still declarative, so the tracking
+        labels stay automatic."""
+        self._add_rule(
+            _Rule(
+                "store", name, ("P", "B", "V"), self._std_ranges(where),
+                guard, None, writes, copies or {}, updates,
+            )
+        )
+
+    def internal_rule(
+        self,
+        name: str,
+        *,
+        params: Sequence[str] = (),
+        guard: Callable[[RuleContext], bool] = lambda ctx: True,
+        where: Mapping[str, Sequence[int]] = {},
+        copies=None,
+        updates: Callable[[RuleContext], Mapping] = lambda ctx: {},
+    ) -> None:
+        """An internal action ``name(params...)``; data movement only
+        through ``copies`` (a mapping, or a callable on the context
+        returning one — e.g. to invalidate exactly the current
+        sharers)."""
+        self._add_rule(
+            _Rule(
+                "internal", name, tuple(params), self._std_ranges(where),
+                guard, None, None, copies or {}, updates,
+            )
+        )
+
+    def quiescent_when(self, pred: Callable[[RuleContext], bool]) -> None:
+        self._quiescent = pred
+
+    def may_load_bottom_when(self, pred: Callable[[RuleContext, int], bool]) -> None:
+        """``pred(ctx, block)`` — must be monotone (see
+        :meth:`repro.core.protocol.Protocol.may_load_bottom`)."""
+        self._bottom = pred
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def build(self) -> "SpecProtocol":
+        if not self._rules:
+            raise SpecError("spec has no rules")
+        self._built = True
+        return SpecProtocol(self)
+
+    # slot helpers -------------------------------------------------------
+    def _control_slot(self, name: str, idx: Tuple[int, ...]) -> int:
+        try:
+            return self._control_slots[(name, idx)]
+        except KeyError:
+            raise SpecError(f"no control variable {name!r} at index {idx}") from None
+
+    def _data_slot(self, family: str, idx: Tuple[int, ...]) -> int:
+        try:
+            return self._data_slots[(family, idx)]
+        except KeyError:
+            raise SpecError(f"no data location {family!r} at index {idx}") from None
+
+    def _data_location_number(self, family: str, idx: Tuple[int, ...]) -> int:
+        # storage locations are numbered 1..L in declaration order
+        return self._data_slot(family, idx) + 1
+
+
+class SpecProtocol(Protocol):
+    """A :class:`Protocol` compiled from a :class:`ProtocolSpec`.
+
+    State = (control values tuple, data values tuple).  Tracking labels
+    come from the rules' declared reads/writes/copies.
+    """
+
+    def __init__(self, spec: ProtocolSpec):
+        self.spec = spec
+        self.p, self.b, self.v = spec.p, spec.b, spec.v
+        self.num_locations = len(spec._data_slots)
+
+    def describe(self) -> str:
+        return (
+            f"SpecProtocol[{len(self.spec._rules)} rules]"
+            f"(p={self.p}, b={self.b}, v={self.v}, L={self.num_locations})"
+        )
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Tuple[Tuple, Tuple]:
+        control = [None] * len(self.spec._control_slots)
+        for (name, _idx), slot in self.spec._control_slots.items():
+            control[slot] = self.spec._control_vars[name][1]
+        data = (BOTTOM,) * len(self.spec._data_slots)
+        return (tuple(control), data)
+
+    def is_quiescent(self, state) -> bool:
+        if self.spec._quiescent is None:
+            return True
+        ctx = RuleContext(self.spec, state[0], state[1], {})
+        return bool(self.spec._quiescent(ctx))
+
+    def may_load_bottom(self, state, block: int) -> bool:
+        if self.spec._bottom is None:
+            return True
+        ctx = RuleContext(self.spec, state[0], state[1], {})
+        return bool(self.spec._bottom(ctx, block))
+
+    # ------------------------------------------------------------------
+    def _apply_control_updates(self, control: Tuple, updates: Mapping) -> Tuple:
+        if not updates:
+            return control
+        out = list(control)
+        for key, value in updates.items():
+            name, idx = (key[0], tuple(key[1:])) if isinstance(key, tuple) else (key, ())
+            domain = self.spec._control_vars.get(name)
+            if domain is None:
+                raise SpecError(f"update of undeclared control variable {name!r}")
+            out[self.spec._control_slot(name, idx)] = value
+        return tuple(out)
+
+    def transitions(self, state) -> Iterable[Transition]:
+        control, data = state
+        spec = self.spec
+        for rule in spec._rules:
+            dims = [rule.ranges[m] for m in rule.metavars]
+            for values in itertools.product(*dims):
+                binding = dict(zip(rule.metavars, values))
+                ctx = RuleContext(spec, control, data, binding)
+                try:
+                    if not rule.guard(ctx):
+                        continue
+                except SpecError:
+                    raise
+                new_control = self._apply_control_updates(control, rule.updates(ctx))
+                if rule.kind == "load":
+                    reads = rule.reads(ctx) if callable(rule.reads) else rule.reads
+                    fam, idx = reads.resolve(binding)
+                    loc = spec._data_location_number(fam, idx)
+                    value = data[spec._data_slot(fam, idx)]
+                    yield Transition(
+                        Load(binding["P"], binding["B"], value),
+                        (new_control, data),
+                        Tracking(location=loc),
+                    )
+                elif rule.kind == "store":
+                    writes = rule.writes(ctx) if callable(rule.writes) else rule.writes
+                    fam, idx = writes.resolve(binding)
+                    loc = spec._data_location_number(fam, idx)
+                    new_data = list(data)
+                    new_data[spec._data_slot(fam, idx)] = binding["V"]
+                    copies = self._resolve_copies(rule, binding, control, new_data)
+                    yield Transition(
+                        Store(binding["P"], binding["B"], binding["V"]),
+                        (new_control, tuple(new_data)),
+                        Tracking(location=loc, copies=copies),
+                    )
+                else:
+                    new_data = list(data)
+                    copies = self._resolve_copies(rule, binding, control, new_data)
+                    args = tuple(binding[m] for m in rule.metavars)
+                    yield Transition(
+                        InternalAction(rule.name, args),
+                        (new_control, tuple(new_data)),
+                        Tracking(copies=copies),
+                    )
+
+    def _resolve_copies(self, rule: _Rule, binding, control, new_data: list) -> Dict[int, int]:
+        """Turn declared copies into tracking labels *and* apply their
+        value effect (simultaneous semantics, matching the core)."""
+        spec = self.spec
+        copies = rule.copies
+        if callable(copies):
+            # dynamic copies see the pre-transition control state and —
+            # for store rules — the post-store data snapshot
+            ctx = RuleContext(spec, control, tuple(new_data), binding)
+            copies = copies(ctx)
+        if not copies:
+            return {}
+        snapshot = tuple(new_data)
+        labels: Dict[int, int] = {}
+        for dst_ref, src in copies.items():
+            dfam, didx = dst_ref.resolve(binding)
+            dslot = spec._data_slot(dfam, didx)
+            dloc = spec._data_location_number(dfam, didx)
+            if src is INVALIDATE:
+                new_data[dslot] = BOTTOM
+                labels[dloc] = FRESH
+            else:
+                sfam, sidx = src.resolve(binding)
+                sslot = spec._data_slot(sfam, sidx)
+                new_data[dslot] = snapshot[sslot]
+                labels[dloc] = spec._data_location_number(sfam, sidx)
+        return labels

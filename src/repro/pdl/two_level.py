@@ -1,0 +1,120 @@
+"""A two-level cache hierarchy, written entirely in the DSL.
+
+Private per-processor L1 caches over a shared L2 over memory, with an
+inclusive, write-through-to-L2, invalidate-on-write discipline:
+
+* ``Fill2(B)``      — L2 misses fill from memory;
+* ``Fill1(P,B)``    — L1 misses fill from L2 (inclusion: requires L2
+  valid);
+* ``ST(P,B,V)``     — requires a valid L1 line; writes L1, copies the
+  new value through to L2 in the same atomic step, and invalidates
+  every other processor's L1 line (dynamic copies);
+* ``LD(P,B,V)``     — reads the processor's valid L1 line;
+* ``Evict1(P,B)``   — drop an L1 line (clean: L2 has the data);
+* ``Evict2(B)``     — write L2 back to memory and drop it; inclusion
+  requires all L1 copies gone first.
+
+The hierarchy is sequentially consistent (single shared L2 copy,
+writes invalidate), with real-time ST order.  Every tracking label in
+the three-level data flow ST → L1 → L2 → memory → L2 → L1 → LD is
+derived from the ``writes=`` / ``copies=`` declarations — nothing is
+annotated by hand, which is the point of the DSL.
+"""
+
+from __future__ import annotations
+
+from .spec import INVALIDATE, ProtocolSpec, SpecProtocol
+
+__all__ = ["two_level_spec"]
+
+INV, VALID = 0, 1
+
+
+def two_level_spec(p: int = 2, b: int = 1, v: int = 2) -> SpecProtocol:
+    """Build the two-level hierarchy for the given parameters."""
+    spec = ProtocolSpec(p, b, v)
+    spec.control("l1", index=("proc", "block"), domain=(INV, VALID), init=INV)
+    spec.control("l2", index=("block",), domain=(INV, VALID), init=INV)
+    mem = spec.data("mem", index=("block",))
+    l2d = spec.data("l2d", index=("block",))
+    l1d = spec.data("l1d", index=("proc", "block"))
+
+    # --- fills (inclusive: L1 only from a valid L2) -------------------
+    spec.internal_rule(
+        "Fill2",
+        params=("B",),
+        guard=lambda ctx: ctx["l2", ctx.B] == INV,
+        updates=lambda ctx: {("l2", ctx.B): VALID},
+        copies=lambda ctx: {l2d.at(ctx.B): mem.at(ctx.B)},
+    )
+    spec.internal_rule(
+        "Fill1",
+        params=("P", "B"),
+        guard=lambda ctx: ctx["l1", ctx.P, ctx.B] == INV and ctx["l2", ctx.B] == VALID,
+        updates=lambda ctx: {("l1", ctx.P, ctx.B): VALID},
+        copies=lambda ctx: {l1d.at(ctx.P, ctx.B): l2d.at(ctx.B)},
+    )
+
+    # --- operations ----------------------------------------------------
+    spec.load_rule(
+        "read",
+        guard=lambda ctx: ctx["l1", ctx.P, ctx.B] == VALID,
+        reads=l1d.at("P", "B"),
+    )
+
+    def store_updates(ctx):
+        updates = {}
+        for Q in range(1, p + 1):
+            if Q != ctx.P and ctx["l1", Q, ctx.B] == VALID:
+                updates[("l1", Q, ctx.B)] = INV
+        return updates
+
+    def store_copies(ctx):
+        # write-through to L2 plus invalidation of the other L1 lines;
+        # post-store snapshot, so L2 receives the new value
+        copies = {l2d.at(ctx.B): l1d.at(ctx.P, ctx.B)}
+        for Q in range(1, p + 1):
+            if Q != ctx.P and ctx["l1", Q, ctx.B] == VALID:
+                copies[l1d.at(Q, ctx.B)] = INVALIDATE
+        return copies
+
+    spec.store_rule(
+        "write",
+        guard=lambda ctx: ctx["l1", ctx.P, ctx.B] == VALID and ctx["l2", ctx.B] == VALID,
+        writes=l1d.at("P", "B"),
+        updates=store_updates,
+        copies=store_copies,
+    )
+
+    # --- evictions -------------------------------------------------------
+    spec.internal_rule(
+        "Evict1",
+        params=("P", "B"),
+        guard=lambda ctx: ctx["l1", ctx.P, ctx.B] == VALID,
+        updates=lambda ctx: {("l1", ctx.P, ctx.B): INV},
+        copies=lambda ctx: {l1d.at(ctx.P, ctx.B): INVALIDATE},
+    )
+    spec.internal_rule(
+        "Evict2",
+        params=("B",),
+        guard=lambda ctx: ctx["l2", ctx.B] == VALID
+        and all(ctx["l1", Q, ctx.B] == INV for Q in range(1, p + 1)),
+        updates=lambda ctx: {("l2", ctx.B): INV},
+        copies=lambda ctx: {
+            mem.at(ctx.B): l2d.at(ctx.B),
+            l2d.at(ctx.B): INVALIDATE,
+        },
+    )
+
+    def bottom_possible(ctx, block: int) -> bool:
+        if ctx.data(mem.at(block)) == 0:
+            return True
+        if ctx["l2", block] == VALID and ctx.data(l2d.at(block)) == 0:
+            return True
+        return any(
+            ctx["l1", P, block] == VALID and ctx.data(l1d.at(P, block)) == 0
+            for P in range(1, p + 1)
+        )
+
+    spec.may_load_bottom_when(bottom_possible)
+    return spec.build()

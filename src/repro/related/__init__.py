@@ -1,0 +1,51 @@
+"""Implementations of the related verification approaches the paper
+compares against (Section 1.1), so the comparisons are measurable:
+
+* :mod:`~repro.related.lamport_clocks` — Plakal et al.'s logical
+  clocks (unbounded timestamps vs the paper's bounded window);
+* :mod:`~repro.related.tmc` — Nalumasu et al.'s Test Model-Checking
+  (finite test batteries that approximate, but do not equal, SC);
+* :mod:`~repro.related.bounded_reordering` — Henzinger et al.'s
+  bounded-buffer reordering witnesses (the restricted class the
+  paper's observer generalises).
+"""
+
+from .bounded_reordering import (
+    BoundedReorderingResult,
+    minimum_k,
+    verify_bounded_reordering,
+)
+from .lamport_clocks import (
+    ClockAssignment,
+    ClockChecker,
+    assign_clocks,
+    check_run_with_clocks,
+    serial_order_from_clocks,
+)
+from .tmc import (
+    ALL_TESTS,
+    CausalWriteTest,
+    CoherenceTest,
+    ReadYourWritesTest,
+    TMCReport,
+    TraceTest,
+    run_tmc,
+)
+
+__all__ = [
+    "assign_clocks",
+    "check_run_with_clocks",
+    "serial_order_from_clocks",
+    "ClockAssignment",
+    "ClockChecker",
+    "TraceTest",
+    "CoherenceTest",
+    "ReadYourWritesTest",
+    "CausalWriteTest",
+    "ALL_TESTS",
+    "TMCReport",
+    "run_tmc",
+    "verify_bounded_reordering",
+    "minimum_k",
+    "BoundedReorderingResult",
+]

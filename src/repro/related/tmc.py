@@ -1,0 +1,189 @@
+"""Test Model-Checking in the style of Nalumasu et al. (CAV'98).
+
+The paper's related work discusses TMC: check a protocol against a
+battery of *predefined finite-state test automata*, each testing one
+memory-model property.  Combinations of tests approximate — but do not
+equal — sequential consistency.  This module makes that gap
+measurable: it implements three representative trace tests as safety
+monitors, runs them over a protocol's reachable behaviour, and the
+benchmarks/tests show a protocol (the TSO store buffer) that **passes
+every per-location test yet is not SC** — while the constraint-graph
+method rejects it.
+
+Implemented tests (each a finite-state monitor over traces):
+
+* :class:`CoherenceTest` — per-location sequential consistency: for
+  every block in isolation, the trace restricted to that block must
+  have a serial reordering.  (Per-location VSC is cheap; the monitor
+  tracks, per block, the multiset of per-processor pending orders via
+  the same memoised search, bounded because single-block state is.)
+* :class:`ReadYourWritesTest` — a processor's load may not return a
+  value older than its own latest store to that block (new→old within
+  one processor and one block).
+* :class:`CausalWriteTest` — once a processor observes a value and
+  then writes, no processor that observes the write may later read the
+  pre-observation initial value (⊥) of the first block.  A weak
+  cross-location causality probe.
+
+``run_tmc`` applies all tests over every trace of bounded-depth runs
+(exhaustive) or random runs (sampling) and reports per-test verdicts.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.operations import BOTTOM, Load, Operation, Store, Trace, trace_of_run
+from ..core.protocol import Protocol, enumerate_runs, random_run
+from ..core.serial import find_serial_reordering
+
+__all__ = [
+    "TraceTest",
+    "CoherenceTest",
+    "ReadYourWritesTest",
+    "CausalWriteTest",
+    "ALL_TESTS",
+    "TMCReport",
+    "run_tmc",
+]
+
+
+class TraceTest(abc.ABC):
+    """A predefined test: a predicate on traces with a name."""
+
+    name: str = "test"
+
+    @abc.abstractmethod
+    def passes(self, trace: Sequence[Operation]) -> bool:
+        """Does the trace satisfy the property?"""
+
+
+class CoherenceTest(TraceTest):
+    """Per-location SC: each block's sub-trace has a serial reordering
+    on its own.  Necessary for SC; far from sufficient (cross-location
+    orderings are invisible to it)."""
+
+    name = "coherence (per-location SC)"
+
+    def passes(self, trace: Sequence[Operation]) -> bool:
+        blocks = {op.block for op in trace}
+        for block in blocks:
+            sub = tuple(op for op in trace if op.block == block)
+            if find_serial_reordering(sub) is None:
+                return False
+        return True
+
+
+class ReadYourWritesTest(TraceTest):
+    """After ST(P,B,V), a later LD(P,B,⊥) is forbidden (the processor
+    cannot un-see its own write), unless it first observed a foreign
+    value for B (in which case coherence judges it)."""
+
+    name = "read-your-writes"
+
+    def passes(self, trace: Sequence[Operation]) -> bool:
+        wrote: Set[Tuple[int, int]] = set()  # (proc, block) with own ST
+        for op in trace:
+            if isinstance(op, Store):
+                wrote.add((op.proc, op.block))
+            elif op.value == BOTTOM and (op.proc, op.block) in wrote:
+                return False
+        return True
+
+
+class CausalWriteTest(TraceTest):
+    """If P loads V≠⊥ from B and later stores to B', then a processor
+    that loads P's value from B' may not afterwards load ⊥ from B.
+    (A finite-state approximation of write causality.)"""
+
+    name = "causal write"
+
+    def passes(self, trace: Sequence[Operation]) -> bool:
+        # who observed block B non-⊥ before writing to B'
+        observed: Dict[int, Set[int]] = {}  # proc -> blocks seen non-⊥
+        carries: Dict[Tuple[int, int], Set[int]] = {}  # (block', value) -> blocks implied non-⊥
+        implied: Dict[int, Set[int]] = {}  # proc -> blocks that must be non-⊥ for it
+        for op in trace:
+            if isinstance(op, Load):
+                if op.value != BOTTOM:
+                    observed.setdefault(op.proc, set()).add(op.block)
+                    implied.setdefault(op.proc, set()).update(
+                        carries.get((op.block, op.value), set())
+                    )
+                else:
+                    if op.block in implied.get(op.proc, set()):
+                        return False
+            else:
+                deps = set(observed.get(op.proc, set()))
+                deps.discard(op.block)
+                carries[(op.block, op.value)] = deps | implied.get(op.proc, set())
+        return True
+
+
+ALL_TESTS: Tuple[TraceTest, ...] = (
+    CoherenceTest(),
+    ReadYourWritesTest(),
+    CausalWriteTest(),
+)
+
+
+@dataclass
+class TMCReport:
+    """Per-test verdicts over the examined traces."""
+
+    traces_checked: int = 0
+    failures: Dict[str, List[Trace]] = field(default_factory=dict)
+
+    def passed(self, test_name: str) -> bool:
+        return not self.failures.get(test_name)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(not v for v in self.failures.values())
+
+    def summary(self) -> str:
+        parts = [f"{self.traces_checked} traces"]
+        for name, fails in self.failures.items():
+            parts.append(f"{name}: {'PASS' if not fails else f'FAIL ({len(fails)})'}")
+        return "; ".join(parts)
+
+
+def run_tmc(
+    protocol: Protocol,
+    *,
+    tests: Iterable[TraceTest] = ALL_TESTS,
+    exhaustive_depth: Optional[int] = 6,
+    random_runs: int = 0,
+    random_length: int = 20,
+    seed: int = 0,
+) -> TMCReport:
+    """Apply the test battery to a protocol's traces.
+
+    With ``exhaustive_depth`` set, all runs up to that depth are
+    enumerated; ``random_runs`` adds sampled longer runs on top.
+    """
+    tests = tuple(tests)
+    report = TMCReport(failures={t.name: [] for t in tests})
+
+    def check(trace: Trace) -> None:
+        report.traces_checked += 1
+        for t in tests:
+            if not t.passes(trace) and len(report.failures[t.name]) < 5:
+                report.failures[t.name].append(trace)
+
+    seen: Set[Trace] = set()
+    if exhaustive_depth:
+        for trace in enumerate_runs(protocol, exhaustive_depth, trace_only=True):
+            seen.add(trace)
+            check(trace)
+    if random_runs:
+        rng = random.Random(seed)
+        for _ in range(random_runs):
+            trace = trace_of_run(random_run(protocol, random_length, rng, end_quiescent=True))
+            if trace not in seen:
+                seen.add(trace)
+                check(trace)
+    return report

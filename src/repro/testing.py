@@ -1,0 +1,194 @@
+"""Public testing utilities for downstream protocol authors.
+
+If you implement your own :class:`~repro.core.protocol.Protocol`,
+these helpers give you the same validation battery this repository
+uses on its zoo:
+
+* :func:`random_serial_trace` / :func:`random_trace` — workload
+  generators for oracle-level tests;
+* :func:`mutate_descriptor` — adversarial symbol-level mutations for
+  checker-robustness tests;
+* :func:`validate_protocol` — a one-call battery: well-formed tracking
+  labels over the reachable fragment, exhaustive short-trace SC
+  ground-truthing, streaming checks on random runs, and (optionally)
+  full verification.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .core.constraint_graph import EdgeKind
+from .core.descriptor import AddIdSym, EdgeSym, FreeIdSym, NodeSym, Symbol
+from .core.operations import LD, ST, Operation, Trace, trace_of_run
+from .core.protocol import Protocol, enumerate_runs, random_run
+from .core.serial import is_sequentially_consistent_trace
+from .core.storder import STOrderGenerator
+from .core.verify import check_run, verify_protocol
+
+__all__ = [
+    "random_serial_trace",
+    "random_trace",
+    "mutate_descriptor",
+    "ValidationReport",
+    "validate_protocol",
+]
+
+
+def random_serial_trace(
+    rng: random.Random, n: int, p: int = 2, b: int = 2, v: int = 2
+) -> Trace:
+    """A trace guaranteed SC (generated against a serial memory)."""
+    mem = {}
+    out: List[Operation] = []
+    for _ in range(n):
+        P, B = rng.randint(1, p), rng.randint(1, b)
+        if rng.random() < 0.5:
+            V = rng.randint(1, v)
+            mem[B] = V
+            out.append(ST(P, B, V))
+        else:
+            out.append(LD(P, B, mem.get(B, 0)))
+    return tuple(out)
+
+
+def random_trace(
+    rng: random.Random, n: int, p: int = 2, b: int = 2, v: int = 2
+) -> Trace:
+    """An arbitrary (frequently non-SC) trace."""
+    out: List[Operation] = []
+    for _ in range(n):
+        P, B, V = rng.randint(1, p), rng.randint(1, b), rng.randint(1, v)
+        if rng.random() < 0.5:
+            out.append(ST(P, B, V))
+        else:
+            out.append(LD(P, B, rng.randint(0, v)))
+    return tuple(out)
+
+
+_EDGE_KINDS = [EdgeKind.PO, EdgeKind.STO, EdgeKind.INH, EdgeKind.FORCED]
+
+
+def mutate_descriptor(symbols: Sequence[Symbol], rng: random.Random) -> List[Symbol]:
+    """One random symbol-level mutation (drop / duplicate / relabel /
+    redirect / swap) — for checker-robustness fuzzing."""
+    syms = list(symbols)
+    if not syms:
+        return syms
+    kind = rng.randrange(5)
+    i = rng.randrange(len(syms))
+    if kind == 0:
+        del syms[i]
+    elif kind == 1:
+        syms.insert(i, syms[i])
+    elif kind == 2 and isinstance(syms[i], EdgeSym):
+        syms[i] = EdgeSym(syms[i].src, syms[i].dst, rng.choice(_EDGE_KINDS))
+    elif kind == 3 and isinstance(syms[i], EdgeSym):
+        if rng.random() < 0.5:
+            syms[i] = EdgeSym(syms[i].dst, syms[i].src, syms[i].label)
+        else:
+            syms[i] = EdgeSym(rng.randint(1, 4), rng.randint(1, 4), syms[i].label)
+    elif kind == 4 and i + 1 < len(syms):
+        syms[i], syms[i + 1] = syms[i + 1], syms[i]
+    return syms
+
+
+@dataclass
+class ValidationReport:
+    """Result of :func:`validate_protocol`."""
+
+    protocol: str
+    tracking_ok: bool = True
+    exhaustive_traces: int = 0
+    non_sc_traces: List[Trace] = field(default_factory=list)
+    random_runs: int = 0
+    streaming_rejections: List[str] = field(default_factory=list)
+    verified: Optional[bool] = None
+
+    @property
+    def ok(self) -> bool:
+        base = self.tracking_ok and not self.non_sc_traces and not self.streaming_rejections
+        return base and (self.verified is not False)
+
+    def summary(self) -> str:
+        parts = [
+            self.protocol,
+            f"tracking {'OK' if self.tracking_ok else 'BROKEN'}",
+            f"{self.exhaustive_traces} exhaustive traces "
+            f"({len(self.non_sc_traces)} non-SC)",
+            f"{self.random_runs} random runs "
+            f"({len(self.streaming_rejections)} rejected)",
+        ]
+        if self.verified is not None:
+            parts.append(f"verification: {'SC' if self.verified else 'VIOLATION'}")
+        return " | ".join(parts)
+
+
+def validate_protocol(
+    protocol: Protocol,
+    st_order: Optional[STOrderGenerator] = None,
+    *,
+    exhaustive_depth: int = 5,
+    random_runs: int = 25,
+    random_length: int = 20,
+    seed: int = 0,
+    verify: bool = False,
+    expect_sc: bool = True,
+) -> ValidationReport:
+    """The zoo's validation battery, packaged for protocol authors.
+
+    With ``expect_sc`` (default) non-SC exhaustive traces and streaming
+    rejections are collected as defects; set it False for protocols
+    that are deliberately broken (then the report just records what was
+    found).
+    """
+    report = ValidationReport(protocol=protocol.describe())
+
+    # 1. tracking labels well-formed over a reachable sample
+    from .core.operations import InternalAction, Store
+    from .modelcheck import explore
+
+    def visit(state, _depth):
+        for t in protocol.transitions(state):
+            a = t.action
+            if isinstance(a, Operation):
+                loc = t.tracking.location
+                if loc is None or not 1 <= loc <= protocol.num_locations:
+                    report.tracking_ok = False
+            else:
+                for dst, src in t.tracking.copies.items():
+                    if not 1 <= dst <= protocol.num_locations or not (
+                        src == 0 or 1 <= src <= protocol.num_locations
+                    ):
+                        report.tracking_ok = False
+
+    explore(protocol, max_states=300, on_state=visit)
+
+    # 2. exhaustive ground truth on short traces
+    for trace in enumerate_runs(protocol, exhaustive_depth, trace_only=True):
+        report.exhaustive_traces += 1
+        if not is_sequentially_consistent_trace(trace):
+            if len(report.non_sc_traces) < 5:
+                report.non_sc_traces.append(trace)
+
+    # 3. streaming checks on random runs
+    rng = random.Random(seed)
+    for _ in range(random_runs):
+        run = random_run(protocol, random_length, rng, end_quiescent=True)
+        report.random_runs += 1
+        fresh = st_order.copy() if st_order is not None else None
+        verdict = check_run(protocol, run, fresh)
+        if not verdict.ok and len(report.streaming_rejections) < 5:
+            report.streaming_rejections.append(verdict.reason or "rejected")
+
+    # 4. optional full verification
+    if verify:
+        res = verify_protocol(protocol, st_order)
+        report.verified = res.sequentially_consistent
+
+    if not expect_sc:
+        # deliberately-broken protocols: findings are informational
+        pass
+    return report

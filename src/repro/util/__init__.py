@@ -1,0 +1,5 @@
+"""Small shared utilities (table rendering for benches and examples)."""
+
+from .tables import format_table, print_table
+
+__all__ = ["format_table", "print_table"]

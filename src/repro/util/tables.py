@@ -1,0 +1,65 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The benchmark harness prints the paper's tables/figures as aligned
+ASCII tables; keeping the renderer here avoids ad-hoc formatting in
+every bench.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned ASCII table (right-aligns numbers)."""
+    srows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for r in srows:
+        if len(r) != ncols:
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in srows)) if srows else len(headers[i])
+        for i in range(ncols)
+    ]
+    numeric = [
+        all(_is_number(r[i]) for r in srows) if srows else False for i in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, c in enumerate(cells):
+            parts.append(c.rjust(widths[i]) if numeric[i] else c.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in srows)
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], *, title=None) -> None:
+    print(format_table(headers, rows, title=title))
+
+
+def _cell(c: Any) -> str:
+    if isinstance(c, float):
+        return f"{c:.3g}"
+    return str(c)
+
+
+def _is_number(s: str) -> bool:
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False

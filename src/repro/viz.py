@@ -1,0 +1,96 @@
+"""Graphviz (DOT) export for constraint graphs, witness descriptors,
+and counterexamples.
+
+Pure string generation — no Graphviz dependency; feed the output to
+``dot -Tpng`` (or any online renderer) to see the structures the paper
+draws: Figure 3-style constraint graphs with edge kinds as styles, and
+counterexample cycles highlighted.
+
+Conventions:
+
+* ST nodes are boxes, LD nodes are ellipses, ⊥-loads dashed;
+* edge styles: **po** solid black, **STo** bold blue, **inh** green,
+  **forced** red dashed; combined annotations combine styles and show
+  the paper's hyphenated label;
+* nodes are numbered in trace order, matching the library everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .core.constraint_graph import ConstraintGraph, EdgeKind
+from .core.descriptor import Symbol, decode
+from .core.operations import BOTTOM, Load, Operation
+from .graphs import find_cycle
+
+__all__ = ["constraint_graph_dot", "descriptor_dot", "counterexample_dot"]
+
+_EDGE_STYLE = {
+    EdgeKind.PO: 'color="black"',
+    EdgeKind.STO: 'color="blue", penwidth=2',
+    EdgeKind.INH: 'color="darkgreen"',
+    EdgeKind.FORCED: 'color="red", style=dashed',
+}
+
+
+def _node_line(i: int, op: Optional[Operation], *, highlight: bool = False) -> str:
+    if op is None:
+        label, shape, extra = f"n{i}", "circle", ""
+    else:
+        label = f"{i}: {op!r}"
+        shape = "ellipse" if isinstance(op, Load) else "box"
+        extra = ", style=dashed" if isinstance(op, Load) and op.value == BOTTOM else ""
+    if highlight:
+        extra += ', color="red", penwidth=2'
+    return f'  n{i} [label="{label}", shape={shape}{extra}];'
+
+
+def _edge_attrs(kind: EdgeKind, *, highlight: bool = False) -> str:
+    parts: List[str] = []
+    styles = [s for k, s in _EDGE_STYLE.items() if kind & k]
+    if styles:
+        parts.append(styles[0])
+    label = kind.short()
+    if label != "plain":
+        parts.append(f'label="{label}"')
+    if highlight:
+        parts.append("penwidth=3")
+    return ", ".join(parts)
+
+
+def constraint_graph_dot(
+    cg: ConstraintGraph, *, name: str = "constraint_graph",
+    highlight_cycle: bool = True,
+) -> str:
+    """Render a constraint graph; if it is cyclic and
+    ``highlight_cycle``, one cycle is drawn bold red."""
+    cyc_nodes: set = set()
+    cyc_edges: set = set()
+    if highlight_cycle:
+        cyc = find_cycle(cg.graph)
+        if cyc:
+            cyc_nodes = set(cyc)
+            cyc_edges = set(zip(cyc, cyc[1:]))
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for i in range(1, len(cg.trace) + 1):
+        lines.append(_node_line(i, cg.op(i), highlight=i in cyc_nodes))
+    for (u, v) in sorted(cg.graph.edges()):
+        kind = cg.graph.label(u, v) or EdgeKind.NONE
+        lines.append(f"  n{u} -> n{v} [{_edge_attrs(kind, highlight=(u, v) in cyc_edges)}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def descriptor_dot(symbols: Iterable[Symbol], *, name: str = "witness") -> str:
+    """Decode a witness descriptor and render the described graph."""
+    labelled = decode(symbols, strict=False)
+    cg = ConstraintGraph(labelled.node_labels)
+    for (u, v) in labelled.graph.edges():
+        cg.add_edge(u, v, labelled.graph.label(u, v) or EdgeKind.NONE)
+    return constraint_graph_dot(cg, name=name)
+
+
+def counterexample_dot(cx, *, name: str = "counterexample") -> str:
+    """Render a counterexample's witness graph with its cycle bold."""
+    return descriptor_dot(cx.symbols, name=name)

@@ -1,0 +1,355 @@
+"""The edge-annotation checker of Theorem 3.1.
+
+Strategy: valid constraint graphs (built via Lemma 3.1 from serial
+reorderings and streamed through the Lemma 3.2 encoder) must be
+accepted; targeted mutations of each constraint must be rejected.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.annotation_checker import AnnotationChecker, parse_edge_kind
+from repro.core.constraint_graph import EdgeKind, graph_from_serial_reordering
+from repro.core.descriptor import EdgeSym, FreeIdSym, NodeSym, encode_graph
+from repro.core.operations import BOTTOM, LD, ST
+from repro.core.serial import find_serial_reordering
+
+from .conftest import ops_strategy, random_sc_trace
+
+
+def run_checker(symbols):
+    c = AnnotationChecker()
+    c.feed_all(symbols)
+    return c
+
+
+def symbols_for_trace(trace):
+    perm = find_serial_reordering(trace)
+    assert perm is not None
+    g = graph_from_serial_reordering(trace, perm)
+    return encode_graph(g.graph, list(g.trace))
+
+
+# ----------------------------------------------------------------------
+# acceptance of valid graphs
+# ----------------------------------------------------------------------
+@settings(max_examples=50)
+@given(ops_strategy)
+def test_accepts_valid_constraint_graphs(trace):
+    perm = find_serial_reordering(trace)
+    if perm is None:
+        return
+    g = graph_from_serial_reordering(trace, perm)
+    c = run_checker(encode_graph(g.graph, list(g.trace)))
+    assert c.accepts_so_far, c.rejected
+    assert c.end_violations() == []
+
+
+def test_accepts_longer_random_sc_traces(rng):
+    for _ in range(10):
+        t = random_sc_trace(rng, rng.randint(1, 14))
+        c = run_checker(symbols_for_trace(t))
+        assert c.accepts_so_far and c.accepts_at_end(), c.end_violations()
+
+
+def test_empty_descriptor_accepted():
+    c = run_checker([])
+    assert c.accepts_at_end()
+
+
+# ----------------------------------------------------------------------
+# constraint 2: program order
+# ----------------------------------------------------------------------
+def test_rejects_po_between_processors():
+    syms = [
+        NodeSym(1, ST(1, 1, 1)),
+        NodeSym(2, ST(2, 1, 1)),
+        EdgeSym(1, 2, EdgeKind.PO),
+    ]
+    assert not run_checker(syms).accepts_so_far
+
+
+def test_rejects_po_against_trace_order():
+    syms = [
+        NodeSym(1, ST(1, 1, 1)),
+        NodeSym(2, ST(1, 1, 2)),
+        EdgeSym(2, 1, EdgeKind.PO),
+    ]
+    assert not run_checker(syms).accepts_so_far
+
+
+def test_rejects_double_po_out():
+    syms = [
+        NodeSym(1, ST(1, 1, 1)),
+        NodeSym(2, ST(1, 1, 1)),
+        NodeSym(3, ST(1, 1, 1)),
+        EdgeSym(1, 2, EdgeKind.PO),
+        EdgeSym(1, 3, EdgeKind.PO),
+    ]
+    assert not run_checker(syms).accepts_so_far
+
+
+def test_missing_po_edge_is_end_violation():
+    syms = [NodeSym(1, ST(1, 1, 1)), NodeSym(2, ST(1, 1, 2)), EdgeSym(1, 2, EdgeKind.STO)]
+    c = run_checker(syms)
+    assert c.accepts_so_far
+    assert any("program-order heads" in v for v in c.end_violations())
+
+
+def test_two_retired_po_heads_rejected_eagerly():
+    syms = [
+        NodeSym(1, ST(1, 1, 1)),
+        FreeIdSym(1),
+        NodeSym(1, ST(1, 1, 2)),
+        FreeIdSym(1),
+    ]
+    c = run_checker(syms)
+    assert not c.accepts_so_far
+
+
+# ----------------------------------------------------------------------
+# constraint 3: ST order
+# ----------------------------------------------------------------------
+def test_rejects_sto_between_blocks():
+    syms = [
+        NodeSym(1, ST(1, 1, 1)),
+        NodeSym(2, ST(1, 2, 1)),
+        EdgeSym(1, 2, EdgeKind.PO | EdgeKind.STO),
+    ]
+    assert not run_checker(syms).accepts_so_far
+
+
+def test_rejects_sto_into_load():
+    syms = [
+        NodeSym(1, ST(1, 1, 1)),
+        NodeSym(2, LD(1, 1, 1)),
+        EdgeSym(1, 2, EdgeKind.STO),
+    ]
+    assert not run_checker(syms).accepts_so_far
+
+
+def test_missing_sto_edge_is_end_violation():
+    trace = (ST(1, 1, 1), ST(2, 1, 2))
+    syms = [NodeSym(1, trace[0]), NodeSym(2, trace[1])]
+    c = run_checker(syms)
+    assert c.accepts_so_far
+    assert any("ST-order heads" in v for v in c.end_violations())
+
+
+def test_sto_may_reorder_against_trace():
+    trace = (ST(1, 1, 1), ST(2, 1, 2))
+    syms = [NodeSym(1, trace[0]), NodeSym(2, trace[1]), EdgeSym(2, 1, EdgeKind.STO)]
+    c = run_checker(syms)
+    assert c.accepts_so_far
+    assert not any("ST-order" in v for v in c.end_violations())
+
+
+# ----------------------------------------------------------------------
+# constraint 4: inheritance
+# ----------------------------------------------------------------------
+def test_rejects_inheritance_value_mismatch():
+    syms = [
+        NodeSym(1, ST(1, 1, 1)),
+        NodeSym(2, LD(2, 1, 2)),
+        EdgeSym(1, 2, EdgeKind.INH),
+    ]
+    assert not run_checker(syms).accepts_so_far
+
+
+def test_rejects_inheritance_block_mismatch():
+    syms = [
+        NodeSym(1, ST(1, 2, 1)),
+        NodeSym(2, LD(2, 1, 1)),
+        EdgeSym(1, 2, EdgeKind.INH),
+    ]
+    assert not run_checker(syms).accepts_so_far
+
+
+def test_rejects_inheritance_into_bottom_load():
+    syms = [
+        NodeSym(1, ST(1, 1, 1)),
+        NodeSym(2, LD(2, 1, BOTTOM)),
+        EdgeSym(1, 2, EdgeKind.INH),
+    ]
+    assert not run_checker(syms).accepts_so_far
+
+
+def test_rejects_double_inheritance():
+    syms = [
+        NodeSym(1, ST(1, 1, 1)),
+        NodeSym(2, ST(2, 1, 1)),
+        NodeSym(3, LD(1, 1, 1)),
+        EdgeSym(1, 3, EdgeKind.INH),
+        EdgeSym(2, 3, EdgeKind.INH),
+    ]
+    assert not run_checker(syms).accepts_so_far
+
+
+def test_load_without_inheritance_rejected_at_retirement():
+    syms = [NodeSym(1, LD(1, 1, 1)), FreeIdSym(1)]
+    assert not run_checker(syms).accepts_so_far
+
+
+def test_load_without_inheritance_is_end_violation_while_live():
+    syms = [NodeSym(1, LD(1, 1, 1))]
+    c = run_checker(syms)
+    assert c.accepts_so_far
+    assert any("inheritance" in v for v in c.end_violations())
+
+
+# ----------------------------------------------------------------------
+# constraint 5: forced edges
+# ----------------------------------------------------------------------
+def _fig3_prefix():
+    """ST(1), LD inherits, ST order edge to a second ST — creating the
+    (i, j, k) triple that obliges a forced edge."""
+    return [
+        NodeSym(1, ST(1, 1, 1)),
+        NodeSym(2, LD(2, 1, 1)),
+        EdgeSym(1, 2, EdgeKind.INH),
+        NodeSym(3, ST(1, 1, 2)),
+        EdgeSym(1, 3, EdgeKind.PO | EdgeKind.STO),
+    ]
+
+
+def test_unmet_forced_obligation_is_end_violation():
+    c = run_checker(_fig3_prefix())
+    assert c.accepts_so_far
+    assert any("forced" in v for v in c.end_violations())
+
+
+def test_forced_edge_discharges_obligation():
+    syms = _fig3_prefix() + [EdgeSym(2, 3, EdgeKind.FORCED)]
+    c = run_checker(syms)
+    assert c.accepts_so_far
+    assert not any("forced" in v for v in c.end_violations())
+
+
+def test_forced_edge_before_sto_edge_also_counts():
+    syms = [
+        NodeSym(1, ST(1, 1, 1)),
+        NodeSym(2, LD(2, 1, 1)),
+        EdgeSym(1, 2, EdgeKind.INH),
+        NodeSym(3, ST(1, 1, 2)),
+        EdgeSym(2, 3, EdgeKind.FORCED),  # forced arrives first
+        EdgeSym(1, 3, EdgeKind.PO | EdgeKind.STO),
+    ]
+    c = run_checker(syms)
+    assert not any("forced" in v for v in c.end_violations())
+
+
+def test_superseding_load_transfers_obligation():
+    # a later LD of the same processor inheriting from the same ST
+    # releases the earlier one (po-path escape); the later one's own
+    # forced edge then suffices
+    syms = _fig3_prefix() + [
+        NodeSym(4, LD(2, 1, 1)),
+        EdgeSym(2, 4, EdgeKind.PO),
+        EdgeSym(1, 4, EdgeKind.INH),
+        EdgeSym(4, 3, EdgeKind.FORCED),
+    ]
+    c = run_checker(syms)
+    assert c.accepts_so_far
+    assert not any("forced" in v for v in c.end_violations())
+
+
+def test_target_retiring_with_unmet_obligation_rejects():
+    syms = _fig3_prefix() + [FreeIdSym(3)]
+    assert not run_checker(syms).accepts_so_far
+
+
+def test_inheriting_after_successor_gone_rejects():
+    syms = [
+        NodeSym(1, ST(1, 1, 1)),
+        NodeSym(3, ST(1, 1, 2)),
+        EdgeSym(1, 3, EdgeKind.PO | EdgeKind.STO),
+        FreeIdSym(3),  # the successor leaves the window
+        NodeSym(2, LD(2, 1, 1)),
+        EdgeSym(1, 2, EdgeKind.INH),  # now un-dischargeable
+    ]
+    assert not run_checker(syms).accepts_so_far
+
+
+def test_no_obligation_when_st_has_no_successor():
+    syms = [
+        NodeSym(1, ST(1, 1, 1)),
+        NodeSym(2, LD(2, 1, 1)),
+        EdgeSym(1, 2, EdgeKind.INH),
+    ]
+    c = run_checker(syms)
+    assert not any("forced" in v for v in c.end_violations())
+
+
+# constraint 5(b): ⊥-loads ---------------------------------------------
+def test_bottom_load_needs_forced_edge_to_first_st():
+    syms = [
+        NodeSym(1, LD(1, 1, BOTTOM)),
+        NodeSym(2, ST(2, 1, 1)),
+    ]
+    c = run_checker(syms)
+    assert any("⊥" in v for v in c.end_violations())
+    syms.append(EdgeSym(1, 2, EdgeKind.FORCED))
+    c = run_checker(syms)
+    assert not any("⊥" in v for v in c.end_violations())
+
+
+def test_bottom_load_without_stores_has_no_obligation():
+    c = run_checker([NodeSym(1, LD(1, 1, BOTTOM))])
+    assert c.accepts_at_end()
+
+
+def test_bottom_load_forced_edge_must_hit_the_head():
+    # forced edge to the *second* ST in ST order does not discharge 5(b)
+    syms = [
+        NodeSym(1, LD(1, 1, BOTTOM)),
+        NodeSym(2, ST(2, 1, 1)),
+        NodeSym(3, ST(2, 1, 2)),
+        EdgeSym(2, 3, EdgeKind.PO | EdgeKind.STO),
+        EdgeSym(1, 3, EdgeKind.FORCED),
+    ]
+    c = run_checker(syms)
+    assert any("⊥" in v for v in c.end_violations())
+
+
+def test_later_bottom_load_supersedes_earlier():
+    syms = [
+        NodeSym(1, LD(1, 1, BOTTOM)),
+        NodeSym(2, LD(1, 1, BOTTOM)),
+        EdgeSym(1, 2, EdgeKind.PO),
+        NodeSym(3, ST(2, 1, 1)),
+        EdgeSym(2, 3, EdgeKind.FORCED),
+    ]
+    c = run_checker(syms)
+    assert not any("⊥" in v for v in c.end_violations())
+
+
+# ----------------------------------------------------------------------
+# misc
+# ----------------------------------------------------------------------
+def test_unlabelled_node_rejected_when_labels_required():
+    assert not run_checker([NodeSym(1)]).accepts_so_far
+    c = AnnotationChecker(require_labels=False)
+    c.feed(NodeSym(1))
+    assert c.accepts_so_far
+
+
+def test_store_of_bottom_rejected():
+    assert not run_checker([NodeSym(1, ST(1, 1, BOTTOM))]).accepts_so_far
+
+
+def test_parse_edge_kind():
+    assert parse_edge_kind(None) == EdgeKind.NONE
+    assert parse_edge_kind("po-STo") == EdgeKind.PO | EdgeKind.STO
+    assert parse_edge_kind(EdgeKind.INH) == EdgeKind.INH
+    with pytest.raises(ValueError):
+        parse_edge_kind("bogus")
+    with pytest.raises(TypeError):
+        parse_edge_kind(42)
+
+
+def test_fork_independence():
+    c = run_checker(_fig3_prefix())
+    d = c.fork()
+    d.feed(EdgeSym(2, 3, EdgeKind.FORCED))
+    assert any("forced" in v for v in c.end_violations())
+    assert not any("forced" in v for v in d.end_violations())

@@ -1,0 +1,163 @@
+"""DFA/NFA substrate and the trace-equivalence bridge."""
+
+import pytest
+
+from repro.automata import (
+    DFA,
+    NFA,
+    dfa_from_table,
+    equivalent,
+    included_in,
+    protocol_nfa,
+    trace_dfa,
+    traces_equivalent,
+)
+from repro.core.operations import LD, ST, Load, Operation, Store
+from repro.memory import SerialMemory
+
+
+def _even_zeros() -> DFA:
+    return dfa_from_table(
+        "e",
+        {("e", 0): "o", ("o", 0): "e", ("e", 1): "e", ("o", 1): "o"},
+        accepting={"e"},
+    )
+
+
+def _all_words() -> DFA:
+    return dfa_from_table("q", {("q", 0): "q", ("q", 1): "q"}, accepting={"q"})
+
+
+def test_dfa_accepts():
+    d = _even_zeros()
+    assert d.accepts([])
+    assert d.accepts([0, 0, 1])
+    assert not d.accepts([0])
+    with pytest.raises(ValueError):
+        d.accepts([7])
+
+
+def test_dfa_complement():
+    c = _even_zeros().complement()
+    assert not c.accepts([])
+    assert c.accepts([0])
+
+
+def test_dfa_intersection_and_emptiness():
+    d = _even_zeros().intersect(_even_zeros().complement())
+    assert d.is_empty()
+    both = _even_zeros().intersect(_all_words())
+    assert both.accepts([0, 0])
+    assert not both.is_empty()
+
+
+def test_find_accepted_word_is_shortest():
+    odd = _even_zeros().complement()
+    assert odd.find_accepted_word() == [0]
+
+
+def test_inclusion_and_equivalence():
+    even, everything = _even_zeros(), _all_words()
+    assert included_in(even, everything)
+    res = included_in(everything, even)
+    assert not res
+    assert res.counterexample == [0]
+    assert equivalent(even, even)
+    assert not equivalent(even, everything)
+
+
+def test_reachable_states():
+    assert set(_even_zeros().reachable_states()) == {"e", "o"}
+
+
+def test_nfa_determinize():
+    # NFA accepting words over {a,b} ending in 'a'
+    def delta(q, s):
+        if s is NFA.EPSILON:
+            return ()
+        if q == 0:
+            return (0, 1) if s == "a" else (0,)
+        return ()
+
+    n = NFA(frozenset([0]), frozenset("ab"), delta, lambda q: q == 1)
+    assert n.accepts("ba")
+    assert not n.accepts("ab")
+    d = n.determinize()
+    assert d.accepts("ba") and not d.accepts("ab") and not d.accepts("")
+
+
+def test_nfa_projection_hides_symbols():
+    # 0 --x--> 1 --a--> 2 : hiding 'x' makes "a" accepted
+    def delta(q, s):
+        if s is NFA.EPSILON:
+            return ()
+        if (q, s) == (0, "x"):
+            return (1,)
+        if (q, s) == (1, "a"):
+            return (2,)
+        return ()
+
+    n = NFA(frozenset([0]), frozenset("xa"), delta, lambda q: q == 2)
+    assert not n.accepts("a")
+    projected = n.project(lambda s: s == "a")
+    assert projected.accepts("a")
+    assert projected.determinize().accepts("a")
+
+
+def test_protocol_trace_dfa_accepts_exactly_traces():
+    proto = SerialMemory(p=1, b=1, v=1)
+    d = trace_dfa(proto)
+    assert d.accepts([])  # prefix-closed
+    assert d.accepts([ST(1, 1, 1), LD(1, 1, 1)])
+    assert not d.accepts([LD(1, 1, 1)])  # value before any store
+    assert d.accepts([LD(1, 1, 0), ST(1, 1, 1)])
+
+
+def test_traces_equivalent_reflexive():
+    a = SerialMemory(p=1, b=1, v=1)
+    b = SerialMemory(p=1, b=1, v=1)
+    assert traces_equivalent(a, b)
+
+
+def test_traces_equivalent_detects_difference():
+    a = SerialMemory(p=1, b=1, v=1)
+    b = SerialMemory(p=1, b=1, v=2)  # more store values
+    res = traces_equivalent(a, b)
+    assert not res
+    assert res.counterexample is not None
+
+
+def test_atomic_msi_is_trace_equivalent_to_serial_memory():
+    """A neat corollary of atomicity: because AcquireM invalidates all
+    other copies before any store, atomic-bus MSI never exhibits a
+    stale read — its trace language *equals* serial memory's."""
+    from repro.memory import MSIProtocol
+
+    serial = SerialMemory(p=2, b=1, v=1)
+    msi = MSIProtocol(p=2, b=1, v=1)
+    assert traces_equivalent(serial, msi, max_states=100_000)
+
+
+def test_lazy_caching_traces_strictly_larger_than_serial():
+    """Lazy caching produces non-serial (but SC) traces — a processor
+    reads a stale cached value after the store has reached memory —
+    so serial ⊆ lazy holds strictly."""
+    from repro.memory import LazyCachingProtocol
+
+    serial = SerialMemory(p=2, b=1, v=1)
+    lazy = LazyCachingProtocol(p=2, b=1, v=1)
+    ds, dl = trace_dfa(serial), trace_dfa(lazy)
+    alpha = ds.alphabet | dl.alphabet
+
+    def widen(d):
+        return DFA(d.initial, alpha, lambda q, s: d.delta(q, s) if s in d.alphabet else None, d.accepting)
+
+    assert included_in(widen(ds), widen(dl), max_states=100_000)
+    back = included_in(widen(dl), widen(ds), max_states=100_000)
+    assert not back
+    # the separating trace is SC but not serial
+    from repro.core.serial import is_serial_trace, is_sequentially_consistent_trace
+
+    word = tuple(back.counterexample)
+    assert not is_serial_trace(word)
+    assert is_sequentially_consistent_trace(word)

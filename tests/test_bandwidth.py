@@ -1,0 +1,84 @@
+"""Node-bandwidth (Section 3.2) tests."""
+
+from hypothesis import given
+
+from repro.graphs import Digraph, active_profile, is_k_bandwidth_bounded, node_bandwidth
+
+from .conftest import dag_strategy
+
+
+def _bandwidth_naive(g: Digraph, n: int) -> int:
+    """Literal Section 3.2 definition, quadratic."""
+    worst = 0
+    for i in range(1, n + 1):
+        crossing = 0
+        for u in range(1, i + 1):
+            out = any(v > i for v in g.successors(u))
+            inc = any(v > i for v in g.predecessors(u))
+            if out or inc:
+                crossing += 1
+        worst = max(worst, crossing)
+    return worst
+
+
+def test_edgeless_graph_has_zero_bandwidth():
+    g = Digraph()
+    for i in range(1, 5):
+        g.add_node(i)
+    assert node_bandwidth(g) == 0
+    assert active_profile(g) == [0, 0, 0, 0]
+
+
+def test_chain_has_bandwidth_one():
+    g = Digraph()
+    for i in range(1, 6):
+        g.add_node(i)
+    for i in range(1, 5):
+        g.add_edge(i, i + 1)
+    assert node_bandwidth(g) == 1
+
+
+def test_star_from_first_node():
+    # node 1 reaches everything: only node 1 crosses every cut
+    g = Digraph()
+    for i in range(2, 7):
+        g.add_edge(1, i)
+    assert node_bandwidth(g, 6) == 1
+
+
+def test_figure3_graph_is_3_bandwidth_bounded():
+    # the paper states the Figure 3 graph is 3-node-bandwidth bounded
+    g = Digraph()
+    for i in range(1, 6):
+        g.add_node(i)
+    for (u, v) in [(1, 2), (1, 3), (1, 4), (2, 4), (4, 3), (3, 5), (4, 5)]:
+        g.add_edge(u, v)
+    assert node_bandwidth(g) == 3
+    assert is_k_bandwidth_bounded(g, 3)
+    assert not is_k_bandwidth_bounded(g, 2)
+
+
+def test_direction_agnostic():
+    # a backward edge counts the same as a forward one
+    fwd, bwd = Digraph(), Digraph()
+    for i in range(1, 4):
+        fwd.add_node(i)
+        bwd.add_node(i)
+    fwd.add_edge(1, 3)
+    bwd.add_edge(3, 1)
+    assert node_bandwidth(fwd) == node_bandwidth(bwd) == 1
+
+
+@given(dag_strategy())
+def test_sweep_matches_naive_definition(g):
+    n = len(g)
+    assert node_bandwidth(g, n) == _bandwidth_naive(g, n)
+
+
+@given(dag_strategy())
+def test_profile_max_equals_bandwidth(g):
+    prof = active_profile(g)
+    assert max(prof, default=0) == node_bandwidth(g)
+    # the final cut has an empty far side: nothing crosses it
+    if prof:
+        assert prof[-1] == 0

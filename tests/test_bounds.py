@@ -1,0 +1,60 @@
+"""Section 4.4 observer size bounds."""
+
+import pytest
+
+from repro.core.bounds import (
+    ObserverBounds,
+    bandwidth_bound,
+    bounds_for,
+    implementation_bandwidth_bound,
+    node_label_bits,
+    observer_state_bits,
+    observer_state_bits_optimised,
+    _lg,
+)
+from repro.memory import MSIProtocol, SerialMemory
+
+
+def test_lg_matches_paper_convention():
+    assert _lg(1) == 0
+    assert _lg(2) == 1
+    assert _lg(3) == 2
+    assert _lg(4) == 2
+    assert _lg(5) == 3
+    with pytest.raises(ValueError):
+        _lg(0)
+
+
+def test_bandwidth_bound_formula():
+    assert bandwidth_bound(p=2, b=3, L=10) == 10 + 6
+    assert implementation_bandwidth_bound(p=2, b=3, L=10) == 10 + 6 + 3 + 2
+
+
+def test_label_bits():
+    # lg p + lg b + lg v + 1
+    assert node_label_bits(p=2, b=2, v=2) == 1 + 1 + 1 + 1
+    assert node_label_bits(p=4, b=8, v=3) == 2 + 3 + 2 + 1
+
+
+def test_state_bits_formula():
+    p, b, v, L = 2, 2, 2, 6
+    expected = (L + p * b) * 4 + L * _lg(L)
+    assert observer_state_bits(p, b, v, L) == expected
+    # the optimisation saves lg v bits per active node
+    assert observer_state_bits_optimised(p, b, v, L) == expected - (L + p * b) * 1
+
+
+def test_bounds_for_protocol():
+    proto = MSIProtocol(p=2, b=2, v=2)  # L = 2 mem + 4 cache = 6
+    bb = bounds_for(proto)
+    assert bb.L == 6
+    assert bb.bandwidth == 6 + 4
+    assert bb.state_bits == observer_state_bits(2, 2, 2, 6)
+    assert len(bb.as_row()) == 8
+
+
+def test_bounds_monotone_in_parameters():
+    small = bounds_for(SerialMemory(p=2, b=1, v=2))
+    big = bounds_for(SerialMemory(p=4, b=2, v=4))
+    assert big.state_bits > small.state_bits
+    assert big.bandwidth > small.bandwidth

@@ -1,0 +1,107 @@
+"""The combined checker: streaming verdict ≡ offline verdict.
+
+The central agreement property: for any candidate constraint graph,
+``check_constraint_graph`` (encode + stream through cycle+annotation
+checkers) must agree with the offline pair ``validate()`` /
+``is_acyclic()``.
+"""
+
+import random
+from itertools import permutations
+
+from hypothesis import given, settings
+
+from repro.core.checker import Checker, check_constraint_graph, check_descriptor
+from repro.core.constraint_graph import (
+    EdgeKind,
+    build_constraint_graph,
+    graph_from_serial_reordering,
+)
+from repro.core.descriptor import EdgeSym, NodeSym
+from repro.core.operations import BOTTOM, LD, ST
+from repro.core.serial import find_serial_reordering
+
+from .conftest import ops_strategy, random_trace
+
+
+@settings(max_examples=50)
+@given(ops_strategy)
+def test_valid_graphs_accepted_streaming(trace):
+    perm = find_serial_reordering(trace)
+    if perm is None:
+        return
+    g = graph_from_serial_reordering(trace, perm)
+    assert check_constraint_graph(g).ok
+
+
+def test_streaming_agrees_with_offline_on_candidate_graphs(rng):
+    """For random traces, enumerate candidate (ST order, inheritance)
+    graphs and require streaming == offline on every one."""
+    checked = 0
+    for _ in range(40):
+        trace = random_trace(rng, rng.randint(1, 6))
+        stores_by_block = {}
+        for i, op in enumerate(trace, start=1):
+            if op.is_store:
+                stores_by_block.setdefault(op.block, []).append(i)
+        # one arbitrary ST order + inheritance choice per trace
+        st_order = {b: list(rng.sample(v, len(v))) for b, v in stores_by_block.items()}
+        inherit = {}
+        feasible = True
+        for j, op in enumerate(trace, start=1):
+            if op.is_load and op.value != BOTTOM:
+                cands = [
+                    i
+                    for i in stores_by_block.get(op.block, [])
+                    if trace[i - 1].value == op.value
+                ]
+                if not cands:
+                    feasible = False
+                    break
+                inherit[j] = rng.choice(cands)
+        if not feasible:
+            continue
+        g = build_constraint_graph(trace, st_order, inherit)
+        offline = g.is_acyclic() and g.is_valid()
+        streaming = check_constraint_graph(g).ok
+        assert streaming == offline, (trace, st_order, inherit, g.validate())
+        checked += 1
+    assert checked >= 10
+
+
+def test_cyclic_valid_graph_rejected():
+    # SB litmus: annotation-valid but cyclic
+    trace = (ST(1, 1, 1), LD(1, 2, BOTTOM), ST(2, 2, 1), LD(2, 1, BOTTOM))
+    g = build_constraint_graph(trace, {1: [1], 2: [3]}, {})
+    assert g.is_valid() and not g.is_acyclic()
+    res = check_constraint_graph(g)
+    assert not res.ok
+    assert "cycle" in res.reason
+
+
+def test_acyclic_invalid_graph_rejected():
+    trace = (ST(1, 1, 1), LD(2, 1, 1))
+    g = build_constraint_graph(trace, {1: [1]}, {})  # inheritance missing
+    assert g.is_acyclic() and not g.is_valid()
+    assert not check_constraint_graph(g).ok
+
+
+def test_check_descriptor_reports_first_reason():
+    res = check_descriptor([NodeSym(1, ST(1, 1, 1)), EdgeSym(1, 1, EdgeKind.NONE)])
+    assert not res.ok and res.reason is not None
+
+
+def test_checker_feed_all_short_circuits():
+    c = Checker()
+    syms = [NodeSym(1, ST(1, 1, 1)), EdgeSym(1, 1, EdgeKind.NONE), NodeSym(2, ST(1, 1, 1))]
+    assert not c.feed_all(syms)
+    assert not c.accepts_so_far
+
+
+def test_checker_fork_and_state_key():
+    c = Checker()
+    c.feed_all([NodeSym(1, ST(1, 1, 1))])
+    d = c.fork()
+    assert c.state_key() == d.state_key()
+    d.feed(NodeSym(2, ST(2, 1, 1)))
+    assert c.state_key() != d.state_key()

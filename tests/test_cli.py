@@ -1,0 +1,128 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import PROTOCOLS, build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_verify_sc_protocol(capsys):
+    code, out = run_cli(capsys, "verify", "serial", "--b", "1", "--v", "1")
+    assert code == 0
+    assert "SEQUENTIALLY CONSISTENT" in out
+
+
+def test_verify_non_sc_protocol_exit_code(capsys):
+    code, out = run_cli(capsys, "verify", "buggy-msi")
+    assert code == 1
+    assert "NOT SC" in out and "SC violation" in out
+
+
+def test_verify_lazy_uses_right_generator_by_default(capsys):
+    code, out = run_cli(capsys, "verify", "lazy")
+    assert code == 0
+
+
+def test_verify_lazy_real_time_order_rejected(capsys):
+    code, out = run_cli(capsys, "verify", "lazy", "--real-time-order")
+    assert code == 1
+
+
+def test_verify_full_mode(capsys):
+    code, out = run_cli(capsys, "verify", "serial", "--p", "1", "--b", "1", "--v", "1", "--mode", "full")
+    assert code == 0
+
+
+def test_verify_bounded(capsys):
+    code, out = run_cli(capsys, "verify", "msi", "--max-states", "20")
+    assert "bounded" in out or "NOT SC" in out
+
+
+def test_zoo(capsys):
+    code, out = run_cli(capsys, "zoo", "--max-states", "5000")
+    assert "Protocol zoo" in out
+    for name in PROTOCOLS:
+        assert name in out
+
+
+def test_litmus_classification(capsys):
+    code, out = run_cli(capsys, "litmus", "sb")
+    assert code == 0
+    assert "TSO" in out
+
+
+def test_litmus_on_protocol(capsys):
+    code, out = run_cli(capsys, "litmus", "sb", "--on", "msi")
+    assert code == 0
+    code, out = run_cli(capsys, "litmus", "sb", "--on", "storebuffer")
+    assert code == 1  # produces a non-SC outcome
+
+
+def test_fuzz_clean(capsys):
+    code, out = run_cli(capsys, "fuzz", "msi", "--runs", "20", "--length", "10")
+    assert code == 0
+    assert "0 violations" in out
+
+
+def test_fuzz_finds_violation(capsys):
+    code, out = run_cli(capsys, "fuzz", "storebuffer", "--runs", "200", "--length", "10", "--seed", "7")
+    assert code == 1
+    assert "first violation" in out
+
+
+def test_bounds_table(capsys):
+    code, out = run_cli(capsys, "bounds")
+    assert code == 0
+    assert "bandwidth L+pb" in out
+
+
+def test_parser_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["verify", "nonexistent"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_descriptor_accepts_valid(capsys):
+    code, out = run_cli(
+        capsys,
+        "descriptor",
+        "1, ST(P1,B1,1), 2, LD(P2,B1,1), (1,2), inh",
+    )
+    assert code == 0
+    assert "ACCEPTS" in out
+
+
+def test_descriptor_rejects_cycle(capsys):
+    code, out = run_cli(
+        capsys, "descriptor", "1, ST(P1,B1,1), 2, ST(P2,B1,1), (1,2), STo, (2,1), po"
+    )
+    assert code == 1
+    assert "REJECTS" in out
+
+
+def test_descriptor_rejects_annotation_violation(capsys):
+    # inheritance with a value mismatch: acyclic but not a constraint graph
+    code, out = run_cli(
+        capsys, "descriptor", "1, ST(P1,B1,1), 2, LD(P2,B1,2), (1,2), inh"
+    )
+    assert code == 1
+    assert "constraint-graph checker: REJECTS" in out
+
+
+def test_descriptor_paper_figure3_string(capsys):
+    text = (
+        "1, ST(P1,B1,1), 2, LD(P2,B1,1), (1,2), inh, 3, ST(P1,B1,2), "
+        "(1,3), po-STo, 4, LD(P2,B1,1), (1,4), inh, (2,4), po, (4,3), forced, "
+        "1, LD(P2,B1,2), (3,1), inh, (4,1), po"
+    )
+    code, out = run_cli(capsys, "descriptor", text)
+    assert code == 0, out

@@ -1,0 +1,155 @@
+"""The finite-state cycle checker of Lemma 3.3, cross-checked against
+offline cycle detection on the decoded graph."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.core.cycle_checker import CycleChecker, descriptor_is_acyclic
+from repro.core.descriptor import (
+    AddIdSym,
+    EdgeSym,
+    FreeIdSym,
+    NodeSym,
+    decode,
+    encode_graph,
+)
+from repro.graphs import Digraph, has_cycle
+
+from .conftest import digraph_strategy
+
+
+@settings(max_examples=80)
+@given(digraph_strategy())
+def test_matches_offline_cycle_detection(g):
+    syms = encode_graph(g)
+    assert descriptor_is_acyclic(syms) == (not has_cycle(g))
+
+
+def test_rejects_direct_two_cycle():
+    syms = [NodeSym(1), NodeSym(2), EdgeSym(1, 2), EdgeSym(2, 1)]
+    assert not descriptor_is_acyclic(syms)
+
+
+def test_rejects_self_loop():
+    assert not descriptor_is_acyclic([NodeSym(1), EdgeSym(1, 1)])
+
+
+def test_rejects_self_loop_via_alias():
+    syms = [NodeSym(1), AddIdSym(1, 2), EdgeSym(1, 2)]
+    assert not descriptor_is_acyclic(syms)
+
+
+def test_contraction_preserves_cycles_across_retirement():
+    # cycle 1 -> 2 -> 3 -> 1 where node 2's ID is recycled before the
+    # closing edge is emitted: contraction must keep 1 -> 3 visible
+    syms = [
+        NodeSym(1),
+        NodeSym(2),
+        EdgeSym(1, 2),
+        NodeSym(3),
+        EdgeSym(2, 3),
+        NodeSym(2),  # retires old node 2; its path 1->3 is contracted
+        EdgeSym(3, 1),
+    ]
+    assert not descriptor_is_acyclic(syms)
+
+
+def test_contraction_does_not_invent_cycles():
+    syms = [
+        NodeSym(1),
+        NodeSym(2),
+        EdgeSym(1, 2),
+        NodeSym(1),  # retire node 1 (no contraction effect: only out-edges)
+        EdgeSym(2, 1),  # new node 1 is a different node: 2 -> new
+    ]
+    assert descriptor_is_acyclic(syms)
+
+
+def test_long_chain_through_bounded_window():
+    # a 1000-node path using only two IDs stays acyclic
+    syms = [NodeSym(1)]
+    cur, other = 1, 2
+    for _ in range(999):
+        syms.append(NodeSym(other))
+        syms.append(EdgeSym(cur, other))
+        cur, other = other, cur
+    checker = CycleChecker()
+    assert checker.feed_all(syms)
+    assert checker.active_size() <= 2
+
+
+def test_free_id_triggers_contraction():
+    syms = [
+        NodeSym(1),
+        NodeSym(2),
+        EdgeSym(1, 2),
+        NodeSym(3),
+        EdgeSym(2, 3),
+        FreeIdSym(2),  # retire node 2 eagerly
+        EdgeSym(3, 1),
+    ]
+    assert not descriptor_is_acyclic(syms)
+
+
+def test_rejection_is_permanent():
+    c = CycleChecker()
+    assert c.feed(NodeSym(1))
+    assert not c.feed(EdgeSym(1, 1))
+    assert not c.feed(NodeSym(2))
+    assert not c.accepts
+
+
+def test_fork_is_independent():
+    c = CycleChecker()
+    c.feed_all([NodeSym(1), NodeSym(2), EdgeSym(1, 2)])
+    d = c.fork()
+    assert not d.feed(EdgeSym(2, 1))
+    assert c.accepts and not d.accepts
+    assert c.feed(NodeSym(3))
+
+
+def test_state_key_merges_identical_windows():
+    a, b = CycleChecker(), CycleChecker()
+    a.feed_all([NodeSym(1), NodeSym(2), EdgeSym(1, 2)])
+    b.feed_all([NodeSym(3), NodeSym(1), NodeSym(2), FreeIdSym(3), EdgeSym(1, 2)])
+    assert a.state_key() == b.state_key()
+
+
+def test_state_key_canonical_under_renaming():
+    a, b = CycleChecker(), CycleChecker()
+    a.feed_all([NodeSym(1), NodeSym(2), EdgeSym(1, 2)])
+    b.feed_all([NodeSym(2), NodeSym(1), EdgeSym(2, 1)])
+    # keys under the renaming {1<->2} must match
+    assert a.state_key({1: 0, 2: 1}) == b.state_key({2: 0, 1: 1})
+
+
+def _random_stream(rng: random.Random, n_ops: int, max_id: int):
+    held = set()
+    syms = []
+    for _ in range(n_ops):
+        kind = rng.random()
+        if kind < 0.45 or not held:
+            i = rng.randint(1, max_id)
+            syms.append(NodeSym(i))
+            held.add(i)
+        elif kind < 0.85:
+            syms.append(EdgeSym(rng.choice(sorted(held)), rng.choice(sorted(held))))
+        elif kind < 0.95 and len(held) >= 1:
+            src = rng.choice(sorted(held))
+            dst = rng.randint(1, max_id)
+            syms.append(AddIdSym(src, dst))
+            held.add(dst)
+        else:
+            i = rng.choice(sorted(held))
+            syms.append(FreeIdSym(i))
+            held.discard(i)
+    return syms
+
+
+def test_random_streams_match_offline(rng):
+    for trial in range(60):
+        syms = _random_stream(rng, rng.randint(1, 25), max_id=4)
+        streamed = descriptor_is_acyclic(syms)
+        offline = not has_cycle(decode(syms, strict=False).graph)
+        assert streamed == offline, f"trial {trial}: {syms}"

@@ -1,0 +1,115 @@
+"""Cycle detection and topological sorting, cross-checked against
+networkx as an independent oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+
+from repro.graphs import (
+    CycleError,
+    Digraph,
+    all_topological_sorts,
+    find_cycle,
+    has_cycle,
+    topological_sort,
+    would_close_cycle,
+)
+
+from .conftest import dag_strategy, digraph_strategy
+
+
+def _to_nx(g: Digraph) -> nx.DiGraph:
+    h = nx.DiGraph()
+    h.add_nodes_from(g.nodes())
+    h.add_edges_from(g.edges())
+    return h
+
+
+@given(digraph_strategy())
+def test_has_cycle_matches_networkx(g):
+    assert has_cycle(g) == (not nx.is_directed_acyclic_graph(_to_nx(g)))
+
+
+@given(digraph_strategy())
+def test_find_cycle_returns_genuine_cycle(g):
+    cyc = find_cycle(g)
+    if cyc is None:
+        assert nx.is_directed_acyclic_graph(_to_nx(g))
+    else:
+        assert cyc[0] == cyc[-1]
+        assert len(cyc) >= 2
+        for a, b in zip(cyc, cyc[1:]):
+            assert g.has_edge(a, b)
+
+
+def test_self_loop_is_cycle():
+    g = Digraph()
+    g.add_edge(1, 1)
+    assert has_cycle(g)
+    assert find_cycle(g) == [1, 1]
+
+
+def test_long_chain_no_recursion_limit():
+    g = Digraph()
+    for i in range(1, 50_000):
+        g.add_edge(i, i + 1)
+    assert not has_cycle(g)
+    g.add_edge(50_000, 1)
+    assert has_cycle(g)
+
+
+@given(dag_strategy())
+def test_topological_sort_respects_edges(g):
+    order = topological_sort(g)
+    pos = {u: i for i, u in enumerate(order)}
+    assert sorted(order) == sorted(g.nodes())
+    for (u, v) in g.edges():
+        assert pos[u] < pos[v]
+
+
+def test_topological_sort_raises_on_cycle():
+    g = Digraph()
+    g.add_edge(1, 2)
+    g.add_edge(2, 1)
+    with pytest.raises(CycleError):
+        topological_sort(g)
+
+
+def test_topological_sort_prefers_small():
+    g = Digraph()
+    for i in (3, 1, 2):
+        g.add_node(i)
+    assert topological_sort(g) == [1, 2, 3]
+
+
+def test_all_topological_sorts_diamond():
+    g = Digraph()
+    g.add_edge(1, 2)
+    g.add_edge(1, 3)
+    g.add_edge(2, 4)
+    g.add_edge(3, 4)
+    sorts = list(all_topological_sorts(g))
+    assert sorted(map(tuple, sorts)) == [(1, 2, 3, 4), (1, 3, 2, 4)]
+
+
+def test_all_topological_sorts_empty_on_cycle():
+    g = Digraph()
+    g.add_edge(1, 2)
+    g.add_edge(2, 1)
+    assert list(all_topological_sorts(g)) == []
+
+
+@given(dag_strategy(max_nodes=6))
+def test_all_topological_sorts_count_matches_networkx(g):
+    ours = {tuple(s) for s in all_topological_sorts(g)}
+    theirs = {tuple(s) for s in nx.all_topological_sorts(_to_nx(g))}
+    assert ours == theirs
+
+
+@given(dag_strategy())
+def test_would_close_cycle(g):
+    nodes = list(g.nodes())
+    for u in nodes[:4]:
+        for v in nodes[:4]:
+            expected = u == v or g.has_path(v, u)
+            assert would_close_cycle(g, u, v) == expected

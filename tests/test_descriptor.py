@@ -1,0 +1,169 @@
+"""k-graph descriptors: decoder semantics, Lemma 3.2 encoder, and the
+textual syntax (Section 3.2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.descriptor import (
+    AddIdSym,
+    DescriptorDecoder,
+    DescriptorError,
+    EdgeSym,
+    FreeIdSym,
+    NodeSym,
+    decode,
+    encode_graph,
+    format_descriptor,
+    parse_descriptor,
+)
+from repro.core.operations import LD, ST
+from repro.graphs import Digraph, node_bandwidth
+
+from .conftest import dag_strategy, digraph_strategy
+
+
+def test_decode_simple_graph():
+    syms = [NodeSym(1, "a"), NodeSym(2, "b"), EdgeSym(1, 2, "e")]
+    g = decode(syms)
+    assert g.n == 2
+    assert g.node_labels == ["a", "b"]
+    assert g.graph.has_edge(1, 2)
+    assert g.graph.label(1, 2) == "e"
+
+
+def test_id_recycling_creates_new_node():
+    syms = [NodeSym(1), NodeSym(1), EdgeSym(1, 1)]
+    g = decode(syms)
+    assert g.n == 2
+    assert g.graph.has_edge(2, 2)  # the edge refers to the *new* node
+    assert not g.graph.has_edge(1, 1)
+
+
+def test_add_id_aliases_node():
+    syms = [NodeSym(1), AddIdSym(1, 2), NodeSym(1), EdgeSym(2, 1)]
+    # node 1 gets alias 2; ID 1 is then recycled for node 2; the edge
+    # (2,1) joins old node 1 (via alias) to node 2
+    g = decode(syms)
+    assert g.n == 2
+    assert g.graph.has_edge(1, 2)
+
+
+def test_add_id_steals_new_id_from_holder():
+    syms = [NodeSym(1), NodeSym(2), AddIdSym(1, 2), EdgeSym(2, 2)]
+    g = decode(syms)
+    # ID 2 moved from node 2 to node 1: the self-edge lands on node 1
+    assert g.graph.has_edge(1, 1)
+
+
+def test_free_id_retires_without_new_node():
+    syms = [NodeSym(1), FreeIdSym(1)]
+    g = decode(syms)
+    assert g.n == 1
+    dec = DescriptorDecoder().feed_all(syms)
+    assert dec.active_nodes() == {}
+
+
+def test_strict_mode_rejects_dangling_references():
+    with pytest.raises(DescriptorError):
+        decode([EdgeSym(1, 2)])
+    with pytest.raises(DescriptorError):
+        decode([NodeSym(1), EdgeSym(1, 2)])
+    with pytest.raises(DescriptorError):
+        decode([AddIdSym(3, 1)])
+
+
+def test_lenient_mode_drops_dangling_references():
+    g = decode([NodeSym(1), EdgeSym(1, 2)], strict=False)
+    assert g.n == 1
+    assert g.graph.num_edges() == 0
+
+
+def test_max_id_enforced():
+    with pytest.raises(DescriptorError):
+        decode([NodeSym(5)], max_id=4)
+
+
+def test_figure3_paper_descriptor():
+    """The exact ID-recycled descriptor string from Section 3.2."""
+    trace = (ST(1, 1, 1), LD(2, 1, 1), ST(1, 1, 2), LD(2, 1, 1), LD(2, 1, 2))
+    syms = [
+        NodeSym(1, trace[0]),
+        NodeSym(2, trace[1]),
+        EdgeSym(1, 2, "inh"),
+        NodeSym(3, trace[2]),
+        EdgeSym(1, 3, "po-STo"),
+        NodeSym(4, trace[3]),
+        EdgeSym(1, 4, "inh"),
+        EdgeSym(2, 4, "po"),
+        EdgeSym(4, 3, "forced"),
+        NodeSym(1, trace[4]),  # ID 1 recycled for node 5
+        EdgeSym(3, 1, "inh"),
+        EdgeSym(4, 1, "po"),
+    ]
+    g = decode(syms, max_id=4)
+    assert g.n == 5
+    expected = {(1, 2), (1, 3), (1, 4), (2, 4), (4, 3), (3, 5), (4, 5)}
+    assert set(g.graph.edges()) == expected
+
+
+@settings(max_examples=60)
+@given(dag_strategy())
+def test_encode_decode_round_trip(g):
+    labels = [f"n{i}" for i in range(1, len(g) + 1)]
+    syms = encode_graph(g, labels)
+    back = decode(syms)
+    assert back.n == len(g)
+    assert back.node_labels == labels
+    assert set(back.graph.edges()) == set(g.edges())
+
+
+@settings(max_examples=60)
+@given(digraph_strategy())
+def test_encoder_respects_id_bound(g):
+    k = node_bandwidth(g)
+    syms = encode_graph(g)
+    used = {s.id for s in syms if isinstance(s, NodeSym)}
+    assert used <= set(range(1, k + 2)), "Lemma 3.2: IDs within 1..k+1"
+    back = decode(syms, max_id=k + 1)
+    assert set(back.graph.edges()) == set(g.edges())
+
+
+def test_encoder_preserves_edge_labels():
+    g = Digraph()
+    g.add_edge(1, 2, "hello")
+    syms = encode_graph(g)
+    back = decode(syms)
+    assert back.graph.label(1, 2) == "hello"
+
+
+def test_encoder_handles_self_loop():
+    g = Digraph()
+    g.add_edge(1, 1)
+    back = decode(encode_graph(g))
+    assert back.graph.has_edge(1, 1)
+
+
+def test_format_and_parse_round_trip():
+    syms = [
+        NodeSym(1, "ST(P1,B1,1)"),
+        NodeSym(2),
+        EdgeSym(1, 2, "inh"),
+        AddIdSym(1, 3),
+        FreeIdSym(2),
+    ]
+    text = format_descriptor(syms)
+    assert "add-ID(1,3)" in text and "free-ID(2)" in text
+    parsed = parse_descriptor(text)
+    assert parsed == syms
+
+
+def test_format_uses_edgekind_short_names():
+    from repro.core.constraint_graph import EdgeKind
+
+    text = format_descriptor([NodeSym(1), NodeSym(2), EdgeSym(1, 2, EdgeKind.PO | EdgeKind.STO)])
+    assert "po-STo" in text
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(DescriptorError):
+        parse_descriptor("hello, world")

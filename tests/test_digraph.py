@@ -1,0 +1,120 @@
+"""Unit tests for the Digraph container."""
+
+import pytest
+from hypothesis import given
+
+from repro.graphs import Digraph
+
+from .conftest import digraph_strategy
+
+
+def test_add_nodes_and_edges():
+    g = Digraph()
+    g.add_edge(1, 2, "a")
+    g.add_edge(2, 3)
+    assert len(g) == 3
+    assert g.num_edges() == 2
+    assert g.has_edge(1, 2)
+    assert not g.has_edge(2, 1)
+    assert g.label(1, 2) == "a"
+    assert g.label(2, 3) is None
+    assert set(g.successors(2)) == {3}
+    assert set(g.predecessors(2)) == {1}
+
+
+def test_add_edge_replaces_label():
+    g = Digraph()
+    g.add_edge(1, 2, "a")
+    g.add_edge(1, 2, "b")
+    assert g.label(1, 2) == "b"
+    assert g.num_edges() == 1
+
+
+def test_add_edge_merge_combines_labels():
+    g = Digraph()
+    g.add_edge(1, 2, {"a"})
+    g.add_edge(1, 2, {"b"}, merge=lambda old, new: old | new)
+    assert g.label(1, 2) == {"a", "b"}
+
+
+def test_self_loop_supported():
+    g = Digraph()
+    g.add_edge(1, 1)
+    assert g.has_edge(1, 1)
+    assert 1 in set(g.successors(1))
+
+
+def test_remove_edge_and_node():
+    g = Digraph()
+    g.add_edge(1, 2)
+    g.add_edge(2, 3)
+    g.remove_edge(1, 2)
+    assert not g.has_edge(1, 2)
+    assert 2 in g
+    g.remove_node(2)
+    assert 2 not in g
+    assert g.num_edges() == 0
+    assert len(g) == 2
+
+
+def test_contract_node_preserves_paths():
+    g = Digraph()
+    g.add_edge(1, 2)
+    g.add_edge(2, 3)
+    g.add_edge(4, 2)
+    g.contract_node(2)
+    assert g.has_edge(1, 3)
+    assert g.has_edge(4, 3)
+    assert 2 not in g
+
+
+def test_contract_node_creates_self_loop_for_two_cycle():
+    g = Digraph()
+    g.add_edge(1, 2)
+    g.add_edge(2, 1)
+    g.contract_node(2)
+    assert g.has_edge(1, 1)
+
+
+def test_contract_node_label_merge():
+    g = Digraph()
+    g.add_edge(1, 2, "in")
+    g.add_edge(2, 3, "out")
+    g.contract_node(2, label_merge=lambda a, b, existing: (a, b, existing))
+    assert g.label(1, 3) == ("in", "out", None)
+
+
+def test_reachability():
+    g = Digraph()
+    g.add_edge(1, 2)
+    g.add_edge(2, 3)
+    g.add_edge(4, 1)
+    assert g.reachable_from(1) == {2, 3}
+    assert g.has_path(4, 3)
+    assert not g.has_path(3, 1)
+    assert not g.has_path(99, 1)
+
+
+def test_copy_is_independent():
+    g = Digraph()
+    g.add_edge(1, 2)
+    h = g.copy()
+    h.add_edge(2, 3)
+    assert not g.has_edge(2, 3)
+    assert h.has_edge(1, 2)
+
+
+@given(digraph_strategy())
+def test_canonical_key_stable_under_copy(g):
+    assert g.canonical_key() == g.copy().canonical_key()
+
+
+@given(digraph_strategy())
+def test_degree_consistency(g):
+    for u in g.nodes():
+        assert g.out_degree(u) == len(set(g.successors(u)))
+        assert g.in_degree(u) == len(set(g.predecessors(u)))
+    # every edge appears in both adjacency directions
+    for (u, v) in g.edges():
+        assert v in set(g.successors(u))
+        assert u in set(g.predecessors(v))

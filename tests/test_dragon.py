@@ -1,0 +1,103 @@
+"""The Dragon write-update protocol."""
+
+import pytest
+
+from repro.core.operations import LD, ST, InternalAction
+from repro.core.protocol import enumerate_runs
+from repro.core.serial import is_sequentially_consistent_trace
+from repro.core.verify import check_run, verify_protocol
+from repro.litmus import SB, outcomes_on_protocol, outcomes_sc
+from repro.memory import DragonProtocol
+from repro.memory.dragon import E, I, M, SC_, SM, _OWNER_STATES
+from repro.modelcheck import explore
+
+
+def test_verifies_sc():
+    res = verify_protocol(DragonProtocol(p=2, b=1, v=1))
+    assert res.sequentially_consistent, res.summary()
+
+
+def test_exhaustive_short_traces_sc():
+    proto = DragonProtocol(p=2, b=1, v=1)
+    for t in enumerate_runs(proto, 5, trace_only=True):
+        assert is_sequentially_consistent_trace(t), t
+
+
+def test_all_valid_copies_agree_invariant():
+    """Dragon's defining invariant: every valid copy of a block holds
+    the same value, in every reachable state."""
+    proto = DragonProtocol(p=3, b=1, v=2)
+
+    def visit(state, _d):
+        _mem, cstate, cval = state
+        vals = {
+            cval[proto._idx(P, 1)]
+            for P in proto.procs
+            if cstate[proto._idx(P, 1)] != I
+        }
+        assert len(vals) <= 1, state
+
+    explore(proto, max_states=5000, on_state=visit)
+
+
+def test_at_most_one_owner():
+    proto = DragonProtocol(p=3, b=1, v=1)
+
+    def visit(state, _d):
+        _mem, cstate, _cval = state
+        owners = sum(1 for s in cstate if s in _OWNER_STATES)
+        assert owners <= 1
+
+    explore(proto, max_states=5000, on_state=visit)
+
+
+def test_write_updates_sharers_without_invalidation():
+    proto = DragonProtocol(p=2, b=1, v=2)
+    run = (
+        InternalAction("ReadMiss", (1, 1)),
+        InternalAction("ReadMiss", (2, 1)),
+        ST(1, 1, 2),
+    )
+    state = proto.run_states(run)[-1]
+    _mem, cstate, cval = state
+    assert cstate[proto._idx(2, 1)] != I, "sharer must stay valid (no invalidation)"
+    assert cval[proto._idx(2, 1)] == 2, "sharer must see the new value"
+    assert cstate[proto._idx(1, 1)] == SM  # writer owns, with sharers
+
+
+def test_lone_writer_becomes_m():
+    proto = DragonProtocol(p=2, b=1, v=1)
+    run = (InternalAction("ReadMiss", (1, 1)), ST(1, 1, 1))
+    _mem, cstate, _cval = proto.run_states(run)[-1]
+    assert cstate[proto._idx(1, 1)] == M
+
+
+def test_memory_stale_until_owner_evicts():
+    proto = DragonProtocol(p=2, b=1, v=2)
+    run = (
+        InternalAction("ReadMiss", (1, 1)),
+        ST(1, 1, 2),
+    )
+    mem, _c, _v = proto.run_states(run)[-1]
+    assert mem[0] == 0  # stale
+    run += (InternalAction("Evict", (1, 1)),)
+    mem, _c, _v = proto.run_states(run)[-1]
+    assert mem[0] == 2  # written back
+
+
+def test_updated_sharer_read_is_tracked():
+    """A sharer reading a broadcast-updated value inherits from the
+    writer's ST through the update copy."""
+    proto = DragonProtocol(p=2, b=1, v=2)
+    run = (
+        InternalAction("ReadMiss", (1, 1)),
+        InternalAction("ReadMiss", (2, 1)),
+        ST(1, 1, 2),
+        LD(2, 1, 2),
+    )
+    assert check_run(proto, run).ok
+
+
+def test_matches_sc_on_sb_litmus():
+    proto = DragonProtocol(p=2, b=2, v=1)
+    assert outcomes_on_protocol(proto, SB) == outcomes_sc(SB)

@@ -1,0 +1,170 @@
+"""Litmus programs, reference memory-model semantics, and protocol
+runners."""
+
+import pytest
+
+from repro.litmus import (
+    CORPUS,
+    CORR,
+    FIGURE1,
+    IRIW,
+    LB,
+    MP,
+    SB,
+    LitmusProgram,
+    Ld,
+    St,
+    classify_outcomes,
+    outcomes_on_protocol,
+    outcomes_relaxed,
+    outcomes_sc,
+    outcomes_serial_realtime,
+    outcomes_tso,
+    runs_for_outcome,
+)
+from repro.core.serial import is_sequentially_consistent_trace
+from repro.core.operations import trace_of_run
+from repro.memory import (
+    MESIProtocol,
+    MSIProtocol,
+    SerialMemory,
+    StoreBufferProtocol,
+)
+
+
+# ----------------------------------------------------------------------
+# reference semantics
+# ----------------------------------------------------------------------
+def test_figure1_serial_row():
+    sched = [(1, 0), (1, 1), (2, 0), (2, 1)]
+    assert outcomes_serial_realtime(FIGURE1, sched) == {FIGURE1.outcome(r1=1, r2=2)}
+
+
+def test_figure1_sc_row():
+    sc = outcomes_sc(FIGURE1)
+    assert FIGURE1.outcome(r1=0, r2=0) in sc
+    assert FIGURE1.outcome(r1=1, r2=0) in sc
+    assert FIGURE1.outcome(r1=1, r2=2) in sc
+    assert FIGURE1.outcome(r1=0, r2=2) not in sc
+    assert len(sc) == 3
+
+
+def test_figure1_relaxed_row():
+    assert FIGURE1.outcome(r1=0, r2=2) in outcomes_relaxed(FIGURE1)
+
+
+def test_serial_schedule_validation():
+    with pytest.raises(ValueError):
+        outcomes_serial_realtime(FIGURE1, [(1, 1)])
+    with pytest.raises(ValueError):
+        outcomes_serial_realtime(FIGURE1, [(1, 0), (1, 1)])
+
+
+@pytest.mark.parametrize("prog", CORPUS, ids=lambda p: p.name)
+def test_forbidden_sc_outcomes_are_forbidden(prog):
+    sc = outcomes_sc(prog)
+    for regs in prog.forbidden_sc:
+        assert prog.outcome(**regs) not in sc
+
+
+@pytest.mark.parametrize("prog", CORPUS, ids=lambda p: p.name)
+def test_model_inclusion_chain(prog):
+    """SC ⊆ TSO ⊆ relaxed on every corpus program."""
+    sc, tso, relaxed = outcomes_sc(prog), outcomes_tso(prog), outcomes_relaxed(prog)
+    assert sc <= tso
+    assert tso <= relaxed
+
+
+@pytest.mark.parametrize("prog", CORPUS, ids=lambda p: p.name)
+def test_tso_extras_match_expectation(prog):
+    tso, sc = outcomes_tso(prog), outcomes_sc(prog)
+    expected_extra = {prog.outcome(**r) for r in prog.allowed_tso}
+    assert expected_extra <= tso - sc if expected_extra else tso == sc or True
+    for regs in prog.allowed_tso:
+        assert prog.outcome(**regs) in tso
+
+
+def test_sb_separates_sc_from_tso():
+    assert SB.outcome(r1=0, r2=0) in outcomes_tso(SB)
+    assert SB.outcome(r1=0, r2=0) not in outcomes_sc(SB)
+
+
+def test_mp_does_not_separate_sc_from_tso():
+    assert outcomes_tso(MP) == outcomes_sc(MP)
+
+
+def test_corr_coherence_under_tso():
+    # TSO keeps per-location coherence: new-then-old stays forbidden
+    assert CORR.outcome(r1=1, r2=0) not in outcomes_tso(CORR)
+
+
+def test_iriw_agreement_under_sc():
+    bad = IRIW.outcome(r1=1, r2=0, r3=1, r4=0)
+    assert bad not in outcomes_sc(IRIW)
+    assert bad in outcomes_relaxed(IRIW)
+
+
+def test_classify_outcomes_tags():
+    tags = classify_outcomes(SB)
+    assert tags[SB.outcome(r1=1, r2=1)] == "SC"
+    assert tags[SB.outcome(r1=0, r2=0)] == "TSO"
+
+
+def test_classify_relaxed_only_outcome():
+    tags = classify_outcomes(MP)
+    assert tags[MP.outcome(r1=1, r2=0)] == "relaxed"
+
+
+# ----------------------------------------------------------------------
+# programs API
+# ----------------------------------------------------------------------
+def test_program_properties():
+    assert FIGURE1.num_procs == 2
+    assert FIGURE1.blocks == [1, 2]
+    assert FIGURE1.max_value == 2
+    assert FIGURE1.registers == ["r1", "r2"]
+    with pytest.raises(ValueError):
+        FIGURE1.outcome(r1=0)  # missing r2
+
+
+# ----------------------------------------------------------------------
+# protocols under litmus programs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("prog", [SB, MP, CORR, LB], ids=lambda p: p.name)
+def test_msi_matches_sc_exactly(prog):
+    proto = MSIProtocol(p=2, b=2, v=1)
+    assert outcomes_on_protocol(proto, prog) == outcomes_sc(prog)
+
+
+def test_serial_memory_matches_sc_on_figure1():
+    proto = SerialMemory(p=2, b=2, v=2)
+    assert outcomes_on_protocol(proto, FIGURE1) == outcomes_sc(FIGURE1)
+
+
+def test_mesi_matches_sc_on_sb():
+    proto = MESIProtocol(p=2, b=2, v=1)
+    assert outcomes_on_protocol(proto, SB) == outcomes_sc(SB)
+
+
+def test_store_buffer_protocol_matches_tso_on_sb():
+    proto = StoreBufferProtocol(p=2, b=2, v=1)
+    assert outcomes_on_protocol(proto, SB) == outcomes_tso(SB)
+
+
+def test_runs_for_outcome_produces_witnesses():
+    proto = StoreBufferProtocol(p=2, b=2, v=1)
+    runs = runs_for_outcome(proto, SB)
+    bad = SB.outcome(r1=0, r2=0)
+    assert bad in runs
+    run = runs[bad]
+    assert proto.is_run(run)
+    assert not is_sequentially_consistent_trace(trace_of_run(run))
+
+
+def test_runner_validates_parameters():
+    with pytest.raises(ValueError):
+        outcomes_on_protocol(SerialMemory(p=1, b=2, v=2), FIGURE1)
+    with pytest.raises(ValueError):
+        outcomes_on_protocol(SerialMemory(p=2, b=1, v=2), FIGURE1)
+    with pytest.raises(ValueError):
+        outcomes_on_protocol(SerialMemory(p=2, b=2, v=1), FIGURE1)

@@ -1,0 +1,50 @@
+"""The two exponential VSC baselines must agree with each other and
+with Lemma 3.1."""
+
+from hypothesis import given, settings
+
+from repro.core.operations import BOTTOM, LD, ST
+from repro.litmus import (
+    check_trace_bruteforce,
+    check_trace_store_orders,
+    witness_constraint_graph,
+)
+
+from .conftest import ops_strategy, random_trace
+
+
+@settings(max_examples=60)
+@given(ops_strategy)
+def test_baselines_agree(trace):
+    assert check_trace_bruteforce(trace) == check_trace_store_orders(trace)
+
+
+def test_baselines_agree_on_random_traces(rng):
+    for _ in range(60):
+        t = random_trace(rng, rng.randint(0, 7))
+        assert check_trace_bruteforce(t) == check_trace_store_orders(t), t
+
+
+def test_witness_graph_is_valid_and_acyclic():
+    t = (ST(1, 1, 1), LD(2, 1, 1), ST(2, 1, 2), LD(1, 1, 2))
+    g = witness_constraint_graph(t)
+    assert g is not None
+    assert g.is_acyclic() and g.is_valid()
+
+
+def test_witness_none_for_sb():
+    t = (ST(1, 1, 1), LD(1, 2, BOTTOM), ST(2, 2, 1), LD(2, 1, BOTTOM))
+    assert witness_constraint_graph(t) is None
+
+
+def test_unstored_value_fails_fast():
+    t = (LD(1, 1, 3),)
+    assert not check_trace_store_orders(t)
+    assert not check_trace_bruteforce(t)
+
+
+def test_ambiguous_inheritance_needs_search():
+    # two STs write the same value; only inheriting from the *second*
+    # (in some ST order) admits a witness for the trailing pattern
+    t = (ST(1, 1, 1), ST(2, 1, 1), LD(1, 1, 1), ST(1, 1, 2), LD(2, 1, 1))
+    assert check_trace_bruteforce(t) == check_trace_store_orders(t) is True

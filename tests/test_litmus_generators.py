@@ -1,0 +1,77 @@
+"""Parameterised litmus families."""
+
+import pytest
+
+from repro.litmus import (
+    corr_chain,
+    iriw_general,
+    mp_chain,
+    outcomes_on_protocol,
+    outcomes_sc,
+    outcomes_tso,
+    sb_chain,
+)
+from repro.litmus.programs import SB, MP, CORR, IRIW
+from repro.memory import MSIProtocol
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_sb_chain_forbidden_under_sc_allowed_under_tso(n):
+    prog = sb_chain(n)
+    bad = prog.outcome(**prog.forbidden_sc[0])
+    assert bad not in outcomes_sc(prog)
+    assert bad in outcomes_tso(prog)
+
+
+def test_sb_chain_2_matches_fixed_sb():
+    # same shape (registers renamed)
+    gen, fixed = sb_chain(2), SB
+    assert len(outcomes_sc(gen)) == len(outcomes_sc(fixed))
+    assert len(outcomes_tso(gen)) == len(outcomes_tso(fixed))
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_mp_chain_forbidden_under_sc_and_tso(n):
+    prog = mp_chain(n)
+    bad = prog.outcome(**prog.forbidden_sc[0])
+    assert bad not in outcomes_sc(prog)
+    # TSO preserves store order and load order: MP holds there too
+    assert bad not in outcomes_tso(prog)
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_corr_chain_new_then_old_forbidden(k):
+    prog = corr_chain(k)
+    sc = outcomes_sc(prog)
+    for regs in prog.forbidden_sc:
+        assert prog.outcome(**regs) not in sc
+    # monotone outcomes (0^i then 1^(k-i)) are all allowed
+    for split in range(k + 1):
+        regs = {f"r{i}": (0 if i <= split else 1) for i in range(1, k + 1)}
+        assert prog.outcome(**regs) in sc
+
+
+@pytest.mark.parametrize("w", [2, 3])
+def test_iriw_general_disagreement_forbidden(w):
+    prog = iriw_general(w)
+    bad = prog.outcome(**prog.forbidden_sc[0])
+    assert bad not in outcomes_sc(prog)
+    # under SC with total store order, TSO forbids it too
+    assert bad not in outcomes_tso(prog)
+
+
+def test_generators_validate_parameters():
+    with pytest.raises(ValueError):
+        sb_chain(1)
+    with pytest.raises(ValueError):
+        mp_chain(1)
+    with pytest.raises(ValueError):
+        corr_chain(1)
+    with pytest.raises(ValueError):
+        iriw_general(1)
+
+
+def test_generated_program_runs_on_protocol():
+    prog = sb_chain(2)
+    proto = MSIProtocol(p=2, b=2, v=1)
+    assert outcomes_on_protocol(proto, prog) == outcomes_sc(prog)

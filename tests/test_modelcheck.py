@@ -1,0 +1,113 @@
+"""The explicit-state explorers (plain and product)."""
+
+import pytest
+
+from repro.core.operations import trace_of_run
+from repro.core.serial import is_sequentially_consistent_trace
+from repro.modelcheck import explore, explore_product, count_actions, reachable_states
+from repro.memory import (
+    BuggyMSIProtocol,
+    MSIProtocol,
+    SerialMemory,
+    StoreBufferProtocol,
+    store_buffer_st_order,
+)
+
+
+def test_serial_memory_state_count():
+    # (v+1)^b memory contents
+    assert explore(SerialMemory(p=2, b=1, v=2)).states == 3
+    assert explore(SerialMemory(p=2, b=2, v=2)).states == 9
+    assert explore(SerialMemory(p=3, b=2, v=3)).states == 16
+
+
+def test_explore_respects_caps():
+    stats = explore(SerialMemory(p=2, b=2, v=2), max_states=4)
+    assert stats.truncated and stats.states <= 4
+    stats = explore(SerialMemory(p=2, b=2, v=2), max_depth=1)
+    assert stats.truncated
+
+
+def test_reachable_states_bfs_order():
+    proto = SerialMemory(p=1, b=1, v=1)
+    states = reachable_states(proto)
+    assert states[0] == proto.initial_state()
+    assert len(states) == 2
+
+
+def test_count_actions_histogram():
+    counts = count_actions(SerialMemory(p=2, b=1, v=1))
+    assert counts["Load"] >= 1 and counts["Store"] >= 1
+
+
+def test_msi_has_internal_actions():
+    counts = count_actions(MSIProtocol(p=2, b=1, v=1))
+    assert {"AcquireS", "AcquireM", "Evict"} <= set(counts)
+
+
+def test_product_verifies_serial_memory_both_modes():
+    for mode in ("fast", "full"):
+        res = explore_product(
+            SerialMemory(p=1, b=1, v=1), mode=mode, max_states=100_000
+        )
+        assert res.ok, res.counterexample
+        assert res.stats.quiescent_states == res.stats.states
+
+
+def test_product_modes_agree_on_violation():
+    proto = StoreBufferProtocol(p=2, b=2, v=1)
+    gen = store_buffer_st_order()
+    for mode in ("fast", "full"):
+        res = explore_product(proto, gen.copy(), mode=mode, max_states=500_000)
+        assert not res.ok
+        cx = res.counterexample
+        assert cx is not None
+        # the counterexample's trace is genuinely not SC
+        assert not is_sequentially_consistent_trace(cx.trace)
+
+
+def test_counterexample_is_replayable():
+    proto = BuggyMSIProtocol(p=2, b=1, v=1)
+    res = explore_product(proto, mode="fast")
+    cx = res.counterexample
+    assert cx is not None
+    assert proto.is_run(cx.run)
+    assert not is_sequentially_consistent_trace(cx.trace)
+    text = cx.pretty()
+    assert "SC violation" in text and "descriptor" in text
+
+
+def test_bfs_counterexample_is_minimal_detected_run():
+    # BFS returns a shortest *detected* violation.  Note this is about
+    # detection, not existence: shorter runs can carry a latent non-SC
+    # trace whose cycle only materialises once later flushes determine
+    # the store order — exhaustively confirm no shorter run is flagged
+    # by the streaming checker itself.
+    from repro.core.protocol import enumerate_runs
+    from repro.core.verify import check_run
+
+    proto = StoreBufferProtocol(p=2, b=2, v=1, depth=1)
+    gen = store_buffer_st_order()
+    res = explore_product(proto, gen.copy(), mode="fast")
+    cx = res.counterexample
+    assert cx is not None
+    for r in enumerate_runs(proto, len(cx.run) - 1):
+        assert check_run(proto, r, gen.copy()).ok, r
+    # ...and shorter runs *can* already carry a latent non-SC trace
+    latent = [
+        r
+        for r in enumerate_runs(proto, len(cx.run) - 1)
+        if not is_sequentially_consistent_trace(trace_of_run(r))
+    ]
+    assert latent, "expected latent violations awaiting serialisation"
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        explore_product(SerialMemory(p=1, b=1, v=1), mode="bogus")
+
+
+def test_stats_capture_observer_metrics():
+    res = explore_product(SerialMemory(p=2, b=1, v=1), mode="fast")
+    assert res.stats.max_live_nodes >= 1
+    assert res.stats.max_descriptor_ids >= res.stats.max_live_nodes

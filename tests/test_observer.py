@@ -1,0 +1,227 @@
+"""The witness observer (Theorem 4.1).
+
+The central property backing both verification modes: on every run of
+a protocol with correct tracking labels, the observer's emitted
+descriptor satisfies all five edge-annotation constraints (full-
+checker acceptance), and describes a graph whose offline validation
+agrees.  For SC protocols the graph is additionally acyclic.
+"""
+
+import random
+
+import pytest
+
+from repro.core.checker import Checker
+from repro.core.constraint_graph import ConstraintGraph, EdgeKind
+from repro.core.descriptor import EdgeSym, NodeSym, decode
+from repro.core.observer import Observer
+from repro.core.operations import LD, ST, Operation, trace_of_run
+from repro.core.bounds import implementation_bandwidth_bound
+from repro.core.protocol import random_run
+from repro.memory import (
+    DirectoryProtocol,
+    LazyCachingProtocol,
+    MSIProtocol,
+    SerialMemory,
+    StoreBufferProtocol,
+    lazy_caching_st_order,
+    store_buffer_st_order,
+)
+
+
+def drive(protocol, run, st_order=None, self_check=False):
+    obs = Observer(protocol, st_order, self_check=self_check)
+    state = protocol.initial_state()
+    syms = []
+    for action in run:
+        for t in protocol.transitions(state):
+            if t.action == action:
+                break
+        else:
+            raise AssertionError(f"{action!r} not enabled")
+        syms.extend(obs.on_transition(t))
+        state = t.state
+    return obs, syms, state
+
+
+def to_constraint_graph(protocol, run, syms) -> ConstraintGraph:
+    labelled = decode(syms, strict=True)
+    cg = ConstraintGraph(labelled.node_labels)
+    for (u, v) in labelled.graph.edges():
+        cg.add_edge(u, v, labelled.graph.label(u, v) or EdgeKind.NONE)
+    return cg
+
+
+def test_simple_store_load_stream():
+    proto = SerialMemory(p=2, b=1, v=1)
+    run = (ST(1, 1, 1), LD(2, 1, 1))
+    _obs, syms, _ = drive(proto, run)
+    labelled = decode(syms, strict=True)
+    assert labelled.node_labels == [ST(1, 1, 1), LD(2, 1, 1)]
+    assert labelled.graph.label(1, 2) & EdgeKind.INH
+
+
+def test_po_edges_per_processor_chain():
+    proto = SerialMemory(p=2, b=1, v=2)
+    run = (ST(1, 1, 1), ST(2, 1, 2), ST(1, 1, 1), LD(2, 1, 1))
+    _obs, syms, _ = drive(proto, run)
+    g = decode(syms, strict=True).graph
+    assert g.label(1, 3) & EdgeKind.PO
+    assert g.label(2, 4) & EdgeKind.PO
+    assert not (g.has_edge(1, 2) and g.label(1, 2) & EdgeKind.PO)
+
+
+def test_sto_edges_real_time_order():
+    proto = SerialMemory(p=2, b=1, v=2)
+    run = (ST(1, 1, 1), ST(2, 1, 2))
+    _obs, syms, _ = drive(proto, run)
+    g = decode(syms, strict=True).graph
+    assert g.label(1, 2) & EdgeKind.STO
+
+
+def test_forced_edge_emitted_for_stale_read():
+    # Figure 3's situation: a load inherits from a ST that already has
+    # a STo successor -> forced edge immediately
+    proto = MSIProtocol(p=2, b=1, v=2)
+    from repro.core.operations import InternalAction
+
+    run = (
+        InternalAction("AcquireS", (2, 1)),   # P2 caches ⊥... then:
+        InternalAction("AcquireM", (1, 1)),
+        ST(1, 1, 1),
+        LD(1, 1, 1),
+    )
+    _obs, syms, _ = drive(proto, run)
+    g = decode(syms, strict=True).graph
+    # node numbering: 1=ST, 2=LD
+    assert g.label(1, 2) & EdgeKind.INH
+
+
+def test_bottom_load_forced_edge_to_head():
+    proto = StoreBufferProtocol(p=2, b=2, v=1)
+    from repro.core.operations import InternalAction
+
+    run = (
+        ST(1, 1, 1),          # node 1, buffered
+        LD(2, 1, 0),          # node 2: ⊥ from memory, head unknown yet
+        InternalAction("flush", (1,)),  # ST 1 serialises -> head of B1
+    )
+    _obs, syms, _ = drive(proto, run, store_buffer_st_order())
+    g = decode(syms, strict=True).graph
+    assert g.label(2, 1) & EdgeKind.FORCED
+
+
+def _assert_run_stream_valid(proto, run, st_order=None, expect_acyclic=None):
+    obs, syms, end_state = drive(proto, run, st_order)
+    chk = Checker()
+    safety_ok = chk.feed_all(syms)
+    cg = to_constraint_graph(proto, run, syms)
+    # annotation validity at quiescent ends (full constraint graph)
+    if proto.is_quiescent(end_state):
+        offline_valid = cg.is_valid()
+        streaming_ok = safety_ok and chk.accepts_at_end()
+        acyclic = cg.is_acyclic()
+        assert offline_valid, cg.validate()
+        assert streaming_ok == acyclic, (run, chk.violations())
+        if expect_acyclic is not None:
+            assert acyclic == expect_acyclic, run
+    return cg
+
+
+@pytest.mark.parametrize(
+    "proto,st_order",
+    [
+        (SerialMemory(p=2, b=2, v=2), None),
+        (MSIProtocol(p=2, b=2, v=2), None),
+        (DirectoryProtocol(p=2, b=1, v=2), None),
+        (LazyCachingProtocol(p=2, b=1, v=1), lazy_caching_st_order()),
+    ],
+    ids=["serial", "msi", "directory", "lazy"],
+)
+def test_observer_streams_are_valid_constraint_graphs(proto, st_order):
+    rng = random.Random(7)
+    for _ in range(20):
+        run = random_run(proto, rng.randint(1, 25), rng, end_quiescent=True)
+        fresh = st_order.copy() if st_order is not None else None
+        _assert_run_stream_valid(proto, run, fresh, expect_acyclic=True)
+
+
+def test_observer_stream_cyclic_for_sb_violation():
+    proto = StoreBufferProtocol(p=2, b=2, v=1)
+    from repro.core.operations import InternalAction
+
+    run = (
+        ST(1, 1, 1),
+        LD(1, 2, 0),
+        ST(2, 2, 1),
+        LD(2, 1, 0),
+        InternalAction("flush", (1,)),
+        InternalAction("flush", (2,)),
+    )
+    cg = _assert_run_stream_valid(proto, run, store_buffer_st_order(), expect_acyclic=False)
+    assert not cg.is_acyclic()
+
+
+def test_self_check_flags_value_mismatch():
+    # drive the observer with a deliberately wrong tracking label
+    from repro.core.protocol import Tracking, Transition
+
+    proto = SerialMemory(p=1, b=1, v=2)
+    obs = Observer(proto, self_check=True)
+    st = proto.initial_state()
+    obs.on_transition(Transition(ST(1, 1, 1), st, Tracking(location=1)))
+    obs.on_transition(Transition(LD(1, 1, 2), st, Tracking(location=1)))
+    assert obs.violation is not None and "holds the" in obs.violation
+
+
+def test_self_check_flags_value_load_from_bottom_location():
+    from repro.core.protocol import Tracking, Transition
+
+    proto = SerialMemory(p=1, b=1, v=2)
+    obs = Observer(proto, self_check=True)
+    obs.on_transition(Transition(LD(1, 1, 2), proto.initial_state(), Tracking(location=1)))
+    assert obs.violation is not None and "⊥" in obs.violation
+
+
+def test_live_nodes_within_bound(rng):
+    for proto, st_order in [
+        (SerialMemory(p=2, b=2, v=2), None),
+        (MSIProtocol(p=2, b=2, v=2), None),
+        (LazyCachingProtocol(p=2, b=2, v=1), lazy_caching_st_order()),
+    ]:
+        bound = implementation_bandwidth_bound(proto.p, proto.b, proto.num_locations)
+        for _ in range(10):
+            run = random_run(proto, 40, rng)
+            fresh = st_order.copy() if st_order is not None else None
+            obs, _syms, _ = drive(proto, run, fresh)
+            assert obs.max_live <= bound
+
+
+def test_fork_independence():
+    proto = SerialMemory(p=2, b=1, v=1)
+    obs = Observer(proto)
+    state = proto.initial_state()
+    t = next(iter(proto.transitions(state)))
+    obs.on_transition(t)
+    other = obs.fork()
+    assert obs.state_key() == other.state_key()
+    # make the fork diverge with a store (a repeated ⊥-load would
+    # legitimately merge back to the same canonical state)
+    t2 = next(x for x in proto.transitions(t.state) if isinstance(x.action, ST(1,1,1).__class__))
+    other.on_transition(t2)
+    assert obs.state_key() != other.state_key()
+
+
+def test_state_key_ignores_dead_history():
+    # two different histories converging to the same live structure
+    # must share a state key (this is what makes model checking close)
+    proto = SerialMemory(p=1, b=1, v=2)
+    runs = [
+        (ST(1, 1, 1), ST(1, 1, 2), ST(1, 1, 1)),
+        (ST(1, 1, 2), ST(1, 1, 2), ST(1, 1, 1)),
+    ]
+    keys = []
+    for run in runs:
+        obs, _s, _ = drive(proto, run)
+        keys.append(obs.state_key())
+    assert keys[0] == keys[1]

@@ -1,0 +1,96 @@
+"""Operations, wildcard sets, and trace helpers (Section 2.1)."""
+
+import pytest
+
+from repro.core.operations import (
+    BOTTOM,
+    LD,
+    ST,
+    InternalAction,
+    Load,
+    Store,
+    format_trace,
+    ld_set,
+    ops_of_processor,
+    st_set,
+    stores_to_block,
+    trace_of_run,
+    validate_operation,
+)
+
+
+def test_constructors_and_kinds():
+    ld, st = LD(1, 2, 3), ST(2, 1, 1)
+    assert ld.is_load and not ld.is_store
+    assert st.is_store and not st.is_load
+    assert (ld.proc, ld.block, ld.value) == (1, 2, 3)
+
+
+def test_operations_are_hashable_value_types():
+    assert LD(1, 1, 1) == LD(1, 1, 1)
+    assert LD(1, 1, 1) != ST(1, 1, 1)
+    assert len({LD(1, 1, 1), LD(1, 1, 1), ST(1, 1, 1)}) == 2
+
+
+def test_repr_uses_paper_notation():
+    assert repr(ST(1, 2, 3)) == "ST(P1,B2,3)"
+    assert repr(LD(2, 1, BOTTOM)) == "LD(P2,B1,⊥)"
+    assert repr(InternalAction("Get-Shared", (2, 1))) == "Get-Shared(2,1)"
+
+
+def test_wildcard_sets():
+    assert len(st_set(2, 3, 4)) == 2 * 3 * 4
+    assert len(ld_set(2, 3, 4)) == 2 * 3 * 5  # values 0..4
+    assert len(ld_set(2, 3, 4, include_bottom=False)) == 2 * 3 * 4
+    assert ST(1, 1, 1) in st_set(1, 1, 1)
+    assert LD(1, 1, BOTTOM) in ld_set(1, 1, 1)
+
+
+def test_trace_of_run_projects_internal_actions():
+    run = (ST(1, 1, 1), InternalAction("x"), LD(2, 1, 1), InternalAction("y", (1,)))
+    assert trace_of_run(run) == (ST(1, 1, 1), LD(2, 1, 1))
+
+
+def test_ops_of_processor_and_stores_to_block():
+    trace = (ST(1, 1, 1), LD(2, 1, 1), ST(1, 2, 1), ST(2, 1, 2))
+    assert ops_of_processor(trace, 1) == (1, 3)
+    assert ops_of_processor(trace, 2) == (2, 4)
+    assert stores_to_block(trace, 1) == (1, 4)
+    assert stores_to_block(trace, 2) == (3,)
+
+
+def test_format_trace_numbers_from_one():
+    s = format_trace((ST(1, 1, 1), LD(1, 1, 1)))
+    assert s.startswith("1:ST") and "2:LD" in s
+
+
+def test_validate_operation_bounds():
+    validate_operation(ST(1, 1, 1), 1, 1, 1)
+    validate_operation(LD(1, 1, BOTTOM), 1, 1, 1)
+    with pytest.raises(ValueError):
+        validate_operation(ST(2, 1, 1), 1, 1, 1)
+    with pytest.raises(ValueError):
+        validate_operation(ST(1, 2, 1), 1, 1, 1)
+    with pytest.raises(ValueError):
+        validate_operation(ST(1, 1, BOTTOM), 1, 1, 1)  # STs cannot write ⊥
+    with pytest.raises(ValueError):
+        validate_operation(LD(1, 1, 2), 1, 1, 1)
+
+
+def test_parse_operation_round_trip():
+    from repro.core.operations import parse_operation
+
+    for op in (ST(1, 2, 3), LD(2, 1, BOTTOM), LD(1, 1, 2)):
+        assert parse_operation(repr(op)) == op
+    assert parse_operation("LD(P1,B1,bot)") == LD(1, 1, BOTTOM)
+
+
+def test_parse_operation_rejects_garbage():
+    import pytest as _pytest
+
+    from repro.core.operations import parse_operation
+
+    with _pytest.raises(ValueError):
+        parse_operation("hello")
+    with _pytest.raises(ValueError):
+        parse_operation("ST(P1,B1,⊥)")

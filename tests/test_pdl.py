@@ -1,0 +1,170 @@
+"""The protocol description language and its automatic tracking
+labels (§4.1's automation claim)."""
+
+import pytest
+
+from repro.automata import traces_equivalent
+from repro.core.operations import LD, ST, InternalAction, Load, Store
+from repro.core.protocol import enumerate_runs
+from repro.core.serial import is_sequentially_consistent_trace
+from repro.core.verify import check_run, verify_protocol
+from repro.memory import MSIProtocol, SerialMemory
+from repro.modelcheck import explore
+from repro.pdl import (
+    INVALIDATE,
+    ProtocolSpec,
+    SpecError,
+    buggy_msi_spec,
+    msi_spec,
+    serial_spec,
+)
+
+
+# ----------------------------------------------------------------------
+# language basics
+# ----------------------------------------------------------------------
+def test_minimal_spec_builds_and_runs():
+    proto = serial_spec(p=1, b=1, v=1)
+    assert proto.p == 1 and proto.num_locations == 1
+    run = (ST(1, 1, 1), LD(1, 1, 1))
+    assert proto.is_run(run)
+    assert not proto.is_run((LD(1, 1, 1),))
+
+
+def test_spec_requires_rules():
+    spec = ProtocolSpec(1, 1, 1)
+    spec.data("mem", index=("block",))
+    with pytest.raises(SpecError):
+        spec.build()
+
+
+def test_spec_rejects_bad_parameters():
+    with pytest.raises(SpecError):
+        ProtocolSpec(0, 1, 1)
+
+
+def test_duplicate_declarations_rejected():
+    spec = ProtocolSpec(1, 1, 1)
+    spec.data("mem", index=("block",))
+    with pytest.raises(SpecError):
+        spec.data("mem", index=("block",))
+    with pytest.raises(SpecError):
+        spec.control("mem", init=0)
+
+
+def test_unknown_dimension_rejected():
+    spec = ProtocolSpec(1, 1, 1)
+    with pytest.raises(SpecError):
+        spec.data("x", index=("bogus",))
+
+
+def test_locref_arity_checked():
+    spec = ProtocolSpec(1, 1, 1)
+    mem = spec.data("mem", index=("block",))
+    with pytest.raises(SpecError):
+        mem.at("B", "P")
+
+
+def test_unbound_metavariable_rejected_at_expansion():
+    spec = ProtocolSpec(1, 1, 1)
+    mem = spec.data("mem", index=("block",))
+    spec.load_rule("read", reads=mem.at("Z"))  # Z never bound
+    proto = spec.build()
+    with pytest.raises(SpecError):
+        list(proto.transitions(proto.initial_state()))
+
+
+def test_guards_filter_transitions():
+    spec = ProtocolSpec(2, 1, 1)
+    mem = spec.data("mem", index=("block",))
+    spec.store_rule("write", writes=mem.at("B"), guard=lambda ctx: ctx.P == 1)
+    proto = spec.build()
+    actions = [t.action for t in proto.transitions(proto.initial_state())]
+    assert actions == [ST(1, 1, 1)]
+
+
+def test_tracking_labels_derived_for_loads_and_stores():
+    proto = serial_spec(p=1, b=2, v=1)
+    for t in proto.transitions(proto.initial_state()):
+        # location = block's memory slot (declaration order: mem 1..b)
+        assert t.tracking.location == t.action.block
+
+
+def test_internal_copies_become_tracking_labels():
+    spec = ProtocolSpec(1, 1, 1)
+    mem = spec.data("mem", index=("block",))
+    buf = spec.data("buf", index=("block",))
+    spec.store_rule("write", writes=mem.at("B"))
+    spec.internal_rule("move", params=("B",), copies={buf.at("B"): mem.at("B")})
+    spec.internal_rule("drop", params=("B",), copies={buf.at("B"): INVALIDATE})
+    proto = spec.build()
+    state = proto.run_states((ST(1, 1, 1),))[-1]
+    moves = [t for t in proto.transitions(state) if t.action == InternalAction("move", (1,))]
+    assert moves[0].tracking.copies == {2: 1}  # buf(1) <- mem(1)
+    drops = [t for t in proto.transitions(state) if t.action == InternalAction("drop", (1,))]
+    assert drops[0].tracking.copies == {2: 0}  # FRESH
+
+
+def test_copies_move_values_through_interpreter():
+    spec = ProtocolSpec(1, 1, 2)
+    mem = spec.data("mem", index=("block",))
+    buf = spec.data("buf", index=("block",))
+    spec.store_rule("write", writes=mem.at("B"))
+    spec.internal_rule("move", params=("B",), copies={buf.at("B"): mem.at("B")})
+    spec.load_rule("read", reads=buf.at("B"))
+    proto = spec.build()
+    run = (ST(1, 1, 2), InternalAction("move", (1,)), LD(1, 1, 2))
+    assert proto.is_run(run)
+    assert check_run(proto, run).ok
+
+
+# ----------------------------------------------------------------------
+# the headline: DSL-MSI ≡ hand-written MSI, and it verifies
+# ----------------------------------------------------------------------
+def test_dsl_serial_equivalent_to_handwritten():
+    assert traces_equivalent(
+        serial_spec(p=2, b=1, v=1), SerialMemory(p=2, b=1, v=1), max_states=50_000
+    )
+
+
+def test_dsl_msi_trace_equivalent_to_handwritten():
+    dsl = msi_spec(p=2, b=1, v=1)
+    hand = MSIProtocol(p=2, b=1, v=1)
+    assert traces_equivalent(dsl, hand, max_states=200_000)
+
+
+def test_dsl_msi_same_state_count_as_handwritten():
+    # not required, but a nice structural sanity check
+    dsl = explore(msi_spec(p=2, b=1, v=1)).states
+    hand = explore(MSIProtocol(p=2, b=1, v=1)).states
+    assert dsl == hand
+
+
+def test_dsl_msi_verifies_sc_with_automatic_labels():
+    res = verify_protocol(msi_spec(p=2, b=1, v=1))
+    assert res.sequentially_consistent, res.summary()
+
+
+def test_dsl_serial_verifies():
+    res = verify_protocol(serial_spec(p=2, b=1, v=2))
+    assert res.sequentially_consistent
+
+
+def test_dsl_buggy_msi_rejected_with_counterexample():
+    proto = buggy_msi_spec(p=2, b=1, v=1)
+    res = verify_protocol(proto)
+    assert not res.sequentially_consistent
+    cx = res.counterexample
+    assert cx is not None
+    assert proto.is_run(cx.run)
+    assert not is_sequentially_consistent_trace(cx.trace)
+
+
+def test_dsl_msi_exhaustive_short_traces_sc():
+    proto = msi_spec(p=2, b=1, v=1)
+    for t in enumerate_runs(proto, 6, trace_only=True):
+        assert is_sequentially_consistent_trace(t), t
+
+
+def test_describe_mentions_rules():
+    assert "rules" in msi_spec().describe()

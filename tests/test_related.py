@@ -1,0 +1,200 @@
+"""The related-methods package: Lamport clocks, TMC, and bounded
+reordering — each reproducing one Section 1.1 comparison."""
+
+import random
+
+import pytest
+
+from repro.core.operations import LD, ST, InternalAction, trace_of_run
+from repro.core.protocol import random_run
+from repro.memory import (
+    BuggyMSIProtocol,
+    LazyCachingProtocol,
+    MSIProtocol,
+    SerialMemory,
+    StoreBufferProtocol,
+    lazy_caching_st_order,
+    store_buffer_st_order,
+)
+from repro.related import (
+    ALL_TESTS,
+    CausalWriteTest,
+    CoherenceTest,
+    ReadYourWritesTest,
+    assign_clocks,
+    minimum_k,
+    run_tmc,
+    serial_order_from_clocks,
+    verify_bounded_reordering,
+)
+from repro.related.lamport_clocks import ClockChecker
+from repro.core.serial import is_serial_reordering
+
+
+# ----------------------------------------------------------------------
+# Lamport clocks
+# ----------------------------------------------------------------------
+def test_clock_assignment_on_good_run():
+    proto = MSIProtocol(p=2, b=1, v=1)
+    run = (
+        InternalAction("AcquireM", (1, 1)),
+        ST(1, 1, 1),
+        LD(1, 1, 1),
+        InternalAction("AcquireS", (2, 1)),
+        LD(2, 1, 1),
+    )
+    a = assign_clocks(proto, run)
+    assert a.ok
+    # clocks respect the witness edges: the ST precedes every load
+    assert a.clocks[1] < a.clocks[2] and a.clocks[1] < a.clocks[3]
+    order = serial_order_from_clocks(a)
+    assert is_serial_reordering(trace_of_run(run), order)
+
+
+def test_clock_assignment_fails_on_violation():
+    proto = StoreBufferProtocol(p=2, b=2, v=1)
+    run = (
+        ST(1, 1, 1),
+        LD(1, 2, 0),
+        ST(2, 2, 1),
+        LD(2, 1, 0),
+        InternalAction("flush", (1,)),
+        InternalAction("flush", (2,)),
+    )
+    a = assign_clocks(proto, run, store_buffer_st_order())
+    assert not a.ok and "cycle" in a.reason
+
+
+def test_clock_order_is_serial_on_random_runs(rng):
+    proto = MSIProtocol(p=2, b=2, v=2)
+    for _ in range(10):
+        run = random_run(proto, rng.randint(1, 20), rng)
+        a = assign_clocks(proto, run)
+        assert a.ok
+        order = serial_order_from_clocks(a)
+        assert is_serial_reordering(trace_of_run(run), order)
+
+
+def test_clock_table_grows_without_bound(rng):
+    """The paper's contrast: logical clocks are unbounded; the
+    observer's window is not."""
+    proto = SerialMemory(p=2, b=1, v=2)
+    chk = ClockChecker(proto)
+    state = proto.initial_state()
+    sizes = []
+    for i in range(60):
+        options = list(proto.transitions(state))
+        t = options[rng.randrange(len(options))]
+        chk.feed_action(t.action)
+        state = t.state
+        sizes.append(chk.table_size)
+    assert sizes[-1] > sizes[10] > 0  # strictly growing with the run
+    a = chk.clocks()
+    assert a.ok
+    assert a.max_clock >= 10  # clock values unbounded too
+
+
+# ----------------------------------------------------------------------
+# Test model checking
+# ----------------------------------------------------------------------
+def test_coherence_test_semantics():
+    t = CoherenceTest()
+    assert t.passes((ST(1, 1, 1), LD(2, 1, 1)))
+    # per-location new-then-old is incoherent
+    assert not t.passes((ST(1, 1, 1), LD(2, 1, 1), LD(2, 1, 0)))
+    # the SB shape is per-location coherent (the test cannot see it)
+    assert t.passes((ST(1, 1, 1), LD(1, 2, 0), ST(2, 2, 1), LD(2, 1, 0)))
+
+
+def test_read_your_writes_semantics():
+    t = ReadYourWritesTest()
+    assert t.passes((ST(1, 1, 1), LD(1, 1, 1)))
+    assert not t.passes((ST(1, 1, 1), LD(1, 1, 0)))
+    assert t.passes((ST(1, 1, 1), LD(2, 1, 0)))  # other processor may lag
+
+
+def test_causal_write_semantics():
+    t = CausalWriteTest()
+    # P1 observes x=1, writes y=1; P2 observes y=1 then x=⊥: causality broken
+    bad = (ST(1, 1, 1), LD(2, 1, 1), ST(2, 2, 1), LD(1, 2, 1), LD(1, 1, 0))
+    assert not t.passes(bad)
+    ok = (ST(1, 1, 1), LD(2, 1, 1), ST(2, 2, 1), LD(1, 2, 1), LD(1, 1, 1))
+    assert t.passes(ok)
+
+
+@pytest.mark.parametrize(
+    "proto,gen_depth",
+    [
+        (SerialMemory(p=2, b=2, v=1), 5),
+        (MSIProtocol(p=2, b=2, v=1), 5),
+        (LazyCachingProtocol(p=2, b=2, v=1), 5),
+    ],
+    ids=["serial", "msi", "lazy"],
+)
+def test_tmc_passes_on_sc_protocols(proto, gen_depth):
+    report = run_tmc(proto, exhaustive_depth=gen_depth, random_runs=30, random_length=15)
+    assert report.all_passed, report.summary()
+
+
+def test_tmc_gap_store_buffer_passes_all_tests_but_is_not_sc():
+    """The Section 1.1 point about TMC: test combinations approximate
+    SC.  The TSO store buffer passes the whole battery yet is not SC
+    (the constraint-graph method rejects it)."""
+    proto = StoreBufferProtocol(p=2, b=2, v=1)
+    report = run_tmc(proto, exhaustive_depth=5, random_runs=50, random_length=12)
+    assert report.all_passed, report.summary()
+    from repro.core.verify import verify_protocol
+
+    assert not verify_protocol(proto, store_buffer_st_order()).sequentially_consistent
+
+
+def test_tmc_catches_buggy_msi():
+    """Per-location incoherence *is* within TMC's reach: the missing
+    invalidation breaks the coherence test."""
+    report = run_tmc(BuggyMSIProtocol(p=2, b=1, v=1), exhaustive_depth=6)
+    assert not report.passed(CoherenceTest.name)
+
+
+# ----------------------------------------------------------------------
+# bounded reordering (Henzinger et al.)
+# ----------------------------------------------------------------------
+def test_serial_memory_needs_no_reordering():
+    res = verify_bounded_reordering(SerialMemory(p=2, b=1, v=1), 0)
+    assert res.ok and res.k == 0
+
+
+def test_atomic_protocols_need_no_reordering():
+    for proto in (MSIProtocol(p=2, b=1, v=1),):
+        res = verify_bounded_reordering(proto, 0)
+        assert res.ok, res.verdict
+
+
+def test_store_buffer_fails_at_every_k():
+    """A non-SC protocol has no witness at any k."""
+    proto = StoreBufferProtocol(p=2, b=2, v=1)
+    assert minimum_k(proto, k_max=3) is None
+
+
+def test_lazy_caching_not_k_bounded():
+    """The paper's headline comparison: lazy caching's reordering
+    distance is unbounded — stale reads pile up behind a store
+    arbitrarily long — so the bounded-buffer method fails for every k,
+    while the constraint-graph observer verifies the protocol."""
+    proto = LazyCachingProtocol(p=2, b=1, v=1)
+    assert minimum_k(proto, k_max=4) is None
+    from repro.core.verify import verify_protocol
+
+    assert verify_protocol(
+        LazyCachingProtocol(p=2, b=1, v=1), lazy_caching_st_order()
+    ).sequentially_consistent
+
+
+def test_bounded_reordering_reports_reason():
+    res = verify_bounded_reordering(LazyCachingProtocol(p=2, b=1, v=1), 1)
+    assert not res.ok
+    assert res.reason
+
+
+def test_bounded_search_cap():
+    res = verify_bounded_reordering(MSIProtocol(p=2, b=2, v=2), 1, max_states=10)
+    assert res.ok and res.reason and "cap" in res.reason

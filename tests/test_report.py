@@ -1,0 +1,26 @@
+"""The one-shot reproduction report."""
+
+from repro.report import generate_report
+
+
+def test_report_all_checks_ok():
+    text = generate_report()
+    assert "MISMATCH" not in text
+    assert "ALL CHECKS OK" in text
+    # every section present
+    for heading in (
+        "Figure 1",
+        "Figure 4",
+        "Protocol zoo",
+        "Lazy Caching needs",
+        "Related methods",
+    ):
+        assert heading in text
+
+
+def test_report_cli_exit_code(capsys):
+    from repro.cli import main
+
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "# Reproduction report" in out

@@ -1,0 +1,109 @@
+"""Serial-trace semantics and serial reorderings (Section 2.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.operations import BOTTOM, LD, ST
+from repro.core.serial import (
+    apply_reordering,
+    find_serial_reordering,
+    is_sequentially_consistent_trace,
+    is_serial_reordering,
+    is_serial_trace,
+)
+
+from .conftest import ops_strategy, random_sc_trace
+
+
+def test_empty_trace_is_serial():
+    assert is_serial_trace(())
+
+
+def test_serial_trace_examples():
+    assert is_serial_trace((ST(1, 1, 1), LD(2, 1, 1)))
+    assert is_serial_trace((LD(1, 1, BOTTOM), ST(1, 1, 1), LD(2, 1, 1)))
+    assert not is_serial_trace((LD(1, 1, 1),))  # value before any ST
+    assert not is_serial_trace((ST(1, 1, 2), LD(1, 1, 1)))
+    assert not is_serial_trace((ST(1, 1, 1), ST(2, 1, 2), LD(1, 1, 1)))
+
+
+def test_bottom_load_after_store_not_serial():
+    assert not is_serial_trace((ST(1, 1, 1), LD(2, 1, BOTTOM)))
+
+
+def test_blocks_are_independent():
+    assert is_serial_trace((ST(1, 1, 1), LD(2, 2, BOTTOM), LD(2, 1, 1)))
+
+
+def test_apply_reordering_validates_perm():
+    trace = (ST(1, 1, 1), LD(2, 1, 1))
+    assert apply_reordering(trace, [2, 1]) == (LD(2, 1, 1), ST(1, 1, 1))
+    with pytest.raises(ValueError):
+        apply_reordering(trace, [1, 1])
+
+
+def test_is_serial_reordering_checks_program_order():
+    # two ops of the same processor may not swap
+    trace = (ST(1, 1, 1), LD(1, 1, BOTTOM))
+    assert not is_serial_reordering(trace, [2, 1])
+    # with different processors the swap is fine
+    trace = (ST(1, 1, 1), LD(2, 1, BOTTOM))
+    assert is_serial_reordering(trace, [2, 1])
+    assert not is_serial_reordering(trace, [1, 2])  # LD ⊥ after ST not serial
+
+
+def test_find_serial_reordering_figure1_cases():
+    # Figure 1's legal SC outcome r1=1, r2=0: LD(y)=0 then LD(x)=1
+    trace = (ST(1, 1, 1), ST(1, 2, 2), LD(2, 2, BOTTOM), LD(2, 1, 1))
+    perm = find_serial_reordering(trace)
+    assert perm is not None
+    assert is_serial_reordering(trace, perm)
+    # the forbidden outcome r1=0, r2=2
+    bad = (ST(1, 1, 1), ST(1, 2, 2), LD(2, 2, 2), LD(2, 1, BOTTOM))
+    assert find_serial_reordering(bad) is None
+
+
+def test_sb_litmus_trace_not_sc():
+    trace = (ST(1, 1, 1), LD(1, 2, BOTTOM), ST(2, 2, 1), LD(2, 1, BOTTOM))
+    assert not is_sequentially_consistent_trace(trace)
+
+
+def test_corr_new_then_old_not_sc():
+    trace = (ST(1, 1, 1), LD(2, 1, 1), LD(2, 1, BOTTOM))
+    assert not is_sequentially_consistent_trace(trace)
+
+
+def test_single_processor_trace_sc_iff_serial():
+    serial = (ST(1, 1, 1), LD(1, 1, 1), ST(1, 1, 2), LD(1, 1, 2))
+    not_serial = (ST(1, 1, 1), LD(1, 1, 2))
+    assert find_serial_reordering(serial) == [1, 2, 3, 4]
+    assert find_serial_reordering(not_serial) is None
+
+
+@settings(max_examples=50)
+@given(ops_strategy)
+def test_found_reorderings_are_always_valid(trace):
+    perm = find_serial_reordering(trace)
+    if perm is not None:
+        assert is_serial_reordering(trace, perm)
+
+
+def test_serial_traces_are_sc(rng):
+    for _ in range(30):
+        t = random_sc_trace(rng, rng.randint(0, 12))
+        assert is_serial_trace(t)
+        perm = find_serial_reordering(t)
+        assert perm is not None
+
+
+def test_memoisation_handles_adversarial_width(rng):
+    # p processors of independent blocks: exponentially many merges,
+    # memoisation must keep this fast
+    trace = []
+    for P in (1, 2):
+        for i in range(6):
+            trace.append(ST(P, P, 1 + i % 2))
+    perm = find_serial_reordering(tuple(trace))
+    assert perm is not None

@@ -1,0 +1,87 @@
+"""Stateful property testing: the streaming cycle checker against a
+networkx shadow model.
+
+A hypothesis rule-based state machine drives a
+:class:`~repro.core.cycle_checker.CycleChecker` with arbitrary
+interleavings of node/edge/add-ID/free-ID symbols while maintaining
+the *full* described graph in networkx.  Invariant after every step:
+``checker.accepts ⇔ the full graph is acyclic`` — the checker may
+never miss a cycle (soundness) nor invent one (completeness), no
+matter the symbol order.
+"""
+
+import networkx as nx
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.cycle_checker import CycleChecker
+from repro.core.descriptor import AddIdSym, EdgeSym, FreeIdSym, NodeSym
+
+MAX_ID = 4
+ids = st.integers(1, MAX_ID)
+
+
+class CycleCheckerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.checker = CycleChecker()
+        self.shadow = nx.DiGraph()
+        self.owner = {}  # ID -> shadow node
+        self.idsets = {}  # shadow node -> set of IDs
+        self.counter = 0
+
+    # shadow ID-set semantics (mirrors the descriptor definition) ------
+    def _release(self, i):
+        holder = self.owner.pop(i, None)
+        if holder is not None:
+            s = self.idsets[holder]
+            s.discard(i)
+            if not s:
+                del self.idsets[holder]
+
+    @rule(i=ids)
+    def new_node(self, i):
+        self._release(i)
+        self.counter += 1
+        node = self.counter
+        self.shadow.add_node(node)
+        self.owner[i] = node
+        self.idsets[node] = {i}
+        self.checker.feed(NodeSym(i))
+
+    @rule(src=ids, dst=ids)
+    def add_edge(self, src, dst):
+        u, v = self.owner.get(src), self.owner.get(dst)
+        if u is not None and v is not None:
+            self.shadow.add_edge(u, v)
+        self.checker.feed(EdgeSym(src, dst))
+
+    @rule(i=ids, new=ids)
+    def add_id(self, i, new):
+        target = self.owner.get(i)
+        if new != i:
+            self._release(new)
+        if target is not None:
+            self.owner[new] = target
+            self.idsets[target].add(new)
+        self.checker.feed(AddIdSym(i, new))
+
+    @rule(i=ids)
+    def free_id(self, i):
+        self._release(i)
+        self.checker.feed(FreeIdSym(i))
+
+    @invariant()
+    def checker_matches_shadow(self):
+        truth = nx.is_directed_acyclic_graph(self.shadow)
+        assert self.checker.accepts == truth, (
+            f"checker={'accept' if self.checker.accepts else 'reject'}, "
+            f"full graph {'acyclic' if truth else 'cyclic'}"
+        )
+
+
+CycleCheckerMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestCycleCheckerStateful = CycleCheckerMachine.TestCase

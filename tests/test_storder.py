@@ -1,0 +1,81 @@
+"""ST-order generators (Section 4.2)."""
+
+import pytest
+
+from repro.core.operations import ST, InternalAction, Store
+from repro.core.storder import RealTimeSTOrder, Serialized, WriteOrderSTOrder
+
+
+def test_real_time_serialises_immediately():
+    g = RealTimeSTOrder()
+    evs = g.on_store(10, ST(1, 2, 1))
+    assert evs == [Serialized(10, 2)]
+    assert g.on_internal(InternalAction("anything")) == []
+    assert g.live_handles() == set()
+    assert g.is_drained
+
+
+def test_real_time_copy_is_shared_singleton():
+    g = RealTimeSTOrder()
+    assert g.copy() is g  # stateless
+
+
+def _mw_gen():
+    return WriteOrderSTOrder(
+        lambda a: a.args[0] if a.name == "memory-write" else None
+    )
+
+
+def test_write_order_defers_serialisation():
+    g = _mw_gen()
+    assert g.on_store(1, ST(1, 1, 1)) == []
+    assert g.on_store(2, ST(2, 1, 1)) == []
+    assert g.live_handles() == {1, 2}
+    assert not g.is_drained
+    # P2 writes first: its ST serialises first despite trace order
+    assert g.on_internal(InternalAction("memory-write", (2,))) == [Serialized(2, 1)]
+    assert g.on_internal(InternalAction("memory-write", (1,))) == [Serialized(1, 1)]
+    assert g.is_drained
+
+
+def test_write_order_per_processor_fifo():
+    g = _mw_gen()
+    g.on_store(1, ST(1, 1, 1))
+    g.on_store(2, ST(1, 2, 1))  # same processor, different block
+    evs = g.on_internal(InternalAction("memory-write", (1,)))
+    assert evs == [Serialized(1, 1)]
+    evs = g.on_internal(InternalAction("memory-write", (1,)))
+    assert evs == [Serialized(2, 2)]  # block comes from the ST
+
+
+def test_write_order_ignores_unrelated_actions():
+    g = _mw_gen()
+    g.on_store(1, ST(1, 1, 1))
+    assert g.on_internal(InternalAction("cache-update", (1,))) == []
+    assert g.live_handles() == {1}
+
+
+def test_write_order_out_of_sync_raises():
+    g = _mw_gen()
+    with pytest.raises(ValueError):
+        g.on_internal(InternalAction("memory-write", (1,)))
+
+
+def test_write_order_copy_is_independent():
+    g = _mw_gen()
+    g.on_store(1, ST(1, 1, 1))
+    h = g.copy()
+    h.on_internal(InternalAction("memory-write", (1,)))
+    assert g.live_handles() == {1}
+    assert h.live_handles() == set()
+
+
+def test_state_keys_rename_handles():
+    g = _mw_gen()
+    g.on_store(7, ST(1, 1, 1))
+    h = _mw_gen()
+    h.on_store(99, ST(1, 1, 1))
+    rename_g = {7: 0}.get
+    rename_h = {99: 0}.get
+    assert g.state_key(lambda x: rename_g(x)) == h.state_key(lambda x: rename_h(x))
+    assert g.state_key() != h.state_key()

@@ -1,0 +1,98 @@
+"""The public testing utilities (repro.testing) and the table
+renderer (repro.util.tables)."""
+
+import random
+
+import pytest
+
+from repro.core.serial import is_serial_trace, is_sequentially_consistent_trace
+from repro.memory import BuggyMSIProtocol, MSIProtocol, LazyCachingProtocol, lazy_caching_st_order
+from repro.testing import (
+    ValidationReport,
+    mutate_descriptor,
+    random_serial_trace,
+    random_trace,
+    validate_protocol,
+)
+from repro.util import format_table
+
+
+# ----------------------------------------------------------------------
+# repro.testing
+# ----------------------------------------------------------------------
+def test_random_serial_traces_are_serial(rng):
+    for _ in range(20):
+        t = random_serial_trace(rng, rng.randint(0, 12))
+        assert is_serial_trace(t)
+
+
+def test_random_traces_cover_non_sc(rng):
+    found = False
+    for _ in range(100):
+        t = random_trace(rng, 6)
+        if not is_sequentially_consistent_trace(t):
+            found = True
+            break
+    assert found
+
+
+def test_mutate_descriptor_changes_or_preserves_length(rng):
+    from repro.core.descriptor import NodeSym
+
+    base = [NodeSym(1), NodeSym(2), NodeSym(3)]
+    for _ in range(30):
+        m = mutate_descriptor(base, rng)
+        assert abs(len(m) - len(base)) <= 1
+
+
+def test_validate_protocol_clean_on_msi():
+    report = validate_protocol(MSIProtocol(p=2, b=1, v=1), verify=True)
+    assert report.ok, report.summary()
+    assert report.verified is True
+    assert report.exhaustive_traces > 1
+    assert "tracking OK" in report.summary()
+
+
+def test_validate_protocol_with_generator():
+    report = validate_protocol(
+        LazyCachingProtocol(p=2, b=1, v=1), lazy_caching_st_order(), verify=True
+    )
+    assert report.ok, report.summary()
+
+
+def test_validate_protocol_flags_broken_protocol():
+    report = validate_protocol(
+        BuggyMSIProtocol(p=2, b=1, v=1), exhaustive_depth=6, expect_sc=False, verify=True
+    )
+    assert report.non_sc_traces or report.streaming_rejections
+    assert report.verified is False
+    assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# repro.util.tables
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    out = format_table(["name", "n"], [("a", 1), ("bb", 22)])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    # numeric column right-aligned: the '1' sits under the '2' of 22
+    assert lines[2].rstrip().endswith("1")
+    assert lines[3].rstrip().endswith("22")
+
+
+def test_format_table_title_and_floats():
+    out = format_table(["x"], [(1.23456,)], title="T")
+    assert out.startswith("T\n")
+    assert "1.23" in out
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [(1,)])
+
+
+def test_format_table_empty_rows():
+    out = format_table(["a", "b"], [])
+    assert "a" in out and "b" in out

@@ -1,0 +1,97 @@
+"""Run files: parsing and offline checking of recorded runs."""
+
+import pytest
+
+from repro.core.operations import LD, ST, InternalAction
+from repro.tracefile import check_run_file, parse_action, parse_run_file
+
+GOOD = """
+# a healthy MSI run
+protocol: msi p=2 b=1 v=2
+AcquireM(1,1)
+ST(P1,B1,1)
+LD(P1,B1,1)      # read own write
+AcquireS(2,1)
+LD(P2,B1,1)
+"""
+
+BAD = """
+protocol: storebuffer p=2 b=2 v=1
+ST(P1,B1,1)
+LD(P1,B2,bot)
+ST(P2,B2,1)
+LD(P2,B1,⊥)
+flush(1)
+flush(2)
+"""
+
+
+def test_parse_action_operations_and_internal():
+    assert parse_action("ST(P1,B2,3)") == ST(1, 2, 3)
+    assert parse_action("LD(P2,B1,bot)") == LD(2, 1, 0)
+    assert parse_action("AcquireM(1,2)") == InternalAction("AcquireM", (1, 2))
+    assert parse_action("flush(1)") == InternalAction("flush", (1,))
+    assert parse_action("Drain()") == InternalAction("Drain", ())
+
+
+def test_parse_action_errors():
+    for bad in ("", "hello", "Foo(x)", "(1)"):
+        with pytest.raises(ValueError):
+            parse_action(bad)
+
+
+def test_parse_run_file_good():
+    protocol, gen, run = parse_run_file(GOOD)
+    assert protocol.p == 2 and protocol.b == 1 and protocol.v == 2
+    assert gen is None  # msi uses the real-time generator
+    assert len(run) == 5
+    assert run[1] == ST(1, 1, 1)
+
+
+def test_parse_run_file_brings_default_generator():
+    _p, gen, _run = parse_run_file(BAD)
+    assert gen is not None  # storebuffer: flush-order generator
+
+
+def test_parse_run_file_errors():
+    with pytest.raises(ValueError, match="no 'protocol:'"):
+        parse_run_file("ST(P1,B1,1)")
+    with pytest.raises(ValueError, match="unknown protocol"):
+        parse_run_file("protocol: nonexistent")
+    with pytest.raises(ValueError, match="unknown parameter"):
+        parse_run_file("protocol: msi q=3")
+    with pytest.raises(ValueError, match="duplicate"):
+        parse_run_file("protocol: msi\nprotocol: msi")
+    with pytest.raises(ValueError, match="line 3"):
+        parse_run_file("protocol: msi\nST(P1,B1,1)\ngibberish here")
+
+
+def test_check_run_file_verdicts():
+    assert check_run_file(GOOD).ok
+    bad = check_run_file(BAD)
+    assert not bad.ok and "cycle" in (bad.reason or "")
+
+
+def test_check_run_cli(tmp_path, capsys):
+    from repro.cli import main
+
+    f = tmp_path / "run.txt"
+    f.write_text(GOOD)
+    assert main(["check-run", str(f)]) == 0
+    f.write_text(BAD)
+    assert main(["check-run", str(f)]) == 1
+    f.write_text("nonsense")
+    assert main(["check-run", str(f)]) == 2
+
+
+def test_sample_logs_in_examples(tmp_path):
+    """The shipped sample logs check out as documented."""
+    import pathlib
+
+    logs = pathlib.Path(__file__).parent.parent / "examples" / "logs"
+    good = (logs / "msi_session.run").read_text()
+    lazy = (logs / "lazy_reorder.run").read_text()
+    bad = (logs / "tso_violation.run").read_text()
+    assert check_run_file(good).ok
+    assert check_run_file(lazy).ok
+    assert not check_run_file(bad).ok

@@ -1,0 +1,101 @@
+"""The two-level cache hierarchy (DSL showcase)."""
+
+import pytest
+
+from repro.core.operations import LD, ST, InternalAction, Load
+from repro.core.protocol import enumerate_runs
+from repro.core.serial import is_sequentially_consistent_trace
+from repro.core.verify import check_run, verify_protocol
+from repro.modelcheck import explore
+from repro.pdl import two_level_spec
+from repro.pdl.two_level import INV, VALID
+
+
+def test_verifies_sequentially_consistent():
+    res = verify_protocol(two_level_spec(p=2, b=1, v=1))
+    assert res.sequentially_consistent, res.summary()
+
+
+def test_exhaustive_short_traces_sc():
+    proto = two_level_spec(p=2, b=1, v=1)
+    for t in enumerate_runs(proto, 5, trace_only=True):
+        assert is_sequentially_consistent_trace(t), t
+
+
+def test_three_level_data_flow_tracked():
+    """ST → L1 → (through) L2 → memory → L2 → L1 → LD, all via derived
+    labels."""
+    proto = two_level_spec(p=2, b=1, v=2)
+    run = (
+        InternalAction("Fill2", (1,)),
+        InternalAction("Fill1", (1, 1)),
+        ST(1, 1, 2),                      # writes L1, through to L2
+        InternalAction("Evict1", (1, 1)),
+        InternalAction("Evict2", (1,)),   # L2 -> memory
+        InternalAction("Fill2", (1,)),    # memory -> L2 again
+        InternalAction("Fill1", (2, 1)),  # L2 -> P2's L1
+        LD(2, 1, 2),                      # P2 sees P1's value
+    )
+    assert proto.is_run(run)
+    assert check_run(proto, run).ok
+
+
+def test_store_invalidates_other_l1():
+    proto = two_level_spec(p=2, b=1, v=1)
+    run = (
+        InternalAction("Fill2", (1,)),
+        InternalAction("Fill1", (1, 1)),
+        InternalAction("Fill1", (2, 1)),
+        ST(1, 1, 1),
+    )
+    state = proto.run_states(run)[-1]
+    control, _data = state
+    proto_spec = proto.spec
+    assert control[proto_spec._control_slot("l1", (1, 1))] == VALID
+    assert control[proto_spec._control_slot("l1", (2, 1))] == INV
+
+
+def test_inclusion_invariant():
+    """A valid L1 line implies a valid L2 line, in every reachable
+    state."""
+    proto = two_level_spec(p=2, b=1, v=1)
+    spec = proto.spec
+
+    def visit(state, _depth):
+        control, _data = state
+        for P in (1, 2):
+            if control[spec._control_slot("l1", (P, 1))] == VALID:
+                assert control[spec._control_slot("l2", (1,))] == VALID
+
+    explore(proto, on_state=visit)
+
+
+def test_no_stale_l1_reads():
+    """After a store, no other processor can load the old value
+    (exhaustively: every reachable load of a block returns the
+    globally latest stored value — the hierarchy is coherent)."""
+    proto = two_level_spec(p=2, b=1, v=2)
+    # traces where some proc reads value A after value B was stored,
+    # with A stored before B, would be non-SC per-location; covered by
+    # the exhaustive SC check, so here spot-check the specific shape:
+    run = (
+        InternalAction("Fill2", (1,)),
+        InternalAction("Fill1", (1, 1)),
+        InternalAction("Fill1", (2, 1)),
+        ST(1, 1, 1),
+        InternalAction("Fill1", (2, 1)),  # P2 refills after invalidation
+    )
+    state = proto.run_states(run)[-1]
+    loads = [
+        t.action
+        for t in proto.transitions(state)
+        if isinstance(t.action, Load) and t.action.proc == 2
+    ]
+    assert loads == [LD(2, 1, 1)]
+
+
+def test_multi_block_configuration():
+    # bounded (the full b=2 product is large); no violation reachable
+    # within the searched fragment
+    res = verify_protocol(two_level_spec(p=2, b=2, v=1), max_states=25_000)
+    assert res.counterexample is None
