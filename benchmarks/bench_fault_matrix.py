@@ -1,0 +1,54 @@
+"""R-faults — the fault-injection matrix as a robustness benchmark.
+
+Times the full (protocol × fault) battery on MSI and reports one row
+per pair: expectation, verdict, joint states, wall-clock, and the
+exploration throughput (states/second) — the number that tells you
+what a CI budget for the matrix should be.
+"""
+
+import time
+
+import pytest
+
+from repro.faults import fault_matrix
+from repro.util import format_table
+
+
+def test_fault_matrix_msi(benchmark, show):
+    results = {}
+
+    def run_matrix():
+        if "report" not in results:  # benchmark reruns: compute once
+            results["report"] = fault_matrix(["msi"])
+        return results["report"]
+
+    benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    report = results["report"]
+
+    rows = []
+    total_states = 0
+    total_s = 0.0
+    for e in report.entries:
+        total_states += e.result.stats.states
+        total_s += e.seconds
+        rows.append(
+            (
+                e.fault,
+                e.expect,
+                e.verdict,
+                "yes" if e.met else "NO",
+                e.result.stats.states,
+                f"{e.seconds:.2f}s",
+                f"{e.result.stats.states / e.seconds:,.0f}" if e.seconds > 0 else "-",
+            )
+        )
+    rows.append(("TOTAL", "", "", "", total_states, f"{total_s:.2f}s",
+                 f"{total_states / total_s:,.0f}" if total_s > 0 else "-"))
+    show(
+        format_table(
+            ["fault", "expect", "verdict", "met", "joint states", "time", "states/s"],
+            rows,
+            title="Fault-injection matrix (MSI)",
+        )
+    )
+    assert report.ok, report.summary()

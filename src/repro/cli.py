@@ -12,10 +12,15 @@ Commands
 ``descriptor`` check a descriptor string (paper syntax) for acyclic
              constraint-graph-ness
 ``check-run`` judge a recorded protocol run from a log file (§5)
+``fault-matrix`` verify every (protocol × injected fault) pair and
+             check the checker catches what it must (docs/ROBUSTNESS.md)
 
 Protocols are addressed by name (see ``PROTOCOLS``); each entry knows
 its default ST-order generator, so ``python -m repro verify lazy``
 just works.
+
+Exit codes: 0 success / verdict met, 1 an SC violation (or unmet
+fault-matrix expectation) was found, 2 usage or input-parse errors.
 """
 
 from __future__ import annotations
@@ -92,14 +97,62 @@ def _add_protocol_args(sub, with_params: bool = True) -> None:
 
 
 def cmd_verify(args) -> int:
-    proto, gen = _make_protocol(args)
+    from .harness import Budget, CheckpointError, degrade, run_verification
+
+    budget = None
+    if (
+        args.budget_s is not None
+        or args.budget_states is not None
+        or args.budget_mb is not None
+    ):
+        budget = Budget(
+            wall_s=args.budget_s, states=args.budget_states, memory_mb=args.budget_mb
+        )
+
     t0 = time.perf_counter()
-    res = verify_protocol(
-        proto, gen, mode=args.mode, max_states=args.max_states, max_depth=args.max_depth
-    )
+    try:
+        if args.resume is not None:
+            if args.protocol is not None:
+                print(
+                    "error: --resume restores protocol and parameters from the "
+                    "checkpoint; drop the protocol argument"
+                )
+                return 2
+            res = run_verification(
+                budget=budget,
+                checkpoint_path=args.checkpoint or args.resume,
+                resume_from=args.resume,
+            )
+        else:
+            if args.protocol is None:
+                print("error: a protocol name (or --resume FILE) is required")
+                return 2
+            proto, gen = _make_protocol(args)
+            if args.degrade:
+                if budget is None or budget.wall_s is None:
+                    print("error: --degrade needs a wall-clock budget (--budget-s)")
+                    return 2
+                res = degrade(proto, gen, budget=budget, mode=args.mode)
+            else:
+                res = run_verification(
+                    proto,
+                    gen,
+                    mode=args.mode,
+                    max_states=args.max_states,
+                    max_depth=args.max_depth,
+                    budget=budget,
+                    checkpoint_path=args.checkpoint,
+                )
+    except CheckpointError as exc:
+        print(f"error: {exc}")
+        return 2
     dt = time.perf_counter() - t0
     print(res.summary())
     print(f"elapsed: {dt:.2f}s")
+    if res.stats is not None and res.stats.stop_reason is not None:
+        where = args.checkpoint or args.resume
+        if where:
+            print(f"checkpoint written: {where} (resume with --resume {where})")
     if res.counterexample is not None:
         print()
         print(res.counterexample.pretty())
@@ -134,7 +187,9 @@ def cmd_zoo(args) -> int:
             title="Protocol zoo",
         )
     )
-    return worst
+    if worst:
+        print(f"{worst} unexpected verdict(s)")
+    return 0 if worst == 0 else 1
 
 
 def cmd_litmus(args) -> int:
@@ -196,7 +251,11 @@ def cmd_descriptor(args) -> int:
     from .core.operations import parse_operation
 
     text = args.text if args.text is not None else _sys.stdin.read()
-    symbols = parse_descriptor(text)
+    try:
+        symbols = parse_descriptor(text)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     # node labels come back as strings; lift them to operations so the
     # full annotation checker can judge the graph
     lifted = []
@@ -248,6 +307,38 @@ def cmd_report(args) -> int:
     return 0 if "MISMATCH" not in text else 1
 
 
+def cmd_fault_matrix(args) -> int:
+    from .faults import fault_matrix
+    from .harness import Budget
+
+    protocols = None
+    if args.protocols:
+        protocols = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
+        unknown = [p for p in protocols if p not in PROTOCOLS]
+        if unknown:
+            print(f"error: unknown protocol(s): {', '.join(unknown)}")
+            return 2
+    should_stop = None
+    budget = None
+    if args.budget_s is not None:
+        budget = Budget(wall_s=args.budget_s).start()
+        should_stop = budget.should_stop
+    try:
+        report = fault_matrix(
+            protocols,
+            mode=args.mode,
+            max_states=args.max_states,
+            should_stop=should_stop,
+            seed=args.seed,
+            include_baseline=not args.no_baseline,
+        )
+    finally:
+        if budget is not None:
+            budget.stop()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_bounds(args) -> int:
     rows = []
     for name in sorted(PROTOCOLS):
@@ -279,7 +370,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = ap.add_subparsers(dest="command", required=True)
 
     v = sub.add_parser("verify", help="model-check one protocol")
-    _add_protocol_args(v)
+    v.add_argument("protocol", nargs="?", choices=sorted(PROTOCOLS), default=None,
+                   help="protocol name (omit when using --resume)")
+    v.add_argument("--p", type=int, default=None, help="processors")
+    v.add_argument("--b", type=int, default=None, help="blocks")
+    v.add_argument("--v", type=int, default=None, help="values")
     v.add_argument("--mode", choices=["fast", "full"], default="fast")
     v.add_argument("--max-states", type=int, default=None)
     v.add_argument("--max-depth", type=int, default=None)
@@ -288,6 +383,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force the trivial real-time ST-order generator (e.g. to see lazy caching rejected)",
     )
+    v.add_argument("--budget-s", type=float, default=None, metavar="S",
+                   help="wall-clock budget in seconds")
+    v.add_argument("--budget-states", type=int, default=None, metavar="N",
+                   help="stop after exploring N joint states (resumable, unlike --max-states)")
+    v.add_argument("--budget-mb", type=float, default=None, metavar="MB",
+                   help="approximate memory budget (tracemalloc-sampled)")
+    v.add_argument("--checkpoint", metavar="FILE", default=None,
+                   help="write a resumable checkpoint here if the budget stops the search")
+    v.add_argument("--resume", metavar="FILE", default=None,
+                   help="resume a checkpointed search (replaces the protocol argument)")
+    v.add_argument("--degrade", action="store_true",
+                   help="on budget exhaustion fall back to bounded search, litmus corpus "
+                        "and fuzzing instead of stopping (needs --budget-s)")
     v.set_defaults(func=cmd_verify)
 
     z = sub.add_parser("zoo", help="verify every protocol at default parameters")
@@ -326,6 +434,22 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("text", nargs="?", default=None,
                    help='e.g. "1, ST(P1,B1,1), 2, LD(P2,B1,1), (1,2), inh"')
     d.set_defaults(func=cmd_descriptor)
+
+    fm = sub.add_parser(
+        "fault-matrix",
+        help="verify every (protocol × injected fault) pair; fail if the checker "
+             "misses a seeded non-SC fault",
+    )
+    fm.add_argument("--protocols", metavar="NAMES", default=None,
+                    help="comma-separated protocol names (default: a representative set)")
+    fm.add_argument("--mode", choices=["fast", "full"], default="fast")
+    fm.add_argument("--max-states", type=int, default=None)
+    fm.add_argument("--budget-s", type=float, default=None, metavar="S",
+                    help="total wall-clock budget across all pairs")
+    fm.add_argument("--seed", type=int, default=0)
+    fm.add_argument("--no-baseline", action="store_true",
+                    help="skip the unfaulted baseline row per protocol")
+    fm.set_defaults(func=cmd_fault_matrix)
 
     b = sub.add_parser("bounds", help="Section 4.4 size-bound table")
     b.add_argument("--p", type=int, default=None)

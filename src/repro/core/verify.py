@@ -34,19 +34,34 @@ from .operations import Action
 from .protocol import Protocol
 from .storder import STOrderGenerator
 
-__all__ = ["VerificationResult", "verify_protocol", "check_run", "RunCheck"]
+__all__ = [
+    "VerificationResult",
+    "verify_protocol",
+    "result_from_product",
+    "check_run",
+    "RunCheck",
+]
 
 
 @dataclass
 class VerificationResult:
-    """Verdict of :func:`verify_protocol`."""
+    """Verdict of :func:`verify_protocol`.
+
+    ``confidence`` states honestly how strong the evidence is:
+    ``"proof"`` (exhaustive product search), ``"refuted"`` (concrete
+    counterexample), ``"inconclusive"`` (quiescence unreachable),
+    ``"bounded"`` (truncated search, no violation), or a degradation
+    trail such as ``"bounded+litmus+fuzz"`` from
+    :func:`repro.harness.degrade`.
+    """
 
     protocol: str
     sequentially_consistent: bool
-    complete: bool  #: False when caps truncated the search
+    complete: bool  #: False when caps/budgets truncated the search
     counterexample: Optional[Counterexample]
     stats: ExplorationStats
     non_quiescible: int = 0
+    confidence: str = "proof"
 
     @property
     def verdict(self) -> str:
@@ -60,12 +75,44 @@ class VerificationResult:
 
     def summary(self) -> str:
         s = self.stats
-        return (
+        text = (
             f"{self.protocol}: {self.verdict} — {s.states} joint states, "
             f"{s.transitions} transitions, {s.quiescent_states} quiescent, "
             f"max {s.max_live_nodes} live graph nodes "
             f"({s.max_descriptor_ids} descriptor IDs)"
         )
+        if s.stop_reason is not None:
+            text += f" [stopped: {s.stop_reason}]"
+        if not self.complete and self.confidence not in ("proof", "refuted"):
+            text += f" [confidence: {self.confidence}]"
+        return text
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+def _confidence_of(res: ProductResult) -> str:
+    if res.counterexample is not None:
+        return "refuted"
+    if res.non_quiescible:
+        return "inconclusive"
+    if res.stats.truncated:
+        return "bounded"
+    return "proof"
+
+
+def result_from_product(protocol: Protocol, res: ProductResult) -> VerificationResult:
+    """Lift a raw :class:`ProductResult` into the user-facing verdict
+    (shared by :func:`verify_protocol` and the budgeted harness)."""
+    return VerificationResult(
+        protocol=protocol.describe(),
+        sequentially_consistent=res.ok,
+        complete=not res.stats.truncated,
+        counterexample=res.counterexample,
+        stats=res.stats,
+        non_quiescible=res.non_quiescible,
+        confidence=_confidence_of(res),
+    )
 
 
 def verify_protocol(
@@ -75,6 +122,7 @@ def verify_protocol(
     mode: str = "fast",
     max_states: Optional[int] = None,
     max_depth: Optional[int] = None,
+    should_stop=None,
 ) -> VerificationResult:
     """Model-check sequential consistency of ``protocol``.
 
@@ -91,6 +139,12 @@ def verify_protocol(
     protocol-independent checker through the product — same verdicts,
     far more joint states (see
     :func:`repro.modelcheck.product.explore_product`).
+
+    ``should_stop(stats)`` is a cooperative budget hook (see
+    :class:`repro.harness.Budget`): returning a reason string halts
+    the search with an honest ``bounded`` confidence instead of a
+    proof.  For a *resumable* budgeted run, use
+    :func:`repro.harness.run_verification` instead.
     """
     res: ProductResult = explore_product(
         protocol,
@@ -98,15 +152,9 @@ def verify_protocol(
         mode=mode,
         max_states=max_states,
         max_depth=max_depth,
+        should_stop=should_stop,
     )
-    return VerificationResult(
-        protocol=protocol.describe(),
-        sequentially_consistent=res.ok,
-        complete=not res.stats.truncated,
-        counterexample=res.counterexample,
-        stats=res.stats,
-        non_quiescible=res.non_quiescible,
-    )
+    return result_from_product(protocol, res)
 
 
 @dataclass

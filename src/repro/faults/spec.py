@@ -1,0 +1,194 @@
+"""Fault taxonomy: named, seedable mutations of a protocol model.
+
+A :class:`FaultSpec` names one mutation to compose onto a protocol
+(via :class:`repro.faults.FaultyProtocol` / :func:`repro.faults.apply_faults`)
+together with the verdict a *sound* checker must reach on the mutated
+system.  The taxonomy generalises the hand-written
+:class:`~repro.memory.buggy.BuggyMSIProtocol` into a systematic battery:
+
+==========================  =============================================  ==========
+kind                        mutation                                       expected
+==========================  =============================================  ==========
+``drop-internal``           remove an internal message/action class        no counterexample
+``dup-internal``            deliver an internal action twice in one step   still SC
+``stale-load``              loads may also return the block's previous     rejected
+                            (overwritten) value
+``skip-invalidation``       the protocol's invalidation knob is turned     rejected
+                            off (the BuggyMSI bug, as a reusable fault)
+``corrupt-ld-location``     LD tracking labels read a rotated location     rejected
+``corrupt-st-location``     ST tracking labels write a rotated location    rejected
+``drop-copies``             internal data movement loses its tracking      rejected
+                            ``copies`` labels
+``perturb-storder``         ST-order emission is pairwise swapped per      rejected
+                            block (the generator is no longer a witness)
+==========================  =============================================  ==========
+
+Dropping transitions only removes runs, so it can never create an SC
+violation — but it *can* make quiescence unreachable, which the
+pipeline must report as an honest INCONCLUSIVE rather than a proof;
+hence ``no counterexample`` rather than ``still SC``.  Duplicated
+delivery is composed with faithful (merged) tracking labels, so it adds
+only behaviour reachable by two legitimate steps.  Every other kind
+breaks the witness property and must be rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..core.operations import InternalAction
+from ..core.protocol import Protocol
+from ..core.storder import STOrderGenerator
+from ..modelcheck.explorer import explore
+
+__all__ = [
+    "FaultSpec",
+    "FaultInapplicable",
+    "FAULT_KINDS",
+    "EXPECT_SC",
+    "EXPECT_REJECT",
+    "EXPECT_NO_COUNTEREXAMPLE",
+    "standard_faults",
+    "discover_structure",
+]
+
+#: expectation labels a sound checker must meet on the mutated system
+EXPECT_SC = "sc"
+EXPECT_REJECT = "reject"
+EXPECT_NO_COUNTEREXAMPLE = "no-counterexample"
+
+#: kind -> default expectation
+FAULT_KINDS = {
+    "drop-internal": EXPECT_NO_COUNTEREXAMPLE,
+    "dup-internal": EXPECT_SC,
+    "stale-load": EXPECT_REJECT,
+    "skip-invalidation": EXPECT_REJECT,
+    "corrupt-ld-location": EXPECT_REJECT,
+    "corrupt-st-location": EXPECT_REJECT,
+    "drop-copies": EXPECT_REJECT,
+    "perturb-storder": EXPECT_REJECT,
+}
+
+
+class FaultInapplicable(ValueError):
+    """The fault kind does not apply to this protocol (e.g. rotating
+    locations on a single-location protocol is the identity)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One named, seedable mutation.
+
+    ``target`` is the internal-action name for ``drop-internal`` /
+    ``dup-internal`` and the knob attribute for ``skip-invalidation``;
+    ``seed`` perturbs choices deterministically (currently: the
+    location-rotation offset of the corrupt kinds).
+    """
+
+    name: str
+    kind: str
+    expect: str
+    target: Optional[str] = None
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (known: {', '.join(sorted(FAULT_KINDS))})"
+            )
+        if self.expect not in (EXPECT_SC, EXPECT_REJECT, EXPECT_NO_COUNTEREXAMPLE):
+            raise ValueError(f"unknown expectation {self.expect!r}")
+
+
+def _spec(kind: str, *, name: Optional[str] = None, target: Optional[str] = None,
+          seed: int = 0, description: str = "") -> FaultSpec:
+    return FaultSpec(
+        name=name or kind,
+        kind=kind,
+        expect=FAULT_KINDS[kind],
+        target=target,
+        seed=seed,
+        description=description,
+    )
+
+
+def discover_structure(
+    protocol: Protocol, *, max_states: int = 200
+) -> Tuple[Set[str], bool]:
+    """Sample the reachable fragment for (internal action names, does
+    any transition carry ``copies`` tracking labels) — the facts that
+    decide which faults are applicable."""
+    names: Set[str] = set()
+    copies_seen = [False]
+
+    def visit(state, _depth):
+        for t in protocol.transitions(state):
+            if isinstance(t.action, InternalAction):
+                names.add(t.action.name)
+            if t.tracking.copies:
+                copies_seen[0] = True
+
+    explore(protocol, max_states=max_states, on_state=visit)
+    return names, copies_seen[0]
+
+
+def standard_faults(
+    protocol: Protocol,
+    st_order: Optional[STOrderGenerator] = None,
+    *,
+    seed: int = 0,
+    max_sample_states: int = 200,
+) -> List[FaultSpec]:
+    """The systematic battery of faults applicable to ``protocol``.
+
+    Discovery is structural: every internal action class found in a
+    bounded sample of the state space gets a drop fault (and, for
+    real-time-serialising protocols, a duplicate-delivery fault); the
+    tracking/label/ST-order faults are added whenever they are not
+    no-ops for this protocol's shape.
+    """
+    names, has_copies = discover_structure(protocol, max_states=max_sample_states)
+    specs: List[FaultSpec] = []
+    for n in sorted(names):
+        specs.append(_spec(
+            "drop-internal", name=f"drop:{n}", target=n,
+            description=f"remove every {n} transition",
+        ))
+        if st_order is None:
+            # double delivery composes two generator-visible steps into
+            # one; with a non-trivial ST-order generator that desyncs
+            # its action stream, so it only applies to real-time order
+            specs.append(_spec(
+                "dup-internal", name=f"dup:{n}", target=n,
+                description=f"deliver {n} twice in one atomic step",
+            ))
+    specs.append(_spec(
+        "stale-load", seed=seed,
+        description="loads may also return the overwritten value of their block",
+    ))
+    if getattr(protocol, "invalidate_on_acquire_m", False):
+        specs.append(_spec(
+            "skip-invalidation", target="invalidate_on_acquire_m",
+            description="AcquireM no longer invalidates other copies (BuggyMSI, generalised)",
+        ))
+    if protocol.num_locations > 1:
+        specs.append(_spec(
+            "corrupt-ld-location", seed=seed,
+            description="LD tracking labels point at a rotated location",
+        ))
+        specs.append(_spec(
+            "corrupt-st-location", seed=seed,
+            description="ST tracking labels point at a rotated location",
+        ))
+    if has_copies:
+        specs.append(_spec(
+            "drop-copies",
+            description="internal data movement loses its copies tracking labels",
+        ))
+    specs.append(_spec(
+        "perturb-storder",
+        description="per-block serialisation events emitted pairwise swapped",
+    ))
+    return specs

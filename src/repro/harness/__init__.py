@@ -1,0 +1,34 @@
+"""The budgeted, resumable, gracefully-degrading verification harness.
+
+Production verification never gets unlimited resources.  This package
+makes the pipeline survive that:
+
+* :class:`Budget` — wall-clock / state-count / approximate-memory
+  limits, threaded through the explorers as a cooperative
+  ``should_stop`` hook;
+* :class:`Checkpoint` — snapshot of a paused
+  :class:`~repro.modelcheck.product.ProductSearch` (frontier +
+  seen-set), so a truncated run resumes with a larger budget instead
+  of restarting;
+* :func:`run_verification` — the budget+checkpoint front door;
+* :func:`degrade` — the fallback chain (full model-check →
+  bounded-depth model-check → litmus corpus → randomized fuzzing) that
+  always returns a :class:`~repro.core.verify.VerificationResult`
+  with an honest ``confidence`` rather than crashing or hanging.
+
+See ``docs/ROBUSTNESS.md`` for budget/resume semantics and the
+degradation ladder.
+"""
+
+from .budget import Budget
+from .checkpoint import Checkpoint, CheckpointError
+from .degrade import degrade
+from .runner import run_verification
+
+__all__ = [
+    "Budget",
+    "Checkpoint",
+    "CheckpointError",
+    "degrade",
+    "run_verification",
+]

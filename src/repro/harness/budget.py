@@ -1,0 +1,122 @@
+"""Cooperative resource budgets for verification runs.
+
+A :class:`Budget` bounds a search along three axes — wall-clock
+seconds, joint-state count, and approximate memory — and plugs into
+the explorers' ``should_stop`` hook
+(:meth:`repro.modelcheck.product.ProductSearch.run`,
+:func:`repro.modelcheck.explorer.explore`).  The hook is polled once
+per expanded state, so stopping is cooperative and the BFS frontier
+stays intact — which is what makes checkpoint/resume possible.
+
+Memory accounting is approximate by design: when a memory budget is
+set, :meth:`Budget.start` enables :mod:`tracemalloc` (unless the
+caller already did) and samples the traced total every
+``mem_poll_interval`` polls; a custom ``memory_probe`` (returning MB)
+can replace it, e.g. a :func:`sys.getsizeof`-based estimate of the
+frontier for runs where tracing overhead matters.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..modelcheck.stats import ExplorationStats
+
+__all__ = ["Budget"]
+
+
+@dataclass
+class Budget:
+    """A reusable wall/state/memory budget.
+
+    Call :meth:`start` once (idempotent), then hand :meth:`should_stop`
+    to any explorer.  The wall clock is global to the budget object —
+    sharing one budget across many searches (as the fault matrix does)
+    bounds their *total* runtime, while the state axis applies to each
+    search's own stats.
+    """
+
+    wall_s: Optional[float] = None
+    states: Optional[int] = None
+    memory_mb: Optional[float] = None
+    #: polls between (comparatively expensive) memory samples
+    mem_poll_interval: int = 256
+    #: optional override returning the current footprint in MB
+    memory_probe: Optional[Callable[[], float]] = None
+
+    _t0: Optional[float] = field(default=None, repr=False)
+    _polls: int = field(default=0, repr=False)
+    _owns_tracemalloc: bool = field(default=False, repr=False)
+
+    def start(self) -> "Budget":
+        if self._t0 is None:
+            self._t0 = time.perf_counter()
+            if (
+                self.memory_mb is not None
+                and self.memory_probe is None
+                and not tracemalloc.is_tracing()
+            ):
+                tracemalloc.start()
+                self._owns_tracemalloc = True
+        return self
+
+    def stop(self) -> None:
+        """Release resources (the tracemalloc hook, if this budget
+        enabled it)."""
+        if self._owns_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._owns_tracemalloc = False
+
+    # ------------------------------------------------------------------
+    def elapsed_s(self) -> float:
+        return 0.0 if self._t0 is None else time.perf_counter() - self._t0
+
+    def remaining_s(self) -> Optional[float]:
+        if self.wall_s is None:
+            return None
+        return max(0.0, self.wall_s - self.elapsed_s())
+
+    def exhausted(self) -> bool:
+        rem = self.remaining_s()
+        return rem is not None and rem <= 0.0
+
+    def current_memory_mb(self) -> Optional[float]:
+        if self.memory_probe is not None:
+            return self.memory_probe()
+        if tracemalloc.is_tracing():
+            return tracemalloc.get_traced_memory()[0] / (1024 * 1024)
+        return None
+
+    # ------------------------------------------------------------------
+    def should_stop(self, stats: ExplorationStats) -> Optional[str]:
+        """The explorers' cooperative hook: a reason string to halt,
+        else None."""
+        if self._t0 is None:
+            self.start()
+        if self.states is not None and stats.states >= self.states:
+            return f"state budget exhausted ({self.states} states)"
+        if self.wall_s is not None and time.perf_counter() - self._t0 >= self.wall_s:
+            return f"wall-clock budget exhausted ({self.wall_s:g}s)"
+        self._polls += 1
+        if self.memory_mb is not None and self._polls % self.mem_poll_interval == 0:
+            mb = self.current_memory_mb()
+            if mb is not None and mb >= self.memory_mb:
+                return f"memory budget exhausted ({mb:.1f} MB >= {self.memory_mb:g} MB)"
+        return None
+
+    # ------------------------------------------------------------------
+    def slice(self, fraction: float) -> "Budget":
+        """A sub-budget holding ``fraction`` of the *remaining* wall
+        clock (state/memory axes carried over) — used by the
+        degradation ladder to ration its stages."""
+        rem = self.remaining_s()
+        return Budget(
+            wall_s=None if rem is None else rem * fraction,
+            states=self.states,
+            memory_mb=self.memory_mb,
+            mem_poll_interval=self.mem_poll_interval,
+            memory_probe=self.memory_probe,
+        )

@@ -1,0 +1,92 @@
+"""Checkpoint/resume for budget-truncated product explorations.
+
+A :class:`Checkpoint` snapshots a paused
+:class:`~repro.modelcheck.product.ProductSearch` — BFS frontier,
+seen-set, parent links, observers, checkers — so a run that hit its
+budget can resume later with a larger one instead of restarting from
+the initial state.  The snapshot is a pickle: everything in the search
+is plain data, with one known exception — ST-order generator factories
+that capture lambdas (``lazy``, ``storebuffer``/``fenced-sb``) cannot
+be pickled, and :meth:`Checkpoint.save` reports that clearly instead
+of writing a corrupt file.
+
+Resumption is exact: the continued search explores precisely the
+states the truncated one had not reached, and reaches the same verdict
+as an unbudgeted run (asserted by the test suite on several
+protocols).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..modelcheck.product import ProductSearch
+
+__all__ = ["Checkpoint", "CheckpointError"]
+
+#: bump when the pickled layout changes incompatibly
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written or read back."""
+
+
+@dataclass
+class Checkpoint:
+    """A paused verification search plus provenance metadata."""
+
+    search: ProductSearch
+    protocol: str  #: ``describe()`` of the protocol under verification
+    mode: str
+    elapsed_s: float = 0.0  #: budget already spent before the pause
+    version: int = CHECKPOINT_VERSION
+
+    @classmethod
+    def of(cls, search: ProductSearch, elapsed_s: float = 0.0) -> "Checkpoint":
+        return cls(
+            search=search,
+            protocol=search.protocol.describe(),
+            mode=search.mode,
+            elapsed_s=elapsed_s,
+        )
+
+    def save(self, path: str) -> None:
+        """Atomically pickle the checkpoint to ``path``."""
+        tmp = f"{path}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise CheckpointError(
+                f"cannot checkpoint {self.protocol}: its search state does not "
+                f"pickle ({exc}); protocols whose ST-order generator captures a "
+                f"lambda are not checkpointable"
+            ) from exc
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "Checkpoint":
+        try:
+            with open(path, "rb") as fh:
+                obj = pickle.load(fh)
+        # corrupt input makes pickle raise all sorts: UnpicklingError,
+        # EOFError, ValueError, ImportError, IndexError, ...
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ValueError, ImportError, IndexError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        if not isinstance(obj, cls):
+            raise CheckpointError(
+                f"{path!r} is not a verification checkpoint (got {type(obj).__name__})"
+            )
+        if obj.version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path!r} has version {obj.version}, "
+                f"this build reads version {CHECKPOINT_VERSION}"
+            )
+        return obj

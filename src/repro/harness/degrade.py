@@ -1,0 +1,162 @@
+"""Graceful degradation: always return *some* honest verdict.
+
+:func:`degrade` runs the fallback chain
+
+1. **full product model-check** under ~60% of the wall budget — a
+   proof (or a counterexample) if it finishes;
+2. **bounded-depth model-check** — a *completed* depth-bounded search
+   ("all runs of ≤ d actions are violation-free") is stronger evidence
+   than an arbitrarily truncated frontier;
+3. **litmus-corpus run** — every corpus program that fits the
+   protocol's parameters, protocol outcomes compared against the SC
+   outcome set;
+4. **randomised fuzz** via :func:`repro.core.verify.check_run` until
+   the budget runs dry.
+
+The returned :class:`~repro.core.verify.VerificationResult` never
+lies: a full proof keeps ``confidence="proof"``, any concrete
+violation (from whichever stage) is ``"refuted"`` with a
+counterexample attached, and a budget-starved run reports the trail of
+evidence actually gathered, e.g. ``"bounded(depth≤6)+litmus(2)+fuzz(180)"``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..core.operations import Action
+from ..core.protocol import Protocol, random_run
+from ..core.storder import STOrderGenerator
+from ..core.verify import VerificationResult, check_run, result_from_product
+from ..modelcheck.counterexample import Counterexample
+from ..modelcheck.product import ProductSearch
+from .budget import Budget
+
+__all__ = ["degrade"]
+
+
+def _violation_result(
+    protocol: Protocol,
+    base: VerificationResult,
+    run: Tuple[Action, ...],
+    symbols,
+    reason: str,
+    confidence: str,
+) -> VerificationResult:
+    cx = Counterexample(tuple(run), tuple(symbols), reason)
+    return VerificationResult(
+        protocol=base.protocol,
+        sequentially_consistent=False,
+        complete=False,
+        counterexample=cx,
+        stats=base.stats,
+        non_quiescible=base.non_quiescible,
+        confidence=confidence,
+    )
+
+
+def degrade(
+    protocol: Protocol,
+    st_order: Optional[STOrderGenerator] = None,
+    *,
+    budget: Budget,
+    mode: str = "fast",
+    fuzz_length: int = 12,
+    max_fuzz_runs: int = 2000,
+    seed: int = 0,
+) -> VerificationResult:
+    """Verify ``protocol`` within ``budget``, degrading gracefully.
+
+    Never raises on resource exhaustion and never hangs (every stage
+    is budget-polled); the result's ``confidence`` field states which
+    rung of the ladder produced the verdict.
+    """
+    budget.start()
+    try:
+        return _degrade(protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed)
+    finally:
+        budget.stop()
+
+
+def _degrade(protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed):
+    # stage 1: the real thing, under most of the budget -----------------
+    stage1 = budget.slice(0.6)
+    stage1.start()
+    search = ProductSearch(protocol, st_order, mode=mode)
+    res = search.run(stage1.should_stop)
+    base = result_from_product(protocol, res)
+    if res.counterexample is not None or not res.stats.truncated:
+        return base  # proof, refutation, or genuine INCONCLUSIVE
+
+    evidence: List[str] = ["bounded"]
+
+    # stage 2: a *completed* bounded-depth model check ------------------
+    reached = res.stats.max_depth
+    depth = max(2, (2 * reached) // 3)
+    if not budget.exhausted():
+        stage2 = budget.slice(0.5)
+        stage2.start()
+        bounded = ProductSearch(
+            protocol, st_order, mode=mode, max_depth=depth,
+            check_quiescence_reachability=False,
+        ).run(stage2.should_stop)
+        if bounded.counterexample is not None:
+            return result_from_product(protocol, bounded)
+        if bounded.stats.stop_reason is None:
+            # finished: every run of ≤ depth actions is violation-free
+            evidence[-1] = f"bounded(depth≤{depth})"
+
+    # stage 3: litmus corpus --------------------------------------------
+    from ..litmus import CORPUS, outcomes_sc
+    from ..litmus.runner import runs_for_outcome
+
+    ran = 0
+    for prog in CORPUS:
+        if budget.exhausted():
+            break
+        if (
+            prog.num_procs > protocol.p
+            or prog.max_value > protocol.v
+            or max(prog.blocks, default=1) > protocol.b
+        ):
+            continue
+        witness = runs_for_outcome(protocol, prog)
+        ran += 1
+        sc = outcomes_sc(prog)
+        for outcome, run in witness.items():
+            if outcome not in sc:
+                gen = st_order.copy() if st_order is not None else None
+                verdict = check_run(protocol, run, gen)
+                reason = verdict.reason or f"litmus {prog.name}: non-SC outcome {outcome}"
+                return _violation_result(
+                    protocol, base, run, verdict.symbols, reason, "litmus"
+                )
+    if ran:
+        evidence.append(f"litmus({ran})")
+
+    # stage 4: randomised per-run fuzzing -------------------------------
+    rng = random.Random(seed)
+    runs = 0
+    while runs < max_fuzz_runs and not budget.exhausted():
+        run = random_run(protocol, fuzz_length, rng, end_quiescent=True)
+        gen = st_order.copy() if st_order is not None else None
+        verdict = check_run(protocol, run, gen)
+        runs += 1
+        if not verdict.ok:
+            return _violation_result(
+                protocol, base, run, verdict.symbols,
+                verdict.reason or "fuzz run rejected", "fuzz",
+            )
+    if runs:
+        evidence.append(f"fuzz({runs})")
+
+    return VerificationResult(
+        protocol=base.protocol,
+        sequentially_consistent=True,
+        complete=False,
+        counterexample=None,
+        stats=base.stats,
+        non_quiescible=0,
+        confidence="+".join(evidence),
+    )

@@ -1,0 +1,77 @@
+"""The budgeted, resumable verification runner.
+
+:func:`run_verification` is the robust counterpart of
+:func:`repro.core.verify.verify_protocol`: same verdict object, but
+the search runs under a :class:`~repro.harness.budget.Budget`, writes
+a :class:`~repro.harness.checkpoint.Checkpoint` when truncated, and
+can resume one written earlier — so a run that outgrows any fixed cap
+is continued, not redone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.protocol import Protocol
+from ..core.storder import STOrderGenerator
+from ..core.verify import VerificationResult, result_from_product
+from ..modelcheck.product import ProductSearch
+from .budget import Budget
+from .checkpoint import Checkpoint
+
+__all__ = ["run_verification"]
+
+
+def run_verification(
+    protocol: Optional[Protocol] = None,
+    st_order: Optional[STOrderGenerator] = None,
+    *,
+    mode: str = "fast",
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
+) -> VerificationResult:
+    """Model-check ``protocol`` under a budget, checkpointing on
+    truncation.
+
+    Exactly one of ``protocol`` or ``resume_from`` must be given: with
+    ``resume_from``, the search (protocol, generator, mode and caps
+    included) is restored from the checkpoint file and continued under
+    the new budget.  When the budget stops the search and
+    ``checkpoint_path`` is set, the paused search is written there
+    (atomically; resuming and re-truncating overwrites it, so a single
+    path ratchets through arbitrarily many budget increments).
+    """
+    if resume_from is not None:
+        if protocol is not None:
+            raise ValueError("pass either a protocol or resume_from, not both")
+        cp = Checkpoint.load(resume_from)
+        search = cp.search
+        spent = cp.elapsed_s
+    else:
+        if protocol is None:
+            raise ValueError("a protocol (or resume_from) is required")
+        search = ProductSearch(
+            protocol,
+            st_order,
+            mode=mode,
+            max_states=max_states,
+            max_depth=max_depth,
+        )
+        spent = 0.0
+
+    if budget is not None:
+        budget.start()
+        try:
+            res = search.run(budget.should_stop)
+        finally:
+            budget.stop()
+        spent += budget.elapsed_s()
+    else:
+        res = search.run()
+
+    if res.stats.stop_reason is not None and checkpoint_path is not None:
+        Checkpoint.of(search, elapsed_s=spent).save(checkpoint_path)
+    return result_from_product(search.protocol, res)

@@ -3,13 +3,14 @@ protocol × observer × checker product exploration of Figure 2."""
 
 from .counterexample import Counterexample
 from .explorer import count_actions, explore, reachable_states
-from .product import ProductResult, explore_product
+from .product import ProductResult, ProductSearch, explore_product
 from .stats import ExplorationStats
 
 __all__ = [
     "Counterexample",
     "ExplorationStats",
     "ProductResult",
+    "ProductSearch",
     "explore",
     "explore_product",
     "count_actions",

@@ -23,11 +23,15 @@ def explore(
     max_states: Optional[int] = None,
     max_depth: Optional[int] = None,
     on_state: Optional[Callable[[Hashable, int], None]] = None,
+    should_stop: Optional[Callable[[ExplorationStats], Optional[str]]] = None,
 ) -> ExplorationStats:
     """BFS over the protocol's reachable states.
 
     ``on_state(state, depth)`` is invoked once per distinct state.
     Caps mark the result ``truncated`` instead of raising.
+    ``should_stop(stats)`` is polled once per expanded state; returning
+    a reason string halts the search cooperatively, marking the result
+    truncated with that ``stop_reason`` (budgeted exploration).
     """
     stats = ExplorationStats()
     init = protocol.initial_state()
@@ -37,6 +41,12 @@ def explore(
     if on_state:
         on_state(init, 0)
     while queue:
+        if should_stop is not None:
+            reason = should_stop(stats)
+            if reason is not None:
+                stats.truncated = True
+                stats.stop_reason = reason
+                return stats
         state, depth = queue.popleft()
         stats.max_depth = max(stats.max_depth, depth)
         if max_depth is not None and depth >= max_depth:

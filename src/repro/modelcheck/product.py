@@ -15,13 +15,20 @@ there), so acyclicity and validity at quiescent states imply a serial
 reordering for every prefix trace.  For this to cover all behaviour,
 quiescence must be reachable from every state — which
 :func:`explore_product` verifies on the explored graph.
+
+The search itself lives in :class:`ProductSearch`, a resumable object:
+a cooperative ``should_stop`` hook (see :mod:`repro.harness.budget`)
+can halt it mid-frontier with the queue intact, the whole search state
+can be pickled (:mod:`repro.harness.checkpoint`), and a later
+:meth:`ProductSearch.run` continues exactly where it stopped.
+:func:`explore_product` remains the one-shot functional entry point.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from ..core.checker import Checker
 from ..core.cycle_checker import CycleChecker
@@ -32,7 +39,11 @@ from ..core.storder import STOrderGenerator
 from .counterexample import Counterexample
 from .stats import ExplorationStats
 
-__all__ = ["ProductResult", "explore_product"]
+__all__ = ["ProductResult", "ProductSearch", "explore_product"]
+
+#: cooperative stop hook: maps current stats to a reason string (halt)
+#: or None (keep going)
+StopHook = Callable[[ExplorationStats], Optional[str]]
 
 
 @dataclass
@@ -85,19 +96,14 @@ def _replay(
     return tuple(symbols), reason
 
 
-def explore_product(
-    protocol: Protocol,
-    st_order: Optional[STOrderGenerator] = None,
-    *,
-    mode: str = "full",
-    max_states: Optional[int] = None,
-    max_depth: Optional[int] = None,
-    check_quiescence_reachability: bool = True,
-    canonical_ids: bool = True,
-    eager_free: bool = True,
-    unpin_heads: bool = True,
-) -> ProductResult:
-    """Run the verification search.
+class ProductSearch:
+    """Resumable BFS over the verification product.
+
+    Construct, then call :meth:`run` — repeatedly, if a ``should_stop``
+    hook halts it.  Between calls the object holds the full frontier,
+    seen-set and parent links, so it can be pickled to disk and resumed
+    in another process (all state is plain data; only protocols whose
+    ST-order generator captures a lambda resist pickling).
 
     ``st_order`` is a *template* generator — it is copied for the
     initial observer (``None`` = real-time ST order).  Caps make the
@@ -117,120 +123,218 @@ def explore_product(
       (CycleChecker) and value/block agreement of inheritance
       (observer self-check).  Same verdicts, far fewer joint states.
     """
-    if mode not in ("full", "fast"):
-        raise ValueError(f"unknown mode {mode!r}")
-    fast = mode == "fast"
-    stats = ExplorationStats()
-    observer0 = Observer(
-        protocol,
-        st_order.copy() if st_order is not None else None,
-        self_check=fast,
-        eager_free=eager_free,
-        unpin_heads=unpin_heads,
-    )
-    checker0 = CycleChecker() if fast else Checker()
-    init_pstate = protocol.initial_state()
 
-    def joint_key(pstate, obs: Observer, chk) -> Tuple:
-        canon = obs.canonical_renaming() if canonical_ids else None
+    def __init__(
+        self,
+        protocol: Protocol,
+        st_order: Optional[STOrderGenerator] = None,
+        *,
+        mode: str = "full",
+        max_states: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        check_quiescence_reachability: bool = True,
+        canonical_ids: bool = True,
+        eager_free: bool = True,
+        unpin_heads: bool = True,
+    ):
+        if mode not in ("full", "fast"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.protocol = protocol
+        self.st_order = st_order
+        self.mode = mode
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.check_quiescence_reachability = check_quiescence_reachability
+        self.canonical_ids = canonical_ids
+
+        fast = mode == "fast"
+        self._fast = fast
+        self.stats = ExplorationStats()
+        observer0 = Observer(
+            protocol,
+            st_order.copy() if st_order is not None else None,
+            self_check=fast,
+            eager_free=eager_free,
+            unpin_heads=unpin_heads,
+        )
+        checker0 = CycleChecker() if fast else Checker()
+        init_pstate = protocol.initial_state()
+
+        init_key = self._joint_key(init_pstate, observer0, checker0)
+        self._seen: Set[Tuple] = {init_key}
+        self._parents: Dict[Tuple, Tuple[Optional[Tuple], Optional[Action]]] = {
+            init_key: (None, None)
+        }
+        self._succs: Dict[Tuple, List[Tuple]] = {}
+        self._quiescent_keys: Set[Tuple] = set()
+        self._queue: deque = deque([(init_pstate, observer0, checker0, init_key, 0)])
+        self.stats.states = 1
+        #: set once a state/depth cap is hit (as opposed to a budget stop)
+        self._cap_truncated = False
+        #: the final (violation or exhaustive) result, if reached
+        self._final: Optional[ProductResult] = None
+
+        if not self._end_check(init_pstate, checker0, init_key):
+            self._final = ProductResult(False, self._build_cx(init_key), self.stats)
+
+    # ------------------------------------------------------------------
+    def _joint_key(self, pstate, obs: Observer, chk) -> Tuple:
+        canon = obs.canonical_renaming() if self.canonical_ids else None
         return (pstate, obs.state_key(canon), chk.state_key(canon))
 
-    init_key = joint_key(init_pstate, observer0, checker0)
-    seen: Set[Tuple] = {init_key}
-    parents: Dict[Tuple, Tuple[Optional[Tuple], Optional[Action]]] = {init_key: (None, None)}
-    succs: Dict[Tuple, List[Tuple]] = {}
-    quiescent_keys: Set[Tuple] = set()
-    queue: deque = deque([(init_pstate, observer0, checker0, init_key, 0)])
-    stats.states = 1
-
-    def end_check(pstate, chk, key) -> bool:
+    def _end_check(self, pstate, chk, key) -> bool:
         """True if OK (or not applicable)."""
-        if not protocol.is_quiescent(pstate):
+        if not self.protocol.is_quiescent(pstate):
             return True
-        stats.quiescent_states += 1
-        quiescent_keys.add(key)
-        if fast:
+        self.stats.quiescent_states += 1
+        self._quiescent_keys.add(key)
+        if self._fast:
             # structural end conditions hold by observer construction;
             # acyclicity is checked eagerly on every symbol
             return True
         return chk.accepts_at_end()
 
-    def build_cx(key) -> Counterexample:
+    def _build_cx(self, key) -> Counterexample:
         actions: List[Action] = []
         k = key
         while True:
-            parent, action = parents[k]
+            parent, action = self._parents[k]
             if parent is None:
                 break
             actions.append(action)  # type: ignore[arg-type]
             k = parent
         actions.reverse()
-        symbols, reason = _replay(protocol, st_order, actions)
+        symbols, reason = _replay(self.protocol, self.st_order, actions)
         return Counterexample(tuple(actions), symbols, reason)
 
-    if not end_check(init_pstate, checker0, init_key):
-        return ProductResult(False, build_cx(init_key), stats)
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """The search reached a final verdict (no further ``run``
+        changes it)."""
+        return self._final is not None
 
-    while queue:
-        if stats.truncated and max_states is not None and stats.states >= max_states:
-            break  # cap reached: stop expanding entirely
-        pstate, obs, chk, key, depth = queue.popleft()
-        stats.max_depth = max(stats.max_depth, depth)
-        if max_depth is not None and depth >= max_depth:
-            stats.truncated = True
-            continue
-        kids = succs.setdefault(key, [])
-        for t in protocol.transitions(pstate):
-            stats.transitions += 1
-            obs2 = obs.fork()
-            symbols = obs2.on_transition(t)
-            if symbols:
-                chk2 = chk.fork()
-                ok = chk2.feed_all(symbols) and obs2.violation is None
-            else:
-                # nothing emitted: the checker state is unchanged, so the
-                # parent's (accepted) checker can be shared — it is only
-                # ever mutated immediately after a fork
-                chk2 = chk
-                ok = obs2.violation is None
-            stats.max_live_nodes = max(stats.max_live_nodes, obs2.max_live)
-            stats.max_descriptor_ids = max(stats.max_descriptor_ids, obs2.max_ids_allocated)
-            key2 = joint_key(t.state, obs2, chk2)
-            kids.append(key2)
-            if key2 in seen:
-                # a revisit: identical joint state, so its checks (eager
-                # and end-of-string alike) happened on first encounter
-                continue
-            seen.add(key2)
-            parents[key2] = (key, t.action)
-            stats.states += 1
-            if not ok:
-                return ProductResult(False, build_cx(key2), stats)
-            if not end_check(t.state, chk2, key2):
-                return ProductResult(False, build_cx(key2), stats)
-            if max_states is not None and stats.states >= max_states:
+    def run(self, should_stop: Optional[StopHook] = None) -> ProductResult:
+        """Continue the search until a verdict or a cooperative stop.
+
+        Returns the final :class:`ProductResult` when the state space
+        is exhausted (or a violation / cap ends the search); when
+        ``should_stop`` halts it, the result is a *partial* one —
+        ``ok`` so far, ``stats.truncated`` with ``stats.stop_reason``
+        set — and the search stays resumable.
+        """
+        if self._final is not None:
+            return self._final
+        stats = self.stats
+        # a resumed search sheds the previous budget stop; cap
+        # truncation is permanent (dropped frontier entries)
+        stats.stop_reason = None
+        stats.truncated = self._cap_truncated
+        max_states, max_depth = self.max_states, self.max_depth
+        protocol = self.protocol
+        queue = self._queue
+        seen, parents, succs = self._seen, self._parents, self._succs
+
+        while queue:
+            if self._cap_truncated and max_states is not None and stats.states >= max_states:
+                break  # cap reached: stop expanding entirely
+            if should_stop is not None:
+                reason = should_stop(stats)
+                if reason is not None:
+                    stats.truncated = True
+                    stats.stop_reason = reason
+                    return ProductResult(True, None, stats)
+            pstate, obs, chk, key, depth = queue.popleft()
+            stats.max_depth = max(stats.max_depth, depth)
+            if max_depth is not None and depth >= max_depth:
                 stats.truncated = True
+                self._cap_truncated = True
                 continue
-            queue.append((t.state, obs2, chk2, key2, depth + 1))
+            kids = succs.setdefault(key, [])
+            for t in protocol.transitions(pstate):
+                stats.transitions += 1
+                obs2 = obs.fork()
+                symbols = obs2.on_transition(t)
+                if symbols:
+                    chk2 = chk.fork()
+                    ok = chk2.feed_all(symbols) and obs2.violation is None
+                else:
+                    # nothing emitted: the checker state is unchanged, so the
+                    # parent's (accepted) checker can be shared — it is only
+                    # ever mutated immediately after a fork
+                    chk2 = chk
+                    ok = obs2.violation is None
+                stats.max_live_nodes = max(stats.max_live_nodes, obs2.max_live)
+                stats.max_descriptor_ids = max(stats.max_descriptor_ids, obs2.max_ids_allocated)
+                key2 = self._joint_key(t.state, obs2, chk2)
+                kids.append(key2)
+                if key2 in seen:
+                    # a revisit: identical joint state, so its checks (eager
+                    # and end-of-string alike) happened on first encounter
+                    continue
+                seen.add(key2)
+                parents[key2] = (key, t.action)
+                stats.states += 1
+                if not ok:
+                    self._final = ProductResult(False, self._build_cx(key2), stats)
+                    return self._final
+                if not self._end_check(t.state, chk2, key2):
+                    self._final = ProductResult(False, self._build_cx(key2), stats)
+                    return self._final
+                if max_states is not None and stats.states >= max_states:
+                    stats.truncated = True
+                    self._cap_truncated = True
+                    continue
+                queue.append((t.state, obs2, chk2, key2, depth + 1))
 
-    # quiescence reachability: every explored state must be able to
-    # reach a quiescent one, otherwise some prefixes were never
-    # end-checked and the verdict would be unsound
-    non_quiescible = 0
-    if check_quiescence_reachability and not stats.truncated:
-        reach: Set[Tuple] = set(quiescent_keys)
-        # backward closure over explored edges
-        preds: Dict[Tuple, List[Tuple]] = {}
-        for u, vs in succs.items():
-            for v in vs:
-                preds.setdefault(v, []).append(u)
-        frontier = list(reach)
-        while frontier:
-            v = frontier.pop()
-            for u in preds.get(v, ()):
-                if u not in reach:
-                    reach.add(u)
-                    frontier.append(u)
-        non_quiescible = len(seen - reach)
+        # quiescence reachability: every explored state must be able to
+        # reach a quiescent one, otherwise some prefixes were never
+        # end-checked and the verdict would be unsound
+        non_quiescible = 0
+        if self.check_quiescence_reachability and not stats.truncated:
+            reach: Set[Tuple] = set(self._quiescent_keys)
+            # backward closure over explored edges
+            preds: Dict[Tuple, List[Tuple]] = {}
+            for u, vs in succs.items():
+                for v in vs:
+                    preds.setdefault(v, []).append(u)
+            frontier = list(reach)
+            while frontier:
+                v = frontier.pop()
+                for u in preds.get(v, ()):
+                    if u not in reach:
+                        reach.add(u)
+                        frontier.append(u)
+            non_quiescible = len(seen - reach)
 
-    return ProductResult(non_quiescible == 0, None, stats, non_quiescible)
+        self._final = ProductResult(non_quiescible == 0, None, stats, non_quiescible)
+        return self._final
+
+
+def explore_product(
+    protocol: Protocol,
+    st_order: Optional[STOrderGenerator] = None,
+    *,
+    mode: str = "full",
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    check_quiescence_reachability: bool = True,
+    canonical_ids: bool = True,
+    eager_free: bool = True,
+    unpin_heads: bool = True,
+    should_stop: Optional[StopHook] = None,
+) -> ProductResult:
+    """Run the verification search in one shot (see
+    :class:`ProductSearch` for the knobs and resumable form)."""
+    search = ProductSearch(
+        protocol,
+        st_order,
+        mode=mode,
+        max_states=max_states,
+        max_depth=max_depth,
+        check_quiescence_reachability=check_quiescence_reachability,
+        canonical_ids=canonical_ids,
+        eager_free=eager_free,
+        unpin_heads=unpin_heads,
+    )
+    return search.run(should_stop)

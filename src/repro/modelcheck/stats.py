@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 __all__ = ["ExplorationStats"]
 
@@ -14,10 +15,13 @@ class ExplorationStats:
     states: int = 0  #: distinct states found
     transitions: int = 0  #: transitions expanded
     max_depth: int = 0  #: deepest BFS layer reached
-    truncated: bool = False  #: hit a state / depth cap before exhausting
+    truncated: bool = False  #: hit a cap or budget before exhausting
     quiescent_states: int = 0  #: states where the end-check was evaluated
     max_live_nodes: int = 0  #: observer active-graph high-water mark
     max_descriptor_ids: int = 0  #: IDs the observer ever allocated
+    #: why a cooperative ``should_stop`` hook halted the search (None
+    #: for cap truncation and for exhaustive runs)
+    stop_reason: Optional[str] = None
 
     def as_dict(self) -> dict:
         return {
@@ -28,4 +32,5 @@ class ExplorationStats:
             "quiescent_states": self.quiescent_states,
             "max_live_nodes": self.max_live_nodes,
             "max_descriptor_ids": self.max_descriptor_ids,
+            "stop_reason": self.stop_reason,
         }

@@ -53,52 +53,79 @@ def parse_action(line: str) -> Action:
     return InternalAction(name, args)
 
 
+def _parse_header(line: str, PROTOCOLS) -> Tuple[Protocol, Optional[STOrderGenerator]]:
+    """Parse one ``protocol:`` header line (no line-number context)."""
+    fields = line.split(":", 1)[1].split()
+    if not fields:
+        raise ValueError("missing protocol name")
+    name, params = fields[0], fields[1:]
+    if name not in PROTOCOLS:
+        raise ValueError(
+            f"unknown protocol {name!r} (known: {', '.join(sorted(PROTOCOLS))})"
+        )
+    ctor, gen_factory, (dp, db, dv) = PROTOCOLS[name]
+    kw = {"p": dp, "b": db, "v": dv}
+    for item in params:
+        if "=" not in item:
+            raise ValueError(f"bad parameter {item!r}")
+        k, val = item.split("=", 1)
+        if k not in kw:
+            raise ValueError(f"unknown parameter {k!r}")
+        try:
+            kw[k] = int(val)
+        except ValueError:
+            raise ValueError(f"non-integer value for parameter {k!r}: {val!r}") from None
+    protocol = ctor(**kw)
+    gen = gen_factory() if gen_factory is not None else None
+    return protocol, gen
+
+
 def parse_run_file(text: str):
     """Parse a run file → ``(protocol, generator, run)``.
 
+    All malformed lines are collected in one pass and reported together
+    — a log with three typos produces one ``ValueError`` naming all
+    three line numbers, not three successive parse-fix-reparse rounds.
+    A file with a single bad line keeps the familiar
+    ``line N: <reason>`` message.
+
     The protocol registry lives in the CLI module to keep this module
-    import-light; passing an unknown protocol name raises ``ValueError``
-    listing the known ones.
+    import-light; an unknown protocol name is reported with the known
+    ones listed.
     """
     from .cli import PROTOCOLS
 
     protocol: Optional[Protocol] = None
     gen: Optional[STOrderGenerator] = None
     run: List[Action] = []
+    errors: List[str] = []
+    saw_header = False
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
         if line.lower().startswith("protocol:"):
-            if protocol is not None:
-                raise ValueError(f"line {lineno}: duplicate protocol header")
-            fields = line.split(":", 1)[1].split()
-            if not fields:
-                raise ValueError(f"line {lineno}: missing protocol name")
-            name, params = fields[0], fields[1:]
-            if name not in PROTOCOLS:
-                raise ValueError(
-                    f"line {lineno}: unknown protocol {name!r} "
-                    f"(known: {', '.join(sorted(PROTOCOLS))})"
-                )
-            ctor, gen_factory, (dp, db, dv) = PROTOCOLS[name]
-            kw = {"p": dp, "b": db, "v": dv}
-            for item in params:
-                if "=" not in item:
-                    raise ValueError(f"line {lineno}: bad parameter {item!r}")
-                k, val = item.split("=", 1)
-                if k not in kw:
-                    raise ValueError(f"line {lineno}: unknown parameter {k!r}")
-                kw[k] = int(val)
-            protocol = ctor(**kw)
-            gen = gen_factory() if gen_factory is not None else None
+            if saw_header:
+                errors.append(f"line {lineno}: duplicate protocol header")
+                continue
+            saw_header = True
+            try:
+                protocol, gen = _parse_header(line, PROTOCOLS)
+            except ValueError as exc:
+                errors.append(f"line {lineno}: {exc}")
             continue
         try:
             run.append(parse_action(line))
         except ValueError as exc:
-            raise ValueError(f"line {lineno}: {exc}") from None
-    if protocol is None:
-        raise ValueError("run file has no 'protocol:' header")
+            errors.append(f"line {lineno}: {exc}")
+    if not saw_header:
+        errors.append("run file has no 'protocol:' header")
+    if errors:
+        if len(errors) == 1:
+            raise ValueError(errors[0])
+        raise ValueError(
+            f"{len(errors)} parse errors:\n  " + "\n  ".join(errors)
+        )
     return protocol, gen, tuple(run)
 
 

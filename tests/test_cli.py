@@ -45,6 +45,7 @@ def test_verify_bounded(capsys):
 
 def test_zoo(capsys):
     code, out = run_cli(capsys, "zoo", "--max-states", "5000")
+    assert code == 0  # every zoo verdict as expected
     assert "Protocol zoo" in out
     for name in PROTOCOLS:
         assert name in out
@@ -126,3 +127,77 @@ def test_descriptor_paper_figure3_string(capsys):
     )
     code, out = run_cli(capsys, "descriptor", text)
     assert code == 0, out
+
+
+def test_descriptor_parse_error_is_exit_2(capsys):
+    code, out = run_cli(capsys, "descriptor", "this is not a descriptor ((")
+    assert code == 2
+    assert "error:" in out
+
+
+# exit-code contract: 0 = verdict met, 1 = violation found, 2 = usage/parse
+
+
+def test_check_run_cli_ok(capsys, tmp_path):
+    f = tmp_path / "run.txt"
+    f.write_text("protocol: msi\nAcquireM(1,1)\nST(P1,B1,1)\nLD(P1,B1,1)\n")
+    code, out = run_cli(capsys, "check-run", str(f))
+    assert code == 0
+    assert "run consistent" in out
+
+
+def test_check_run_cli_parse_error_is_exit_2(capsys, tmp_path):
+    f = tmp_path / "run.txt"
+    f.write_text("protocol: msi\ngibberish\nmore gibberish\n")
+    code, out = run_cli(capsys, "check-run", str(f))
+    assert code == 2
+    assert "2 parse errors" in out
+    assert "line 2" in out and "line 3" in out
+
+
+def test_verify_budget_checkpoint_resume_roundtrip(capsys, tmp_path):
+    cp = tmp_path / "msi.ckpt"
+    code, out = run_cli(
+        capsys, "verify", "msi", "--budget-states", "50", "--checkpoint", str(cp)
+    )
+    assert code == 0  # truncated, no violation
+    assert "state budget exhausted" in out
+    assert f"checkpoint written: {cp}" in out
+    assert cp.exists()
+
+    code, out = run_cli(capsys, "verify", "--resume", str(cp))
+    assert code == 0
+    assert "SEQUENTIALLY CONSISTENT" in out
+
+
+def test_verify_resume_plus_protocol_is_exit_2(capsys, tmp_path):
+    code, out = run_cli(capsys, "verify", "msi", "--resume", str(tmp_path / "x"))
+    assert code == 2
+
+
+def test_verify_resume_missing_file_is_exit_2(capsys, tmp_path):
+    code, out = run_cli(capsys, "verify", "--resume", str(tmp_path / "nope.ckpt"))
+    assert code == 2
+    assert "error:" in out
+
+
+def test_verify_degrade_needs_wall_budget(capsys):
+    code, out = run_cli(capsys, "verify", "serial", "--degrade")
+    assert code == 2
+
+
+def test_verify_degrade_with_budget(capsys):
+    code, out = run_cli(capsys, "verify", "serial", "--degrade", "--budget-s", "30")
+    assert code == 0
+
+
+def test_fault_matrix_cli(capsys):
+    code, out = run_cli(capsys, "fault-matrix", "--protocols", "serial")
+    assert code == 0
+    assert "expectations met" in out
+    assert "(none)" in out  # the unfaulted baseline row
+
+
+def test_fault_matrix_unknown_protocol_is_exit_2(capsys):
+    code, out = run_cli(capsys, "fault-matrix", "--protocols", "nosuch")
+    assert code == 2
