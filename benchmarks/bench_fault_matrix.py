@@ -6,9 +6,7 @@ exploration throughput (states/second) — the number that tells you
 what a CI budget for the matrix should be.
 """
 
-import time
 
-import pytest
 
 from repro.faults import fault_matrix
 from repro.util import format_table

@@ -7,7 +7,6 @@ complete product model-checking run on serial memory.
 """
 
 from repro.automata import traces_equivalent
-from repro.core.observer import Observer
 from repro.core.verify import verify_protocol
 from repro.memory import SerialMemory
 from repro.util import format_table

@@ -9,7 +9,6 @@ finite-state observer's inner loop).
 
 import random
 
-from repro.core.protocol import random_run
 from repro.core.tracking import STIndexTracker
 from repro.memory.figure4 import Figure4Protocol, figure4_steps
 from repro.util import format_table

@@ -18,7 +18,6 @@ Three tables:
 import random
 
 from repro.core.observer import Observer
-from repro.core.protocol import random_run
 from repro.core.verify import verify_protocol
 from repro.memory import (
     LazyCachingProtocol,

@@ -6,7 +6,6 @@ observer bandwidth are reported alongside.  The benchmark times the
 cheapest complete verification (MSI) as the representative workload.
 """
 
-import pytest
 
 from repro.core.serial import is_sequentially_consistent_trace
 from repro.core.verify import verify_protocol

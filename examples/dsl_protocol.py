@@ -19,7 +19,7 @@ Run:  python examples/dsl_protocol.py
 from repro.automata import traces_equivalent
 from repro.core.verify import verify_protocol
 from repro.memory import MSIProtocol
-from repro.pdl import INVALIDATE, ProtocolSpec, msi_spec
+from repro.pdl import ProtocolSpec, msi_spec
 
 
 def mailbox_protocol(p: int = 2, v: int = 2):

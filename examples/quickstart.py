@@ -6,7 +6,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import verify_protocol
-from repro.core import LD, ST, Observer, check_run, format_descriptor
+from repro.core import LD, ST, check_run, format_descriptor
 from repro.memory import MSIProtocol
 
 

@@ -10,9 +10,8 @@ equivalence check on small instances.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Callable, FrozenSet, Hashable, Iterable, Optional, Set
 
 from .dfa import DFA
 

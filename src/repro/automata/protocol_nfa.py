@@ -13,7 +13,7 @@ instances (and would catch an interfering observer).
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional
+from typing import Optional
 
 from ..core.operations import Operation
 from ..core.protocol import Protocol

@@ -33,6 +33,7 @@ from typing import Callable, Dict, Optional, Tuple
 from .core.bounds import bounds_for
 from .core.storder import STOrderGenerator
 from .core.verify import verify_protocol
+from .engine.strategy import STRATEGIES
 from .litmus import (
     CORPUS,
     classify_outcomes,
@@ -97,6 +98,24 @@ def _add_protocol_args(sub, with_params: bool = True) -> None:
 
 
 def cmd_verify(args) -> int:
+    if args.profile:
+        # profile the whole verification (search + replay), then dump
+        # cumulative-time stats so perf work can cite real numbers
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            code = _cmd_verify(args)
+        finally:
+            profiler.disable()
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+        return code
+    return _cmd_verify(args)
+
+
+def _cmd_verify(args) -> int:
     from .harness import Budget, CheckpointError, degrade, run_verification
 
     budget = None
@@ -142,6 +161,8 @@ def cmd_verify(args) -> int:
                     max_depth=args.max_depth,
                     budget=budget,
                     checkpoint_path=args.checkpoint,
+                    strategy=args.strategy,
+                    seed=args.seed,
                 )
     except CheckpointError as exc:
         print(f"error: {exc}")
@@ -396,6 +417,13 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--degrade", action="store_true",
                    help="on budget exhaustion fall back to bounded search, litmus corpus "
                         "and fuzzing instead of stopping (needs --budget-s)")
+    v.add_argument("--strategy", choices=list(STRATEGIES), default="bfs",
+                   help="frontier expansion order (bfs gives shortest counterexamples; "
+                        "random-walk probes deep under tight budgets)")
+    v.add_argument("--seed", type=int, default=0,
+                   help="random-walk frontier seed (ignored by bfs/dfs)")
+    v.add_argument("--profile", action="store_true",
+                   help="run under cProfile and dump the top functions by cumulative time")
     v.set_defaults(func=cmd_verify)
 
     z = sub.add_parser("zoo", help="verify every protocol at default parameters")

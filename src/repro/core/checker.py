@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from .annotation_checker import AnnotationChecker
-from .constraint_graph import ConstraintGraph, EdgeKind
+from .constraint_graph import ConstraintGraph
 from .cycle_checker import CycleChecker
 from .descriptor import Symbol, encode_graph
 

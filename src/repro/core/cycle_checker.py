@@ -30,6 +30,8 @@ class CycleChecker:
     safety automaton — once rejected, always rejected).
     """
 
+    __slots__ = ("max_id", "rejected", "_next_token", "_graph", "_owner", "_idset")
+
     def __init__(self, max_id: Optional[int] = None):
         self.max_id = max_id
         self.rejected = False
@@ -65,7 +67,19 @@ class CycleChecker:
     def feed(self, sym: Symbol) -> bool:
         if self.rejected:
             return False
-        if isinstance(sym, NodeSym):
+        # EdgeSym first: edges are the most frequent symbol in
+        # observer-emitted streams
+        if isinstance(sym, EdgeSym):
+            u = self._owner.get(sym.src)
+            v = self._owner.get(sym.dst)
+            if u is None or v is None:
+                # formal semantics: no edge results; nothing to check
+                return not self.rejected
+            if u == v or would_close_cycle(self._graph, u, v):
+                self.rejected = True
+            else:
+                self._graph.add_edge(u, v)
+        elif isinstance(sym, NodeSym):
             self._retire_id(sym.id)
             tok = self._next_token
             self._next_token += 1
@@ -81,27 +95,16 @@ class CycleChecker:
             if target is not None and not self.rejected:
                 self._owner[sym.new_id] = target
                 self._idset[target].add(sym.new_id)
-        elif isinstance(sym, EdgeSym):
-            u = self._owner.get(sym.src)
-            v = self._owner.get(sym.dst)
-            if u is None or v is None:
-                # formal semantics: no edge results; nothing to check
-                return not self.rejected
-            if u == v or would_close_cycle(self._graph, u, v):
-                self.rejected = True
-            else:
-                self._graph.add_edge(u, v)
         else:  # pragma: no cover - defensive
             raise TypeError(f"not a descriptor symbol: {sym!r}")
         return not self.rejected
 
     def feed_all(self, symbols: Iterable[Symbol]) -> bool:
-        ok = True
+        feed = self.feed
         for s in symbols:
-            ok = self.feed(s)
-            if not ok:
-                break
-        return ok
+            if not feed(s):
+                return False
+        return not self.rejected
 
     @property
     def accepts(self) -> bool:
@@ -130,21 +133,51 @@ class CycleChecker:
         exploration.  ``canon`` optionally renames descriptor IDs (the
         product explorer passes the observer's canonical renaming so
         permutation-equivalent joint states merge); tokens are then
-        ranked by their smallest renamed ID."""
+        ranked by their smallest renamed ID.
+
+        ID-sets are disjoint across tokens, so ranking by the sorted
+        renamed tuple (whose head is the minimum) equals ranking by the
+        minimum — and each ID is renamed once, not once for the sort
+        key and again for the output.  Observer-emitted streams never
+        share an ID between nodes (no AddId symbols), so the singleton
+        path is the product search's hot path.
+        """
+        items = []
         if canon is None:
-            canon = {}
-        rn = lambda i: canon.get(i, i)
-        live = sorted(self._idset, key=lambda t: min(rn(i) for i in self._idset[t]))
-        rank = {t: r for r, t in enumerate(live)}
-        ids = tuple(tuple(sorted(rn(i) for i in self._idset[t])) for t in live)
-        edges = tuple(
-            sorted(
-                (rank[u], rank[v])
-                for (u, v) in self._graph.edges()
-                if u in rank and v in rank
+            for t, ids in self._idset.items():
+                if len(ids) == 1:
+                    (i,) = ids
+                    items.append(((i,), t))
+                else:
+                    items.append((tuple(sorted(ids)), t))
+        else:
+            get = canon.get
+            for t, ids in self._idset.items():
+                if len(ids) == 1:
+                    (i,) = ids
+                    items.append(((get(i, i),), t))
+                else:
+                    items.append((tuple(sorted(get(i, i) for i in ids)), t))
+        # ID-sets are disjoint, so the renamed tuples are distinct and
+        # the (tuple, token) sort never reaches the token tiebreak
+        items.sort()
+        rank = {}
+        ids_part = []
+        for r, (rids, t) in enumerate(items):
+            rank[t] = r
+            ids_part.append(rids)
+        labels = self._graph._labels  # dict keyed by (u, v); read-only peek
+        if labels:
+            edges = tuple(
+                sorted(
+                    (rank[u], rank[v])
+                    for (u, v) in labels
+                    if u in rank and v in rank
+                )
             )
-        )
-        return (self.rejected, ids, edges)
+        else:
+            edges = ()
+        return (self.rejected, tuple(ids_part), edges)
 
 
 def descriptor_is_acyclic(

@@ -21,7 +21,7 @@ last incident edge has been emitted).  :func:`format_descriptor` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from ..graphs import Digraph, node_bandwidth
 

@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from .constraint_graph import EdgeKind
 from .descriptor import EdgeSym, FreeIdSym, NodeSym, Symbol
 from .operations import BOTTOM, InternalAction, Load, Operation, Store
-from .protocol import FRESH, Protocol, Tracking, Transition
+from .protocol import FRESH, Protocol, Transition
 from .storder import RealTimeSTOrder, Serialized, STOrderGenerator
 
 __all__ = ["Observer"]
@@ -54,6 +54,32 @@ class Observer:
     symbols.  :meth:`fork` produces an independent copy for branching
     exploration.
     """
+
+    __slots__ = (
+        "protocol",
+        "gen",
+        "self_check",
+        "eager_free",
+        "unpin_heads",
+        "violation",
+        "_next_handle",
+        "_op",
+        "_id",
+        "_free_ids",
+        "_ids_allocated",
+        "_loc",
+        "_loc_keys",
+        "_last_of_proc",
+        "_tail_of_block",
+        "_head_of_block",
+        "_succ",
+        "_pending_load",
+        "_pending_bottom",
+        "_bottom_dead",
+        "max_live",
+        "_canon_cache",
+        "_key_cache",
+    )
 
     def __init__(
         self,
@@ -88,6 +114,9 @@ class Observer:
 
         L = protocol.num_locations
         self._loc: Dict[int, Optional[Handle]] = {l: None for l in range(1, L + 1)}
+        # sorted location indices, cached (the key set is fixed at
+        # construction; _loc_order re-sorts if that ever changes)
+        self._loc_keys: Tuple[int, ...] = tuple(range(1, L + 1))
         self._last_of_proc: Dict[int, Handle] = {}
         self._tail_of_block: Dict[int, Handle] = {}
         self._head_of_block: Dict[int, Handle] = {}
@@ -100,6 +129,11 @@ class Observer:
         #: high-water mark of simultaneously live nodes (measured
         #: bandwidth; compare with bounds.bandwidth_bound)
         self.max_live = 0
+
+        # memoized canonical snapshot: (renaming, state key) computed
+        # in one fused walk, invalidated on mutation (on_transition)
+        self._canon_cache: Optional[Dict[int, int]] = None
+        self._key_cache: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     # ID pool
@@ -159,6 +193,8 @@ class Observer:
     # ------------------------------------------------------------------
     def on_transition(self, transition: Transition) -> List[Symbol]:
         """Process one protocol step; returns the symbols it emits."""
+        self._canon_cache = None
+        self._key_cache = None
         out: List[Symbol] = []
         edges: Dict[Tuple[int, int], EdgeKind] = {}
         action = transition.action
@@ -231,7 +267,7 @@ class Observer:
                 self._serialize(ev, edges)
 
         out.extend(EdgeSym(u, v, kind) for (u, v), kind in edges.items())
-        if self.unpin_heads:
+        if self.unpin_heads and len(self._bottom_dead) < self.protocol.b:
             for block in range(1, self.protocol.b + 1):
                 if block not in self._bottom_dead and not self.protocol.may_load_bottom(
                     transition.state, block
@@ -275,23 +311,24 @@ class Observer:
     # liveness
     # ------------------------------------------------------------------
     def _roots(self) -> Set[Handle]:
-        roots: Set[Handle] = set()
-        roots.update(self._last_of_proc.values())
-        inh_active = {h for h in self._loc.values() if h is not None}
-        roots.update(inh_active)
-        # the STo-successor of an inh-active ST is a future forced-edge
-        # target and must stay addressable
-        for h in inh_active:
-            s = self._succ.get(h)
-            if s is not None:
-                roots.add(s)
+        roots: Set[Handle] = set(self._last_of_proc.values())
+        succ_get = self._succ.get
+        for h in self._loc.values():
+            if h is not None:
+                roots.add(h)
+                # the STo-successor of an inh-active ST is a future
+                # forced-edge target and must stay addressable
+                s = succ_get(h)
+                if s is not None:
+                    roots.add(s)
         roots.update(self.gen.live_handles())
         roots.update(self._tail_of_block.values())
         # block heads stay live as long as ⊥ views of the block may
         # still be loaded (they are the forced-edge targets of future
         # ⊥-loads); the protocol's may_load_bottom bounds that window
+        dead = self._bottom_dead
         for block, h in self._head_of_block.items():
-            if block not in self._bottom_dead:
+            if block not in dead:
                 roots.add(h)
         roots.update(self._pending_load.values())
         roots.update(self._pending_bottom.values())
@@ -299,7 +336,10 @@ class Observer:
 
     def _collect_garbage(self, out: List[Symbol]) -> None:
         roots = self._roots()
-        for h in [h for h in self._id if h not in roots]:
+        _id = self._id
+        if len(roots) >= len(_id):
+            return  # every live node fills a role: nothing to retire
+        for h in [h for h in _id if h not in roots]:
             self._free_handle(h, out)
 
     # ------------------------------------------------------------------
@@ -322,12 +362,150 @@ class Observer:
         other._pending_load = dict(self._pending_load)
         other._pending_bottom = dict(self._pending_bottom)
         other._bottom_dead = set(self._bottom_dead)
+        other._loc_keys = self._loc_keys
         other.eager_free = self.eager_free
         other.unpin_heads = self.unpin_heads
         other.max_live = self.max_live
         other.self_check = self.self_check
         other.violation = self.violation
+        # the cached snapshot is a value, valid until the copy mutates
+        other._canon_cache = self._canon_cache
+        other._key_cache = self._key_cache
         return other
+
+    def _loc_order(self) -> Tuple[int, ...]:
+        keys = self._loc_keys
+        if len(keys) != len(self._loc):
+            keys = self._loc_keys = tuple(sorted(self._loc))
+        return keys
+
+    def _fused_canonical(self) -> None:
+        """Build the canonical renaming *and* the state key in one
+        fused walk, caching both until the next mutation.
+
+        The two used to be separate passes that each re-sorted the same
+        role slots; key construction is the verification hot spot
+        (DESIGN.md §5), so the walk is shared — and for the slots whose
+        visit order is the key order (locations, processors, blocks,
+        pending ⊥ obligations) the key part is assembled *during* the
+        naming walk: ``canon.setdefault`` returns a handle's canonical
+        number, which is final the moment the handle is first visited,
+        so no second rename pass is needed.  Only the slots the key
+        re-sorts by *renamed* ID (STo successors, pending tracked
+        loads) wait for the completed renaming.
+        """
+        _id = self._id
+        canon: Dict[int, int] = {}
+        # visit = canon.setdefault(id, len(canon)): the default is
+        # evaluated before a possible insert, so it names fresh IDs
+        # 0..n-1 in first-visited order, exactly like the old visit().
+        # The visit order is observable (it fixes the renaming) and
+        # must not change; slots of size ≤ 1 skip their sort outright —
+        # at small (p, b) that is most of them on most steps.
+        name = canon.setdefault
+
+        loc_handles = [self._loc[l] for l in self._loc_order()]
+        if self.self_check:
+            _op = self._op
+            loc_data_l = []
+            loc_part_l = []
+            for h in loc_handles:
+                if h is None:
+                    loc_data_l.append(None)
+                    loc_part_l.append(None)
+                else:
+                    op = _op[h]
+                    loc_data_l.append((op.block, op.value))
+                    loc_part_l.append(name(_id[h], len(canon)))
+            loc_data: Tuple = tuple(loc_data_l)
+            loc_part = tuple(loc_part_l)
+        else:
+            loc_data = ()
+            loc_part = tuple(
+                None if h is None else name(_id[h], len(canon))
+                for h in loc_handles
+            )
+        d = self._last_of_proc
+        proc_part = tuple(
+            (p, name(_id[h], len(canon)))
+            for p, h in (sorted(d.items()) if len(d) > 1 else d.items())
+        )
+        d = self._tail_of_block
+        tail_part = tuple(
+            (b, name(_id[h], len(canon)))
+            for b, h in (sorted(d.items()) if len(d) > 1 else d.items())
+        )
+        d = self._head_of_block
+        head_part = tuple(
+            (b, name(_id[h], len(canon)))
+            for b, h in (sorted(d.items()) if len(d) > 1 else d.items())
+        )
+        gen_handles = self.gen.live_handles()
+        if gen_handles:
+            for h in sorted(gen_handles):
+                name(_id[h], len(canon))
+        succ = self._succ
+        if succ:
+            if len(succ) > 1:
+                for u in sorted(succ, key=lambda x: _id[x]):
+                    name(_id[succ[u]], len(canon))
+            else:
+                for v in succ.values():
+                    name(_id[v], len(canon))
+        pload = self._pending_load
+        if pload:
+            if len(pload) > 1:
+                for key in sorted(pload, key=lambda k: (k[0], _id[k[1]])):
+                    name(_id[pload[key]], len(canon))
+            else:
+                for h in pload.values():
+                    name(_id[h], len(canon))
+        d = self._pending_bottom
+        pbot_part = tuple(
+            (k, name(_id[h], len(canon)))
+            for k, h in (sorted(d.items()) if len(d) > 1 else d.items())
+        )
+        # safety net: anything still unnamed (should not happen; every
+        # live node fills a role, so normally all IDs are named by now)
+        if len(canon) != len(_id):
+            for h in sorted(_id):
+                name(_id[h], len(canon))
+
+        if succ:
+            succ_part = tuple(
+                sorted((canon[_id[u]], canon[_id[v]]) for u, v in succ.items())
+            )
+        else:
+            succ_part = ()
+        if pload:
+            pload_part = tuple(
+                sorted(((p, canon[_id[s]]), canon[_id[h]]) for (p, s), h in pload.items())
+            )
+        else:
+            pload_part = ()
+        self._key_cache = (
+            self.violation,
+            loc_data,
+            loc_part,
+            proc_part,
+            tail_part,
+            head_part,
+            succ_part,
+            pload_part,
+            pbot_part,
+            tuple(sorted(self._bottom_dead)),
+            self.gen.state_key(lambda h: canon[_id[h]]),
+        )
+        self._canon_cache = canon
+
+    def canonical_snapshot(self) -> Tuple[Dict[int, int], Tuple]:
+        """``(canonical_renaming(), state_key())`` in one call — the
+        product search needs both (the renaming also canonicalises the
+        checker's key), and the pair comes from a single fused walk."""
+        if self._key_cache is None:
+            self._fused_canonical()
+        assert self._canon_cache is not None and self._key_cache is not None
+        return self._canon_cache, self._key_cache
 
     def canonical_renaming(self) -> Dict[int, int]:
         """A deterministic renaming ``descriptor ID -> 0..n-1``.
@@ -339,36 +517,14 @@ class Observer:
         map, per-processor last nodes, block tails/heads, generator
         FIFOs, pending obligations); every live node fills at least one
         role (that is what keeps it alive), so the walk covers all IDs.
+
+        Memoized until the next :meth:`on_transition`; the returned
+        dict is the cache — treat it as read-only.
         """
-        canon: Dict[int, int] = {}
-
-        def visit(h: Optional[Handle]) -> None:
-            if h is None:
-                return
-            i = self._id[h]
-            if i not in canon:
-                canon[i] = len(canon)
-
-        for l in sorted(self._loc):
-            visit(self._loc[l])
-        for p in sorted(self._last_of_proc):
-            visit(self._last_of_proc[p])
-        for b in sorted(self._tail_of_block):
-            visit(self._tail_of_block[b])
-        for b in sorted(self._head_of_block):
-            visit(self._head_of_block[b])
-        for h in sorted(self.gen.live_handles()):
-            visit(h)
-        for u in sorted(self._succ, key=lambda x: self._id[x]):
-            visit(self._succ[u])
-        for key in sorted(self._pending_load, key=lambda k: (k[0], self._id[k[1]])):
-            visit(self._pending_load[key])
-        for key in sorted(self._pending_bottom):
-            visit(self._pending_bottom[key])
-        # safety net: anything still unnamed (should not happen)
-        for h in sorted(self._id):
-            visit(h)
-        return canon
+        if self._canon_cache is None:
+            self._fused_canonical()
+        assert self._canon_cache is not None
+        return self._canon_cache
 
     def state_key(self, canon: Optional[Dict[int, int]] = None) -> Tuple:
         """Canonical hashable state under an ID renaming (defaults to
@@ -379,9 +535,16 @@ class Observer:
         dead history merge.  The exception is self-check mode, whose
         future behaviour depends on the (block, value) each location's
         ST wrote — those are included then.
+
+        The canonical key (``canon`` omitted, or the dict
+        :meth:`canonical_renaming` returned) is memoized until the next
+        mutation; a foreign renaming bypasses the cache.
         """
-        if canon is None:
-            canon = self.canonical_renaming()
+        if canon is None or canon is self._canon_cache:
+            if self._key_cache is None:
+                self._fused_canonical()
+            assert self._key_cache is not None
+            return self._key_cache
 
         def rn(h: Optional[Handle]):
             return None if h is None else canon[self._id[h]]

@@ -31,9 +31,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import Hashable, Iterable, Iterator, List, Mapping, Optional, Set
 
-from .operations import Action, InternalAction, Operation, Run, Trace, trace_of_run
+from .operations import Action, InternalAction, Run, Trace, trace_of_run
 
 __all__ = ["FRESH", "Tracking", "Transition", "Protocol", "enumerate_runs", "random_run"]
 

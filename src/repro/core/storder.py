@@ -25,7 +25,7 @@ from __future__ import annotations
 import abc
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from .operations import InternalAction, Store
 

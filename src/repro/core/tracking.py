@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .constraint_graph import EdgeKind
 from .descriptor import AddIdSym, EdgeSym, NodeSym, Symbol
-from .operations import Action, InternalAction, Load, Operation, Store
+from .operations import Action, Load, Operation, Store
 from .protocol import FRESH, Protocol, Tracking, Transition
 
 __all__ = ["STIndexTracker", "st_indices_after", "InheritanceGenerator", "inheritance_edges_of_run"]

@@ -1,0 +1,365 @@
+"""The uniform stepping protocol and the composed transition system.
+
+Every layer of the Figure 2 pipeline is a :class:`Component` with one
+contract::
+
+    step(state, inp) -> (next_state, emissions)
+
+* :class:`ProtocolComponent` — states are protocol states, inputs are
+  enabled transitions, emissions are the transitions themselves (this
+  covers :class:`~repro.faults.wrapper.FaultyProtocol` too, since a
+  faulty protocol *is* a protocol);
+* :class:`ObserverComponent` — states are
+  :class:`~repro.core.observer.Observer` instances, inputs are
+  protocol transitions, emissions are descriptor symbols;
+* :class:`STOrderComponent` — states are
+  :class:`~repro.core.storder.STOrderGenerator` instances, inputs are
+  store/internal events, emissions are
+  :class:`~repro.core.storder.Serialized` events (inside the pipeline
+  the generator steps *through* the observer, which owns the
+  handle↔node mapping; this adapter gives it the same face for
+  standalone composition and tests);
+* :class:`CheckerComponent` — states are checker instances, inputs are
+  symbol batches, emissions are empty (the verdict lives in the
+  state).
+
+:class:`ComposedSystem` chains protocol → observer → checker into one
+transition system — the composition that
+:class:`~repro.engine.strategy.SearchEngine` explores.  It replaces
+the bespoke product glue that previously lived in
+``modelcheck/product.py``; :class:`ProtocolSystem` is the degenerate
+composition (protocol only) behind plain reachability.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Iterator, Optional, Tuple
+
+from ..core.checker import Checker
+from ..core.cycle_checker import CycleChecker
+from ..core.observer import Observer
+from ..core.operations import InternalAction, Store
+from ..core.protocol import Protocol, Transition
+from ..core.storder import STOrderGenerator
+
+__all__ = [
+    "Component",
+    "ProtocolComponent",
+    "ObserverComponent",
+    "STOrderComponent",
+    "CheckerComponent",
+    "Step",
+    "System",
+    "ComposedSystem",
+    "ProtocolSystem",
+]
+
+
+class Component(abc.ABC):
+    """One layer of the pipeline: a deterministic transducer whose
+    states are explicit values (never hidden in the component object —
+    the search forks *states*, components are shared)."""
+
+    @abc.abstractmethod
+    def initial(self) -> Any:
+        """The component's initial state."""
+
+    @abc.abstractmethod
+    def step(self, state: Any, inp: Any) -> Tuple[Any, Tuple]:
+        """Apply one input; return the successor state and what the
+        step emits downstream.  Must not mutate ``state``."""
+
+    def state_key(self, state: Any, canon=None) -> Hashable:
+        """Hashable canonical snapshot of ``state`` (default: the
+        state itself must already be hashable)."""
+        return state
+
+
+class ProtocolComponent(Component):
+    """A protocol (or :class:`~repro.faults.wrapper.FaultyProtocol`)
+    as a component.  Inputs are enabled :class:`Transition` objects;
+    the emission is the transition, which feeds the observer."""
+
+    def __init__(self, protocol: Protocol):
+        self.protocol = protocol
+
+    def initial(self):
+        return self.protocol.initial_state()
+
+    def enabled(self, state) -> Iterable[Transition]:
+        return self.protocol.transitions(state)
+
+    def step(self, state, inp: Transition):
+        return inp.state, (inp,)
+
+
+class ObserverComponent(Component):
+    """The witness observer as a component: fork-on-step, emitting the
+    descriptor symbols of the transition."""
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        st_order: Optional[STOrderGenerator] = None,
+        *,
+        self_check: bool = False,
+        eager_free: bool = True,
+        unpin_heads: bool = True,
+    ):
+        self.protocol = protocol
+        self.st_order = st_order
+        self.self_check = self_check
+        self.eager_free = eager_free
+        self.unpin_heads = unpin_heads
+
+    def initial(self) -> Observer:
+        return Observer(
+            self.protocol,
+            self.st_order.copy() if self.st_order is not None else None,
+            self_check=self.self_check,
+            eager_free=self.eager_free,
+            unpin_heads=self.unpin_heads,
+        )
+
+    def step(self, state: Observer, inp: Transition):
+        obs = state.fork()
+        symbols = obs.on_transition(inp)
+        return obs, tuple(symbols)
+
+    def state_key(self, state: Observer, canon=None) -> Hashable:
+        return state.state_key(canon)
+
+
+class STOrderComponent(Component):
+    """An ST-order generator as a component.  Inputs are either
+    ``(handle, store_op)`` pairs (a new ST node) or
+    :class:`~repro.core.operations.InternalAction` objects; emissions
+    are the resolved :class:`~repro.core.storder.Serialized` events."""
+
+    def __init__(self, template: Optional[STOrderGenerator] = None):
+        from ..core.storder import RealTimeSTOrder
+
+        self.template = template if template is not None else RealTimeSTOrder()
+
+    def initial(self) -> STOrderGenerator:
+        return self.template.copy()
+
+    def step(self, state: STOrderGenerator, inp):
+        gen = state.copy()
+        if isinstance(inp, InternalAction):
+            events = gen.on_internal(inp)
+        else:
+            handle, op = inp
+            if not isinstance(op, Store):
+                raise TypeError(f"not a generator input: {inp!r}")
+            events = gen.on_store(handle, op)
+        return gen, tuple(events)
+
+    def state_key(self, state: STOrderGenerator, canon=None) -> Hashable:
+        if canon is None:
+            return state.state_key()
+        return state.state_key(lambda h: canon.get(h, h))
+
+
+class CheckerComponent(Component):
+    """A descriptor checker as a component.  Inputs are symbol
+    batches; an empty batch shares the state (the checker cannot have
+    moved), which is the fork-skipping optimisation the product search
+    has always relied on."""
+
+    def __init__(self, full: bool = True):
+        self.full = full
+
+    def initial(self):
+        return Checker() if self.full else CycleChecker()
+
+    def step(self, state, inp: Tuple):
+        if not inp:
+            return state, ()
+        chk = state.fork()
+        chk.feed_all(inp)
+        return chk, ()
+
+    def state_key(self, state, canon=None) -> Hashable:
+        return state.state_key(canon)
+
+    @staticmethod
+    def ok(state) -> bool:
+        """No eager rejection so far (end-of-string conditions are
+        :meth:`accepts_at_end`'s business, not this one's)."""
+        if isinstance(state, CycleChecker):
+            return state.accepts
+        return state.accepts_so_far
+
+    @staticmethod
+    def accepts_at_end(state) -> bool:
+        if isinstance(state, CycleChecker):
+            return state.accepts
+        return state.accepts_at_end()
+
+
+# ----------------------------------------------------------------------
+# composed systems
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Step:
+    """One successor produced by a :class:`System`: the action taken,
+    the successor system state, its canonical key, and whether every
+    eager check passed."""
+
+    action: Any
+    state: Any
+    key: Hashable
+    ok: bool
+
+
+class System(abc.ABC):
+    """A transition system the :class:`~repro.engine.strategy.SearchEngine`
+    can explore: initial state, keyed successors, optional end checks."""
+
+    @abc.abstractmethod
+    def initial(self) -> Any:
+        """The initial system state."""
+
+    @abc.abstractmethod
+    def key(self, state) -> Hashable:
+        """Canonical hashable key of ``state``."""
+
+    @abc.abstractmethod
+    def steps(self, state) -> Iterator[Step]:
+        """All successors of ``state``."""
+
+    def end_check(self, state) -> Optional[bool]:
+        """``None`` when no end condition applies at ``state``;
+        otherwise whether the end condition holds (an end state that
+        fails is a violation)."""
+        return None
+
+    def record(self, stats, state) -> None:
+        """Fold per-transition measurements into ``stats`` (called for
+        every generated successor, revisits included)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class ProtocolSystem(System):
+    """Plain protocol reachability: states are protocol states, keys
+    are the states themselves."""
+
+    def __init__(self, protocol: Protocol):
+        self.protocol = protocol
+        self.component = ProtocolComponent(protocol)
+
+    def initial(self):
+        return self.component.initial()
+
+    def key(self, state) -> Hashable:
+        return state
+
+    def steps(self, state) -> Iterator[Step]:
+        for t in self.component.enabled(state):
+            yield Step(t.action, t.state, t.state, True)
+
+    def describe(self) -> str:
+        return self.protocol.describe()
+
+
+class ComposedSystem(System):
+    """The Figure 2 product: protocol × observer × checker as one
+    transition system.
+
+    ``mode`` selects the checking depth exactly as before:
+
+    * ``"full"`` — the complete protocol-independent checker (cycle +
+      all five edge-annotation constraints) rides along;
+    * ``"fast"`` — Theorem 4.1: only the protocol-dependent checks
+      (acyclicity + observer self-check) ride along.
+
+    System states are ``(protocol_state, observer, checker)`` triples;
+    the canonical key renames descriptor IDs through the observer's
+    canonical renaming (unless ``canonical_ids`` is off, which — as
+    always — de-canonicalises only the checker component of the key).
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        st_order: Optional[STOrderGenerator] = None,
+        *,
+        mode: str = "full",
+        canonical_ids: bool = True,
+        eager_free: bool = True,
+        unpin_heads: bool = True,
+    ):
+        if mode not in ("full", "fast"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.protocol = protocol
+        self.st_order = st_order
+        self.mode = mode
+        self.canonical_ids = canonical_ids
+        fast = mode == "fast"
+        self.protocol_comp = ProtocolComponent(protocol)
+        self.observer_comp = ObserverComponent(
+            protocol,
+            st_order,
+            self_check=fast,
+            eager_free=eager_free,
+            unpin_heads=unpin_heads,
+        )
+        self.checker_comp = CheckerComponent(full=not fast)
+        self._fast = fast
+
+    # ------------------------------------------------------------------
+    def initial(self):
+        return (
+            self.protocol_comp.initial(),
+            self.observer_comp.initial(),
+            self.checker_comp.initial(),
+        )
+
+    def key(self, state) -> Hashable:
+        pstate, obs, chk = state
+        if self.canonical_ids:
+            canon, okey = obs.canonical_snapshot()
+            return (pstate, okey, chk.state_key(canon))
+        return (pstate, obs.state_key(None), chk.state_key(None))
+
+    def steps(self, state) -> Iterator[Step]:
+        pstate, obs, chk = state
+        for t in self.protocol_comp.enabled(pstate):
+            obs2, symbols = self.observer_comp.step(obs, t)
+            if symbols:
+                chk2, _ = self.checker_comp.step(chk, symbols)
+                ok = self.checker_comp.ok(chk2) and obs2.violation is None
+            else:
+                # nothing emitted: the parent's (accepted) checker is
+                # shared — it is only ever mutated right after a fork
+                chk2 = chk
+                ok = obs2.violation is None
+            child = (t.state, obs2, chk2)
+            yield Step(t.action, child, self.key(child), ok)
+
+    def end_check(self, state) -> Optional[bool]:
+        pstate, _obs, chk = state
+        if not self.protocol.is_quiescent(pstate):
+            return None
+        if self._fast:
+            # structural end conditions hold by observer construction;
+            # acyclicity is checked eagerly on every symbol
+            return True
+        return self.checker_comp.accepts_at_end(chk)
+
+    def record(self, stats, state) -> None:
+        obs = state[1]
+        if obs.max_live > stats.max_live_nodes:
+            stats.max_live_nodes = obs.max_live
+        if obs.max_ids_allocated > stats.max_descriptor_ids:
+            stats.max_descriptor_ids = obs.max_ids_allocated
+
+    def describe(self) -> str:
+        return self.protocol.describe()

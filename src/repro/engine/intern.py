@@ -1,0 +1,95 @@
+"""State interning: canonical keys computed once, held as dense ints.
+
+Profiling (DESIGN.md §5) showed ~40% of verification time in canonical
+state-key construction, and the old search then *kept* those large
+nested tuples everywhere — as seen-set members, parent-map keys and
+successor-list entries — paying a full recursive tuple hash at every
+membership test and insertion (Python tuples do not cache their hash).
+
+:class:`StateStore` fixes both costs structurally: a key is hashed
+exactly once, at :meth:`intern` time, and receives a dense integer ID
+(its discovery index).  Everything downstream — visited set, frontier,
+parent pointers, successor adjacency, the quiescence closure — works
+with ints.  Counterexample runs are reconstructed from a
+parent-pointer array (one parent ID + one action per state) instead of
+an action list per frontier entry, which also cuts frontier memory.
+
+The store is plain data (two lists and a dict) so a paused search
+pickles and resumes exactly (:mod:`repro.harness.checkpoint`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["StateStore"]
+
+#: parent marker of a root (initial) state
+NO_PARENT = -1
+
+
+class StateStore:
+    """Interns hashable state keys to dense integer IDs.
+
+    IDs are allocated in discovery order starting at 0, so a BFS store
+    doubles as the BFS numbering.  Parent pointers record the search
+    tree: :meth:`set_parent` is called once per discovered state, and
+    :meth:`path_to` walks the pointers back to a root to rebuild the
+    action sequence that reached a state.
+    """
+
+    __slots__ = ("_ids", "_parent", "_action")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._parent: List[int] = []
+        self._action: List[Optional[object]] = []
+
+    # ------------------------------------------------------------------
+    def intern(self, key: Hashable) -> Tuple[int, bool]:
+        """Return ``(id, is_new)`` for ``key``, interning it if new."""
+        sid = self._ids.get(key)
+        if sid is not None:
+            return sid, False
+        sid = len(self._parent)
+        self._ids[key] = sid
+        self._parent.append(NO_PARENT)
+        self._action.append(None)
+        return sid, True
+
+    def set_parent(self, sid: int, parent: int, action: object) -> None:
+        """Record that ``sid`` was discovered from ``parent`` via
+        ``action`` (roots keep parent ``-1``)."""
+        self._parent[sid] = parent
+        self._action[sid] = action
+
+    def path_to(self, sid: int) -> List[object]:
+        """The action sequence from the root to state ``sid``,
+        reconstructed from the parent-pointer array."""
+        actions: List[object] = []
+        while True:
+            parent = self._parent[sid]
+            if parent == NO_PARENT:
+                break
+            actions.append(self._action[sid])
+            sid = parent
+        actions.reverse()
+        return actions
+
+    def depth_of(self, sid: int) -> int:
+        """Number of parent hops from ``sid`` back to its root."""
+        d = 0
+        while self._parent[sid] != NO_PARENT:
+            sid = self._parent[sid]
+            d += 1
+        return d
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._ids
+
+    def id_of(self, key: Hashable) -> Optional[int]:
+        return self._ids.get(key)

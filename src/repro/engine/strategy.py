@@ -1,0 +1,316 @@
+"""Pluggable search strategies behind one resumable engine.
+
+A :class:`Frontier` decides only the *order* in which discovered
+states are expanded:
+
+* :class:`BFSFrontier` — FIFO; shortest counterexamples, the default
+  everywhere a proof is wanted;
+* :class:`DFSFrontier` — LIFO; cheap deep probes (the litmus driver's
+  traversal order);
+* :class:`RandomWalkFrontier` — expands a uniformly random frontier
+  entry; a seeded randomised walk of the state space for bug hunting
+  under budgets where BFS would drown in the shallow layers.
+
+:class:`SearchEngine` owns everything else: the
+:class:`~repro.engine.intern.StateStore`, state/depth caps, the
+cooperative ``should_stop`` budget hook, successor tracking for the
+quiescence-reachability closure, and the paused-search state that
+checkpoint/resume pickles.  ``ProductSearch``,
+:func:`repro.modelcheck.explorer.explore`, the litmus runner,
+:func:`repro.faults.matrix.fault_matrix` and the
+:func:`repro.harness.degrade.degrade` ladder are thin adapters over
+it.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+
+from .component import System
+from .intern import StateStore
+from .stats import ExplorationStats
+
+__all__ = [
+    "Frontier",
+    "BFSFrontier",
+    "DFSFrontier",
+    "RandomWalkFrontier",
+    "make_frontier",
+    "SearchOutcome",
+    "SearchEngine",
+]
+
+#: cooperative stop hook: maps current stats to a reason string (halt)
+#: or None (keep going)
+StopHook = Callable[[ExplorationStats], Optional[str]]
+
+#: frontier entries: (system state, interned ID, depth)
+Entry = Tuple[object, int, int]
+
+
+class Frontier(abc.ABC):
+    """Expansion-order policy.  Entries are opaque to the frontier."""
+
+    @abc.abstractmethod
+    def push(self, entry: Entry) -> None: ...
+
+    @abc.abstractmethod
+    def pop(self) -> Entry: ...
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class BFSFrontier(Frontier):
+    """First-in first-out: classic breadth-first search."""
+
+    def __init__(self) -> None:
+        self._q: deque = deque()
+
+    def push(self, entry: Entry) -> None:
+        self._q.append(entry)
+
+    def pop(self) -> Entry:
+        return self._q.popleft()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class DFSFrontier(Frontier):
+    """Last-in first-out: depth-first search."""
+
+    def __init__(self) -> None:
+        self._q: List[Entry] = []
+
+    def push(self, entry: Entry) -> None:
+        self._q.append(entry)
+
+    def pop(self) -> Entry:
+        return self._q.pop()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class RandomWalkFrontier(Frontier):
+    """Expands a uniformly random held entry (swap-with-last, so pop
+    is O(1)).  Seeded, hence reproducible — and picklable, so a
+    random-walk search checkpoints like any other."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._q: List[Entry] = []
+        self._rng = random.Random(seed)
+
+    def push(self, entry: Entry) -> None:
+        self._q.append(entry)
+
+    def pop(self) -> Entry:
+        i = self._rng.randrange(len(self._q))
+        self._q[i], self._q[-1] = self._q[-1], self._q[i]
+        return self._q.pop()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+#: strategy names accepted anywhere a search is configured
+STRATEGIES = ("bfs", "dfs", "random-walk")
+
+
+def make_frontier(strategy: Union[str, Frontier], seed: int = 0) -> Frontier:
+    """Resolve a strategy name (or pass a ready frontier through)."""
+    if isinstance(strategy, Frontier):
+        return strategy
+    if strategy == "bfs":
+        return BFSFrontier()
+    if strategy == "dfs":
+        return DFSFrontier()
+    if strategy == "random-walk":
+        return RandomWalkFrontier(seed)
+    raise ValueError(f"unknown search strategy {strategy!r} (known: {', '.join(STRATEGIES)})")
+
+
+@dataclass
+class SearchOutcome:
+    """Raw result of a :meth:`SearchEngine.run` leg.
+
+    ``status`` is ``"violation"`` (``violating`` holds the interned ID
+    of the rejecting state), ``"stopped"`` (a cooperative budget stop;
+    the engine stays resumable) or ``"done"`` (space exhausted or cap
+    truncation drained the frontier).
+    """
+
+    status: str
+    violating: Optional[int]
+    stats: ExplorationStats
+    non_quiescible: int = 0
+
+
+class SearchEngine:
+    """Resumable explicit-state search over a :class:`System`.
+
+    Construct, then call :meth:`run` — repeatedly, if a ``should_stop``
+    hook halts it.  Between calls the engine holds the frontier, the
+    interned-state store and the successor map, so it can be pickled to
+    disk and resumed in another process.
+
+    ``strict_cap`` selects the state-cap discipline: ``True`` stops
+    *before* admitting a state past the cap (plain reachability's
+    historical contract, the count never exceeds the cap); ``False``
+    finishes the node being expanded and then drains (the product
+    search's historical contract — a small overshoot, but every
+    admitted state is fully checked).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        *,
+        strategy: Union[str, Frontier] = "bfs",
+        seed: int = 0,
+        max_states: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        strict_cap: bool = False,
+        track_successors: bool = True,
+        check_quiescence_reachability: bool = True,
+        on_state: Optional[Callable[[object, int], None]] = None,
+        stats: Optional[ExplorationStats] = None,
+    ):
+        self.system = system
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.check_quiescence_reachability = check_quiescence_reachability
+        self._strict_cap = strict_cap
+        self._on_state = on_state
+        self.stats = stats if stats is not None else ExplorationStats()
+        self.store = StateStore()
+        self.frontier = make_frontier(strategy, seed)
+        self._succs: Optional[Dict[int, List[int]]] = {} if track_successors else None
+        self._quiescent: Set[int] = set()
+        #: set once a state/depth cap is hit (as opposed to a budget stop)
+        self._cap_truncated = False
+        self._final: Optional[SearchOutcome] = None
+
+        init = system.initial()
+        sid, _ = self.store.intern(system.key(init))
+        self.frontier.push((init, sid, 0))
+        self.stats.states = 1
+        self.stats.interned_states = len(self.store)
+        if self.stats.peak_frontier < 1:
+            self.stats.peak_frontier = 1
+        if on_state is not None:
+            on_state(init, 0)
+        end = system.end_check(init)
+        if end is not None:
+            self.stats.quiescent_states += 1
+            self._quiescent.add(sid)
+            if not end:
+                self._final = SearchOutcome("violation", sid, self.stats)
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """The search reached a final outcome (no further ``run``
+        changes it)."""
+        return self._final is not None
+
+    def run(self, should_stop: Optional[StopHook] = None) -> SearchOutcome:
+        """Continue until a final outcome or a cooperative stop."""
+        if self._final is not None:
+            return self._final
+        stats = self.stats
+        # a resumed search sheds the previous budget stop; cap
+        # truncation is permanent (dropped frontier entries)
+        stats.stop_reason = None
+        stats.truncated = self._cap_truncated
+        max_states, max_depth = self.max_states, self.max_depth
+        system, store, frontier = self.system, self.store, self.frontier
+        succs = self._succs
+        strict_cap = self._strict_cap
+        on_state = self._on_state
+
+        while frontier:
+            if self._cap_truncated and max_states is not None and stats.states >= max_states:
+                break  # cap reached: stop expanding entirely
+            if should_stop is not None:
+                reason = should_stop(stats)
+                if reason is not None:
+                    stats.truncated = True
+                    stats.stop_reason = reason
+                    return SearchOutcome("stopped", None, stats)
+            state, sid, depth = frontier.pop()
+            if depth > stats.max_depth:
+                stats.max_depth = depth
+            if max_depth is not None and depth >= max_depth:
+                stats.truncated = True
+                self._cap_truncated = True
+                continue
+            kids = succs.setdefault(sid, []) if succs is not None else None
+            for step in system.steps(state):
+                stats.transitions += 1
+                system.record(stats, step.state)
+                cid, new = store.intern(step.key)
+                if kids is not None:
+                    kids.append(cid)
+                if not new:
+                    # a revisit: identical state, so its checks (eager
+                    # and end alike) happened on first encounter
+                    continue
+                if strict_cap and max_states is not None and stats.states >= max_states:
+                    stats.truncated = True
+                    self._cap_truncated = True
+                    self._final = SearchOutcome("done", None, stats)
+                    return self._final
+                store.set_parent(cid, sid, step.action)
+                stats.states += 1
+                stats.interned_states = len(store)
+                if on_state is not None:
+                    on_state(step.state, depth + 1)
+                if not step.ok:
+                    self._final = SearchOutcome("violation", cid, stats)
+                    return self._final
+                end = system.end_check(step.state)
+                if end is not None:
+                    stats.quiescent_states += 1
+                    self._quiescent.add(cid)
+                    if not end:
+                        self._final = SearchOutcome("violation", cid, stats)
+                        return self._final
+                if not strict_cap and max_states is not None and stats.states >= max_states:
+                    stats.truncated = True
+                    self._cap_truncated = True
+                    continue
+                frontier.push((step.state, cid, depth + 1))
+                if len(frontier) > stats.peak_frontier:
+                    stats.peak_frontier = len(frontier)
+
+        # quiescence reachability: every explored state must be able to
+        # reach a quiescent one, otherwise some prefixes were never
+        # end-checked and the verdict would be unsound
+        non_quiescible = 0
+        if self.check_quiescence_reachability and succs is not None and not stats.truncated:
+            reach: Set[int] = set(self._quiescent)
+            # backward closure over explored edges
+            preds: Dict[int, List[int]] = {}
+            for u, vs in succs.items():
+                for v in vs:
+                    preds.setdefault(v, []).append(u)
+            todo = list(reach)
+            while todo:
+                v = todo.pop()
+                for u in preds.get(v, ()):
+                    if u not in reach:
+                        reach.add(u)
+                        todo.append(u)
+            non_quiescible = len(store) - len(reach)
+
+        self._final = SearchOutcome("done", None, stats, non_quiescible)
+        return self._final

@@ -19,13 +19,19 @@ emission — and asserts:
 Budgets from :mod:`repro.harness` bound each pair's search; a pair
 whose expectation could not be confirmed within the budget is reported
 as unmet rather than silently skipped.
+
+Each pair's search goes through :func:`~repro.core.verify.verify_protocol`
+— an adapter over the unified :mod:`repro.engine` — so a
+:class:`~repro.faults.wrapper.FaultyProtocol` rides the same
+``Component``/``SearchEngine`` stack as every other protocol; this
+module composes no search machinery of its own.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.verify import VerificationResult, verify_protocol
 from ..util import format_table

@@ -34,7 +34,7 @@ breaks the witness property and must be rejected.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from ..core.operations import InternalAction

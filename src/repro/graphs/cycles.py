@@ -67,8 +67,25 @@ def would_close_cycle(g: Digraph, u: Hashable, v: Hashable) -> bool:
 
     Equivalent to: is there already a path ``v ->* u``?  Used by the
     incremental cycle checker, where the graph is small (bounded by the
-    bandwidth bound), so a plain DFS per insertion is the right tool.
+    bandwidth bound), so a DFS per insertion is the right tool — one
+    that stops the moment it reaches ``u``, rather than computing the
+    full reachable set.
     """
     if u == v:
         return True
-    return g.has_path(v, u)
+    succ = g._succ
+    stack = list(succ.get(v, ()))
+    if not stack:
+        return False
+    seen = set()
+    while stack:
+        w = stack.pop()
+        if w == u:
+            return True
+        if w in seen:
+            continue
+        seen.add(w)
+        nxt = succ.get(w)
+        if nxt:
+            stack.extend(nxt)
+    return False

@@ -1,10 +1,10 @@
 """Checkpoint/resume for budget-truncated product explorations.
 
 A :class:`Checkpoint` snapshots a paused
-:class:`~repro.modelcheck.product.ProductSearch` — BFS frontier,
-seen-set, parent links, observers, checkers — so a run that hit its
-budget can resume later with a larger one instead of restarting from
-the initial state.  The snapshot is a pickle: everything in the search
+:class:`~repro.modelcheck.product.ProductSearch` — the engine's
+frontier, interned-state store, parent-pointer array, observers,
+checkers — so a run that hit its budget can resume later with a larger
+one instead of restarting from the initial state.  The snapshot is a pickle: everything in the search
 is plain data, with one known exception — ST-order generator factories
 that capture lambdas (``lazy``, ``storebuffer``/``fenced-sb``) cannot
 be pickled, and :meth:`Checkpoint.save` reports that clearly instead
@@ -20,15 +20,24 @@ from __future__ import annotations
 
 import os
 import pickle
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..modelcheck.product import ProductSearch
 
 __all__ = ["Checkpoint", "CheckpointError"]
 
 #: bump when the pickled layout changes incompatibly
-CHECKPOINT_VERSION = 1
+#:
+#: version history:
+#:
+#: * 1 — pre-engine layout: the search pickled a BFS deque of joint
+#:   states, a seen-set of joint keys and a key→(parent, action) dict
+#: * 2 — unified-engine layout: the search pickles a
+#:   :class:`~repro.engine.SearchEngine` (interned
+#:   :class:`~repro.engine.intern.StateStore`, frontier object,
+#:   successor map over dense int IDs); version-1 files cannot be
+#:   resumed and are rejected loudly
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(RuntimeError):

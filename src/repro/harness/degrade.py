@@ -18,6 +18,12 @@ lies: a full proof keeps ``confidence="proof"``, any concrete
 violation (from whichever stage) is ``"refuted"`` with a
 counterexample attached, and a budget-starved run reports the trail of
 evidence actually gathered, e.g. ``"bounded(depth≤6)+litmus(2)+fuzz(180)"``.
+
+Every rung rides the unified engine: stages 1–2 are
+:class:`~repro.modelcheck.product.ProductSearch` runs (a
+:class:`~repro.engine.SearchEngine` over the composed product), stage
+3 the litmus adapter, and stage 4 per-run checking of engine-free
+random walks — this module owns only the ladder policy.
 """
 
 from __future__ import annotations

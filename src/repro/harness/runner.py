@@ -32,17 +32,23 @@ def run_verification(
     budget: Optional[Budget] = None,
     checkpoint_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    strategy: str = "bfs",
+    seed: int = 0,
 ) -> VerificationResult:
     """Model-check ``protocol`` under a budget, checkpointing on
     truncation.
 
     Exactly one of ``protocol`` or ``resume_from`` must be given: with
-    ``resume_from``, the search (protocol, generator, mode and caps
-    included) is restored from the checkpoint file and continued under
-    the new budget.  When the budget stops the search and
-    ``checkpoint_path`` is set, the paused search is written there
-    (atomically; resuming and re-truncating overwrites it, so a single
-    path ratchets through arbitrarily many budget increments).
+    ``resume_from``, the search (protocol, generator, mode, caps and
+    frontier strategy included) is restored from the checkpoint file
+    and continued under the new budget.  When the budget stops the
+    search and ``checkpoint_path`` is set, the paused search is written
+    there (atomically; resuming and re-truncating overwrites it, so a
+    single path ratchets through arbitrarily many budget increments).
+
+    ``strategy``/``seed`` pick the frontier policy (see
+    :mod:`repro.engine.strategy`); BFS is the default and the only one
+    that yields shortest counterexamples.
     """
     if resume_from is not None:
         if protocol is not None:
@@ -59,6 +65,8 @@ def run_verification(
             mode=mode,
             max_states=max_states,
             max_depth=max_depth,
+            strategy=strategy,
+            seed=seed,
         )
         spent = 0.0
 

@@ -24,7 +24,7 @@ machinery applies unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from .programs import Ld, LitmusProgram, St
 

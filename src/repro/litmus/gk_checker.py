@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.operations import Run, Trace, trace_of_run
 from ..core.protocol import Protocol, random_run

@@ -14,7 +14,7 @@ Block and register naming: blocks are 1-based ints (use the ``x``/
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 __all__ = [
     "St",

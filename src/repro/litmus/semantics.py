@@ -20,7 +20,7 @@ All are exhaustive searches with memoisation; litmus programs are tiny.
 from __future__ import annotations
 
 from itertools import product as iproduct
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from .programs import Ld, LitmusProgram, Outcome, St
 

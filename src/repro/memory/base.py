@@ -13,7 +13,7 @@ Location-numbering convention used by every protocol in this package:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Tuple
 
 from ..core.operations import Load, Store
 from ..core.protocol import Protocol, Tracking, Transition

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
 
-from ..core.operations import BOTTOM, InternalAction, LD, ST
+from ..core.operations import InternalAction, ST
 from ..core.protocol import Tracking, Transition
 from .base import LocationMap, MemoryProtocol
 

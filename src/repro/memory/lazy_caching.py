@@ -38,7 +38,7 @@ tracking labels.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Tuple
 
 from ..core.operations import BOTTOM, InternalAction
 from ..core.protocol import FRESH, Tracking, Transition

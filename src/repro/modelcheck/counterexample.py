@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Tuple
 
-from ..core.operations import Action, Operation, Run, Trace, format_trace, trace_of_run
+from ..core.operations import Run, Trace, format_trace, trace_of_run
 from ..core.descriptor import Symbol, format_descriptor
 
 __all__ = ["Counterexample"]

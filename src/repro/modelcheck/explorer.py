@@ -4,14 +4,20 @@ Used on its own for the state-explosion benchmarks (how many states
 does MSI have at (p, b, v)?) and as the skeleton the product explorer
 follows.  Breadth-first, so ``max_depth`` means "all runs of at most
 that many actions".
+
+A thin adapter since the unified-engine refactor: the search is a
+:class:`~repro.engine.SearchEngine` over a
+:class:`~repro.engine.ProtocolSystem`, with the strict cap discipline
+this function has always had (the cap is checked *before* admitting a
+state, so ``stats.states`` never exceeds ``max_states``).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, List, Optional
 
 from ..core.protocol import Protocol
+from ..engine import ProtocolSystem, SearchEngine
 from .stats import ExplorationStats
 
 __all__ = ["explore", "reachable_states", "count_actions"]
@@ -33,38 +39,17 @@ def explore(
     a reason string halts the search cooperatively, marking the result
     truncated with that ``stop_reason`` (budgeted exploration).
     """
-    stats = ExplorationStats()
-    init = protocol.initial_state()
-    seen: Set[Hashable] = {init}
-    queue: deque = deque([(init, 0)])
-    stats.states = 1
-    if on_state:
-        on_state(init, 0)
-    while queue:
-        if should_stop is not None:
-            reason = should_stop(stats)
-            if reason is not None:
-                stats.truncated = True
-                stats.stop_reason = reason
-                return stats
-        state, depth = queue.popleft()
-        stats.max_depth = max(stats.max_depth, depth)
-        if max_depth is not None and depth >= max_depth:
-            stats.truncated = True
-            continue
-        for t in protocol.transitions(state):
-            stats.transitions += 1
-            if t.state in seen:
-                continue
-            if max_states is not None and stats.states >= max_states:
-                stats.truncated = True
-                return stats
-            seen.add(t.state)
-            stats.states += 1
-            if on_state:
-                on_state(t.state, depth + 1)
-            queue.append((t.state, depth + 1))
-    return stats
+    engine = SearchEngine(
+        ProtocolSystem(protocol),
+        max_states=max_states,
+        max_depth=max_depth,
+        strict_cap=True,
+        track_successors=False,
+        check_quiescence_reachability=False,
+        on_state=on_state,
+    )
+    engine.run(should_stop)
+    return engine.stats
 
 
 def reachable_states(

@@ -1,7 +1,7 @@
 """Product exploration: protocol × observer × checker.
 
-This is the model-checking step of Figure 2: breadth-first search over
-joint states ``(protocol state, observer state, checker state)``.  The
+This is the model-checking step of Figure 2: a search over joint
+states ``(protocol state, observer state, checker state)``.  The
 observer emits descriptor symbols for each protocol transition; the
 checker consumes them.  The search reports the first reachable
 violation — either an eager safety rejection (a cycle, a malformed
@@ -16,34 +16,34 @@ reordering for every prefix trace.  For this to cover all behaviour,
 quiescence must be reachable from every state — which
 :func:`explore_product` verifies on the explored graph.
 
-The search itself lives in :class:`ProductSearch`, a resumable object:
-a cooperative ``should_stop`` hook (see :mod:`repro.harness.budget`)
-can halt it mid-frontier with the queue intact, the whole search state
-can be pickled (:mod:`repro.harness.checkpoint`), and a later
-:meth:`ProductSearch.run` continues exactly where it stopped.
-:func:`explore_product` remains the one-shot functional entry point.
+Since the unified-engine refactor this module is a thin adapter: the
+composition lives in :class:`repro.engine.ComposedSystem`, and the
+search itself — interned state store, frontier strategy, caps, the
+cooperative ``should_stop`` hook, checkpointable pause state — in
+:class:`repro.engine.SearchEngine`.  :class:`ProductSearch` keeps its
+historical surface: a resumable object whose ``run`` can be halted by
+a budget hook (:mod:`repro.harness.budget`) mid-frontier, pickled
+(:mod:`repro.harness.checkpoint`) and continued exactly where it
+stopped.  :func:`explore_product` remains the one-shot functional
+entry point.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.checker import Checker
-from ..core.cycle_checker import CycleChecker
 from ..core.observer import Observer
 from ..core.operations import Action
 from ..core.protocol import Protocol
 from ..core.storder import STOrderGenerator
+from ..engine import ComposedSystem, SearchEngine
+from ..engine.strategy import StopHook
 from .counterexample import Counterexample
 from .stats import ExplorationStats
 
 __all__ = ["ProductResult", "ProductSearch", "explore_product"]
-
-#: cooperative stop hook: maps current stats to a reason string (halt)
-#: or None (keep going)
-StopHook = Callable[[ExplorationStats], Optional[str]]
 
 
 @dataclass
@@ -97,17 +97,21 @@ def _replay(
 
 
 class ProductSearch:
-    """Resumable BFS over the verification product.
+    """Resumable search over the verification product.
 
     Construct, then call :meth:`run` — repeatedly, if a ``should_stop``
-    hook halts it.  Between calls the object holds the full frontier,
-    seen-set and parent links, so it can be pickled to disk and resumed
-    in another process (all state is plain data; only protocols whose
-    ST-order generator captures a lambda resist pickling).
+    hook halts it.  Between calls the underlying engine holds the full
+    frontier, interned-state store and parent pointers, so it can be
+    pickled to disk and resumed in another process (all state is plain
+    data; only protocols whose ST-order generator captures a lambda
+    resist pickling).
 
     ``st_order`` is a *template* generator — it is copied for the
     initial observer (``None`` = real-time ST order).  Caps make the
     result a bounded (testing-grade) verdict rather than a proof.
+    ``strategy`` picks the frontier policy (``"bfs"`` — the default,
+    and the only one that yields shortest counterexamples — ``"dfs"``
+    or ``"random-walk"``; see :mod:`repro.engine.strategy`).
 
     ``mode`` selects the checking depth:
 
@@ -136,9 +140,9 @@ class ProductSearch:
         canonical_ids: bool = True,
         eager_free: bool = True,
         unpin_heads: bool = True,
+        strategy: str = "bfs",
+        seed: int = 0,
     ):
-        if mode not in ("full", "fast"):
-            raise ValueError(f"unknown mode {mode!r}")
         self.protocol = protocol
         self.st_order = st_order
         self.mode = mode
@@ -146,73 +150,37 @@ class ProductSearch:
         self.max_depth = max_depth
         self.check_quiescence_reachability = check_quiescence_reachability
         self.canonical_ids = canonical_ids
-
-        fast = mode == "fast"
-        self._fast = fast
-        self.stats = ExplorationStats()
-        observer0 = Observer(
+        self.system = ComposedSystem(
             protocol,
-            st_order.copy() if st_order is not None else None,
-            self_check=fast,
+            st_order,
+            mode=mode,
+            canonical_ids=canonical_ids,
             eager_free=eager_free,
             unpin_heads=unpin_heads,
         )
-        checker0 = CycleChecker() if fast else Checker()
-        init_pstate = protocol.initial_state()
-
-        init_key = self._joint_key(init_pstate, observer0, checker0)
-        self._seen: Set[Tuple] = {init_key}
-        self._parents: Dict[Tuple, Tuple[Optional[Tuple], Optional[Action]]] = {
-            init_key: (None, None)
-        }
-        self._succs: Dict[Tuple, List[Tuple]] = {}
-        self._quiescent_keys: Set[Tuple] = set()
-        self._queue: deque = deque([(init_pstate, observer0, checker0, init_key, 0)])
-        self.stats.states = 1
-        #: set once a state/depth cap is hit (as opposed to a budget stop)
-        self._cap_truncated = False
-        #: the final (violation or exhaustive) result, if reached
-        self._final: Optional[ProductResult] = None
-
-        if not self._end_check(init_pstate, checker0, init_key):
-            self._final = ProductResult(False, self._build_cx(init_key), self.stats)
-
-    # ------------------------------------------------------------------
-    def _joint_key(self, pstate, obs: Observer, chk) -> Tuple:
-        canon = obs.canonical_renaming() if self.canonical_ids else None
-        return (pstate, obs.state_key(canon), chk.state_key(canon))
-
-    def _end_check(self, pstate, chk, key) -> bool:
-        """True if OK (or not applicable)."""
-        if not self.protocol.is_quiescent(pstate):
-            return True
-        self.stats.quiescent_states += 1
-        self._quiescent_keys.add(key)
-        if self._fast:
-            # structural end conditions hold by observer construction;
-            # acyclicity is checked eagerly on every symbol
-            return True
-        return chk.accepts_at_end()
-
-    def _build_cx(self, key) -> Counterexample:
-        actions: List[Action] = []
-        k = key
-        while True:
-            parent, action = self._parents[k]
-            if parent is None:
-                break
-            actions.append(action)  # type: ignore[arg-type]
-            k = parent
-        actions.reverse()
-        symbols, reason = _replay(self.protocol, self.st_order, actions)
-        return Counterexample(tuple(actions), symbols, reason)
+        self.engine = SearchEngine(
+            self.system,
+            strategy=strategy,
+            seed=seed,
+            max_states=max_states,
+            max_depth=max_depth,
+            strict_cap=False,
+            track_successors=True,
+            check_quiescence_reachability=check_quiescence_reachability,
+        )
+        self.stats = self.engine.stats
 
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
         """The search reached a final verdict (no further ``run``
         changes it)."""
-        return self._final is not None
+        return self.engine.done
+
+    def _build_cx(self, sid: int) -> Counterexample:
+        actions = self.engine.store.path_to(sid)
+        symbols, reason = _replay(self.protocol, self.st_order, actions)
+        return Counterexample(tuple(actions), symbols, reason)
 
     def run(self, should_stop: Optional[StopHook] = None) -> ProductResult:
         """Continue the search until a verdict or a cooperative stop.
@@ -223,92 +191,15 @@ class ProductSearch:
         ``ok`` so far, ``stats.truncated`` with ``stats.stop_reason``
         set — and the search stays resumable.
         """
-        if self._final is not None:
-            return self._final
-        stats = self.stats
-        # a resumed search sheds the previous budget stop; cap
-        # truncation is permanent (dropped frontier entries)
-        stats.stop_reason = None
-        stats.truncated = self._cap_truncated
-        max_states, max_depth = self.max_states, self.max_depth
-        protocol = self.protocol
-        queue = self._queue
-        seen, parents, succs = self._seen, self._parents, self._succs
-
-        while queue:
-            if self._cap_truncated and max_states is not None and stats.states >= max_states:
-                break  # cap reached: stop expanding entirely
-            if should_stop is not None:
-                reason = should_stop(stats)
-                if reason is not None:
-                    stats.truncated = True
-                    stats.stop_reason = reason
-                    return ProductResult(True, None, stats)
-            pstate, obs, chk, key, depth = queue.popleft()
-            stats.max_depth = max(stats.max_depth, depth)
-            if max_depth is not None and depth >= max_depth:
-                stats.truncated = True
-                self._cap_truncated = True
-                continue
-            kids = succs.setdefault(key, [])
-            for t in protocol.transitions(pstate):
-                stats.transitions += 1
-                obs2 = obs.fork()
-                symbols = obs2.on_transition(t)
-                if symbols:
-                    chk2 = chk.fork()
-                    ok = chk2.feed_all(symbols) and obs2.violation is None
-                else:
-                    # nothing emitted: the checker state is unchanged, so the
-                    # parent's (accepted) checker can be shared — it is only
-                    # ever mutated immediately after a fork
-                    chk2 = chk
-                    ok = obs2.violation is None
-                stats.max_live_nodes = max(stats.max_live_nodes, obs2.max_live)
-                stats.max_descriptor_ids = max(stats.max_descriptor_ids, obs2.max_ids_allocated)
-                key2 = self._joint_key(t.state, obs2, chk2)
-                kids.append(key2)
-                if key2 in seen:
-                    # a revisit: identical joint state, so its checks (eager
-                    # and end-of-string alike) happened on first encounter
-                    continue
-                seen.add(key2)
-                parents[key2] = (key, t.action)
-                stats.states += 1
-                if not ok:
-                    self._final = ProductResult(False, self._build_cx(key2), stats)
-                    return self._final
-                if not self._end_check(t.state, chk2, key2):
-                    self._final = ProductResult(False, self._build_cx(key2), stats)
-                    return self._final
-                if max_states is not None and stats.states >= max_states:
-                    stats.truncated = True
-                    self._cap_truncated = True
-                    continue
-                queue.append((t.state, obs2, chk2, key2, depth + 1))
-
-        # quiescence reachability: every explored state must be able to
-        # reach a quiescent one, otherwise some prefixes were never
-        # end-checked and the verdict would be unsound
-        non_quiescible = 0
-        if self.check_quiescence_reachability and not stats.truncated:
-            reach: Set[Tuple] = set(self._quiescent_keys)
-            # backward closure over explored edges
-            preds: Dict[Tuple, List[Tuple]] = {}
-            for u, vs in succs.items():
-                for v in vs:
-                    preds.setdefault(v, []).append(u)
-            frontier = list(reach)
-            while frontier:
-                v = frontier.pop()
-                for u in preds.get(v, ()):
-                    if u not in reach:
-                        reach.add(u)
-                        frontier.append(u)
-            non_quiescible = len(seen - reach)
-
-        self._final = ProductResult(non_quiescible == 0, None, stats, non_quiescible)
-        return self._final
+        out = self.engine.run(should_stop)
+        if out.status == "violation":
+            assert out.violating is not None
+            return ProductResult(False, self._build_cx(out.violating), out.stats)
+        if out.status == "stopped":
+            return ProductResult(True, None, out.stats)
+        return ProductResult(
+            out.non_quiescible == 0, None, out.stats, out.non_quiescible
+        )
 
 
 def explore_product(
@@ -322,6 +213,8 @@ def explore_product(
     canonical_ids: bool = True,
     eager_free: bool = True,
     unpin_heads: bool = True,
+    strategy: str = "bfs",
+    seed: int = 0,
     should_stop: Optional[StopHook] = None,
 ) -> ProductResult:
     """Run the verification search in one shot (see
@@ -336,5 +229,7 @@ def explore_product(
         canonical_ids=canonical_ids,
         eager_free=eager_free,
         unpin_heads=unpin_heads,
+        strategy=strategy,
+        seed=seed,
     )
     return search.run(should_stop)

@@ -1,36 +1,10 @@
-"""Exploration statistics shared by the explorers."""
+"""Exploration statistics (re-export).
 
-from __future__ import annotations
+The stats object now lives with the engine
+(:mod:`repro.engine.stats`) so the engine has no dependency back into
+this package; this module keeps the historical import path working.
+"""
 
-from dataclasses import dataclass, field
-from typing import Optional
+from ..engine.stats import ExplorationStats
 
 __all__ = ["ExplorationStats"]
-
-
-@dataclass
-class ExplorationStats:
-    """Counters filled in by a reachability / product exploration."""
-
-    states: int = 0  #: distinct states found
-    transitions: int = 0  #: transitions expanded
-    max_depth: int = 0  #: deepest BFS layer reached
-    truncated: bool = False  #: hit a cap or budget before exhausting
-    quiescent_states: int = 0  #: states where the end-check was evaluated
-    max_live_nodes: int = 0  #: observer active-graph high-water mark
-    max_descriptor_ids: int = 0  #: IDs the observer ever allocated
-    #: why a cooperative ``should_stop`` hook halted the search (None
-    #: for cap truncation and for exhaustive runs)
-    stop_reason: Optional[str] = None
-
-    def as_dict(self) -> dict:
-        return {
-            "states": self.states,
-            "transitions": self.transitions,
-            "max_depth": self.max_depth,
-            "truncated": self.truncated,
-            "quiescent_states": self.quiescent_states,
-            "max_live_nodes": self.max_live_nodes,
-            "max_descriptor_ids": self.max_descriptor_ids,
-            "stop_reason": self.stop_reason,
-        }

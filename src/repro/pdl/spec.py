@@ -31,7 +31,7 @@ hand-written :class:`~repro.memory.msi.MSIProtocol`.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.operations import BOTTOM, InternalAction, Load, Store

@@ -31,9 +31,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
 
-from ..core.operations import BOTTOM, Load, Operation, Store
+from ..core.operations import BOTTOM, Load, Operation
 from ..core.protocol import Protocol
 
 __all__ = ["BoundedReorderingResult", "verify_bounded_reordering", "minimum_k"]

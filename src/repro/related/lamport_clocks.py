@@ -23,16 +23,16 @@ contrast is measurable:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.constraint_graph import ConstraintGraph, EdgeKind
 from ..core.descriptor import decode
 from ..core.observer import Observer
-from ..core.operations import Action, Load, Operation, Store
+from ..core.operations import Action
 from ..core.protocol import Protocol
 from ..core.storder import STOrderGenerator
-from ..graphs import CycleError, Digraph, topological_sort
+from ..graphs import CycleError, topological_sort
 
 __all__ = ["ClockAssignment", "assign_clocks", "ClockChecker", "check_run_with_clocks"]
 

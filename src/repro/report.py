@@ -15,11 +15,9 @@ in ``benchmarks/``.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
 
 from . import __version__
 from .core.bounds import bounds_for
-from .core.serial import find_serial_reordering
 from .core.tracking import STIndexTracker
 from .core.verify import verify_protocol
 from .litmus import FIGURE1, outcomes_relaxed, outcomes_sc, outcomes_serial_realtime, outcomes_tso

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from .core.constraint_graph import EdgeKind
-from .core.descriptor import AddIdSym, EdgeSym, FreeIdSym, NodeSym, Symbol
-from .core.operations import LD, ST, Operation, Trace, trace_of_run
+from .core.descriptor import EdgeSym, Symbol
+from .core.operations import LD, ST, Operation, Trace
 from .core.protocol import Protocol, enumerate_runs, random_run
 from .core.serial import is_sequentially_consistent_trace
 from .core.storder import STOrderGenerator
@@ -147,7 +147,6 @@ def validate_protocol(
     report = ValidationReport(protocol=protocol.describe())
 
     # 1. tracking labels well-formed over a reachable sample
-    from .core.operations import InternalAction, Store
     from .modelcheck import explore
 
     def visit(state, _depth):

@@ -17,7 +17,7 @@ Conventions:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from .core.constraint_graph import ConstraintGraph, EdgeKind
 from .core.descriptor import Symbol, decode

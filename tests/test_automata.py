@@ -8,11 +8,10 @@ from repro.automata import (
     dfa_from_table,
     equivalent,
     included_in,
-    protocol_nfa,
     trace_dfa,
     traces_equivalent,
 )
-from repro.core.operations import LD, ST, Load, Operation, Store
+from repro.core.operations import LD, ST
 from repro.memory import SerialMemory
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.bounds import (
-    ObserverBounds,
     bandwidth_bound,
     bounds_for,
     implementation_bandwidth_bound,

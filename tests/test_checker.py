@@ -6,8 +6,6 @@ checkers) must agree with the offline pair ``validate()`` /
 ``is_acyclic()``.
 """
 
-import random
-from itertools import permutations
 
 from hypothesis import given, settings
 

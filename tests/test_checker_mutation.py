@@ -17,14 +17,7 @@ import pytest
 
 from repro.core.checker import Checker
 from repro.core.constraint_graph import ConstraintGraph, EdgeKind
-from repro.core.descriptor import (
-    AddIdSym,
-    DescriptorError,
-    EdgeSym,
-    FreeIdSym,
-    NodeSym,
-    decode,
-)
+from repro.core.descriptor import DescriptorError, EdgeSym, NodeSym, decode
 from repro.core.observer import Observer
 from repro.core.operations import LD, ST
 from repro.core.protocol import random_run

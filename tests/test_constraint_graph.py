@@ -1,6 +1,5 @@
 """Constraint graphs and Lemma 3.1 (Section 3.1)."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

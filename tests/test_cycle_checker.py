@@ -14,7 +14,7 @@ from repro.core.descriptor import (
     decode,
     encode_graph,
 )
-from repro.graphs import Digraph, has_cycle
+from repro.graphs import has_cycle
 
 from .conftest import digraph_strategy
 

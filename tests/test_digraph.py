@@ -1,6 +1,5 @@
 """Unit tests for the Digraph container."""
 
-import pytest
 from hypothesis import given
 
 from repro.graphs import Digraph

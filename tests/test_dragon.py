@@ -1,6 +1,5 @@
 """The Dragon write-update protocol."""
 
-import pytest
 
 from repro.core.operations import LD, ST, InternalAction
 from repro.core.protocol import enumerate_runs
@@ -8,7 +7,7 @@ from repro.core.serial import is_sequentially_consistent_trace
 from repro.core.verify import check_run, verify_protocol
 from repro.litmus import SB, outcomes_on_protocol, outcomes_sc
 from repro.memory import DragonProtocol
-from repro.memory.dragon import E, I, M, SC_, SM, _OWNER_STATES
+from repro.memory.dragon import I, M, SM, _OWNER_STATES
 from repro.modelcheck import explore
 
 

@@ -13,7 +13,6 @@ from repro.core.protocol import FRESH
 from repro.core.verify import verify_protocol
 from repro.faults import (
     EXPECT_REJECT,
-    EXPECT_SC,
     FAULT_KINDS,
     FaultInapplicable,
     FaultSpec,

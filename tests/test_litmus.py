@@ -11,9 +11,6 @@ from repro.litmus import (
     LB,
     MP,
     SB,
-    LitmusProgram,
-    Ld,
-    St,
     classify_outcomes,
     outcomes_on_protocol,
     outcomes_relaxed,

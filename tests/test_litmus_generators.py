@@ -11,7 +11,7 @@ from repro.litmus import (
     outcomes_tso,
     sb_chain,
 )
-from repro.litmus.programs import SB, MP, CORR, IRIW
+from repro.litmus.programs import SB
 from repro.memory import MSIProtocol
 
 

@@ -1,7 +1,6 @@
 """The extended protocol zoo: MOESI, write-through/write-update, and
 the fenced store buffer."""
 
-import pytest
 
 from repro.core.operations import LD, ST, InternalAction, trace_of_run
 from repro.core.protocol import enumerate_runs
@@ -132,7 +131,7 @@ def test_write_through_st_fanout_inheritance_generator(rng):
     """The Lemma 4.1 generator handles ST-with-copies: the new node's
     ID-set covers the fanned-out locations (add-ID from the store's
     own location)."""
-    from repro.core.descriptor import AddIdSym, decode
+    from repro.core.descriptor import decode
     from repro.core.tracking import InheritanceGenerator, STIndexTracker
 
     proto = WriteThroughProtocol(p=2, b=2, v=2)

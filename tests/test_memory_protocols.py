@@ -4,7 +4,7 @@ labels, and ground-truth SC classification of exhaustive short traces
 
 import pytest
 
-from repro.core.operations import BOTTOM, InternalAction, Load, Operation, Store
+from repro.core.operations import InternalAction, Load, Operation, Store
 from repro.core.protocol import enumerate_runs
 from repro.core.serial import is_sequentially_consistent_trace
 from repro.memory import (
@@ -222,7 +222,6 @@ def test_may_load_bottom_is_monotone_along_runs(rng):
     must stay true on every extension (sampled)."""
     import random
 
-    from repro.core.protocol import random_run
 
     for proto in [
         SerialMemory(p=2, b=2, v=2),

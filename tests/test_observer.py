@@ -13,9 +13,9 @@ import pytest
 
 from repro.core.checker import Checker
 from repro.core.constraint_graph import ConstraintGraph, EdgeKind
-from repro.core.descriptor import EdgeSym, NodeSym, decode
+from repro.core.descriptor import decode
 from repro.core.observer import Observer
-from repro.core.operations import LD, ST, Operation, trace_of_run
+from repro.core.operations import LD, ST
 from repro.core.bounds import implementation_bandwidth_bound
 from repro.core.protocol import random_run
 from repro.memory import (

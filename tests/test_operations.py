@@ -7,8 +7,6 @@ from repro.core.operations import (
     LD,
     ST,
     InternalAction,
-    Load,
-    Store,
     format_trace,
     ld_set,
     ops_of_processor,

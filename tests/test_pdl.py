@@ -4,7 +4,7 @@ labels (§4.1's automation claim)."""
 import pytest
 
 from repro.automata import traces_equivalent
-from repro.core.operations import LD, ST, InternalAction, Load, Store
+from repro.core.operations import LD, ST, InternalAction
 from repro.core.protocol import enumerate_runs
 from repro.core.serial import is_sequentially_consistent_trace
 from repro.core.verify import check_run, verify_protocol

@@ -23,7 +23,7 @@ from repro.core.serial import find_serial_reordering, is_serial_reordering
 from repro.core.verify import check_run
 from repro.graphs import has_cycle, node_bandwidth
 from repro.litmus import check_trace_bruteforce, check_trace_store_orders
-from repro.memory import MSIProtocol, SerialMemory
+from repro.memory import MSIProtocol
 
 from .conftest import dag_strategy, digraph_strategy, ops_strategy
 

@@ -1,10 +1,9 @@
 """Core protocol utilities: run replay, enumeration, random walks."""
 
-import random
 
 import pytest
 
-from repro.core.operations import LD, ST, InternalAction, trace_of_run
+from repro.core.operations import LD, ST
 from repro.core.protocol import FRESH, Tracking, enumerate_runs, random_run
 from repro.memory import LazyCachingProtocol, SerialMemory, StoreBufferProtocol
 

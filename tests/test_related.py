@@ -1,7 +1,6 @@
 """The related-methods package: Lamport clocks, TMC, and bounded
 reordering — each reproducing one Section 1.1 comparison."""
 
-import random
 
 import pytest
 
@@ -17,7 +16,6 @@ from repro.memory import (
     store_buffer_st_order,
 )
 from repro.related import (
-    ALL_TESTS,
     CausalWriteTest,
     CoherenceTest,
     ReadYourWritesTest,

@@ -1,0 +1,118 @@
+"""Counterexample replay determinism (ISSUE satellite).
+
+A budget-interrupted search that is later resumed must reach exactly
+the same verdict as the uninterrupted run — same state count, same
+counterexample run, same replayed symbol stream.  Two protocols cover
+both verdict polarities:
+
+* **MSI** (sequentially consistent) through the full file
+  checkpoint/resume path of :func:`run_verification`;
+* **TSO store buffer** (a real SC violation) through in-place
+  stop/resume of a single :class:`ProductSearch` — its ST-order
+  generator captures a closure and so cannot be pickled, which is
+  itself asserted by ``test_harness``.
+"""
+
+import pytest
+
+from repro.harness import Budget, run_verification
+from repro.memory import MSIProtocol, StoreBufferProtocol, store_buffer_st_order
+from repro.modelcheck.product import ProductSearch
+
+
+# ------------------------------------------------------------------- MSI
+
+
+def test_msi_checkpoint_resume_matches_unbudgeted_run(tmp_path):
+    baseline = run_verification(MSIProtocol(p=2, b=1, v=1))
+    assert baseline.sequentially_consistent and baseline.complete
+    assert baseline.counterexample is None
+
+    cp = tmp_path / "msi.ckpt"
+    first = run_verification(
+        MSIProtocol(p=2, b=1, v=1),
+        budget=Budget(states=100),
+        checkpoint_path=str(cp),
+    )
+    assert not first.complete and cp.exists()
+    resumed = run_verification(resume_from=str(cp))
+
+    assert resumed.sequentially_consistent == baseline.sequentially_consistent
+    assert resumed.complete and resumed.confidence == "proof"
+    assert resumed.counterexample is None
+    assert resumed.stats.states == baseline.stats.states
+    assert resumed.stats.transitions == baseline.stats.transitions
+    assert resumed.stats.interned_states == baseline.stats.interned_states
+
+
+def test_msi_multi_increment_resume_is_stable(tmp_path):
+    """Ratcheting through several budget increments changes nothing."""
+    baseline = run_verification(MSIProtocol(p=2, b=1, v=1))
+    cp = tmp_path / "msi.ckpt"
+    res = run_verification(
+        MSIProtocol(p=2, b=1, v=1),
+        budget=Budget(states=60),
+        checkpoint_path=str(cp),
+    )
+    hops = 0
+    while not res.complete:
+        hops += 1
+        # the state axis is a *cumulative* cap, so each hop must raise it
+        res = run_verification(
+            resume_from=str(cp),
+            budget=Budget(states=60 + 200 * hops),
+            checkpoint_path=str(cp),
+        )
+        assert hops < 100, "resume loop failed to converge"
+    assert hops >= 1
+    assert res.sequentially_consistent
+    assert res.stats.states == baseline.stats.states
+    assert res.stats.transitions == baseline.stats.transitions
+
+
+# ------------------------------------------------- TSO store buffer (non-SC)
+
+
+def _tso_search():
+    return ProductSearch(
+        StoreBufferProtocol(p=2, b=2, v=1),
+        store_buffer_st_order(),
+        mode="fast",
+    )
+
+
+@pytest.fixture(scope="module")
+def tso_baseline():
+    res = _tso_search().run()
+    assert res.counterexample is not None
+    return res
+
+
+def test_tso_baseline_is_refuted(tso_baseline):
+    assert not tso_baseline.ok
+    cx = tso_baseline.counterexample
+    assert cx.run and cx.symbols
+
+
+def test_tso_inplace_resume_replays_identical_counterexample(tso_baseline):
+    search = _tso_search()
+    stopped = search.run(Budget(states=30).start().should_stop)
+    # the violation lies beyond 30 states, so the first leg must pause
+    assert stopped.counterexample is None
+    assert stopped.stats.stop_reason is not None
+
+    resumed = search.run()
+    cx, base = resumed.counterexample, tso_baseline.counterexample
+    assert cx is not None
+    assert resumed.stats.states == tso_baseline.stats.states
+    assert cx.run == base.run
+    assert cx.symbols == base.symbols
+    assert cx.reason == base.reason
+
+
+def test_tso_replay_is_deterministic_across_fresh_searches(tso_baseline):
+    again = _tso_search().run()
+    assert again.counterexample is not None
+    assert again.counterexample.run == tso_baseline.counterexample.run
+    assert again.counterexample.symbols == tso_baseline.counterexample.symbols
+    assert again.stats.states == tso_baseline.stats.states

@@ -1,6 +1,5 @@
 """Serial-trace semantics and serial reorderings (Section 2.2)."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.operations import ST, InternalAction, Store
+from repro.core.operations import ST, InternalAction
 from repro.core.storder import RealTimeSTOrder, Serialized, WriteOrderSTOrder
 
 

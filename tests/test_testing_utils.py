@@ -1,14 +1,12 @@
 """The public testing utilities (repro.testing) and the table
 renderer (repro.util.tables)."""
 
-import random
 
 import pytest
 
 from repro.core.serial import is_serial_trace, is_sequentially_consistent_trace
 from repro.memory import BuggyMSIProtocol, MSIProtocol, LazyCachingProtocol, lazy_caching_st_order
 from repro.testing import (
-    ValidationReport,
     mutate_descriptor,
     random_serial_trace,
     random_trace,

@@ -1,7 +1,6 @@
 """ST-index tracking and the Lemma 4.1 inheritance generator
 (Section 4.1, Figure 4)."""
 
-import random
 
 import pytest
 

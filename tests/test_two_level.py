@@ -1,6 +1,5 @@
 """The two-level cache hierarchy (DSL showcase)."""
 
-import pytest
 
 from repro.core.operations import LD, ST, InternalAction, Load
 from repro.core.protocol import enumerate_runs
