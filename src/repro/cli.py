@@ -42,7 +42,9 @@ from .litmus import (
     outcomes_sc,
 )
 from .memory import (
+    BuggyMSINoWritebackProtocol,
     BuggyMSIProtocol,
+    BuggyMSIStaleSharedProtocol,
     DirectoryProtocol,
     DragonProtocol,
     FencedStoreBufferProtocol,
@@ -58,7 +60,7 @@ from .memory import (
 )
 from .util import format_table
 
-__all__ = ["main", "PROTOCOLS"]
+__all__ = ["main", "PROTOCOLS", "NON_SC_PROTOCOLS"]
 
 #: name -> (constructor, default generator factory or None, default p/b/v)
 PROTOCOLS: Dict[str, Tuple[Callable, Optional[Callable[[], STOrderGenerator]], Tuple[int, int, int]]] = {
@@ -73,7 +75,14 @@ PROTOCOLS: Dict[str, Tuple[Callable, Optional[Callable[[], STOrderGenerator]], T
     "lazy": (LazyCachingProtocol, lazy_caching_st_order, (2, 1, 1)),
     "storebuffer": (StoreBufferProtocol, store_buffer_st_order, (2, 2, 1)),
     "buggy-msi": (BuggyMSIProtocol, None, (2, 1, 1)),
+    "buggy-msi-nowb": (BuggyMSINoWritebackProtocol, None, (2, 1, 1)),
+    "buggy-msi-stale-s": (BuggyMSIStaleSharedProtocol, None, (2, 2, 1)),
 }
+
+#: registry names whose (unmodified) protocol is expected non-SC
+NON_SC_PROTOCOLS = frozenset(
+    {"storebuffer", "buggy-msi", "buggy-msi-nowb", "buggy-msi-stale-s"}
+)
 
 
 def _make_protocol(args) -> Tuple[object, Optional[STOrderGenerator]]:
@@ -141,6 +150,7 @@ def _cmd_verify(args) -> int:
                 budget=budget,
                 checkpoint_path=args.checkpoint or args.resume,
                 resume_from=args.resume,
+                workers=args.workers,
             )
         else:
             if args.protocol is None:
@@ -163,6 +173,7 @@ def _cmd_verify(args) -> int:
                     checkpoint_path=args.checkpoint,
                     strategy=args.strategy,
                     seed=args.seed,
+                    workers=args.workers,
                 )
     except CheckpointError as exc:
         print(f"error: {exc}")
@@ -200,7 +211,7 @@ def cmd_zoo(args) -> int:
                 f"{dt:.2f}s",
             )
         )
-        worst += 0 if res.sequentially_consistent == (name not in ("storebuffer", "buggy-msi")) else 1
+        worst += 0 if res.sequentially_consistent == (name not in NON_SC_PROTOCOLS) else 1
     print(
         format_table(
             ["protocol", "p/b/v", "verdict", "joint states", "max live", "time"],
@@ -352,6 +363,7 @@ def cmd_fault_matrix(args) -> int:
             should_stop=should_stop,
             seed=args.seed,
             include_baseline=not args.no_baseline,
+            workers=args.workers,
         )
     finally:
         if budget is not None:
@@ -422,6 +434,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "random-walk probes deep under tight budgets)")
     v.add_argument("--seed", type=int, default=0,
                    help="random-walk frontier seed (ignored by bfs/dfs)")
+    v.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="shard the search across N worker processes (default 1; "
+                        "verdicts and state counts are identical to the sequential "
+                        "engine — see docs/PARALLEL.md). With --resume, the "
+                        "checkpointed search is re-sharded to N (parallel "
+                        "checkpoints only; a sequential checkpoint resumes "
+                        "only with workers=1)")
     v.add_argument("--profile", action="store_true",
                    help="run under cProfile and dump the top functions by cumulative time")
     v.set_defaults(func=cmd_verify)
@@ -477,6 +496,8 @@ def build_parser() -> argparse.ArgumentParser:
     fm.add_argument("--seed", type=int, default=0)
     fm.add_argument("--no-baseline", action="store_true",
                     help="skip the unfaulted baseline row per protocol")
+    fm.add_argument("--workers", type=int, default=1, metavar="N",
+                    help="shard each pair's search across N worker processes")
     fm.set_defaults(func=cmd_fault_matrix)
 
     b = sub.add_parser("bounds", help="Section 4.4 size-bound table")

@@ -86,6 +86,12 @@ class Checker:
         return other
 
     def state_key(self, canon=None) -> Tuple:
+        # a rejection is absorbing (safety automaton) — and feed_all
+        # stops mid-batch on it, leaving the sub-checkers' ID maps out
+        # of sync with the observer, so only the collapsed key is
+        # representative-independent
+        if not self.accepts_so_far:
+            return ("REJECTED",)
         return (self.cycles.state_key(canon), self.annotations.state_key(canon))
 
 

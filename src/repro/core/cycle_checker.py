@@ -141,7 +141,17 @@ class CycleChecker:
         key and again for the output.  Observer-emitted streams never
         share an ID between nodes (no AddId symbols), so the singleton
         path is the product search's hot path.
+
+        A rejected checker collapses to a single canonical key: the
+        checker is a safety automaton (once rejected, always rejected),
+        so all rejected states are behaviourally identical — and after
+        rejection ``feed`` stops applying symbols, which lets the
+        ID→token map drift out of sync with the observer; keying the
+        stale raw IDs would make the joint key depend on which concrete
+        representative reached the violation first.
         """
+        if self.rejected:
+            return ("REJECTED",)
         items = []
         if canon is None:
             for t, ids in self._idset.items():

@@ -440,22 +440,44 @@ class Observer:
             (b, name(_id[h], len(canon)))
             for b, h in (sorted(d.items()) if len(d) > 1 else d.items())
         )
-        gen_handles = self.gen.live_handles()
-        if gen_handles:
-            for h in sorted(gen_handles):
-                name(_id[h], len(canon))
+        for h in self.gen.ordered_handles():
+            name(_id[h], len(canon))
         succ = self._succ
         if succ:
-            if len(succ) > 1:
-                for u in sorted(succ, key=lambda x: _id[x]):
-                    name(_id[succ[u]], len(canon))
-            else:
-                for v in succ.values():
-                    name(_id[v], len(canon))
+            # Follow STo chains from already-named nodes, in canonical
+            # number order.  Every live succ *source* fills another role
+            # (it is a location holder, a processor's last node, a block
+            # tail/head or a generator FIFO entry), so it is named by
+            # now; targets are then named in their sources' canonical
+            # order.  Sorting by raw descriptor ID here — the old code —
+            # made the renaming depend on allocation order, i.e. on
+            # *which concrete representative* of a canonical state the
+            # search happened to keep, and permutation-equivalent states
+            # stopped merging (the differential suite catches this as a
+            # strategy/worker-count-dependent state count).
+            rev = {i: h for h, i in _id.items()}
+            queue = list(canon)
+            qi = 0
+            while qi < len(queue):
+                h = rev.get(queue[qi])
+                qi += 1
+                if h is None:
+                    continue
+                v = succ.get(h)
+                if v is not None:
+                    iv = _id[v]
+                    if iv not in canon:
+                        canon[iv] = len(canon)
+                        queue.append(iv)
         pload = self._pending_load
         if pload:
             if len(pload) > 1:
-                for key in sorted(pload, key=lambda k: (k[0], _id[k[1]])):
+                # canonical sort: tracked source's canonical number,
+                # never its raw ID (sources are live STs, named above)
+                get = canon.get
+                for key in sorted(
+                    pload, key=lambda k: (k[0], get(_id[k[1]], 1 << 60))
+                ):
                     name(_id[pload[key]], len(canon))
             else:
                 for h in pload.values():

@@ -29,7 +29,13 @@ from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from .operations import InternalAction, Store
 
-__all__ = ["Serialized", "STOrderGenerator", "RealTimeSTOrder", "WriteOrderSTOrder"]
+__all__ = [
+    "Serialized",
+    "STOrderGenerator",
+    "RealTimeSTOrder",
+    "WriteOrderSTOrder",
+    "ActionKeyedSerializer",
+]
 
 Handle = int  # observer node handles (opaque ints)
 
@@ -75,6 +81,17 @@ class STOrderGenerator(abc.ABC):
         """Independent copy (used when the model checker forks)."""
         raise NotImplementedError
 
+    def ordered_handles(self) -> List[Handle]:
+        """Live handles in a *structural* order — the observer's
+        canonical-renaming walk visits them in this order, so it must
+        depend only on the generator's logical state, never on raw
+        handle numbers (which are allocation-order artifacts and differ
+        between permutation-equivalent observer states).  Generators
+        whose state has an intrinsic order (FIFO position, say) must
+        override; the base fallback sorts raw handles, which is only
+        canonical for generators that never hold more than one."""
+        return sorted(self.live_handles())
+
     @property
     def is_drained(self) -> bool:
         """No ST is awaiting serialisation (part of quiescence)."""
@@ -99,6 +116,39 @@ class RealTimeSTOrder(STOrderGenerator):
 
     def copy(self) -> "RealTimeSTOrder":
         return self
+
+
+class ActionKeyedSerializer:
+    """The common ``serialize_proc`` shape as a picklable value: an
+    internal action named ``action_name`` serialises the oldest pending
+    ST of processor ``action.args[0]``.
+
+    Protocol modules used to express this as a lambda, which made every
+    observer state holding the generator unpicklable — blocking both
+    checkpointing and cross-process state exchange in the parallel
+    engine.  Instances compare by the action name so generator state
+    keys and equality behave like values.
+    """
+
+    __slots__ = ("action_name",)
+
+    def __init__(self, action_name: str):
+        self.action_name = action_name
+
+    def __call__(self, action: InternalAction) -> Optional[int]:
+        return action.args[0] if action.name == self.action_name else None
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ActionKeyedSerializer)
+            and other.action_name == self.action_name
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ActionKeyedSerializer", self.action_name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ActionKeyedSerializer({self.action_name!r})"
 
 
 class WriteOrderSTOrder(STOrderGenerator):
@@ -137,6 +187,15 @@ class WriteOrderSTOrder(STOrderGenerator):
 
     def live_handles(self) -> Set[Handle]:
         return {h for fifo in self._fifo.values() for (h, _) in fifo}
+
+    def ordered_handles(self) -> List[Handle]:
+        # structural order: processors ascending, then FIFO position —
+        # exactly the shape state_key exposes
+        return [
+            h
+            for _proc, fifo in sorted(self._fifo.items())
+            for (h, _blk) in fifo
+        ]
 
     def state_key(self, rename: Callable[[Handle], int] = lambda h: h) -> Tuple:
         return tuple(

@@ -123,6 +123,7 @@ def verify_protocol(
     max_states: Optional[int] = None,
     max_depth: Optional[int] = None,
     should_stop=None,
+    workers: int = 1,
 ) -> VerificationResult:
     """Model-check sequential consistency of ``protocol``.
 
@@ -145,6 +146,10 @@ def verify_protocol(
     the search with an honest ``bounded`` confidence instead of a
     proof.  For a *resumable* budgeted run, use
     :func:`repro.harness.run_verification` instead.
+
+    ``workers > 1`` shards the product search across that many worker
+    processes; the verdict and state counts are identical to the
+    sequential search (see ``docs/PARALLEL.md``).
     """
     res: ProductResult = explore_product(
         protocol,
@@ -153,6 +158,7 @@ def verify_protocol(
         max_states=max_states,
         max_depth=max_depth,
         should_stop=should_stop,
+        workers=workers,
     )
     return result_from_product(protocol, res)
 

@@ -1,0 +1,262 @@
+"""Differential testing of the search engines.
+
+The parallel engine (:class:`~repro.engine.ParallelSearchEngine`) is
+only trustworthy if it is *provably honest*: sharding a verification
+across worker processes must change wall-clock time and nothing else.
+This module captures a search outcome as a :class:`SearchFingerprint`
+— a small, comparable summary of everything the engines promise to
+agree on — and diffs fingerprints across engine configurations
+(sequential vs. sharded, BFS vs. DFS vs. random-walk), producing a
+minimized divergence report when they disagree.
+
+What must agree, and when:
+
+* **verdict** — always.  A protocol is (non-)SC regardless of how the
+  state space was enumerated.
+* **state / transition / quiescent counts** — whenever the search ran
+  to completion (every verdict except a ``stop_on_violation`` halt,
+  where the counts legitimately depend on when the first violation
+  was *reached*, which is search-order dependent).  This is the
+  canonical-key congruence property: a successor's canonical key is a
+  function of its parent's canonical key and the action alone, so
+  every enumeration order closes the same key set.
+* **violation-key set and canonical violation** — in exhaustive mode
+  (``stop_on_violation=False``): violating states are recorded, never
+  expanded, and the reported one is the minimum by stable key hash,
+  so all engines report the *same* violating state.
+* **counterexample validity** — always, but not the *path*: parent
+  pointers record each engine's arrival order, so two honest engines
+  may return different runs to (even the same) violating state.  What
+  the contract requires is that each run **replays to a genuine
+  violation** (:func:`~repro.core.verify.check_run` rejects it).
+
+``tests/test_differential.py`` drives this module over the protocol
+zoo; :func:`assert_equivalent` is the assertion it uses, and the
+report it prints on failure is this module's
+:func:`divergence_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core.protocol import Protocol
+from .core.storder import STOrderGenerator
+from .core.verify import check_run
+from .engine import ParallelSearchEngine
+from .engine.sharding import stable_hash
+from .modelcheck.product import ProductSearch
+
+__all__ = [
+    "SearchFingerprint",
+    "fingerprint",
+    "compare_fingerprints",
+    "divergence_report",
+    "assert_equivalent",
+]
+
+
+@dataclass(frozen=True)
+class SearchFingerprint:
+    """Everything two honest engines must agree on, plus provenance.
+
+    ``violation_keys`` and ``canonical_violation`` hold
+    :func:`~repro.engine.sharding.stable_hash` values of canonical
+    state keys (the keys themselves contain unhashable-by-accident
+    payloads in no engine, but hashes diff tersely).
+    """
+
+    # provenance (never compared — identifies the configuration)
+    protocol: str
+    mode: str
+    strategy: str
+    workers: int
+    exhaustive: bool
+
+    # the contract
+    verdict: str  #: "verified" | "violation" | "inconclusive" | "stopped" | "truncated"
+    states: int
+    transitions: int
+    quiescent: int
+    non_quiescible: int
+    violation_keys: frozenset
+    canonical_violation: Optional[int]
+    cx_len: Optional[int]
+    cx_replays: Optional[bool]  #: None when no counterexample was produced
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.protocol} [mode={self.mode} strategy={self.strategy} "
+            f"workers={self.workers} {'exhaustive' if self.exhaustive else 'stop-on-first'}]"
+        )
+
+    def comparable(self) -> Dict[str, object]:
+        """The fields another engine configuration must reproduce.
+
+        Counts are excluded for a stop-on-first-violation halt (they
+        measure *when* the engine noticed, not what exists); the
+        violation-key set and canonical violation are exhaustive-mode
+        promises.  Counterexample *validity* is always in; its length
+        never is.
+        """
+        fields: Dict[str, object] = {"verdict": self.verdict}
+        if self.cx_replays is not None:
+            fields["cx_replays"] = self.cx_replays
+        if not (self.verdict == "violation" and not self.exhaustive):
+            fields["states"] = self.states
+            fields["transitions"] = self.transitions
+            fields["quiescent"] = self.quiescent
+            fields["non_quiescible"] = self.non_quiescible
+        if self.exhaustive:
+            fields["violation_keys"] = self.violation_keys
+            fields["canonical_violation"] = self.canonical_violation
+        return fields
+
+
+def _verdict_of(result) -> str:
+    if result.counterexample is not None:
+        return "violation"
+    if result.stats.stop_reason is not None:
+        return "stopped"
+    if result.stats.truncated:
+        return "truncated"
+    if result.non_quiescible:
+        return "inconclusive"
+    return "verified"
+
+
+def fingerprint(
+    protocol: Protocol,
+    st_order: Optional[STOrderGenerator] = None,
+    *,
+    mode: str = "fast",
+    strategy: str = "bfs",
+    seed: int = 0,
+    workers: int = 1,
+    exhaustive: bool = True,
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+) -> SearchFingerprint:
+    """Run one product search and summarise it for comparison.
+
+    Any counterexample is independently validated by replaying its run
+    through a *fresh* observer + checker (:func:`check_run`) — the
+    fingerprint records whether the replay genuinely rejects, so a
+    fabricated or mis-reconstructed path cannot pass as honest.
+    """
+    search = ProductSearch(
+        protocol,
+        st_order,
+        mode=mode,
+        strategy=strategy,
+        seed=seed,
+        workers=workers,
+        stop_on_violation=not exhaustive,
+        max_states=max_states,
+        max_depth=max_depth,
+    )
+    result = search.run()
+    engine = search.engine
+
+    viol_hashes = frozenset(stable_hash(k) for k in engine.violation_keys())
+    canonical: Optional[int] = None
+    if exhaustive and viol_hashes:
+        ref = engine._final.violating if engine._final is not None else None
+        if ref is not None:
+            if isinstance(engine, ParallelSearchEngine):
+                shard, lid = ref
+                canonical = stable_hash(engine.shards[shard].store.key_of(lid))
+            else:
+                canonical = stable_hash(engine.store.key_of(ref))
+
+    cx_len: Optional[int] = None
+    cx_replays: Optional[bool] = None
+    if result.counterexample is not None:
+        cx_len = len(result.counterexample.run)
+        cx_replays = not check_run(protocol, result.counterexample.run, st_order).ok
+
+    return SearchFingerprint(
+        protocol=protocol.describe(),
+        mode=mode,
+        strategy=strategy,
+        workers=workers,
+        exhaustive=exhaustive,
+        verdict=_verdict_of(result),
+        states=result.stats.states,
+        transitions=result.stats.transitions,
+        quiescent=result.stats.quiescent_states,
+        non_quiescible=result.non_quiescible,
+        violation_keys=viol_hashes,
+        canonical_violation=canonical,
+        cx_len=cx_len,
+        cx_replays=cx_replays,
+    )
+
+
+# ----------------------------------------------------------------------
+# diffing
+# ----------------------------------------------------------------------
+
+#: one divergence: (field, baseline value, other value)
+Divergence = Tuple[str, object, object]
+
+
+def compare_fingerprints(
+    base: SearchFingerprint, other: SearchFingerprint
+) -> List[Divergence]:
+    """Fields on which ``other`` breaks the contract against ``base``.
+
+    Only fields *both* configurations promise (the intersection of
+    their :meth:`~SearchFingerprint.comparable` sets) are diffed — a
+    stop-on-first run is not held to an exhaustive run's counts.
+    """
+    a, b = base.comparable(), other.comparable()
+    return [
+        (name, a[name], b[name])
+        for name in a
+        if name in b and a[name] != b[name]
+    ]
+
+
+def _show(field: str, av, bv) -> str:
+    if field == "violation_keys":
+        only_a = sorted(av - bv)[:5]
+        only_b = sorted(bv - av)[:5]
+        return (
+            f"  violation_keys: {len(av)} vs {len(bv)} keys; "
+            f"only-baseline {only_a}{'...' if len(av - bv) > 5 else ''}, "
+            f"only-other {only_b}{'...' if len(bv - av) > 5 else ''}"
+        )
+    return f"  {field}: {av!r} vs {bv!r}"
+
+
+def divergence_report(
+    base: SearchFingerprint, others: Sequence[SearchFingerprint]
+) -> str:
+    """A minimized human-readable report: only the configurations that
+    diverge, and only the fields on which they do."""
+    lines = [f"baseline: {base.label}"]
+    clean = True
+    for fp in others:
+        diffs = compare_fingerprints(base, fp)
+        if not diffs:
+            continue
+        clean = False
+        lines.append(f"DIVERGES: {fp.label}")
+        lines.extend(_show(field, av, bv) for field, av, bv in diffs)
+    if clean:
+        lines.append("all configurations agree")
+    return "\n".join(lines)
+
+
+def assert_equivalent(
+    base: SearchFingerprint, others: Sequence[SearchFingerprint]
+) -> None:
+    """Raise :class:`AssertionError` carrying the divergence report if
+    any configuration disagrees with the baseline."""
+    if any(compare_fingerprints(base, fp) for fp in others):
+        raise AssertionError(
+            "engine configurations diverged\n" + divergence_report(base, others)
+        )

@@ -20,7 +20,17 @@ degradation ladder — is a thin adapter over three pieces:
   that owns caps, the cooperative ``should_stop`` budget hook and the
   state needed for checkpoint/resume.
 
-See ``docs/ARCHITECTURE.md`` for the layering and the adapters.
+Scaling out, :mod:`repro.engine.parallel` adds
+:class:`ParallelSearchEngine`: the same search hash-sharded
+(:mod:`repro.engine.sharding`) across N worker processes, each owning
+a :class:`~repro.engine.intern.ShardStore` slice and frontier, with
+batched cross-shard successor exchange and a deterministic
+canonical-order merge — ``--workers N`` on the CLI, cross-checked
+against the sequential oracle by the differential suite
+(``tests/test_differential.py``).
+
+See ``docs/ARCHITECTURE.md`` for the layering and the adapters, and
+``docs/PARALLEL.md`` for the sharding design.
 """
 
 from .component import (
@@ -34,8 +44,10 @@ from .component import (
     Step,
     System,
 )
-from .intern import StateStore
-from .stats import ExplorationStats
+from .intern import ShardStore, StateStore
+from .parallel import ParallelSearchEngine, ShardPayload
+from .sharding import shard_of, stable_hash
+from .stats import ExplorationStats, merge_shard_stats
 from .strategy import (
     BFSFrontier,
     DFSFrontier,
@@ -55,14 +67,20 @@ __all__ = [
     "ExplorationStats",
     "Frontier",
     "ObserverComponent",
+    "ParallelSearchEngine",
     "ProtocolComponent",
     "ProtocolSystem",
     "RandomWalkFrontier",
     "STOrderComponent",
     "SearchEngine",
     "SearchOutcome",
+    "ShardPayload",
+    "ShardStore",
     "StateStore",
     "Step",
     "System",
     "make_frontier",
+    "merge_shard_stats",
+    "shard_of",
+    "stable_hash",
 ]

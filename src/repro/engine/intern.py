@@ -14,15 +14,16 @@ with ints.  Counterexample runs are reconstructed from a
 parent-pointer array (one parent ID + one action per state) instead of
 an action list per frontier entry, which also cuts frontier memory.
 
-The store is plain data (two lists and a dict) so a paused search
-pickles and resumes exactly (:mod:`repro.harness.checkpoint`).
+The store is plain data (a few lists and a dict) so a paused search
+pickles and resumes exactly (:mod:`repro.harness.checkpoint`), and a
+parallel shard's store re-shards by replaying its key list.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Tuple
 
-__all__ = ["StateStore"]
+__all__ = ["StateStore", "ShardStore"]
 
 #: parent marker of a root (initial) state
 NO_PARENT = -1
@@ -38,10 +39,11 @@ class StateStore:
     action sequence that reached a state.
     """
 
-    __slots__ = ("_ids", "_parent", "_action")
+    __slots__ = ("_ids", "_keys", "_parent", "_action")
 
     def __init__(self) -> None:
         self._ids: Dict[Hashable, int] = {}
+        self._keys: List[Hashable] = []
         self._parent: List[int] = []
         self._action: List[Optional[object]] = []
 
@@ -53,6 +55,7 @@ class StateStore:
             return sid, False
         sid = len(self._parent)
         self._ids[key] = sid
+        self._keys.append(key)
         self._parent.append(NO_PARENT)
         self._action.append(None)
         return sid, True
@@ -93,3 +96,74 @@ class StateStore:
 
     def id_of(self, key: Hashable) -> Optional[int]:
         return self._ids.get(key)
+
+    def key_of(self, sid: int) -> Hashable:
+        """The interned key of ``sid`` (IDs are dense, discovery
+        order).  The reverse direction of :meth:`intern` — the parallel
+        engine re-shards stores through it, and the differential
+        harness uses it to compare violating-state *keys* (IDs are
+        discovery-order artifacts; keys are canonical)."""
+        return self._keys[sid]
+
+    def parent_of(self, sid: int) -> Tuple[int, Optional[object]]:
+        """``(parent id, action)`` recorded for ``sid`` (parent is
+        ``NO_PARENT`` for roots)."""
+        return self._parent[sid], self._action[sid]
+
+
+class ShardStore:
+    """One shard's slice of the interned state space.
+
+    The parallel engine's per-worker counterpart of
+    :class:`StateStore`: local IDs are dense ints in shard discovery
+    order, but parent pointers are *global* ``(shard, id)`` pairs —
+    a state discovered from a cross-shard successor records the
+    producing shard's parent, and counterexample reconstruction walks
+    the pointers across shard stores
+    (:meth:`repro.engine.parallel.ParallelSearchEngine.path_to`).
+
+    Plain data, so a shard's whole exploration state pickles — both
+    for the round-trip back to the coordinator when a search pauses
+    and for checkpoint format v3.
+    """
+
+    __slots__ = ("_ids", "_keys", "_pshard", "_pid", "_action")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._keys: List[Hashable] = []
+        self._pshard: List[int] = []
+        self._pid: List[int] = []
+        self._action: List[Optional[object]] = []
+
+    def intern(self, key: Hashable) -> Tuple[int, bool]:
+        """Return ``(local id, is_new)`` for ``key``."""
+        lid = self._ids.get(key)
+        if lid is not None:
+            return lid, False
+        lid = len(self._keys)
+        self._ids[key] = lid
+        self._keys.append(key)
+        self._pshard.append(NO_PARENT)
+        self._pid.append(NO_PARENT)
+        self._action.append(None)
+        return lid, True
+
+    def set_parent(self, lid: int, pshard: int, pid: int, action: object) -> None:
+        """Record the global parent of ``lid`` (roots keep
+        ``(NO_PARENT, NO_PARENT)``)."""
+        self._pshard[lid] = pshard
+        self._pid[lid] = pid
+        self._action[lid] = action
+
+    def parent_of(self, lid: int) -> Tuple[int, int, Optional[object]]:
+        return self._pshard[lid], self._pid[lid], self._action[lid]
+
+    def key_of(self, lid: int) -> Hashable:
+        return self._keys[lid]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._ids

@@ -1,0 +1,649 @@
+"""Sharded multiprocess state-space exploration.
+
+:class:`ParallelSearchEngine` is the scale-out counterpart of
+:class:`~repro.engine.strategy.SearchEngine`: the canonical state key
+space is hash-partitioned (:func:`~repro.engine.sharding.shard_of`)
+across N worker processes, each owning a local
+:class:`~repro.engine.intern.ShardStore` and frontier.  Exploration
+proceeds in **batched rounds** (bulk-synchronous style):
+
+1. the coordinator delivers each worker the cross-shard successor
+   batches produced in the previous round (in canonical source order);
+2. each worker ingests them — interning new keys, recording global
+   ``(shard, id)`` parent pointers, running the end checks — then
+   drains its local frontier (up to a per-round quota), expanding
+   states and bucketing successors by owner shard;
+3. workers return their outgoing batches (pre-pickled per destination,
+   so the coordinator routes bytes without touching states) plus a
+   stats snapshot, and the coordinator hits the **round barrier**:
+   batches are routed, per-shard stats are merged in worker-index
+   order, the cooperative ``should_stop`` hook is polled with the
+   aggregate, and the **termination detector** fires when every
+   frontier is empty and the in-flight record counter is zero.
+
+Determinism: round contents are a pure function of the previous
+round's (timing-independent) contents, every merge is done in worker
+index order, and sharding uses the process- and run-independent
+:func:`~repro.engine.sharding.stable_hash` — so two runs with the same
+worker count explore identically, and *any* worker count explores the
+same state set.  When violations are found, the reported one is the
+canonical minimum (by stable key hash), so exhaustive runs
+(``stop_on_violation=False``) agree bit-for-bit across strategies and
+worker counts — the property the differential suite
+(:mod:`repro.difftest`) enforces against the sequential oracle.
+
+When a search finishes or pauses, workers ship their full shard
+payloads back to the coordinator; between ``run`` legs the engine is
+plain picklable data (checkpoint format v3), and
+:meth:`ParallelSearchEngine.reshard` re-interns every key so a
+checkpoint written with one worker count resumes with another.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from .component import System
+from .intern import NO_PARENT, ShardStore
+from .sharding import shard_of, stable_hash
+from .stats import ExplorationStats, merge_shard_stats
+from .strategy import Frontier, SearchOutcome, StopHook, make_frontier
+
+__all__ = ["ParallelSearchEngine", "ShardPayload", "GlobalID"]
+
+#: global state reference: (shard index, local id)
+GlobalID = Tuple[int, int]
+
+#: default per-round expansion quota per worker — bounds the time
+#: between round barriers so budgets stay responsive without making
+#: rounds so short that batching loses its amortisation
+DEFAULT_ROUND_QUOTA = 20_000
+
+
+def _start_context():
+    """Prefer ``fork`` (workers inherit the system for free); fall
+    back to the default context where fork is unavailable.  Everything
+    shipped to workers is picklable either way."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else None)
+
+
+# ----------------------------------------------------------------------
+# per-shard data
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardPayload:
+    """One shard's complete exploration state, as plain data.
+
+    Lives in the coordinator between ``run`` legs (and inside v3
+    checkpoints); workers receive it at spawn and ship it back when
+    the search finishes or pauses.
+    """
+
+    index: int
+    store: ShardStore = field(default_factory=ShardStore)
+    frontier_entries: List[Tuple[object, int, int]] = field(default_factory=list)
+    frontier_state: Optional[Frontier] = None  #: strategy object (rng etc.)
+    stats: ExplorationStats = field(default_factory=ExplorationStats)
+    #: predecessor edges: local id -> list of global (shard, id)
+    preds: Dict[int, List[GlobalID]] = field(default_factory=dict)
+    quiescent: Set[int] = field(default_factory=set)
+    violations: List[int] = field(default_factory=list)
+    cap_truncated: bool = False
+
+
+#: cross-shard successor record:
+#: (key, state, action, parent_shard, parent_id, depth, ok)
+Record = Tuple[object, object, object, int, int, int, bool]
+
+
+class _ShardRuntime:
+    """Worker-side exploration over one shard (also used in-process by
+    :meth:`ParallelSearchEngine.reshard` to rebuild frontiers)."""
+
+    def __init__(
+        self,
+        payload: ShardPayload,
+        system: System,
+        nshards: int,
+        strategy: Union[str, Frontier],
+        seed: int,
+        max_depth: Optional[int],
+        track_preds: bool,
+        stop_early: bool = False,
+    ):
+        self.p = payload
+        self.system = system
+        self.nshards = nshards
+        self.max_depth = max_depth
+        self.track_preds = track_preds
+        #: stop-on-violation discipline: cut the round short the moment
+        #: a violating successor is produced (it may be bound for
+        #: another shard — the flag still travels in the round reply,
+        #: so the coordinator stops feeding full rounds).  Per-round:
+        #: the coordinator resets its aggregate view when a flagged
+        #: record turns out to deduplicate into a good state
+        self.stop_early = stop_early
+        self.saw_violation = False
+        # rebuild the frontier: strategy object (with its rng state)
+        # travels in the payload; entries are re-pushed in order
+        if payload.frontier_state is not None:
+            self.frontier = payload.frontier_state
+        else:
+            self.frontier = make_frontier(strategy, seed + payload.index)
+        for entry in payload.frontier_entries:
+            self.frontier.push(entry)
+        payload.frontier_entries = []
+        payload.frontier_state = None
+
+    # ------------------------------------------------------------------
+    def admit(self, rec: Record) -> None:
+        """Intern one incoming record (local successor or a routed
+        cross-shard batch entry)."""
+        key, state, action, pshard, pid, depth, ok = rec
+        p = self.p
+        lid, new = p.store.intern(key)
+        if self.track_preds and pshard != NO_PARENT:
+            p.preds.setdefault(lid, []).append((pshard, pid))
+        if not new:
+            return
+        p.store.set_parent(lid, pshard, pid, action)
+        p.stats.states += 1
+        p.stats.interned_states = len(p.store)
+        bad = not ok
+        if not bad:
+            end = self.system.end_check(state)
+            if end is not None:
+                p.stats.quiescent_states += 1
+                p.quiescent.add(lid)
+                bad = not end
+        if bad:
+            # violating states are recorded and never expanded
+            p.violations.append(lid)
+            self.saw_violation = True
+            return
+        self.frontier.push((state, lid, depth))
+        if len(self.frontier) > p.stats.peak_frontier:
+            p.stats.peak_frontier = len(self.frontier)
+
+    def expand(self, quota: Optional[int], out: Dict[int, List[Record]]) -> int:
+        """Drain the local frontier (up to ``quota`` expansions),
+        bucketing cross-shard successors into ``out``."""
+        expanded = 0
+        p, system, frontier = self.p, self.system, self.frontier
+        stats = p.stats
+        while frontier:
+            if quota is not None and expanded >= quota:
+                break
+            if self.stop_early and self.saw_violation:
+                break
+            state, lid, depth = frontier.pop()
+            if depth > stats.max_depth:
+                stats.max_depth = depth
+            if self.max_depth is not None and depth >= self.max_depth:
+                stats.truncated = True
+                p.cap_truncated = True
+                continue
+            expanded += 1
+            for step in system.steps(state):
+                stats.transitions += 1
+                system.record(stats, step.state)
+                dest = shard_of(step.key, self.nshards)
+                rec = (step.key, step.state, step.action, p.index, lid, depth + 1, step.ok)
+                if dest == p.index:
+                    self.admit(rec)
+                else:
+                    out.setdefault(dest, []).append(rec)
+                    if not step.ok:
+                        self.saw_violation = True
+        return expanded
+
+    def detach_payload(self) -> ShardPayload:
+        """Move the live frontier back into the payload and return
+        it (the runtime is dead afterwards)."""
+        entries = []
+        while self.frontier:
+            entries.append(self.frontier.pop())
+        # drain order is strategy-dependent; keep the strategy object
+        # so its rng state survives, and re-push in drain order (the
+        # re-pushed order is deterministic, which is all that matters)
+        self.p.frontier_entries = entries
+        self.p.frontier_state = self.frontier
+        return self.p
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+
+def _worker_main(index, nshards, system, payload, options, inq, outq):
+    """Worker loop: one message in, one reply out, until ``exit``."""
+    try:
+        rt = _ShardRuntime(
+            payload,
+            system,
+            nshards,
+            options["strategy"],
+            options["seed"],
+            options["max_depth"],
+            options["track_preds"],
+            options["stop_early"],
+        )
+        n_viol_reported = 0
+        while True:
+            msg = inq.get()
+            kind = msg[0]
+            if kind == "round":
+                _, batches, quota = msg
+                rt.saw_violation = False
+                for blob in batches:
+                    for rec in pickle.loads(blob):
+                        rt.admit(rec)
+                out: Dict[int, List[Record]] = {}
+                rt.expand(quota, out)
+                out_blobs = {dest: pickle.dumps(recs) for dest, recs in out.items()}
+                n_out = sum(len(recs) for recs in out.values())
+                new_viols = [
+                    (lid, stable_hash(rt.p.store.key_of(lid)))
+                    for lid in rt.p.violations[n_viol_reported:]
+                ]
+                n_viol_reported = len(rt.p.violations)
+                outq.put((
+                    "round-done",
+                    index,
+                    out_blobs,
+                    n_out,
+                    len(rt.frontier),
+                    rt.p.stats,
+                    new_viols,
+                    rt.p.cap_truncated,
+                    rt.saw_violation,
+                ))
+            elif kind == "collect":
+                outq.put(("payload", index, rt.detach_payload()))
+            elif kind == "exit":
+                return
+    except BaseException:  # pragma: no cover - surfaced by coordinator
+        import traceback
+
+        outq.put(("error", index, traceback.format_exc()))
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+
+
+class ParallelSearchEngine:
+    """Hash-sharded multiprocess search over a :class:`System`.
+
+    Mirrors the :class:`~repro.engine.strategy.SearchEngine` surface —
+    construct, then :meth:`run` (repeatedly under a cooperative
+    ``should_stop`` hook); between legs the engine holds all shard
+    payloads as plain picklable data.  ``workers`` fixes the shard
+    count for this engine; :meth:`reshard` rebuilds the engine for a
+    different count (used when resuming a checkpoint with a new
+    ``--workers``).
+
+    Semantics notes versus the sequential engine:
+
+    * ``max_states`` is enforced at round barriers against the
+      aggregate count, so a cap may overshoot by up to one round's
+      quota per worker (the non-strict discipline, coarser);
+    * budget stops (``should_stop``) also land on round barriers —
+      ``round_quota`` bounds how much work a round can do, keeping
+      budgets responsive;
+    * per-state callbacks (``on_state``) are unsupported: states live
+      in worker processes.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        *,
+        workers: int,
+        strategy: Union[str, Frontier] = "bfs",
+        seed: int = 0,
+        max_states: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        stop_on_violation: bool = True,
+        track_successors: bool = True,
+        check_quiescence_reachability: bool = True,
+        round_quota: int = DEFAULT_ROUND_QUOTA,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if isinstance(strategy, Frontier):
+            raise ValueError(
+                "parallel search takes a strategy *name* (each shard owns "
+                "its own frontier instance)"
+            )
+        self.system = system
+        self.workers = workers
+        self.strategy = strategy
+        self.seed = seed
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.stop_on_violation = stop_on_violation
+        self.track_successors = track_successors
+        self.check_quiescence_reachability = check_quiescence_reachability
+        self.round_quota = round_quota
+
+        self.shards: List[ShardPayload] = [ShardPayload(i) for i in range(workers)]
+        #: undelivered cross-shard batches, per destination shard
+        self._pending: List[List[bytes]] = [[] for _ in range(workers)]
+        self.stats = ExplorationStats()
+        #: (stable key hash, shard, local id) of every violation found
+        self._violations: List[Tuple[int, int, int]] = []
+        self._round = 0
+        self._final: Optional[SearchOutcome] = None
+
+        init = system.initial()
+        key = system.key(init)
+        owner = shard_of(key, workers)
+        root: Record = (key, init, None, NO_PARENT, NO_PARENT, 0, True)
+        self._pending[owner].append(pickle.dumps([root]))
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """The search reached a final outcome (no further ``run``
+        changes it)."""
+        return self._final is not None
+
+    @property
+    def shard_stats(self) -> List[ExplorationStats]:
+        """Per-shard exploration counters (aggregate in ``stats``)."""
+        return [p.stats for p in self.shards]
+
+    def violation_keys(self) -> frozenset:
+        """Canonical keys of every violating state found (all of them
+        only under ``stop_on_violation=False``)."""
+        return frozenset(
+            self.shards[s].store.key_of(lid) for (_h, s, lid) in self._violations
+        )
+
+    def path_to(self, gid: GlobalID) -> List[object]:
+        """Action sequence from the root to ``gid``, reconstructed by
+        walking global ``(shard, id)`` parent pointers across the
+        shard stores."""
+        actions: List[object] = []
+        shard, lid = gid
+        while True:
+            pshard, pid, action = self.shards[shard].store.parent_of(lid)
+            if pid == NO_PARENT:
+                break
+            actions.append(action)
+            shard, lid = pshard, pid
+        actions.reverse()
+        return actions
+
+    # ------------------------------------------------------------------
+    def run(self, should_stop: Optional[StopHook] = None) -> SearchOutcome:
+        """Continue until a final outcome or a cooperative stop."""
+        if self._final is not None:
+            return self._final
+        ctx = _start_context()
+        options = {
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "max_depth": self.max_depth,
+            "track_preds": self.track_successors,
+            "stop_early": self.stop_on_violation,
+        }
+        inqs = [ctx.SimpleQueue() for _ in range(self.workers)]
+        outq = ctx.SimpleQueue()
+        procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(i, self.workers, self.system, self.shards[i], options, inqs[i], outq),
+                daemon=True,
+            )
+            for i in range(self.workers)
+        ]
+        for p in procs:
+            p.start()
+        try:
+            outcome = self._drive(should_stop, inqs, outq)
+        finally:
+            for q in inqs:
+                q.put(("exit",))
+            for p in procs:
+                p.join(timeout=10)
+                if p.is_alive():  # pragma: no cover - defensive
+                    p.terminate()
+        return outcome
+
+    def _collect_replies(self, outq, expected: str) -> list:
+        """Gather one reply per worker, re-ordered canonically by
+        worker index (arrival order is timing noise)."""
+        replies: List[Optional[tuple]] = [None] * self.workers
+        for _ in range(self.workers):
+            msg = outq.get()
+            if msg[0] == "error":
+                raise RuntimeError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
+            assert msg[0] == expected, msg[0]
+            replies[msg[1]] = msg
+        return replies
+
+    def _drive(self, should_stop, inqs, outq) -> SearchOutcome:
+        stop_reason: Optional[str] = None
+        cap_hit = False
+        viol_in_flight = False
+        while True:
+            # once any worker saw a violating successor (possibly bound
+            # for another shard), stop expanding: quota-0 rounds only
+            # ingest, so the violating record reaches its owner and is
+            # reported without the other shards burning full rounds
+            quota = 0 if (viol_in_flight and self.stop_on_violation) else self.round_quota
+            batches, self._pending = self._pending, [[] for _ in range(self.workers)]
+            for i, q in enumerate(inqs):
+                q.put(("round", batches[i], quota))
+            self._round += 1
+
+            in_flight = 0
+            frontier_rem = 0
+            shard_stats: List[ExplorationStats] = []
+            cap_truncated = False
+            for msg in self._collect_replies(outq, "round-done"):
+                _, idx, out_blobs, n_out, flen, stats, new_viols, trunc, saw = msg
+                viol_in_flight = viol_in_flight or saw
+                for dest, blob in sorted(out_blobs.items()):
+                    self._pending[dest].append(blob)
+                in_flight += n_out
+                frontier_rem += flen
+                shard_stats.append(stats)
+                cap_truncated = cap_truncated or trunc
+                for lid, key_hash in new_viols:
+                    self._violations.append((key_hash, idx, lid))
+
+            agg = merge_shard_stats(shard_stats)
+            agg.truncated = agg.truncated or cap_truncated
+            self.stats = agg
+
+            if self._violations and self.stop_on_violation:
+                break
+            if in_flight == 0 and frontier_rem == 0:
+                break  # termination: all frontiers drained, nothing in flight
+            if quota == 0 and not self._violations and in_flight == 0:
+                # the flagged record deduplicated against an existing
+                # (good-keyed) state instead of interning a violation;
+                # the hint is stale — resume normal expansion
+                viol_in_flight = False
+            if self.max_states is not None and agg.states >= self.max_states:
+                cap_hit = True
+                break
+            if should_stop is not None:
+                stop_reason = should_stop(agg)
+                if stop_reason is not None:
+                    break
+
+        # pull every shard's payload back into the coordinator
+        for q in inqs:
+            q.put(("collect",))
+        self.shards = [msg[2] for msg in self._collect_replies(outq, "payload")]
+        self.stats = merge_shard_stats(
+            [p.stats for p in self.shards], stop_reason=stop_reason
+        )
+
+        if stop_reason is not None:
+            return SearchOutcome("stopped", None, self.stats)
+        if cap_hit:
+            self.stats.truncated = True
+            for p in self.shards:
+                p.cap_truncated = True
+        if self._violations:
+            self._final = self._violation_outcome()
+            return self._final
+        non_quiescible = 0
+        if (
+            self.check_quiescence_reachability
+            and self.track_successors
+            and not self.stats.truncated
+        ):
+            non_quiescible = self._non_quiescible()
+        self._final = SearchOutcome("done", None, self.stats, non_quiescible)
+        return self._final
+
+    # ------------------------------------------------------------------
+    def _violation_outcome(self) -> SearchOutcome:
+        """Canonical violation verdict: minimal by stable key hash —
+        the same choice the sequential engine makes, so exhaustive
+        runs agree across worker counts."""
+        ordered = sorted(self._violations)
+        best = ordered[0]
+        gids = tuple((s, lid) for (_h, s, lid) in ordered)
+        return SearchOutcome(
+            "violation", (best[1], best[2]), self.stats, violations=gids
+        )
+
+    def _non_quiescible(self) -> int:
+        """Backward closure from quiescent states over the (global)
+        predecessor edges gathered from all shards."""
+        reach: Set[GlobalID] = set()
+        todo: List[GlobalID] = []
+        for p in self.shards:
+            for lid in p.quiescent:
+                gid = (p.index, lid)
+                reach.add(gid)
+                todo.append(gid)
+        preds: Dict[GlobalID, List[GlobalID]] = {}
+        for p in self.shards:
+            for lid, sources in p.preds.items():
+                preds[(p.index, lid)] = sources
+        while todo:
+            v = todo.pop()
+            for u in preds.get(v, ()):
+                if u not in reach:
+                    reach.add(u)
+                    todo.append(u)
+        total = sum(len(p.store) for p in self.shards)
+        return total - len(reach)
+
+    # ------------------------------------------------------------------
+    def reshard(self, workers: int) -> "ParallelSearchEngine":
+        """A new engine over ``workers`` shards continuing this search.
+
+        Every interned key is re-routed by stable hash and re-interned
+        (old shards in index order, local ids ascending, so the new
+        layout is deterministic); global parent pointers, predecessor
+        edges, quiescent/violation sets, frontier entries and pending
+        batches are remapped through the old→new id map.  Aggregate
+        stats are preserved; per-shard counters are recomputed for the
+        new layout.
+        """
+        if workers == self.workers:
+            return self
+        if self._final is not None:
+            raise ValueError("cannot reshard a finished search")
+        new = ParallelSearchEngine.__new__(ParallelSearchEngine)
+        new.system = self.system
+        new.workers = workers
+        new.strategy = self.strategy
+        new.seed = self.seed
+        new.max_states = self.max_states
+        new.max_depth = self.max_depth
+        new.stop_on_violation = self.stop_on_violation
+        new.track_successors = self.track_successors
+        new.check_quiescence_reachability = self.check_quiescence_reachability
+        new.round_quota = self.round_quota
+        new.shards = [ShardPayload(i) for i in range(workers)]
+        new._pending = [[] for _ in range(workers)]
+        new._round = self._round
+        new._final = None
+
+        # pass 1: re-intern every key; build the old→new gid map
+        gid_map: Dict[GlobalID, GlobalID] = {}
+        for old in self.shards:
+            for lid in range(len(old.store)):
+                key = old.store.key_of(lid)
+                dest = shard_of(key, workers)
+                nlid, fresh = new.shards[dest].store.intern(key)
+                assert fresh, "duplicate key across shards"
+                gid_map[(old.index, lid)] = (dest, nlid)
+
+        def remap(gid: GlobalID) -> GlobalID:
+            return gid_map[gid]
+
+        # pass 2: parents, preds, quiescent, violations, frontiers
+        for old in self.shards:
+            for lid in range(len(old.store)):
+                pshard, pid, action = old.store.parent_of(lid)
+                dest, nlid = gid_map[(old.index, lid)]
+                if pid == NO_PARENT:
+                    new.shards[dest].store.set_parent(nlid, NO_PARENT, NO_PARENT, action)
+                else:
+                    nps, npid = remap((pshard, pid))
+                    new.shards[dest].store.set_parent(nlid, nps, npid, action)
+            for lid, sources in old.preds.items():
+                dest, nlid = gid_map[(old.index, lid)]
+                new.shards[dest].preds.setdefault(nlid, []).extend(
+                    remap(g) for g in sources
+                )
+            for lid in old.quiescent:
+                dest, nlid = gid_map[(old.index, lid)]
+                new.shards[dest].quiescent.add(nlid)
+            for lid in old.violations:
+                dest, nlid = gid_map[(old.index, lid)]
+                new.shards[dest].violations.append(nlid)
+            new_entries: Dict[int, List[Tuple[object, int, int]]] = {}
+            for (state, lid, depth) in old.frontier_entries:
+                dest, nlid = gid_map[(old.index, lid)]
+                new_entries.setdefault(dest, []).append((state, nlid, depth))
+            for dest, entries in new_entries.items():
+                new.shards[dest].frontier_entries.extend(entries)
+            new.shards[old.index if old.index < workers else 0].cap_truncated |= (
+                old.cap_truncated
+            )
+
+        # pending (undelivered) records: remap parents, re-route by key
+        rerouted: List[List[Record]] = [[] for _ in range(workers)]
+        for blobs in self._pending:
+            for blob in blobs:
+                for rec in pickle.loads(blob):
+                    key, state, action, pshard, pid, depth, ok = rec
+                    if pid != NO_PARENT:
+                        pshard, pid = remap((pshard, pid))
+                    rerouted[shard_of(key, workers)].append(
+                        (key, state, action, pshard, pid, depth, ok)
+                    )
+        for dest, recs in enumerate(rerouted):
+            if recs:
+                new._pending[dest].append(pickle.dumps(recs))
+
+        new._violations = [
+            (h,) + remap((s, lid)) for (h, s, lid) in self._violations
+        ]
+
+        # per-shard stats cannot be exactly re-attributed; carry the
+        # aggregate on shard 0 and zero the rest so the global merge
+        # stays truthful across the reshard boundary
+        new.shards[0].stats = merge_shard_stats([p.stats for p in self.shards])
+        new.stats = merge_shard_stats([p.stats for p in new.shards])
+        return new

@@ -142,16 +142,22 @@ def make_frontier(strategy: Union[str, Frontier], seed: int = 0) -> Frontier:
 class SearchOutcome:
     """Raw result of a :meth:`SearchEngine.run` leg.
 
-    ``status`` is ``"violation"`` (``violating`` holds the interned ID
-    of the rejecting state), ``"stopped"`` (a cooperative budget stop;
-    the engine stays resumable) or ``"done"`` (space exhausted or cap
-    truncation drained the frontier).
+    ``status`` is ``"violation"`` (``violating`` holds the reference of
+    the rejecting state — an interned ID for the sequential engine, a
+    ``(shard, id)`` pair for the parallel one), ``"stopped"`` (a
+    cooperative budget stop; the engine stays resumable) or ``"done"``
+    (space exhausted or cap truncation drained the frontier).
+
+    ``violations`` lists *every* violating reference found (exactly one
+    unless the engine ran with ``stop_on_violation=False``, the
+    exhaustive mode the differential oracle compares engines in).
     """
 
     status: str
-    violating: Optional[int]
+    violating: Optional[object]
     stats: ExplorationStats
     non_quiescible: int = 0
+    violations: Tuple = ()
 
 
 class SearchEngine:
@@ -168,6 +174,15 @@ class SearchEngine:
     finishes the node being expanded and then drains (the product
     search's historical contract — a small overshoot, but every
     admitted state is fully checked).
+
+    ``stop_on_violation=False`` switches to the exhaustive discipline
+    the differential oracle compares engines in: violating states are
+    recorded (and, like always, never expanded) but the search runs to
+    exhaustion, so the explored set — and therefore every counter —
+    is independent of frontier strategy and worker count.  The final
+    outcome reports the violation whose canonical key has the smallest
+    :func:`~repro.engine.sharding.stable_hash` (a strategy- and
+    shard-independent choice).
     """
 
     def __init__(
@@ -179,6 +194,7 @@ class SearchEngine:
         max_states: Optional[int] = None,
         max_depth: Optional[int] = None,
         strict_cap: bool = False,
+        stop_on_violation: bool = True,
         track_successors: bool = True,
         check_quiescence_reachability: bool = True,
         on_state: Optional[Callable[[object, int], None]] = None,
@@ -189,19 +205,21 @@ class SearchEngine:
         self.max_depth = max_depth
         self.check_quiescence_reachability = check_quiescence_reachability
         self._strict_cap = strict_cap
+        self._stop_on_violation = stop_on_violation
         self._on_state = on_state
         self.stats = stats if stats is not None else ExplorationStats()
         self.store = StateStore()
         self.frontier = make_frontier(strategy, seed)
         self._succs: Optional[Dict[int, List[int]]] = {} if track_successors else None
         self._quiescent: Set[int] = set()
+        #: interned IDs of every violating state found so far
+        self.violations: List[int] = []
         #: set once a state/depth cap is hit (as opposed to a budget stop)
         self._cap_truncated = False
         self._final: Optional[SearchOutcome] = None
 
         init = system.initial()
         sid, _ = self.store.intern(system.key(init))
-        self.frontier.push((init, sid, 0))
         self.stats.states = 1
         self.stats.interned_states = len(self.store)
         if self.stats.peak_frontier < 1:
@@ -209,11 +227,17 @@ class SearchEngine:
         if on_state is not None:
             on_state(init, 0)
         end = system.end_check(init)
+        bad = False
         if end is not None:
             self.stats.quiescent_states += 1
             self._quiescent.add(sid)
-            if not end:
-                self._final = SearchOutcome("violation", sid, self.stats)
+            bad = not end
+        if bad:
+            self.violations.append(sid)
+            if stop_on_violation:
+                self._final = self._violation_outcome()
+        else:
+            self.frontier.push((init, sid, 0))
 
     # ------------------------------------------------------------------
     @property
@@ -221,6 +245,25 @@ class SearchEngine:
         """The search reached a final outcome (no further ``run``
         changes it)."""
         return self._final is not None
+
+    def violation_keys(self) -> frozenset:
+        """Canonical keys of every violating state found (one unless
+        ``stop_on_violation=False``)."""
+        return frozenset(self.store.key_of(sid) for sid in self.violations)
+
+    def _violation_outcome(self) -> SearchOutcome:
+        """The canonical violation verdict: minimal by stable hash of
+        the violating key, so exhaustive runs agree across strategies
+        and worker counts."""
+        from .sharding import stable_hash
+
+        best = min(
+            self.violations,
+            key=lambda sid: (stable_hash(self.store.key_of(sid)), sid),
+        )
+        return SearchOutcome(
+            "violation", best, self.stats, violations=tuple(self.violations)
+        )
 
     def run(self, should_stop: Optional[StopHook] = None) -> SearchOutcome:
         """Continue until a final outcome or a cooperative stop."""
@@ -274,16 +317,22 @@ class SearchEngine:
                 stats.interned_states = len(store)
                 if on_state is not None:
                     on_state(step.state, depth + 1)
-                if not step.ok:
-                    self._final = SearchOutcome("violation", cid, stats)
-                    return self._final
-                end = system.end_check(step.state)
-                if end is not None:
-                    stats.quiescent_states += 1
-                    self._quiescent.add(cid)
-                    if not end:
-                        self._final = SearchOutcome("violation", cid, stats)
+                bad = not step.ok
+                if not bad:
+                    end = system.end_check(step.state)
+                    if end is not None:
+                        stats.quiescent_states += 1
+                        self._quiescent.add(cid)
+                        bad = not end
+                if bad:
+                    # violating states are recorded and never expanded;
+                    # in exhaustive mode the search carries on so the
+                    # explored set stays strategy/worker independent
+                    self.violations.append(cid)
+                    if self._stop_on_violation:
+                        self._final = self._violation_outcome()
                         return self._final
+                    continue
                 if not strict_cap and max_states is not None and stats.states >= max_states:
                     stats.truncated = True
                     self._cap_truncated = True
@@ -291,6 +340,12 @@ class SearchEngine:
                 frontier.push((step.state, cid, depth + 1))
                 if len(frontier) > stats.peak_frontier:
                     stats.peak_frontier = len(frontier)
+
+        if self.violations:
+            # exhaustive mode drained the frontier with violations on
+            # record: the verdict is the canonical violation
+            self._final = self._violation_outcome()
+            return self._final
 
         # quiescence reachability: every explored state must be able to
         # reach a quiescent one, otherwise some prefixes were never

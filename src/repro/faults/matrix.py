@@ -50,7 +50,9 @@ __all__ = ["MatrixEntry", "MatrixReport", "fault_matrix", "DEFAULT_MATRIX_PROTOC
 DEFAULT_MATRIX_PROTOCOLS = ("msi", "mesi", "write-through", "serial")
 
 #: registry names whose *unmodified* baseline is expected non-SC
-NON_SC_BASELINES = frozenset({"storebuffer", "buggy-msi"})
+NON_SC_BASELINES = frozenset(
+    {"storebuffer", "buggy-msi", "buggy-msi-nowb", "buggy-msi-stale-s"}
+)
 
 
 @dataclass(frozen=True)
@@ -139,6 +141,7 @@ def fault_matrix(
     seed: int = 0,
     include_baseline: bool = True,
     faults_for: Optional[Callable[..., List[FaultSpec]]] = None,
+    workers: int = 1,
 ) -> MatrixReport:
     """Verify every (protocol × fault) pair.
 
@@ -148,6 +151,8 @@ def fault_matrix(
     own stats, so a state budget applies per pair while a wall-clock
     budget is global).  ``faults_for`` overrides the fault battery
     (defaults to :func:`~repro.faults.spec.standard_faults`).
+    ``workers`` shards each pair's search across worker processes
+    (verdicts identical to ``workers=1``; see ``docs/PARALLEL.md``).
     """
     from ..cli import PROTOCOLS  # deferred: the CLI owns the registry
 
@@ -178,6 +183,7 @@ def fault_matrix(
                 max_states=max_states,
                 max_depth=max_depth,
                 should_stop=should_stop,
+                workers=workers,
             )
             report.entries.append(MatrixEntry(
                 protocol=name,

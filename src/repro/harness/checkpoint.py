@@ -4,11 +4,18 @@ A :class:`Checkpoint` snapshots a paused
 :class:`~repro.modelcheck.product.ProductSearch` — the engine's
 frontier, interned-state store, parent-pointer array, observers,
 checkers — so a run that hit its budget can resume later with a larger
-one instead of restarting from the initial state.  The snapshot is a pickle: everything in the search
-is plain data, with one known exception — ST-order generator factories
-that capture lambdas (``lazy``, ``storebuffer``/``fenced-sb``) cannot
-be pickled, and :meth:`Checkpoint.save` reports that clearly instead
-of writing a corrupt file.
+one instead of restarting from the initial state.  The snapshot is a
+pickle: everything in the search is plain data.  (Every ST-order
+generator in the zoo pickles since the lambda-capturing factories were
+replaced by :class:`~repro.core.storder.ActionKeyedSerializer`; a
+*custom* generator that still captures a lambda cannot be pickled, and
+:meth:`Checkpoint.save` reports that clearly instead of writing a
+corrupt file.)
+
+Parallel searches (``--workers > 1``) write version-3 checkpoints
+holding the sharded engine; they resume under any worker count (the
+engine re-shards on resume).  Sequential searches keep writing
+version 2, which resumes only sequentially.
 
 Resumption is exact: the continued search explores precisely the
 states the truncated one had not reached, and reaches the same verdict
@@ -24,7 +31,13 @@ from dataclasses import dataclass
 
 from ..modelcheck.product import ProductSearch
 
-__all__ = ["Checkpoint", "CheckpointError"]
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CHECKPOINT_VERSION",
+    "CHECKPOINT_VERSION_PARALLEL",
+    "READABLE_VERSIONS",
+]
 
 #: bump when the pickled layout changes incompatibly
 #:
@@ -37,7 +50,20 @@ __all__ = ["Checkpoint", "CheckpointError"]
 #:   :class:`~repro.engine.intern.StateStore`, frontier object,
 #:   successor map over dense int IDs); version-1 files cannot be
 #:   resumed and are rejected loudly
+#: * 3 — parallel-engine layout: the search pickles a
+#:   :class:`~repro.engine.ParallelSearchEngine` (per-shard
+#:   :class:`~repro.engine.intern.ShardStore` stores, frontiers and
+#:   stats, plus undelivered cross-shard batches); written only by
+#:   ``--workers > 1`` searches.  A v3 file resumes under *any*
+#:   worker count (the engine re-shards on load); a v2 file, holding
+#:   a sequential engine, resumes only under ``workers = 1``.
 CHECKPOINT_VERSION = 2
+
+#: version written for a parallel (sharded) search
+CHECKPOINT_VERSION_PARALLEL = 3
+
+#: versions this build can read back
+READABLE_VERSIONS = (CHECKPOINT_VERSION, CHECKPOINT_VERSION_PARALLEL)
 
 
 class CheckpointError(RuntimeError):
@@ -56,11 +82,19 @@ class Checkpoint:
 
     @classmethod
     def of(cls, search: ProductSearch, elapsed_s: float = 0.0) -> "Checkpoint":
+        from ..engine import ParallelSearchEngine
+
+        version = (
+            CHECKPOINT_VERSION_PARALLEL
+            if isinstance(search.engine, ParallelSearchEngine)
+            else CHECKPOINT_VERSION
+        )
         return cls(
             search=search,
             protocol=search.protocol.describe(),
             mode=search.mode,
             elapsed_s=elapsed_s,
+            version=version,
         )
 
     def save(self, path: str) -> None:
@@ -93,9 +127,10 @@ class Checkpoint:
             raise CheckpointError(
                 f"{path!r} is not a verification checkpoint (got {type(obj).__name__})"
             )
-        if obj.version != CHECKPOINT_VERSION:
+        if obj.version not in READABLE_VERSIONS:
             raise CheckpointError(
                 f"checkpoint {path!r} has version {obj.version}, "
-                f"this build reads version {CHECKPOINT_VERSION}"
+                f"this build reads versions "
+                f"{', '.join(str(v) for v in READABLE_VERSIONS)}"
             )
         return obj

@@ -15,9 +15,10 @@ from typing import Optional
 from ..core.protocol import Protocol
 from ..core.storder import STOrderGenerator
 from ..core.verify import VerificationResult, result_from_product
+from ..engine import ParallelSearchEngine
 from ..modelcheck.product import ProductSearch
 from .budget import Budget
-from .checkpoint import Checkpoint
+from .checkpoint import Checkpoint, CheckpointError
 
 __all__ = ["run_verification"]
 
@@ -34,6 +35,7 @@ def run_verification(
     resume_from: Optional[str] = None,
     strategy: str = "bfs",
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> VerificationResult:
     """Model-check ``protocol`` under a budget, checkpointing on
     truncation.
@@ -49,6 +51,14 @@ def run_verification(
     ``strategy``/``seed`` pick the frontier policy (see
     :mod:`repro.engine.strategy`); BFS is the default and the only one
     that yields shortest counterexamples.
+
+    ``workers`` shards the search across that many worker processes
+    (``None`` means: 1 for a fresh search, whatever the checkpoint used
+    for a resumed one).  A parallel (version-3) checkpoint resumes
+    under any explicit worker count — the engine re-shards — while a
+    sequential (version-2) checkpoint holds a single-frontier engine
+    and therefore resumes only with ``workers`` 1 or ``None``;
+    requesting more raises :class:`CheckpointError` (CLI exit code 2).
     """
     if resume_from is not None:
         if protocol is not None:
@@ -56,6 +66,17 @@ def run_verification(
         cp = Checkpoint.load(resume_from)
         search = cp.search
         spent = cp.elapsed_s
+        parallel = isinstance(search.engine, ParallelSearchEngine)
+        if workers is not None and workers != search.workers:
+            if not parallel:
+                raise CheckpointError(
+                    f"checkpoint {resume_from!r} holds a sequential "
+                    f"(workers=1, version-2) search; it cannot be resumed "
+                    f"with --workers {workers}. Resume with --workers 1 "
+                    f"(or omit --workers), or restart the verification "
+                    f"from scratch with --workers {workers}."
+                )
+            search.reshard(workers)
     else:
         if protocol is None:
             raise ValueError("a protocol (or resume_from) is required")
@@ -67,6 +88,7 @@ def run_verification(
             max_depth=max_depth,
             strategy=strategy,
             seed=seed,
+            workers=1 if workers is None else workers,
         )
         spent = 0.0
 

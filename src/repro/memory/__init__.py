@@ -16,12 +16,19 @@ Protocol                     SC?    Notable feature
 :class:`FencedStoreBufferProtocol` yes  TSO + load fence = SC
 :class:`StoreBufferProtocol` no     TSO store buffering
 :class:`BuggyMSIProtocol`    no     missing invalidation
+:class:`BuggyMSINoWritebackProtocol` no  evict drops modified data
+:class:`BuggyMSIStaleSharedProtocol` no  AcquireS reads stale memory
 :class:`Figure4Protocol`     —      tracking-label demo (Figure 4)
 ===========================  =====  ==============================
 """
 
 from .base import LocationMap, MemoryProtocol
-from .buggy import BuggyMSIProtocol
+from .buggy import (
+    BUGGY_VARIANTS,
+    BuggyMSINoWritebackProtocol,
+    BuggyMSIProtocol,
+    BuggyMSIStaleSharedProtocol,
+)
 from .directory import DirectoryProtocol
 from .dragon import DragonProtocol
 from .fenced_store_buffer import FencedStoreBufferProtocol
@@ -50,6 +57,9 @@ __all__ = [
     "StoreBufferProtocol",
     "store_buffer_st_order",
     "BuggyMSIProtocol",
+    "BuggyMSINoWritebackProtocol",
+    "BuggyMSIStaleSharedProtocol",
+    "BUGGY_VARIANTS",
     "Figure4Protocol",
     "figure4_run",
     "figure4_steps",

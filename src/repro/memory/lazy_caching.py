@@ -42,7 +42,7 @@ from typing import Dict, Iterable, Tuple
 
 from ..core.operations import BOTTOM, InternalAction
 from ..core.protocol import FRESH, Tracking, Transition
-from ..core.storder import WriteOrderSTOrder
+from ..core.storder import ActionKeyedSerializer, WriteOrderSTOrder
 from .base import LocationMap, MemoryProtocol, replace_at
 
 __all__ = ["LazyCachingProtocol", "lazy_caching_st_order"]
@@ -55,9 +55,7 @@ INVALID = -1
 def lazy_caching_st_order() -> WriteOrderSTOrder:
     """The Section 4.2 ST-order generator for Lazy Caching: a ST
     serialises when its processor's ``memory-write`` fires."""
-    return WriteOrderSTOrder(
-        lambda action: action.args[0] if action.name == "memory-write" else None
-    )
+    return WriteOrderSTOrder(ActionKeyedSerializer("memory-write"))
 
 
 class LazyCachingProtocol(MemoryProtocol):

@@ -39,6 +39,11 @@ class MSIProtocol(MemoryProtocol):
 
     #: invalidate other copies on AcquireM (the buggy variant flips it)
     invalidate_on_acquire_m: bool = True
+    #: write a modified line back to memory on Evict (buggy: data lost)
+    writeback_on_evict: bool = True
+    #: AcquireS fetches from a modified owner when one exists (buggy:
+    #: always from memory, which may hold stale data)
+    acquire_s_from_owner: bool = True
 
     def __init__(self, p: int = 2, b: int = 1, v: int = 2, *, allow_evict: bool = True):
         super().__init__(p, b, v)
@@ -118,7 +123,7 @@ class MSIProtocol(MemoryProtocol):
         i = self._idx(P, B, b)
         owner = self._owner(cstate, B)
         copies: Dict[int, int] = {}
-        if owner is not None:
+        if owner is not None and self.acquire_s_from_owner:
             j = self._idx(owner, B, b)
             # owner writes back and downgrades; P copies the same data
             mem = replace_at(mem, B - 1, cval[j])
@@ -166,7 +171,7 @@ class MSIProtocol(MemoryProtocol):
         mem, cstate, cval = state
         i = self._idx(P, B, self.b)
         copies: Dict[int, int] = {self.cache_loc(P, B): FRESH}
-        if cstate[i] == M:
+        if cstate[i] == M and self.writeback_on_evict:
             mem = replace_at(mem, B - 1, cval[i])
             copies[self.mem_loc(B)] = self.cache_loc(P, B)
         cstate = replace_at(cstate, i, I)

@@ -24,7 +24,7 @@ from typing import Dict, Iterable, Tuple
 
 from ..core.operations import BOTTOM, InternalAction
 from ..core.protocol import FRESH, Tracking, Transition
-from ..core.storder import WriteOrderSTOrder
+from ..core.storder import ActionKeyedSerializer, WriteOrderSTOrder
 from .base import LocationMap, MemoryProtocol, replace_at
 
 __all__ = ["StoreBufferProtocol", "store_buffer_st_order"]
@@ -32,9 +32,7 @@ __all__ = ["StoreBufferProtocol", "store_buffer_st_order"]
 
 def store_buffer_st_order() -> WriteOrderSTOrder:
     """STs serialise when their processor's ``flush`` pops them."""
-    return WriteOrderSTOrder(
-        lambda action: action.args[0] if action.name == "flush" else None
-    )
+    return WriteOrderSTOrder(ActionKeyedSerializer("flush"))
 
 
 class StoreBufferProtocol(MemoryProtocol):

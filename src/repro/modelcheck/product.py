@@ -38,7 +38,7 @@ from ..core.observer import Observer
 from ..core.operations import Action
 from ..core.protocol import Protocol
 from ..core.storder import STOrderGenerator
-from ..engine import ComposedSystem, SearchEngine
+from ..engine import ComposedSystem, ParallelSearchEngine, SearchEngine
 from ..engine.strategy import StopHook
 from .counterexample import Counterexample
 from .stats import ExplorationStats
@@ -113,6 +113,13 @@ class ProductSearch:
     and the only one that yields shortest counterexamples — ``"dfs"``
     or ``"random-walk"``; see :mod:`repro.engine.strategy`).
 
+    ``workers > 1`` runs the same search sharded across that many
+    worker processes (:class:`repro.engine.ParallelSearchEngine`) —
+    verdicts and state counts are identical to the sequential engine
+    (the differential suite enforces it); ``stop_on_violation=False``
+    selects the exhaustive discipline both engines share, where every
+    violating state is recorded and the canonical one reported.
+
     ``mode`` selects the checking depth:
 
     * ``"full"`` — the literal Figure 2 pipeline: the complete
@@ -142,7 +149,11 @@ class ProductSearch:
         unpin_heads: bool = True,
         strategy: str = "bfs",
         seed: int = 0,
+        workers: int = 1,
+        stop_on_violation: bool = True,
     ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.protocol = protocol
         self.st_order = st_order
         self.mode = mode
@@ -150,6 +161,7 @@ class ProductSearch:
         self.max_depth = max_depth
         self.check_quiescence_reachability = check_quiescence_reachability
         self.canonical_ids = canonical_ids
+        self.workers = workers
         self.system = ComposedSystem(
             protocol,
             st_order,
@@ -158,16 +170,30 @@ class ProductSearch:
             eager_free=eager_free,
             unpin_heads=unpin_heads,
         )
-        self.engine = SearchEngine(
-            self.system,
-            strategy=strategy,
-            seed=seed,
-            max_states=max_states,
-            max_depth=max_depth,
-            strict_cap=False,
-            track_successors=True,
-            check_quiescence_reachability=check_quiescence_reachability,
-        )
+        if workers > 1:
+            self.engine = ParallelSearchEngine(
+                self.system,
+                workers=workers,
+                strategy=strategy,
+                seed=seed,
+                max_states=max_states,
+                max_depth=max_depth,
+                stop_on_violation=stop_on_violation,
+                track_successors=True,
+                check_quiescence_reachability=check_quiescence_reachability,
+            )
+        else:
+            self.engine = SearchEngine(
+                self.system,
+                strategy=strategy,
+                seed=seed,
+                max_states=max_states,
+                max_depth=max_depth,
+                strict_cap=False,
+                stop_on_violation=stop_on_violation,
+                track_successors=True,
+                check_quiescence_reachability=check_quiescence_reachability,
+            )
         self.stats = self.engine.stats
 
     # ------------------------------------------------------------------
@@ -177,10 +203,30 @@ class ProductSearch:
         changes it)."""
         return self.engine.done
 
-    def _build_cx(self, sid: int) -> Counterexample:
-        actions = self.engine.store.path_to(sid)
+    def _build_cx(self, ref) -> Counterexample:
+        """``ref`` is a violating-state reference: an interned ID for
+        the sequential engine, a global ``(shard, id)`` pair for the
+        parallel one — both walk parent pointers back to the root."""
+        if isinstance(ref, tuple):
+            actions = self.engine.path_to(ref)
+        else:
+            actions = self.engine.store.path_to(ref)
         symbols, reason = _replay(self.protocol, self.st_order, actions)
         return Counterexample(tuple(actions), symbols, reason)
+
+    def reshard(self, workers: int) -> None:
+        """Re-distribute a paused *parallel* search over a different
+        worker count (checkpoint resumed with a new ``--workers``).
+        Raises :class:`ValueError` for a sequential search — a v2
+        checkpoint cannot be resumed in parallel."""
+        if not isinstance(self.engine, ParallelSearchEngine):
+            raise ValueError(
+                "this search was started with the sequential engine "
+                "(workers=1); it can only be resumed with workers=1"
+            )
+        self.engine = self.engine.reshard(workers)
+        self.workers = workers
+        self.stats = self.engine.stats
 
     def run(self, should_stop: Optional[StopHook] = None) -> ProductResult:
         """Continue the search until a verdict or a cooperative stop.
@@ -215,10 +261,15 @@ def explore_product(
     unpin_heads: bool = True,
     strategy: str = "bfs",
     seed: int = 0,
+    workers: int = 1,
+    stop_on_violation: bool = True,
     should_stop: Optional[StopHook] = None,
 ) -> ProductResult:
     """Run the verification search in one shot (see
-    :class:`ProductSearch` for the knobs and resumable form)."""
+    :class:`ProductSearch` for the knobs and resumable form).
+    ``workers > 1`` shards the search across that many worker
+    processes (:class:`repro.engine.ParallelSearchEngine`); verdicts
+    and state counts are identical to ``workers=1``."""
     search = ProductSearch(
         protocol,
         st_order,
@@ -231,5 +282,7 @@ def explore_product(
         unpin_heads=unpin_heads,
         strategy=strategy,
         seed=seed,
+        workers=workers,
+        stop_on_violation=stop_on_violation,
     )
     return search.run(should_stop)

@@ -201,3 +201,35 @@ def test_fault_matrix_cli(capsys):
 def test_fault_matrix_unknown_protocol_is_exit_2(capsys):
     code, out = run_cli(capsys, "fault-matrix", "--protocols", "nosuch")
     assert code == 2
+
+
+def test_verify_workers_checkpoint_resume_roundtrip(capsys, tmp_path):
+    cp = tmp_path / "par.ckpt"
+    code, out = run_cli(
+        capsys, "verify", "msi", "--b", "1", "--v", "1",
+        "--budget-states", "100", "--checkpoint", str(cp), "--workers", "2",
+    )
+    assert code == 0 and cp.exists()
+    code, out = run_cli(capsys, "verify", "--resume", str(cp), "--workers", "3")
+    assert code == 0
+    assert "SEQUENTIALLY CONSISTENT" in out
+
+
+def test_verify_v2_checkpoint_with_workers_is_exit_2(capsys, tmp_path):
+    cp = tmp_path / "seq.ckpt"
+    code, _ = run_cli(
+        capsys, "verify", "msi", "--b", "1", "--v", "1",
+        "--budget-states", "100", "--checkpoint", str(cp),
+    )
+    assert cp.exists()
+    code, out = run_cli(capsys, "verify", "--resume", str(cp), "--workers", "2")
+    assert code == 2
+    assert "version-2" in out and "--workers 1" in out
+
+
+def test_verify_corrupted_checkpoint_is_exit_2(capsys, tmp_path):
+    cp = tmp_path / "bad.ckpt"
+    cp.write_bytes(b"\x00\x01 not a pickle")
+    code, out = run_cli(capsys, "verify", "--resume", str(cp))
+    assert code == 2
+    assert "error:" in out

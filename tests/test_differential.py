@@ -1,0 +1,183 @@
+"""Differential tests: the parallel engine against the sequential oracle.
+
+The honesty contract (see :mod:`repro.difftest` and docs/PARALLEL.md):
+sharding a verification across worker processes — or changing the
+frontier strategy — may change wall-clock time and *nothing else*.
+Verdicts always agree; state/transition/quiescent counts agree for
+every completed search; exhaustive searches agree on the full
+violation-key set and on the canonically reported violating state; and
+every counterexample, whatever path the engine's parent pointers
+recorded, replays through a fresh observer + checker to a genuine
+rejection.
+
+The fast tier covers the small protocols and the buggy baseline at
+workers ∈ {1, 2}; the ``slow``-marked matrix sweeps the whole zoo ×
+every strategy × workers ∈ {1, 2, 4} (CI runs it on main, not on PRs).
+On divergence, :func:`repro.difftest.assert_equivalent` prints the
+minimized report — only the diverging configurations, only the fields
+on which they diverge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import NON_SC_PROTOCOLS, PROTOCOLS
+from repro.difftest import (
+    SearchFingerprint,
+    assert_equivalent,
+    compare_fingerprints,
+    divergence_report,
+    fingerprint,
+)
+from repro.memory import BUGGY_VARIANTS
+
+STRATEGIES = ("bfs", "dfs", "random-walk")
+
+#: non-SC zoo entries whose exhaustive closure is too large for the
+#: matrix budget — compared in stop-on-first mode (verdict + replay
+#: validity), which is the contract that mode promises
+STOP_MODE_ONLY = frozenset({"storebuffer", "buggy-msi-stale-s"})
+
+
+def _make(name):
+    ctor, gen_factory, (p, b, v) = PROTOCOLS[name]
+    return ctor(p=p, b=b, v=v), (gen_factory() if gen_factory is not None else None)
+
+
+def _fp(name, *, strategy="bfs", workers=1, exhaustive=True, seed=3):
+    proto, gen = _make(name)
+    return fingerprint(
+        proto, gen, mode="fast", strategy=strategy, workers=workers,
+        exhaustive=exhaustive, seed=seed,
+    )
+
+
+# ----------------------------------------------------------------- fast tier
+
+
+@pytest.mark.parametrize("name", ["serial", "fenced-sb", "lazy"])
+def test_worker_count_invariance_small(name):
+    base = _fp(name, workers=1)
+    assert base.verdict == "verified"
+    assert_equivalent(base, [_fp(name, workers=2)])
+
+
+@pytest.mark.parametrize("name", ["serial", "lazy", "directory"])
+def test_strategy_invariance_sequential(name):
+    base = _fp(name, strategy="bfs")
+    assert_equivalent(
+        base, [_fp(name, strategy=s) for s in ("dfs", "random-walk")]
+    )
+
+
+@pytest.mark.parametrize(
+    "variant", [cls.__name__ for cls, _cfg in BUGGY_VARIANTS]
+)
+@pytest.mark.parametrize("workers", [1, 2])
+def test_buggy_variants_caught_under_every_worker_count(variant, workers):
+    """Catch-rate parity: every buggy variant is flagged non-SC by the
+    parallel engine exactly as by the sequential one, with a
+    counterexample that replays to a genuine rejection."""
+    cls, cfg = next(
+        (c, cfg) for c, cfg in BUGGY_VARIANTS if c.__name__ == variant
+    )
+    fp = fingerprint(cls(*cfg), workers=workers, exhaustive=False)
+    assert fp.verdict == "violation"
+    assert fp.cx_replays is True
+
+
+def test_storebuffer_caught_in_parallel():
+    base = _fp("storebuffer", workers=1, exhaustive=False)
+    other = _fp("storebuffer", workers=2, exhaustive=False)
+    assert base.verdict == other.verdict == "violation"
+    assert base.cx_replays is True and other.cx_replays is True
+    assert not compare_fingerprints(base, other)
+
+
+def test_random_walk_seed_does_not_change_the_contract():
+    base = _fp("lazy", strategy="random-walk", seed=1)
+    assert_equivalent(
+        base, [_fp("lazy", strategy="random-walk", seed=s) for s in (2, 99)]
+    )
+
+
+# ------------------------------------------------- the report is minimized
+
+
+def _fab(**over):
+    defaults = dict(
+        protocol="P", mode="fast", strategy="bfs", workers=1, exhaustive=True,
+        verdict="verified", states=10, transitions=20, quiescent=10,
+        non_quiescible=0, violation_keys=frozenset(), canonical_violation=None,
+        cx_len=None, cx_replays=None,
+    )
+    defaults.update(over)
+    return SearchFingerprint(**defaults)
+
+
+def test_divergence_report_names_only_diverging_fields():
+    base = _fab()
+    agree = _fab(workers=2)
+    diverge = _fab(workers=4, states=11)
+    report = divergence_report(base, [agree, diverge])
+    assert "workers=4" in report and "states: 10 vs 11" in report
+    assert "workers=2" not in report  # agreeing configs are omitted
+    assert "transitions" not in report  # agreeing fields are omitted
+
+
+def test_divergence_report_diffs_violation_key_sets_tersely():
+    base = _fab(verdict="violation", violation_keys=frozenset(range(100)),
+                canonical_violation=0, cx_len=4, cx_replays=True)
+    other = _fab(workers=2, verdict="violation",
+                 violation_keys=frozenset(range(1, 101)),
+                 canonical_violation=1, cx_len=4, cx_replays=True)
+    report = divergence_report(base, [other])
+    assert "100 vs 100 keys" in report
+    assert "only-baseline [0]" in report and "only-other [100]" in report
+
+
+def test_stop_mode_violation_counts_are_not_compared():
+    # a stop-on-first halt finds the violation whenever its search
+    # order gets there; counts measure the engine's luck, not the
+    # protocol, and must not fail the differential
+    a = _fab(exhaustive=False, verdict="violation", states=50,
+             cx_len=6, cx_replays=True)
+    b = _fab(exhaustive=False, workers=2, verdict="violation", states=900,
+             cx_len=12, cx_replays=True)
+    assert not compare_fingerprints(a, b)
+    # ... but a counterexample that fails replay always diverges
+    c = _fab(exhaustive=False, workers=4, verdict="violation", states=50,
+             cx_len=6, cx_replays=False)
+    assert compare_fingerprints(a, c) == [("cx_replays", True, False)]
+
+
+def test_assert_equivalent_raises_with_report():
+    base = _fab()
+    with pytest.raises(AssertionError, match="states: 10 vs 11"):
+        assert_equivalent(base, [_fab(states=11)])
+
+
+# ----------------------------------------------------------- the full matrix
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(PROTOCOLS))
+def test_zoo_matrix_every_strategy_every_worker_count(name):
+    """Every zoo protocol × {bfs, dfs, random-walk} × workers {1, 2, 4}
+    agrees with the sequential BFS baseline on the full contract."""
+    exhaustive = name not in STOP_MODE_ONLY
+    base = _fp(name, strategy="bfs", workers=1, exhaustive=exhaustive)
+    others = [
+        _fp(name, strategy=s, workers=w, exhaustive=exhaustive)
+        for s in STRATEGIES
+        for w in (1, 2, 4)
+        if (s, w) != ("bfs", 1)
+    ]
+    assert_equivalent(base, others)
+    if name in NON_SC_PROTOCOLS:
+        assert base.verdict == "violation"
+        assert base.cx_replays is True
+        assert all(fp.cx_replays for fp in others)
+    else:
+        assert base.verdict == "verified"

@@ -114,15 +114,31 @@ def test_checkpoint_load_rejects_garbage(tmp_path):
 
 
 def test_checkpoint_unpicklable_generator_fails_cleanly(tmp_path):
-    # the lazy-caching generator factory captures lambdas
-    search = ProductSearch(
-        LazyCachingProtocol(p=2, b=1, v=1), lazy_caching_st_order(), mode="fast"
+    # a hand-rolled generator capturing a lambda still cannot pickle
+    from repro.core.storder import WriteOrderSTOrder
+
+    gen = WriteOrderSTOrder(
+        lambda action: action.args[0] if action.name == "memory-write" else None
     )
+    search = ProductSearch(LazyCachingProtocol(p=2, b=1, v=1), gen, mode="fast")
     search.run(Budget(states=10).start().should_stop)
     path = tmp_path / "lazy.ckpt"
     with pytest.raises(CheckpointError, match="pickle"):
         Checkpoint.of(search).save(str(path))
     assert not path.exists()  # no corrupt file left behind
+
+
+def test_checkpoint_lazy_caching_factory_now_picklable(tmp_path):
+    # the stock factories use ActionKeyedSerializer and checkpoint fine
+    search = ProductSearch(
+        LazyCachingProtocol(p=2, b=1, v=1), lazy_caching_st_order(), mode="fast"
+    )
+    search.run(Budget(states=10).start().should_stop)
+    path = tmp_path / "lazy.ckpt"
+    Checkpoint.of(search).save(str(path))
+    cp = Checkpoint.load(str(path))
+    res = cp.search.run()
+    assert res.ok
 
 
 # ---------------------------------------------------------------- runner
@@ -225,3 +241,54 @@ def test_degrade_starved_still_catches_buggy_protocol():
     assert not res.sequentially_consistent
     assert res.counterexample is not None
     assert res.confidence in ("refuted", "litmus", "fuzz")
+
+
+# ------------------------------------------------ parallel checkpoints (v3)
+
+
+def _truncated_parallel_msi(tmp_path, workers=2):
+    path = tmp_path / "par.ckpt"
+    res = run_verification(
+        MSIProtocol(p=2, b=1, v=1),
+        budget=Budget(states=100),
+        checkpoint_path=str(path),
+        workers=workers,
+    )
+    # parallel rounds overshoot the cap slightly; what matters is the pause
+    assert not res.complete and path.exists()
+    return path
+
+
+def test_parallel_checkpoint_is_version_3(tmp_path):
+    cp = Checkpoint.load(str(_truncated_parallel_msi(tmp_path)))
+    assert cp.version == 3
+    assert cp.search.workers == 2
+
+
+def test_v3_checkpoint_resumes_under_any_worker_count(tmp_path):
+    baseline = run_verification(MSIProtocol(p=2, b=1, v=1))
+    path = _truncated_parallel_msi(tmp_path)
+    # None keeps the checkpoint's 2 shards; 3 reshards up; 1 reshards
+    # down to a single shard — all must finish the same proof
+    for workers in (None, 3, 1):
+        res = run_verification(resume_from=str(path), workers=workers)
+        assert res.sequentially_consistent and res.complete
+        assert res.stats.states == baseline.stats.states
+        assert res.stats.transitions == baseline.stats.transitions
+
+
+def test_v2_checkpoint_refuses_parallel_resume(tmp_path):
+    path = tmp_path / "seq.ckpt"
+    res = run_verification(
+        MSIProtocol(p=2, b=1, v=1),
+        budget=Budget(states=100),
+        checkpoint_path=str(path),
+    )
+    assert not res.complete
+    assert Checkpoint.load(str(path)).version == 2
+    with pytest.raises(CheckpointError, match="version-2"):
+        run_verification(resume_from=str(path), workers=2)
+    # the refusal must not consume the checkpoint: a sequential resume
+    # afterwards still completes the proof
+    resumed = run_verification(resume_from=str(path), workers=1)
+    assert resumed.complete and resumed.sequentially_consistent

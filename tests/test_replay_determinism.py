@@ -1,4 +1,4 @@
-"""Counterexample replay determinism (ISSUE satellite).
+"""Counterexample replay determinism and sharding invariants.
 
 A budget-interrupted search that is later resumed must reach exactly
 the same verdict as the uninterrupted run — same state count, same
@@ -11,10 +11,23 @@ both verdict polarities:
   stop/resume of a single :class:`ProductSearch` — its ST-order
   generator captures a closure and so cannot be pickled, which is
   itself asserted by ``test_harness``.
+
+The second half fuzzes the *sharded* engine on seeded random-DAG
+workloads (:class:`SeededDagSystem`): across seeds and worker counts,
+every canonical key is interned exactly once globally and on the
+shard :func:`~repro.engine.sharding.shard_of` assigns it to; the
+interned set equals the independently computed reachable closure; and
+every cross-shard counterexample path replays edge-by-edge to its
+violating state.
 """
+
+import random
 
 import pytest
 
+from repro.engine import ParallelSearchEngine, SearchEngine
+from repro.engine.component import Step, System
+from repro.engine.sharding import shard_of, stable_hash
 from repro.harness import Budget, run_verification
 from repro.memory import MSIProtocol, StoreBufferProtocol, store_buffer_st_order
 from repro.modelcheck.product import ProductSearch
@@ -116,3 +129,168 @@ def test_tso_replay_is_deterministic_across_fresh_searches(tso_baseline):
     assert again.counterexample.run == tso_baseline.counterexample.run
     assert again.counterexample.symbols == tso_baseline.counterexample.symbols
     assert again.stats.states == tso_baseline.stats.states
+
+
+# --------------------------------------------- sharding invariants (fuzz)
+
+
+class SeededDagSystem(System):
+    """A seeded random DAG over integer nodes: node 0 is the root,
+    every node is reachable (each gets a parent among the smaller
+    ones), a ``bad_fraction`` of the non-root nodes is marked
+    violating (``ok=False``).  Module-level so worker processes can
+    unpickle it."""
+
+    def __init__(self, n=40, extra_edges=2.0, bad_fraction=0.15, seed=0):
+        rng = random.Random(seed)
+        succs = {i: set() for i in range(n)}
+        for j in range(1, n):
+            succs[rng.randrange(j)].add(j)
+        for _ in range(int(extra_edges * n)):
+            i = rng.randrange(n - 1)
+            succs[i].add(rng.randrange(i + 1, n))
+        self.succs = {i: tuple(sorted(s)) for i, s in succs.items()}
+        self.bad = frozenset(j for j in range(1, n) if rng.random() < bad_fraction)
+
+    def initial(self):
+        return 0
+
+    def key(self, node):
+        return ("dag", node)
+
+    def steps(self, node):
+        for t in self.succs[node]:
+            yield Step(("edge", node, t), t, ("dag", t), t not in self.bad)
+
+    def reachable_closure(self):
+        """Nodes the engines must intern: closure from 0 expanding
+        only non-violating nodes (violations are recorded, never
+        expanded)."""
+        seen, todo = {0}, [0]
+        while todo:
+            n = todo.pop()
+            if n in self.bad:
+                continue
+            for t in self.succs[n]:
+                if t not in seen:
+                    seen.add(t)
+                    todo.append(t)
+        return seen
+
+
+def _parallel_engine(system, workers, **kw):
+    return ParallelSearchEngine(
+        system,
+        workers=workers,
+        stop_on_violation=False,
+        track_successors=True,
+        check_quiescence_reachability=False,
+        **kw,
+    )
+
+
+DAG_SEEDS = [1, 7, 23, 91, 404]
+
+
+@pytest.mark.parametrize("seed", DAG_SEEDS)
+@pytest.mark.parametrize("workers", [2, 3])
+def test_sharded_interning_is_globally_unique_and_complete(seed, workers):
+    system = SeededDagSystem(seed=seed)
+    engine = _parallel_engine(system, workers)
+    engine.run()
+
+    seen = {}
+    for shard in engine.shards:
+        for lid in range(len(shard.store)):
+            key = shard.store.key_of(lid)
+            assert key not in seen, (
+                f"{key} interned on shards {seen[key]} and {shard.index}"
+            )
+            seen[key] = shard.index
+            assert shard.index == shard_of(key, workers)
+
+    expected = {("dag", n) for n in system.reachable_closure()}
+    assert set(seen) == expected
+    assert engine.stats.states == len(expected)
+
+
+@pytest.mark.parametrize("seed", DAG_SEEDS)
+@pytest.mark.parametrize("workers", [2, 3])
+def test_cross_shard_paths_replay_to_each_violation(seed, workers):
+    system = SeededDagSystem(seed=seed)
+    engine = _parallel_engine(system, workers)
+    out = engine.run()
+
+    expected_bad = {
+        ("dag", n) for n in system.reachable_closure() if n in system.bad
+    }
+    assert engine.violation_keys() == frozenset(expected_bad)
+    if not expected_bad:
+        assert out.status == "done"
+        return
+
+    assert out.status == "violation"
+    for shard, lid in out.violations:
+        node = 0
+        for action in engine.path_to((shard, lid)):
+            tag, src, dst = action
+            assert tag == "edge" and src == node
+            assert dst in system.succs[src], "replayed a non-edge"
+            node = dst
+        assert ("dag", node) == engine.shards[shard].store.key_of(lid)
+        assert node in system.bad
+
+
+@pytest.mark.parametrize("seed", DAG_SEEDS)
+def test_sharded_outcome_matches_sequential_oracle(seed):
+    system = SeededDagSystem(seed=seed)
+    seq = SearchEngine(
+        system,
+        stop_on_violation=False,
+        track_successors=True,
+        check_quiescence_reachability=False,
+    )
+    seq_out = seq.run()
+    par = _parallel_engine(system, 3)
+    par_out = par.run()
+
+    assert par_out.status == seq_out.status
+    assert par.stats.states == seq.stats.states
+    assert par.stats.transitions == seq.stats.transitions
+    assert par.violation_keys() == seq.violation_keys()
+    if seq_out.status == "violation":
+        # the canonically reported violating *key* is engine-independent
+        seq_key = seq.store.key_of(seq_out.violating)
+        shard, lid = par_out.violating
+        assert par.shards[shard].store.key_of(lid) == seq_key
+
+
+def test_reshard_mid_search_preserves_the_outcome():
+    system = SeededDagSystem(n=120, seed=5)
+    baseline = _parallel_engine(system, 2)
+    base_out = baseline.run()
+
+    engine = _parallel_engine(system, 2, round_quota=4)
+    stopped = engine.run(lambda stats: "pause" if stats.states >= 10 else None)
+    assert stopped.status == "stopped"
+    engine = engine.reshard(3)
+    final = engine.run()
+
+    assert final.status == base_out.status
+    assert engine.stats.states == baseline.stats.states
+    assert engine.violation_keys() == baseline.violation_keys()
+    for shard in engine.shards:
+        for lid in range(len(shard.store)):
+            assert shard.index == shard_of(shard.store.key_of(lid), 3)
+
+
+def test_stable_hash_golden_values_guard_run_independence():
+    """Sharding is only deterministic across processes and runs if
+    stable_hash is; these frozen values catch any accidental use of
+    salted hashing or layout-dependent folding."""
+    assert stable_hash(0) == 844506019972948872
+    assert stable_hash(-1) == 873677162369289390
+    assert stable_hash("x") == 12111270874281193883
+    assert stable_hash(("dag", 3)) == 8006457892223345201
+    assert stable_hash((("REJECTED",),)) == 1919040259227599867
+    assert stable_hash(frozenset({1, 2})) == 16100660442185421456
