@@ -152,6 +152,10 @@ def main(argv=None) -> int:
     )
     args = ap.parse_args(argv)
 
+    # the record shape (and the appended-runs carry-forward) lives with
+    # the telemetry layer now; this script only measures
+    from repro.obs.bench import build_record, write_record
+
     current = time_workloads_inprocess(args.rounds)
     parallel = time_parallel_inprocess(args.rounds)
 
@@ -166,31 +170,16 @@ def main(argv=None) -> int:
         baseline = previous.get("baseline", {}).get("workloads", {})
         baseline_note = previous.get("baseline", {}).get("note", "no baseline recorded")
 
-    record = {
-        "benchmark": "E-verify representative verification wall time",
-        "rounds": args.rounds,
-        "policy": "best-of-N wall seconds per workload",
-        "baseline": {"note": baseline_note, "workloads": baseline},
-        "current": {"workloads": current},
-        "parallel": {
-            "cpu_count": os.cpu_count(),
-            "note": (
-                "sharded engine (--workers N) on the headline workload; "
-                "states are asserted bit-identical to workers=1. Wall-clock "
-                "speedup requires cpu_count cores to shard across — on a "
-                "single-core machine the IPC overhead makes workers>1 "
-                "strictly slower, which this section records honestly."
-            ),
-            "workloads": parallel,
-        },
-        "speedup": {},
-    }
-    for name, cur in current.items():
-        base = baseline.get(name)
-        if base and base.get("seconds"):
-            record["speedup"][name] = round(base["seconds"] / cur["seconds"], 3)
-
-    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    record = build_record(
+        current=current,
+        parallel=parallel,
+        baseline=baseline,
+        baseline_note=baseline_note,
+        rounds=args.rounds,
+        cpu_count=os.cpu_count(),
+        previous=previous,
+    )
+    write_record(args.output, record)
     for name, cur in current.items():
         spd = record["speedup"].get(name)
         spd_s = f"  ({spd:.2f}x vs baseline)" if spd else ""

@@ -14,6 +14,9 @@ Commands
 ``check-run`` judge a recorded protocol run from a log file (§5)
 ``fault-matrix`` verify every (protocol × injected fault) pair and
              check the checker catches what it must (docs/ROBUSTNESS.md)
+``metrics``  summarise a run's trace/metrics snapshot, diff two, append
+             a normalized benchmark entry, or gate on a states/sec
+             regression (docs/OBSERVABILITY.md)
 
 Protocols are addressed by name (see ``PROTOCOLS``); each entry knows
 its default ST-order generator, so ``python -m repro verify lazy``
@@ -106,25 +109,50 @@ def _add_protocol_args(sub, with_params: bool = True) -> None:
         sub.add_argument("--v", type=int, default=None, help="values")
 
 
+def _add_telemetry_args(sub) -> None:
+    sub.add_argument("--trace-log", metavar="PATH", default=None,
+                     help="write a structured JSONL run trace here "
+                          "(inspect with 'repro metrics PATH')")
+    sub.add_argument("--progress", nargs="?", const=2.0, type=float,
+                     default=None, metavar="SECONDS",
+                     help="print a live progress heartbeat (states/sec, "
+                          "frontier, budget burn) to stderr, at most every "
+                          "SECONDS (default 2)")
+
+
+def _telemetry_from_args(args):
+    """Build a :class:`repro.obs.Telemetry` from the CLI flags, or
+    ``None`` when every telemetry flag is off (the zero-cost default:
+    no telemetry object means no telemetry call anywhere)."""
+    profile = getattr(args, "profile", False)
+    trace_log = getattr(args, "trace_log", None)
+    progress = getattr(args, "progress", None)
+    if not profile and trace_log is None and progress is None:
+        return None
+    from .obs import MetricsRegistry, ProgressReporter, Telemetry, TraceWriter
+
+    registry = MetricsRegistry() if (profile or trace_log is not None) else None
+    trace = TraceWriter.open(trace_log) if trace_log is not None else None
+    reporter = ProgressReporter(interval=progress) if progress is not None else None
+    return Telemetry(registry, trace, reporter)
+
+
 def cmd_verify(args) -> int:
-    if args.profile:
-        # profile the whole verification (search + replay), then dump
-        # cumulative-time stats so perf work can cite real numbers
-        import cProfile
-        import pstats
-
-        profiler = cProfile.Profile()
-        profiler.enable()
-        try:
-            code = _cmd_verify(args)
-        finally:
-            profiler.disable()
-            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
-        return code
-    return _cmd_verify(args)
+    telemetry = _telemetry_from_args(args)
+    try:
+        code = _cmd_verify(args, telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    if args.profile and telemetry is not None and telemetry.registry is not None:
+        # the span table replaces the old cProfile dump: phase.search /
+        # phase.replay plus whatever the engines recorded
+        print()
+        print(telemetry.registry.snapshot().format(title="Profile (timer spans)"))
+    return code
 
 
-def _cmd_verify(args) -> int:
+def _cmd_verify(args, telemetry=None) -> int:
     from .harness import Budget, CheckpointError, degrade, run_verification
 
     budget = None
@@ -151,6 +179,7 @@ def _cmd_verify(args) -> int:
                 checkpoint_path=args.checkpoint or args.resume,
                 resume_from=args.resume,
                 workers=args.workers,
+                telemetry=telemetry,
             )
         else:
             if args.protocol is None:
@@ -161,7 +190,22 @@ def _cmd_verify(args) -> int:
                 if budget is None or budget.wall_s is None:
                     print("error: --degrade needs a wall-clock budget (--budget-s)")
                     return 2
-                res = degrade(proto, gen, budget=budget, mode=args.mode)
+                if telemetry is not None:
+                    telemetry.start_run(
+                        protocol=proto.describe(), mode=args.mode, workers=1,
+                        degrade=True,
+                    )
+                    if telemetry.progress is not None:
+                        telemetry.progress.budget = budget
+                res = degrade(
+                    proto, gen, budget=budget, mode=args.mode, telemetry=telemetry
+                )
+                if telemetry is not None:
+                    telemetry.finish_run(
+                        verdict=res.verdict,
+                        states=res.stats.states,
+                        confidence=res.confidence,
+                    )
             else:
                 res = run_verification(
                     proto,
@@ -174,6 +218,7 @@ def _cmd_verify(args) -> int:
                     strategy=args.strategy,
                     seed=args.seed,
                     workers=args.workers,
+                    telemetry=telemetry,
                 )
     except CheckpointError as exc:
         print(f"error: {exc}")
@@ -355,6 +400,9 @@ def cmd_fault_matrix(args) -> int:
     if args.budget_s is not None:
         budget = Budget(wall_s=args.budget_s).start()
         should_stop = budget.should_stop
+    telemetry = _telemetry_from_args(args)
+    if telemetry is not None and telemetry.progress is not None and budget is not None:
+        telemetry.progress.budget = budget
     try:
         report = fault_matrix(
             protocols,
@@ -364,12 +412,93 @@ def cmd_fault_matrix(args) -> int:
             seed=args.seed,
             include_baseline=not args.no_baseline,
             workers=args.workers,
+            telemetry=telemetry,
         )
     finally:
         if budget is not None:
             budget.stop()
+        if telemetry is not None:
+            telemetry.close()
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_metrics(args) -> int:
+    from .obs import TraceError
+    from .obs.bench import (
+        append_run_entry,
+        check_states_per_sec,
+        load_summary,
+        normalized_entry,
+    )
+
+    def _load(path):
+        try:
+            return load_summary(path)
+        except TraceError as exc:
+            print(f"error: malformed trace {path!r}: {exc}")
+            return None
+        except OSError as exc:
+            print(f"error: {exc}")
+            return None
+
+    summary = _load(args.file)
+    if summary is None:
+        return 2
+
+    if args.file2 is not None:
+        other = _load(args.file2)
+        if other is None:
+            return 2
+        diffs = summary.snapshot.diff(other.snapshot)
+        if not diffs:
+            print("no metric differences")
+            return 0
+        rows = [
+            (name, "-" if a is None else _fmt_metric(a),
+             "-" if b is None else _fmt_metric(b))
+            for name, a, b in diffs
+        ]
+        print(format_table(
+            ["metric", args.file, args.file2], rows, title="Metrics diff"
+        ))
+        return 0
+
+    print(summary.format())
+
+    code = 0
+    if args.record is not None:
+        workload = args.workload or summary.protocol or "(unknown)"
+        entry = normalized_entry(
+            workload,
+            summary.elapsed_s,
+            summary.states,
+            workers=summary.workers or 1,
+        )
+        append_run_entry(args.record, entry)
+        print(f"\nrecorded run entry for {workload!r} in {args.record}")
+    if args.check_bench is not None:
+        if args.workload is None:
+            print("error: --check-bench needs --workload NAME")
+            return 2
+        try:
+            ok, message = check_states_per_sec(
+                args.check_bench,
+                args.workload,
+                summary,
+                max_regression=args.max_regression,
+            )
+        except TraceError as exc:
+            print(f"error: {exc}")
+            return 2
+        print(f"\nbench check: {message}")
+        if not ok:
+            code = 1
+    return code
+
+
+def _fmt_metric(v: float) -> str:
+    return str(int(v)) if float(v).is_integer() else f"{v:.4f}"
 
 
 def cmd_bounds(args) -> int:
@@ -442,7 +571,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "checkpoints only; a sequential checkpoint resumes "
                         "only with workers=1)")
     v.add_argument("--profile", action="store_true",
-                   help="run under cProfile and dump the top functions by cumulative time")
+                   help="time the pipeline phases through the telemetry span "
+                        "system and print the span table afterwards")
+    _add_telemetry_args(v)
     v.set_defaults(func=cmd_verify)
 
     z = sub.add_parser("zoo", help="verify every protocol at default parameters")
@@ -498,7 +629,30 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip the unfaulted baseline row per protocol")
     fm.add_argument("--workers", type=int, default=1, metavar="N",
                     help="shard each pair's search across N worker processes")
+    _add_telemetry_args(fm)
     fm.set_defaults(func=cmd_fault_matrix)
+
+    m = sub.add_parser(
+        "metrics",
+        help="summarise a run's trace/metrics, diff two, record or "
+             "regression-check states/sec (docs/OBSERVABILITY.md)",
+    )
+    m.add_argument("file", help="trace JSONL (from --trace-log) or metrics snapshot JSON")
+    m.add_argument("file2", nargs="?", default=None,
+                   help="second file: print a metric-by-metric diff instead")
+    m.add_argument("--record", metavar="BENCH_JSON", default=None,
+                   help="append this run as a normalized entry under 'runs' in "
+                        "the benchmark file")
+    m.add_argument("--workload", metavar="NAME", default=None,
+                   help="workload name for --record / --check-bench "
+                        "(e.g. msi_p2b1v1)")
+    m.add_argument("--check-bench", metavar="BENCH_JSON", default=None,
+                   help="compare states/sec against the checked-in baseline for "
+                        "--workload; exit 1 on regression beyond tolerance")
+    m.add_argument("--max-regression", type=float, default=0.05, metavar="FRAC",
+                   help="tolerated states/sec regression for --check-bench "
+                        "(default 0.05 = 5%%)")
+    m.set_defaults(func=cmd_metrics)
 
     b = sub.add_parser("bounds", help="Section 4.4 size-bound table")
     b.add_argument("--p", type=int, default=None)

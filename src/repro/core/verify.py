@@ -124,6 +124,7 @@ def verify_protocol(
     max_depth: Optional[int] = None,
     should_stop=None,
     workers: int = 1,
+    telemetry=None,
 ) -> VerificationResult:
     """Model-check sequential consistency of ``protocol``.
 
@@ -150,7 +151,15 @@ def verify_protocol(
     ``workers > 1`` shards the product search across that many worker
     processes; the verdict and state counts are identical to the
     sequential search (see ``docs/PARALLEL.md``).
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records
+    run traces, metrics and live progress for this verification; the
+    verdict is unaffected (see ``docs/OBSERVABILITY.md``).
     """
+    if telemetry is not None:
+        telemetry.start_run(
+            protocol=protocol.describe(), mode=mode, workers=workers
+        )
     res: ProductResult = explore_product(
         protocol,
         st_order,
@@ -159,8 +168,16 @@ def verify_protocol(
         max_depth=max_depth,
         should_stop=should_stop,
         workers=workers,
+        telemetry=telemetry,
     )
-    return result_from_product(protocol, res)
+    result = result_from_product(protocol, res)
+    if telemetry is not None:
+        telemetry.finish_run(
+            verdict=result.verdict,
+            states=res.stats.states,
+            stats=res.stats.as_dict(),
+        )
+    return result
 
 
 @dataclass

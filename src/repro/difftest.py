@@ -47,8 +47,21 @@ from .core.verify import check_run
 from .engine import ParallelSearchEngine
 from .engine.sharding import stable_hash
 from .modelcheck.product import ProductSearch
+from .obs import MetricsRegistry, Telemetry, TraceWriter
+
+#: the ``search.*`` gauges every honest engine configuration must agree
+#: on for a completed search (peak_frontier and max_depth are excluded:
+#: both legitimately vary with sharding — per-shard peaks sum, and round
+#: quotas reorder the depth at which a state is first reached)
+DETERMINISTIC_GAUGES = (
+    "search.states",
+    "search.transitions",
+    "search.quiescent",
+    "search.interned",
+)
 
 __all__ = [
+    "DETERMINISTIC_GAUGES",
     "SearchFingerprint",
     "fingerprint",
     "compare_fingerprints",
@@ -84,6 +97,10 @@ class SearchFingerprint:
     canonical_violation: Optional[int]
     cx_len: Optional[int]
     cx_replays: Optional[bool]  #: None when no counterexample was produced
+    #: the :data:`DETERMINISTIC_GAUGES` subset of the run's telemetry
+    #: snapshot, as sorted (name, value) pairs — proves the metrics
+    #: pipeline reports the same search the engines agree on
+    metrics: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def label(self) -> str:
@@ -109,6 +126,7 @@ class SearchFingerprint:
             fields["transitions"] = self.transitions
             fields["quiescent"] = self.quiescent
             fields["non_quiescible"] = self.non_quiescible
+            fields["metrics"] = self.metrics
         if self.exhaustive:
             fields["violation_keys"] = self.violation_keys
             fields["canonical_violation"] = self.canonical_violation
@@ -145,6 +163,11 @@ def fingerprint(
     through a *fresh* observer + checker (:func:`check_run`) — the
     fingerprint records whether the replay genuinely rejects, so a
     fabricated or mis-reconstructed path cannot pass as honest.
+
+    The search runs under full telemetry (registry + in-memory trace),
+    so fingerprinting also exercises the observability layer and the
+    fingerprint's ``metrics`` field captures the deterministic gauge
+    subset — tracing a run must never change what it computes.
     """
     search = ProductSearch(
         protocol,
@@ -157,8 +180,13 @@ def fingerprint(
         max_states=max_states,
         max_depth=max_depth,
     )
-    result = search.run()
+    telemetry = Telemetry(registry=MetricsRegistry(), trace=TraceWriter([]))
+    result = search.run(telemetry=telemetry)
     engine = search.engine
+    gauges = telemetry.registry.snapshot().gauges
+    metrics = tuple(
+        (name, gauges[name]) for name in DETERMINISTIC_GAUGES if name in gauges
+    )
 
     viol_hashes = frozenset(stable_hash(k) for k in engine.violation_keys())
     canonical: Optional[int] = None
@@ -192,6 +220,7 @@ def fingerprint(
         canonical_violation=canonical,
         cx_len=cx_len,
         cx_replays=cx_replays,
+        metrics=metrics,
     )
 
 

@@ -46,6 +46,7 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
+from ..obs.metrics import MetricsRegistry, MetricsSnapshot
 from .component import System
 from .intern import NO_PARENT, ShardStore
 from .sharding import shard_of, stable_hash
@@ -223,7 +224,15 @@ class _ShardRuntime:
 
 
 def _worker_main(index, nshards, system, payload, options, inq, outq):
-    """Worker loop: one message in, one reply out, until ``exit``."""
+    """Worker loop: one message in, one reply out, until ``exit``.
+
+    With ``options["metrics"]`` the worker carries its own
+    :class:`~repro.obs.metrics.MetricsRegistry`; per-round work
+    counters (records in/out, expansions, batch bytes, queue depth)
+    are recorded at round boundaries — never per state — and a
+    cumulative snapshot rides each round reply so the coordinator can
+    merge shard metrics deterministically at the barrier.
+    """
     try:
         rt = _ShardRuntime(
             payload,
@@ -235,6 +244,7 @@ def _worker_main(index, nshards, system, payload, options, inq, outq):
             options["track_preds"],
             options["stop_early"],
         )
+        registry = MetricsRegistry() if options.get("metrics") else None
         n_viol_reported = 0
         while True:
             msg = inq.get()
@@ -242,13 +252,31 @@ def _worker_main(index, nshards, system, payload, options, inq, outq):
             if kind == "round":
                 _, batches, quota = msg
                 rt.saw_violation = False
+                n_in = 0
                 for blob in batches:
-                    for rec in pickle.loads(blob):
+                    recs = pickle.loads(blob)
+                    n_in += len(recs)
+                    for rec in recs:
                         rt.admit(rec)
+                if registry is not None:
+                    # depth of the work queue as the round begins,
+                    # after cross-shard admissions — the high-water
+                    # mark the final report surfaces
+                    registry.gauge_max("peak_queue_depth", len(rt.frontier))
                 out: Dict[int, List[Record]] = {}
-                rt.expand(quota, out)
+                expanded = rt.expand(quota, out)
                 out_blobs = {dest: pickle.dumps(recs) for dest, recs in out.items()}
                 n_out = sum(len(recs) for recs in out.values())
+                metrics_snap = None
+                if registry is not None:
+                    registry.inc("rounds")
+                    registry.inc("records_in", n_in)
+                    registry.inc("expanded", expanded)
+                    registry.inc("records_out", n_out)
+                    registry.inc(
+                        "batch_bytes_out", sum(len(b) for b in out_blobs.values())
+                    )
+                    metrics_snap = registry.snapshot().as_dict()
                 new_viols = [
                     (lid, stable_hash(rt.p.store.key_of(lid)))
                     for lid in rt.p.violations[n_viol_reported:]
@@ -264,6 +292,8 @@ def _worker_main(index, nshards, system, payload, options, inq, outq):
                     new_viols,
                     rt.p.cap_truncated,
                     rt.saw_violation,
+                    expanded,
+                    metrics_snap,
                 ))
             elif kind == "collect":
                 outq.put(("payload", index, rt.detach_payload()))
@@ -385,8 +415,19 @@ class ParallelSearchEngine:
         return actions
 
     # ------------------------------------------------------------------
-    def run(self, should_stop: Optional[StopHook] = None) -> SearchOutcome:
-        """Continue until a final outcome or a cooperative stop."""
+    def run(
+        self, should_stop: Optional[StopHook] = None, telemetry=None
+    ) -> SearchOutcome:
+        """Continue until a final outcome or a cooperative stop.
+
+        ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) makes
+        every worker carry its own metrics registry and the
+        coordinator emit ``round`` / ``shard_round`` trace events plus
+        progress heartbeats at each round barrier; shard snapshots are
+        merged into the coordinator registry in worker-index order, so
+        the merged view is deterministic.  ``telemetry=None`` (the
+        default) runs the exact uninstrumented protocol.
+        """
         if self._final is not None:
             return self._final
         ctx = _start_context()
@@ -396,6 +437,7 @@ class ParallelSearchEngine:
             "max_depth": self.max_depth,
             "track_preds": self.track_successors,
             "stop_early": self.stop_on_violation,
+            "metrics": telemetry is not None and telemetry.registry is not None,
         }
         inqs = [ctx.SimpleQueue() for _ in range(self.workers)]
         outq = ctx.SimpleQueue()
@@ -410,7 +452,7 @@ class ParallelSearchEngine:
         for p in procs:
             p.start()
         try:
-            outcome = self._drive(should_stop, inqs, outq)
+            outcome = self._drive(should_stop, inqs, outq, telemetry)
         finally:
             for q in inqs:
                 q.put(("exit",))
@@ -432,10 +474,12 @@ class ParallelSearchEngine:
             replies[msg[1]] = msg
         return replies
 
-    def _drive(self, should_stop, inqs, outq) -> SearchOutcome:
+    def _drive(self, should_stop, inqs, outq, telemetry=None) -> SearchOutcome:
         stop_reason: Optional[str] = None
         cap_hit = False
         viol_in_flight = False
+        #: latest cumulative metrics snapshot per shard (telemetry only)
+        shard_snaps: Dict[int, dict] = {}
         while True:
             # once any worker saw a violating successor (possibly bound
             # for another shard), stop expanding: quota-0 rounds only
@@ -451,8 +495,10 @@ class ParallelSearchEngine:
             frontier_rem = 0
             shard_stats: List[ExplorationStats] = []
             cap_truncated = False
-            for msg in self._collect_replies(outq, "round-done"):
-                _, idx, out_blobs, n_out, flen, stats, new_viols, trunc, saw = msg
+            replies = self._collect_replies(outq, "round-done")
+            for msg in replies:
+                (_, idx, out_blobs, n_out, flen, stats, new_viols, trunc, saw,
+                 _expanded, snap) = msg
                 viol_in_flight = viol_in_flight or saw
                 for dest, blob in sorted(out_blobs.items()):
                     self._pending[dest].append(blob)
@@ -462,10 +508,15 @@ class ParallelSearchEngine:
                 cap_truncated = cap_truncated or trunc
                 for lid, key_hash in new_viols:
                     self._violations.append((key_hash, idx, lid))
+                if snap is not None:
+                    shard_snaps[idx] = snap
 
             agg = merge_shard_stats(shard_stats)
             agg.truncated = agg.truncated or cap_truncated
             self.stats = agg
+
+            if telemetry is not None:
+                self._emit_round(telemetry, replies, agg, frontier_rem, in_flight)
 
             if self._violations and self.stop_on_violation:
                 break
@@ -492,6 +543,16 @@ class ParallelSearchEngine:
             [p.stats for p in self.shards], stop_reason=stop_reason
         )
 
+        if telemetry is not None and telemetry.registry is not None:
+            # final deterministic merge: each worker's cumulative
+            # registry folds in under its shard prefix, in worker-index
+            # order (arrival order is timing noise)
+            for i in sorted(shard_snaps):
+                telemetry.registry.merge_snapshot(
+                    MetricsSnapshot.from_dict(shard_snaps[i]), prefix=f"shard{i}."
+                )
+            telemetry.registry.gauge("search.rounds", self._round)
+
         if stop_reason is not None:
             return SearchOutcome("stopped", None, self.stats)
         if cap_hit:
@@ -510,6 +571,33 @@ class ParallelSearchEngine:
             non_quiescible = self._non_quiescible()
         self._final = SearchOutcome("done", None, self.stats, non_quiescible)
         return self._final
+
+    # ------------------------------------------------------------------
+    def _emit_round(self, telemetry, replies, agg, frontier_rem, in_flight) -> None:
+        """Round-barrier telemetry: one ``round`` event, one
+        ``shard_round`` per worker (index order), one heartbeat tick."""
+        telemetry.emit(
+            "round",
+            round=self._round,
+            states=agg.states,
+            frontier=frontier_rem,
+            in_flight=in_flight,
+        )
+        for msg in replies:
+            (_, idx, _blobs, n_out, flen, stats, _viols, _trunc, _saw,
+             expanded, snap) = msg
+            fields = dict(
+                round=self._round,
+                shard=idx,
+                states=stats.states,
+                frontier=flen,
+                expanded=expanded,
+                records_out=n_out,
+            )
+            if snap is not None:
+                fields["batch_bytes_out"] = snap["counters"].get("batch_bytes_out", 0)
+            telemetry.emit("shard_round", **fields)
+        telemetry.heartbeat(agg, frontier=frontier_rem)
 
     # ------------------------------------------------------------------
     def _violation_outcome(self) -> SearchOutcome:

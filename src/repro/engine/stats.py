@@ -1,84 +1,13 @@
-"""Exploration statistics shared by every engine-driven search."""
+"""Exploration statistics (deprecated re-export).
 
-from __future__ import annotations
+The stats dataclasses moved to the telemetry layer
+(:mod:`repro.obs.stats`) so every observability surface — registry,
+traces, per-shard merges — shares one definition.  This module keeps
+the historical import path working, and lets pickled checkpoint
+payloads (format v3 ships one ``ExplorationStats`` per shard under
+this module path) load unchanged.
+"""
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from ..obs.stats import ExplorationStats, merge_shard_stats
 
 __all__ = ["ExplorationStats", "merge_shard_stats"]
-
-
-@dataclass
-class ExplorationStats:
-    """Counters filled in by a reachability / product exploration."""
-
-    states: int = 0  #: distinct states found
-    transitions: int = 0  #: transitions expanded
-    max_depth: int = 0  #: deepest BFS layer reached
-    truncated: bool = False  #: hit a cap or budget before exhausting
-    quiescent_states: int = 0  #: states where the end-check was evaluated
-    max_live_nodes: int = 0  #: observer active-graph high-water mark
-    max_descriptor_ids: int = 0  #: IDs the observer ever allocated
-    #: high-water mark of the search frontier, cumulative over the
-    #: whole search — a budget-stopped run that resumes keeps maxing
-    #: against the earlier legs' peak, never restarts from zero
-    peak_frontier: int = 0
-    #: states interned in the engine's StateStore; like
-    #: ``peak_frontier`` it survives checkpoint/resume because the
-    #: stats object travels with the pickled search
-    interned_states: int = 0
-    #: why a cooperative ``should_stop`` hook halted the search (None
-    #: for cap truncation and for exhaustive runs)
-    stop_reason: Optional[str] = None
-
-    def merge_from(self, other: "ExplorationStats") -> None:
-        """Fold another shard's counters into this aggregate (see
-        :func:`merge_shard_stats` for the per-field semantics)."""
-        self.states += other.states
-        self.transitions += other.transitions
-        self.quiescent_states += other.quiescent_states
-        self.interned_states += other.interned_states
-        # the global frontier is the disjoint union of shard frontiers,
-        # so the sum of per-shard peaks upper-bounds (and closely
-        # tracks) the true global high-water mark
-        self.peak_frontier += other.peak_frontier
-        self.max_depth = max(self.max_depth, other.max_depth)
-        self.max_live_nodes = max(self.max_live_nodes, other.max_live_nodes)
-        self.max_descriptor_ids = max(self.max_descriptor_ids, other.max_descriptor_ids)
-        self.truncated = self.truncated or other.truncated
-
-    def as_dict(self) -> dict:
-        return {
-            "states": self.states,
-            "transitions": self.transitions,
-            "max_depth": self.max_depth,
-            "truncated": self.truncated,
-            "quiescent_states": self.quiescent_states,
-            "max_live_nodes": self.max_live_nodes,
-            "max_descriptor_ids": self.max_descriptor_ids,
-            "peak_frontier": self.peak_frontier,
-            "interned_states": self.interned_states,
-            "stop_reason": self.stop_reason,
-        }
-
-
-def merge_shard_stats(
-    shards: Sequence[ExplorationStats],
-    stop_reason: Optional[str] = None,
-) -> ExplorationStats:
-    """Aggregate per-shard stats into one global view.
-
-    Extensive counters (states, transitions, quiescent, interned) sum;
-    high-water marks that measure a single object (observer graph
-    size, descriptor IDs, depth) take the max; ``peak_frontier`` sums
-    per-shard peaks, an upper bound on the true global frontier peak
-    (the shard frontiers are disjoint).  ``truncated`` is sticky across
-    shards; ``stop_reason`` is the coordinator's, not any shard's.
-    """
-    agg = ExplorationStats()
-    for s in shards:
-        agg.merge_from(s)
-    agg.stop_reason = stop_reason
-    if stop_reason is not None:
-        agg.truncated = True
-    return agg

@@ -265,10 +265,28 @@ class SearchEngine:
             "violation", best, self.stats, violations=tuple(self.violations)
         )
 
-    def run(self, should_stop: Optional[StopHook] = None) -> SearchOutcome:
-        """Continue until a final outcome or a cooperative stop."""
+    def run(
+        self, should_stop: Optional[StopHook] = None, telemetry=None
+    ) -> SearchOutcome:
+        """Continue until a final outcome or a cooperative stop.
+
+        ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) turns
+        the per-expansion ``should_stop`` polling point into a
+        heartbeat tick — progress lines and trace ``heartbeat`` events,
+        both rate-limited inside the telemetry object.  With
+        ``telemetry=None`` (the default) the hot loop is exactly the
+        uninstrumented one: the zero-cost-off contract.
+        """
         if self._final is not None:
             return self._final
+        if telemetry is not None:
+            inner = should_stop
+            frontier_obj = self.frontier
+
+            def should_stop(stats, _inner=inner, _f=frontier_obj):
+                telemetry.heartbeat(stats, frontier=len(_f))
+                return _inner(stats) if _inner is not None else None
+
         stats = self.stats
         # a resumed search sheds the previous budget stop; cap
         # truncation is permanent (dropped frontier entries)

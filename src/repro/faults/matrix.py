@@ -142,6 +142,7 @@ def fault_matrix(
     include_baseline: bool = True,
     faults_for: Optional[Callable[..., List[FaultSpec]]] = None,
     workers: int = 1,
+    telemetry=None,
 ) -> MatrixReport:
     """Verify every (protocol × fault) pair.
 
@@ -153,6 +154,9 @@ def fault_matrix(
     (defaults to :func:`~repro.faults.spec.standard_faults`).
     ``workers`` shards each pair's search across worker processes
     (verdicts identical to ``workers=1``; see ``docs/PARALLEL.md``).
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records a
+    ``fault_activated`` trace event per pair plus each pair's full run
+    trace.
     """
     from ..cli import PROTOCOLS  # deferred: the CLI owns the registry
 
@@ -175,6 +179,13 @@ def fault_matrix(
             fproto, fgen = apply_faults(proto, gen, [spec])
             jobs.append((spec.name, spec.expect, fproto, fgen))
         for fault_name, expect, fproto, fgen in jobs:
+            if telemetry is not None:
+                telemetry.emit(
+                    "fault_activated",
+                    protocol=name,
+                    fault=fault_name,
+                    expect=expect,
+                )
             t0 = time.perf_counter()
             res = verify_protocol(
                 fproto,
@@ -184,6 +195,7 @@ def fault_matrix(
                 max_depth=max_depth,
                 should_stop=should_stop,
                 workers=workers,
+                telemetry=telemetry,
             )
             report.entries.append(MatrixEntry(
                 protocol=name,

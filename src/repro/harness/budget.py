@@ -23,7 +23,7 @@ import tracemalloc
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..modelcheck.stats import ExplorationStats
+from ..obs.stats import ExplorationStats
 
 __all__ = ["Budget"]
 
@@ -82,6 +82,14 @@ class Budget:
     def exhausted(self) -> bool:
         rem = self.remaining_s()
         return rem is not None and rem <= 0.0
+
+    def burn(self) -> Optional[float]:
+        """Fraction of the wall-clock budget consumed (0..1), or
+        ``None`` when no wall budget is set — the progress reporter
+        renders it as ``budget=NN%``."""
+        if self.wall_s is None or self.wall_s <= 0:
+            return None
+        return min(1.0, self.elapsed_s() / self.wall_s)
 
     def current_memory_mb(self) -> Optional[float]:
         if self.memory_probe is not None:

@@ -71,26 +71,39 @@ def degrade(
     fuzz_length: int = 12,
     max_fuzz_runs: int = 2000,
     seed: int = 0,
+    telemetry=None,
 ) -> VerificationResult:
     """Verify ``protocol`` within ``budget``, degrading gracefully.
 
     Never raises on resource exhaustion and never hangs (every stage
     is budget-polled); the result's ``confidence`` field states which
-    rung of the ladder produced the verdict.
+    rung of the ladder produced the verdict.  ``telemetry`` (a
+    :class:`repro.obs.Telemetry`, optional) records a
+    ``degrade_stage`` trace event as each rung is entered.
     """
     budget.start()
     try:
-        return _degrade(protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed)
+        return _degrade(
+            protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed,
+            telemetry,
+        )
     finally:
         budget.stop()
 
 
-def _degrade(protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed):
+def _stage(telemetry, stage: str, **fields) -> None:
+    if telemetry is not None:
+        telemetry.emit("degrade_stage", stage=stage, **fields)
+
+
+def _degrade(protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed,
+             telemetry=None):
     # stage 1: the real thing, under most of the budget -----------------
     stage1 = budget.slice(0.6)
     stage1.start()
+    _stage(telemetry, "model-check")
     search = ProductSearch(protocol, st_order, mode=mode)
-    res = search.run(stage1.should_stop)
+    res = search.run(stage1.should_stop, telemetry)
     base = result_from_product(protocol, res)
     if res.counterexample is not None or not res.stats.truncated:
         return base  # proof, refutation, or genuine INCONCLUSIVE
@@ -103,10 +116,11 @@ def _degrade(protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed)
     if not budget.exhausted():
         stage2 = budget.slice(0.5)
         stage2.start()
+        _stage(telemetry, "bounded-depth", depth=depth)
         bounded = ProductSearch(
             protocol, st_order, mode=mode, max_depth=depth,
             check_quiescence_reachability=False,
-        ).run(stage2.should_stop)
+        ).run(stage2.should_stop, telemetry)
         if bounded.counterexample is not None:
             return result_from_product(protocol, bounded)
         if bounded.stats.stop_reason is None:
@@ -117,6 +131,7 @@ def _degrade(protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed)
     from ..litmus import CORPUS, outcomes_sc
     from ..litmus.runner import runs_for_outcome
 
+    _stage(telemetry, "litmus")
     ran = 0
     for prog in CORPUS:
         if budget.exhausted():
@@ -142,6 +157,7 @@ def _degrade(protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed)
         evidence.append(f"litmus({ran})")
 
     # stage 4: randomised per-run fuzzing -------------------------------
+    _stage(telemetry, "fuzz")
     rng = random.Random(seed)
     runs = 0
     while runs < max_fuzz_runs and not budget.exhausted():

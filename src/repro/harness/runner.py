@@ -36,6 +36,7 @@ def run_verification(
     strategy: str = "bfs",
     seed: int = 0,
     workers: Optional[int] = None,
+    telemetry=None,
 ) -> VerificationResult:
     """Model-check ``protocol`` under a budget, checkpointing on
     truncation.
@@ -59,6 +60,12 @@ def run_verification(
     sequential (version-2) checkpoint holds a single-frontier engine
     and therefore resumes only with ``workers`` 1 or ``None``;
     requesting more raises :class:`CheckpointError` (CLI exit code 2).
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records
+    run traces, metrics and live progress — including a
+    ``checkpoint_saved`` event when truncation writes one.  It is
+    never stored on the search, so checkpoints stay free of telemetry
+    handles (see ``docs/OBSERVABILITY.md``).
     """
     if resume_from is not None:
         if protocol is not None:
@@ -92,16 +99,47 @@ def run_verification(
         )
         spent = 0.0
 
+    if telemetry is not None:
+        telemetry.start_run(
+            protocol=search.protocol.describe(),
+            mode=search.mode,
+            strategy=strategy,
+            workers=search.workers,
+            resumed=resume_from is not None,
+        )
+        if telemetry.progress is not None and budget is not None:
+            telemetry.progress.budget = budget
+
     if budget is not None:
         budget.start()
         try:
-            res = search.run(budget.should_stop)
+            res = search.run(budget.should_stop, telemetry)
         finally:
             budget.stop()
         spent += budget.elapsed_s()
     else:
-        res = search.run()
+        res = search.run(None, telemetry)
 
     if res.stats.stop_reason is not None and checkpoint_path is not None:
         Checkpoint.of(search, elapsed_s=spent).save(checkpoint_path)
-    return result_from_product(search.protocol, res)
+        if telemetry is not None:
+            telemetry.emit(
+                "checkpoint_saved",
+                path=checkpoint_path,
+                states=res.stats.states,
+                elapsed_s=round(spent, 6),
+            )
+    result = result_from_product(search.protocol, res)
+    if telemetry is not None:
+        shard_stats = search.shard_stats()
+        telemetry.finish_run(
+            verdict=result.verdict,
+            states=res.stats.states,
+            stats=res.stats.as_dict(),
+            shards=(
+                [{"shard": i, **s.as_dict()} for i, s in enumerate(shard_stats)]
+                if shard_stats is not None
+                else []
+            ),
+        )
+    return result

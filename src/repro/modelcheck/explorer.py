@@ -31,6 +31,7 @@ def explore(
     on_state: Optional[Callable[[Hashable, int], None]] = None,
     should_stop: Optional[Callable[[ExplorationStats], Optional[str]]] = None,
     workers: int = 1,
+    telemetry=None,
 ) -> ExplorationStats:
     """BFS over the protocol's reachable states.
 
@@ -61,7 +62,7 @@ def explore(
             track_successors=False,
             check_quiescence_reachability=False,
         )
-        par.run(should_stop)
+        par.run(should_stop, telemetry)
         return par.stats
     engine = SearchEngine(
         ProtocolSystem(protocol),
@@ -72,7 +73,7 @@ def explore(
         check_quiescence_reachability=False,
         on_state=on_state,
     )
-    engine.run(should_stop)
+    engine.run(should_stop, telemetry)
     return engine.stats
 
 

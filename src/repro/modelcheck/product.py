@@ -30,6 +30,7 @@ entry point.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -44,6 +45,9 @@ from .counterexample import Counterexample
 from .stats import ExplorationStats
 
 __all__ = ["ProductResult", "ProductSearch", "explore_product"]
+
+#: reusable no-op context for un-instrumented spans
+_NULL_CTX = contextlib.nullcontext()
 
 
 @dataclass
@@ -203,6 +207,13 @@ class ProductSearch:
         changes it)."""
         return self.engine.done
 
+    def shard_stats(self) -> Optional[List[ExplorationStats]]:
+        """Per-shard exploration counters (parallel engine only;
+        ``None`` for a sequential search)."""
+        if isinstance(self.engine, ParallelSearchEngine):
+            return list(self.engine.shard_stats)
+        return None
+
     def _build_cx(self, ref) -> Counterexample:
         """``ref`` is a violating-state reference: an interned ID for
         the sequential engine, a global ``(shard, id)`` pair for the
@@ -228,7 +239,9 @@ class ProductSearch:
         self.workers = workers
         self.stats = self.engine.stats
 
-    def run(self, should_stop: Optional[StopHook] = None) -> ProductResult:
+    def run(
+        self, should_stop: Optional[StopHook] = None, telemetry=None
+    ) -> ProductResult:
         """Continue the search until a verdict or a cooperative stop.
 
         Returns the final :class:`ProductResult` when the state space
@@ -236,11 +249,33 @@ class ProductSearch:
         ``should_stop`` halts it, the result is a *partial* one —
         ``ok`` so far, ``stats.truncated`` with ``stats.stop_reason``
         set — and the search stays resumable.
+
+        ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) is
+        threaded into the engine — heartbeats/round events while
+        searching, a ``violation_found`` trace event and the final
+        search gauges here.  It is *not* stored on the search object,
+        so checkpoints never capture telemetry handles.
         """
-        out = self.engine.run(should_stop)
+        with (telemetry.span("phase.search") if telemetry is not None
+              else _NULL_CTX):
+            out = self.engine.run(should_stop, telemetry)
         if out.status == "violation":
             assert out.violating is not None
-            return ProductResult(False, self._build_cx(out.violating), out.stats)
+            with (telemetry.span("phase.replay") if telemetry is not None
+                  else _NULL_CTX):
+                cx = self._build_cx(out.violating)
+            if telemetry is not None:
+                telemetry.record_search(out.stats, self.shard_stats())
+                telemetry.emit(
+                    "violation_found",
+                    states=out.stats.states,
+                    reason=cx.reason,
+                    cx_len=len(cx.run),
+                    violations=len(out.violations),
+                )
+            return ProductResult(False, cx, out.stats)
+        if telemetry is not None:
+            telemetry.record_search(out.stats, self.shard_stats())
         if out.status == "stopped":
             return ProductResult(True, None, out.stats)
         return ProductResult(
@@ -264,12 +299,15 @@ def explore_product(
     workers: int = 1,
     stop_on_violation: bool = True,
     should_stop: Optional[StopHook] = None,
+    telemetry=None,
 ) -> ProductResult:
     """Run the verification search in one shot (see
     :class:`ProductSearch` for the knobs and resumable form).
     ``workers > 1`` shards the search across that many worker
     processes (:class:`repro.engine.ParallelSearchEngine`); verdicts
-    and state counts are identical to ``workers=1``."""
+    and state counts are identical to ``workers=1``.  ``telemetry``
+    (a :class:`repro.obs.Telemetry`) turns on traces/metrics/progress
+    for this run."""
     search = ProductSearch(
         protocol,
         st_order,
@@ -285,4 +323,4 @@ def explore_product(
         workers=workers,
         stop_on_violation=stop_on_violation,
     )
-    return search.run(should_stop)
+    return search.run(should_stop, telemetry)

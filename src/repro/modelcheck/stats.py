@@ -1,10 +1,10 @@
-"""Exploration statistics (re-export).
+"""Exploration statistics (deprecated re-export).
 
-The stats object now lives with the engine
-(:mod:`repro.engine.stats`) so the engine has no dependency back into
-this package; this module keeps the historical import path working.
+The stats object now lives with the telemetry layer
+(:mod:`repro.obs.stats`); this module keeps the oldest historical
+import path working — code and pickles alike.
 """
 
-from ..engine.stats import ExplorationStats
+from ..obs.stats import ExplorationStats
 
 __all__ = ["ExplorationStats"]

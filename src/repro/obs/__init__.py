@@ -1,0 +1,47 @@
+"""The unified telemetry layer: metrics, traces, progress, bench.
+
+Observability for the verification pipeline, in four pieces:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: low-overhead
+  counters, gauges and monotonic-clock timers/spans, snapshot-able
+  and deterministically mergeable (per-shard registries fold in
+  worker-index order);
+* :mod:`repro.obs.trace` — :class:`TraceWriter`: structured JSONL run
+  traces (run lifecycle, search rounds, shard barriers, degrade
+  steps, checkpoints, fault activations, violations) behind a
+  pluggable sink, schema-validated on read;
+* :mod:`repro.obs.progress` — :class:`ProgressReporter`: a live
+  states/sec + frontier + budget-burn heartbeat on stderr;
+* :mod:`repro.obs.bench` — normalized ``BENCH_verification.json``
+  entries, trace summaries and the states/sec CI regression gate.
+
+:class:`Telemetry` bundles the first three behind one optional handle
+threaded through every pipeline entry point; ``telemetry=None`` (the
+default) keeps every hot path free of telemetry calls — the
+**zero-cost-off contract** (see ``docs/OBSERVABILITY.md``).
+
+This package also owns :class:`ExplorationStats`, the per-search
+counter dataclass historically split between ``repro.engine.stats``
+and ``repro.modelcheck.stats`` (both remain as import shims).
+"""
+
+from .metrics import NULL_REGISTRY, MetricsRegistry, MetricsSnapshot
+from .progress import ProgressReporter
+from .stats import ExplorationStats, merge_shard_stats
+from .telemetry import Telemetry
+from .trace import EVENT_SCHEMA, TraceError, TraceWriter, read_trace, validate_trace_line
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "ExplorationStats",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_REGISTRY",
+    "ProgressReporter",
+    "Telemetry",
+    "TraceError",
+    "TraceWriter",
+    "merge_shard_stats",
+    "read_trace",
+    "validate_trace_line",
+]

@@ -1,0 +1,303 @@
+"""Normalized benchmark entries and trace summaries.
+
+This module owns the ``BENCH_verification.json`` format.  Two writers
+feed it:
+
+* ``benchmarks/record_verification.py`` — the trajectory recorder:
+  :func:`build_record` / :func:`write_record` produce the whole file
+  (baseline, current, parallel, speedups);
+* ``repro metrics --record`` — one-off run entries: a run's trace is
+  summarised (:func:`summarize_trace`) and appended under ``"runs"``
+  by :func:`append_run_entry` in the same normalized shape.
+
+:func:`check_states_per_sec` is the CI gate: it compares a run's
+states/sec against the checked-in baseline for the same workload and
+reports a regression beyond tolerance (timing-derived, so the
+tolerance is a *tripwire* for gross regressions, not a precision
+benchmark — see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .metrics import MetricsSnapshot
+from .trace import TraceError, read_trace
+
+__all__ = [
+    "RunSummary",
+    "summarize_trace",
+    "load_summary",
+    "normalized_entry",
+    "append_run_entry",
+    "build_record",
+    "write_record",
+    "check_states_per_sec",
+]
+
+
+# ----------------------------------------------------------------------
+# trace summaries
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RunSummary:
+    """What ``repro metrics`` knows about one run."""
+
+    verdict: str
+    states: int
+    elapsed_s: float
+    protocol: Optional[str] = None
+    workers: Optional[int] = None
+    snapshot: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    shards: List[dict] = field(default_factory=list)
+    stats: Dict[str, object] = field(default_factory=dict)
+    events: int = 0
+    complete: bool = True  #: False when reconstructed from a partial trace
+
+    @property
+    def states_per_sec(self) -> Optional[float]:
+        if self.elapsed_s <= 0:
+            return None
+        return self.states / self.elapsed_s
+
+    def format(self) -> str:
+        from ..util import format_table
+
+        head = [
+            f"run: {self.protocol or '(unknown protocol)'}"
+            + (f"  workers={self.workers}" if self.workers else ""),
+            f"verdict: {self.verdict}"
+            + ("" if self.complete else "  (partial trace — run did not finish)"),
+            f"states: {self.states}  elapsed: {self.elapsed_s:.3f}s"
+            + (
+                f"  ({self.states_per_sec:.0f} states/s)"
+                if self.states_per_sec is not None
+                else ""
+            ),
+        ]
+        parts = ["\n".join(head)]
+        if self.shards:
+            rows = [
+                (
+                    s.get("shard"),
+                    s.get("states"),
+                    s.get("transitions"),
+                    s.get("interned_states"),
+                    s.get("peak_frontier"),
+                )
+                for s in self.shards
+            ]
+            rows.append((
+                "total",
+                sum(s.get("states", 0) for s in self.shards),
+                sum(s.get("transitions", 0) for s in self.shards),
+                sum(s.get("interned_states", 0) for s in self.shards),
+                sum(s.get("peak_frontier", 0) for s in self.shards),
+            ))
+            parts.append(
+                format_table(
+                    ["shard", "states", "transitions", "interned", "peak frontier"],
+                    rows,
+                    title="Per-shard exploration",
+                )
+            )
+        snap_text = self.snapshot.format(title="Metrics snapshot")
+        if "(empty)" not in snap_text:
+            parts.append(snap_text)
+        return "\n\n".join(parts)
+
+
+def summarize_trace(events: List[dict]) -> RunSummary:
+    """Fold a validated event list into a :class:`RunSummary`.
+
+    A complete trace ends with ``run_end`` (and usually ``metrics``);
+    a partial one — the run crashed or is still going — is summarised
+    from its last heartbeat/round instead, flagged ``complete=False``.
+    """
+    summary = RunSummary(verdict="(no events)", states=0, elapsed_s=0.0, complete=False)
+    summary.events = len(events)
+    for ev in events:
+        kind = ev["ev"]
+        if kind == "run_start":
+            summary.protocol = ev.get("protocol")
+            summary.workers = ev.get("workers")
+        elif kind in ("heartbeat", "round"):
+            summary.verdict = "(in progress)"
+            summary.states = ev.get("states", summary.states)
+            summary.elapsed_s = ev.get("elapsed_s", summary.elapsed_s)
+            summary.complete = False
+        elif kind == "metrics":
+            summary.snapshot = MetricsSnapshot.from_dict(ev["snapshot"])
+        elif kind == "run_end":
+            summary.verdict = ev["verdict"]
+            summary.states = ev["states"]
+            summary.elapsed_s = ev["elapsed_s"]
+            summary.shards = ev.get("shards", [])
+            summary.stats = ev.get("stats", {})
+            summary.complete = True
+    return summary
+
+
+def load_summary(path: str) -> RunSummary:
+    """Load a run summary from a trace JSONL *or* a bare metrics
+    snapshot JSON file (``{"counters": ..., ...}``)."""
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError:
+            obj = None
+        if isinstance(obj, dict) and "ev" not in obj:
+            snap = MetricsSnapshot.from_dict(obj)
+            return RunSummary(
+                verdict=str(obj.get("verdict", "(snapshot)")),
+                states=int(obj.get("gauges", {}).get("search.states", 0)),
+                elapsed_s=float(obj.get("elapsed_s", 0.0)),
+                snapshot=snap,
+            )
+    return summarize_trace(read_trace(text.splitlines(keepends=True)))
+
+
+# ----------------------------------------------------------------------
+# BENCH_verification.json
+# ----------------------------------------------------------------------
+
+
+def normalized_entry(
+    workload: str,
+    seconds: float,
+    states: int,
+    *,
+    workers: int = 1,
+    source: str = "repro-metrics",
+) -> dict:
+    """The one shape every appended benchmark entry uses."""
+    return {
+        "workload": workload,
+        "seconds": round(seconds, 6),
+        "states": states,
+        "states_per_sec": round(states / seconds, 3) if seconds > 0 else None,
+        "workers": workers,
+        "source": source,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+    }
+
+
+def append_run_entry(bench_path: Union[str, Path], entry: dict) -> dict:
+    """Append a normalized entry under ``"runs"`` (file created if
+    missing); returns the updated record."""
+    path = Path(bench_path)
+    record = json.loads(path.read_text()) if path.exists() else {}
+    record.setdefault("runs", []).append(entry)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def build_record(
+    *,
+    current: Dict[str, dict],
+    parallel: Dict[str, dict],
+    baseline: Dict[str, dict],
+    baseline_note: str,
+    rounds: int,
+    cpu_count: Optional[int],
+    previous: Optional[dict] = None,
+) -> dict:
+    """Assemble the full benchmark record (the trajectory file).
+
+    ``current``/``baseline`` map workload name to
+    ``{"seconds", "states"}``; ``parallel`` maps workload name to the
+    per-worker-count timing block.  Any ``"runs"`` entries already in
+    ``previous`` are carried forward — appended one-off measurements
+    are part of the trajectory too.
+    """
+    record = {
+        "benchmark": "E-verify representative verification wall time",
+        "rounds": rounds,
+        "policy": "best-of-N wall seconds per workload",
+        "baseline": {"note": baseline_note, "workloads": baseline},
+        "current": {"workloads": current},
+        "parallel": {
+            "cpu_count": cpu_count,
+            "note": (
+                "sharded engine (--workers N) on the headline workload; "
+                "states are asserted bit-identical to workers=1. Wall-clock "
+                "speedup requires cpu_count cores to shard across — on a "
+                "single-core machine the IPC overhead makes workers>1 "
+                "strictly slower, which this section records honestly."
+            ),
+            "workloads": parallel,
+        },
+        "speedup": {},
+    }
+    for name, cur in current.items():
+        base = baseline.get(name)
+        if base and base.get("seconds"):
+            record["speedup"][name] = round(base["seconds"] / cur["seconds"], 3)
+    if previous and previous.get("runs"):
+        record["runs"] = previous["runs"]
+    return record
+
+
+def write_record(path: Union[str, Path], record: dict) -> None:
+    Path(path).write_text(json.dumps(record, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# the CI regression gate
+# ----------------------------------------------------------------------
+
+
+def check_states_per_sec(
+    bench_path: Union[str, Path],
+    workload: str,
+    summary: RunSummary,
+    *,
+    max_regression: float = 0.05,
+) -> Tuple[bool, str]:
+    """Compare a run's states/sec against the checked-in baseline.
+
+    The baseline is ``current.workloads[workload]`` in the benchmark
+    file (states/seconds).  Returns ``(ok, message)``: not-ok when the
+    run's throughput fell more than ``max_regression`` below baseline.
+    State-count mismatches (the workload isn't actually the same
+    search) are also not-ok — a "fast" run that explored fewer states
+    is not faster.
+    """
+    path = Path(bench_path)
+    if not path.exists():
+        raise TraceError(f"benchmark file {bench_path!r} does not exist")
+    record = json.loads(path.read_text())
+    entry = record.get("current", {}).get("workloads", {}).get(workload)
+    if not entry or not entry.get("seconds"):
+        raise TraceError(
+            f"workload {workload!r} has no baseline in {bench_path!r} "
+            f"(known: {', '.join(sorted(record.get('current', {}).get('workloads', {})))})"
+        )
+    if not summary.complete:
+        return False, "trace is partial (no run_end event): cannot judge throughput"
+    base_sps = entry["states"] / entry["seconds"]
+    run_sps = summary.states_per_sec
+    if run_sps is None:
+        return False, "run reports zero elapsed time"
+    if summary.states != entry["states"]:
+        return False, (
+            f"state-count mismatch: run explored {summary.states} states, "
+            f"baseline workload {workload!r} explores {entry['states']} — "
+            f"not the same search"
+        )
+    ratio = run_sps / base_sps
+    msg = (
+        f"{workload}: {run_sps:.0f} states/s vs baseline {base_sps:.0f} states/s "
+        f"({ratio:.2f}x)"
+    )
+    if ratio < 1.0 - max_regression:
+        return False, msg + f" — REGRESSION beyond {max_regression:.0%}"
+    return True, msg

@@ -1,0 +1,242 @@
+"""A low-overhead metrics registry: counters, gauges and timers.
+
+:class:`MetricsRegistry` is the one sink every instrumented layer
+writes into — the engines (aggregate and per-shard search counters),
+the harness (phase spans), and the CLI (the ``--profile`` span table).
+Three metric kinds:
+
+* **counters** — monotonically added values (``inc``): work done, bytes
+  shipped, rounds run;
+* **gauges** — last-written (or high-water, ``gauge_max``) values:
+  state counts at run end, queue depths;
+* **timers** — named spans over ``time.perf_counter`` (monotonic), used
+  as context managers; each records call count, total and max seconds.
+
+The **overhead contract**: telemetry is opt-in, and every call site in
+a hot path is guarded by the owning :class:`~repro.obs.telemetry.
+Telemetry` being active — a run with all telemetry flags off executes
+*zero* registry calls, so verdict timings cannot regress.  Where a
+registry object must exist unconditionally, use :data:`NULL_REGISTRY`,
+whose methods are no-ops.
+
+A registry is summarised by :meth:`MetricsRegistry.snapshot` into a
+:class:`MetricsSnapshot` — plain dicts, JSON round-trippable, with
+deterministic merge (counters sum, gauges max, timers fold) and a
+field-wise :meth:`~MetricsSnapshot.diff`.  Merging per-shard snapshots
+in worker-index order is what makes the parallel engine's merged
+metrics reproducible across runs (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_REGISTRY",
+]
+
+
+class _Span:
+    """A running timer; records into the registry on ``__exit__``."""
+
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._registry.observe_s(self._name, time.perf_counter() - self._t0)
+
+
+class _NullSpan:
+    """Shared no-op span for :data:`NULL_REGISTRY`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class MetricsRegistry:
+    """Counters, gauges and timers behind one namespace.
+
+    Metric names are dotted strings (``search.states``,
+    ``shard0.batch_bytes_out``, ``phase.search``); the registry imposes
+    no schema — ``docs/OBSERVABILITY.md`` lists the names the pipeline
+    emits.
+    """
+
+    __slots__ = ("counters", "gauges", "timers")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        #: name -> [count, total seconds, max seconds]
+        self.timers: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (last write wins)."""
+        self.gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if larger (high-water)."""
+        if value > self.gauges.get(name, float("-inf")):
+            self.gauges[name] = value
+
+    def timer(self, name: str) -> _Span:
+        """A context-manager span recording into timer ``name``."""
+        return _Span(self, name)
+
+    def observe_s(self, name: str, seconds: float) -> None:
+        """Record one ``seconds``-long observation into timer ``name``."""
+        t = self.timers.get(name)
+        if t is None:
+            self.timers[name] = [1, seconds, seconds]
+        else:
+            t[0] += 1
+            t[1] += seconds
+            if seconds > t[2]:
+                t[2] = seconds
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "MetricsSnapshot":
+        """An immutable-by-convention copy of the current values."""
+        return MetricsSnapshot(
+            counters=dict(self.counters),
+            gauges=dict(self.gauges),
+            timers={k: {"count": v[0], "total_s": v[1], "max_s": v[2]}
+                    for k, v in self.timers.items()},
+        )
+
+    def merge_snapshot(self, snap: "MetricsSnapshot", prefix: str = "") -> None:
+        """Fold a snapshot in: counters sum, gauges take max, timers
+        fold count/total/max.  ``prefix`` namespaces the incoming
+        metrics (e.g. ``"shard0."`` for a worker's registry)."""
+        for k, v in snap.counters.items():
+            self.inc(prefix + k, v)
+        for k, v in snap.gauges.items():
+            self.gauge_max(prefix + k, v)
+        for k, t in snap.timers.items():
+            name = prefix + k
+            cur = self.timers.get(name)
+            if cur is None:
+                self.timers[name] = [t["count"], t["total_s"], t["max_s"]]
+            else:
+                cur[0] += t["count"]
+                cur[1] += t["total_s"]
+                if t["max_s"] > cur[2]:
+                    cur[2] = t["max_s"]
+
+
+class _NullRegistry(MetricsRegistry):
+    """All-methods-no-op registry; safe to share (never mutated)."""
+
+    __slots__ = ()
+
+    def inc(self, name: str, n: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def gauge_max(self, name: str, value: float) -> None:
+        pass
+
+    def timer(self, name: str) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def observe_s(self, name: str, seconds: float) -> None:
+        pass
+
+
+#: the disabled registry: every method a no-op, snapshots always empty
+NULL_REGISTRY = _NullRegistry()
+
+
+@dataclass
+class MetricsSnapshot:
+    """A point-in-time copy of a registry, as plain JSON-able dicts."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    timers: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": {k: dict(v) for k, v in self.timers.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MetricsSnapshot":
+        return cls(
+            counters=dict(d.get("counters", {})),
+            gauges=dict(d.get("gauges", {})),
+            timers={k: dict(v) for k, v in d.get("timers", {}).items()},
+        )
+
+    # ------------------------------------------------------------------
+    def diff(self, other: "MetricsSnapshot") -> List[Tuple[str, Optional[float], Optional[float]]]:
+        """Field-wise differences ``(name, self value, other value)``,
+        sorted by name; missing-on-one-side values are ``None``.
+        Timers diff on their total seconds."""
+        out: List[Tuple[str, Optional[float], Optional[float]]] = []
+        for kind, a, b in (
+            ("counter", self.counters, other.counters),
+            ("gauge", self.gauges, other.gauges),
+        ):
+            for name in sorted(set(a) | set(b)):
+                if a.get(name) != b.get(name):
+                    out.append((f"{kind}:{name}", a.get(name), b.get(name)))
+        at = {k: v["total_s"] for k, v in self.timers.items()}
+        bt = {k: v["total_s"] for k, v in other.timers.items()}
+        for name in sorted(set(at) | set(bt)):
+            if at.get(name) != bt.get(name):
+                out.append((f"timer:{name}", at.get(name), bt.get(name)))
+        return out
+
+    def format(self, title: str = "metrics") -> str:
+        """A readable multi-section report (counters, gauges, spans)."""
+        from ..util import format_table
+
+        parts: List[str] = []
+        if self.counters:
+            rows = [(k, _fmt_num(v)) for k, v in sorted(self.counters.items())]
+            parts.append(format_table(["counter", "value"], rows))
+        if self.gauges:
+            rows = [(k, _fmt_num(v)) for k, v in sorted(self.gauges.items())]
+            parts.append(format_table(["gauge", "value"], rows))
+        if self.timers:
+            rows = [
+                (k, v["count"], f"{v['total_s']:.4f}s", f"{v['max_s']:.4f}s")
+                for k, v in sorted(self.timers.items())
+            ]
+            parts.append(format_table(["span", "count", "total", "max"], rows))
+        if not parts:
+            return f"{title}: (empty)"
+        return f"{title}\n\n" + "\n\n".join(parts)
+
+
+def _fmt_num(v: float) -> str:
+    return str(int(v)) if float(v).is_integer() else f"{v:.4f}"

@@ -1,0 +1,172 @@
+"""The one handle instrumented code takes: registry + trace + progress.
+
+A :class:`Telemetry` bundles the three optional sinks —
+:class:`~repro.obs.metrics.MetricsRegistry`,
+:class:`~repro.obs.trace.TraceWriter`,
+:class:`~repro.obs.progress.ProgressReporter` — behind cheap guarded
+methods.  Every pipeline entry point accepts ``telemetry=None``;
+``None`` (the default everywhere) means *no* telemetry call is ever
+made on a hot path, which is the zero-overhead contract tier-1
+timings rely on.
+
+Telemetry is deliberately **not** stored on search engines or
+``ProductSearch`` objects: those are pickled into checkpoints, and a
+telemetry handle (open file, stderr stream) must not travel with
+them.  It is threaded through ``run(...)`` calls instead, so a
+resumed checkpoint attaches a fresh handle.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .progress import ProgressReporter
+from .stats import ExplorationStats
+from .trace import TraceWriter
+
+__all__ = ["Telemetry"]
+
+#: default seconds between trace ``heartbeat`` events when no progress
+#: reporter (whose interval then governs) is attached
+DEFAULT_HEARTBEAT_S = 1.0
+
+
+class Telemetry:
+    """Optional registry, trace writer and progress reporter in one.
+
+    All methods are safe no-ops for whichever sinks are absent; the
+    caller's only obligation is to skip calls entirely when it holds
+    ``None`` instead of a Telemetry (the zero-cost-off contract).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceWriter] = None,
+        progress: Optional[ProgressReporter] = None,
+    ) -> None:
+        self.registry = registry
+        self.trace = trace
+        self.progress = progress
+        self._t0 = time.perf_counter()
+        self._hb_last = self._t0
+        interval = progress.interval if progress is not None else DEFAULT_HEARTBEAT_S
+        self._hb_interval = interval
+
+    # ------------------------------------------------------------------
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def emit(self, ev: str, **fields) -> None:
+        """Write a trace event (no-op without a trace sink)."""
+        if self.trace is not None:
+            self.trace.emit(ev, **fields)
+
+    def span(self, name: str):
+        """A timer span on the registry (no-op span without one)."""
+        if self.registry is not None:
+            return self.registry.timer(name)
+        from .metrics import NULL_REGISTRY
+
+        return NULL_REGISTRY.timer(name)
+
+    # ------------------------------------------------------------------
+    def heartbeat(
+        self,
+        stats: ExplorationStats,
+        frontier: Optional[int] = None,
+        force: bool = False,
+    ) -> None:
+        """Rate-limited progress line + trace ``heartbeat`` event.
+
+        Driven from the engines' cooperative polling points; internal
+        rate limiting keeps the cost of a non-due call to one clock
+        read and a comparison.
+        """
+        now = time.perf_counter()
+        if not force and now - self._hb_last < self._hb_interval:
+            return
+        self._hb_last = now
+        if self.progress is not None:
+            self.progress.tick(stats, frontier=frontier, force=True)
+        if self.trace is not None:
+            self.trace.emit(
+                "heartbeat",
+                states=stats.states,
+                transitions=stats.transitions,
+                frontier=frontier if frontier is not None else stats.peak_frontier,
+                elapsed_s=round(self.elapsed_s(), 6),
+            )
+
+    # ------------------------------------------------------------------
+    def start_run(
+        self,
+        *,
+        protocol: str,
+        mode: str,
+        strategy: str = "bfs",
+        workers: int = 1,
+        **extra,
+    ) -> None:
+        """Emit the ``run_start`` trace event (no-op without a trace)."""
+        self.emit(
+            "run_start",
+            protocol=protocol,
+            mode=mode,
+            strategy=strategy,
+            workers=workers,
+            **extra,
+        )
+
+    def finish_run(self, *, verdict: str, states: int, **extra) -> None:
+        """Emit the closing pair of trace events: a full ``metrics``
+        snapshot (when a registry is attached) followed by ``run_end``.
+        Extra keyword fields (``stats``, ``shards``…) ride on
+        ``run_end`` for ``repro metrics`` to summarise."""
+        if self.trace is None:
+            return
+        if self.registry is not None:
+            self.trace.emit("metrics", snapshot=self.registry.snapshot().as_dict())
+        self.trace.emit(
+            "run_end",
+            verdict=verdict,
+            states=states,
+            elapsed_s=round(self.elapsed_s(), 6),
+            **extra,
+        )
+
+    # ------------------------------------------------------------------
+    def record_search(
+        self,
+        stats: ExplorationStats,
+        shard_stats: Optional[Sequence[ExplorationStats]] = None,
+    ) -> None:
+        """Publish a finished (or paused) search's counters as gauges.
+
+        ``search.*`` gauges hold the aggregate — by the engines'
+        determinism contract they are identical across frontier
+        strategies and worker counts for completed searches (the
+        differential suite compares them).  ``shard<i>.*`` gauges hold
+        the per-shard split, merged in worker-index order.
+        """
+        reg = self.registry
+        if reg is None:
+            return
+        reg.gauge("search.states", stats.states)
+        reg.gauge("search.transitions", stats.transitions)
+        reg.gauge("search.quiescent", stats.quiescent_states)
+        reg.gauge("search.interned", stats.interned_states)
+        reg.gauge_max("search.peak_frontier", stats.peak_frontier)
+        reg.gauge_max("search.max_depth", stats.max_depth)
+        if shard_stats is not None:
+            for i, s in enumerate(shard_stats):
+                reg.gauge(f"shard{i}.states", s.states)
+                reg.gauge(f"shard{i}.transitions", s.transitions)
+                reg.gauge(f"shard{i}.interned", s.interned_states)
+                reg.gauge_max(f"shard{i}.peak_frontier", s.peak_frontier)
+
+    def close(self) -> None:
+        if self.trace is not None:
+            self.trace.close()

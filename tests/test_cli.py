@@ -233,3 +233,166 @@ def test_verify_corrupted_checkpoint_is_exit_2(capsys, tmp_path):
     code, out = run_cli(capsys, "verify", "--resume", str(cp))
     assert code == 2
     assert "error:" in out
+
+
+# ------------------------------------------------- telemetry flags + metrics
+
+
+def test_verify_trace_log_and_metrics_summary(capsys, tmp_path):
+    trace = tmp_path / "t.jsonl"
+    code, out = run_cli(
+        capsys, "verify", "msi", "--v", "1", "--trace-log", str(trace)
+    )
+    assert code == 0 and trace.exists()
+
+    code, out = run_cli(capsys, "metrics", str(trace))
+    assert code == 0
+    assert "SEQUENTIALLY CONSISTENT" in out
+    assert "states: 1290" in out
+    assert "search.states" in out  # the gauge table
+
+
+def test_verify_parallel_trace_per_shard_sum_equals_total(capsys, tmp_path):
+    trace = tmp_path / "t4.jsonl"
+    code, _ = run_cli(
+        capsys, "verify", "msi", "--v", "1", "--workers", "2",
+        "--trace-log", str(trace),
+    )
+    assert code == 0
+
+    from repro.obs import read_trace
+
+    events = read_trace(str(trace))
+    assert any(e["ev"] == "shard_round" for e in events)
+    end = events[-1]
+    assert end["ev"] == "run_end"
+    assert sum(s["interned_states"] for s in end["shards"]) == end["states"]
+
+    code, out = run_cli(capsys, "metrics", str(trace))
+    assert code == 0
+    assert "Per-shard exploration" in out
+
+
+def test_verify_progress_heartbeat_goes_to_stderr(capsys):
+    code = main(["verify", "msi", "--v", "1", "--progress", "0.01"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "progress:" in captured.err
+    assert "progress:" not in captured.out  # verdict output stays clean
+
+
+def test_verify_profile_prints_span_table(capsys):
+    code, out = run_cli(capsys, "verify", "serial", "--b", "1", "--v", "1",
+                        "--profile")
+    assert code == 0
+    assert "Profile (timer spans)" in out
+    assert "phase.search" in out
+
+
+def test_metrics_malformed_trace_is_exit_2(capsys, tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"ev": "run_end", "ts": 1.0, "seq": 0}\n')  # missing fields
+    code, out = run_cli(capsys, "metrics", str(bad))
+    assert code == 2
+    assert "malformed" in out
+
+
+def test_metrics_diff_two_snapshots(capsys, tmp_path):
+    import json
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps({"counters": {"n": 1}, "gauges": {}, "timers": {}}))
+    b.write_text(json.dumps({"counters": {"n": 2}, "gauges": {}, "timers": {}}))
+    code, out = run_cli(capsys, "metrics", str(a), str(b))
+    assert code == 0
+    assert "counter:n" in out
+    code, out = run_cli(capsys, "metrics", str(a), str(a))
+    assert "no metric differences" in out
+
+
+def test_metrics_record_and_check_bench(capsys, tmp_path):
+    import json
+
+    trace = tmp_path / "t.jsonl"
+    code, _ = run_cli(capsys, "verify", "msi", "--v", "1",
+                      "--trace-log", str(trace))
+    assert code == 0
+
+    bench = tmp_path / "bench.json"
+    bench.write_text(json.dumps({
+        "current": {"workloads": {"msi_p2b1v1": {"seconds": 3600.0, "states": 1290}}}
+    }))
+    code, out = run_cli(
+        capsys, "metrics", str(trace), "--record", str(bench),
+        "--workload", "msi_p2b1v1",
+        "--check-bench", str(bench), "--max-regression", "0.05",
+    )
+    assert code == 0, out  # any real run beats a 3600 s baseline
+    assert "recorded run entry" in out and "bench check:" in out
+    record = json.loads(bench.read_text())
+    assert record["runs"][0]["workload"] == "msi_p2b1v1"
+    assert record["runs"][0]["states"] == 1290
+
+
+def test_metrics_check_bench_detects_regression_and_mismatch(capsys, tmp_path):
+    import json
+
+    trace = tmp_path / "t.jsonl"
+    run_cli(capsys, "verify", "msi", "--v", "1", "--trace-log", str(trace))
+
+    bench = tmp_path / "bench.json"
+    # impossibly fast baseline -> any run is a >5% regression
+    bench.write_text(json.dumps({
+        "current": {"workloads": {"msi_p2b1v1": {"seconds": 1e-9, "states": 1290}}}
+    }))
+    code, out = run_cli(capsys, "metrics", str(trace),
+                        "--workload", "msi_p2b1v1", "--check-bench", str(bench))
+    assert code == 1
+    assert "REGRESSION" in out
+
+    # same-name workload with different state count: not the same search
+    bench.write_text(json.dumps({
+        "current": {"workloads": {"msi_p2b1v1": {"seconds": 3600.0, "states": 7}}}
+    }))
+    code, out = run_cli(capsys, "metrics", str(trace),
+                        "--workload", "msi_p2b1v1", "--check-bench", str(bench))
+    assert code == 1
+    assert "state-count mismatch" in out
+
+    # unknown workload / missing --workload are usage errors
+    code, out = run_cli(capsys, "metrics", str(trace),
+                        "--workload", "nosuch", "--check-bench", str(bench))
+    assert code == 2
+    code, out = run_cli(capsys, "metrics", str(trace),
+                        "--check-bench", str(bench))
+    assert code == 2
+
+
+def test_fault_matrix_trace_log(capsys, tmp_path):
+    trace = tmp_path / "fm.jsonl"
+    code, out = run_cli(capsys, "fault-matrix", "--protocols", "serial",
+                        "--trace-log", str(trace))
+    assert code == 0
+
+    from repro.obs import read_trace
+
+    events = read_trace(str(trace))
+    activated = [e for e in events if e["ev"] == "fault_activated"]
+    assert activated and activated[0]["protocol"] == "serial"
+    assert activated[0]["fault"] == "(none)"  # the baseline row
+
+
+def test_degrade_trace_has_stage_events(capsys, tmp_path):
+    trace = tmp_path / "deg.jsonl"
+    code, out = run_cli(
+        capsys, "verify", "msi", "--degrade", "--budget-s", "0.05",
+        "--trace-log", str(trace),
+    )
+    assert code == 0
+
+    from repro.obs import read_trace
+
+    stages = [e["stage"] for e in read_trace(str(trace))
+              if e["ev"] == "degrade_stage"]
+    assert stages and stages[0] == "model-check"

@@ -24,6 +24,7 @@ import pytest
 
 from repro.cli import NON_SC_PROTOCOLS, PROTOCOLS
 from repro.difftest import (
+    DETERMINISTIC_GAUGES,
     SearchFingerprint,
     assert_equivalent,
     compare_fingerprints,
@@ -93,6 +94,22 @@ def test_storebuffer_caught_in_parallel():
     assert base.verdict == other.verdict == "violation"
     assert base.cx_replays is True and other.cx_replays is True
     assert not compare_fingerprints(base, other)
+
+
+@pytest.mark.parametrize("name", ["serial", "lazy"])
+def test_merged_metrics_identical_across_worker_counts(name):
+    """The telemetry contract rides the differential suite: the merged
+    ``search.*`` gauge snapshot is identical across --workers {1, 2, 4}
+    and reports exactly the search the engines agree on."""
+    base = _fp(name, workers=1)
+    others = [_fp(name, workers=w) for w in (2, 4)]
+    got = dict(base.metrics)
+    assert set(got) == set(DETERMINISTIC_GAUGES)
+    assert got["search.states"] == base.states
+    assert got["search.transitions"] == base.transitions
+    for fp in others:
+        assert fp.metrics == base.metrics
+    assert_equivalent(base, others)
 
 
 def test_random_walk_seed_does_not_change_the_contract():
