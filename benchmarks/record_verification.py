@@ -51,6 +51,15 @@ PARALLEL_WORKLOADS = [
     ("mesi_p2b1v2", "MESIProtocol(p=2, b=1, v=2)", (1, 4)),
 ]
 
+#: (name, constructor source, reduction level) — symmetry reduction on
+#: the acceptance workload (MESI at 3 processors): the same
+#: verification at ``--reduce off`` vs the level, one round each (the
+#: quotient state count, the headline number, is deterministic; the
+#: unreduced side is too slow to repeat ``--rounds`` times in CI)
+REDUCTION_WORKLOADS = [
+    ("mesi_p3b1v1", "MESIProtocol(p=3, b=1, v=1)", "full"),
+]
+
 _TIMER_SNIPPET = """
 import json, sys, time
 from repro.core.verify import verify_protocol
@@ -140,6 +149,36 @@ def time_parallel_inprocess(rounds: int) -> dict:
     return out
 
 
+def time_reduction_inprocess() -> dict:
+    from repro.core.verify import verify_protocol
+    from repro.memory import MESIProtocol  # noqa: F401
+
+    out = {}
+    for name, src, level in REDUCTION_WORKLOADS:
+        entry = {}
+        for reduce in ("off", level):
+            proto = eval(src)
+            t0 = time.perf_counter()
+            res = verify_protocol(proto, reduce=reduce)
+            dt = time.perf_counter() - t0
+            assert res.sequentially_consistent, (name, reduce)
+            entry[reduce] = {
+                "seconds": round(dt, 6),
+                "states": res.stats.states,
+            }
+        # identical verdict on a strictly smaller quotient is the
+        # acceptance bar (≥ 2× fewer states at full on ≥ 3 processors)
+        gain = entry["off"]["states"] / entry[level]["states"]
+        assert gain >= 2.0, (name, gain)
+        entry["level"] = level
+        entry["state_gain"] = round(gain, 3)
+        entry["speedup"] = round(
+            entry["off"]["seconds"] / entry[level]["seconds"], 3
+        )
+        out[name] = entry
+    return out
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
@@ -158,6 +197,7 @@ def main(argv=None) -> int:
 
     current = time_workloads_inprocess(args.rounds)
     parallel = time_parallel_inprocess(args.rounds)
+    reduction = time_reduction_inprocess()
 
     previous = {}
     if args.output.exists():
@@ -173,6 +213,7 @@ def main(argv=None) -> int:
     record = build_record(
         current=current,
         parallel=parallel,
+        reduction=reduction,
         baseline=baseline,
         baseline_note=baseline_note,
         rounds=args.rounds,
@@ -190,6 +231,14 @@ def main(argv=None) -> int:
         )
         print(f"{name:16s} {timings}  states={entry['states']} "
               f"(cpus={os.cpu_count()})")
+    for name, entry in reduction.items():
+        level = entry["level"]
+        print(
+            f"{name:16s} reduce={level}: {entry['off']['states']} -> "
+            f"{entry[level]['states']} states ({entry['state_gain']:.2f}x "
+            f"fewer), {entry['off']['seconds']:.1f}s -> "
+            f"{entry[level]['seconds']:.1f}s"
+        )
     print(f"wrote {args.output}")
     return 0
 

@@ -36,6 +36,7 @@ from typing import Callable, Dict, Optional, Tuple
 from .core.bounds import bounds_for
 from .core.storder import STOrderGenerator
 from .core.verify import verify_protocol
+from .engine.reduction import REDUCE_LEVELS
 from .engine.strategy import STRATEGIES
 from .litmus import (
     CORPUS,
@@ -153,6 +154,7 @@ def cmd_verify(args) -> int:
 
 
 def _cmd_verify(args, telemetry=None) -> int:
+    from .engine.reduction import ReductionError
     from .harness import Budget, CheckpointError, degrade, run_verification
 
     budget = None
@@ -179,6 +181,7 @@ def _cmd_verify(args, telemetry=None) -> int:
                 checkpoint_path=args.checkpoint or args.resume,
                 resume_from=args.resume,
                 workers=args.workers,
+                reduce=args.reduce,
                 telemetry=telemetry,
             )
         else:
@@ -218,9 +221,10 @@ def _cmd_verify(args, telemetry=None) -> int:
                     strategy=args.strategy,
                     seed=args.seed,
                     workers=args.workers,
+                    reduce=args.reduce,
                     telemetry=telemetry,
                 )
-    except CheckpointError as exc:
+    except (CheckpointError, ReductionError) as exc:
         print(f"error: {exc}")
         return 2
     dt = time.perf_counter() - t0
@@ -412,6 +416,7 @@ def cmd_fault_matrix(args) -> int:
             seed=args.seed,
             include_baseline=not args.no_baseline,
             workers=args.workers,
+            reduce=args.reduce,
             telemetry=telemetry,
         )
     finally:
@@ -474,6 +479,7 @@ def cmd_metrics(args) -> int:
             summary.elapsed_s,
             summary.states,
             workers=summary.workers or 1,
+            reduce=summary.reduce or "off",
         )
         append_run_entry(args.record, entry)
         print(f"\nrecorded run entry for {workload!r} in {args.record}")
@@ -531,7 +537,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = ap.add_subparsers(dest="command", required=True)
 
-    v = sub.add_parser("verify", help="model-check one protocol")
+    v = sub.add_parser(
+        "verify",
+        help="model-check one protocol",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes (the contract every caller — CI, harness, scripts — "
+            "relies on):\n"
+            "  0  the protocol verified sequentially consistent (or a bounded/\n"
+            "     budgeted search finished without finding a violation)\n"
+            "  1  a violation was found (counterexample printed), or the search\n"
+            "     ended without the evidence its caller required\n"
+            "  2  usage or input error: bad arguments, an unreadable or\n"
+            "     incompatible checkpoint (wrong version, sequential checkpoint\n"
+            "     resumed with --workers > 1, mismatched --reduce level), or a\n"
+            "     --reduce level the protocol declares no symmetry for"
+        ),
+    )
     v.add_argument("protocol", nargs="?", choices=sorted(PROTOCOLS), default=None,
                    help="protocol name (omit when using --resume)")
     v.add_argument("--p", type=int, default=None, help="processors")
@@ -570,6 +592,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "checkpointed search is re-sharded to N (parallel "
                         "checkpoints only; a sequential checkpoint resumes "
                         "only with workers=1)")
+    v.add_argument("--reduce", choices=list(REDUCE_LEVELS), default=None,
+                   help="symmetry-reduction level: canonicalize states under "
+                        "processor (proc), processor+block (proc+block) or "
+                        "processor+block+value (full) permutations before "
+                        "interning, shrinking the explored quotient space "
+                        "with identical verdicts and concretely replayable "
+                        "counterexamples (default off; with --resume the "
+                        "checkpointed level is inherited and cannot be "
+                        "changed; ignored by --degrade's fall-back phases)")
     v.add_argument("--profile", action="store_true",
                    help="time the pipeline phases through the telemetry span "
                         "system and print the span table afterwards")
@@ -629,6 +660,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip the unfaulted baseline row per protocol")
     fm.add_argument("--workers", type=int, default=1, metavar="N",
                     help="shard each pair's search across N worker processes")
+    fm.add_argument("--reduce", choices=list(REDUCE_LEVELS), default="off",
+                    help="symmetry-reduction level for pairs whose protocol "
+                         "declares a symmetry spec (faulted variants run "
+                         "unreduced — faults may break index-uniformity)")
     _add_telemetry_args(fm)
     fm.set_defaults(func=cmd_fault_matrix)
 

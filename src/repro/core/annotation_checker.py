@@ -568,7 +568,14 @@ class AnnotationChecker:
     # ------------------------------------------------------------------
     # canonical state (for product model checking)
     # ------------------------------------------------------------------
-    def state_key(self, canon=None) -> Tuple:
+    def state_key(self, canon=None, perm=None) -> Tuple:
+        # ``perm`` (a symmetry permutation; see engine/reduction.py)
+        # asks for the key of the permuted checker state.  Trace IDs
+        # and their creation-order ranks are permutation-invariant (a
+        # permuted run creates the image of each node at the same
+        # step), so only the sort-indexed payloads move: operation
+        # labels, the proc/block parts of pending-obligation keys, and
+        # the per-proc/per-block bookkeeping dictionaries.
         if self.rejected is not None:
             return ("REJECTED",)
         if canon is None:
@@ -576,6 +583,13 @@ class AnnotationChecker:
         cn = lambda i: canon.get(i, i)
         kept = sorted(self._nodes)  # tids in creation order
         rank = {tid: r for r, tid in enumerate(kept)}
+        if perm is None:
+            pop = lambda op: op
+            pproc = pblock = lambda i: i
+        else:
+            pop = perm.op
+            pproc = lambda i: perm.proc[i - 1]
+            pblock = lambda i: perm.block[i - 1]
 
         def rk(tid: Optional[int]):
             if tid is None:
@@ -587,7 +601,7 @@ class AnnotationChecker:
         node_part = tuple(
             (
                 rank[tid],
-                self._nodes[tid].op,
+                pop(self._nodes[tid].op),
                 tuple(sorted(cn(i) for i in self._nodes[tid].ids)),
                 rk(self._nodes[tid].po_in),
                 rk(self._nodes[tid].po_out),
@@ -602,13 +616,20 @@ class AnnotationChecker:
         )
         return (
             node_part,
-            tuple(sorted(((p, rk(s)), rk(t)) for (p, s), t in self._pending_load.items())),
-            tuple(sorted(((p, b), rk(t)) for (p, b), t in self._pending_bottom.items())),
+            tuple(
+                sorted(((pproc(p), rk(s)), rk(t)) for (p, s), t in self._pending_load.items())
+            ),
+            tuple(
+                sorted(
+                    ((pproc(p), pblock(b)), rk(t))
+                    for (p, b), t in self._pending_bottom.items()
+                )
+            ),
             tuple(sorted((rk(s), rk(t)) for s, t in self._sto_succ.items() if s in rank)),
-            tuple(sorted(self._proc_seen)),
-            tuple(sorted(self._block_seen)),
-            tuple(sorted(self._po_heads_retired.items())),
-            tuple(sorted(self._po_tails_retired.items())),
-            tuple(sorted(self._sto_tails_retired.items())),
-            tuple(sorted((b, rk(t)) for b, t in self._sto_head_shadow.items())),
+            tuple(sorted(pproc(p) for p in self._proc_seen)),
+            tuple(sorted(pblock(b) for b in self._block_seen)),
+            tuple(sorted((pproc(p), c) for p, c in self._po_heads_retired.items())),
+            tuple(sorted((pproc(p), c) for p, c in self._po_tails_retired.items())),
+            tuple(sorted((pblock(b), c) for b, c in self._sto_tails_retired.items())),
+            tuple(sorted((pblock(b), rk(t)) for b, t in self._sto_head_shadow.items())),
         )

@@ -85,14 +85,23 @@ class Checker:
         other.annotations = self.annotations.fork()
         return other
 
-    def state_key(self, canon=None) -> Tuple:
+    def state_key(self, canon=None, perm=None) -> Tuple:
         # a rejection is absorbing (safety automaton) — and feed_all
         # stops mid-batch on it, leaving the sub-checkers' ID maps out
         # of sync with the observer, so only the collapsed key is
-        # representative-independent
+        # representative-independent.
+        # ``perm`` (a symmetry permutation; see engine/reduction.py)
+        # asks for the key of the permuted state: only the annotation
+        # checker carries proc/block/value content — the cycle
+        # checker's key is pure descriptor-ID/token structure, which
+        # ``canon`` (a permuted renaming when perm is set) already
+        # covers.
         if not self.accepts_so_far:
             return ("REJECTED",)
-        return (self.cycles.state_key(canon), self.annotations.state_key(canon))
+        return (
+            self.cycles.state_key(canon),
+            self.annotations.state_key(canon, perm),
+        )
 
 
 def check_descriptor(

@@ -128,12 +128,18 @@ class CycleChecker:
         proper k-graph descriptor)."""
         return len(self._graph)
 
-    def state_key(self, canon=None) -> Tuple:
+    def state_key(self, canon=None, perm=None) -> Tuple:
         """Canonical hashable state for model-checking product
         exploration.  ``canon`` optionally renames descriptor IDs (the
         product explorer passes the observer's canonical renaming so
         permutation-equivalent joint states merge); tokens are then
         ranked by their smallest renamed ID.
+
+        ``perm`` (a symmetry permutation; see engine/reduction.py) is
+        accepted for interface uniformity and ignored: the key is pure
+        descriptor-ID/token structure with no processor, block or
+        value content — permuting the run moves only which *renaming*
+        ``canon`` carries, which the caller already passes permuted.
 
         ID-sets are disjoint across tokens, so ranking by the sorted
         renamed tuple (whose head is the minimum) equals ranking by the

@@ -529,6 +529,142 @@ class Observer:
         assert self._canon_cache is not None and self._key_cache is not None
         return self._canon_cache, self._key_cache
 
+    def permuted_snapshot(self, perm) -> Tuple[Dict[int, int], Tuple]:
+        """The canonical snapshot this observer *would* produce had the
+        whole run been permuted by ``perm`` (a
+        :class:`~repro.engine.reduction.Permutation`) — the symmetry
+        layer's bridge between the group action and the canonical
+        descriptor-ID renaming.
+
+        No permuted copy of the observer is built.  Descriptor IDs and
+        handles are allocation-order artifacts carrying no sort
+        content, and a permuted run fires the image of each rule in the
+        same order, so the permuted observer's state *is* this state
+        with role-slot indices and operation payloads mapped through
+        ``perm`` — which the canonical renaming then abstracts.  The
+        walk below is :meth:`_fused_canonical` with every sort-indexed
+        visit order (locations, processors, blocks, pending
+        obligations) replaced by its permuted order and every
+        proc/block/value payload mapped; structure-only steps (STo
+        successor chains, the generator FIFO renaming) are shared with
+        the unpermuted walk via the generator's ``permuted_*`` hooks.
+
+        Only the identity path is memoized (it delegates to
+        :meth:`canonical_snapshot`); non-identity snapshots are
+        computed per call — the reduction's two-stage minimization
+        already calls each group element at most once per state.
+        """
+        if perm.is_identity:
+            return self.canonical_snapshot()
+        _id = self._id
+        canon: Dict[int, int] = {}
+        name = canon.setdefault
+        pp, pb, vmap = perm.proc, perm.block, perm.vmap
+        loc_inv = perm.loc_inv
+
+        loc_handles = [self._loc[loc_inv[l - 1]] for l in self._loc_order()]
+        if self.self_check:
+            _op = self._op
+            loc_data_l = []
+            loc_part_l = []
+            for h in loc_handles:
+                if h is None:
+                    loc_data_l.append(None)
+                    loc_part_l.append(None)
+                else:
+                    op = _op[h]
+                    loc_data_l.append((pb[op.block - 1], vmap[op.value]))
+                    loc_part_l.append(name(_id[h], len(canon)))
+            loc_data: Tuple = tuple(loc_data_l)
+            loc_part = tuple(loc_part_l)
+        else:
+            loc_data = ()
+            loc_part = tuple(
+                None if h is None else name(_id[h], len(canon))
+                for h in loc_handles
+            )
+        proc_part = tuple(
+            (q, name(_id[h], len(canon)))
+            for q, h in sorted((pp[p - 1], h) for p, h in self._last_of_proc.items())
+        )
+        tail_part = tuple(
+            (bk, name(_id[h], len(canon)))
+            for bk, h in sorted((pb[b - 1], h) for b, h in self._tail_of_block.items())
+        )
+        head_part = tuple(
+            (bk, name(_id[h], len(canon)))
+            for bk, h in sorted((pb[b - 1], h) for b, h in self._head_of_block.items())
+        )
+        for h in self.gen.permuted_ordered_handles(perm):
+            name(_id[h], len(canon))
+        succ = self._succ
+        if succ:
+            # identical to the unpermuted walk: chains are followed in
+            # canonical-number order, which already reflects the
+            # permuted naming above
+            rev = {i: h for h, i in _id.items()}
+            queue = list(canon)
+            qi = 0
+            while qi < len(queue):
+                h = rev.get(queue[qi])
+                qi += 1
+                if h is None:
+                    continue
+                v = succ.get(h)
+                if v is not None:
+                    iv = _id[v]
+                    if iv not in canon:
+                        canon[iv] = len(canon)
+                        queue.append(iv)
+        pload = self._pending_load
+        if pload:
+            get = canon.get
+            for _, _, h in sorted(
+                ((pp[p - 1], s, h) for (p, s), h in pload.items()),
+                key=lambda e: (e[0], get(_id[e[1]], 1 << 60)),
+            ):
+                name(_id[h], len(canon))
+        pbot_part = tuple(
+            ((q, bk), name(_id[h], len(canon)))
+            for q, bk, h in sorted(
+                (pp[p - 1], pb[b - 1], h)
+                for (p, b), h in self._pending_bottom.items()
+            )
+        )
+        if len(canon) != len(_id):
+            for h in sorted(_id):
+                name(_id[h], len(canon))
+
+        if succ:
+            succ_part = tuple(
+                sorted((canon[_id[u]], canon[_id[v]]) for u, v in succ.items())
+            )
+        else:
+            succ_part = ()
+        if pload:
+            pload_part = tuple(
+                sorted(
+                    ((pp[p - 1], canon[_id[s]]), canon[_id[h]])
+                    for (p, s), h in pload.items()
+                )
+            )
+        else:
+            pload_part = ()
+        key = (
+            self.violation,
+            loc_data,
+            loc_part,
+            proc_part,
+            tail_part,
+            head_part,
+            succ_part,
+            pload_part,
+            pbot_part,
+            tuple(sorted(pb[b - 1] for b in self._bottom_dead)),
+            self.gen.permuted_state_key(lambda h: canon[_id[h]], perm),
+        )
+        return canon, key
+
     def canonical_renaming(self) -> Dict[int, int]:
         """A deterministic renaming ``descriptor ID -> 0..n-1``.
 

@@ -130,6 +130,21 @@ class Protocol(abc.ABC):
             f"L={self.num_locations})"
         )
 
+    def symmetry_spec(self):
+        """The protocol's symmetry declaration
+        (:class:`~repro.engine.reduction.SymmetrySpec`), or ``None``.
+
+        ``None`` — the default — means the protocol declares no
+        symmetry and every ``--reduce`` level except ``off`` is
+        rejected for it.  A protocol whose processors / blocks /
+        values are fully interchangeable (no rule mentions a specific
+        index) overrides this to describe how its state tuple and
+        storage locations are indexed by the three sorts; the
+        reduction layer derives the permutation action from the
+        declaration alone.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # run utilities (used by tests, the per-trace checker and benches)
     # ------------------------------------------------------------------

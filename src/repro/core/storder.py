@@ -92,6 +92,27 @@ class STOrderGenerator(abc.ABC):
         canonical for generators that never hold more than one."""
         return sorted(self.live_handles())
 
+    def permuted_ordered_handles(self, perm) -> List[Handle]:
+        """:meth:`ordered_handles` under a symmetry permutation: the
+        visit order the generator would use had the run been permuted
+        by ``perm``.  The default delegates to the unpermuted order,
+        which is correct exactly when that order carries no
+        processor/block content (true of a generator that holds at
+        most one handle, or none); generators whose order is
+        sort-indexed must override alongside :meth:`ordered_handles`.
+        """
+        return self.ordered_handles()
+
+    def permuted_state_key(
+        self, rename: Callable[[Handle], int], perm
+    ) -> Tuple:
+        """:meth:`state_key` under a symmetry permutation — proc/block
+        payloads mapped through ``perm``, entries re-sorted in the
+        permuted order.  Default as for
+        :meth:`permuted_ordered_handles`: correct only for generators
+        whose keys carry no sort content."""
+        return self.state_key(rename)
+
     @property
     def is_drained(self) -> bool:
         """No ST is awaiting serialisation (part of quiescence)."""
@@ -201,6 +222,28 @@ class WriteOrderSTOrder(STOrderGenerator):
         return tuple(
             (proc, tuple((rename(h), blk) for (h, blk) in fifo))
             for proc, fifo in sorted(self._fifo.items())
+            if fifo
+        )
+
+    def permuted_ordered_handles(self, perm) -> List[Handle]:
+        # processors ascending *after* permutation; FIFO position is
+        # program order per processor and survives any permutation
+        pp = perm.proc
+        return [
+            h
+            for _proc, fifo in sorted(
+                (pp[proc - 1], fifo) for proc, fifo in self._fifo.items()
+            )
+            for (h, _blk) in fifo
+        ]
+
+    def permuted_state_key(self, rename: Callable[[Handle], int], perm) -> Tuple:
+        pp, pb = perm.proc, perm.block
+        return tuple(
+            (proc, tuple((rename(h), pb[blk - 1]) for (h, blk) in fifo))
+            for proc, fifo in sorted(
+                (pp[p - 1], fifo) for p, fifo in self._fifo.items()
+            )
             if fifo
         )
 

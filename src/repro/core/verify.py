@@ -26,7 +26,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..modelcheck.counterexample import Counterexample
 from ..modelcheck.product import ProductResult, explore_product
-from ..modelcheck.stats import ExplorationStats
+from ..obs.stats import ExplorationStats
 from .checker import Checker
 from .descriptor import Symbol
 from .observer import Observer
@@ -124,6 +124,7 @@ def verify_protocol(
     max_depth: Optional[int] = None,
     should_stop=None,
     workers: int = 1,
+    reduce: str = "off",
     telemetry=None,
 ) -> VerificationResult:
     """Model-check sequential consistency of ``protocol``.
@@ -152,13 +153,22 @@ def verify_protocol(
     processes; the verdict and state counts are identical to the
     sequential search (see ``docs/PARALLEL.md``).
 
+    ``reduce`` selects the symmetry-reduction level (``"off"``,
+    ``"proc"``, ``"proc+block"``, ``"full"``; see
+    :mod:`repro.engine.reduction`): joint states are interned under
+    the minimum key over their orbit, so symmetric configurations
+    explore a quotient of the state space with the same verdict and
+    concrete (un-permuted) counterexamples.  Only protocols declaring
+    a :meth:`~repro.core.protocol.Protocol.symmetry_spec` support it.
+
     ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records
     run traces, metrics and live progress for this verification; the
     verdict is unaffected (see ``docs/OBSERVABILITY.md``).
     """
     if telemetry is not None:
         telemetry.start_run(
-            protocol=protocol.describe(), mode=mode, workers=workers
+            protocol=protocol.describe(), mode=mode, workers=workers,
+            reduce=reduce,
         )
     res: ProductResult = explore_product(
         protocol,
@@ -168,6 +178,7 @@ def verify_protocol(
         max_depth=max_depth,
         should_stop=should_stop,
         workers=workers,
+        reduce=reduce,
         telemetry=telemetry,
     )
     result = result_from_product(protocol, res)

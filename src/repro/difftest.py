@@ -30,6 +30,18 @@ What must agree, and when:
   the contract requires is that each run **replays to a genuine
   violation** (:func:`~repro.core.verify.check_run` rejects it).
 
+Symmetry reduction (``--reduce``; :mod:`repro.engine.reduction`) adds
+a second axis: two runs at the *same* level are held to the full
+contract above (the quotient space is enumerated deterministically,
+so counts agree across strategies and worker counts exactly as the
+unreduced space does), while a reduced and an unreduced run are
+compared **cross-level**: verdict, counterexample replay validity and
+— in exhaustive mode — the canonically reported violating state must
+agree, but the counts must *not* (shrinking them is the point of the
+reduction) and the violation-key sets are incomparable (violating
+states keep their concrete identity keys, and the quotient search
+reaches one representative per orbit rather than every member).
+
 ``tests/test_differential.py`` drives this module over the protocol
 zoo; :func:`assert_equivalent` is the assertion it uses, and the
 report it prints on failure is this module's
@@ -62,6 +74,7 @@ DETERMINISTIC_GAUGES = (
 
 __all__ = [
     "DETERMINISTIC_GAUGES",
+    "CROSS_REDUCE_FIELDS",
     "SearchFingerprint",
     "fingerprint",
     "compare_fingerprints",
@@ -80,7 +93,10 @@ class SearchFingerprint:
     payloads in no engine, but hashes diff tersely).
     """
 
-    # provenance (never compared — identifies the configuration)
+    # provenance (never compared — identifies the configuration;
+    # ``reduce`` additionally *selects* the contract: fingerprints at
+    # different reduction levels are compared cross-level, see
+    # :func:`compare_fingerprints`)
     protocol: str
     mode: str
     strategy: str
@@ -97,6 +113,10 @@ class SearchFingerprint:
     canonical_violation: Optional[int]
     cx_len: Optional[int]
     cx_replays: Optional[bool]  #: None when no counterexample was produced
+    #: symmetry-reduction level the search ran under (provenance, like
+    #: ``workers`` — but unlike workers it changes which fields another
+    #: configuration must reproduce)
+    reduce: str = "off"
     #: the :data:`DETERMINISTIC_GAUGES` subset of the run's telemetry
     #: snapshot, as sorted (name, value) pairs — proves the metrics
     #: pipeline reports the same search the engines agree on
@@ -106,7 +126,8 @@ class SearchFingerprint:
     def label(self) -> str:
         return (
             f"{self.protocol} [mode={self.mode} strategy={self.strategy} "
-            f"workers={self.workers} {'exhaustive' if self.exhaustive else 'stop-on-first'}]"
+            f"workers={self.workers} reduce={self.reduce} "
+            f"{'exhaustive' if self.exhaustive else 'stop-on-first'}]"
         )
 
     def comparable(self) -> Dict[str, object]:
@@ -153,6 +174,7 @@ def fingerprint(
     strategy: str = "bfs",
     seed: int = 0,
     workers: int = 1,
+    reduce: str = "off",
     exhaustive: bool = True,
     max_states: Optional[int] = None,
     max_depth: Optional[int] = None,
@@ -176,6 +198,7 @@ def fingerprint(
         strategy=strategy,
         seed=seed,
         workers=workers,
+        reduce=reduce,
         stop_on_violation=not exhaustive,
         max_states=max_states,
         max_depth=max_depth,
@@ -210,6 +233,7 @@ def fingerprint(
         mode=mode,
         strategy=strategy,
         workers=workers,
+        reduce=reduce,
         exhaustive=exhaustive,
         verdict=_verdict_of(result),
         states=result.stats.states,
@@ -232,6 +256,17 @@ def fingerprint(
 Divergence = Tuple[str, object, object]
 
 
+#: the cross-level contract: all a reduced and an unreduced run of the
+#: same protocol promise each other.  Counts are out (the quotient is
+#: smaller by design), the violation-key *set* is out (the quotient
+#: search reaches one concrete representative per violating orbit, not
+#: every member) — but the verdict, the canonically reported violating
+#: state and counterexample replay validity carry across levels.
+CROSS_REDUCE_FIELDS = frozenset(
+    {"verdict", "cx_replays", "canonical_violation"}
+)
+
+
 def compare_fingerprints(
     base: SearchFingerprint, other: SearchFingerprint
 ) -> List[Divergence]:
@@ -240,13 +275,17 @@ def compare_fingerprints(
     Only fields *both* configurations promise (the intersection of
     their :meth:`~SearchFingerprint.comparable` sets) are diffed — a
     stop-on-first run is not held to an exhaustive run's counts.
+    Fingerprints taken at different symmetry-reduction levels are
+    further restricted to :data:`CROSS_REDUCE_FIELDS`: a quotient
+    search must reach the same verdict through the same canonical
+    violation, while exploring *fewer* states — so its counts are
+    required to differ, not to agree.
     """
     a, b = base.comparable(), other.comparable()
-    return [
-        (name, a[name], b[name])
-        for name in a
-        if name in b and a[name] != b[name]
-    ]
+    names = set(a) & set(b)
+    if base.reduce != other.reduce:
+        names &= CROSS_REDUCE_FIELDS
+    return [(name, a[name], b[name]) for name in sorted(names) if a[name] != b[name]]
 
 
 def _show(field: str, av, bv) -> str:

@@ -47,7 +47,7 @@ from .component import (
 from .intern import ShardStore, StateStore
 from .parallel import ParallelSearchEngine, ShardPayload
 from .sharding import shard_of, stable_hash
-from .stats import ExplorationStats, merge_shard_stats
+from ..obs.stats import ExplorationStats, merge_shard_stats
 from .strategy import (
     BFSFrontier,
     DFSFrontier,

@@ -284,6 +284,17 @@ class ComposedSystem(System):
     the canonical key renames descriptor IDs through the observer's
     canonical renaming (unless ``canonical_ids`` is off, which — as
     always — de-canonicalises only the checker component of the key).
+
+    ``reduce`` turns on symmetry reduction (see
+    :mod:`repro.engine.reduction`): the key becomes the minimum over
+    the orbit of the composed state under the level's permutation
+    group, so permutation-equivalent states intern to one quotient
+    key.  States are always kept *concrete* — the quotient lives only
+    in the keys, so counterexample paths replay without any
+    permutation tracking.  Violating observer states keep their
+    identity key (their rendered violation message names concrete
+    operations); they are recorded, never expanded, so no reduction
+    soundness rides on them.
     """
 
     def __init__(
@@ -295,13 +306,23 @@ class ComposedSystem(System):
         canonical_ids: bool = True,
         eager_free: bool = True,
         unpin_heads: bool = True,
+        reduce: str = "off",
     ):
+        from .reduction import build_reduction
+
         if mode not in ("full", "fast"):
             raise ValueError(f"unknown mode {mode!r}")
         self.protocol = protocol
         self.st_order = st_order
         self.mode = mode
         self.canonical_ids = canonical_ids
+        self.reduce = reduce
+        self.reduction = build_reduction(protocol, reduce)
+        if self.reduction is not None and not canonical_ids:
+            raise ValueError(
+                "--reduce requires canonical descriptor IDs (the orbit "
+                "minimum is taken over canonical keys)"
+            )
         fast = mode == "fast"
         self.protocol_comp = ProtocolComponent(protocol)
         self.observer_comp = ObserverComponent(
@@ -324,6 +345,8 @@ class ComposedSystem(System):
 
     def key(self, state) -> Hashable:
         pstate, obs, chk = state
+        if self.reduction is not None and obs.violation is None:
+            return self.reduction.canonical_key(pstate, obs, chk)
         if self.canonical_ids:
             canon, okey = obs.canonical_snapshot()
             return (pstate, okey, chk.state_key(canon))

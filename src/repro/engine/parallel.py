@@ -50,7 +50,7 @@ from ..obs.metrics import MetricsRegistry, MetricsSnapshot
 from .component import System
 from .intern import NO_PARENT, ShardStore
 from .sharding import shard_of, stable_hash
-from .stats import ExplorationStats, merge_shard_stats
+from ..obs.stats import ExplorationStats, merge_shard_stats
 from .strategy import Frontier, SearchOutcome, StopHook, make_frontier
 
 __all__ = ["ParallelSearchEngine", "ShardPayload", "GlobalID"]

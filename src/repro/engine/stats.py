@@ -6,6 +6,12 @@ traces, per-shard merges — shares one definition.  This module keeps
 the historical import path working, and lets pickled checkpoint
 payloads (format v3 ships one ``ExplorationStats`` per shard under
 this module path) load unchanged.
+
+.. deprecated::
+   No first-party code imports this path any more — everything is on
+   :mod:`repro.obs.stats`.  The shim exists *only* so old pickles
+   (checkpoints, saved shard payloads) resolve; new code must import
+   from ``repro.obs.stats``.  Do not add exports here.
 """
 
 from ..obs.stats import ExplorationStats, merge_shard_stats

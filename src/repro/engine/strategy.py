@@ -32,7 +32,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 from .component import System
 from .intern import StateStore
-from .stats import ExplorationStats
+from ..obs.stats import ExplorationStats
 
 __all__ = [
     "Frontier",

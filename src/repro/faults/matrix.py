@@ -142,6 +142,7 @@ def fault_matrix(
     include_baseline: bool = True,
     faults_for: Optional[Callable[..., List[FaultSpec]]] = None,
     workers: int = 1,
+    reduce: str = "off",
     telemetry=None,
 ) -> MatrixReport:
     """Verify every (protocol × fault) pair.
@@ -154,6 +155,12 @@ def fault_matrix(
     (defaults to :func:`~repro.faults.spec.standard_faults`).
     ``workers`` shards each pair's search across worker processes
     (verdicts identical to ``workers=1``; see ``docs/PARALLEL.md``).
+    ``reduce`` requests symmetry reduction per pair where the pair's
+    protocol supports it: faults may target specific indices and
+    reshape states, so a :class:`~repro.faults.wrapper.FaultyProtocol`
+    declares no symmetry spec and such pairs silently run unreduced
+    (``reduce`` then only accelerates the baselines) — the matrix
+    verdict never depends on the reduction level.
     ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records a
     ``fault_activated`` trace event per pair plus each pair's full run
     trace.
@@ -187,6 +194,11 @@ def fault_matrix(
                     expect=expect,
                 )
             t0 = time.perf_counter()
+            pair_reduce = (
+                reduce
+                if reduce != "off" and fproto.symmetry_spec() is not None
+                else "off"
+            )
             res = verify_protocol(
                 fproto,
                 fgen,
@@ -195,6 +207,7 @@ def fault_matrix(
                 max_depth=max_depth,
                 should_stop=should_stop,
                 workers=workers,
+                reduce=pair_reduce,
                 telemetry=telemetry,
             )
             report.entries.append(MatrixEntry(

@@ -57,6 +57,15 @@ __all__ = [
 #:   ``--workers > 1`` searches.  A v3 file resumes under *any*
 #:   worker count (the engine re-shards on load); a v2 file, holding
 #:   a sequential engine, resumes only under ``workers = 1``.
+#:
+#: No bump for symmetry reduction: the ``reduce`` level rides on the
+#: pickled search object itself (``ProductSearch.reduce``, with its
+#: :class:`~repro.engine.reduction.Reduction` inside the composed
+#: system), and pre-reduction checkpoints load with the level
+#: defaulting to ``"off"`` — which is what they were.  Resuming under
+#: a *different* explicit level is a :class:`CheckpointError` (exit
+#: code 2): interned quotient keys of one group cannot be re-keyed
+#: under another.
 CHECKPOINT_VERSION = 2
 
 #: version written for a parallel (sharded) search

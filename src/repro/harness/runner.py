@@ -36,6 +36,7 @@ def run_verification(
     strategy: str = "bfs",
     seed: int = 0,
     workers: Optional[int] = None,
+    reduce: Optional[str] = None,
     telemetry=None,
 ) -> VerificationResult:
     """Model-check ``protocol`` under a budget, checkpointing on
@@ -61,6 +62,16 @@ def run_verification(
     and therefore resumes only with ``workers`` 1 or ``None``;
     requesting more raises :class:`CheckpointError` (CLI exit code 2).
 
+    ``reduce`` selects the symmetry-reduction level (``None`` means:
+    ``"off"`` for a fresh search, whatever the checkpoint used for a
+    resumed one).  Unlike ``workers``, the level cannot change at
+    resume time — the interned store holds quotient keys of the
+    original level's group, so the frontier and seen-set would be
+    keyed inconsistently under any other group.  An explicit
+    mismatching ``reduce`` on resume raises :class:`CheckpointError`
+    (CLI exit code 2; see ``repro verify --help`` for the exit-code
+    contract).
+
     ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records
     run traces, metrics and live progress — including a
     ``checkpoint_saved`` event when truncation writes one.  It is
@@ -73,6 +84,19 @@ def run_verification(
         cp = Checkpoint.load(resume_from)
         search = cp.search
         spent = cp.elapsed_s
+        # searches pickled before the reduction layer carry no flag —
+        # they were, by construction, unreduced
+        cp_reduce = getattr(search, "reduce", "off")
+        if reduce is not None and reduce != cp_reduce:
+            raise CheckpointError(
+                f"checkpoint {resume_from!r} was written with --reduce "
+                f"{cp_reduce}; its interned states are quotient keys of "
+                f"that level's permutation group and cannot be re-keyed, "
+                f"so it cannot be resumed with --reduce {reduce}. Resume "
+                f"with --reduce {cp_reduce} (or omit --reduce), or "
+                f"restart the verification from scratch. (Exit code 2 — "
+                f"usage error; see `repro verify --help`.)"
+            )
         parallel = isinstance(search.engine, ParallelSearchEngine)
         if workers is not None and workers != search.workers:
             if not parallel:
@@ -96,6 +120,7 @@ def run_verification(
             strategy=strategy,
             seed=seed,
             workers=1 if workers is None else workers,
+            reduce="off" if reduce is None else reduce,
         )
         spent = 0.0
 
@@ -105,6 +130,7 @@ def run_verification(
             mode=search.mode,
             strategy=strategy,
             workers=search.workers,
+            reduce=getattr(search, "reduce", "off"),
             resumed=resume_from is not None,
         )
         if telemetry.progress is not None and budget is not None:

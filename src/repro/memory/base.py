@@ -18,7 +18,35 @@ from typing import Dict, Tuple
 from ..core.operations import Load, Store
 from ..core.protocol import Protocol, Tracking, Transition
 
-__all__ = ["LocationMap", "MemoryProtocol", "replace_at"]
+__all__ = ["LocationMap", "MemoryProtocol", "mem_cache_symmetry_spec", "replace_at"]
+
+
+def mem_cache_symmetry_spec():
+    """The :class:`~repro.engine.reduction.SymmetrySpec` shared by every
+    snoopy protocol in this package with the standard state layout
+    ``(mem, cstate, cval)``:
+
+    * ``mem`` — one value per block (entries are data values);
+    * ``cstate`` — one coherence-state enum per (proc, block),
+      proc-major (entries are sort-free control);
+    * ``cval`` — one value per (proc, block), proc-major;
+
+    and the standard location numbering (``mem`` group ``1..b``, then
+    ``cache`` group proc-major).  Valid for any protocol whose rules
+    treat all processors, blocks, and values interchangeably — true of
+    MSI/MESI and their seeded buggy variants, whose bugs are themselves
+    index-uniform.
+    """
+    from ..engine.reduction import FieldSym, SymmetrySpec
+
+    return SymmetrySpec(
+        state_fields=(
+            (FieldSym(axes=("block",), content="value"),),
+            (FieldSym(axes=("proc", "block"), content=None),),
+            (FieldSym(axes=("proc", "block"), content="value"),),
+        ),
+        location_axes=(("block",), ("proc", "block")),
+    )
 
 
 def replace_at(t: tuple, i: int, value) -> tuple:

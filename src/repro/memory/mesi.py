@@ -14,7 +14,7 @@ from typing import Dict, Iterable, Tuple
 
 from ..core.operations import BOTTOM, InternalAction
 from ..core.protocol import FRESH, Tracking, Transition
-from .base import LocationMap, MemoryProtocol, replace_at
+from .base import LocationMap, MemoryProtocol, mem_cache_symmetry_spec, replace_at
 
 __all__ = ["MESIProtocol", "I", "S", "E", "M"]
 
@@ -57,6 +57,11 @@ class MESIProtocol(MemoryProtocol):
             cstate[self._idx(P, block)] != I and cval[self._idx(P, block)] == BOTTOM
             for P in self.procs
         )
+
+    def symmetry_spec(self):
+        # same index-uniform layout as MSI; E is just a fourth sort-free
+        # control value
+        return mem_cache_symmetry_spec()
 
     # ------------------------------------------------------------------
     def transitions(self, state: Tuple) -> Iterable[Transition]:

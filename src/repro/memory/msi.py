@@ -25,7 +25,7 @@ from typing import Dict, Iterable, Tuple
 
 from ..core.operations import BOTTOM, InternalAction
 from ..core.protocol import FRESH, Tracking, Transition
-from .base import LocationMap, MemoryProtocol, replace_at
+from .base import LocationMap, MemoryProtocol, mem_cache_symmetry_spec, replace_at
 
 __all__ = ["MSIProtocol", "I", "S", "M"]
 
@@ -83,6 +83,12 @@ class MSIProtocol(MemoryProtocol):
 
     def is_quiescent(self, state: Tuple) -> bool:
         return True  # bus transactions are atomic; nothing is in flight
+
+    def symmetry_spec(self):
+        # rules are index-uniform over procs, blocks, and values (the
+        # buggy-variant flags drop actions uniformly too), so all three
+        # sorts are full scalarsets
+        return mem_cache_symmetry_spec()
 
     # ------------------------------------------------------------------
     def transitions(self, state: Tuple) -> Iterable[Transition]:

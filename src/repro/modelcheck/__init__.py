@@ -4,7 +4,7 @@ protocol × observer × checker product exploration of Figure 2."""
 from .counterexample import Counterexample
 from .explorer import count_actions, explore, reachable_states
 from .product import ProductResult, ProductSearch, explore_product
-from .stats import ExplorationStats
+from ..obs.stats import ExplorationStats
 
 __all__ = [
     "Counterexample",

@@ -18,7 +18,7 @@ from typing import Callable, Dict, Hashable, List, Optional
 
 from ..core.protocol import Protocol
 from ..engine import ParallelSearchEngine, ProtocolSystem, SearchEngine
-from .stats import ExplorationStats
+from ..obs.stats import ExplorationStats
 
 __all__ = ["explore", "reachable_states", "count_actions"]
 

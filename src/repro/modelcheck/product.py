@@ -41,8 +41,8 @@ from ..core.protocol import Protocol
 from ..core.storder import STOrderGenerator
 from ..engine import ComposedSystem, ParallelSearchEngine, SearchEngine
 from ..engine.strategy import StopHook
+from ..obs.stats import ExplorationStats
 from .counterexample import Counterexample
-from .stats import ExplorationStats
 
 __all__ = ["ProductResult", "ProductSearch", "explore_product"]
 
@@ -155,6 +155,7 @@ class ProductSearch:
         seed: int = 0,
         workers: int = 1,
         stop_on_violation: bool = True,
+        reduce: str = "off",
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -166,6 +167,7 @@ class ProductSearch:
         self.check_quiescence_reachability = check_quiescence_reachability
         self.canonical_ids = canonical_ids
         self.workers = workers
+        self.reduce = reduce
         self.system = ComposedSystem(
             protocol,
             st_order,
@@ -173,6 +175,7 @@ class ProductSearch:
             canonical_ids=canonical_ids,
             eager_free=eager_free,
             unpin_heads=unpin_heads,
+            reduce=reduce,
         )
         if workers > 1:
             self.engine = ParallelSearchEngine(
@@ -213,6 +216,18 @@ class ProductSearch:
         if isinstance(self.engine, ParallelSearchEngine):
             return list(self.engine.shard_stats)
         return None
+
+    def _record_reduction(self, telemetry) -> None:
+        """Publish ``reduction.*`` gauges for this run, if reducing.
+
+        Counters are accumulated on the :class:`Reduction` object
+        inside whichever process canonicalizes — under ``workers > 1``
+        the workers' copies are fork()ed and their counters stay in
+        the worker processes, so the gauges cover the reporting
+        process only (see docs/OBSERVABILITY.md)."""
+        red = self.system.reduction
+        if telemetry is not None and red is not None:
+            telemetry.record_reduction(red)
 
     def _build_cx(self, ref) -> Counterexample:
         """``ref`` is a violating-state reference: an interned ID for
@@ -266,6 +281,7 @@ class ProductSearch:
                 cx = self._build_cx(out.violating)
             if telemetry is not None:
                 telemetry.record_search(out.stats, self.shard_stats())
+                self._record_reduction(telemetry)
                 telemetry.emit(
                     "violation_found",
                     states=out.stats.states,
@@ -276,6 +292,7 @@ class ProductSearch:
             return ProductResult(False, cx, out.stats)
         if telemetry is not None:
             telemetry.record_search(out.stats, self.shard_stats())
+            self._record_reduction(telemetry)
         if out.status == "stopped":
             return ProductResult(True, None, out.stats)
         return ProductResult(
@@ -298,6 +315,7 @@ def explore_product(
     seed: int = 0,
     workers: int = 1,
     stop_on_violation: bool = True,
+    reduce: str = "off",
     should_stop: Optional[StopHook] = None,
     telemetry=None,
 ) -> ProductResult:
@@ -322,5 +340,6 @@ def explore_product(
         seed=seed,
         workers=workers,
         stop_on_violation=stop_on_violation,
+        reduce=reduce,
     )
     return search.run(should_stop, telemetry)

@@ -3,6 +3,12 @@
 The stats object now lives with the telemetry layer
 (:mod:`repro.obs.stats`); this module keeps the oldest historical
 import path working — code and pickles alike.
+
+.. deprecated::
+   No first-party code imports this path any more — everything is on
+   :mod:`repro.obs.stats`.  The shim exists *only* so pickles written
+   before the move resolve; new code must import from
+   ``repro.obs.stats``.  Do not add exports here.
 """
 
 from ..obs.stats import ExplorationStats

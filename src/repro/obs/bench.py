@@ -54,6 +54,7 @@ class RunSummary:
     elapsed_s: float
     protocol: Optional[str] = None
     workers: Optional[int] = None
+    reduce: Optional[str] = None  #: symmetry-reduction level of the run
     snapshot: MetricsSnapshot = field(default_factory=MetricsSnapshot)
     shards: List[dict] = field(default_factory=list)
     stats: Dict[str, object] = field(default_factory=dict)
@@ -71,7 +72,12 @@ class RunSummary:
 
         head = [
             f"run: {self.protocol or '(unknown protocol)'}"
-            + (f"  workers={self.workers}" if self.workers else ""),
+            + (f"  workers={self.workers}" if self.workers else "")
+            + (
+                f"  reduce={self.reduce}"
+                if self.reduce and self.reduce != "off"
+                else ""
+            ),
             f"verdict: {self.verdict}"
             + ("" if self.complete else "  (partial trace — run did not finish)"),
             f"states: {self.states}  elapsed: {self.elapsed_s:.3f}s"
@@ -127,6 +133,7 @@ def summarize_trace(events: List[dict]) -> RunSummary:
         if kind == "run_start":
             summary.protocol = ev.get("protocol")
             summary.workers = ev.get("workers")
+            summary.reduce = ev.get("reduce")
         elif kind in ("heartbeat", "round"):
             summary.verdict = "(in progress)"
             summary.states = ev.get("states", summary.states)
@@ -176,15 +183,23 @@ def normalized_entry(
     states: int,
     *,
     workers: int = 1,
+    reduce: str = "off",
     source: str = "repro-metrics",
 ) -> dict:
-    """The one shape every appended benchmark entry uses."""
+    """The one shape every appended benchmark entry uses.
+
+    ``reduce`` is provenance, not a different metric: a reduced run's
+    ``states`` is the *quotient* count, so its states/sec is not
+    comparable to an unreduced entry of the same workload — record
+    reduced runs under a distinct workload name
+    (``mesi_p3b1v1_reduce_full``, not ``mesi_p3b1v1``)."""
     return {
         "workload": workload,
         "seconds": round(seconds, 6),
         "states": states,
         "states_per_sec": round(states / seconds, 3) if seconds > 0 else None,
         "workers": workers,
+        "reduce": reduce,
         "source": source,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
     }
@@ -209,14 +224,17 @@ def build_record(
     rounds: int,
     cpu_count: Optional[int],
     previous: Optional[dict] = None,
+    reduction: Optional[Dict[str, dict]] = None,
 ) -> dict:
     """Assemble the full benchmark record (the trajectory file).
 
     ``current``/``baseline`` map workload name to
     ``{"seconds", "states"}``; ``parallel`` maps workload name to the
-    per-worker-count timing block.  Any ``"runs"`` entries already in
-    ``previous`` are carried forward — appended one-off measurements
-    are part of the trajectory too.
+    per-worker-count timing block; ``reduction`` maps workload name to
+    the ``--reduce off`` vs reduced-level comparison (``None`` carries
+    any previous reduction section forward).  Any ``"runs"`` entries
+    already in ``previous`` are carried forward — appended one-off
+    measurements are part of the trajectory too.
     """
     record = {
         "benchmark": "E-verify representative verification wall time",
@@ -237,6 +255,18 @@ def build_record(
         },
         "speedup": {},
     }
+    if reduction is None and previous:
+        reduction = previous.get("reduction", {}).get("workloads")
+    if reduction:
+        record["reduction"] = {
+            "note": (
+                "symmetry reduction (--reduce) on the acceptance workload: "
+                "identical verdict on the quotient state space. state_gain "
+                "is unreduced/reduced interned states (deterministic); "
+                "speedup is wall-clock and machine-dependent."
+            ),
+            "workloads": reduction,
+        }
     for name, cur in current.items():
         base = baseline.get(name)
         if base and base.get("seconds"):

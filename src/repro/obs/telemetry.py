@@ -167,6 +167,28 @@ class Telemetry:
                 reg.gauge(f"shard{i}.interned", s.interned_states)
                 reg.gauge_max(f"shard{i}.peak_frontier", s.peak_frontier)
 
+    def record_reduction(self, reduction) -> None:
+        """Publish a run's symmetry-reduction counters as
+        ``reduction.*`` gauges (see :mod:`repro.engine.reduction`).
+
+        ``orbit_hits`` counts the canonicalizations won by a
+        non-identity group element (states that merged into another
+        representative's orbit); ``canon_s`` is the wall-clock span
+        spent in orbit minimization.  These are *not* part of the
+        deterministic gauge contract: which representative of an orbit
+        is reached first — and therefore how many canonicalizations
+        are hits — depends on search order, and under ``workers > 1``
+        the counters cover the reporting process only (workers
+        accumulate onto fork()ed copies that never travel back).
+        """
+        reg = self.registry
+        if reg is None:
+            return
+        reg.gauge("reduction.level_group", reduction.group_size)
+        reg.gauge("reduction.states", reduction.counters.states)
+        reg.gauge("reduction.orbit_hits", reduction.counters.orbit_hits)
+        reg.gauge("reduction.canon_s", round(reduction.counters.canon_s, 6))
+
     def close(self) -> None:
         if self.trace is not None:
             self.trace.close()

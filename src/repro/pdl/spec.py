@@ -143,17 +143,25 @@ class ProtocolSpec:
     tracking labels are derived from the rule syntax.
     """
 
-    def __init__(self, p: int, b: int, v: int):
+    def __init__(self, p: int, b: int, v: int, *, symmetric: bool = True):
         if min(p, b, v) < 1:
             raise SpecError("p, b, v must be at least 1")
         self.p, self.b, self.v = p, b, v
         self._control_vars: Dict[str, Tuple[Tuple[int, ...], Any]] = {}  # name -> (shape, init)
         self._control_slots: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+        self._control_index: Dict[str, Tuple] = {}  # name -> raw index (sort names kept)
+        self._control_sort: Dict[str, Optional[str]] = {}  # name -> entry sort
         self._data_families: Dict[str, Tuple[int, ...]] = {}  # name -> shape
         self._data_slots: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+        self._data_index: Dict[str, Tuple] = {}  # name -> raw index
         self._rules: List[_Rule] = []
         self._quiescent: Optional[Callable] = None
         self._bottom: Optional[Callable] = None
+        #: the declarations double as a symmetry spec (the interpreter
+        #: quantifies every rule over full metavariable ranges, so a
+        #: spec is symmetric unless a guard or update names a concrete
+        #: index — authors of such rules must pass ``symmetric=False``)
+        self._symmetric = symmetric
         self._built = False
 
     # ------------------------------------------------------------------
@@ -171,16 +179,36 @@ class ProtocolSpec:
                 raise SpecError(f"unknown index dimension {d!r} (use 'proc'/'block'/'value' or an int)")
         return tuple(out)
 
-    def control(self, name: str, *, index: Sequence[str] = (), domain: Sequence = (), init) -> str:
-        """Declare a finite-domain control variable (or family)."""
+    def control(
+        self,
+        name: str,
+        *,
+        index: Sequence[str] = (),
+        domain: Sequence = (),
+        init,
+        sort: Optional[str] = None,
+    ) -> str:
+        """Declare a finite-domain control variable (or family).
+
+        ``sort`` declares what the variable's *values* denote for
+        symmetry reduction: ``None`` (default) for pure control
+        (coherence states, counters), or ``'proc'``/``'block'``/
+        ``'value'`` when the values are indices of that sort (e.g. an
+        owner pointer holding a processor number) and must be permuted
+        with it.
+        """
         if self._built:
             raise SpecError("spec already built")
         if name in self._control_vars or name in self._data_families:
             raise SpecError(f"duplicate declaration {name!r}")
+        if sort not in (None, "proc", "block", "value"):
+            raise SpecError(f"unknown sort {sort!r} for control variable {name!r}")
         shape = self._shape(index)
         if domain and init not in domain:
             raise SpecError(f"init {init!r} outside domain of {name!r}")
         self._control_vars[name] = (shape, init)
+        self._control_index[name] = tuple(index)
+        self._control_sort[name] = sort
         for idx in itertools.product(*(range(1, n + 1) for n in shape)):
             self._control_slots[(name, idx)] = len(self._control_slots)
         return name
@@ -198,6 +226,7 @@ class ProtocolSpec:
             raise SpecError(f"duplicate declaration {name!r}")
         shape = self._shape(index)
         self._data_families[name] = shape
+        self._data_index[name] = tuple(index)
         for idx in itertools.product(*(range(1, n + 1) for n in shape)):
             self._data_slots[(name, idx)] = len(self._data_slots)
         return _DataFamily(name, len(shape))
@@ -354,6 +383,30 @@ class SpecProtocol(Protocol):
             return True
         ctx = RuleContext(self.spec, state[0], state[1], {})
         return bool(self.spec._bottom(ctx, block))
+
+    def symmetry_spec(self):
+        """Derived from the declarations alone: control families are
+        indexed by their declared sorts with entries permuted per their
+        declared ``sort``; data locations always hold data values and
+        are numbered 1..L in declaration order, row-major — exactly
+        :meth:`ProtocolSpec._data_location_number`'s layout."""
+        spec = self.spec
+        if not spec._symmetric:
+            return None
+        from ..engine.reduction import FieldSym, SymmetrySpec
+
+        control_fields = tuple(
+            FieldSym(axes=spec._control_index[name], content=spec._control_sort[name])
+            for name in spec._control_vars
+        )
+        data_fields = tuple(
+            FieldSym(axes=spec._data_index[name], content="value")
+            for name in spec._data_families
+        )
+        return SymmetrySpec(
+            state_fields=(control_fields, data_fields),
+            location_axes=tuple(spec._data_index[name] for name in spec._data_families),
+        )
 
     # ------------------------------------------------------------------
     def _apply_control_updates(self, control: Tuple, updates: Mapping) -> Tuple:

@@ -20,7 +20,7 @@ from repro.memory import (
     lazy_caching_st_order,
 )
 from repro.modelcheck.product import ProductSearch
-from repro.modelcheck.stats import ExplorationStats
+from repro.obs.stats import ExplorationStats
 
 
 # ---------------------------------------------------------------- budget

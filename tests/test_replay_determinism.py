@@ -19,18 +19,33 @@ shard :func:`~repro.engine.sharding.shard_of` assigns it to; the
 interned set equals the independently computed reachable closure; and
 every cross-shard counterexample path replays edge-by-edge to its
 violating state.
+
+The final section fuzzes the symmetry-reduction layer
+(:mod:`repro.engine.reduction`): composed canonical keys are invariant
+under every group permutation along seeded random walks of MSI, MESI
+and the DSL MSI; counterexamples found under any ``--reduce`` level
+replay concretely; and a checkpoint resumes only under the level it
+was written with.
 """
 
 import random
 
 import pytest
 
+from repro.core.operations import InternalAction, Operation
 from repro.engine import ParallelSearchEngine, SearchEngine
-from repro.engine.component import Step, System
+from repro.engine.component import ComposedSystem, Step, System
 from repro.engine.sharding import shard_of, stable_hash
-from repro.harness import Budget, run_verification
-from repro.memory import MSIProtocol, StoreBufferProtocol, store_buffer_st_order
+from repro.harness import Budget, CheckpointError, run_verification
+from repro.memory import (
+    BuggyMSIProtocol,
+    MESIProtocol,
+    MSIProtocol,
+    StoreBufferProtocol,
+    store_buffer_st_order,
+)
 from repro.modelcheck.product import ProductSearch
+from repro.pdl.examples import msi_spec
 
 
 # ------------------------------------------------------------------- MSI
@@ -282,6 +297,121 @@ def test_reshard_mid_search_preserves_the_outcome():
     for shard in engine.shards:
         for lid in range(len(shard.store)):
             assert shard.index == shard_of(shard.store.key_of(lid), 3)
+
+
+# ------------------------------------- symmetry reduction (property fuzz)
+#
+# The quotient-key invariant the whole reduction layer rests on: two
+# concrete composed states that are π-images of each other — for any π
+# in the declared symmetry group — produce the *same* canonical key.
+# The test is non-circular: the π-image state is constructed by
+# replaying the π-image *action sequence* through a second, independent
+# composed system, never by the reduction's own permutation machinery
+# (which is only consulted for the protocol-state half, where it is
+# cross-checked against the actually-reached successor).
+
+
+def _permute_action(action, perm):
+    """π-image of a protocol action.  LD/ST permute through the group
+    element itself; every internal action of the protocols under test
+    (handwritten MSI/MESI and the DSL MSI) carries ``(proc, block)``
+    args."""
+    if isinstance(action, Operation):
+        return perm.op(action)
+    assert isinstance(action, InternalAction) and len(action.args) == 2
+    P, B = action.args
+    return InternalAction(action.name, (perm.proc[P - 1], perm.block[B - 1]))
+
+
+def _assert_keys_invariant_along_walk(system, perm, rng, steps=25):
+    red = system.reduction
+    s = system.initial()
+    t = system.initial()  # tracks the π-image of s, concretely
+    assert system.key(s) == system.key(t)
+    for _ in range(steps):
+        succs = [st for st in system.steps(s) if st.ok]
+        if not succs:
+            break
+        step = rng.choice(succs)
+        pa = _permute_action(step.action, perm)
+        tsuccs = [st for st in system.steps(t) if st.action == pa]
+        assert len(tsuccs) == 1, f"π-image action {pa!r} not uniquely enabled"
+        tstep = tsuccs[0]
+        # index-uniformity at the protocol layer: the π-image action
+        # from the π-image state lands on the π-image successor
+        assert tstep.state[0] == red.permute_pstate(step.state[0], perm)
+        # the tentpole invariant: equal quotient keys
+        assert tstep.key == step.key
+        s, t = step.state, tstep.state
+
+
+REDUCTION_FUZZ_SYSTEMS = [
+    pytest.param(lambda: MSIProtocol(p=2, b=2, v=2), "fast", id="msi-fast"),
+    pytest.param(lambda: MSIProtocol(p=2, b=2, v=2), "full", id="msi-full"),
+    pytest.param(lambda: MESIProtocol(p=2, b=1, v=2), "fast", id="mesi-fast"),
+    pytest.param(lambda: MESIProtocol(p=3, b=1, v=1), "full", id="mesi3-full"),
+    pytest.param(lambda: msi_spec(p=2, b=2, v=2), "fast", id="dsl-msi-fast"),
+    pytest.param(lambda: msi_spec(p=2, b=1, v=2), "full", id="dsl-msi-full"),
+]
+
+
+@pytest.mark.parametrize("make_proto,mode", REDUCTION_FUZZ_SYSTEMS)
+@pytest.mark.parametrize("seed", [0, 13, 77])
+def test_composed_key_invariant_under_symmetry_group(make_proto, mode, seed):
+    system = ComposedSystem(make_proto(), mode=mode, reduce="full")
+    rng = random.Random(seed)
+    for perm in system.reduction.perms:
+        if perm.is_identity:
+            continue
+        _assert_keys_invariant_along_walk(system, perm, rng)
+
+
+@pytest.mark.parametrize("reduce", ["proc", "proc+block", "full"])
+@pytest.mark.parametrize("workers", [1, 2])
+def test_reduced_counterexample_replays_concretely(reduce, workers):
+    """Counterexamples under any reduction level are concrete runs: a
+    fresh observer + checker replay (check_run) genuinely rejects them
+    — no permutation ever needs un-doing."""
+    from repro.core.verify import check_run, verify_protocol
+
+    proto = BuggyMSIProtocol(p=2, b=1, v=2)
+    res = verify_protocol(proto, None, mode="fast", workers=workers, reduce=reduce)
+    assert res.counterexample is not None
+    assert not check_run(proto, res.counterexample.run, None).ok
+
+
+def test_reduced_verdict_and_quotient_match_unreduced_msi():
+    """reduce=full verifies the same protocol with a strictly smaller
+    interned quotient and the identical verdict."""
+    from repro.core.verify import verify_protocol
+
+    base = verify_protocol(MSIProtocol(p=2, b=1, v=2), None, mode="fast")
+    red = verify_protocol(
+        MSIProtocol(p=2, b=1, v=2), None, mode="fast", reduce="full"
+    )
+    assert base.sequentially_consistent and red.sequentially_consistent
+    assert red.complete and base.complete
+    assert red.stats.states * 2 <= base.stats.states
+
+
+def test_checkpoint_resume_rejects_mismatched_reduce_level(tmp_path):
+    cp = tmp_path / "red.ckpt"
+    first = run_verification(
+        MSIProtocol(p=2, b=1, v=2),
+        budget=Budget(states=100),
+        checkpoint_path=str(cp),
+        reduce="full",
+    )
+    assert not first.complete and cp.exists()
+    with pytest.raises(CheckpointError, match="--reduce full"):
+        run_verification(resume_from=str(cp), reduce="off")
+    # inheriting the checkpointed level (reduce=None) completes the
+    # quotient search and matches a fresh reduced run exactly
+    resumed = run_verification(resume_from=str(cp))
+    fresh = run_verification(MSIProtocol(p=2, b=1, v=2), reduce="full")
+    assert resumed.sequentially_consistent and resumed.complete
+    assert resumed.stats.states == fresh.stats.states
+    assert resumed.stats.transitions == fresh.stats.transitions
 
 
 def test_stable_hash_golden_values_guard_run_independence():
