@@ -335,6 +335,15 @@ class ComposedSystem(System):
         self.checker_comp = CheckerComponent(full=not fast)
         self._fast = fast
 
+    def __setstate__(self, state):
+        # pre-reduction checkpoints pickled a ComposedSystem without
+        # these attributes (CHECKPOINT_VERSION was deliberately not
+        # bumped — see harness/checkpoint.py); they load as the
+        # "off" level, which is what they were
+        state.setdefault("reduce", "off")
+        state.setdefault("reduction", None)
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------------
     def initial(self):
         return (

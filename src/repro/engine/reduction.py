@@ -383,13 +383,34 @@ class Reduction:
 
 def _check_spec(spec: SymmetrySpec, protocol) -> None:
     p, b, v = protocol.p, protocol.b, protocol.v
-    total = 0
-    for group in spec.state_fields:
+    init = protocol.initial_state()
+    if len(spec.state_fields) != len(init):
+        raise ReductionError(
+            f"symmetry spec declares {len(spec.state_fields)} state "
+            f"components but {protocol.describe()} has {len(init)}"
+        )
+    # every group must cover its state component exactly: an
+    # undercounting spec would make permute_pstate silently truncate
+    # non-identity images and collide distinct states on one quotient key
+    for i, (group, comp) in enumerate(zip(spec.state_fields, init)):
+        total = 0
         for f in group:
             f_size = f.size(p, b, v)
             if f_size < 1:
                 raise ReductionError(f"empty symmetry field {f!r}")
             total += f_size
+        try:
+            comp_size = len(comp)
+        except TypeError:
+            raise ReductionError(
+                f"state component {i} of {protocol.describe()} is not a "
+                f"sized sequence; symmetry reduction cannot permute it"
+            ) from None
+        if total != comp_size:
+            raise ReductionError(
+                f"symmetry spec covers {total} slots of state component "
+                f"{i} but {protocol.describe()} has {comp_size}"
+            )
     locs = 0
     for axes in spec.location_axes:
         n = 1
@@ -483,16 +504,20 @@ def build_reduction(protocol, level: str) -> Optional[Reduction]:
                         off += len(seg)
                     field_srcs.append((tuple(srcs), tuple(contents)))
                 is_id = (pp, pb, pv) == ident
-                content_cache: Dict[Optional[str], object] = {}
+                content_cache: Dict[str, Tuple[int, ...]] = {}
+
+                def _cmap(c, pp=pp, pb=pb, vmap=vmap, cache=content_cache):
+                    if c is None:
+                        return None
+                    if c not in cache:
+                        cache[c] = _content(c, pp, pb, vmap)
+                    return cache[c]
+
                 perm = Permutation(
                     proc=pp, block=pb, value=pv, vmap=vmap,
                     loc=loc_t, loc_inv=loc_inv,
                     field_srcs=tuple(
-                        (srcs, tuple(
-                            content_cache.setdefault(
-                                c, None) if c is None else _content(c, pp, pb, vmap)
-                            for c in contents
-                        ))
+                        (srcs, tuple(_cmap(c) for c in contents))
                         for srcs, contents in field_srcs
                     ),
                     is_identity=is_id,

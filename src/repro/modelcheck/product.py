@@ -203,6 +203,13 @@ class ProductSearch:
             )
         self.stats = self.engine.stats
 
+    def __setstate__(self, state):
+        # pre-reduction checkpoints pickled a ProductSearch without a
+        # reduce attribute (no CHECKPOINT_VERSION bump); they load as
+        # the "off" level, which is what they were
+        state.setdefault("reduce", "off")
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:

@@ -98,6 +98,26 @@ def test_checkpoint_roundtrip(tmp_path):
     assert cp.elapsed_s == 1.5
 
 
+def test_pre_reduction_checkpoint_resumes_with_level_off(tmp_path):
+    # checkpoints written before the symmetry-reduction layer pickled
+    # ProductSearch / ComposedSystem without the reduce / reduction
+    # attributes (CHECKPOINT_VERSION was deliberately not bumped);
+    # they must load as --reduce off and resume to a verdict
+    search = ProductSearch(MSIProtocol(p=2, b=1, v=2), mode="fast")
+    search.run(Budget(states=30).start().should_stop)
+    del search.__dict__["reduce"]
+    del search.system.__dict__["reduce"]
+    del search.system.__dict__["reduction"]
+    path = tmp_path / "old.ckpt"
+    Checkpoint.of(search).save(str(path))
+    cp = Checkpoint.load(str(path))
+    assert cp.search.reduce == "off"
+    assert cp.search.system.reduction is None
+    cp.search._record_reduction(None)  # reads system.reduction unguarded
+    res = cp.search.run()  # every step goes through ComposedSystem.key
+    assert res.ok
+
+
 def test_checkpoint_load_rejects_non_checkpoint(tmp_path):
     path = tmp_path / "junk.ckpt"
     with open(path, "wb") as fh:

@@ -414,6 +414,62 @@ def test_checkpoint_resume_rejects_mismatched_reduce_level(tmp_path):
     assert resumed.stats.transitions == fresh.stats.transitions
 
 
+def test_undercounting_symmetry_spec_is_rejected():
+    """A spec whose declared field sizes don't cover a state component
+    exactly must raise, not silently truncate permuted images (which
+    would collide distinct states on one quotient key)."""
+    from repro.engine.reduction import (
+        FieldSym,
+        ReductionError,
+        SymmetrySpec,
+        build_reduction,
+    )
+
+    class UndercountMSI(MSIProtocol):
+        def symmetry_spec(self):
+            # cval is (proc, block)-indexed; declaring it ('block',)
+            # undercounts it by a factor of p
+            return SymmetrySpec(
+                state_fields=(
+                    (FieldSym(axes=("block",), content="value"),),
+                    (FieldSym(axes=("proc", "block"), content=None),),
+                    (FieldSym(axes=("block",), content="value"),),
+                ),
+                location_axes=(("block",), ("proc", "block")),
+            )
+
+    with pytest.raises(ReductionError, match="state component 2"):
+        build_reduction(UndercountMSI(p=2, b=2, v=2), "proc")
+
+    class MissingGroupMSI(MSIProtocol):
+        def symmetry_spec(self):
+            return SymmetrySpec(
+                state_fields=(
+                    (FieldSym(axes=("block",), content="value"),),
+                    (FieldSym(axes=("proc", "block"), content=None),),
+                ),
+                location_axes=(("block",), ("proc", "block")),
+            )
+
+    with pytest.raises(ReductionError, match="declares 2 state components"):
+        build_reduction(MissingGroupMSI(p=2, b=2, v=2), "proc")
+
+
+def test_content_maps_are_shared_across_slots():
+    """build_reduction interns one content-map tuple per sort per
+    permutation; every slot of the same sort must reference it."""
+    from repro.engine.reduction import build_reduction
+
+    red = build_reduction(MSIProtocol(p=2, b=2, v=2), "full")
+    for perm in red.perms:
+        mem_contents = perm.field_srcs[0][1]  # all 'value'
+        cval_contents = perm.field_srcs[2][1]  # all 'value'
+        shared = mem_contents[0]
+        assert all(c is shared for c in mem_contents)
+        assert all(c is shared for c in cval_contents)
+        assert all(c is None for c in perm.field_srcs[1][1])  # sort-free
+
+
 def test_stable_hash_golden_values_guard_run_independence():
     """Sharding is only deterministic across processes and runs if
     stable_hash is; these frozen values catch any accidental use of
