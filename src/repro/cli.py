@@ -155,7 +155,16 @@ def cmd_verify(args) -> int:
 
 def _cmd_verify(args, telemetry=None) -> int:
     from .engine.reduction import ReductionError
+    from .faults.infra import ChaosError, parse_chaos
     from .harness import Budget, CheckpointError, degrade, run_verification
+
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = parse_chaos(args.chaos)
+        except ChaosError as exc:
+            print(f"error: {exc}")
+            return 2
 
     budget = None
     if (
@@ -182,6 +191,10 @@ def _cmd_verify(args, telemetry=None) -> int:
                 resume_from=args.resume,
                 workers=args.workers,
                 reduce=args.reduce,
+                worker_retries=args.worker_retries,
+                on_worker_failure=args.on_worker_failure,
+                round_timeout_s=args.round_timeout_s,
+                chaos=chaos,
                 telemetry=telemetry,
             )
         else:
@@ -201,7 +214,8 @@ def _cmd_verify(args, telemetry=None) -> int:
                     if telemetry.progress is not None:
                         telemetry.progress.budget = budget
                 res = degrade(
-                    proto, gen, budget=budget, mode=args.mode, telemetry=telemetry
+                    proto, gen, budget=budget, mode=args.mode,
+                    workers=args.workers or 1, telemetry=telemetry,
                 )
                 if telemetry is not None:
                     telemetry.finish_run(
@@ -222,6 +236,10 @@ def _cmd_verify(args, telemetry=None) -> int:
                     seed=args.seed,
                     workers=args.workers,
                     reduce=args.reduce,
+                    worker_retries=args.worker_retries,
+                    on_worker_failure=args.on_worker_failure,
+                    round_timeout_s=args.round_timeout_s,
+                    chaos=chaos,
                     telemetry=telemetry,
                 )
     except (CheckpointError, ReductionError) as exc:
@@ -549,9 +567,15 @@ def build_parser() -> argparse.ArgumentParser:
             "  1  a violation was found (counterexample printed), or the search\n"
             "     ended without the evidence its caller required\n"
             "  2  usage or input error: bad arguments, an unreadable or\n"
-            "     incompatible checkpoint (wrong version, sequential checkpoint\n"
-            "     resumed with --workers > 1, mismatched --reduce level), or a\n"
-            "     --reduce level the protocol declares no symmetry for"
+            "     incompatible checkpoint (wrong version, corrupt beyond the\n"
+            "     .bak fallback, sequential checkpoint resumed with\n"
+            "     --workers > 1, mismatched --reduce level), a --reduce level\n"
+            "     the protocol declares no symmetry for, or a malformed\n"
+            "     --chaos spec\n"
+            "\n"
+            "SIGTERM/SIGINT during the search stop it cooperatively: the final\n"
+            "checkpoint (with --checkpoint) is written and the run exits 0\n"
+            "through the truncation path, resumable with --resume."
         ),
     )
     v.add_argument("protocol", nargs="?", choices=sorted(PROTOCOLS), default=None,
@@ -592,6 +616,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "checkpointed search is re-sharded to N (parallel "
                         "checkpoints only; a sequential checkpoint resumes "
                         "only with workers=1)")
+    v.add_argument("--worker-retries", type=int, default=None, metavar="N",
+                   help="worker failures (crash/stall) absorbed before giving "
+                        "up (default 2; see docs/ROBUSTNESS.md)")
+    v.add_argument("--on-worker-failure",
+                   choices=["fail", "reshard", "sequential"], default=None,
+                   help="recovery policy when a worker dies or stalls: fail "
+                        "immediately, reshard onto the survivors and replay "
+                        "from the last round snapshot (default), or "
+                        "additionally fall back to the in-process engine once "
+                        "retries are exhausted")
+    v.add_argument("--round-timeout-s", type=float, default=None, metavar="S",
+                   help="per-round deadline for stall detection in the "
+                        "parallel engine (doubled after each failure; default "
+                        "off — only dead workers are detected)")
+    v.add_argument("--chaos", action="append", default=None, metavar="SPEC",
+                   help="arm a deterministic engine fault for chaos testing: "
+                        "KIND@ROUND[:WORKER][/SECONDS] with KIND one of "
+                        "kill-worker, stall-worker (repeatable; e.g. "
+                        "kill-worker@2 or stall-worker@3:1/5)")
     v.add_argument("--reduce", choices=list(REDUCE_LEVELS), default=None,
                    help="symmetry-reduction level: canonicalize states under "
                         "processor (proc), processor+block (proc+block) or "

@@ -178,6 +178,10 @@ def fingerprint(
     exhaustive: bool = True,
     max_states: Optional[int] = None,
     max_depth: Optional[int] = None,
+    worker_retries: int = 2,
+    on_worker_failure: str = "reshard",
+    round_timeout_s: Optional[float] = None,
+    chaos=None,
 ) -> SearchFingerprint:
     """Run one product search and summarise it for comparison.
 
@@ -190,6 +194,12 @@ def fingerprint(
     so fingerprinting also exercises the observability layer and the
     fingerprint's ``metrics`` field captures the deterministic gauge
     subset — tracing a run must never change what it computes.
+
+    ``chaos`` (with the other supervision knobs) arms deterministic
+    engine faults for the run — deliberately **not** a provenance
+    field on the fingerprint: the whole point of the chaos tests is
+    that a faulted-and-recovered run must fingerprint identically to
+    a clean one.
     """
     search = ProductSearch(
         protocol,
@@ -202,6 +212,10 @@ def fingerprint(
         stop_on_violation=not exhaustive,
         max_states=max_states,
         max_depth=max_depth,
+        worker_retries=worker_retries,
+        on_worker_failure=on_worker_failure,
+        round_timeout_s=round_timeout_s,
+        chaos=chaos,
     )
     telemetry = Telemetry(registry=MetricsRegistry(), trace=TraceWriter([]))
     result = search.run(telemetry=telemetry)

@@ -45,8 +45,13 @@ from .component import (
     System,
 )
 from .intern import ShardStore, StateStore
-from .parallel import ParallelSearchEngine, ShardPayload
-from .sharding import shard_of, stable_hash
+from .parallel import (
+    FAILURE_POLICIES,
+    ParallelSearchEngine,
+    ShardPayload,
+    WorkerFailure,
+)
+from .sharding import reroute_records, shard_of, stable_hash
 from ..obs.stats import ExplorationStats, merge_shard_stats
 from .strategy import (
     BFSFrontier,
@@ -65,6 +70,7 @@ __all__ = [
     "ComposedSystem",
     "DFSFrontier",
     "ExplorationStats",
+    "FAILURE_POLICIES",
     "Frontier",
     "ObserverComponent",
     "ParallelSearchEngine",
@@ -79,8 +85,10 @@ __all__ = [
     "StateStore",
     "Step",
     "System",
+    "WorkerFailure",
     "make_frontier",
     "merge_shard_stats",
+    "reroute_records",
     "shard_of",
     "stable_hash",
 ]

@@ -1,4 +1,4 @@
-"""Sharded multiprocess state-space exploration.
+"""Sharded multiprocess state-space exploration, with supervision.
 
 :class:`ParallelSearchEngine` is the scale-out counterpart of
 :class:`~repro.engine.strategy.SearchEngine`: the canonical state key
@@ -32,6 +32,26 @@ canonical minimum (by stable key hash), so exhaustive runs
 worker counts — the property the differential suite
 (:mod:`repro.difftest`) enforces against the sequential oracle.
 
+**Supervision** (docs/ROBUSTNESS.md): the coordinator never blocks
+forever on a queue read.  Replies are gathered with a short poll; a
+worker whose reply is missing and whose process has an exit code is
+declared dead, and with a round deadline (``round_timeout_s``) a
+wedged worker is declared stalled.  Either raises
+:class:`WorkerFailure` at the barrier, and :meth:`run` recovers: the
+engine state is rolled back to the last **recovery point** — a
+consistent cut taken at a round barrier (every ``snapshot_rounds``
+rounds, plus at leg start) holding the pickled shard payloads, the
+undelivered batches, the round counter and the violation set — a
+fresh pool is spawned (resharded down to the survivors under the
+``reshard`` policy, reusing :meth:`reshard`), and the lost rounds are
+replayed.  Because round contents are deterministic, replay converges
+on **bit-identical** results — the chaos tests assert fingerprint
+equality between faulted and clean runs.  Retries are bounded
+(``worker_retries``); on exhaustion the ``sequential`` policy drives
+all shards synchronously in-process (no processes left to die), while
+``fail`` raises immediately.  The engine-fault schedule used by tests
+and CI rides in ``chaos`` (a :class:`~repro.faults.infra.ChaosPlan`).
+
 When a search finishes or pauses, workers ship their full shard
 payloads back to the coordinator; between ``run`` legs the engine is
 plain picklable data (checkpoint format v3), and
@@ -42,18 +62,31 @@ checkpoint written with one worker count resumes with another.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import pickle
+import signal
+import time
+import traceback
+from collections import deque
 from dataclasses import dataclass, field
+from queue import Empty
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..obs.metrics import MetricsRegistry, MetricsSnapshot
 from .component import System
 from .intern import NO_PARENT, ShardStore
-from .sharding import shard_of, stable_hash
+from .sharding import reroute_records, shard_of, stable_hash
 from ..obs.stats import ExplorationStats, merge_shard_stats
 from .strategy import Frontier, SearchOutcome, StopHook, make_frontier
 
-__all__ = ["ParallelSearchEngine", "ShardPayload", "GlobalID"]
+__all__ = [
+    "ParallelSearchEngine",
+    "ShardPayload",
+    "GlobalID",
+    "WorkerFailure",
+    "FAILURE_POLICIES",
+    "CHAOS_KILL_EXIT",
+]
 
 #: global state reference: (shard index, local id)
 GlobalID = Tuple[int, int]
@@ -63,6 +96,31 @@ GlobalID = Tuple[int, int]
 #: rounds so short that batching loses its amortisation
 DEFAULT_ROUND_QUOTA = 20_000
 
+#: default bounded-retry budget for worker failures
+DEFAULT_WORKER_RETRIES = 2
+
+#: default recovery-point cadence (rounds between coordinator-held
+#: snapshots); a failure replays at most this many rounds
+DEFAULT_SNAPSHOT_ROUNDS = 8
+
+#: what to do when a worker dies or stalls:
+#: ``fail`` raise immediately; ``reshard`` respawn (resharding onto the
+#: survivors when processes died) with bounded retries; ``sequential``
+#: like reshard, but when retries run out, fall back to driving all
+#: shards synchronously in-process
+FAILURE_POLICIES = ("fail", "reshard", "sequential")
+
+#: exit code a ``kill-worker`` chaos fault dies with (recognisable in
+#: supervision reasons and process tables)
+CHAOS_KILL_EXIT = 117
+
+#: poll interval while waiting at a barrier (liveness check cadence)
+_SUPERVISE_POLL_S = 0.05
+
+#: grace given to each escalation step of the pool shutdown
+_JOIN_GRACE_S = 1.0
+_JOIN_KILL_S = 5.0
+
 
 def _start_context():
     """Prefer ``fork`` (workers inherit the system for free); fall
@@ -70,6 +128,28 @@ def _start_context():
     shipped to workers is picklable either way."""
     methods = mp.get_all_start_methods()
     return mp.get_context("fork" if "fork" in methods else None)
+
+
+class WorkerFailure(RuntimeError):
+    """A worker process died or missed its round deadline.
+
+    Raised at a BSP barrier and consumed by the recovery loop in
+    :meth:`ParallelSearchEngine.run`; it escapes (as the ``__cause__``
+    of a :class:`RuntimeError`) only under the ``fail`` policy or when
+    the retry budget is exhausted.  ``dead`` holds the worker indices
+    implicated; ``exited`` the subset whose *processes* actually have
+    an exit code (a stalled-but-alive worker is dead to the barrier
+    but not to the OS, and does not shrink the pool on reshard).
+    """
+
+    def __init__(self, dead, round_: int, reason: str, exited=()):
+        self.dead = tuple(dead)
+        self.round = round_
+        self.reason = reason
+        self.exited = tuple(exited)
+        super().__init__(
+            f"worker(s) {list(self.dead)} failed in round {round_}: {reason}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -217,24 +297,46 @@ class _ShardRuntime:
         self.p.frontier_state = self.frontier
         return self.p
 
+    def snapshot_blob(self) -> bytes:
+        """Pickle the payload *without* retiring the runtime: the
+        frontier is drained into the payload, pickled, then restored —
+        the re-pushed order is deterministic (and identical to what a
+        recovery restoring this blob rebuilds), so taking a snapshot
+        never changes what the search computes."""
+        entries = []
+        while self.frontier:
+            entries.append(self.frontier.pop())
+        self.p.frontier_entries = entries
+        self.p.frontier_state = self.frontier
+        blob = pickle.dumps(self.p, protocol=pickle.HIGHEST_PROTOCOL)
+        self.p.frontier_entries = []
+        self.p.frontier_state = None
+        for entry in entries:
+            self.frontier.push(entry)
+        return blob
+
 
 # ----------------------------------------------------------------------
-# worker process
+# worker loop (process-hosted or driven in-process)
 # ----------------------------------------------------------------------
 
 
-def _worker_main(index, nshards, system, payload, options, inq, outq):
-    """Worker loop: one message in, one reply out, until ``exit``.
+class _WorkerLoop:
+    """Message handler for one shard: the body of a worker process,
+    also driven synchronously by the in-process fallback
+    (:class:`_LocalChannel`) once the ``sequential`` policy engages.
 
-    With ``options["metrics"]`` the worker carries its own
+    With ``options["metrics"]`` the loop carries its own
     :class:`~repro.obs.metrics.MetricsRegistry`; per-round work
     counters (records in/out, expansions, batch bytes, queue depth)
     are recorded at round boundaries — never per state — and a
     cumulative snapshot rides each round reply so the coordinator can
     merge shard metrics deterministically at the barrier.
     """
-    try:
-        rt = _ShardRuntime(
+
+    def __init__(self, index, nshards, system, payload, options, chaos=None):
+        self.index = index
+        self.rt = _ShardRuntime(
             payload,
             system,
             nshards,
@@ -244,65 +346,163 @@ def _worker_main(index, nshards, system, payload, options, inq, outq):
             options["track_preds"],
             options["stop_early"],
         )
-        registry = MetricsRegistry() if options.get("metrics") else None
-        n_viol_reported = 0
+        self.registry = MetricsRegistry() if options.get("metrics") else None
+        #: armed chaos faults, keyed by round number (tests/CI only)
+        self.chaos: Dict[int, Tuple[str, float]] = dict(chaos or {})
+        self.n_viol_reported = 0
+
+    def handle(self, msg) -> Optional[tuple]:
+        """One message in, one reply out; ``None`` means exit."""
+        kind = msg[0]
+        if kind == "round":
+            return self._round(msg)
+        if kind == "snapshot":
+            return ("snapshot", self.index, self.rt.snapshot_blob())
+        if kind == "collect":
+            return ("payload", self.index, self.rt.detach_payload())
+        assert kind == "exit", kind
+        return None
+
+    def _round(self, msg) -> tuple:
+        _, round_no, batches, quota = msg
+        fault = self.chaos.pop(round_no, None)
+        if fault is not None:
+            self._trigger(*fault)
+        rt = self.rt
+        rt.saw_violation = False
+        n_in = 0
+        for blob in batches:
+            recs = pickle.loads(blob)
+            n_in += len(recs)
+            for rec in recs:
+                rt.admit(rec)
+        if self.registry is not None:
+            # depth of the work queue as the round begins, after
+            # cross-shard admissions — the high-water mark the final
+            # report surfaces
+            self.registry.gauge_max("peak_queue_depth", len(rt.frontier))
+        out: Dict[int, List[Record]] = {}
+        expanded = rt.expand(quota, out)
+        out_blobs = {dest: pickle.dumps(recs) for dest, recs in out.items()}
+        n_out = sum(len(recs) for recs in out.values())
+        metrics_snap = None
+        if self.registry is not None:
+            self.registry.inc("rounds")
+            self.registry.inc("records_in", n_in)
+            self.registry.inc("expanded", expanded)
+            self.registry.inc("records_out", n_out)
+            self.registry.inc(
+                "batch_bytes_out", sum(len(b) for b in out_blobs.values())
+            )
+            metrics_snap = self.registry.snapshot().as_dict()
+        new_viols = [
+            (lid, stable_hash(rt.p.store.key_of(lid)))
+            for lid in rt.p.violations[self.n_viol_reported:]
+        ]
+        self.n_viol_reported = len(rt.p.violations)
+        return (
+            "round-done",
+            self.index,
+            out_blobs,
+            n_out,
+            len(rt.frontier),
+            rt.p.stats,
+            new_viols,
+            rt.p.cap_truncated,
+            rt.saw_violation,
+            expanded,
+            metrics_snap,
+        )
+
+    def _trigger(self, kind: str, seconds: float) -> None:
+        """Fire an armed chaos fault (before any round work, so the
+        lost round replays identically after recovery)."""
+        if kind == "kill-worker":
+            # die the way a segfaulting or OOM-killed worker dies: no
+            # cleanup, no reply, just a nonzero exit code
+            os._exit(CHAOS_KILL_EXIT)
+        elif kind == "stall-worker":
+            time.sleep(seconds)
+
+
+def _worker_main(index, nshards, system, payload, options, chaos, inq, outq):
+    """Worker process entry: drive a :class:`_WorkerLoop` off ``inq``."""
+    # the pool is supervised through exit codes: restore default
+    # SIGTERM so the coordinator's escalating shutdown can actually
+    # kill a wedged worker (the fork start method would otherwise
+    # inherit the runner's graceful-stop handler), and ignore SIGINT
+    # so a terminal Ctrl-C reaches only the coordinator
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        pass
+    try:
+        loop = _WorkerLoop(index, nshards, system, payload, options, chaos)
         while True:
             msg = inq.get()
-            kind = msg[0]
-            if kind == "round":
-                _, batches, quota = msg
-                rt.saw_violation = False
-                n_in = 0
-                for blob in batches:
-                    recs = pickle.loads(blob)
-                    n_in += len(recs)
-                    for rec in recs:
-                        rt.admit(rec)
-                if registry is not None:
-                    # depth of the work queue as the round begins,
-                    # after cross-shard admissions — the high-water
-                    # mark the final report surfaces
-                    registry.gauge_max("peak_queue_depth", len(rt.frontier))
-                out: Dict[int, List[Record]] = {}
-                expanded = rt.expand(quota, out)
-                out_blobs = {dest: pickle.dumps(recs) for dest, recs in out.items()}
-                n_out = sum(len(recs) for recs in out.values())
-                metrics_snap = None
-                if registry is not None:
-                    registry.inc("rounds")
-                    registry.inc("records_in", n_in)
-                    registry.inc("expanded", expanded)
-                    registry.inc("records_out", n_out)
-                    registry.inc(
-                        "batch_bytes_out", sum(len(b) for b in out_blobs.values())
-                    )
-                    metrics_snap = registry.snapshot().as_dict()
-                new_viols = [
-                    (lid, stable_hash(rt.p.store.key_of(lid)))
-                    for lid in rt.p.violations[n_viol_reported:]
-                ]
-                n_viol_reported = len(rt.p.violations)
-                outq.put((
-                    "round-done",
-                    index,
-                    out_blobs,
-                    n_out,
-                    len(rt.frontier),
-                    rt.p.stats,
-                    new_viols,
-                    rt.p.cap_truncated,
-                    rt.saw_violation,
-                    expanded,
-                    metrics_snap,
-                ))
-            elif kind == "collect":
-                outq.put(("payload", index, rt.detach_payload()))
-            elif kind == "exit":
+            reply = loop.handle(msg)
+            if reply is None:
                 return
+            outq.put(reply)
     except BaseException:  # pragma: no cover - surfaced by coordinator
-        import traceback
-
         outq.put(("error", index, traceback.format_exc()))
+
+
+class _LocalOutQueue:
+    """Reply buffer for the in-process fallback (queue-shaped)."""
+
+    def __init__(self):
+        self._items = deque()
+
+    def put(self, item) -> None:
+        self._items.append(item)
+
+    def get(self, timeout=None):
+        if not self._items:
+            raise Empty
+        return self._items.popleft()
+
+
+class _LocalChannel:
+    """In-process stand-in for a worker inbox: messages are handled
+    synchronously by the loop, replies land on the shared out queue.
+    Used by the ``sequential`` fallback — same :class:`_WorkerLoop`,
+    same ``_drive`` protocol, no processes left to die."""
+
+    def __init__(self, loop: _WorkerLoop, out: _LocalOutQueue):
+        self._loop = loop
+        self._out = out
+
+    def put(self, msg) -> None:
+        reply = self._loop.handle(msg)
+        if reply is not None:
+            self._out.put(reply)
+
+
+# ----------------------------------------------------------------------
+# recovery point
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _RecoveryPoint:
+    """A consistent cut of the whole search at one round barrier.
+
+    Shard payloads are held *pickled* (workers produce the blobs; the
+    coordinator never needs the objects until a failure), together
+    with the coordinator-side state that completes the cut: the
+    undelivered cross-shard batches, the round counter, the violation
+    set and the violation-in-flight flag.  Restoring and replaying
+    from here is bit-identical to never having failed, because round
+    contents are a pure function of the previous round.
+    """
+
+    payloads: List[bytes]
+    pending: List[List[bytes]]
+    round: int
+    violations: List[Tuple[int, int, int]]
+    viol_in_flight: bool
 
 
 # ----------------------------------------------------------------------
@@ -319,7 +519,21 @@ class ParallelSearchEngine:
     payloads as plain picklable data.  ``workers`` fixes the shard
     count for this engine; :meth:`reshard` rebuilds the engine for a
     different count (used when resuming a checkpoint with a new
-    ``--workers``).
+    ``--workers``, and by crash recovery to shrink onto survivors).
+
+    Supervision knobs (docs/ROBUSTNESS.md):
+
+    * ``worker_retries`` — how many worker failures :meth:`run`
+      absorbs before giving up (default 2);
+    * ``on_worker_failure`` — one of :data:`FAILURE_POLICIES`;
+    * ``round_timeout_s`` — per-round deadline (doubled after each
+      failure, capped at 8×); ``None`` disables stall detection and
+      leaves only death detection (exit-code polling), which has no
+      false positives and needs no tuning;
+    * ``snapshot_rounds`` — recovery-point cadence; a failure replays
+      at most this many rounds;
+    * ``chaos`` — a :class:`~repro.faults.infra.ChaosPlan` arming
+      deterministic engine faults (tests/CI only; never checkpointed).
 
     Semantics notes versus the sequential engine:
 
@@ -346,6 +560,11 @@ class ParallelSearchEngine:
         track_successors: bool = True,
         check_quiescence_reachability: bool = True,
         round_quota: int = DEFAULT_ROUND_QUOTA,
+        worker_retries: int = DEFAULT_WORKER_RETRIES,
+        on_worker_failure: str = "reshard",
+        round_timeout_s: Optional[float] = None,
+        snapshot_rounds: int = DEFAULT_SNAPSHOT_ROUNDS,
+        chaos=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -354,6 +573,13 @@ class ParallelSearchEngine:
                 "parallel search takes a strategy *name* (each shard owns "
                 "its own frontier instance)"
             )
+        if on_worker_failure not in FAILURE_POLICIES:
+            raise ValueError(
+                f"on_worker_failure must be one of {FAILURE_POLICIES}, "
+                f"got {on_worker_failure!r}"
+            )
+        if worker_retries < 0:
+            raise ValueError("worker_retries must be >= 0")
         self.system = system
         self.workers = workers
         self.strategy = strategy
@@ -364,6 +590,11 @@ class ParallelSearchEngine:
         self.track_successors = track_successors
         self.check_quiescence_reachability = check_quiescence_reachability
         self.round_quota = round_quota
+        self.worker_retries = worker_retries
+        self.on_worker_failure = on_worker_failure
+        self.round_timeout_s = round_timeout_s
+        self.snapshot_rounds = snapshot_rounds
+        self.chaos = chaos
 
         self.shards: List[ShardPayload] = [ShardPayload(i) for i in range(workers)]
         #: undelivered cross-shard batches, per destination shard
@@ -373,12 +604,44 @@ class ParallelSearchEngine:
         self._violations: List[Tuple[int, int, int]] = []
         self._round = 0
         self._final: Optional[SearchOutcome] = None
+        self._viol_in_flight = False
+        #: the sequential-fallback rung engaged (sticky for this engine)
+        self._in_process = False
+        self._recovery: Optional[_RecoveryPoint] = None
+        self._timeout_backoff = 1.0
 
         init = system.initial()
         key = system.key(init)
         owner = shard_of(key, workers)
         root: Record = (key, init, None, NO_PARENT, NO_PARENT, 0, True)
         self._pending[owner].append(pickle.dumps([root]))
+
+    # ------------------------------------------------------------------
+    # pickling (checkpoint format v3)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        # recovery points can hold every shard twice over — rebuild on
+        # demand; chaos plans are per-invocation test scaffolding and
+        # must not re-fire when a checkpoint resumes
+        state["_recovery"] = None
+        state["chaos"] = None
+        return state
+
+    def __setstate__(self, state):
+        # checkpoints written before the supervision layer lack its
+        # attributes (CHECKPOINT_VERSION_PARALLEL deliberately not
+        # bumped); they load with the defaults and resume supervised
+        state.setdefault("worker_retries", DEFAULT_WORKER_RETRIES)
+        state.setdefault("on_worker_failure", "reshard")
+        state.setdefault("round_timeout_s", None)
+        state.setdefault("snapshot_rounds", DEFAULT_SNAPSHOT_ROUNDS)
+        state.setdefault("chaos", None)
+        state.setdefault("_viol_in_flight", False)
+        state.setdefault("_in_process", False)
+        state.setdefault("_recovery", None)
+        state.setdefault("_timeout_backoff", 1.0)
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     @property
@@ -418,33 +681,78 @@ class ParallelSearchEngine:
     def run(
         self, should_stop: Optional[StopHook] = None, telemetry=None
     ) -> SearchOutcome:
-        """Continue until a final outcome or a cooperative stop.
+        """Continue until a final outcome or a cooperative stop,
+        recovering from worker failures along the way.
 
         ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) makes
         every worker carry its own metrics registry and the
         coordinator emit ``round`` / ``shard_round`` trace events plus
         progress heartbeats at each round barrier; shard snapshots are
         merged into the coordinator registry in worker-index order, so
-        the merged view is deterministic.  ``telemetry=None`` (the
-        default) runs the exact uninstrumented protocol.
+        the merged view is deterministic.  Failures additionally emit
+        ``worker_died`` / ``round_retry`` / ``recovered`` events and
+        ``supervision.*`` counters.  ``telemetry=None`` (the default)
+        runs the exact uninstrumented protocol.
         """
         if self._final is not None:
             return self._final
+        self._timeout_backoff = 1.0
+        self._recovery = self._make_recovery()
+        attempt = 0
+        while True:
+            try:
+                if self._in_process:
+                    outcome = self._run_in_process(should_stop, telemetry)
+                else:
+                    outcome = self._run_processes(should_stop, telemetry)
+                self._recovery = None
+                return outcome
+            except WorkerFailure as wf:
+                attempt += 1
+                self._note_failure(wf, attempt, telemetry)
+                if self.on_worker_failure == "fail":
+                    raise RuntimeError(str(wf)) from wf
+                assert self._recovery is not None
+                self._restore(self._recovery)
+                if self.chaos is not None:
+                    # one-shot semantics: faults in the failed leg do
+                    # not re-fire during replay
+                    self.chaos = self.chaos.after_round(wf.round)
+                self._timeout_backoff = min(8.0, self._timeout_backoff * 2.0)
+                if attempt > self.worker_retries:
+                    if self.on_worker_failure == "sequential":
+                        self._in_process = True
+                        self._emit_recovered(telemetry, "sequential")
+                        continue
+                    raise RuntimeError(
+                        f"parallel search failed after {attempt} attempt(s) "
+                        f"(--worker-retries {self.worker_retries} exhausted): {wf}"
+                    ) from wf
+                kind = "respawn"
+                survivors = self.workers - len(set(wf.exited))
+                if wf.exited and self.workers > 1:
+                    # shrink the pool onto the survivors: reshard the
+                    # restored (barrier-consistent) state, then snapshot
+                    # the new layout as the recovery point going forward
+                    self._adopt(self.reshard(max(1, survivors)))
+                    self._recovery = self._make_recovery()
+                    kind = "reshard"
+                self._emit_recovered(telemetry, kind)
+
+    # ------------------------------------------------------------------
+    def _run_processes(self, should_stop, telemetry) -> SearchOutcome:
         ctx = _start_context()
-        options = {
-            "strategy": self.strategy,
-            "seed": self.seed,
-            "max_depth": self.max_depth,
-            "track_preds": self.track_successors,
-            "stop_early": self.stop_on_violation,
-            "metrics": telemetry is not None and telemetry.registry is not None,
-        }
-        inqs = [ctx.SimpleQueue() for _ in range(self.workers)]
-        outq = ctx.SimpleQueue()
+        options = self._worker_options(telemetry)
+        chaos_by_worker = (
+            self.chaos.by_worker(self.workers) if self.chaos else {}
+        )
+        inqs = [ctx.Queue() for _ in range(self.workers)]
+        outq = ctx.Queue()
         procs = [
             ctx.Process(
                 target=_worker_main,
-                args=(i, self.workers, self.system, self.shards[i], options, inqs[i], outq),
+                args=(i, self.workers, self.system, self.shards[i], options,
+                      chaos_by_worker.get(i, {}), inqs[i], outq),
                 daemon=True,
             )
             for i in range(self.workers)
@@ -452,32 +760,124 @@ class ParallelSearchEngine:
         for p in procs:
             p.start()
         try:
-            outcome = self._drive(should_stop, inqs, outq, telemetry)
+            return self._drive(should_stop, inqs, outq, telemetry, procs)
         finally:
-            for q in inqs:
-                q.put(("exit",))
-            for p in procs:
-                p.join(timeout=10)
-                if p.is_alive():  # pragma: no cover - defensive
-                    p.terminate()
-        return outcome
+            self._shutdown_pool(procs, inqs, outq)
 
-    def _collect_replies(self, outq, expected: str) -> list:
+    def _run_in_process(self, should_stop, telemetry) -> SearchOutcome:
+        """The last rung: all shards driven synchronously in this
+        process through the same message protocol — same exploration,
+        same merges, nothing left to crash.  Chaos plans never apply
+        here (engine faults model process failures)."""
+        options = self._worker_options(telemetry)
+        out = _LocalOutQueue()
+        inqs = [
+            _LocalChannel(
+                _WorkerLoop(i, self.workers, self.system, self.shards[i], options),
+                out,
+            )
+            for i in range(self.workers)
+        ]
+        return self._drive(should_stop, inqs, out, telemetry, procs=None)
+
+    def _worker_options(self, telemetry) -> dict:
+        return {
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "max_depth": self.max_depth,
+            "track_preds": self.track_successors,
+            "stop_early": self.stop_on_violation,
+            "metrics": telemetry is not None and telemetry.registry is not None,
+        }
+
+    def _shutdown_pool(self, procs, inqs, outq) -> None:
+        """Escalating shutdown: ask nicely (``exit`` message), then
+        ``terminate`` (SIGTERM), then ``kill`` (SIGKILL) — and close
+        every queue so no zombie processes or leaked pipe fds survive
+        an aborted run."""
+        for q in inqs:
+            try:
+                q.put(("exit",))
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
+        for p in procs:
+            p.join(timeout=_JOIN_GRACE_S)
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            if p.is_alive():
+                p.join(timeout=_JOIN_GRACE_S)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - SIGTERM normally lands
+                p.kill()
+                p.join(timeout=_JOIN_KILL_S)
+        for q in (*inqs, outq):
+            # feeder threads of queues a dead worker never drained
+            # would block interpreter exit; cancel before closing
+            q.cancel_join_thread()
+            q.close()
+        for p in procs:
+            try:
+                p.close()
+            except ValueError:  # pragma: no cover - still alive
+                pass
+
+    # ------------------------------------------------------------------
+    def _gather(self, outq, expected: str, procs, deadline=None) -> list:
         """Gather one reply per worker, re-ordered canonically by
-        worker index (arrival order is timing noise)."""
+        worker index (arrival order is timing noise).
+
+        Supervised when ``procs`` is given: the blocking read is a
+        short poll; any worker still owing a reply whose process has
+        exited raises :class:`WorkerFailure`, as does blowing the
+        round ``deadline`` (monotonic seconds).  A worker that *raised*
+        (an ``error`` reply) is a code bug, deterministic under replay
+        — that stays a hard :class:`RuntimeError`, not a recovery.
+        """
         replies: List[Optional[tuple]] = [None] * self.workers
-        for _ in range(self.workers):
-            msg = outq.get()
+        got = 0
+        while got < self.workers:
+            if procs is None:
+                msg = outq.get()
+            else:
+                try:
+                    msg = outq.get(timeout=_SUPERVISE_POLL_S)
+                except Empty:
+                    dead = [
+                        i for i, p in enumerate(procs)
+                        if replies[i] is None and p.exitcode is not None
+                    ]
+                    if dead:
+                        codes = [procs[i].exitcode for i in dead]
+                        raise WorkerFailure(
+                            dead, self._round,
+                            f"process(es) exited with code(s) {codes} "
+                            f"before replying to {expected!r}",
+                            exited=dead,
+                        )
+                    if deadline is not None and time.monotonic() > deadline:
+                        waiting = [
+                            i for i in range(self.workers) if replies[i] is None
+                        ]
+                        raise WorkerFailure(
+                            waiting, self._round,
+                            f"round deadline exceeded "
+                            f"({self.round_timeout_s}s × {self._timeout_backoff:g} "
+                            f"backoff) waiting for {expected!r}",
+                        )
+                    continue
             if msg[0] == "error":
                 raise RuntimeError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
             assert msg[0] == expected, msg[0]
+            if replies[msg[1]] is None:
+                got += 1
             replies[msg[1]] = msg
         return replies
 
-    def _drive(self, should_stop, inqs, outq, telemetry=None) -> SearchOutcome:
+    def _drive(self, should_stop, inqs, outq, telemetry=None, procs=None) -> SearchOutcome:
         stop_reason: Optional[str] = None
         cap_hit = False
-        viol_in_flight = False
         #: latest cumulative metrics snapshot per shard (telemetry only)
         shard_snaps: Dict[int, dict] = {}
         while True:
@@ -485,21 +885,27 @@ class ParallelSearchEngine:
             # for another shard), stop expanding: quota-0 rounds only
             # ingest, so the violating record reaches its owner and is
             # reported without the other shards burning full rounds
-            quota = 0 if (viol_in_flight and self.stop_on_violation) else self.round_quota
+            quota = (
+                0 if (self._viol_in_flight and self.stop_on_violation)
+                else self.round_quota
+            )
             batches, self._pending = self._pending, [[] for _ in range(self.workers)]
-            for i, q in enumerate(inqs):
-                q.put(("round", batches[i], quota))
             self._round += 1
+            deadline = None
+            if procs is not None and self.round_timeout_s is not None:
+                deadline = time.monotonic() + self.round_timeout_s * self._timeout_backoff
+            for i, q in enumerate(inqs):
+                q.put(("round", self._round, batches[i], quota))
 
             in_flight = 0
             frontier_rem = 0
             shard_stats: List[ExplorationStats] = []
             cap_truncated = False
-            replies = self._collect_replies(outq, "round-done")
+            replies = self._gather(outq, "round-done", procs, deadline)
             for msg in replies:
                 (_, idx, out_blobs, n_out, flen, stats, new_viols, trunc, saw,
                  _expanded, snap) = msg
-                viol_in_flight = viol_in_flight or saw
+                self._viol_in_flight = self._viol_in_flight or saw
                 for dest, blob in sorted(out_blobs.items()):
                     self._pending[dest].append(blob)
                 in_flight += n_out
@@ -526,7 +932,7 @@ class ParallelSearchEngine:
                 # the flagged record deduplicated against an existing
                 # (good-keyed) state instead of interning a violation;
                 # the hint is stale — resume normal expansion
-                viol_in_flight = False
+                self._viol_in_flight = False
             if self.max_states is not None and agg.states >= self.max_states:
                 cap_hit = True
                 break
@@ -534,11 +940,17 @@ class ParallelSearchEngine:
                 stop_reason = should_stop(agg)
                 if stop_reason is not None:
                     break
+            if (
+                procs is not None
+                and self.snapshot_rounds
+                and self._round % self.snapshot_rounds == 0
+            ):
+                self._take_snapshot(inqs, outq, procs)
 
         # pull every shard's payload back into the coordinator
         for q in inqs:
             q.put(("collect",))
-        self.shards = [msg[2] for msg in self._collect_replies(outq, "payload")]
+        self.shards = [msg[2] for msg in self._gather(outq, "payload", procs)]
         self.stats = merge_shard_stats(
             [p.stats for p in self.shards], stop_reason=stop_reason
         )
@@ -571,6 +983,93 @@ class ParallelSearchEngine:
             non_quiescible = self._non_quiescible()
         self._final = SearchOutcome("done", None, self.stats, non_quiescible)
         return self._final
+
+    # ------------------------------------------------------------------
+    # recovery machinery
+    # ------------------------------------------------------------------
+    def _make_recovery(self) -> _RecoveryPoint:
+        """Snapshot the between-legs engine state (coordinator-held
+        payloads) as a recovery point."""
+        return _RecoveryPoint(
+            payloads=[
+                pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL)
+                for p in self.shards
+            ],
+            pending=[list(blobs) for blobs in self._pending],
+            round=self._round,
+            violations=list(self._violations),
+            viol_in_flight=self._viol_in_flight,
+        )
+
+    def _take_snapshot(self, inqs, outq, procs) -> None:
+        """Refresh the recovery point mid-leg: workers pickle their
+        payloads at this barrier (a consistent cut — the next round's
+        batches are still undelivered in ``self._pending``)."""
+        for q in inqs:
+            q.put(("snapshot",))
+        replies = self._gather(outq, "snapshot", procs)
+        self._recovery = _RecoveryPoint(
+            payloads=[msg[2] for msg in replies],
+            pending=[list(blobs) for blobs in self._pending],
+            round=self._round,
+            violations=list(self._violations),
+            viol_in_flight=self._viol_in_flight,
+        )
+
+    def _restore(self, rp: _RecoveryPoint) -> None:
+        """Roll the engine back to a recovery point (the failed leg's
+        partial work is discarded; replay recomputes it identically)."""
+        self.shards = [pickle.loads(blob) for blob in rp.payloads]
+        self._pending = [list(blobs) for blobs in rp.pending]
+        self._round = rp.round
+        self._violations = list(rp.violations)
+        self._viol_in_flight = rp.viol_in_flight
+        self.stats = merge_shard_stats([p.stats for p in self.shards])
+
+    def _adopt(self, new: "ParallelSearchEngine") -> None:
+        """Take over a resharded engine's state (recovery shrinks the
+        pool in place rather than handing the caller a new object)."""
+        if new is self:
+            return
+        self.workers = new.workers
+        self.shards = new.shards
+        self._pending = new._pending
+        self._violations = new._violations
+        self._round = new._round
+        self.stats = new.stats
+
+    def _note_failure(self, wf: WorkerFailure, attempt: int, telemetry) -> None:
+        if telemetry is None:
+            return
+        retrying = self.on_worker_failure != "fail"
+        telemetry.emit(
+            "worker_died",
+            round=wf.round,
+            dead=list(wf.dead),
+            reason=wf.reason,
+        )
+        if retrying and attempt <= self.worker_retries:
+            telemetry.emit(
+                "round_retry",
+                round=wf.round,
+                attempt=attempt,
+                policy=self.on_worker_failure,
+            )
+        if telemetry.registry is not None:
+            telemetry.registry.inc("supervision.worker_deaths", len(wf.dead))
+            if retrying and attempt <= self.worker_retries:
+                telemetry.registry.inc("supervision.round_retries")
+
+    def _emit_recovered(self, telemetry, kind: str) -> None:
+        if telemetry is None:
+            return
+        telemetry.emit(
+            "recovered", kind=kind, round=self._round, workers=self.workers
+        )
+        if telemetry.registry is not None:
+            telemetry.registry.inc("supervision.recoveries")
+            if kind == "sequential":
+                telemetry.registry.inc("supervision.sequential_fallbacks")
 
     # ------------------------------------------------------------------
     def _emit_round(self, telemetry, replies, agg, frontier_rem, in_flight) -> None:
@@ -661,6 +1160,15 @@ class ParallelSearchEngine:
         new.track_successors = self.track_successors
         new.check_quiescence_reachability = self.check_quiescence_reachability
         new.round_quota = self.round_quota
+        new.worker_retries = self.worker_retries
+        new.on_worker_failure = self.on_worker_failure
+        new.round_timeout_s = self.round_timeout_s
+        new.snapshot_rounds = self.snapshot_rounds
+        new.chaos = self.chaos
+        new._viol_in_flight = self._viol_in_flight
+        new._in_process = self._in_process
+        new._recovery = None
+        new._timeout_backoff = self._timeout_backoff
         new.shards = [ShardPayload(i) for i in range(workers)]
         new._pending = [[] for _ in range(workers)]
         new._round = self._round
@@ -711,17 +1219,15 @@ class ParallelSearchEngine:
             )
 
         # pending (undelivered) records: remap parents, re-route by key
-        rerouted: List[List[Record]] = [[] for _ in range(workers)]
+        remapped: List[Record] = []
         for blobs in self._pending:
             for blob in blobs:
                 for rec in pickle.loads(blob):
                     key, state, action, pshard, pid, depth, ok = rec
                     if pid != NO_PARENT:
                         pshard, pid = remap((pshard, pid))
-                    rerouted[shard_of(key, workers)].append(
-                        (key, state, action, pshard, pid, depth, ok)
-                    )
-        for dest, recs in enumerate(rerouted):
+                    remapped.append((key, state, action, pshard, pid, depth, ok))
+        for dest, recs in enumerate(reroute_records(remapped, workers)):
             if recs:
                 new._pending[dest].append(pickle.dumps(recs))
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 import zlib
 from typing import Hashable
 
-__all__ = ["stable_hash", "shard_of"]
+__all__ = ["stable_hash", "shard_of", "reroute_records"]
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
@@ -111,3 +111,18 @@ def shard_of(key: Hashable, num_shards: int) -> int:
     if num_shards <= 1:
         return 0
     return stable_hash(key) % num_shards
+
+
+def reroute_records(records, num_shards: int):
+    """Bucket successor records by owner shard under ``num_shards``.
+
+    ``records`` are engine records whose first element is the
+    canonical key; the result is a list of ``num_shards`` buckets with
+    input order preserved within each bucket — the routing step shared
+    by checkpoint resharding and crash recovery, so both re-route
+    pending work identically.
+    """
+    buckets = [[] for _ in range(num_shards)]
+    for rec in records:
+        buckets[shard_of(rec[0], num_shards)].append(rec)
+    return buckets

@@ -1,0 +1,183 @@
+"""Infrastructure-level chaos faults for the search engine itself.
+
+:mod:`repro.faults.spec` mutates *protocols* to prove the checker
+rejects broken cache coherence; this module mutates the *machinery
+underneath the search* to prove the supervision layer
+(:class:`~repro.engine.parallel.ParallelSearchEngine`) recovers from
+its own failures.  The taxonomy:
+
+``kill-worker``
+    The targeted worker process dies with ``os._exit`` at the start of
+    BSP round *k* — before ingesting that round's batches, exactly like
+    a segfault or an OOM kill.  The coordinator detects the nonzero
+    exit code at the round barrier and recovers from the last
+    completed-round snapshot.
+``stall-worker``
+    The targeted worker sleeps for ``stall_s`` seconds at the start of
+    round *k* (a wedged worker: livelock, NFS stall, GC pause).  Only
+    detectable when the engine runs with a round deadline
+    (``--round-timeout-s``).
+``truncate-checkpoint``
+    The checkpoint file on disk is cut short (a crash mid-write on a
+    filesystem without atomic replace, a torn copy).  Applied at the
+    file level — :func:`corrupt_file` — and recovered by the
+    checksum-verify + ``.bak``-fallback path in
+    :mod:`repro.harness.checkpoint`, not by the engine.
+``sigterm``
+    The coordinator process receives SIGTERM mid-run (preemption,
+    ``timeout(1)``, an impatient operator).  Applied by tests/CI with
+    ``os.kill``; recovered by the signal handlers in
+    :mod:`repro.harness.runner`, which convert it into a cooperative
+    stop that writes a final checkpoint.
+
+The first two are *engine* faults: they are armed on a
+:class:`ChaosPlan` (``--chaos KIND@ROUND[:WORKER][/SECONDS]`` on the
+CLI) that the coordinator ships to workers, keyed by round number —
+fully deterministic, no timing races.  The recovery contract the chaos
+tests enforce is **bit-identical results**: a faulted run's
+:class:`~repro.difftest.SearchFingerprint` must equal the unfaulted
+run's, because recovery replays from a consistent round-barrier cut
+and round contents are a pure function of the previous round.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple, Union
+
+__all__ = [
+    "ENGINE_CHAOS_KINDS",
+    "INFRA_FAULT_KINDS",
+    "DEFAULT_STALL_S",
+    "ChaosError",
+    "InfraFault",
+    "ChaosPlan",
+    "parse_chaos",
+    "corrupt_file",
+]
+
+#: kinds the engine itself injects (armed via :class:`ChaosPlan`)
+ENGINE_CHAOS_KINDS = ("kill-worker", "stall-worker")
+
+#: the full infrastructure-fault taxonomy, with where each is applied
+INFRA_FAULT_KINDS: Dict[str, str] = {
+    "kill-worker": "worker process exits abruptly at round k (engine)",
+    "stall-worker": "worker process hangs at round k (engine)",
+    "truncate-checkpoint": "checkpoint file cut short on disk (file level)",
+    "sigterm": "coordinator receives SIGTERM mid-run (process level)",
+}
+
+#: default hang duration for ``stall-worker`` without ``/SECONDS`` —
+#: long enough that any sane round deadline expires first
+DEFAULT_STALL_S = 30.0
+
+_SPEC_RE = re.compile(
+    r"(?P<kind>[a-z-]+)@(?P<round>\d+)(?::(?P<worker>\d+))?(?:/(?P<s>\d+(?:\.\d+)?))?"
+)
+
+
+class ChaosError(ValueError):
+    """A chaos spec string could not be parsed (CLI exit code 2)."""
+
+
+@dataclass(frozen=True)
+class InfraFault:
+    """One armed engine fault: ``kind`` fires on ``worker`` at the
+    start of BSP round ``round`` (1-based, as in trace events)."""
+
+    kind: str
+    round: int
+    worker: int = 0
+    stall_s: float = DEFAULT_STALL_S
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic schedule of engine faults for one search run.
+
+    The coordinator ships each worker its slice at spawn
+    (:meth:`by_worker`) and disarms fired rounds after a recovery
+    (:meth:`after_round`) — each fault is one-shot, so the replayed
+    rounds run clean and the search converges.
+    """
+
+    faults: Tuple[InfraFault, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def by_worker(self, workers: int) -> Dict[int, Dict[int, Tuple[str, float]]]:
+        """``worker index -> {round -> (kind, stall_s)}`` for a pool of
+        ``workers``.  Targets beyond the pool wrap (a plan written for
+        3 workers stays meaningful after a reshard down to 2)."""
+        plan: Dict[int, Dict[int, Tuple[str, float]]] = {}
+        for f in self.faults:
+            plan.setdefault(f.worker % workers, {})[f.round] = (f.kind, f.stall_s)
+        return plan
+
+    def after_round(self, round_: int) -> "ChaosPlan":
+        """The plan with every fault at or before ``round_`` disarmed
+        (they fired — or died with the pool — in the leg that failed)."""
+        return ChaosPlan(tuple(f for f in self.faults if f.round > round_))
+
+
+def parse_chaos(specs: Union[str, Iterable[str]]) -> ChaosPlan:
+    """Parse ``KIND@ROUND[:WORKER][/SECONDS]`` spec strings.
+
+    Examples: ``kill-worker@2`` (worker 0 dies at round 2),
+    ``stall-worker@3:1/9.5`` (worker 1 hangs 9.5 s at round 3).
+    """
+    if isinstance(specs, str):
+        specs = [specs]
+    faults = []
+    for spec in specs:
+        m = _SPEC_RE.fullmatch(spec.strip())
+        if m is None:
+            raise ChaosError(
+                f"bad chaos spec {spec!r}: expected KIND@ROUND[:WORKER][/SECONDS], "
+                f"e.g. kill-worker@2:0 or stall-worker@3/5"
+            )
+        kind = m["kind"]
+        if kind not in ENGINE_CHAOS_KINDS:
+            extra = ""
+            if kind in INFRA_FAULT_KINDS:
+                extra = (
+                    f" ({kind!r} is applied outside the engine — "
+                    f"see docs/ROBUSTNESS.md)"
+                )
+            raise ChaosError(
+                f"unknown engine chaos kind {kind!r}: "
+                f"expected one of {', '.join(ENGINE_CHAOS_KINDS)}{extra}"
+            )
+        round_ = int(m["round"])
+        if round_ < 1:
+            raise ChaosError(f"bad chaos spec {spec!r}: rounds are 1-based")
+        faults.append(
+            InfraFault(
+                kind=kind,
+                round=round_,
+                worker=int(m["worker"] or 0),
+                stall_s=float(m["s"]) if m["s"] else DEFAULT_STALL_S,
+            )
+        )
+    return ChaosPlan(tuple(faults))
+
+
+def corrupt_file(path: str, mode: str = "truncate") -> None:
+    """Damage a file on disk the way real crashes do (tests/CI only).
+
+    ``truncate`` cuts it to half length (torn write); ``flip`` inverts
+    one byte in the middle (silent media corruption — same length,
+    wrong content, only a checksum can tell).
+    """
+    with open(path, "rb") as fh:
+        data = bytearray(fh.read())
+    if mode == "truncate":
+        data = data[: max(1, len(data) // 2)]
+    elif mode == "flip":
+        data[len(data) // 2] ^= 0xFF
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    with open(path, "wb") as fh:
+        fh.write(bytes(data))

@@ -10,7 +10,10 @@ makes the pipeline survive that:
   :class:`~repro.modelcheck.product.ProductSearch` (frontier +
   seen-set), so a truncated run resumes with a larger budget instead
   of restarting;
-* :func:`run_verification` — the budget+checkpoint front door;
+* :func:`run_verification` — the budget+checkpoint front door, which
+  also converts SIGTERM/SIGINT into a cooperative stop (final
+  checkpoint written, clean exit) and falls back to the rotated
+  ``.bak`` checkpoint when the latest one is corrupt;
 * :func:`degrade` — the fallback chain (full model-check →
   bounded-depth model-check → litmus corpus → randomized fuzzing) that
   always returns a :class:`~repro.core.verify.VerificationResult`
@@ -21,14 +24,16 @@ degradation ladder.
 """
 
 from .budget import Budget
-from .checkpoint import Checkpoint, CheckpointError
+from .checkpoint import BACKUP_SUFFIX, Checkpoint, CheckpointError
 from .degrade import degrade
-from .runner import run_verification
+from .runner import SIGNAL_STOP_PREFIX, run_verification
 
 __all__ = [
+    "BACKUP_SUFFIX",
     "Budget",
     "Checkpoint",
     "CheckpointError",
+    "SIGNAL_STOP_PREFIX",
     "degrade",
     "run_verification",
 ]

@@ -21,13 +21,30 @@ Resumption is exact: the continued search explores precisely the
 states the truncated one had not reached, and reaches the same verdict
 as an unbudgeted run (asserted by the test suite on several
 protocols).
+
+**On-disk integrity** (docs/ROBUSTNESS.md): a checkpoint is a framed
+pickle — a magic header carrying a CRC-32 and the payload length —
+written tmp-file-first with an ``fsync`` before the atomic
+``os.replace`` (a crash mid-save leaves the previous file intact, not
+a torn one), rotating any previous checkpoint to ``path + ".bak"``.
+:meth:`Checkpoint.load` verifies length and checksum before a single
+pickle byte is interpreted, so a truncated or bit-flipped file is a
+clean :class:`CheckpointError` (CLI exit code 2) instead of
+garbage-in-the-search; :meth:`Checkpoint.load_or_backup` falls back to
+the rotated previous-good file so one corrupt write costs at most one
+budget leg of progress.  Headerless files from builds before the
+framing are still read (their pickle errors map to the same
+:class:`CheckpointError`).
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import struct
+import zlib
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..modelcheck.product import ProductSearch
 
@@ -37,6 +54,7 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "CHECKPOINT_VERSION_PARALLEL",
     "READABLE_VERSIONS",
+    "BACKUP_SUFFIX",
 ]
 
 #: bump when the pickled layout changes incompatibly
@@ -66,6 +84,11 @@ __all__ = [
 #: a *different* explicit level is a :class:`CheckpointError` (exit
 #: code 2): interned quotient keys of one group cannot be re-keyed
 #: under another.
+#:
+#: No bump for the integrity framing either: the header is detected by
+#: its magic bytes, files without it take the legacy raw-pickle path,
+#: and the supervision attributes added to the parallel engine backfill
+#: through ``__setstate__`` defaults.
 CHECKPOINT_VERSION = 2
 
 #: version written for a parallel (sharded) search
@@ -73,6 +96,13 @@ CHECKPOINT_VERSION_PARALLEL = 3
 
 #: versions this build can read back
 READABLE_VERSIONS = (CHECKPOINT_VERSION, CHECKPOINT_VERSION_PARALLEL)
+
+#: the previous-good checkpoint rotated aside by :meth:`Checkpoint.save`
+BACKUP_SUFFIX = ".bak"
+
+#: integrity frame: magic, then ``<IQ`` = CRC-32 and payload length
+_MAGIC = b"RPCKPT1\0"
+_HEADER = struct.Struct("<IQ")
 
 
 class CheckpointError(RuntimeError):
@@ -107,29 +137,63 @@ class Checkpoint:
         )
 
     def save(self, path: str) -> None:
-        """Atomically pickle the checkpoint to ``path``."""
-        tmp = f"{path}.tmp"
+        """Durably and atomically write the checkpoint to ``path``.
+
+        The framed pickle goes to ``path + ".tmp"`` and is fsynced
+        before the atomic ``os.replace`` — a crash at any point leaves
+        either the old file or the new one, never a torn write.  An
+        existing checkpoint is first rotated to ``path + ".bak"`` so a
+        later corrupt *read* can still fall back one leg.
+        """
         try:
-            with open(tmp, "wb") as fh:
-                pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
         except (pickle.PicklingError, AttributeError, TypeError) as exc:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
             raise CheckpointError(
                 f"cannot checkpoint {self.protocol}: its search state does not "
                 f"pickle ({exc}); protocols whose ST-order generator captures a "
                 f"lambda are not checkpointable"
             ) from exc
+        tmp = f"{path}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(_HEADER.pack(zlib.crc32(payload), len(payload)))
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if os.path.exists(path):
+            os.replace(path, path + BACKUP_SUFFIX)
         os.replace(tmp, path)
+        # make the rename itself durable where the platform allows
+        try:
+            dfd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(dfd)
+        except OSError:  # pragma: no cover - directories not fsyncable
+            pass
+        finally:
+            os.close(dfd)
 
     @classmethod
     def load(cls, path: str) -> "Checkpoint":
+        """Read ``path`` back, verifying the integrity frame first.
+
+        Raises :class:`CheckpointError` on any damage — truncation,
+        checksum mismatch, unpicklable payload, wrong object, unknown
+        version — never returns a partially-unpickled search.
+        """
         try:
             with open(path, "rb") as fh:
-                obj = pickle.load(fh)
+                data = fh.read()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        payload = cls._verified_payload(path, data)
+        try:
+            obj = pickle.loads(payload)
         # corrupt input makes pickle raise all sorts: UnpicklingError,
         # EOFError, ValueError, ImportError, IndexError, ...
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+        except (pickle.UnpicklingError, EOFError, AttributeError,
                 ValueError, ImportError, IndexError) as exc:
             raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
         if not isinstance(obj, cls):
@@ -143,3 +207,51 @@ class Checkpoint:
                 f"{', '.join(str(v) for v in READABLE_VERSIONS)}"
             )
         return obj
+
+    @classmethod
+    def load_or_backup(cls, path: str) -> Tuple["Checkpoint", Optional[str]]:
+        """Like :meth:`load`, falling back to the rotated ``.bak``.
+
+        Returns ``(checkpoint, backup_path)`` — ``backup_path`` is the
+        ``.bak`` file when the primary was damaged and the previous
+        good checkpoint was used instead (the caller should surface
+        that: the run restarts one budget leg earlier), ``None`` when
+        the primary loaded cleanly.  A missing/corrupt backup re-raises
+        the *primary's* error, which is the actionable one.
+        """
+        try:
+            return cls.load(path), None
+        except CheckpointError as primary_exc:
+            backup = path + BACKUP_SUFFIX
+            if not os.path.exists(backup):
+                raise
+            try:
+                return cls.load(backup), backup
+            except CheckpointError:
+                raise primary_exc
+
+    @staticmethod
+    def _verified_payload(path: str, data: bytes) -> bytes:
+        """Strip and verify the integrity frame (legacy headerless
+        files pass through whole — their corruption surfaces as pickle
+        errors, mapped to the same :class:`CheckpointError`)."""
+        if not data.startswith(_MAGIC):
+            return data
+        header_end = len(_MAGIC) + _HEADER.size
+        if len(data) < header_end:
+            raise CheckpointError(
+                f"checkpoint {path!r} is truncated (incomplete header)"
+            )
+        crc, length = _HEADER.unpack(data[len(_MAGIC):header_end])
+        payload = data[header_end:]
+        if len(payload) != length:
+            raise CheckpointError(
+                f"checkpoint {path!r} is truncated: header promises "
+                f"{length} payload bytes, file has {len(payload)}"
+            )
+        if zlib.crc32(payload) != crc:
+            raise CheckpointError(
+                f"checkpoint {path!r} is corrupt: payload checksum mismatch "
+                f"(expected {crc:#010x}, got {zlib.crc32(payload):#010x})"
+            )
+        return payload

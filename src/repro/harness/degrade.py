@@ -71,21 +71,25 @@ def degrade(
     fuzz_length: int = 12,
     max_fuzz_runs: int = 2000,
     seed: int = 0,
+    workers: int = 1,
     telemetry=None,
 ) -> VerificationResult:
     """Verify ``protocol`` within ``budget``, degrading gracefully.
 
     Never raises on resource exhaustion and never hangs (every stage
     is budget-polled); the result's ``confidence`` field states which
-    rung of the ladder produced the verdict.  ``telemetry`` (a
-    :class:`repro.obs.Telemetry`, optional) records a
+    rung of the ladder produced the verdict.  ``workers > 1`` shards
+    the model-check stages, with the supervision policy pinned to
+    ``sequential`` — inside the ladder, a worker failure must degrade
+    (to the in-process engine, then down the rungs), never raise.
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records a
     ``degrade_stage`` trace event as each rung is entered.
     """
     budget.start()
     try:
         return _degrade(
             protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed,
-            telemetry,
+            workers, telemetry,
         )
     finally:
         budget.stop()
@@ -97,12 +101,15 @@ def _stage(telemetry, stage: str, **fields) -> None:
 
 
 def _degrade(protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed,
-             telemetry=None):
+             workers=1, telemetry=None):
     # stage 1: the real thing, under most of the budget -----------------
     stage1 = budget.slice(0.6)
     stage1.start()
     _stage(telemetry, "model-check")
-    search = ProductSearch(protocol, st_order, mode=mode)
+    search = ProductSearch(
+        protocol, st_order, mode=mode, workers=workers,
+        on_worker_failure="sequential",
+    )
     res = search.run(stage1.should_stop, telemetry)
     base = result_from_product(protocol, res)
     if res.counterexample is not None or not res.stats.truncated:
@@ -119,7 +126,8 @@ def _degrade(protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed,
         _stage(telemetry, "bounded-depth", depth=depth)
         bounded = ProductSearch(
             protocol, st_order, mode=mode, max_depth=depth,
-            check_quiescence_reachability=False,
+            check_quiescence_reachability=False, workers=workers,
+            on_worker_failure="sequential",
         ).run(stage2.should_stop, telemetry)
         if bounded.counterexample is not None:
             return result_from_product(protocol, bounded)

@@ -6,10 +6,23 @@ the search runs under a :class:`~repro.harness.budget.Budget`, writes
 a :class:`~repro.harness.checkpoint.Checkpoint` when truncated, and
 can resume one written earlier — so a run that outgrows any fixed cap
 is continued, not redone.
+
+Two robustness layers wrap the search (docs/ROBUSTNESS.md):
+
+* **signals** — while the search runs, SIGTERM/SIGINT are converted
+  into a cooperative stop (the same mechanism budget exhaustion uses),
+  so preemption or Ctrl-C writes a final checkpoint and exits cleanly
+  through the documented truncation path instead of dying mid-write;
+* **checkpoint fallback** — resume loads through
+  :meth:`~repro.harness.checkpoint.Checkpoint.load_or_backup`, so a
+  corrupt latest checkpoint falls back to the rotated previous-good
+  file (surfaced as a ``recovered`` trace event) instead of exiting 2.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 from typing import Optional
 
 from ..core.protocol import Protocol
@@ -20,7 +33,65 @@ from ..modelcheck.product import ProductSearch
 from .budget import Budget
 from .checkpoint import Checkpoint, CheckpointError
 
-__all__ = ["run_verification"]
+__all__ = ["run_verification", "SIGNAL_STOP_PREFIX"]
+
+#: ``stats.stop_reason`` prefix for signal-initiated stops (the suffix
+#: is the signal name, e.g. ``signal:SIGTERM``)
+SIGNAL_STOP_PREFIX = "signal:"
+
+
+class _SignalStop:
+    """A cooperative stop hook armed by SIGTERM/SIGINT.
+
+    Wraps the budget's ``should_stop`` hook (or stands alone when
+    there is no budget): the handler only records the signal — all
+    real work happens at the next round barrier / state poll, on the
+    main thread, where the search pauses through its normal truncation
+    path and the runner writes the final checkpoint.  A second signal
+    restores the default disposition and re-raises itself, so an
+    operator who really means it can still kill a wedged run.
+
+    Installed only from the main thread (``signal.signal`` requires
+    it); anywhere else — worker threads, embedded interpreters — the
+    hook degrades to a transparent pass-through.
+    """
+
+    def __init__(self, inner=None):
+        self.inner = inner
+        self.signum: Optional[int] = None
+        self._previous: dict = {}
+
+    def install(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._previous[sig] = signal.signal(sig, self._handle)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+
+    def restore(self) -> None:
+        for sig, previous in self._previous.items():
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
+        self._previous.clear()
+
+    def _handle(self, signum, frame) -> None:
+        if self.signum is not None:
+            # second signal: the operator is done waiting
+            self.restore()
+            signal.raise_signal(signum)
+            return
+        self.signum = signum
+
+    def __call__(self, stats) -> Optional[str]:
+        if self.signum is not None:
+            return f"{SIGNAL_STOP_PREFIX}{signal.Signals(self.signum).name}"
+        if self.inner is not None:
+            return self.inner(stats)
+        return None
 
 
 def run_verification(
@@ -37,6 +108,10 @@ def run_verification(
     seed: int = 0,
     workers: Optional[int] = None,
     reduce: Optional[str] = None,
+    worker_retries: Optional[int] = None,
+    on_worker_failure: Optional[str] = None,
+    round_timeout_s: Optional[float] = None,
+    chaos=None,
     telemetry=None,
 ) -> VerificationResult:
     """Model-check ``protocol`` under a budget, checkpointing on
@@ -49,6 +124,9 @@ def run_verification(
     search and ``checkpoint_path`` is set, the paused search is written
     there (atomically; resuming and re-truncating overwrites it, so a
     single path ratchets through arbitrarily many budget increments).
+    A damaged checkpoint file falls back to its rotated ``.bak``
+    automatically; SIGTERM/SIGINT mid-run stop the search
+    cooperatively and write the final checkpoint before returning.
 
     ``strategy``/``seed`` pick the frontier policy (see
     :mod:`repro.engine.strategy`); BFS is the default and the only one
@@ -62,6 +140,14 @@ def run_verification(
     and therefore resumes only with ``workers`` 1 or ``None``;
     requesting more raises :class:`CheckpointError` (CLI exit code 2).
 
+    ``worker_retries`` / ``on_worker_failure`` / ``round_timeout_s`` /
+    ``chaos`` configure the parallel engine's supervision layer (see
+    :class:`~repro.engine.ParallelSearchEngine`); ``None`` means the
+    engine defaults for a fresh search, and keep-what-the-checkpoint-
+    had for a resumed one (an explicit value overrides either way —
+    supervision knobs, unlike ``reduce``, are run policy, not search
+    state).
+
     ``reduce`` selects the symmetry-reduction level (``None`` means:
     ``"off"`` for a fresh search, whatever the checkpoint used for a
     resumed one).  Unlike ``workers``, the level cannot change at
@@ -74,14 +160,16 @@ def run_verification(
 
     ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records
     run traces, metrics and live progress — including a
-    ``checkpoint_saved`` event when truncation writes one.  It is
-    never stored on the search, so checkpoints stay free of telemetry
-    handles (see ``docs/OBSERVABILITY.md``).
+    ``checkpoint_saved`` event when truncation writes one, and a
+    ``recovered`` event when resume had to fall back to the ``.bak``
+    checkpoint.  It is never stored on the search, so checkpoints stay
+    free of telemetry handles (see ``docs/OBSERVABILITY.md``).
     """
+    used_backup: Optional[str] = None
     if resume_from is not None:
         if protocol is not None:
             raise ValueError("pass either a protocol or resume_from, not both")
-        cp = Checkpoint.load(resume_from)
+        cp, used_backup = Checkpoint.load_or_backup(resume_from)
         search = cp.search
         spent = cp.elapsed_s
         # searches pickled before the reduction layer carry no flag —
@@ -108,6 +196,17 @@ def run_verification(
                     f"from scratch with --workers {workers}."
                 )
             search.reshard(workers)
+        if parallel:
+            # supervision knobs are run policy: explicit values
+            # override whatever the checkpoint carried
+            if worker_retries is not None:
+                search.engine.worker_retries = worker_retries
+            if on_worker_failure is not None:
+                search.engine.on_worker_failure = on_worker_failure
+            if round_timeout_s is not None:
+                search.engine.round_timeout_s = round_timeout_s
+            if chaos is not None:
+                search.engine.chaos = chaos
     else:
         if protocol is None:
             raise ValueError("a protocol (or resume_from) is required")
@@ -121,6 +220,12 @@ def run_verification(
             seed=seed,
             workers=1 if workers is None else workers,
             reduce="off" if reduce is None else reduce,
+            worker_retries=2 if worker_retries is None else worker_retries,
+            on_worker_failure=(
+                "reshard" if on_worker_failure is None else on_worker_failure
+            ),
+            round_timeout_s=round_timeout_s,
+            chaos=chaos,
         )
         spent = 0.0
 
@@ -133,18 +238,25 @@ def run_verification(
             reduce=getattr(search, "reduce", "off"),
             resumed=resume_from is not None,
         )
+        if used_backup is not None:
+            telemetry.emit("recovered", kind="checkpoint-bak", path=used_backup)
         if telemetry.progress is not None and budget is not None:
             telemetry.progress.budget = budget
 
-    if budget is not None:
-        budget.start()
-        try:
-            res = search.run(budget.should_stop, telemetry)
-        finally:
-            budget.stop()
-        spent += budget.elapsed_s()
-    else:
-        res = search.run(None, telemetry)
+    sig = _SignalStop(budget.should_stop if budget is not None else None)
+    sig.install()
+    try:
+        if budget is not None:
+            budget.start()
+            try:
+                res = search.run(sig, telemetry)
+            finally:
+                budget.stop()
+            spent += budget.elapsed_s()
+        else:
+            res = search.run(sig, telemetry)
+    finally:
+        sig.restore()
 
     if res.stats.stop_reason is not None and checkpoint_path is not None:
         Checkpoint.of(search, elapsed_s=spent).save(checkpoint_path)

@@ -156,6 +156,10 @@ class ProductSearch:
         workers: int = 1,
         stop_on_violation: bool = True,
         reduce: str = "off",
+        worker_retries: int = 2,
+        on_worker_failure: str = "reshard",
+        round_timeout_s: Optional[float] = None,
+        chaos=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -188,6 +192,10 @@ class ProductSearch:
                 stop_on_violation=stop_on_violation,
                 track_successors=True,
                 check_quiescence_reachability=check_quiescence_reachability,
+                worker_retries=worker_retries,
+                on_worker_failure=on_worker_failure,
+                round_timeout_s=round_timeout_s,
+                chaos=chaos,
             )
         else:
             self.engine = SearchEngine(
@@ -323,6 +331,10 @@ def explore_product(
     workers: int = 1,
     stop_on_violation: bool = True,
     reduce: str = "off",
+    worker_retries: int = 2,
+    on_worker_failure: str = "reshard",
+    round_timeout_s: Optional[float] = None,
+    chaos=None,
     should_stop: Optional[StopHook] = None,
     telemetry=None,
 ) -> ProductResult:
@@ -348,5 +360,9 @@ def explore_product(
         workers=workers,
         stop_on_violation=stop_on_violation,
         reduce=reduce,
+        worker_retries=worker_retries,
+        on_worker_failure=on_worker_failure,
+        round_timeout_s=round_timeout_s,
+        chaos=chaos,
     )
     return search.run(should_stop, telemetry)

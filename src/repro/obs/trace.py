@@ -43,6 +43,13 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
     # parallel engine round barriers
     "round": frozenset({"round", "states", "frontier", "in_flight"}),
     "shard_round": frozenset({"round", "shard", "states", "frontier", "expanded"}),
+    # supervision / crash recovery (docs/ROBUSTNESS.md): a worker
+    # process died or stalled; the failed round is being retried; the
+    # engine (or the checkpoint loader, kind="checkpoint-bak")
+    # recovered and the run is proceeding
+    "worker_died": frozenset({"round", "dead"}),
+    "round_retry": frozenset({"round", "attempt"}),
+    "recovered": frozenset({"kind"}),
     # notable occurrences
     "violation_found": frozenset({"states", "reason"}),
     "checkpoint_saved": frozenset({"path", "states", "elapsed_s"}),

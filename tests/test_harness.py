@@ -5,12 +5,24 @@ bottom: a budget-truncated verify run resumed from its checkpoint
 reaches the same verdict as an unbudgeted run, on several protocols.
 """
 
+import os
 import pickle
+import signal
 
 import pytest
 
 from repro.core.verify import verify_protocol
-from repro.harness import Budget, Checkpoint, CheckpointError, degrade, run_verification
+from repro.faults import corrupt_file
+from repro.harness import (
+    BACKUP_SUFFIX,
+    SIGNAL_STOP_PREFIX,
+    Budget,
+    Checkpoint,
+    CheckpointError,
+    degrade,
+    run_verification,
+)
+from repro.obs import MetricsRegistry, Telemetry, TraceWriter
 from repro.memory import (
     BuggyMSIProtocol,
     LazyCachingProtocol,
@@ -295,6 +307,124 @@ def test_v3_checkpoint_resumes_under_any_worker_count(tmp_path):
         assert res.sequentially_consistent and res.complete
         assert res.stats.states == baseline.stats.states
         assert res.stats.transitions == baseline.stats.transitions
+
+
+# ------------------------------------- checkpoint integrity + .bak fallback
+
+
+def _saved_checkpoint(tmp_path, name="msi.ckpt"):
+    search = ProductSearch(MSIProtocol(p=2, b=1, v=2), mode="fast")
+    search.run(Budget(states=30).start().should_stop)
+    path = tmp_path / name
+    Checkpoint.of(search).save(str(path))
+    return path
+
+
+def test_truncated_checkpoint_is_detected(tmp_path):
+    path = _saved_checkpoint(tmp_path)
+    corrupt_file(str(path), mode="truncate")
+    with pytest.raises(CheckpointError, match="truncated: header promises"):
+        Checkpoint.load(str(path))
+
+
+def test_bitflipped_checkpoint_is_detected(tmp_path):
+    path = _saved_checkpoint(tmp_path)
+    corrupt_file(str(path), mode="flip")
+    with pytest.raises(CheckpointError, match="checksum mismatch"):
+        Checkpoint.load(str(path))
+
+
+def test_save_rotates_previous_checkpoint_to_bak(tmp_path):
+    cp = tmp_path / "run.ckpt"
+    r1 = run_verification(
+        SerialMemory(p=2, b=2, v=2), budget=Budget(states=50),
+        checkpoint_path=str(cp),
+    )
+    assert r1.stats.stop_reason is not None
+    assert not os.path.exists(str(cp) + BACKUP_SUFFIX)
+    r2 = run_verification(
+        resume_from=str(cp), budget=Budget(states=50), checkpoint_path=str(cp)
+    )
+    assert r2.stats.stop_reason is not None
+    assert os.path.exists(str(cp) + BACKUP_SUFFIX)
+    # both generations verify their frames
+    Checkpoint.load(str(cp))
+    Checkpoint.load(str(cp) + BACKUP_SUFFIX)
+
+
+def test_corrupt_latest_falls_back_to_bak(tmp_path):
+    cp = tmp_path / "run.ckpt"
+    run_verification(
+        SerialMemory(p=2, b=2, v=2), budget=Budget(states=50),
+        checkpoint_path=str(cp),
+    )
+    run_verification(
+        resume_from=str(cp), budget=Budget(states=50), checkpoint_path=str(cp)
+    )
+    corrupt_file(str(cp), mode="flip")
+    loaded, backup = Checkpoint.load_or_backup(str(cp))
+    assert backup == str(cp) + BACKUP_SUFFIX
+    # resume surfaces the fallback as a `recovered` trace event and
+    # still completes the proof from the previous-good generation
+    events = []
+    telemetry = Telemetry(registry=MetricsRegistry(), trace=TraceWriter(events))
+    res = run_verification(resume_from=str(cp), telemetry=telemetry)
+    assert res.complete and res.sequentially_consistent
+    rec = next(e for e in events if e["ev"] == "recovered")
+    assert rec["kind"] == "checkpoint-bak"
+    assert rec["path"] == str(cp) + BACKUP_SUFFIX
+
+
+def test_corrupt_beyond_bak_raises_primary_error(tmp_path):
+    path = _saved_checkpoint(tmp_path)
+    bak = str(path) + BACKUP_SUFFIX
+    with open(str(path), "rb") as fh:
+        data = fh.read()
+    with open(bak, "wb") as fh:
+        fh.write(data)
+    corrupt_file(str(path), mode="flip")
+    corrupt_file(bak, mode="truncate")
+    with pytest.raises(CheckpointError, match="checksum mismatch"):
+        Checkpoint.load_or_backup(str(path))
+
+
+def test_load_or_backup_clean_primary_reports_no_backup(tmp_path):
+    path = _saved_checkpoint(tmp_path)
+    cp, backup = Checkpoint.load_or_backup(str(path))
+    assert backup is None
+    assert cp.protocol == MSIProtocol(p=2, b=1, v=2).describe()
+
+
+# --------------------------------------------------- SIGTERM/SIGINT handling
+
+
+def test_sigterm_stops_cooperatively_and_checkpoints(tmp_path):
+    reference = run_verification(MSIProtocol(p=2, b=1, v=2))
+    cp = tmp_path / "sig.ckpt"
+    fired = []
+
+    def probe():
+        # first budget poll raises SIGTERM against ourselves; the
+        # handler records it and the *next* poll stops the search
+        if not fired:
+            fired.append(True)
+            os.kill(os.getpid(), signal.SIGTERM)
+        return 0.0
+
+    before = signal.getsignal(signal.SIGTERM)
+    res = run_verification(
+        MSIProtocol(p=2, b=1, v=2),
+        budget=Budget(memory_mb=10_000.0, mem_poll_interval=1, memory_probe=probe),
+        checkpoint_path=str(cp),
+    )
+    assert res.stats.stop_reason == f"{SIGNAL_STOP_PREFIX}SIGTERM"
+    assert not res.complete
+    assert cp.exists()
+    # whatever disposition was installed before the run is back
+    assert signal.getsignal(signal.SIGTERM) is before
+    resumed = run_verification(resume_from=str(cp))
+    assert resumed.complete
+    assert resumed.stats.states == reference.stats.states
 
 
 def test_v2_checkpoint_refuses_parallel_resume(tmp_path):

@@ -1,0 +1,196 @@
+"""Worker supervision and crash recovery (docs/ROBUSTNESS.md).
+
+Chaos tests for the parallel engine's supervision layer: workers
+killed or stalled mid-round by a deterministic
+:class:`~repro.faults.infra.ChaosPlan` must be detected at the BSP
+barrier and recovered from the last round snapshot — with the final
+:class:`~repro.difftest.SearchFingerprint` **bit-identical** to an
+unfaulted run, recovery events visible in the trace, and no zombie
+processes left behind.
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.difftest import assert_equivalent, fingerprint
+from repro.engine import FAILURE_POLICIES, ParallelSearchEngine, WorkerFailure
+from repro.faults import ChaosError, ChaosPlan, InfraFault, parse_chaos
+from repro.memory import BuggyMSIProtocol, MSIProtocol
+from repro.modelcheck.product import ProductSearch
+from repro.obs import MetricsRegistry, Telemetry, TraceWriter
+
+
+def _msi():
+    return MSIProtocol(p=2, b=1, v=1)
+
+
+@pytest.fixture(scope="module")
+def clean_fp():
+    """The unfaulted 2-worker fingerprint every chaos run must match."""
+    return fingerprint(_msi(), workers=2)
+
+
+# ------------------------------------------------------------- chaos spec
+
+
+def test_parse_chaos_specs():
+    plan = parse_chaos(["kill-worker@2", "stall-worker@3:1/9.5"])
+    assert plan.faults == (
+        InfraFault("kill-worker", 2, 0),
+        InfraFault("stall-worker", 3, 1, 9.5),
+    )
+    by = plan.by_worker(2)
+    assert by[0] == {2: ("kill-worker", plan.faults[0].stall_s)}
+    assert by[1] == {3: ("stall-worker", 9.5)}
+    # one-shot disarm: fired rounds do not replay
+    assert plan.after_round(2).faults == (plan.faults[1],)
+    assert not plan.after_round(3)
+
+
+@pytest.mark.parametrize("bad", ["kill-worker", "kaboom@2", "kill-worker@0",
+                                 "truncate-checkpoint@1"])
+def test_parse_chaos_rejects(bad):
+    with pytest.raises(ChaosError):
+        parse_chaos(bad)
+
+
+# ------------------------------------------------- recovery = bit-identical
+
+
+def test_killed_worker_recovers_bit_identically(clean_fp):
+    faulted = fingerprint(
+        _msi(), workers=2, chaos=parse_chaos("kill-worker@2:1")
+    )
+    assert_equivalent(clean_fp, [faulted])
+
+
+def test_stalled_worker_recovers_under_round_deadline(clean_fp):
+    faulted = fingerprint(
+        _msi(), workers=2, round_timeout_s=0.5,
+        chaos=parse_chaos("stall-worker@2:0/30"),
+    )
+    assert_equivalent(clean_fp, [faulted])
+
+
+def test_multiple_kills_within_retry_budget(clean_fp):
+    # two failures, default worker_retries=2: reshard 2 -> 1, then
+    # round 4's fault targets worker 1 which wraps onto the survivor
+    faulted = fingerprint(
+        _msi(), workers=2,
+        chaos=parse_chaos(["kill-worker@2:0", "kill-worker@4:1"]),
+    )
+    assert_equivalent(clean_fp, [faulted])
+
+
+def test_retry_exhaustion_degrades_to_in_process(clean_fp):
+    faulted = fingerprint(
+        _msi(), workers=2, worker_retries=0, on_worker_failure="sequential",
+        chaos=parse_chaos("kill-worker@1:0"),
+    )
+    assert_equivalent(clean_fp, [faulted])
+
+
+def test_violation_survives_recovery():
+    clean = fingerprint(BuggyMSIProtocol(p=2, b=1, v=1), workers=2)
+    faulted = fingerprint(
+        BuggyMSIProtocol(p=2, b=1, v=1), workers=2,
+        chaos=parse_chaos("kill-worker@2:0"),
+    )
+    assert clean.verdict == faulted.verdict == "violation"
+    assert_equivalent(clean, [faulted])
+
+
+# ------------------------------------------------------------ hard failures
+
+
+def test_fail_policy_raises():
+    search = ProductSearch(
+        _msi(), mode="fast", workers=2, on_worker_failure="fail",
+        chaos=parse_chaos("kill-worker@2"),
+    )
+    with pytest.raises(RuntimeError, match="failed in round 2"):
+        search.run()
+
+
+def test_retry_exhaustion_raises_under_reshard_policy():
+    # worker 0 of a 2-pool dies; after the reshard to 1 worker the
+    # fault at the next rounds keeps wrapping onto the only worker
+    # (small round quota so the replayed leg needs several rounds and
+    # the later faults actually fire)
+    search = ProductSearch(
+        _msi(), mode="fast", workers=2, worker_retries=1, on_worker_failure="reshard",
+        chaos=parse_chaos(["kill-worker@1:0", "kill-worker@2:0", "kill-worker@3:0"]),
+    )
+    search.engine.round_quota = 50
+    with pytest.raises(RuntimeError, match="worker-retries 1 exhausted"):
+        search.run()
+
+
+def test_bad_policy_rejected():
+    assert set(FAILURE_POLICIES) == {"fail", "reshard", "sequential"}
+    with pytest.raises(ValueError, match="on_worker_failure"):
+        ProductSearch(_msi(), mode="fast", workers=2, on_worker_failure="shrug")
+    with pytest.raises(ValueError, match="worker_retries"):
+        ProductSearch(_msi(), mode="fast", workers=2, worker_retries=-1)
+
+
+# ------------------------------------------------------- telemetry + hygiene
+
+
+def test_recovery_events_and_metrics():
+    events = []
+    telemetry = Telemetry(registry=MetricsRegistry(), trace=TraceWriter(events))
+    search = ProductSearch(
+        _msi(), mode="fast", workers=2, chaos=parse_chaos("kill-worker@2:1")
+    )
+    search.run(telemetry=telemetry)
+    names = [e["ev"] for e in events]
+    assert "worker_died" in names
+    assert "round_retry" in names
+    assert "recovered" in names
+    died = next(e for e in events if e["ev"] == "worker_died")
+    assert died["round"] == 2 and died["dead"] == [1]
+    rec = next(e for e in events if e["ev"] == "recovered")
+    assert rec["kind"] == "reshard" and rec["workers"] == 1
+    counters = telemetry.registry.snapshot().counters
+    assert counters["supervision.worker_deaths"] == 1
+    assert counters["supervision.round_retries"] == 1
+    assert counters["supervision.recoveries"] == 1
+
+
+def test_no_zombie_processes_after_recovery():
+    before = len(mp.active_children())
+    fingerprint(_msi(), workers=2, chaos=parse_chaos("kill-worker@2:0"))
+    for p in mp.active_children():
+        p.join(timeout=5)
+    assert len(mp.active_children()) <= before
+
+
+def test_snapshot_cadence_does_not_change_results(clean_fp):
+    # snapshots are taken at round barriers; any cadence must be
+    # invisible to what the search computes
+    for cadence in (1, 3):
+        search = ProductSearch(_msi(), mode="fast", workers=2)
+        search.engine.snapshot_rounds = cadence
+        res = search.run()
+        assert res.stats.states == clean_fp.states
+        assert res.stats.transitions == clean_fp.transitions
+
+
+def test_chaos_plan_never_pickled():
+    import pickle
+
+    engine = ParallelSearchEngine(
+        ProductSearch(_msi(), mode="fast").system, workers=2,
+        chaos=ChaosPlan((InfraFault("kill-worker", 2),)),
+    )
+    clone = pickle.loads(pickle.dumps(engine))
+    assert clone.chaos is None
+    assert clone.worker_retries == engine.worker_retries
+
+
+def test_worker_failure_message():
+    wf = WorkerFailure([1], 3, "boom", exited=[1])
+    assert "worker(s) [1] failed in round 3: boom" in str(wf)
+    assert wf.exited == (1,)

@@ -25,7 +25,7 @@ from repro.obs import (
 from repro.obs.trace import COMMON_FIELDS
 
 
-def _traced_run(path, *, workers=1, protocol=None):
+def _traced_run(path, *, workers=1, protocol=None, **kw):
     telemetry = Telemetry(
         registry=MetricsRegistry(), trace=TraceWriter.open(str(path))
     )
@@ -34,6 +34,7 @@ def _traced_run(path, *, workers=1, protocol=None):
             protocol or MSIProtocol(p=2, b=1, v=1),
             workers=workers,
             telemetry=telemetry,
+            **kw,
         )
     finally:
         telemetry.close()
@@ -102,6 +103,28 @@ def test_violation_and_checkpoint_events(tmp_path):
     saved = [e for e in events if e["ev"] == "checkpoint_saved"]
     assert len(saved) == 1
     assert saved[0]["path"].endswith("cp.pkl")
+
+
+def test_recovery_events_are_schema_valid(tmp_path):
+    # a chaos-killed worker produces the full supervision event trio
+    # (docs/ROBUSTNESS.md), and the trace still validates end to end
+    from repro.faults import parse_chaos
+
+    path = tmp_path / "chaos.jsonl"
+    _traced_run(path, workers=2, chaos=parse_chaos("kill-worker@2:1"))
+    events = read_trace(str(path))  # raises TraceError on any violation
+    names = [e["ev"] for e in events]
+    for ev in ("worker_died", "round_retry", "recovered"):
+        assert ev in names
+        assert ev in EVENT_SCHEMA
+    died = next(e for e in events if e["ev"] == "worker_died")
+    assert EVENT_SCHEMA["worker_died"] <= died.keys()
+    assert died["dead"] == [1]
+    rec = next(e for e in events if e["ev"] == "recovered")
+    assert rec["kind"] == "reshard"
+    # recovery precedes the verdict: the run still ends normally
+    assert names[-1] == "run_end"
+    assert names.index("worker_died") < names.index("recovered") < len(names) - 1
 
 
 # -------------------------------------------------------- crash mid-run
