@@ -62,6 +62,7 @@ from .memory import (
     lazy_caching_st_order,
     store_buffer_st_order,
 )
+from .models import MODELS
 from .util import format_table
 
 __all__ = ["main", "PROTOCOLS", "NON_SC_PROTOCOLS"]
@@ -157,6 +158,7 @@ def _cmd_verify(args, telemetry=None) -> int:
     from .engine.reduction import ReductionError
     from .faults.infra import ChaosError, parse_chaos
     from .harness import Budget, CheckpointError, degrade, run_verification
+    from .models import ModelError
 
     chaos = None
     if args.chaos:
@@ -191,6 +193,8 @@ def _cmd_verify(args, telemetry=None) -> int:
                 resume_from=args.resume,
                 workers=args.workers,
                 reduce=args.reduce,
+                model=args.model,
+                preemptions=args.preemptions,
                 worker_retries=args.worker_retries,
                 on_worker_failure=args.on_worker_failure,
                 round_timeout_s=args.round_timeout_s,
@@ -205,6 +209,12 @@ def _cmd_verify(args, telemetry=None) -> int:
             if args.degrade:
                 if budget is None or budget.wall_s is None:
                     print("error: --degrade needs a wall-clock budget (--budget-s)")
+                    return 2
+                if (args.model or "sc") != "sc" or args.preemptions is not None:
+                    print(
+                        "error: --degrade's litmus/fuzz fallbacks check SC "
+                        "only; drop --model/--preemptions"
+                    )
                     return 2
                 if telemetry is not None:
                     telemetry.start_run(
@@ -236,13 +246,15 @@ def _cmd_verify(args, telemetry=None) -> int:
                     seed=args.seed,
                     workers=args.workers,
                     reduce=args.reduce,
+                    model=args.model,
+                    preemptions=args.preemptions,
                     worker_retries=args.worker_retries,
                     on_worker_failure=args.on_worker_failure,
                     round_timeout_s=args.round_timeout_s,
                     chaos=chaos,
                     telemetry=telemetry,
                 )
-    except (CheckpointError, ReductionError) as exc:
+    except (CheckpointError, ReductionError, ModelError) as exc:
         print(f"error: {exc}")
         return 2
     dt = time.perf_counter() - t0
@@ -569,9 +581,17 @@ def build_parser() -> argparse.ArgumentParser:
             "  2  usage or input error: bad arguments, an unreadable or\n"
             "     incompatible checkpoint (wrong version, corrupt beyond the\n"
             "     .bak fallback, sequential checkpoint resumed with\n"
-            "     --workers > 1, mismatched --reduce level), a --reduce level\n"
-            "     the protocol declares no symmetry for, or a malformed\n"
-            "     --chaos spec\n"
+            "     --workers > 1, mismatched --reduce level, mismatched --model\n"
+            "     or --preemptions), a --reduce level the protocol declares no\n"
+            "     symmetry for, an unsupported model combination (--model\n"
+            "     causal with --mode full or --reduce, --preemptions with\n"
+            "     --model causal), or a malformed --chaos spec\n"
+            "\n"
+            "resume semantics: --reduce, --model and --preemptions are search\n"
+            "state (baked into the checkpoint's interned keys and run set;\n"
+            "with --resume they are inherited and an explicit mismatch exits\n"
+            "2), while --workers and the supervision knobs are run policy\n"
+            "(explicit values override whatever the checkpoint carried).\n"
             "\n"
             "SIGTERM/SIGINT during the search stop it cooperatively: the final\n"
             "checkpoint (with --checkpoint) is written and the run exits 0\n"
@@ -612,10 +632,10 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--workers", type=int, default=None, metavar="N",
                    help="shard the search across N worker processes (default 1; "
                         "verdicts and state counts are identical to the sequential "
-                        "engine — see docs/PARALLEL.md). With --resume, the "
-                        "checkpointed search is re-sharded to N (parallel "
-                        "checkpoints only; a sequential checkpoint resumes "
-                        "only with workers=1)")
+                        "engine — see docs/PARALLEL.md). Run policy, not search "
+                        "state: with --resume an explicit N re-shards the "
+                        "checkpointed search (parallel checkpoints only; a "
+                        "sequential checkpoint resumes only with workers=1)")
     v.add_argument("--worker-retries", type=int, default=None, metavar="N",
                    help="worker failures (crash/stall) absorbed before giving "
                         "up (default 2; see docs/ROBUSTNESS.md)")
@@ -641,9 +661,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "processor+block+value (full) permutations before "
                         "interning, shrinking the explored quotient space "
                         "with identical verdicts and concretely replayable "
-                        "counterexamples (default off; with --resume the "
-                        "checkpointed level is inherited and cannot be "
-                        "changed; ignored by --degrade's fall-back phases)")
+                        "counterexamples (default off). Search state, not run "
+                        "policy: with --resume the checkpointed level is "
+                        "inherited and an explicit mismatch exits 2; ignored "
+                        "by --degrade's fall-back phases")
+    v.add_argument("--model", choices=sorted(MODELS), default=None,
+                   help="consistency model to check (default sc; see "
+                        "docs/MODELS.md). Search state, not run policy: with "
+                        "--resume the checkpointed model is inherited and an "
+                        "explicit mismatch exits 2")
+    v.add_argument("--preemptions", type=int, default=None, metavar="K",
+                   help="restrict the search to runs with at most K context "
+                        "switches (SC only) — an under-approximation: a "
+                        "violation is real and replays on the full protocol, "
+                        "a clean verdict is bounded confidence, never a "
+                        "proof. Search state like --reduce/--model: inherited "
+                        "on --resume, mismatch exits 2")
     v.add_argument("--profile", action="store_true",
                    help="time the pipeline phases through the telemetry span "
                         "system and print the span table afterwards")
@@ -702,11 +735,18 @@ def build_parser() -> argparse.ArgumentParser:
     fm.add_argument("--no-baseline", action="store_true",
                     help="skip the unfaulted baseline row per protocol")
     fm.add_argument("--workers", type=int, default=1, metavar="N",
-                    help="shard each pair's search across N worker processes")
+                    help="shard each pair's search across N worker processes "
+                         "(run policy, as in `verify`: verdicts and state "
+                         "counts are identical at any N — see "
+                         "docs/PARALLEL.md). Matrix runs are one-shot, so "
+                         "there is no resume interaction")
     fm.add_argument("--reduce", choices=list(REDUCE_LEVELS), default="off",
                     help="symmetry-reduction level for pairs whose protocol "
-                         "declares a symmetry spec (faulted variants run "
-                         "unreduced — faults may break index-uniformity)")
+                         "declares a symmetry spec (search state, as in "
+                         "`verify`; matrix runs are one-shot, so the level "
+                         "simply applies to every eligible pair's fresh "
+                         "search. Faulted variants run unreduced — faults "
+                         "may break index-uniformity)")
     _add_telemetry_args(fm)
     fm.set_defaults(func=cmd_fault_matrix)
 

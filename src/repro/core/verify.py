@@ -29,7 +29,6 @@ from ..modelcheck.product import ProductResult, explore_product
 from ..obs.stats import ExplorationStats
 from .checker import Checker
 from .descriptor import Symbol
-from .observer import Observer
 from .operations import Action
 from .protocol import Protocol
 from .storder import STOrderGenerator
@@ -62,16 +61,22 @@ class VerificationResult:
     stats: ExplorationStats
     non_quiescible: int = 0
     confidence: str = "proof"
+    #: consistency model the verdict is about (``sequentially_consistent``
+    #: keeps its historical name; for other models read it as
+    #: "consistent under the model")
+    model: str = "sc"
 
     @property
     def verdict(self) -> str:
         if self.counterexample is not None:
-            return "NOT SC (counterexample found)"
+            return f"NOT {self.model.upper()} (counterexample found)"
         if self.non_quiescible:
             return "INCONCLUSIVE (quiescence unreachable from some states)"
         if not self.complete:
             return "NO VIOLATION (bounded search)"
-        return "SEQUENTIALLY CONSISTENT (in Γ)"
+        if self.model == "sc":
+            return "SEQUENTIALLY CONSISTENT (in Γ)"
+        return f"CONSISTENT (model={self.model})"
 
     def summary(self) -> str:
         s = self.stats
@@ -101,7 +106,9 @@ def _confidence_of(res: ProductResult) -> str:
     return "proof"
 
 
-def result_from_product(protocol: Protocol, res: ProductResult) -> VerificationResult:
+def result_from_product(
+    protocol: Protocol, res: ProductResult, model: str = "sc"
+) -> VerificationResult:
     """Lift a raw :class:`ProductResult` into the user-facing verdict
     (shared by :func:`verify_protocol` and the budgeted harness)."""
     return VerificationResult(
@@ -112,6 +119,7 @@ def result_from_product(protocol: Protocol, res: ProductResult) -> VerificationR
         stats=res.stats,
         non_quiescible=res.non_quiescible,
         confidence=_confidence_of(res),
+        model=model,
     )
 
 
@@ -125,6 +133,8 @@ def verify_protocol(
     should_stop=None,
     workers: int = 1,
     reduce: str = "off",
+    model: str = "sc",
+    preemptions: Optional[int] = None,
     telemetry=None,
 ) -> VerificationResult:
     """Model-check sequential consistency of ``protocol``.
@@ -161,14 +171,23 @@ def verify_protocol(
     concrete (un-permuted) counterexamples.  Only protocols declaring
     a :meth:`~repro.core.protocol.Protocol.symmetry_spec` support it.
 
+    ``model`` selects the consistency condition to check (``"sc"`` —
+    the default, and everything this docstring says about Γ — or
+    ``"causal"``; see :mod:`repro.models` and ``docs/MODELS.md``).
+    ``preemptions`` (SC only) restricts the search to runs with at
+    most that many context switches — an under-approximation whose
+    violations are real but whose clean verdict is only
+    ``bounded(...)`` confidence, never a proof.
+
     ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records
     run traces, metrics and live progress for this verification; the
     verdict is unaffected (see ``docs/OBSERVABILITY.md``).
     """
     if telemetry is not None:
+        extra = {} if preemptions is None else {"preemptions": preemptions}
         telemetry.start_run(
             protocol=protocol.describe(), mode=mode, workers=workers,
-            reduce=reduce,
+            reduce=reduce, model=model, **extra,
         )
     res: ProductResult = explore_product(
         protocol,
@@ -179,9 +198,16 @@ def verify_protocol(
         should_stop=should_stop,
         workers=workers,
         reduce=reduce,
+        model=model,
+        preemptions=preemptions,
         telemetry=telemetry,
     )
-    result = result_from_product(protocol, res)
+    result = result_from_product(protocol, res, model=model)
+    if preemptions is not None and result.counterexample is None:
+        # a clean bounded search proves nothing beyond the <=K-switch
+        # slice of the run tree: never a proof
+        result.complete = False
+        result.confidence = f"bounded(preemptions<={preemptions})"
     if telemetry is not None:
         telemetry.finish_run(
             verdict=result.verdict,
@@ -207,10 +233,19 @@ class RunCheck:
         return f"violation: {self.reason}"
 
 
+def _checker_reason(checker) -> str:
+    if isinstance(checker, Checker):
+        violations = checker.violations()
+        if violations:
+            return violations[0]
+    return "constraint-graph cycle"
+
+
 def check_run(
     protocol: Protocol,
     run: Iterable[Action],
     st_order: Optional[STOrderGenerator] = None,
+    model: str = "sc",
 ) -> RunCheck:
     """Check a single run (the testing scenario of Section 5).
 
@@ -218,10 +253,19 @@ def check_run(
     descriptor into the checker, and evaluates end conditions if the
     run ends quiescent (for a non-quiescent end, only the eager safety
     checks apply — serialisation obligations may legitimately still be
-    open).
+    open).  ``model`` selects the consistency condition (default SC,
+    judged by the complete checker; other models use their strongest
+    supported mode, with the observer self-check standing in for the
+    annotation constraints).
     """
-    observer = Observer(protocol, st_order.copy() if st_order is not None else None)
-    checker = Checker()
+    from ..models import get_model
+
+    m = get_model(model)
+    replay_mode = "full" if "full" in m.modes else "fast"
+    observer = m.make_observer(
+        protocol, st_order, self_check=replay_mode == "fast"
+    )
+    checker = m.make_checker(replay_mode)
     state = protocol.initial_state()
     symbols: List[Symbol] = []
     for i, action in enumerate(run):
@@ -232,10 +276,16 @@ def check_run(
             raise ValueError(f"action #{i} ({action!r}) is not enabled — not a run")
         syms = observer.on_transition(t)
         symbols.extend(syms)
-        if not checker.feed_all(syms):
-            return RunCheck(False, checker.violations()[0], tuple(symbols), False)
+        if not checker.feed_all(syms) or observer.violation is not None:
+            reason = observer.violation or _checker_reason(checker)
+            return RunCheck(False, reason, tuple(symbols), False)
         state = t.state
     quiescent = protocol.is_quiescent(state)
-    if quiescent and not checker.accepts_at_end():
-        return RunCheck(False, checker.violations()[0], tuple(symbols), True)
+    accepts_end = (
+        checker.accepts_at_end()
+        if hasattr(checker, "accepts_at_end")
+        else checker.accepts
+    )
+    if quiescent and not accepts_end:
+        return RunCheck(False, _checker_reason(checker), tuple(symbols), True)
     return RunCheck(True, None, tuple(symbols), quiescent)

@@ -42,6 +42,22 @@ reduction) and the violation-key sets are incomparable (violating
 states keep their concrete identity keys, and the quotient search
 reaches one representative per orbit rather than every member).
 
+The consistency-model layer (:mod:`repro.models`) adds a third axis.
+Fingerprints of *different models* are never field-compared — a causal
+search legitimately reaches a different verdict through a different
+state space — so :func:`compare_fingerprints` refuses the comparison
+outright.  What holds across models is the **lattice contract**: if a
+protocol verifies under a stronger model, it must verify under every
+weaker one (every SC trace is causal, so an SC-pass forces a
+causal-pass — the witness-edge embedding argument in
+:mod:`repro.models.causal`).  :func:`assert_model_lattice` enforces
+exactly that implication, plus replay validity of whichever
+counterexample the weaker model found.  Bounded-preemption runs add a
+refinement contract (:func:`assert_preemption_refinement`): a bounded
+violation must replay as a full-search violation (the bound only
+*removes* runs), and an exhaustive bounded search must explore
+strictly fewer states than the exhaustive unbounded one.
+
 ``tests/test_differential.py`` drives this module over the protocol
 zoo; :func:`assert_equivalent` is the assertion it uses, and the
 report it prints on failure is this module's
@@ -80,6 +96,8 @@ __all__ = [
     "compare_fingerprints",
     "divergence_report",
     "assert_equivalent",
+    "assert_model_lattice",
+    "assert_preemption_refinement",
 ]
 
 
@@ -117,6 +135,14 @@ class SearchFingerprint:
     #: ``workers`` — but unlike workers it changes which fields another
     #: configuration must reproduce)
     reduce: str = "off"
+    #: consistency model the search checked (provenance; fingerprints
+    #: of different models are never field-compared — the lattice
+    #: contract :func:`assert_model_lattice` relates them instead)
+    model: str = "sc"
+    #: context-switch bound of a bounded-preemption SC search (``None``
+    #: = unbounded; provenance, related to the unbounded run by
+    #: :func:`assert_preemption_refinement`)
+    preemptions: Optional[int] = None
     #: the :data:`DETERMINISTIC_GAUGES` subset of the run's telemetry
     #: snapshot, as sorted (name, value) pairs — proves the metrics
     #: pipeline reports the same search the engines agree on
@@ -124,8 +150,10 @@ class SearchFingerprint:
 
     @property
     def label(self) -> str:
+        bound = "" if self.preemptions is None else f" preemptions={self.preemptions}"
         return (
-            f"{self.protocol} [mode={self.mode} strategy={self.strategy} "
+            f"{self.protocol} [model={self.model}{bound} mode={self.mode} "
+            f"strategy={self.strategy} "
             f"workers={self.workers} reduce={self.reduce} "
             f"{'exhaustive' if self.exhaustive else 'stop-on-first'}]"
         )
@@ -175,6 +203,8 @@ def fingerprint(
     seed: int = 0,
     workers: int = 1,
     reduce: str = "off",
+    model: str = "sc",
+    preemptions: Optional[int] = None,
     exhaustive: bool = True,
     max_states: Optional[int] = None,
     max_depth: Optional[int] = None,
@@ -209,6 +239,8 @@ def fingerprint(
         seed=seed,
         workers=workers,
         reduce=reduce,
+        model=model,
+        preemptions=preemptions,
         stop_on_violation=not exhaustive,
         max_states=max_states,
         max_depth=max_depth,
@@ -240,7 +272,13 @@ def fingerprint(
     cx_replays: Optional[bool] = None
     if result.counterexample is not None:
         cx_len = len(result.counterexample.run)
-        cx_replays = not check_run(protocol, result.counterexample.run, st_order).ok
+        # replayed on the *unwrapped* protocol under the model's own
+        # acceptance condition — for a bounded-preemption run this is
+        # full SC, so replay validity IS the refinement promise: the
+        # bounded counterexample is a genuine full-search violation
+        cx_replays = not check_run(
+            protocol, result.counterexample.run, st_order, model=model
+        ).ok
 
     return SearchFingerprint(
         protocol=protocol.describe(),
@@ -248,6 +286,8 @@ def fingerprint(
         strategy=strategy,
         workers=workers,
         reduce=reduce,
+        model=model,
+        preemptions=preemptions,
         exhaustive=exhaustive,
         verdict=_verdict_of(result),
         states=result.stats.states,
@@ -295,6 +335,14 @@ def compare_fingerprints(
     violation, while exploring *fewer* states — so its counts are
     required to differ, not to agree.
     """
+    if base.model != other.model or base.preemptions != other.preemptions:
+        raise ValueError(
+            f"fingerprints check different conditions "
+            f"({base.label} vs {other.label}); different models are "
+            f"related by assert_model_lattice, bounded and unbounded "
+            f"runs by assert_preemption_refinement — neither is a "
+            f"field-equality contract"
+        )
     a, b = base.comparable(), other.comparable()
     names = set(a) & set(b)
     if base.reduce != other.reduce:
@@ -341,4 +389,113 @@ def assert_equivalent(
     if any(compare_fingerprints(base, fp) for fp in others):
         raise AssertionError(
             "engine configurations diverged\n" + divergence_report(base, others)
+        )
+
+
+# ----------------------------------------------------------------------
+# cross-model contracts
+# ----------------------------------------------------------------------
+
+
+def assert_model_lattice(
+    stronger: SearchFingerprint, weaker: SearchFingerprint
+) -> None:
+    """Enforce the model-lattice implication between two fingerprints
+    of the *same protocol* under a stronger and a strictly weaker
+    consistency model (e.g. SC and causal).
+
+    The contract (both directions of one implication):
+
+    * ``stronger`` verified ⇒ ``weaker`` verified — every trace the
+      stronger model accepts, the weaker accepts too, so no run of a
+      stronger-verified protocol can violate the weaker model;
+    * contrapositively, a ``weaker`` violation ⇒ a ``stronger``
+      violation — and the weaker model's counterexample must replay
+      (``cx_replays``), so the evidence is concrete, not an artifact
+      of its observer.
+
+    Nothing else is promised: state counts, violation keys and even
+    the violation/verified split in the *other* direction (a
+    stronger-model violation with a weaker-model pass is the
+    interesting separation case — e.g. the store buffer under SC vs
+    causal) legitimately differ.
+    """
+    if stronger.protocol != weaker.protocol:
+        raise ValueError(
+            f"lattice contract needs one protocol, got "
+            f"{stronger.protocol!r} vs {weaker.protocol!r}"
+        )
+    if stronger.model == weaker.model:
+        raise ValueError(
+            "lattice contract relates two different models; same-model "
+            "fingerprints are compared with assert_equivalent"
+        )
+    if stronger.verdict == "verified" and weaker.verdict != "verified":
+        raise AssertionError(
+            f"model lattice broken: {stronger.label} verified but "
+            f"{weaker.label} reports {weaker.verdict} — a "
+            f"{weaker.model} violation on a {stronger.model}-verified "
+            f"protocol is impossible if {weaker.model} is weaker"
+        )
+    if weaker.verdict == "violation" and stronger.verdict != "violation":
+        raise AssertionError(
+            f"model lattice broken: {weaker.label} found a violation "
+            f"but {stronger.label} reports {stronger.verdict}"
+        )
+    if weaker.cx_replays is False:
+        raise AssertionError(
+            f"{weaker.label}: counterexample does not replay as a "
+            f"{weaker.model} violation"
+        )
+
+
+def assert_preemption_refinement(
+    bounded: SearchFingerprint, full: SearchFingerprint
+) -> None:
+    """Enforce the under-approximation contract between a bounded-
+    preemption fingerprint and the unbounded fingerprint of the same
+    protocol.
+
+    * a bounded **violation is real**: it must replay as a violation
+      under full SC on the unwrapped protocol (``cx_replays`` — the
+      fingerprint replays exactly that way), and the unbounded search
+      must, of course, also report a violation;
+    * a bounded **pass proves nothing** — no implication is checked in
+      that direction;
+    * on exhaustive runs the bound must **pay for itself**: strictly
+      fewer explored states than the unbounded exhaustive search
+      (pruning runs can only shrink the reachable joint space; the
+      wrapper's context bookkeeping splits states, which is why the
+      claim holds for exhaustive counts, not stop-on-first ones).
+    """
+    if bounded.protocol != full.protocol:
+        raise ValueError(
+            f"refinement contract needs one protocol, got "
+            f"{bounded.protocol!r} vs {full.protocol!r}"
+        )
+    if bounded.preemptions is None or full.preemptions is not None:
+        raise ValueError(
+            "refinement contract relates a bounded fingerprint "
+            "(preemptions=K) to an unbounded one (preemptions=None)"
+        )
+    if bounded.verdict == "violation":
+        if bounded.cx_replays is False:
+            raise AssertionError(
+                f"{bounded.label}: bounded counterexample does not "
+                f"replay as a full-search violation"
+            )
+        if full.verdict != "violation":
+            raise AssertionError(
+                f"refinement broken: {bounded.label} found a violation "
+                f"but {full.label} reports {full.verdict} — the bound "
+                f"only removes runs, so every bounded violation exists "
+                f"unbounded"
+            )
+    if bounded.exhaustive and full.exhaustive and not (
+        bounded.states < full.states
+    ):
+        raise AssertionError(
+            f"preemption bound did not pay for itself: "
+            f"{bounded.states} bounded states vs {full.states} "
+            f"unbounded ({bounded.label})"
         )

@@ -39,7 +39,6 @@ from typing import Any, Hashable, Iterable, Iterator, Optional, Tuple
 
 from ..core.checker import Checker
 from ..core.cycle_checker import CycleChecker
-from ..core.observer import Observer
 from ..core.operations import InternalAction, Store
 from ..core.protocol import Protocol, Transition
 from ..core.storder import STOrderGenerator
@@ -96,8 +95,10 @@ class ProtocolComponent(Component):
 
 
 class ObserverComponent(Component):
-    """The witness observer as a component: fork-on-step, emitting the
-    descriptor symbols of the transition."""
+    """A consistency model's witness observer as a component:
+    fork-on-step, emitting the descriptor symbols of the transition.
+    ``model`` defaults to sequential consistency (also the reading of
+    checkpoints pickled before the model layer existed)."""
 
     def __init__(
         self,
@@ -107,28 +108,35 @@ class ObserverComponent(Component):
         self_check: bool = False,
         eager_free: bool = True,
         unpin_heads: bool = True,
+        model=None,
     ):
         self.protocol = protocol
         self.st_order = st_order
         self.self_check = self_check
         self.eager_free = eager_free
         self.unpin_heads = unpin_heads
+        self.model = model
 
-    def initial(self) -> Observer:
-        return Observer(
+    def initial(self):
+        model = getattr(self, "model", None)
+        if model is None:
+            from ..models.sc import SequentialConsistency
+
+            model = SequentialConsistency()
+        return model.make_observer(
             self.protocol,
-            self.st_order.copy() if self.st_order is not None else None,
+            self.st_order,
             self_check=self.self_check,
             eager_free=self.eager_free,
             unpin_heads=self.unpin_heads,
         )
 
-    def step(self, state: Observer, inp: Transition):
+    def step(self, state, inp: Transition):
         obs = state.fork()
         symbols = obs.on_transition(inp)
         return obs, tuple(symbols)
 
-    def state_key(self, state: Observer, canon=None) -> Hashable:
+    def state_key(self, state, canon=None) -> Hashable:
         return state.state_key(canon)
 
 
@@ -169,11 +177,16 @@ class CheckerComponent(Component):
     moved), which is the fork-skipping optimisation the product search
     has always relied on."""
 
-    def __init__(self, full: bool = True):
+    def __init__(self, full: bool = True, *, model=None):
         self.full = full
+        self.model = model
 
     def initial(self):
-        return Checker() if self.full else CycleChecker()
+        model = getattr(self, "model", None)
+        if model is None:
+            # pre-model-layer wiring (and old checkpoints): SC's pair
+            return Checker() if self.full else CycleChecker()
+        return model.make_checker("full" if self.full else "fast")
 
     def step(self, state, inp: Tuple):
         if not inp:
@@ -307,16 +320,27 @@ class ComposedSystem(System):
         eager_free: bool = True,
         unpin_heads: bool = True,
         reduce: str = "off",
+        model="sc",
+        preemptions: Optional[int] = None,
     ):
+        from ..models import ModelError, get_model
         from .reduction import build_reduction
 
         if mode not in ("full", "fast"):
             raise ValueError(f"unknown mode {mode!r}")
+        self.model = get_model(model, preemptions=preemptions)
+        self.model.check_mode(mode)
+        protocol = self.model.wrap_protocol(protocol)
         self.protocol = protocol
         self.st_order = st_order
         self.mode = mode
         self.canonical_ids = canonical_ids
         self.reduce = reduce
+        if reduce != "off" and not self.model.supports_reduction:
+            raise ModelError(
+                f"model {self.model.name!r} does not support --reduce "
+                f"(its observer implements no permuted snapshot)"
+            )
         self.reduction = build_reduction(protocol, reduce)
         if self.reduction is not None and not canonical_ids:
             raise ValueError(
@@ -331,17 +355,21 @@ class ComposedSystem(System):
             self_check=fast,
             eager_free=eager_free,
             unpin_heads=unpin_heads,
+            model=self.model,
         )
-        self.checker_comp = CheckerComponent(full=not fast)
+        self.checker_comp = CheckerComponent(full=not fast, model=self.model)
         self._fast = fast
 
     def __setstate__(self, state):
         # pre-reduction checkpoints pickled a ComposedSystem without
         # these attributes (CHECKPOINT_VERSION was deliberately not
         # bumped — see harness/checkpoint.py); they load as the
-        # "off" level, which is what they were
+        # "off" level, which is what they were.  Pre-model-layer
+        # checkpoints likewise load as SC (model=None: the component
+        # initialisers fall back to the SC observer/checker pair).
         state.setdefault("reduce", "off")
         state.setdefault("reduction", None)
+        state.setdefault("model", None)
         self.__dict__.update(state)
 
     # ------------------------------------------------------------------

@@ -54,7 +54,9 @@ from ..core.operations import BOTTOM, Load, Operation, Store
 
 __all__ = [
     "REDUCE_LEVELS",
+    "ArrayContent",
     "FieldSym",
+    "QueueContent",
     "SymmetrySpec",
     "Permutation",
     "Reduction",
@@ -84,6 +86,40 @@ _SORTS = ("proc", "block", "value")
 
 
 @dataclass(frozen=True)
+class ArrayContent:
+    """Structured :attr:`FieldSym.content`: each entry of the field is
+    *itself* a fixed-size row-major array over ``axes`` whose elements
+    carry ``sort`` (same meaning as a string content; ``None`` for
+    sort-free elements).  Declares nested state shapes such as Lazy
+    Caching's ``caches`` — a proc-indexed tuple of block-indexed value
+    tuples — without flattening the protocol's state tuple.
+
+    Negative elements are fixed points of every content map: protocols
+    use negative sentinels (``INVALID = -1`` cache slots) that name no
+    value, and a sort map must never rewrite them.
+    """
+
+    axes: Tuple = ()
+    sort: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class QueueContent:
+    """Structured :attr:`FieldSym.content`: each entry of the field is
+    a variable-length FIFO (tuple) of fixed-arity item tuples, and
+    ``sorts`` names the sort of each item component (``None`` leaves
+    that component alone — flags, counters).  Queue *order* is program
+    order and survives any sort permutation, so only the item payloads
+    are mapped; declares shapes such as Lazy Caching's out-queues of
+    ``(block, value)`` pairs and in-queues of ``(block, value,
+    starred)`` triples.  Negative components are fixed points, as for
+    :class:`ArrayContent`.
+    """
+
+    sorts: Tuple = ()
+
+
+@dataclass(frozen=True)
 class FieldSym:
     """Symmetry declaration for one flat segment of a state component.
 
@@ -94,11 +130,13 @@ class FieldSym:
     names the sort of the *entries* themselves: ``'value'`` for data
     values (permuted with ⊥ fixed), ``'proc'``/``'block'`` for entries
     holding a processor/block number, ``None`` for sort-free entries
-    (control states, counters) that permutations leave alone.
+    (control states, counters) that permutations leave alone.  For
+    entries that are themselves containers, ``content`` may instead be
+    an :class:`ArrayContent` or :class:`QueueContent` declaration.
     """
 
     axes: Tuple = ()
-    content: Optional[str] = None
+    content: Optional[object] = None
 
     def size(self, p: int, b: int, v: int) -> int:
         n = 1
@@ -184,6 +222,47 @@ def _flat_perm(axes: Sequence, p: int, b: int, v: int,
 
 
 @dataclass(frozen=True)
+class _ArrayMap:
+    """Compiled :class:`ArrayContent` for one group element: ``srcs``
+    is the entry's own flat source-offset table and ``entry`` the
+    element sort map (``None`` for sort-free elements).  Negative
+    elements pass through unmapped (sentinel fixed points)."""
+
+    srcs: Tuple[int, ...]
+    entry: Optional[Tuple[int, ...]]
+
+    def apply(self, x: Tuple) -> Tuple:
+        e = self.entry
+        if e is None:
+            return tuple(x[s] for s in self.srcs)
+        return tuple(x[s] if x[s] < 0 else e[x[s]] for s in self.srcs)
+
+
+@dataclass(frozen=True)
+class _QueueMap:
+    """Compiled :class:`QueueContent` for one group element: one sort
+    map (or ``None``) per item component, applied item-wise with queue
+    order preserved."""
+
+    maps: Tuple[Optional[Tuple[int, ...]], ...]
+
+    def apply(self, q: Tuple) -> Tuple:
+        maps = self.maps
+        out = []
+        for item in q:
+            if len(item) != len(maps):
+                raise ReductionError(
+                    f"queue item {item!r} has {len(item)} components; "
+                    f"its QueueContent declares {len(maps)}"
+                )
+            out.append(tuple(
+                x if m is None or x < 0 else m[x]
+                for x, m in zip(item, maps)
+            ))
+        return tuple(out)
+
+
+@dataclass(frozen=True)
 class Permutation:
     """One group element, with every index map precomputed.
 
@@ -195,7 +274,9 @@ class Permutation:
     permuted walk visits location ``l'`` by reading the concrete slot
     ``loc_inv[l'-1]``.  ``field_srcs`` holds, per state-tuple
     component, the flat source-offset table plus a per-slot
-    content-map reference used by :meth:`Reduction.permute_pstate`.
+    content-map reference used by :meth:`Reduction.permute_pstate` —
+    an index tuple for string content sorts, a compiled
+    :class:`_ArrayMap`/:class:`_QueueMap` for structured content.
     """
 
     proc: Tuple[int, ...]
@@ -204,8 +285,8 @@ class Permutation:
     vmap: Tuple[int, ...]
     loc: Tuple[int, ...]
     loc_inv: Tuple[int, ...]
-    #: per state component: (src offsets, per-slot content sort or None)
-    field_srcs: Tuple[Tuple[Tuple[int, ...], Tuple[Optional[str], ...]], ...]
+    #: per state component: (src offsets, per-slot content map or None)
+    field_srcs: Tuple[Tuple[Tuple[int, ...], Tuple], ...]
     is_identity: bool = False
 
     def op(self, op: Optional[Operation]) -> Optional[Operation]:
@@ -320,7 +401,13 @@ class Reduction:
             for j, src in enumerate(srcs):
                 x = comp[src]
                 cmap = contents[j]
-                part.append(x if cmap is None else cmap[x])
+                if cmap is None:
+                    part.append(x)
+                elif type(cmap) is tuple:
+                    # negative sentinels (INVALID slots) are fixed points
+                    part.append(x if x < 0 else cmap[x])
+                else:
+                    part.append(cmap.apply(x))
             out.append(tuple(part))
         return tuple(out)
 
@@ -381,6 +468,25 @@ class Reduction:
 # ----------------------------------------------------------------------
 
 
+def _check_content(content, p: int, b: int, v: int) -> None:
+    """Reject malformed ``FieldSym.content`` declarations at build time
+    (an unknown sort discovered mid-canonicalization would abort the
+    search after arbitrary work)."""
+    if content is None or content in _SORTS:
+        return
+    if isinstance(content, ArrayContent):
+        _axis_sizes(content.axes, p, b, v)
+        if content.sort is not None and content.sort not in _SORTS:
+            raise ReductionError(f"unknown content sort {content.sort!r}")
+        return
+    if isinstance(content, QueueContent):
+        for s in content.sorts:
+            if s is not None and s not in _SORTS:
+                raise ReductionError(f"unknown content sort {s!r}")
+        return
+    raise ReductionError(f"unknown field content {content!r}")
+
+
 def _check_spec(spec: SymmetrySpec, protocol) -> None:
     p, b, v = protocol.p, protocol.b, protocol.v
     init = protocol.initial_state()
@@ -398,6 +504,7 @@ def _check_spec(spec: SymmetrySpec, protocol) -> None:
             f_size = f.size(p, b, v)
             if f_size < 1:
                 raise ReductionError(f"empty symmetry field {f!r}")
+            _check_content(f.content, p, b, v)
             total += f_size
         try:
             comp_size = len(comp)
@@ -504,13 +611,13 @@ def build_reduction(protocol, level: str) -> Optional[Reduction]:
                         off += len(seg)
                     field_srcs.append((tuple(srcs), tuple(contents)))
                 is_id = (pp, pb, pv) == ident
-                content_cache: Dict[str, Tuple[int, ...]] = {}
+                content_cache: Dict[object, object] = {}
 
-                def _cmap(c, pp=pp, pb=pb, vmap=vmap, cache=content_cache):
+                def _cmap(c, pp=pp, pb=pb, pv=pv, vmap=vmap, cache=content_cache):
                     if c is None:
                         return None
                     if c not in cache:
-                        cache[c] = _content(c, pp, pb, vmap)
+                        cache[c] = _compile_content(c, p, b, v, pp, pb, pv, vmap)
                     return cache[c]
 
                 perm = Permutation(
@@ -537,6 +644,25 @@ def _content(sort: str, pp, pb, vmap):
     if sort == "block":
         return (0,) + pb
     raise ReductionError(f"unknown content sort {sort!r}")
+
+
+def _compile_content(c, p, b, v, pp, pb, pv, vmap):
+    """One group element's entry map for a ``FieldSym.content``
+    declaration: an index tuple for plain sorts, a compiled
+    :class:`_ArrayMap`/:class:`_QueueMap` for structured content."""
+    if isinstance(c, str):
+        return _content(c, pp, pb, vmap)
+    if isinstance(c, ArrayContent):
+        return _ArrayMap(
+            srcs=_flat_perm(c.axes, p, b, v, pp, pb, pv),
+            entry=None if c.sort is None else _content(c.sort, pp, pb, vmap),
+        )
+    if isinstance(c, QueueContent):
+        return _QueueMap(maps=tuple(
+            None if s is None else _content(s, pp, pb, vmap)
+            for s in c.sorts
+        ))
+    raise ReductionError(f"unknown field content {c!r}")
 
 
 def _inverse(src_for_dst: Tuple[int, ...]) -> Tuple[int, ...]:

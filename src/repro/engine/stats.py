@@ -14,6 +14,16 @@ this module path) load unchanged.
    from ``repro.obs.stats``.  Do not add exports here.
 """
 
+import warnings
+
 from ..obs.stats import ExplorationStats, merge_shard_stats
 
 __all__ = ["ExplorationStats", "merge_shard_stats"]
+
+warnings.warn(
+    "repro.engine.stats is deprecated; import ExplorationStats and "
+    "merge_shard_stats from repro.obs.stats (this shim exists only so "
+    "v3 checkpoints unpickle)",
+    DeprecationWarning,
+    stacklevel=2,
+)

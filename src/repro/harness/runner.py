@@ -108,6 +108,8 @@ def run_verification(
     seed: int = 0,
     workers: Optional[int] = None,
     reduce: Optional[str] = None,
+    model: Optional[str] = None,
+    preemptions: Optional[int] = None,
     worker_retries: Optional[int] = None,
     on_worker_failure: Optional[str] = None,
     round_timeout_s: Optional[float] = None,
@@ -158,6 +160,14 @@ def run_verification(
     (CLI exit code 2; see ``repro verify --help`` for the exit-code
     contract).
 
+    ``model`` / ``preemptions`` select the consistency condition and
+    the optional context-switch bound (``None`` means: ``"sc"`` /
+    unbounded for a fresh search, whatever the checkpoint used for a
+    resumed one).  Like ``reduce`` — and unlike ``workers`` — both are
+    search state, not run policy: the interned joint states embed the
+    model's observer/checker components, so an explicit mismatch on
+    resume raises :class:`CheckpointError` (exit code 2).
+
     ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records
     run traces, metrics and live progress — including a
     ``checkpoint_saved`` event when truncation writes one, and a
@@ -184,6 +194,35 @@ def run_verification(
                 f"with --reduce {cp_reduce} (or omit --reduce), or "
                 f"restart the verification from scratch. (Exit code 2 — "
                 f"usage error; see `repro verify --help`.)"
+            )
+        # searches pickled before the model layer carry no model
+        # attributes — they were, by construction, unbounded SC
+        cp_model = getattr(search, "model_name", "sc")
+        cp_preemptions = getattr(search, "preemptions", None)
+        if model is not None and model != cp_model:
+            raise CheckpointError(
+                f"checkpoint {resume_from!r} was written with --model "
+                f"{cp_model}; its interned joint states embed that "
+                f"model's observer and checker components and cannot be "
+                f"re-keyed, so it cannot be resumed with --model "
+                f"{model}. Resume with --model {cp_model} (or omit "
+                f"--model), or restart the verification from scratch. "
+                f"(Exit code 2 — usage error; see `repro verify "
+                f"--help`.)"
+            )
+        if preemptions is not None and preemptions != cp_preemptions:
+            was = (
+                "an unbounded search"
+                if cp_preemptions is None
+                else f"--preemptions {cp_preemptions}"
+            )
+            raise CheckpointError(
+                f"checkpoint {resume_from!r} holds {was}; the preemption "
+                f"bound is part of the explored run set, so it cannot be "
+                f"resumed with --preemptions {preemptions}. Resume "
+                f"without changing the bound, or restart the "
+                f"verification from scratch. (Exit code 2 — usage "
+                f"error; see `repro verify --help`.)"
             )
         parallel = isinstance(search.engine, ParallelSearchEngine)
         if workers is not None and workers != search.workers:
@@ -220,6 +259,8 @@ def run_verification(
             seed=seed,
             workers=1 if workers is None else workers,
             reduce="off" if reduce is None else reduce,
+            model="sc" if model is None else model,
+            preemptions=preemptions,
             worker_retries=2 if worker_retries is None else worker_retries,
             on_worker_failure=(
                 "reshard" if on_worker_failure is None else on_worker_failure
@@ -230,13 +271,18 @@ def run_verification(
         spent = 0.0
 
     if telemetry is not None:
+        extra = {}
+        if getattr(search, "preemptions", None) is not None:
+            extra["preemptions"] = search.preemptions
         telemetry.start_run(
             protocol=search.protocol.describe(),
             mode=search.mode,
             strategy=strategy,
             workers=search.workers,
             reduce=getattr(search, "reduce", "off"),
+            model=getattr(search, "model_name", "sc"),
             resumed=resume_from is not None,
+            **extra,
         )
         if used_backup is not None:
             telemetry.emit("recovered", kind="checkpoint-bak", path=used_backup)
@@ -267,7 +313,14 @@ def run_verification(
                 states=res.stats.states,
                 elapsed_s=round(spent, 6),
             )
-    result = result_from_product(search.protocol, res)
+    result = result_from_product(
+        search.protocol, res, model=getattr(search, "model_name", "sc")
+    )
+    if getattr(search, "preemptions", None) is not None and (
+        result.counterexample is None
+    ):
+        result.complete = False
+        result.confidence = f"bounded(preemptions<={search.preemptions})"
     if telemetry is not None:
         shard_stats = search.shard_stats()
         telemetry.finish_run(

@@ -4,6 +4,7 @@ VSC baselines, and the Section 5 runtime-testing workflow."""
 
 from .bruteforce import (
     check_trace_bruteforce,
+    check_trace_causal,
     check_trace_store_orders,
     witness_constraint_graph,
 )
@@ -42,8 +43,8 @@ __all__ = [
     "outcomes_serial_realtime", "outcomes_sc", "outcomes_tso",
     "outcomes_relaxed", "classify_outcomes",
     "outcomes_on_protocol", "runs_for_outcome",
-    "check_trace_bruteforce", "check_trace_store_orders",
-    "witness_constraint_graph",
+    "check_trace_bruteforce", "check_trace_causal",
+    "check_trace_store_orders", "witness_constraint_graph",
     "check_run_streaming", "fuzz_protocol", "FuzzReport",
     "sb_chain", "mp_chain", "corr_chain", "iriw_general",
 ]

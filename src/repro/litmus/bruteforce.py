@@ -26,6 +26,7 @@ from ..core.serial import find_serial_reordering
 
 __all__ = [
     "check_trace_bruteforce",
+    "check_trace_causal",
     "check_trace_store_orders",
     "witness_constraint_graph",
 ]
@@ -82,3 +83,81 @@ def check_trace_store_orders(trace: Sequence[Operation]) -> bool:
     """Store-order/inheritance enumeration baseline: ``True`` iff the
     trace is SC (some constraint graph is acyclic)."""
     return witness_constraint_graph(trace) is not None
+
+
+def _acyclic(n: int, edges: List[Tuple[int, int]]) -> bool:
+    """Kahn's algorithm over nodes ``1..n``."""
+    indeg = [0] * (n + 1)
+    succs: Dict[int, List[int]] = {}
+    for (u, v) in edges:
+        succs.setdefault(u, []).append(v)
+        indeg[v] += 1
+    ready = [i for i in range(1, n + 1) if indeg[i] == 0]
+    seen = 0
+    while ready:
+        u = ready.pop()
+        seen += 1
+        for v in succs.get(u, ()):
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                ready.append(v)
+    return seen == n
+
+
+def check_trace_causal(trace: Sequence[Operation]) -> bool:
+    """Brute-force per-trace oracle for the causal condition of
+    :class:`repro.models.causal.CausalConsistency`: ``True`` iff some
+    assignment of each non-⊥ LD to a same-block, same-value ST makes
+    the graph of
+
+    * per-(processor, block) program-order edges, and
+    * assigned ST → LD inheritance edges
+
+    acyclic.  Candidate STs include *later* trace positions — causal
+    consistency carries no real-time order, so a LD may be explained by
+    a ST that executes after it, as long as no program-order path leads
+    from the LD back to that ST (the "read from the future" cycle this
+    oracle rejects).  ⊥-loads inherit the initial contents and
+    constrain nothing; a LD whose value no ST of its block ever writes
+    has no assignment and the trace is rejected outright.
+
+    The streaming :class:`~repro.models.causal.CausalObserver` derives
+    *one* assignment from the protocol's tracking labels — always a
+    past ST — so observer acceptance implies this oracle accepts (the
+    containment ``tests/test_models.py`` fuzzes); the oracle's
+    existential sweep is exponential in same-value store aliasing,
+    which is why it stays a litmus baseline.
+    """
+    stores_by_block: Dict[int, List[int]] = {}
+    for i, op in enumerate(trace, start=1):
+        if op.is_store:
+            stores_by_block.setdefault(op.block, []).append(i)
+
+    load_candidates: List[Tuple[int, List[int]]] = []
+    for j, op in enumerate(trace, start=1):
+        if op.is_load and op.value != BOTTOM:
+            cands = [
+                i
+                for i in stores_by_block.get(op.block, ())
+                if trace[i - 1].value == op.value
+            ]
+            if not cands:
+                return False
+            load_candidates.append((j, cands))
+
+    po_edges: List[Tuple[int, int]] = []
+    last: Dict[Tuple[int, int], int] = {}
+    for i, op in enumerate(trace, start=1):
+        k = (op.proc, op.block)
+        if k in last:
+            po_edges.append((last[k], i))
+        last[k] = i
+
+    n = len(trace)
+    for inh_combo in iproduct(*(c for (_j, c) in load_candidates)):
+        edges = po_edges + [
+            (i, j) for (j, _), i in zip(load_candidates, inh_combo)
+        ]
+        if _acyclic(n, edges):
+            return True
+    return False

@@ -100,6 +100,49 @@ class LazyCachingProtocol(MemoryProtocol):
         return self._locs.loc("inq", (proc - 1) * self.in_depth + slot)
 
     # ------------------------------------------------------------------
+    def symmetry_spec(self):
+        """Lazy Caching is index-uniform over all three sorts: every
+        rule quantifies over processors, blocks, and values without
+        naming an index, queues are FIFO regardless of payload, and the
+        starred flag depends only on *which* processor issued the store
+        — itself permuted.  The nested state shape needs the structured
+        content declarations: caches are per-proc arrays of per-block
+        values (``INVALID`` fixed by the negative-sentinel rule),
+        out-queues hold ``(block, value)`` pairs, in-queues
+        ``(block, value, starred)`` triples with the flag sort-free.
+        """
+        from ..engine.reduction import (
+            ArrayContent,
+            FieldSym,
+            QueueContent,
+            SymmetrySpec,
+        )
+
+        return SymmetrySpec(
+            state_fields=(
+                (FieldSym(axes=("block",), content="value"),),
+                (FieldSym(
+                    axes=("proc",),
+                    content=ArrayContent(axes=("block",), sort="value"),
+                ),),
+                (FieldSym(
+                    axes=("proc",),
+                    content=QueueContent(sorts=("block", "value")),
+                ),),
+                (FieldSym(
+                    axes=("proc",),
+                    content=QueueContent(sorts=("block", "value", None)),
+                ),),
+            ),
+            location_axes=(
+                ("block",),
+                ("proc", "block"),
+                ("proc", self.out_depth),
+                ("proc", self.in_depth),
+            ),
+        )
+
+    # ------------------------------------------------------------------
     def initial_state(self) -> Tuple:
         mem = (BOTTOM,) * self.b
         cache_val = BOTTOM if self.valid_initial_caches else INVALID

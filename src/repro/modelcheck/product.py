@@ -35,7 +35,6 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..core.checker import Checker
-from ..core.observer import Observer
 from ..core.operations import Action
 from ..core.protocol import Protocol
 from ..core.storder import STOrderGenerator
@@ -75,13 +74,17 @@ def _replay(
     protocol: Protocol,
     st_order: Optional[STOrderGenerator],
     actions: List[Action],
+    model=None,
 ) -> Tuple[Tuple, str]:
     """Re-execute a run to recover the emitted symbols and the first
-    checker violation message."""
-    observer = Observer(
-        protocol, st_order.copy() if st_order is not None else None, self_check=True
-    )
-    checker = Checker()
+    checker violation message, judged under ``model`` (default SC,
+    with the strongest checker the model supports)."""
+    if model is None:
+        from ..models.sc import SequentialConsistency
+
+        model = SequentialConsistency()
+    observer = model.make_observer(protocol, st_order, self_check=True)
+    checker = model.make_checker("full" if "full" in model.modes else "fast")
     state = protocol.initial_state()
     symbols = []
     for action in actions:
@@ -93,7 +96,10 @@ def _replay(
         symbols.extend(observer.on_transition(t))
         state = t.state
     checker.feed_all(symbols)
-    violations = checker.violations()
+    if isinstance(checker, Checker):
+        violations = checker.violations()
+    else:
+        violations = [] if checker.accepts else ["constraint-graph cycle"]
     if observer.violation is not None:
         violations.insert(0, observer.violation)
     reason = violations[0] if violations else "checker rejected"
@@ -156,6 +162,8 @@ class ProductSearch:
         workers: int = 1,
         stop_on_violation: bool = True,
         reduce: str = "off",
+        model: str = "sc",
+        preemptions: Optional[int] = None,
         worker_retries: int = 2,
         on_worker_failure: str = "reshard",
         round_timeout_s: Optional[float] = None,
@@ -168,7 +176,6 @@ class ProductSearch:
         self.mode = mode
         self.max_states = max_states
         self.max_depth = max_depth
-        self.check_quiescence_reachability = check_quiescence_reachability
         self.canonical_ids = canonical_ids
         self.workers = workers
         self.reduce = reduce
@@ -180,7 +187,18 @@ class ProductSearch:
             eager_free=eager_free,
             unpin_heads=unpin_heads,
             reduce=reduce,
+            model=model,
+            preemptions=preemptions,
         )
+        self.model = self.system.model
+        self.model_name = self.model.name
+        self.preemptions = preemptions
+        if self.model.bounded:
+            # budget-exhausted states whose drain needs another context
+            # cannot reach quiescence; the side condition would flag
+            # every such state, so it is meaningless under a bound
+            check_quiescence_reachability = False
+        self.check_quiescence_reachability = check_quiescence_reachability
         if workers > 1:
             self.engine = ParallelSearchEngine(
                 self.system,
@@ -214,8 +232,12 @@ class ProductSearch:
     def __setstate__(self, state):
         # pre-reduction checkpoints pickled a ProductSearch without a
         # reduce attribute (no CHECKPOINT_VERSION bump); they load as
-        # the "off" level, which is what they were
+        # the "off" level, which is what they were.  Pre-model-layer
+        # checkpoints likewise load as unbounded SC.
         state.setdefault("reduce", "off")
+        state.setdefault("model", None)
+        state.setdefault("model_name", "sc")
+        state.setdefault("preemptions", None)
         self.__dict__.update(state)
 
     # ------------------------------------------------------------------
@@ -252,7 +274,9 @@ class ProductSearch:
             actions = self.engine.path_to(ref)
         else:
             actions = self.engine.store.path_to(ref)
-        symbols, reason = _replay(self.protocol, self.st_order, actions)
+        symbols, reason = _replay(
+            self.protocol, self.st_order, actions, getattr(self, "model", None)
+        )
         return Counterexample(tuple(actions), symbols, reason)
 
     def reshard(self, workers: int) -> None:
@@ -331,6 +355,8 @@ def explore_product(
     workers: int = 1,
     stop_on_violation: bool = True,
     reduce: str = "off",
+    model: str = "sc",
+    preemptions: Optional[int] = None,
     worker_retries: int = 2,
     on_worker_failure: str = "reshard",
     round_timeout_s: Optional[float] = None,
@@ -360,6 +386,8 @@ def explore_product(
         workers=workers,
         stop_on_violation=stop_on_violation,
         reduce=reduce,
+        model=model,
+        preemptions=preemptions,
         worker_retries=worker_retries,
         on_worker_failure=on_worker_failure,
         round_timeout_s=round_timeout_s,

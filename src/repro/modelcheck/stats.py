@@ -11,6 +11,16 @@ import path working — code and pickles alike.
    ``repro.obs.stats``.  Do not add exports here.
 """
 
+import warnings
+
 from ..obs.stats import ExplorationStats
 
 __all__ = ["ExplorationStats"]
+
+warnings.warn(
+    "repro.modelcheck.stats is deprecated; import ExplorationStats "
+    "from repro.obs.stats (this shim exists only so old pickles "
+    "resolve)",
+    DeprecationWarning,
+    stacklevel=2,
+)

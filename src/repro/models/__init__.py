@@ -1,0 +1,75 @@
+"""Pluggable consistency models (the model zoo).
+
+The verification pipeline is parameterised by a
+:class:`~repro.models.base.ConsistencyModel`: the observer that
+shadows protocol executions, the finite-state checker that judges the
+emitted constraint stream, and optional run-set restrictions.  See
+``docs/MODELS.md`` for the interface contract, the lattice the models
+form, and how to add one.
+
+Registry:
+
+========  ==================================================
+name      model
+========  ==================================================
+sc        :class:`~repro.models.sc.SequentialConsistency`
+causal    :class:`~repro.models.causal.CausalConsistency`
+========  ==================================================
+
+``--preemptions K`` composes with ``sc`` only (it is an
+under-approximation of the SC run set):
+:func:`get_model("sc", preemptions=K) <get_model>` returns a
+:class:`~repro.models.preemption.BoundedPreemptionSC`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import ConsistencyModel, ModelError
+from .causal import CausalConsistency, CausalObserver
+from .preemption import BoundedPreemptionSC, PreemptionBoundedProtocol
+from .sc import SequentialConsistency
+
+__all__ = [
+    "MODELS",
+    "BoundedPreemptionSC",
+    "CausalConsistency",
+    "CausalObserver",
+    "ConsistencyModel",
+    "ModelError",
+    "PreemptionBoundedProtocol",
+    "SequentialConsistency",
+    "get_model",
+]
+
+#: ``--model`` name -> model class
+MODELS = {
+    "sc": SequentialConsistency,
+    "causal": CausalConsistency,
+}
+
+
+def get_model(
+    name: str = "sc", *, preemptions: Optional[int] = None
+) -> ConsistencyModel:
+    """Resolve a ``--model`` name (plus optional preemption bound) to
+    a model instance.  Raises :class:`ModelError` for unknown names or
+    unsupported combinations (exit code 2 at the CLI)."""
+    if isinstance(name, ConsistencyModel):
+        if preemptions is not None:
+            raise ModelError("cannot re-bound an already-instantiated model")
+        return name
+    if name not in MODELS:
+        raise ModelError(
+            f"unknown consistency model {name!r} "
+            f"(available: {', '.join(sorted(MODELS))})"
+        )
+    if preemptions is not None:
+        if name != "sc":
+            raise ModelError(
+                f"--preemptions is an under-approximation of the SC run "
+                f"set and does not compose with --model {name}"
+            )
+        return BoundedPreemptionSC(preemptions)
+    return MODELS[name]()

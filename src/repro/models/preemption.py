@@ -1,0 +1,143 @@
+"""Bounded-preemption sequential consistency.
+
+:class:`BoundedPreemptionSC` is SC *restricted to runs with at most K
+preemption points* — in the spirit of context-bounded model checking:
+most concurrency bugs need only a handful of context switches, so
+exploring the ≤K-switch slice of the run tree finds them at a fraction
+of the full product's states.  The acceptance condition is untouched
+(same observer, same checkers as :class:`~repro.models.sc.
+SequentialConsistency`); what changes is the *run set*, so the model
+plugs in through :meth:`~repro.models.base.ConsistencyModel.
+wrap_protocol`: :class:`PreemptionBoundedProtocol` wraps the protocol
+and prunes every transition that would exceed the budget.
+
+Soundness is one-directional, which is the whole point:
+
+* every run of the wrapped protocol is a run of the original (the
+  wrapper only *removes* transitions), so a violation found under
+  ``--preemptions K`` replays verbatim on the unwrapped protocol —
+  the counterexample is real, and the cross-model difftest
+  (:func:`repro.difftest.assert_preemption_refinement`) checks the
+  replay on every violation;
+* a violation-free bounded search proves nothing beyond the slice:
+  the verdict is reported with ``confidence="bounded(...)"`` and
+  ``complete=False``, never as a proof.
+
+Attribution of internal actions: protocol states carry no "current
+processor", so the wrapper infers the active context from the action —
+``op.proc`` for LD/ST, and for internal actions the first argument
+when it is a valid processor index (the zoo's convention:
+``BusRd(P, B)``, ``memory-write(P)``, ``drain(P, B, V)`` all lead with
+the acting processor).  Unattributable actions (none in the current
+zoo) keep the current context rather than guessing — they can never
+*cost* a preemption, which only widens the explored slice and
+preserves the under-approximation.
+
+Quiescence is unreachable from budget-exhausted states whose drain
+needs another context, so the product search disables the
+quiescence-reachability side condition for bounded models; the
+per-state end-of-trace acceptance check is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+from ..core.operations import InternalAction, Operation
+from ..core.protocol import Protocol, Transition
+from .sc import SequentialConsistency
+
+__all__ = ["BoundedPreemptionSC", "PreemptionBoundedProtocol"]
+
+
+def _proc_of(action, p: int) -> Optional[int]:
+    """The processor whose context an action runs in, or ``None`` if
+    the action cannot be attributed (see module docstring)."""
+    if isinstance(action, Operation):
+        return action.proc
+    assert isinstance(action, InternalAction)
+    if action.args:
+        first = action.args[0]
+        if isinstance(first, int) and not isinstance(first, bool) and 1 <= first <= p:
+            return first
+    return None
+
+
+class PreemptionBoundedProtocol(Protocol):
+    """``protocol`` restricted to runs with ≤ ``k`` preemptions.
+
+    States are ``(inner_state, last_proc, used)`` where ``last_proc``
+    is the context the previous attributable action ran in (``None``
+    before the first) and ``used`` counts context switches so far.
+    Transitions requiring a switch are pruned once ``used == k``;
+    everything else delegates to the wrapped protocol.
+    """
+
+    def __init__(self, protocol: Protocol, k: int):
+        if k < 0:
+            raise ValueError(f"preemption budget must be >= 0, got {k}")
+        self.inner = protocol
+        self.k = k
+        self.p = protocol.p
+        self.b = protocol.b
+        self.v = protocol.v
+        self.num_locations = protocol.num_locations
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Hashable:
+        return (self.inner.initial_state(), None, 0)
+
+    def transitions(self, state: Hashable) -> Iterable[Transition]:
+        inner_state, last, used = state
+        for t in self.inner.transitions(inner_state):
+            proc = _proc_of(t.action, self.p)
+            if proc is None or last is None or proc == last:
+                switched = used
+            elif used < self.k:
+                switched = used + 1
+            else:
+                continue  # would exceed the preemption budget
+            nxt = proc if proc is not None else last
+            yield Transition(t.action, (t.state, nxt, switched), t.tracking)
+
+    # ------------------------------------------------------------------
+    def is_quiescent(self, state: Hashable) -> bool:
+        return self.inner.is_quiescent(state[0])
+
+    def may_load_bottom(self, state: Hashable, block: int) -> bool:
+        return self.inner.may_load_bottom(state[0], block)
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()}[preemptions<={self.k}]"
+
+    def symmetry_spec(self):
+        # the preemption counter's last_proc component breaks processor
+        # interchangeability; inherit Protocol's None so --reduce is
+        # rejected with the standard "declares no symmetry" error
+        return None
+
+
+class BoundedPreemptionSC(SequentialConsistency):
+    """SC over the ≤K-preemption slice of the run tree.
+
+    Same observer and checkers as SC — ``name`` stays ``"sc"`` so the
+    fingerprint's ``model`` field reflects the acceptance condition,
+    with the bound carried separately as ``preemptions`` provenance.
+    """
+
+    def __init__(self, preemptions: int):
+        if preemptions < 0:
+            raise ValueError(
+                f"preemption budget must be >= 0, got {preemptions}"
+            )
+        self.preemptions = preemptions
+
+    def wrap_protocol(self, protocol: Protocol) -> Protocol:
+        return PreemptionBoundedProtocol(protocol, self.preemptions)
+
+    @property
+    def bounded(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"sc(preemptions<={self.preemptions})"

@@ -249,6 +249,18 @@ def test_stats_shims_are_the_same_class():
     assert mc_stats.ExplorationStats is ExplorationStats
 
 
+def test_stats_shims_warn_on_import():
+    # module-level DeprecationWarning, emitted once per interpreter —
+    # force a fresh import to observe it regardless of test order
+    import importlib
+    import sys
+
+    for name in ("repro.engine.stats", "repro.modelcheck.stats"):
+        sys.modules.pop(name, None)
+        with pytest.warns(DeprecationWarning, match="repro.obs.stats"):
+            importlib.import_module(name)
+
+
 def test_stats_pickled_under_old_module_paths_load():
     # checkpoint v3 payloads pickle ExplorationStats under
     # repro.engine.stats; unpickling resolves that module path via the

@@ -39,9 +39,11 @@ from repro.engine.sharding import shard_of, stable_hash
 from repro.harness import Budget, CheckpointError, run_verification
 from repro.memory import (
     BuggyMSIProtocol,
+    LazyCachingProtocol,
     MESIProtocol,
     MSIProtocol,
     StoreBufferProtocol,
+    lazy_caching_st_order,
     store_buffer_st_order,
 )
 from repro.modelcheck.product import ProductSearch
@@ -313,12 +315,16 @@ def test_reshard_mid_search_preserves_the_outcome():
 
 def _permute_action(action, perm):
     """π-image of a protocol action.  LD/ST permute through the group
-    element itself; every internal action of the protocols under test
-    (handwritten MSI/MESI and the DSL MSI) carries ``(proc, block)``
-    args."""
+    element itself; internal actions of the protocols under test carry
+    either ``(proc,)`` args (Lazy Caching's ``memory-write`` /
+    ``cache-update``) or ``(proc, block)`` args (everything else)."""
     if isinstance(action, Operation):
         return perm.op(action)
-    assert isinstance(action, InternalAction) and len(action.args) == 2
+    assert isinstance(action, InternalAction)
+    if len(action.args) == 1:
+        (P,) = action.args
+        return InternalAction(action.name, (perm.proc[P - 1],))
+    assert len(action.args) == 2
     P, B = action.args
     return InternalAction(action.name, (perm.proc[P - 1], perm.block[B - 1]))
 
@@ -346,19 +352,36 @@ def _assert_keys_invariant_along_walk(system, perm, rng, steps=25):
 
 
 REDUCTION_FUZZ_SYSTEMS = [
-    pytest.param(lambda: MSIProtocol(p=2, b=2, v=2), "fast", id="msi-fast"),
-    pytest.param(lambda: MSIProtocol(p=2, b=2, v=2), "full", id="msi-full"),
-    pytest.param(lambda: MESIProtocol(p=2, b=1, v=2), "fast", id="mesi-fast"),
-    pytest.param(lambda: MESIProtocol(p=3, b=1, v=1), "full", id="mesi3-full"),
-    pytest.param(lambda: msi_spec(p=2, b=2, v=2), "fast", id="dsl-msi-fast"),
-    pytest.param(lambda: msi_spec(p=2, b=1, v=2), "full", id="dsl-msi-full"),
+    pytest.param(lambda: MSIProtocol(p=2, b=2, v=2), None, "fast", id="msi-fast"),
+    pytest.param(lambda: MSIProtocol(p=2, b=2, v=2), None, "full", id="msi-full"),
+    pytest.param(lambda: MESIProtocol(p=2, b=1, v=2), None, "fast", id="mesi-fast"),
+    pytest.param(lambda: MESIProtocol(p=3, b=1, v=1), None, "full", id="mesi3-full"),
+    pytest.param(lambda: msi_spec(p=2, b=2, v=2), None, "fast", id="dsl-msi-fast"),
+    pytest.param(lambda: msi_spec(p=2, b=1, v=2), None, "full", id="dsl-msi-full"),
+    # Lazy Caching exercises the structured-content declarations
+    # (ArrayContent caches, QueueContent out/in-queues) and the
+    # WriteOrderSTOrder permuted walk in one system
+    pytest.param(
+        lambda: LazyCachingProtocol(p=2, b=2, v=2),
+        lazy_caching_st_order,
+        "fast",
+        id="lazy-fast",
+    ),
+    pytest.param(
+        lambda: LazyCachingProtocol(p=2, b=1, v=2),
+        lazy_caching_st_order,
+        "full",
+        id="lazy-full",
+    ),
 ]
 
 
-@pytest.mark.parametrize("make_proto,mode", REDUCTION_FUZZ_SYSTEMS)
+@pytest.mark.parametrize("make_proto,make_gen,mode", REDUCTION_FUZZ_SYSTEMS)
 @pytest.mark.parametrize("seed", [0, 13, 77])
-def test_composed_key_invariant_under_symmetry_group(make_proto, mode, seed):
-    system = ComposedSystem(make_proto(), mode=mode, reduce="full")
+def test_composed_key_invariant_under_symmetry_group(make_proto, make_gen, mode, seed):
+    system = ComposedSystem(
+        make_proto(), make_gen() if make_gen else None, mode=mode, reduce="full"
+    )
     rng = random.Random(seed)
     for perm in system.reduction.perms:
         if perm.is_identity:
@@ -392,6 +415,110 @@ def test_reduced_verdict_and_quotient_match_unreduced_msi():
     assert base.sequentially_consistent and red.sequentially_consistent
     assert red.complete and base.complete
     assert red.stats.states * 2 <= base.stats.states
+
+
+def test_reduced_verdict_and_quotient_match_unreduced_lazy():
+    """The structured-content spec (nested caches, payload queues)
+    carries Lazy Caching — non-trivial ST order and all — through
+    reduce=full with the identical verdict on a smaller quotient."""
+    from repro.core.verify import verify_protocol
+
+    base = verify_protocol(
+        LazyCachingProtocol(p=2, b=1, v=2), lazy_caching_st_order(), mode="fast"
+    )
+    red = verify_protocol(
+        LazyCachingProtocol(p=2, b=1, v=2),
+        lazy_caching_st_order(),
+        mode="fast",
+        reduce="full",
+    )
+    assert base.sequentially_consistent and red.sequentially_consistent
+    assert red.complete and base.complete
+    assert red.stats.states * 2 <= base.stats.states
+
+
+def test_structured_content_declarations_are_validated():
+    from repro.engine.reduction import (
+        ArrayContent,
+        FieldSym,
+        QueueContent,
+        ReductionError,
+        SymmetrySpec,
+        build_reduction,
+    )
+
+    class BadArraySort(LazyCachingProtocol):
+        def symmetry_spec(self):
+            spec = super().symmetry_spec()
+            fields = list(spec.state_fields)
+            fields[1] = (FieldSym(
+                axes=("proc",), content=ArrayContent(axes=("block",), sort="bogus")
+            ),)
+            return SymmetrySpec(tuple(fields), spec.location_axes)
+
+    with pytest.raises(ReductionError, match="unknown content sort"):
+        build_reduction(BadArraySort(p=2, b=1, v=1), "proc")
+
+    class BadQueueSort(LazyCachingProtocol):
+        def symmetry_spec(self):
+            spec = super().symmetry_spec()
+            fields = list(spec.state_fields)
+            fields[2] = (FieldSym(
+                axes=("proc",), content=QueueContent(sorts=("block", "bogus"))
+            ),)
+            return SymmetrySpec(tuple(fields), spec.location_axes)
+
+    with pytest.raises(ReductionError, match="unknown content sort"):
+        build_reduction(BadQueueSort(p=2, b=1, v=1), "proc")
+
+
+def test_queue_item_arity_mismatch_is_rejected():
+    """A QueueContent whose declared arity disagrees with the protocol's
+    actual queue items must fail loudly during canonicalization, not
+    silently truncate payload maps."""
+    from repro.engine.reduction import (
+        FieldSym,
+        QueueContent,
+        ReductionError,
+        SymmetrySpec,
+        build_reduction,
+    )
+
+    class WrongArity(LazyCachingProtocol):
+        def symmetry_spec(self):
+            spec = super().symmetry_spec()
+            fields = list(spec.state_fields)
+            # out-queue items are (block, value) pairs, declared as triples
+            fields[2] = (FieldSym(
+                axes=("proc",), content=QueueContent(sorts=("block", "value", None))
+            ),)
+            return SymmetrySpec(tuple(fields), spec.location_axes)
+
+    proto = WrongArity(p=2, b=1, v=1)
+    red = build_reduction(proto, "proc")
+    state = (
+        (0,),           # mem
+        ((0,), (0,)),   # caches
+        (((1, 1),), ()),  # outq of proc 1 holds one (block, value) pair
+        ((), ()),       # inqs
+    )
+    swap = next(p for p in red.perms if not p.is_identity)
+    with pytest.raises(ReductionError, match="components"):
+        red.permute_pstate(state, swap)
+
+
+def test_negative_sentinels_are_content_map_fixed_points():
+    """INVALID (-1) cache slots must survive value permutation unmapped
+    — a content map that rewrote them would alias an invalid slot to a
+    real value's slot and merge distinct states."""
+    from repro.engine.reduction import build_reduction
+
+    proto = LazyCachingProtocol(p=2, b=1, v=2, valid_initial_caches=False)
+    red = build_reduction(proto, "full")
+    init = proto.initial_state()
+    assert init[1] == ((-1,), (-1,))
+    for perm in red.perms:
+        assert red.permute_pstate(init, perm)[1] == ((-1,), (-1,))
 
 
 def test_checkpoint_resume_rejects_mismatched_reduce_level(tmp_path):
