@@ -60,6 +60,34 @@ REDUCTION_WORKLOADS = [
     ("mesi_p3b1v1", "MESIProtocol(p=3, b=1, v=1)", "full"),
 ]
 
+#: (name, constructor source, generator source or None, expected
+#: fingerprint verdict) — partial-order reduction on the acceptance
+#: workloads.  MESI p3b1v1 is the honest null result: on b=1 snoopy
+#: protocols every state with a readable line has an enabled visible
+#: LD and all internal actions share the block's resource token, so
+#: sound POR is *provably* the identity there (the degeneracy theorem,
+#: asserted bit-exactly below and in tests/test_por_fuzz.py).  The
+#: quotient materialises on lazy caching, whose queue/cache actions
+#: genuinely commute: under its write-order generator, and deepest
+#: under the (deliberately wrong) real-time generator, where every
+#: internal action is invisible and the expected rejection also
+#: exercises counterexample replay inside the reduced graph.
+POR_WORKLOADS = [
+    ("mesi_p3b1v1", "MESIProtocol(p=3, b=1, v=1)", None, "verified"),
+    (
+        "lazy_p2b1v2",
+        "LazyCachingProtocol(p=2, b=1, v=2)",
+        "lazy_caching_st_order()",
+        "verified",
+    ),
+    (
+        "lazy_p2b1v2_realtime",
+        "LazyCachingProtocol(p=2, b=1, v=2)",
+        None,
+        "violation",
+    ),
+]
+
 _TIMER_SNIPPET = """
 import json, sys, time
 from repro.core.verify import verify_protocol
@@ -179,6 +207,51 @@ def time_reduction_inprocess() -> dict:
     return out
 
 
+def time_por_inprocess() -> dict:
+    # fingerprint (not verify_protocol): the violating workload needs
+    # an *exhaustive* search for a deterministic state count, and the
+    # fingerprint replays any counterexample through a fresh
+    # observer + checker — the CROSS_POR_FIELDS contract measured, not
+    # assumed
+    from repro.difftest import fingerprint
+    from repro.memory import MESIProtocol  # noqa: F401
+    from repro.memory.lazy_caching import (  # noqa: F401
+        LazyCachingProtocol,
+        lazy_caching_st_order,
+    )
+
+    out = {}
+    for name, src, gen_src, expect in POR_WORKLOADS:
+        entry = {}
+        fps = {}
+        for por in ("off", "on"):
+            proto = eval(src)
+            gen = eval(gen_src) if gen_src else None
+            t0 = time.perf_counter()
+            fp = fingerprint(proto, gen, mode="fast", por=por)
+            entry[por] = {
+                "seconds": round(time.perf_counter() - t0, 6),
+                "states": fp.states,
+            }
+            fps[por] = fp
+            assert fp.verdict == expect, (name, por, fp.verdict)
+        if expect == "violation":
+            assert fps["off"].cx_replays and fps["on"].cx_replays, name
+        gain = entry["off"]["states"] / entry["on"]["states"]
+        entry["state_gain"] = round(gain, 3)
+        entry["speedup"] = round(
+            entry["off"]["seconds"] / entry["on"]["seconds"], 3
+        )
+        out[name] = entry
+    # the degeneracy theorem, recorded bit-exactly — and the real
+    # quotient: at least one recorded workload clears 1.5x
+    mesi = out["mesi_p3b1v1"]
+    assert mesi["off"]["states"] == mesi["on"]["states"], mesi
+    best = max(e["state_gain"] for e in out.values())
+    assert best >= 1.5, out
+    return out
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
@@ -198,6 +271,7 @@ def main(argv=None) -> int:
     current = time_workloads_inprocess(args.rounds)
     parallel = time_parallel_inprocess(args.rounds)
     reduction = time_reduction_inprocess()
+    por = time_por_inprocess()
 
     previous = {}
     if args.output.exists():
@@ -214,6 +288,7 @@ def main(argv=None) -> int:
         current=current,
         parallel=parallel,
         reduction=reduction,
+        por=por,
         baseline=baseline,
         baseline_note=baseline_note,
         rounds=args.rounds,
@@ -238,6 +313,13 @@ def main(argv=None) -> int:
             f"{entry[level]['states']} states ({entry['state_gain']:.2f}x "
             f"fewer), {entry['off']['seconds']:.1f}s -> "
             f"{entry[level]['seconds']:.1f}s"
+        )
+    for name, entry in por.items():
+        print(
+            f"{name:20s} por=on: {entry['off']['states']} -> "
+            f"{entry['on']['states']} states ({entry['state_gain']:.2f}x "
+            f"fewer), {entry['off']['seconds']:.1f}s -> "
+            f"{entry['on']['seconds']:.1f}s"
         )
     print(f"wrote {args.output}")
     return 0

@@ -36,6 +36,7 @@ from typing import Callable, Dict, Optional, Tuple
 from .core.bounds import bounds_for
 from .core.storder import STOrderGenerator
 from .core.verify import verify_protocol
+from .engine.por import POR_LEVELS
 from .engine.reduction import REDUCE_LEVELS
 from .engine.strategy import STRATEGIES
 from .litmus import (
@@ -155,6 +156,7 @@ def cmd_verify(args) -> int:
 
 
 def _cmd_verify(args, telemetry=None) -> int:
+    from .engine.por import PorError
     from .engine.reduction import ReductionError
     from .faults.infra import ChaosError, parse_chaos
     from .harness import Budget, CheckpointError, degrade, run_verification
@@ -195,6 +197,7 @@ def _cmd_verify(args, telemetry=None) -> int:
                 reduce=args.reduce,
                 model=args.model,
                 preemptions=args.preemptions,
+                por=args.por,
                 worker_retries=args.worker_retries,
                 on_worker_failure=args.on_worker_failure,
                 round_timeout_s=args.round_timeout_s,
@@ -248,13 +251,14 @@ def _cmd_verify(args, telemetry=None) -> int:
                     reduce=args.reduce,
                     model=args.model,
                     preemptions=args.preemptions,
+                    por=args.por,
                     worker_retries=args.worker_retries,
                     on_worker_failure=args.on_worker_failure,
                     round_timeout_s=args.round_timeout_s,
                     chaos=chaos,
                     telemetry=telemetry,
                 )
-    except (CheckpointError, ReductionError, ModelError) as exc:
+    except (CheckpointError, PorError, ReductionError, ModelError) as exc:
         print(f"error: {exc}")
         return 2
     dt = time.perf_counter() - t0
@@ -447,6 +451,7 @@ def cmd_fault_matrix(args) -> int:
             include_baseline=not args.no_baseline,
             workers=args.workers,
             reduce=args.reduce,
+            por=args.por,
             telemetry=telemetry,
         )
     finally:
@@ -510,6 +515,7 @@ def cmd_metrics(args) -> int:
             summary.states,
             workers=summary.workers or 1,
             reduce=summary.reduce or "off",
+            por=summary.por or "off",
         )
         append_run_entry(args.record, entry)
         print(f"\nrecorded run entry for {workload!r} in {args.record}")
@@ -581,17 +587,20 @@ def build_parser() -> argparse.ArgumentParser:
             "  2  usage or input error: bad arguments, an unreadable or\n"
             "     incompatible checkpoint (wrong version, corrupt beyond the\n"
             "     .bak fallback, sequential checkpoint resumed with\n"
-            "     --workers > 1, mismatched --reduce level, mismatched --model\n"
-            "     or --preemptions), a --reduce level the protocol declares no\n"
-            "     symmetry for, an unsupported model combination (--model\n"
-            "     causal with --mode full or --reduce, --preemptions with\n"
-            "     --model causal), or a malformed --chaos spec\n"
+            "     --workers > 1, mismatched --reduce level, mismatched --model,\n"
+            "     --preemptions or --por), a --reduce level the protocol\n"
+            "     declares no symmetry for, an unsupported model combination\n"
+            "     (--model causal with --mode full, --reduce or --por,\n"
+            "     --preemptions with --model causal), or a malformed --chaos\n"
+            "     spec\n"
             "\n"
-            "resume semantics: --reduce, --model and --preemptions are search\n"
-            "state (baked into the checkpoint's interned keys and run set;\n"
-            "with --resume they are inherited and an explicit mismatch exits\n"
-            "2), while --workers and the supervision knobs are run policy\n"
-            "(explicit values override whatever the checkpoint carried).\n"
+            "resume semantics: --reduce, --model, --preemptions and --por are\n"
+            "search state (baked into the checkpoint's interned keys, run set\n"
+            "and ample-set pruning; with --resume they are inherited and an\n"
+            "explicit mismatch exits 2 — checkpoints written before the POR\n"
+            "layer resume as --por off), while --workers and the supervision\n"
+            "knobs are run policy (explicit values override whatever the\n"
+            "checkpoint carried).\n"
             "\n"
             "SIGTERM/SIGINT during the search stop it cooperatively: the final\n"
             "checkpoint (with --checkpoint) is written and the run exits 0\n"
@@ -665,6 +674,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "policy: with --resume the checkpointed level is "
                         "inherited and an explicit mismatch exits 2; ignored "
                         "by --degrade's fall-back phases")
+    v.add_argument("--por", choices=list(POR_LEVELS), default=None,
+                   help="partial-order reduction: expand only an ample subset "
+                        "of each state's enabled actions where the protocol's "
+                        "declared independence relation proves the deferred "
+                        "ones commute invisibly, shrinking the explored space "
+                        "with identical verdicts and concretely replayable "
+                        "counterexamples (default off; protocols without a "
+                        "POR declaration degrade to full expansion). Search "
+                        "state like --reduce: with --resume the checkpointed "
+                        "level is inherited and an explicit mismatch exits 2")
     v.add_argument("--model", choices=sorted(MODELS), default=None,
                    help="consistency model to check (default sc; see "
                         "docs/MODELS.md). Search state, not run policy: with "
@@ -747,6 +766,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "simply applies to every eligible pair's fresh "
                          "search. Faulted variants run unreduced — faults "
                          "may break index-uniformity)")
+    fm.add_argument("--por", choices=list(POR_LEVELS), default="off",
+                    help="partial-order-reduction level for pairs whose "
+                         "protocol declares a POR spec (as in `verify`; "
+                         "protocols without one run fully expanded)")
     _add_telemetry_args(fm)
     fm.set_defaults(func=cmd_fault_matrix)
 

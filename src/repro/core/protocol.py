@@ -145,6 +145,22 @@ class Protocol(abc.ABC):
         """
         return None
 
+    def por_spec(self):
+        """The protocol's partial-order-reduction declaration
+        (:class:`~repro.engine.por.PorSpec`), or ``None``.
+
+        ``None`` — the default — means the protocol declares no action
+        footprints.  Unlike :meth:`symmetry_spec` this is *not* an
+        error under ``--por on``: the ample-set selector simply never
+        proposes a reduction and every state expands in full (the
+        ``por.fallbacks`` gauge records the degradation).  A protocol
+        opting in declares its action schemas and their static
+        read/write footprints over abstract resources; the POR layer
+        derives the dependence relation and the stubborn-set closure
+        from the declaration alone.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # run utilities (used by tests, the per-trace checker and benches)
     # ------------------------------------------------------------------

@@ -113,6 +113,15 @@ class STOrderGenerator(abc.ABC):
         whose keys carry no sort content."""
         return self.state_key(rename)
 
+    def may_emit_on_internal(self, action: InternalAction) -> bool:
+        """Could :meth:`on_internal` ever emit events for ``action``
+        (in *some* generator state)?  A static property of the action,
+        not of the current FIFO contents — partial-order reduction
+        uses it to classify internal actions as witness-visible.  The
+        base default ``True`` is the conservative direction (visible
+        actions are never deferred)."""
+        return True
+
     @property
     def is_drained(self) -> bool:
         """No ST is awaiting serialisation (part of quiescence)."""
@@ -128,6 +137,9 @@ class RealTimeSTOrder(STOrderGenerator):
 
     def on_internal(self, action: InternalAction) -> List[Serialized]:
         return []
+
+    def may_emit_on_internal(self, action: InternalAction) -> bool:
+        return False
 
     def live_handles(self) -> Set[Handle]:
         return set()
@@ -205,6 +217,12 @@ class WriteOrderSTOrder(STOrderGenerator):
             )
         handle, block = fifo.popleft()
         return [Serialized(handle, block)]
+
+    def may_emit_on_internal(self, action: InternalAction) -> bool:
+        # serialize_proc is a pure function of the action (the
+        # ActionKeyedSerializer contract), so probing it on a template
+        # generator is side-effect free
+        return self._serialize_proc(action) is not None
 
     def live_handles(self) -> Set[Handle]:
         return {h for fifo in self._fifo.values() for (h, _) in fifo}

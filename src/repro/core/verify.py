@@ -135,6 +135,7 @@ def verify_protocol(
     reduce: str = "off",
     model: str = "sc",
     preemptions: Optional[int] = None,
+    por: str = "off",
     telemetry=None,
 ) -> VerificationResult:
     """Model-check sequential consistency of ``protocol``.
@@ -179,6 +180,18 @@ def verify_protocol(
     violations are real but whose clean verdict is only
     ``bounded(...)`` confidence, never a proof.
 
+    ``por`` (``"off"``/``"on"``) turns on partial-order reduction
+    (see :mod:`repro.engine.por`): states where a provably-commuting,
+    witness-invisible *ample* subset of the enabled actions exists are
+    expanded through that subset only, deferring the independent rest.
+    The verdict, counterexample replays and the canonically reported
+    violation are unchanged; explored-state counts shrink (or stay
+    identical for protocols/configurations with no commuting pairs —
+    including any protocol that declares no
+    :meth:`~repro.core.protocol.Protocol.por_spec`, for which POR
+    degrades to the exact unreduced search).  SC only for now
+    (:class:`~repro.models.ModelError` otherwise).
+
     ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records
     run traces, metrics and live progress for this verification; the
     verdict is unaffected (see ``docs/OBSERVABILITY.md``).
@@ -187,7 +200,7 @@ def verify_protocol(
         extra = {} if preemptions is None else {"preemptions": preemptions}
         telemetry.start_run(
             protocol=protocol.describe(), mode=mode, workers=workers,
-            reduce=reduce, model=model, **extra,
+            reduce=reduce, model=model, por=por, **extra,
         )
     res: ProductResult = explore_product(
         protocol,
@@ -200,6 +213,7 @@ def verify_protocol(
         reduce=reduce,
         model=model,
         preemptions=preemptions,
+        por=por,
         telemetry=telemetry,
     )
     result = result_from_product(protocol, res, model=model)

@@ -42,6 +42,17 @@ reduction) and the violation-key sets are incomparable (violating
 states keep their concrete identity keys, and the quotient search
 reaches one representative per orbit rather than every member).
 
+Partial-order reduction (``--por``; :mod:`repro.engine.por`) adds its
+own axis with a *weaker* cross-level contract than symmetry reduction:
+an ample-set search explores a subset of the full state graph chosen
+against the interning order (the C3 proviso asks "is this successor
+already interned?"), so even two ``--por on`` runs with different
+frontier strategies or worker counts may legitimately explore
+different state counts.  What carries across POR configurations is
+:data:`CROSS_POR_FIELDS` — the verdict and counterexample replay
+validity; fixing (strategy, workers, seed) restores bit-exact
+reproducibility, which same-config comparisons still enforce in full.
+
 The consistency-model layer (:mod:`repro.models`) adds a third axis.
 Fingerprints of *different models* are never field-compared — a causal
 search legitimately reaches a different verdict through a different
@@ -90,6 +101,7 @@ DETERMINISTIC_GAUGES = (
 
 __all__ = [
     "DETERMINISTIC_GAUGES",
+    "CROSS_POR_FIELDS",
     "CROSS_REDUCE_FIELDS",
     "SearchFingerprint",
     "fingerprint",
@@ -143,6 +155,10 @@ class SearchFingerprint:
     #: = unbounded; provenance, related to the unbounded run by
     #: :func:`assert_preemption_refinement`)
     preemptions: Optional[int] = None
+    #: partial-order-reduction level the search ran under (provenance;
+    #: like ``reduce`` it changes which fields another configuration
+    #: must reproduce — see :data:`CROSS_POR_FIELDS`)
+    por: str = "off"
     #: the :data:`DETERMINISTIC_GAUGES` subset of the run's telemetry
     #: snapshot, as sorted (name, value) pairs — proves the metrics
     #: pipeline reports the same search the engines agree on
@@ -154,7 +170,7 @@ class SearchFingerprint:
         return (
             f"{self.protocol} [model={self.model}{bound} mode={self.mode} "
             f"strategy={self.strategy} "
-            f"workers={self.workers} reduce={self.reduce} "
+            f"workers={self.workers} reduce={self.reduce} por={self.por} "
             f"{'exhaustive' if self.exhaustive else 'stop-on-first'}]"
         )
 
@@ -205,6 +221,7 @@ def fingerprint(
     reduce: str = "off",
     model: str = "sc",
     preemptions: Optional[int] = None,
+    por: str = "off",
     exhaustive: bool = True,
     max_states: Optional[int] = None,
     max_depth: Optional[int] = None,
@@ -241,6 +258,7 @@ def fingerprint(
         reduce=reduce,
         model=model,
         preemptions=preemptions,
+        por=por,
         stop_on_violation=not exhaustive,
         max_states=max_states,
         max_depth=max_depth,
@@ -288,6 +306,7 @@ def fingerprint(
         reduce=reduce,
         model=model,
         preemptions=preemptions,
+        por=por,
         exhaustive=exhaustive,
         verdict=_verdict_of(result),
         states=result.stats.states,
@@ -320,6 +339,18 @@ CROSS_REDUCE_FIELDS = frozenset(
     {"verdict", "cx_replays", "canonical_violation"}
 )
 
+#: the cross-POR contract: what two runs at different POR levels — or
+#: two ``--por on`` runs under different frontier strategies / worker
+#: counts — promise each other.  Strictly weaker than
+#: :data:`CROSS_REDUCE_FIELDS`: counts are out (the ample search is
+#: smaller by design), and so is the canonical violation — ample sets
+#: defer *invisible* actions, so the reduced search may first reject
+#: in a state whose protocol component differs from any the full
+#: search flags (same observer evidence, different concrete key).
+#: What survives any sound POR configuration is the verdict and the
+#: replay validity of whatever counterexample it produced.
+CROSS_POR_FIELDS = frozenset({"verdict", "cx_replays"})
+
 
 def compare_fingerprints(
     base: SearchFingerprint, other: SearchFingerprint
@@ -333,7 +364,11 @@ def compare_fingerprints(
     further restricted to :data:`CROSS_REDUCE_FIELDS`: a quotient
     search must reach the same verdict through the same canonical
     violation, while exploring *fewer* states — so its counts are
-    required to differ, not to agree.
+    required to differ, not to agree.  Fingerprints taken at different
+    POR levels — or both at ``--por on`` but under different frontier
+    strategies or worker counts, where the C3 proviso's dependence on
+    interning order makes the explored subset configuration-specific —
+    are restricted to :data:`CROSS_POR_FIELDS`.
     """
     if base.model != other.model or base.preemptions != other.preemptions:
         raise ValueError(
@@ -347,6 +382,11 @@ def compare_fingerprints(
     names = set(a) & set(b)
     if base.reduce != other.reduce:
         names &= CROSS_REDUCE_FIELDS
+    if base.por != other.por or (
+        base.por != "off"
+        and (base.strategy, base.workers) != (other.strategy, other.workers)
+    ):
+        names &= CROSS_POR_FIELDS
     return [(name, a[name], b[name]) for name in sorted(names) if a[name] != b[name]]
 
 

@@ -51,6 +51,14 @@ from .parallel import (
     ShardPayload,
     WorkerFailure,
 )
+from .por import (
+    POR_LEVELS,
+    AmpleSelector,
+    Footprint,
+    PorError,
+    PorSpec,
+    build_por,
+)
 from .sharding import reroute_records, shard_of, stable_hash
 from ..obs.stats import ExplorationStats, merge_shard_stats
 from .strategy import (
@@ -64,6 +72,7 @@ from .strategy import (
 )
 
 __all__ = [
+    "AmpleSelector",
     "BFSFrontier",
     "CheckerComponent",
     "Component",
@@ -71,9 +80,13 @@ __all__ = [
     "DFSFrontier",
     "ExplorationStats",
     "FAILURE_POLICIES",
+    "Footprint",
     "Frontier",
     "ObserverComponent",
+    "POR_LEVELS",
     "ParallelSearchEngine",
+    "PorError",
+    "PorSpec",
     "ProtocolComponent",
     "ProtocolSystem",
     "RandomWalkFrontier",
@@ -86,6 +99,7 @@ __all__ = [
     "Step",
     "System",
     "WorkerFailure",
+    "build_por",
     "make_frontier",
     "merge_shard_stats",
     "reroute_records",

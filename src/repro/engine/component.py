@@ -252,6 +252,20 @@ class System(abc.ABC):
         fails is a violation)."""
         return None
 
+    #: the system's ``--por`` level; engines consult it before paying
+    #: for ample-set selection
+    por = "off"
+    #: the ample-set selector (engines read its counters); ``None``
+    #: when POR is off
+    por_selector = None
+
+    def ample_candidates(self, state, steps) -> Optional[list]:
+        """A candidate ample subset of ``steps`` (already
+        materialised) at ``state``, or ``None`` to expand in full.
+        The engine still owes the C3 proviso (:func:`repro.engine.por.proviso`)
+        before committing to the subset."""
+        return None
+
     def record(self, stats, state) -> None:
         """Fold per-transition measurements into ``stats`` (called for
         every generated successor, revisits included)."""
@@ -322,8 +336,10 @@ class ComposedSystem(System):
         reduce: str = "off",
         model="sc",
         preemptions: Optional[int] = None,
+        por: str = "off",
     ):
         from ..models import ModelError, get_model
+        from .por import build_por
         from .reduction import build_reduction
 
         if mode not in ("full", "fast"):
@@ -342,6 +358,16 @@ class ComposedSystem(System):
                 f"(its observer implements no permuted snapshot)"
             )
         self.reduction = build_reduction(protocol, reduce)
+        self.por = por
+        if por != "off" and not self.model.supports_por:
+            raise ModelError(
+                f"model {self.model.name!r} does not support --por "
+                f"(its observer visibility set is not derived)"
+            )
+        # POR looks up the spec on the *wrapped* protocol: a wrapper
+        # (bounded preemption, fault injection) voids any declared
+        # footprints, so wrapped searches degrade to full expansion
+        self.por_selector = build_por(protocol, por, st_order)
         if self.reduction is not None and not canonical_ids:
             raise ValueError(
                 "--reduce requires canonical descriptor IDs (the orbit "
@@ -370,7 +396,16 @@ class ComposedSystem(System):
         state.setdefault("reduce", "off")
         state.setdefault("reduction", None)
         state.setdefault("model", None)
+        # pre-POR checkpoints load as --por off
+        state.setdefault("por", "off")
+        state.setdefault("por_selector", None)
         self.__dict__.update(state)
+
+    def ample_candidates(self, state, steps) -> Optional[list]:
+        sel = self.por_selector
+        if sel is None:
+            return None
+        return sel.select(state[0], steps)
 
     # ------------------------------------------------------------------
     def initial(self):

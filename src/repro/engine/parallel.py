@@ -73,6 +73,7 @@ from queue import Empty
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..obs.metrics import MetricsRegistry, MetricsSnapshot
+from . import por as _por
 from .component import System
 from .intern import NO_PARENT, ShardStore
 from .sharding import reroute_records, shard_of, stable_hash
@@ -271,7 +272,29 @@ class _ShardRuntime:
                 p.cap_truncated = True
                 continue
             expanded += 1
-            for step in system.steps(state):
+            steps = system.steps(state)
+            if getattr(system, "por", "off") != "off":
+                # sharded ample expansion: the proviso strengthens to
+                # local-and-new (every ample successor hashes to this
+                # shard and is new in its store), confining any
+                # would-be ample-only cycle to one shard — see
+                # repro.engine.por.proviso_sharded.  Late-bound module
+                # call so the mutation suite's patch applies here too
+                steps = list(steps)
+                ample = system.ample_candidates(state, steps)
+                counters = getattr(
+                    getattr(system, "por_selector", None), "counters", None
+                )
+                if ample is not None and _por.proviso_sharded(
+                    ample, p.store, self.nshards, p.index
+                ):
+                    if counters is not None:
+                        counters.ample_hits += 1
+                        counters.deferred += len(steps) - len(ample)
+                    steps = ample
+                elif counters is not None:
+                    counters.fallbacks += 1
+            for step in steps:
                 stats.transitions += 1
                 system.record(stats, step.state)
                 dest = shard_of(step.key, self.nshards)

@@ -10,20 +10,22 @@ this module path) load unchanged.
 .. deprecated::
    No first-party code imports this path any more — everything is on
    :mod:`repro.obs.stats`.  The shim exists *only* so old pickles
-   (checkpoints, saved shard payloads) resolve; new code must import
-   from ``repro.obs.stats``.  Do not add exports here.
+   (checkpoints, saved shard payloads) resolve, and pickles reference
+   classes, never functions — so only ``ExplorationStats`` is
+   re-exported.  New code must import from ``repro.obs.stats``.  Do
+   not add exports here.
 """
 
 import warnings
 
-from ..obs.stats import ExplorationStats, merge_shard_stats
+from ..obs.stats import ExplorationStats
 
-__all__ = ["ExplorationStats", "merge_shard_stats"]
+__all__ = ["ExplorationStats"]
 
 warnings.warn(
-    "repro.engine.stats is deprecated; import ExplorationStats and "
-    "merge_shard_stats from repro.obs.stats (this shim exists only so "
-    "v3 checkpoints unpickle)",
+    "repro.engine.stats is deprecated; import ExplorationStats from "
+    "repro.obs.stats (this shim exists only so v3 checkpoints "
+    "unpickle)",
     DeprecationWarning,
     stacklevel=2,
 )

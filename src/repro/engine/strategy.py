@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
+from . import por as _por
 from .component import System
 from .intern import StateStore
 from ..obs.stats import ExplorationStats
@@ -297,6 +298,8 @@ class SearchEngine:
         succs = self._succs
         strict_cap = self._strict_cap
         on_state = self._on_state
+        por_on = getattr(system, "por", "off") != "off"
+        por_counters = getattr(getattr(system, "por_selector", None), "counters", None)
 
         while frontier:
             if self._cap_truncated and max_states is not None and stats.states >= max_states:
@@ -315,7 +318,30 @@ class SearchEngine:
                 self._cap_truncated = True
                 continue
             kids = succs.setdefault(sid, []) if succs is not None else None
-            for step in system.steps(state):
+            if por_on:
+                # ample-set expansion: only the deferred-free subset is
+                # taken when the selector finds one AND the depth
+                # proviso (C3) holds — every ample successor new or
+                # first discovered at exactly depth+1, so ample-only
+                # edges strictly increase discovery depth and can never
+                # close a cycle; everything the search records
+                # (transitions, kids, stats) counts only the steps
+                # actually taken, so the reduced graph is the graph
+                # explored
+                expand = list(system.steps(state))
+                ample = system.ample_candidates(state, expand)
+                # module-attribute call: the POR mutation suite patches
+                # repro.engine.por.proviso, so the lookup stays late-bound
+                if ample is not None and _por.proviso(ample, store, depth):
+                    if por_counters is not None:
+                        por_counters.ample_hits += 1
+                        por_counters.deferred += len(expand) - len(ample)
+                    expand = ample
+                elif por_counters is not None:
+                    por_counters.fallbacks += 1
+            else:
+                expand = system.steps(state)
+            for step in expand:
                 stats.transitions += 1
                 system.record(stats, step.state)
                 cid, new = store.intern(step.key)

@@ -143,6 +143,7 @@ def fault_matrix(
     faults_for: Optional[Callable[..., List[FaultSpec]]] = None,
     workers: int = 1,
     reduce: str = "off",
+    por: str = "off",
     telemetry=None,
 ) -> MatrixReport:
     """Verify every (protocol × fault) pair.
@@ -161,6 +162,10 @@ def fault_matrix(
     declares no symmetry spec and such pairs silently run unreduced
     (``reduce`` then only accelerates the baselines) — the matrix
     verdict never depends on the reduction level.
+    ``por`` requests partial-order reduction the same way: a
+    :class:`~repro.faults.wrapper.FaultyProtocol` declares no POR spec
+    (a fault can break a declared footprint), so faulted pairs run
+    fully expanded and ``por`` only accelerates the baselines.
     ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records a
     ``fault_activated`` trace event per pair plus each pair's full run
     trace.
@@ -199,6 +204,11 @@ def fault_matrix(
                 if reduce != "off" and fproto.symmetry_spec() is not None
                 else "off"
             )
+            pair_por = (
+                por
+                if por != "off" and fproto.por_spec() is not None
+                else "off"
+            )
             res = verify_protocol(
                 fproto,
                 fgen,
@@ -208,6 +218,7 @@ def fault_matrix(
                 should_stop=should_stop,
                 workers=workers,
                 reduce=pair_reduce,
+                por=pair_por,
                 telemetry=telemetry,
             )
             report.entries.append(MatrixEntry(

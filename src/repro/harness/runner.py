@@ -110,6 +110,7 @@ def run_verification(
     reduce: Optional[str] = None,
     model: Optional[str] = None,
     preemptions: Optional[int] = None,
+    por: Optional[str] = None,
     worker_retries: Optional[int] = None,
     on_worker_failure: Optional[str] = None,
     round_timeout_s: Optional[float] = None,
@@ -168,6 +169,16 @@ def run_verification(
     model's observer/checker components, so an explicit mismatch on
     resume raises :class:`CheckpointError` (exit code 2).
 
+    ``por`` selects the partial-order-reduction level (``None`` means:
+    ``"off"`` for a fresh search, whatever the checkpoint used for a
+    resumed one).  Like ``reduce`` it is search state, not run policy:
+    the interned store holds exactly the states the selected ample
+    sets explored, so flipping the level mid-search would leave
+    deferred successors permanently unexplored (or re-expand pruned
+    ones inconsistently).  An explicit mismatching ``por`` on resume
+    raises :class:`CheckpointError` (exit code 2); checkpoints written
+    before the POR layer resume as ``--por off``.
+
     ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records
     run traces, metrics and live progress — including a
     ``checkpoint_saved`` event when truncation writes one, and a
@@ -207,6 +218,20 @@ def run_verification(
                 f"re-keyed, so it cannot be resumed with --model "
                 f"{model}. Resume with --model {cp_model} (or omit "
                 f"--model), or restart the verification from scratch. "
+                f"(Exit code 2 — usage error; see `repro verify "
+                f"--help`.)"
+            )
+        # searches pickled before the POR layer carry no flag — they
+        # were, by construction, fully expanded
+        cp_por = getattr(search, "por", "off")
+        if por is not None and por != cp_por:
+            raise CheckpointError(
+                f"checkpoint {resume_from!r} was written with --por "
+                f"{cp_por}; its interned store holds exactly the states "
+                f"that level's ample sets explored, so changing the "
+                f"level mid-search would corrupt the deferred-successor "
+                f"bookkeeping. Resume with --por {cp_por} (or omit "
+                f"--por), or restart the verification from scratch. "
                 f"(Exit code 2 — usage error; see `repro verify "
                 f"--help`.)"
             )
@@ -261,6 +286,7 @@ def run_verification(
             reduce="off" if reduce is None else reduce,
             model="sc" if model is None else model,
             preemptions=preemptions,
+            por="off" if por is None else por,
             worker_retries=2 if worker_retries is None else worker_retries,
             on_worker_failure=(
                 "reshard" if on_worker_failure is None else on_worker_failure
@@ -281,6 +307,7 @@ def run_verification(
             workers=search.workers,
             reduce=getattr(search, "reduce", "off"),
             model=getattr(search, "model_name", "sc"),
+            por=getattr(search, "por", "off"),
             resumed=resume_from is not None,
             **extra,
         )

@@ -18,7 +18,14 @@ from typing import Dict, Tuple
 from ..core.operations import Load, Store
 from ..core.protocol import Protocol, Tracking, Transition
 
-__all__ = ["LocationMap", "MemoryProtocol", "mem_cache_symmetry_spec", "replace_at"]
+__all__ = [
+    "LocationMap",
+    "MemCachePorSpec",
+    "MemoryProtocol",
+    "mem_cache_por_spec",
+    "mem_cache_symmetry_spec",
+    "replace_at",
+]
 
 
 def mem_cache_symmetry_spec():
@@ -47,6 +54,80 @@ def mem_cache_symmetry_spec():
         ),
         location_axes=(("block",), ("proc", "block")),
     )
+
+
+class MemCachePorSpec:
+    """The :class:`~repro.engine.por.PorSpec` shared by the snoopy
+    protocols with the standard ``(mem, cstate, cval)`` layout and
+    atomic per-block bus transactions.
+
+    One resource token ``("blk", B)`` per block: every action of block
+    ``B`` — LD, ST, and the bus transactions — is enabled as a
+    function of block ``B``'s state alone and touches only block
+    ``B``'s memory/cache entries (AcquireS may write back a modified
+    owner, AcquireM may invalidate every other copy — still within
+    the block).  So same-block actions are all mutually dependent
+    (except LD/LD, which only read) and different-block actions are
+    all independent; the ample sets this yields defer whole *other
+    blocks* at a time, which is why single-block instances see no
+    reduction at all (the b=1 identity the POR fuzz suite pins down).
+
+    Sound for the seeded buggy variants too: their flag-dropped
+    actions stay within the same footprints (superset declarations
+    are always sound).
+    """
+
+    #: bus-transaction kinds (internal, invisible); LD/ST are implied
+    KINDS = ("AcquireS", "AcquireM", "Evict")
+
+    def __init__(self, p: int, b: int):
+        self.p = p
+        self.b = b
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(other) is type(self)
+            and (other.p, other.b) == (self.p, self.b)
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.p, self.b))
+
+    def schemas(self):
+        for P in range(1, self.p + 1):
+            for B in range(1, self.b + 1):
+                yield ("LD", P, B)
+                yield ("ST", P, B)
+                for kind in self.KINDS:
+                    yield (kind, P, B)
+
+    def schema_of(self, action):
+        if isinstance(action, Load):
+            return ("LD", action.proc, action.block)
+        if isinstance(action, Store):
+            return ("ST", action.proc, action.block)
+        if action.name in self.KINDS and len(action.args) == 2:
+            return (action.name,) + tuple(action.args)
+        return None
+
+    def footprint(self, schema):
+        from ..engine.por import Footprint
+
+        blk = frozenset({("blk", schema[2])})
+        if schema[0] == "LD":
+            return Footprint(reads=blk, writes=frozenset())
+        return Footprint(reads=blk, writes=blk)
+
+    def necessary_enablers(self, schema, pstate):
+        return None  # the default (writers of the block token) is exact here
+
+    def memo_key(self, pstate):
+        return None  # closure is a function of the enabled schemas alone
+
+
+def mem_cache_por_spec(protocol: "MemoryProtocol") -> MemCachePorSpec:
+    """The shared POR declaration (see :class:`MemCachePorSpec`)."""
+    return MemCachePorSpec(protocol.p, protocol.b)
 
 
 def replace_at(t: tuple, i: int, value) -> tuple:

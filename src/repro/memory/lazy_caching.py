@@ -45,7 +45,7 @@ from ..core.protocol import FRESH, Tracking, Transition
 from ..core.storder import ActionKeyedSerializer, WriteOrderSTOrder
 from .base import LocationMap, MemoryProtocol, replace_at
 
-__all__ = ["LazyCachingProtocol", "lazy_caching_st_order"]
+__all__ = ["LazyCachingProtocol", "LazyCachingPorSpec", "lazy_caching_st_order"]
 
 # cache entries: value or INVALID (distinct from holding ⊥, which is a
 # *valid* copy of the initial memory contents)
@@ -56,6 +56,140 @@ def lazy_caching_st_order() -> WriteOrderSTOrder:
     """The Section 4.2 ST-order generator for Lazy Caching: a ST
     serialises when its processor's ``memory-write`` fires."""
     return WriteOrderSTOrder(ActionKeyedSerializer("memory-write"))
+
+
+class LazyCachingPorSpec:
+    """:class:`~repro.engine.por.PorSpec` for Lazy Caching.
+
+    Resources are the protocol's storage structures at processor
+    granularity — ``("outq", P)``, ``("inq", P)``, ``("cache", P)``
+    and ``("mem",)``:
+
+    * ``LD(P, B)`` reads outq/inq/cache of ``P`` (its enabledness and
+      its value), writes nothing;
+    * ``ST(P, B)`` reads and writes ``outq P``;
+    * ``memory-write(P)`` reads ``outq P`` plus *every* in-queue (it
+      needs room in all of them), writes memory, ``outq P`` and every
+      in-queue — and is witness-visible, because the ST-order
+      generator serialises on it;
+    * ``cache-update(P)`` reads ``inq P``, writes ``inq P`` and
+      ``cache P`` — invisible, and independent of everything owned by
+      other processors: the protocol's main commuting pair;
+    * ``cache-invalidate(P, B)`` reads and writes ``cache P`` —
+      invisible.
+
+    :meth:`necessary_enablers` supplies the sharpened D2 sets that
+    make the reduction real: a *full* in-queue alone blocks every
+    ``memory-write``, and its only writers are the invisible
+    ``cache-update`` of that processor (and the memory-writes
+    themselves, already disabled) — without this hint the default
+    all-reads set drags every processor's enabled STs into the
+    closure and the ample set never forms.
+    """
+
+    def __init__(self, p: int, b: int, out_depth: int, in_depth: int):
+        self.p = p
+        self.b = b
+        self.out_depth = out_depth
+        self.in_depth = in_depth
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and (
+            (other.p, other.b, other.out_depth, other.in_depth)
+            == (self.p, self.b, self.out_depth, self.in_depth)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (type(self).__name__, self.p, self.b, self.out_depth, self.in_depth)
+        )
+
+    def schemas(self):
+        for P in range(1, self.p + 1):
+            yield ("memory-write", P)
+            yield ("cache-update", P)
+            for B in range(1, self.b + 1):
+                yield ("LD", P, B)
+                yield ("ST", P, B)
+                yield ("cache-invalidate", P, B)
+
+    def schema_of(self, action):
+        from ..core.operations import Load, Store
+
+        if isinstance(action, Load):
+            return ("LD", action.proc, action.block)
+        if isinstance(action, Store):
+            return ("ST", action.proc, action.block)
+        if action.name in ("memory-write", "cache-update") and len(action.args) == 1:
+            return (action.name, action.args[0])
+        if action.name == "cache-invalidate" and len(action.args) == 2:
+            return ("cache-invalidate",) + tuple(action.args)
+        return None
+
+    def footprint(self, schema):
+        from ..engine.por import footprint
+
+        kind, P = schema[0], schema[1]
+        if kind == "LD":
+            return footprint(reads=[("outq", P), ("inq", P), ("cache", P)])
+        if kind == "ST":
+            return footprint(reads=[("outq", P)], writes=[("outq", P)])
+        if kind == "memory-write":
+            inqs = [("inq", Q) for Q in range(1, self.p + 1)]
+            return footprint(
+                reads=[("outq", P)] + inqs,
+                writes=[("mem",), ("outq", P)] + inqs,
+            )
+        if kind == "cache-update":
+            return footprint(
+                reads=[("inq", P)], writes=[("inq", P), ("cache", P)]
+            )
+        # cache-invalidate
+        return footprint(reads=[("cache", P)], writes=[("cache", P)])
+
+    def necessary_enablers(self, schema, pstate):
+        _mem, caches, outqs, inqs = pstate
+        kind, P = schema[0], schema[1]
+        if kind == "memory-write":
+            # each alternative must *alone* provably block in pstate;
+            # full in-queues first — their writers are invisible pops
+            alts = [
+                (("inq", Q),)
+                for Q in range(1, self.p + 1)
+                if len(inqs[Q - 1]) >= self.in_depth
+            ]
+            if not outqs[P - 1]:
+                alts.append((("outq", P),))
+            return tuple(alts) if alts else None
+        if kind == "LD":
+            alts = []
+            if any(st for (_b, _v, st) in inqs[P - 1]):
+                alts.append((("inq", P),))
+            if caches[P - 1][schema[2] - 1] == INVALID:
+                alts.append((("cache", P),))
+            if outqs[P - 1]:
+                alts.append((("outq", P),))
+            return tuple(alts) if alts else None
+        if kind == "ST":
+            return ((("outq", P),),)  # blocked only by a full out-queue
+        if kind == "cache-update":
+            return ((("inq", P),),)  # blocked only by an empty in-queue
+        if kind == "cache-invalidate":
+            return ((("cache", P),),)  # blocked only by an invalid entry
+        return None
+
+    def memo_key(self, pstate):
+        # everything necessary_enablers reads, abstracted: queue
+        # emptiness/fullness, starred flags, cache validity
+        _mem, caches, outqs, inqs = pstate
+        return (
+            tuple(len(q) >= self.out_depth for q in outqs),
+            tuple(
+                (len(q) >= self.in_depth, any(st for (_b, _v, st) in q))
+                for q in inqs
+            ),
+            tuple(tuple(cv != INVALID for cv in c) for c in caches),
+        )
 
 
 class LazyCachingProtocol(MemoryProtocol):
@@ -141,6 +275,12 @@ class LazyCachingProtocol(MemoryProtocol):
                 ("proc", self.in_depth),
             ),
         )
+
+    def por_spec(self):
+        # processor-granular footprints over the queue/cache structures
+        # (see LazyCachingPorSpec); sound for allow_invalidate=False too
+        # — the invalidate schemas are then simply never enabled
+        return LazyCachingPorSpec(self.p, self.b, self.out_depth, self.in_depth)
 
     # ------------------------------------------------------------------
     def initial_state(self) -> Tuple:

@@ -14,7 +14,13 @@ from typing import Dict, Iterable, Tuple
 
 from ..core.operations import BOTTOM, InternalAction
 from ..core.protocol import FRESH, Tracking, Transition
-from .base import LocationMap, MemoryProtocol, mem_cache_symmetry_spec, replace_at
+from .base import (
+    LocationMap,
+    MemoryProtocol,
+    mem_cache_por_spec,
+    mem_cache_symmetry_spec,
+    replace_at,
+)
 
 __all__ = ["MESIProtocol", "I", "S", "E", "M"]
 
@@ -62,6 +68,11 @@ class MESIProtocol(MemoryProtocol):
         # same index-uniform layout as MSI; E is just a fourth sort-free
         # control value
         return mem_cache_symmetry_spec()
+
+    def por_spec(self):
+        # same per-block footprints as MSI (the silent E->M upgrade is
+        # a ST, which the spec already makes same-block dependent)
+        return mem_cache_por_spec(self)
 
     # ------------------------------------------------------------------
     def transitions(self, state: Tuple) -> Iterable[Transition]:

@@ -25,7 +25,13 @@ from typing import Dict, Iterable, Tuple
 
 from ..core.operations import BOTTOM, InternalAction
 from ..core.protocol import FRESH, Tracking, Transition
-from .base import LocationMap, MemoryProtocol, mem_cache_symmetry_spec, replace_at
+from .base import (
+    LocationMap,
+    MemoryProtocol,
+    mem_cache_por_spec,
+    mem_cache_symmetry_spec,
+    replace_at,
+)
 
 __all__ = ["MSIProtocol", "I", "S", "M"]
 
@@ -89,6 +95,12 @@ class MSIProtocol(MemoryProtocol):
         # buggy-variant flags drop actions uniformly too), so all three
         # sorts are full scalarsets
         return mem_cache_symmetry_spec()
+
+    def por_spec(self):
+        # every action of a block is enabled by and confined to that
+        # block's state — one resource per block (buggy variants drop
+        # effects, which only shrinks the declared footprints' truth)
+        return mem_cache_por_spec(self)
 
     # ------------------------------------------------------------------
     def transitions(self, state: Tuple) -> Iterable[Transition]:

@@ -164,6 +164,7 @@ class ProductSearch:
         reduce: str = "off",
         model: str = "sc",
         preemptions: Optional[int] = None,
+        por: str = "off",
         worker_retries: int = 2,
         on_worker_failure: str = "reshard",
         round_timeout_s: Optional[float] = None,
@@ -179,6 +180,7 @@ class ProductSearch:
         self.canonical_ids = canonical_ids
         self.workers = workers
         self.reduce = reduce
+        self.por = por
         self.system = ComposedSystem(
             protocol,
             st_order,
@@ -189,6 +191,7 @@ class ProductSearch:
             reduce=reduce,
             model=model,
             preemptions=preemptions,
+            por=por,
         )
         self.model = self.system.model
         self.model_name = self.model.name
@@ -238,6 +241,8 @@ class ProductSearch:
         state.setdefault("model", None)
         state.setdefault("model_name", "sc")
         state.setdefault("preemptions", None)
+        # pre-POR checkpoints load as --por off
+        state.setdefault("por", "off")
         self.__dict__.update(state)
 
     # ------------------------------------------------------------------
@@ -265,6 +270,16 @@ class ProductSearch:
         red = self.system.reduction
         if telemetry is not None and red is not None:
             telemetry.record_reduction(red)
+
+    def _record_por(self, telemetry) -> None:
+        """Publish ``por.*`` gauges for this run, if reducing.  Same
+        process-locality caveat as :meth:`_record_reduction`: under
+        ``workers > 1`` the selectors' counters accrue in the worker
+        processes, so the coordinator-side gauges cover the reporting
+        process only."""
+        sel = getattr(self.system, "por_selector", None)
+        if telemetry is not None and sel is not None:
+            telemetry.record_por(sel)
 
     def _build_cx(self, ref) -> Counterexample:
         """``ref`` is a violating-state reference: an interned ID for
@@ -321,6 +336,7 @@ class ProductSearch:
             if telemetry is not None:
                 telemetry.record_search(out.stats, self.shard_stats())
                 self._record_reduction(telemetry)
+                self._record_por(telemetry)
                 telemetry.emit(
                     "violation_found",
                     states=out.stats.states,
@@ -332,6 +348,7 @@ class ProductSearch:
         if telemetry is not None:
             telemetry.record_search(out.stats, self.shard_stats())
             self._record_reduction(telemetry)
+            self._record_por(telemetry)
         if out.status == "stopped":
             return ProductResult(True, None, out.stats)
         return ProductResult(
@@ -357,6 +374,7 @@ def explore_product(
     reduce: str = "off",
     model: str = "sc",
     preemptions: Optional[int] = None,
+    por: str = "off",
     worker_retries: int = 2,
     on_worker_failure: str = "reshard",
     round_timeout_s: Optional[float] = None,
@@ -388,6 +406,7 @@ def explore_product(
         reduce=reduce,
         model=model,
         preemptions=preemptions,
+        por=por,
         worker_retries=worker_retries,
         on_worker_failure=on_worker_failure,
         round_timeout_s=round_timeout_s,

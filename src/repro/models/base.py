@@ -70,6 +70,14 @@ class ConsistencyModel(abc.ABC):
     #: (required for ``--reduce``; see :mod:`repro.engine.reduction`)
     supports_reduction: bool = False
 
+    #: whether the model's witness-visibility set is derived — i.e.
+    #: :func:`repro.engine.por.action_visible` correctly classifies
+    #: which actions its observer/checker can see.  Required for
+    #: ``--por on``; False raises :class:`ModelError` there (the
+    #: causal observer consumes a different symbol alphabet whose
+    #: visibility set has not been derived)
+    supports_por: bool = False
+
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def make_observer(

@@ -116,6 +116,13 @@ class PreemptionBoundedProtocol(Protocol):
         # rejected with the standard "declares no symmetry" error
         return None
 
+    def por_spec(self):
+        # context-switch bookkeeping makes every pair of differently-
+        # owned actions dependent (they move last_proc/used); rather
+        # than model that, stay at Protocol's None so --por on degrades
+        # to full expansion of the bounded run tree
+        return None
+
 
 class BoundedPreemptionSC(SequentialConsistency):
     """SC over the ≤K-preemption slice of the run tree.

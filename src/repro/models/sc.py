@@ -40,6 +40,7 @@ class SequentialConsistency(ConsistencyModel):
     modes = ("fast", "full")
     weaker_than = ()
     supports_reduction = True
+    supports_por = True
 
     def make_observer(
         self,

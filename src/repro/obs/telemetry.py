@@ -189,6 +189,26 @@ class Telemetry:
         reg.gauge("reduction.orbit_hits", reduction.counters.orbit_hits)
         reg.gauge("reduction.canon_s", round(reduction.counters.canon_s, 6))
 
+    def record_por(self, selector) -> None:
+        """Publish a run's partial-order-reduction counters as ``por.*``
+        gauges (see :mod:`repro.engine.por`).
+
+        ``ample_hits`` counts expansions that took a proper ample
+        subset, ``deferred`` the steps those expansions skipped, and
+        ``fallbacks`` the expansions that fell back to the full step
+        set (no proper candidate, proviso failure, or a protocol with
+        no POR declaration).  Like the reduction counters these are
+        *not* part of the deterministic gauge contract: whether the
+        C3 proviso passes depends on interning order, and under
+        ``workers > 1`` the counters cover the reporting process only.
+        """
+        reg = self.registry
+        if reg is None:
+            return
+        reg.gauge("por.ample_hits", selector.counters.ample_hits)
+        reg.gauge("por.deferred", selector.counters.deferred)
+        reg.gauge("por.fallbacks", selector.counters.fallbacks)
+
     def close(self) -> None:
         if self.trace is not None:
             self.trace.close()

@@ -46,11 +46,12 @@ def _make(name):
     return ctor(p=p, b=b, v=v), (gen_factory() if gen_factory is not None else None)
 
 
-def _fp(name, *, strategy="bfs", workers=1, exhaustive=True, seed=3):
+def _fp(name, *, strategy="bfs", workers=1, exhaustive=True, seed=3,
+        reduce="off", por="off"):
     proto, gen = _make(name)
     return fingerprint(
         proto, gen, mode="fast", strategy=strategy, workers=workers,
-        exhaustive=exhaustive, seed=seed,
+        exhaustive=exhaustive, seed=seed, reduce=reduce, por=por,
     )
 
 
@@ -119,6 +120,36 @@ def test_random_walk_seed_does_not_change_the_contract():
     )
 
 
+# ------------------------------------------------------ the cross-POR axis
+
+
+@pytest.mark.parametrize("name", ["msi", "mesi", "lazy"])
+def test_cross_por_contract_fast(name):
+    """POR off vs on on the same configuration: the comparison
+    automatically restricts to :data:`repro.difftest.CROSS_POR_FIELDS`
+    (verdict + counterexample replay) — counts legitimately shrink
+    under the quotient, and never grow."""
+    base = _fp(name)
+    reduced = _fp(name, por="on")
+    assert_equivalent(base, [reduced])
+    assert reduced.states <= base.states
+    # b=1 snoopy configs admit no ample set (the degeneracy theorem,
+    # tested bit-exactly in test_por_fuzz); lazy genuinely reduces
+    if name == "lazy":
+        assert reduced.states < base.states
+
+
+def test_cross_por_comparison_ignores_counts_but_not_replay():
+    on = _fab(por="on", states=7, transitions=9)
+    assert not compare_fingerprints(_fab(), on)
+    assert ("verdict", "verified", "violation") in compare_fingerprints(
+        _fab(), _fab(por="on", verdict="violation", cx_replays=True)
+    )
+    base = _fab(verdict="violation", cx_replays=True, cx_len=3)
+    bad = _fab(por="on", verdict="violation", cx_replays=False, cx_len=9)
+    assert ("cx_replays", True, False) in compare_fingerprints(base, bad)
+
+
 # ------------------------------------------------- the report is minimized
 
 
@@ -176,6 +207,28 @@ def test_assert_equivalent_raises_with_report():
 
 
 # ----------------------------------------------------------- the full matrix
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(PROTOCOLS))
+def test_zoo_cross_por_matrix(name):
+    """Every zoo protocol × por {off, on} × reduce {off, full} holds
+    the cross-POR contract; protocols with no symmetry declaration
+    sweep the reduce=off column only (``--reduce full`` rejects
+    them)."""
+    exhaustive = name not in STOP_MODE_ONLY
+    proto, _ = _make(name)
+    reduces = ("off", "full") if proto.symmetry_spec() is not None else ("off",)
+    for reduce in reduces:
+        base = _fp(name, exhaustive=exhaustive, reduce=reduce)
+        reduced = _fp(name, exhaustive=exhaustive, reduce=reduce, por="on")
+        assert_equivalent(base, [reduced])
+        # stop-on-first halts measure search order, not the quotient
+        if exhaustive:
+            assert reduced.states <= base.states
+        if name in NON_SC_PROTOCOLS:
+            assert reduced.verdict == "violation"
+            assert reduced.cx_replays is True
 
 
 @pytest.mark.slow

@@ -249,15 +249,33 @@ def test_stats_shims_are_the_same_class():
     assert mc_stats.ExplorationStats is ExplorationStats
 
 
-def test_stats_shims_warn_on_import():
+def test_stats_shims_export_only_what_pickles_reference():
+    # pickles reference classes, never free functions, so the shims
+    # carry ExplorationStats alone — merge_shard_stats lives only at
+    # its canonical home, repro.obs.stats
+    from repro.engine import stats as engine_stats
+    from repro.modelcheck import stats as mc_stats
+
+    for shim in (engine_stats, mc_stats):
+        assert shim.__all__ == ["ExplorationStats"]
+        assert not hasattr(shim, "merge_shard_stats")
+
+
+def test_stats_shims_warn_exactly_once_per_import():
     # module-level DeprecationWarning, emitted once per interpreter —
     # force a fresh import to observe it regardless of test order
     import importlib
     import sys
+    import warnings as _warnings
 
     for name in ("repro.engine.stats", "repro.modelcheck.stats"):
         sys.modules.pop(name, None)
-        with pytest.warns(DeprecationWarning, match="repro.obs.stats"):
+        with pytest.warns(DeprecationWarning, match="repro.obs.stats") as rec:
+            importlib.import_module(name)
+        assert len(rec) == 1
+        # re-importing the cached module must not warn again
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
             importlib.import_module(name)
 
 
