@@ -8,7 +8,10 @@ Commands
              optionally, a protocol
 ``fuzz``     randomised per-run testing (the Section 5 scenario)
 ``bounds``   Section 4.4 size-bound table for given parameters
-``report``   condensed re-run of every experiment, as markdown
+``report``   condensed re-run of every experiment, as markdown — or,
+             given a trace/--ledger/--bench, a self-contained run
+             report / trend document (markdown or HTML)
+``runs``     list, filter, show and gc the run ledger (--ledger)
 ``descriptor`` check a descriptor string (paper syntax) for acyclic
              constraint-graph-ness
 ``check-run`` judge a recorded protocol run from a log file (§5)
@@ -64,6 +67,8 @@ from .memory import (
     store_buffer_st_order,
 )
 from .models import MODELS
+from .obs.flight import DEFAULT_FLIGHT_CAPACITY
+from .obs.ledger import DEFAULT_LEDGER_PATH
 from .util import format_table
 
 __all__ = ["main", "PROTOCOLS", "NON_SC_PROTOCOLS"]
@@ -121,6 +126,14 @@ def _add_telemetry_args(sub) -> None:
                      help="print a live progress heartbeat (states/sec, "
                           "frontier, budget burn) to stderr, at most every "
                           "SECONDS (default 2)")
+    sub.add_argument("--flight", nargs="?", const=DEFAULT_FLIGHT_CAPACITY,
+                     type=int, default=None, metavar="N",
+                     help="keep a bounded in-memory ring of the last N trace "
+                          f"events (default {DEFAULT_FLIGHT_CAPACITY}) even "
+                          "without --trace-log; dumped as schema-valid JSONL "
+                          "on a violation, crash or signal stop "
+                          "(<trace>.flight.jsonl — readable by 'repro "
+                          "metrics' and 'repro report')")
 
 
 def _telemetry_from_args(args):
@@ -130,14 +143,46 @@ def _telemetry_from_args(args):
     profile = getattr(args, "profile", False)
     trace_log = getattr(args, "trace_log", None)
     progress = getattr(args, "progress", None)
-    if not profile and trace_log is None and progress is None:
+    flight_n = getattr(args, "flight", None)
+    ledger = getattr(args, "ledger", None)
+    if (
+        not profile
+        and trace_log is None
+        and progress is None
+        and flight_n is None
+        and ledger is None
+    ):
         return None
-    from .obs import MetricsRegistry, ProgressReporter, Telemetry, TraceWriter
+    from .obs import (
+        FlightRecorder,
+        MetricsRegistry,
+        ProgressReporter,
+        Telemetry,
+        TraceWriter,
+    )
 
-    registry = MetricsRegistry() if (profile or trace_log is not None) else None
+    # --ledger rides along so the recorded entry carries a full metrics
+    # snapshot (span tree included), not just the deterministic gauges
+    registry = (
+        MetricsRegistry()
+        if (profile or trace_log is not None or ledger is not None)
+        else None
+    )
     trace = TraceWriter.open(trace_log) if trace_log is not None else None
     reporter = ProgressReporter(interval=progress) if progress is not None else None
-    return Telemetry(registry, trace, reporter)
+    flight = None
+    if flight_n is not None:
+        base = (
+            trace_log
+            if trace_log is not None
+            else f"repro-{getattr(args, 'protocol', None) or 'run'}"
+        )
+        try:
+            flight = FlightRecorder(flight_n, path=f"{base}.flight.jsonl")
+        except ValueError as exc:
+            print(f"error: {exc}")
+            raise SystemExit(2)
+    return Telemetry(registry, trace, reporter, flight=flight)
 
 
 def cmd_verify(args) -> int:
@@ -147,11 +192,22 @@ def cmd_verify(args) -> int:
     finally:
         if telemetry is not None:
             telemetry.close()
+            flight = telemetry.flight
+            if flight is not None and flight.dumped is not None:
+                dest, reason, n = flight.dumped
+                print(
+                    f"flight recorder: {n} event(s) dumped to {dest} ({reason})",
+                    file=sys.stderr,
+                )
     if args.profile and telemetry is not None and telemetry.registry is not None:
-        # the span table replaces the old cProfile dump: phase.search /
-        # phase.replay plus whatever the engines recorded
+        # the span tree replaces the old cProfile dump: the phase.search /
+        # phase.replay roots with whatever the engines nested under them
         print()
-        print(telemetry.registry.snapshot().format(title="Profile (timer spans)"))
+        print(
+            telemetry.registry.snapshot().format(
+                title="Profile (span tree)", span_tree=True
+            )
+        )
     return code
 
 
@@ -193,6 +249,7 @@ def _cmd_verify(args, telemetry=None) -> int:
                 budget=budget,
                 checkpoint_path=args.checkpoint or args.resume,
                 resume_from=args.resume,
+                ledger=args.ledger,
                 workers=args.workers,
                 reduce=args.reduce,
                 model=args.model,
@@ -257,6 +314,7 @@ def _cmd_verify(args, telemetry=None) -> int:
                     round_timeout_s=args.round_timeout_s,
                     chaos=chaos,
                     telemetry=telemetry,
+                    ledger=args.ledger,
                 )
     except (CheckpointError, PorError, ReductionError, ModelError) as exc:
         print(f"error: {exc}")
@@ -264,6 +322,15 @@ def _cmd_verify(args, telemetry=None) -> int:
     dt = time.perf_counter() - t0
     print(res.summary())
     print(f"elapsed: {dt:.2f}s")
+    if getattr(res, "ledger_hash", None) is not None:
+        dedup = (
+            f"hit — {res.ledger_prior} prior identical run(s)"
+            if res.ledger_prior
+            else "new search"
+        )
+        print(f"ledger: {res.ledger_hash[:12]} ({dedup}) -> {args.ledger}")
+    elif args.ledger is not None and not args.degrade:
+        print("ledger: not recorded (run was stopped or truncated)")
     if res.stats is not None and res.stats.stop_reason is not None:
         where = args.checkpoint or args.resume
         if where:
@@ -415,11 +482,113 @@ def cmd_check_run(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from .report import generate_report
+    if args.trace is None and args.ledger is None and args.bench is None:
+        # legacy behaviour: condensed re-run of every experiment
+        from .report import generate_report
 
-    text = generate_report()
-    print(text)
-    return 0 if "MISMATCH" not in text else 1
+        text = generate_report()
+        print(text)
+        return 0 if "MISMATCH" not in text else 1
+
+    from .obs import TraceError
+    from .obs.ledger import LedgerError, RunLedger
+    from .obs.report import render_report
+
+    try:
+        entries = RunLedger(args.ledger).entries() if args.ledger is not None else None
+        text = render_report(
+            trace_path=args.trace,
+            ledger_entries=entries,
+            bench_path=args.bench,
+            fmt=args.format,
+        )
+    except (TraceError, LedgerError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"report written: {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_runs(args) -> int:
+    import json as _json
+
+    from .obs.ledger import LedgerError, RunLedger, group_by_hash
+
+    ledger = RunLedger(args.ledger)
+    try:
+        if args.gc:
+            dropped = ledger.gc(keep=args.keep)
+            kept = len(ledger.entries())
+            print(
+                f"gc: dropped {dropped} entr{'y' if dropped == 1 else 'ies'}, "
+                f"kept {kept} (newest {args.keep} per search hash)"
+            )
+            return 0
+        entries = ledger.entries()
+    except (LedgerError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    if args.show is not None:
+        matches = [e for e in entries if e.hash.startswith(args.show)]
+        if not matches:
+            print(f"error: no ledger entry matches hash prefix {args.show!r}")
+            return 2
+        for e in matches:
+            print(_json.dumps(e.as_dict(), indent=2, sort_keys=True, default=str))
+        return 0
+
+    if args.protocol is not None:
+        entries = [
+            e for e in entries
+            if args.protocol in str(e.provenance.get("protocol", ""))
+        ]
+    if args.verdict is not None:
+        entries = [e for e in entries if args.verdict.lower() in e.verdict.lower()]
+    if args.hash_prefix is not None:
+        entries = [e for e in entries if e.hash.startswith(args.hash_prefix)]
+
+    if not entries:
+        print(f"no matching runs in {args.ledger}")
+        return 0
+    rows = [
+        (
+            e.short_hash,
+            time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(e.recorded_at)),
+            str(e.provenance.get("protocol", "?")),
+            e.verdict,
+            e.states,
+            f"{e.elapsed_s:.3g}s",
+            e.workers,
+            e.trace or "-",
+        )
+        for e in entries
+    ]
+    print(
+        format_table(
+            ["hash", "recorded", "protocol", "verdict", "states", "elapsed", "workers", "trace"],
+            rows,
+            title=f"Run ledger: {args.ledger}",
+        )
+    )
+    groups = group_by_hash(entries)
+    dupes = sum(len(g) - 1 for g in groups.values())
+    print(
+        f"{len(entries)} run(s), {len(groups)} distinct search(es)"
+        + (f", {dupes} duplicate run(s) — 'repro runs --gc' prunes them" if dupes else "")
+    )
+    return 0
 
 
 def cmd_fault_matrix(args) -> int:
@@ -490,6 +659,14 @@ def cmd_metrics(args) -> int:
         other = _load(args.file2)
         if other is None:
             return 2
+        for path, s in ((args.file, summary), (args.file2, other)):
+            if not s.has_snapshot:
+                print(
+                    f"error: {path!r} carries no metrics snapshot to diff — "
+                    "re-run with --trace-log (the final 'metrics' event holds "
+                    "the snapshot) or pass a snapshot JSON"
+                )
+                return 2
         diffs = summary.snapshot.diff(other.snapshot)
         if not diffs:
             print("no metric differences")
@@ -698,7 +875,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "on --resume, mismatch exits 2")
     v.add_argument("--profile", action="store_true",
                    help="time the pipeline phases through the telemetry span "
-                        "system and print the span table afterwards")
+                        "system and print the hierarchical span tree "
+                        "(total/self per span) afterwards")
+    v.add_argument("--ledger", nargs="?", const=DEFAULT_LEDGER_PATH,
+                   default=None, metavar="PATH",
+                   help="record the completed run in this append-only run "
+                        f"ledger (default {DEFAULT_LEDGER_PATH}), keyed by "
+                        "the content hash of its search provenance (protocol/"
+                        "mode/strategy/reduce/model/preemptions/por — worker "
+                        "count and chaos are run policy, excluded). Stopped "
+                        "or truncated runs are not recorded. Inspect with "
+                        "'repro runs'")
     _add_telemetry_args(v)
     v.set_defaults(func=cmd_verify)
 
@@ -721,8 +908,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cross-check traces up to this many ops against the brute-force oracle")
     f.set_defaults(func=cmd_fuzz)
 
-    r = sub.add_parser("report", help="run every experiment condensed; print a markdown report")
+    r = sub.add_parser(
+        "report",
+        help="with no arguments: run every experiment condensed and print a "
+             "markdown report. Given a trace and/or --ledger/--bench: render "
+             "a self-contained run report / trend document",
+    )
+    r.add_argument("trace", nargs="?", default=None,
+                   help="trace JSONL (from --trace-log) or flight dump to "
+                        "render a run report for: verdict header, span tree, "
+                        "shard balance, reduction/POR effectiveness, recovery "
+                        "events")
+    r.add_argument("--ledger", nargs="?", const=DEFAULT_LEDGER_PATH,
+                   default=None, metavar="PATH",
+                   help="include cross-run trend tables from this run ledger "
+                        "(grouped by search hash)")
+    r.add_argument("--bench", metavar="BENCH_JSON", default=None,
+                   help="include benchmark trend tables from this "
+                        "BENCH_verification.json")
+    r.add_argument("--format", choices=["md", "html"], default="md",
+                   help="output format (default md; html is a single "
+                        "self-contained page)")
+    r.add_argument("-o", "--output", metavar="PATH", default=None,
+                   help="write the report here instead of stdout")
     r.set_defaults(func=cmd_report)
+
+    ru = sub.add_parser(
+        "runs",
+        help="list, filter, show and gc the run ledger written by "
+             "'verify --ledger'",
+    )
+    ru.add_argument("--ledger", metavar="PATH", default=DEFAULT_LEDGER_PATH,
+                    help=f"ledger path (default {DEFAULT_LEDGER_PATH})")
+    ru.add_argument("--protocol", metavar="SUBSTR", default=None,
+                    help="only runs whose protocol description contains this")
+    ru.add_argument("--verdict", metavar="SUBSTR", default=None,
+                    help="only runs whose verdict contains this "
+                         "(case-insensitive)")
+    ru.add_argument("--hash", dest="hash_prefix", metavar="PREFIX",
+                    default=None, help="only runs whose search hash starts "
+                                       "with this prefix")
+    ru.add_argument("--show", metavar="PREFIX", default=None,
+                    help="print the full JSON entries for this hash prefix")
+    ru.add_argument("--gc", action="store_true",
+                    help="rewrite the ledger keeping only the newest --keep "
+                         "entries per search hash")
+    ru.add_argument("--keep", type=int, default=1, metavar="N",
+                    help="entries kept per hash with --gc (default 1)")
+    ru.set_defaults(func=cmd_runs)
 
     cr = sub.add_parser(
         "check-run",

@@ -174,6 +174,22 @@ class SearchFingerprint:
             f"{'exhaustive' if self.exhaustive else 'stop-on-first'}]"
         )
 
+    def provenance(self) -> Dict[str, object]:
+        """The search-identity fields the run ledger hashes
+        (:data:`repro.obs.ledger.PROVENANCE_FIELDS`): what was
+        searched, excluding run policy such as ``workers`` — so a
+        fingerprint keys straight into :meth:`RunLedger.lookup`."""
+        return {
+            "protocol": self.protocol,
+            "mode": self.mode,
+            "strategy": self.strategy,
+            "exhaustive": self.exhaustive,
+            "reduce": self.reduce,
+            "model": self.model,
+            "preemptions": self.preemptions,
+            "por": self.por,
+        }
+
     def comparable(self) -> Dict[str, object]:
         """The fields another engine configuration must reproduce.
 

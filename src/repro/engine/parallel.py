@@ -393,23 +393,40 @@ class _WorkerLoop:
             self._trigger(*fault)
         rt = self.rt
         rt.saw_violation = False
+        reg = self.registry
+        if reg is not None:
+            _t_round = time.perf_counter()
+            red_counters = getattr(getattr(rt.system, "reduction", None), "counters", None)
+            if red_counters is not None:
+                _c_n0 = red_counters.states
+                _c_s0 = red_counters.canon_s
         n_in = 0
         for blob in batches:
             recs = pickle.loads(blob)
             n_in += len(recs)
             for rec in recs:
                 rt.admit(rec)
-        if self.registry is not None:
+        if reg is not None:
+            _t_ingest = time.perf_counter()
+            reg.observe_s("round/ingest", _t_ingest - _t_round)
             # depth of the work queue as the round begins, after
             # cross-shard admissions — the high-water mark the final
             # report surfaces
-            self.registry.gauge_max("peak_queue_depth", len(rt.frontier))
+            reg.gauge_max("peak_queue_depth", len(rt.frontier))
         out: Dict[int, List[Record]] = {}
         expanded = rt.expand(quota, out)
+        if reg is not None:
+            reg.observe_s("round/expand", time.perf_counter() - _t_ingest)
+            if red_counters is not None:
+                _dn = red_counters.states - _c_n0
+                _ds = red_counters.canon_s - _c_s0
+                if _dn or _ds:
+                    reg.observe_many("round/expand/canonicalize", _dn, _ds)
         out_blobs = {dest: pickle.dumps(recs) for dest, recs in out.items()}
         n_out = sum(len(recs) for recs in out.values())
         metrics_snap = None
         if self.registry is not None:
+            self.registry.observe_s("round", time.perf_counter() - _t_round)
             self.registry.inc("rounds")
             self.registry.inc("records_in", n_in)
             self.registry.inc("expanded", expanded)
@@ -903,7 +920,16 @@ class ParallelSearchEngine:
         cap_hit = False
         #: latest cumulative metrics snapshot per shard (telemetry only)
         shard_snaps: Dict[int, dict] = {}
+        # coordinator-side round span, nested under the enclosing
+        # phase.search; the workers' own round/ingest/expand spans ride
+        # their cumulative snapshots and merge under shard{i}. below
+        reg = telemetry.registry if telemetry is not None else None
+        if reg is not None:
+            _base = reg.current_span
+            _round_path = _base + "/round" if _base else "round"
         while True:
+            if reg is not None:
+                _t_round = time.perf_counter()
             # once any worker saw a violating successor (possibly bound
             # for another shard), stop expanding: quota-0 rounds only
             # ingest, so the violating record reaches its owner and is
@@ -946,6 +972,8 @@ class ParallelSearchEngine:
 
             if telemetry is not None:
                 self._emit_round(telemetry, replies, agg, frontier_rem, in_flight)
+            if reg is not None:
+                reg.observe_s(_round_path, time.perf_counter() - _t_round)
 
             if self._violations and self.stop_on_violation:
                 break

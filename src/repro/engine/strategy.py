@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import abc
 import random
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
@@ -301,6 +302,22 @@ class SearchEngine:
         por_on = getattr(system, "por", "off") != "off"
         por_counters = getattr(getattr(system, "por_selector", None), "counters", None)
 
+        # hierarchical span profiling: registry-only (never trace
+        # events), coarse per-expansion accumulation — two clock reads
+        # per expanded state, and only when a registry is attached
+        reg = telemetry.registry if telemetry is not None else None
+        red_counters = None
+        if reg is not None:
+            _pc = time.perf_counter
+            _base = reg.current_span
+            _expand_path = _base + "/expand" if _base else "expand"
+            _por_path = _expand_path + "/por-select"
+            _canon_path = _expand_path + "/canonicalize"
+            red_counters = getattr(getattr(system, "reduction", None), "counters", None)
+            if red_counters is not None:
+                _c_n0 = red_counters.states
+                _c_s0 = red_counters.canon_s
+
         while frontier:
             if self._cap_truncated and max_states is not None and stats.states >= max_states:
                 break  # cap reached: stop expanding entirely
@@ -317,6 +334,8 @@ class SearchEngine:
                 stats.truncated = True
                 self._cap_truncated = True
                 continue
+            if reg is not None:
+                _t_exp = _pc()
             kids = succs.setdefault(sid, []) if succs is not None else None
             if por_on:
                 # ample-set expansion: only the deferred-free subset is
@@ -329,10 +348,15 @@ class SearchEngine:
                 # actually taken, so the reduced graph is the graph
                 # explored
                 expand = list(system.steps(state))
+                if reg is not None:
+                    _t_por = _pc()
                 ample = system.ample_candidates(state, expand)
                 # module-attribute call: the POR mutation suite patches
                 # repro.engine.por.proviso, so the lookup stays late-bound
-                if ample is not None and _por.proviso(ample, store, depth):
+                take_ample = ample is not None and _por.proviso(ample, store, depth)
+                if reg is not None:
+                    reg.observe_s(_por_path, _pc() - _t_por)
+                if take_ample:
                     if por_counters is not None:
                         por_counters.ample_hits += 1
                         por_counters.deferred += len(expand) - len(ample)
@@ -384,6 +408,18 @@ class SearchEngine:
                 frontier.push((step.state, cid, depth + 1))
                 if len(frontier) > stats.peak_frontier:
                     stats.peak_frontier = len(frontier)
+            if reg is not None:
+                reg.observe_s(_expand_path, _pc() - _t_exp)
+                if red_counters is not None:
+                    # canonicalization happened inside steps()/intern();
+                    # fold the counter deltas in as a nested child so
+                    # the expand window still telescopes exactly
+                    _dn = red_counters.states - _c_n0
+                    _ds = red_counters.canon_s - _c_s0
+                    if _dn or _ds:
+                        reg.observe_many(_canon_path, _dn, _ds)
+                        _c_n0 = red_counters.states
+                        _c_s0 = red_counters.canon_s
 
         if self.violations:
             # exhaustive mode drained the frontier with violations on

@@ -83,13 +83,18 @@ class Budget:
         rem = self.remaining_s()
         return rem is not None and rem <= 0.0
 
-    def burn(self) -> Optional[float]:
-        """Fraction of the wall-clock budget consumed (0..1), or
-        ``None`` when no wall budget is set — the progress reporter
-        renders it as ``budget=NN%``."""
-        if self.wall_s is None or self.wall_s <= 0:
-            return None
-        return min(1.0, self.elapsed_s() / self.wall_s)
+    def burn(self, states: Optional[int] = None) -> Optional[float]:
+        """Fraction of the budget consumed (0..1), or ``None`` when no
+        budget axis applies — the progress reporter renders it as
+        ``budget=NN%``.  With a ``states`` count the state axis is
+        measured too, and the *tighter* (larger) fraction wins, so the
+        display always tracks whichever budget will bite first."""
+        fracs = []
+        if self.wall_s is not None and self.wall_s > 0:
+            fracs.append(min(1.0, self.elapsed_s() / self.wall_s))
+        if self.states is not None and self.states > 0 and states is not None:
+            fracs.append(min(1.0, states / self.states))
+        return max(fracs) if fracs else None
 
     def current_memory_mb(self) -> Optional[float]:
         if self.memory_probe is not None:

@@ -23,13 +23,15 @@ from __future__ import annotations
 
 import signal
 import threading
-from typing import Optional
+import time
+from typing import Optional, Union
 
 from ..core.protocol import Protocol
 from ..core.storder import STOrderGenerator
 from ..core.verify import VerificationResult, result_from_product
 from ..engine import ParallelSearchEngine
 from ..modelcheck.product import ProductSearch
+from ..obs.ledger import RunLedger, search_provenance
 from .budget import Budget
 from .checkpoint import Checkpoint, CheckpointError
 
@@ -97,6 +99,28 @@ class _SignalStop:
 def run_verification(
     protocol: Optional[Protocol] = None,
     st_order: Optional[STOrderGenerator] = None,
+    **kwargs,
+) -> VerificationResult:
+    """Model-check ``protocol`` under a budget — see
+    :func:`_run_verification` for the full parameter contract (this
+    wrapper shares its signature and docstring).  The wrapper exists
+    for the flight recorder: any exception escaping the run —
+    ``CheckpointError``, a worker crash, a bug — dumps the telemetry
+    flight ring (``telemetry.flight``) before propagating, so the last
+    events before the failure survive for forensics."""
+    telemetry = kwargs.get("telemetry")
+    flight = telemetry.flight if telemetry is not None else None
+    try:
+        return _run_verification(protocol, st_order, **kwargs)
+    except BaseException as exc:
+        if flight is not None and flight.dumped is None:
+            flight.dump(reason=f"exception:{type(exc).__name__}")
+        raise
+
+
+def _run_verification(
+    protocol: Optional[Protocol] = None,
+    st_order: Optional[STOrderGenerator] = None,
     *,
     mode: str = "fast",
     max_states: Optional[int] = None,
@@ -116,6 +140,7 @@ def run_verification(
     round_timeout_s: Optional[float] = None,
     chaos=None,
     telemetry=None,
+    ledger: Optional[Union[str, RunLedger]] = None,
 ) -> VerificationResult:
     """Model-check ``protocol`` under a budget, checkpointing on
     truncation.
@@ -184,7 +209,16 @@ def run_verification(
     ``checkpoint_saved`` event when truncation writes one, and a
     ``recovered`` event when resume had to fall back to the ``.bak``
     checkpoint.  It is never stored on the search, so checkpoints stay
-    free of telemetry handles (see ``docs/OBSERVABILITY.md``).
+    free of telemetry handles (see ``docs/OBSERVABILITY.md``).  When
+    it carries a flight recorder, the ring is dumped on a violation or
+    a signal stop (exceptions are dumped by the public wrapper).
+
+    ``ledger`` (a :class:`repro.obs.ledger.RunLedger` or a path)
+    appends every *completed* run — final verdict, neither
+    budget-stopped nor cap-truncated — to the append-only run ledger,
+    keyed by the content hash of the search provenance; the result's
+    ``ledger_hash`` / ``ledger_prior`` fields report the hash and how
+    many identical runs were already recorded (the dedup signal).
     """
     used_backup: Optional[str] = None
     if resume_from is not None:
@@ -318,6 +352,7 @@ def run_verification(
 
     sig = _SignalStop(budget.should_stop if budget is not None else None)
     sig.install()
+    leg_t0 = time.perf_counter()
     try:
         if budget is not None:
             budget.start()
@@ -328,6 +363,7 @@ def run_verification(
             spent += budget.elapsed_s()
         else:
             res = search.run(sig, telemetry)
+            spent += time.perf_counter() - leg_t0
     finally:
         sig.restore()
 
@@ -360,4 +396,45 @@ def run_verification(
                 else []
             ),
         )
+    if telemetry is not None and telemetry.flight is not None:
+        # forensic dump triggers that end the run without an exception;
+        # dumped after finish_run so the ring's tail carries run_end
+        stop_reason = res.stats.stop_reason
+        if result.counterexample is not None:
+            telemetry.flight.dump(reason="violation")
+        elif stop_reason is not None and stop_reason.startswith(SIGNAL_STOP_PREFIX):
+            telemetry.flight.dump(reason=stop_reason)
+    if ledger is not None and res.stats.stop_reason is None and not res.stats.truncated:
+        # only completed searches enter the ledger: a budget-stopped or
+        # cap-truncated leg has no final verdict and its counts depend
+        # on the caps, which are run policy and outside the hash
+        if isinstance(ledger, (str,)):
+            ledger = RunLedger(ledger)
+        provenance = search_provenance(search)
+        prior = len(ledger.lookup(provenance))
+        entry = ledger.record(
+            provenance=provenance,
+            verdict=result.verdict,
+            states=res.stats.states,
+            elapsed_s=round(spent, 6),
+            workers=search.workers,
+            gauges={
+                "search.states": res.stats.states,
+                "search.transitions": res.stats.transitions,
+                "search.quiescent": res.stats.quiescent_states,
+                "search.interned": res.stats.interned_states,
+            },
+            snapshot=(
+                telemetry.registry.snapshot().as_dict()
+                if telemetry is not None and telemetry.registry is not None
+                else None
+            ),
+            trace=(
+                telemetry.trace.path
+                if telemetry is not None and telemetry.trace is not None
+                else None
+            ),
+        )
+        result.ledger_hash = entry.hash
+        result.ledger_prior = prior
     return result

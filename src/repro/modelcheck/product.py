@@ -181,6 +181,8 @@ class ProductSearch:
         self.workers = workers
         self.reduce = reduce
         self.por = por
+        self.strategy = strategy
+        self.stop_on_violation = stop_on_violation
         self.system = ComposedSystem(
             protocol,
             st_order,
@@ -243,6 +245,10 @@ class ProductSearch:
         state.setdefault("preemptions", None)
         # pre-POR checkpoints load as --por off
         state.setdefault("por", "off")
+        # pre-ledger checkpoints did not record the frontier policy or
+        # the stop discipline; default to the CLI defaults they ran with
+        state.setdefault("strategy", "bfs")
+        state.setdefault("stop_on_violation", True)
         self.__dict__.update(state)
 
     # ------------------------------------------------------------------

@@ -61,6 +61,10 @@ class RunSummary:
     stats: Dict[str, object] = field(default_factory=dict)
     events: int = 0
     complete: bool = True  #: False when reconstructed from a partial trace
+    #: whether a full metrics snapshot was actually present (a trace
+    #: with no ``metrics`` event keeps the default empty snapshot, and
+    #: ``repro metrics A B`` refuses to diff it)
+    has_snapshot: bool = False
 
     @property
     def states_per_sec(self) -> Optional[float]:
@@ -144,6 +148,7 @@ def summarize_trace(events: List[dict]) -> RunSummary:
             summary.complete = False
         elif kind == "metrics":
             summary.snapshot = MetricsSnapshot.from_dict(ev["snapshot"])
+            summary.has_snapshot = True
         elif kind == "run_end":
             summary.verdict = ev["verdict"]
             summary.states = ev["states"]
@@ -156,7 +161,12 @@ def summarize_trace(events: List[dict]) -> RunSummary:
 
 def load_summary(path: str) -> RunSummary:
     """Load a run summary from a trace JSONL *or* a bare metrics
-    snapshot JSON file (``{"counters": ..., ...}``)."""
+    snapshot JSON file (``{"counters": ..., ...}``).
+
+    A trace whose *final* line is torn (the run crashed mid-write) is
+    summarised from its complete prefix — necessarily as a partial run
+    (``complete`` only comes from a ``run_end`` event, which a torn
+    tail cannot be)."""
     text = Path(path).read_text(encoding="utf-8")
     stripped = text.lstrip()
     if stripped.startswith("{"):
@@ -171,8 +181,11 @@ def load_summary(path: str) -> RunSummary:
                 states=int(obj.get("gauges", {}).get("search.states", 0)),
                 elapsed_s=float(obj.get("elapsed_s", 0.0)),
                 snapshot=snap,
+                has_snapshot=True,
             )
-    return summarize_trace(read_trace(text.splitlines(keepends=True)))
+    return summarize_trace(
+        read_trace(text.splitlines(keepends=True), allow_torn_tail=True)
+    )
 
 
 # ----------------------------------------------------------------------

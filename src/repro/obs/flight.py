@@ -1,0 +1,92 @@
+"""Flight recorder: a bounded ring of the most recent trace events.
+
+``--trace-log`` streams every event to disk for the whole run; the
+flight recorder is its cheap always-on-capable sibling — it keeps only
+the last *N* events in memory (``--flight [N]`` on the CLI) and writes
+them out **only when something goes wrong**: a violation, a
+``CheckpointError``, an unhandled exception, or a cooperative
+SIGTERM/SIGINT stop (``harness/runner.py`` owns the triggers).  The
+dump, ``<run>.flight.jsonl``, is ordinary schema-valid trace JSONL —
+``read_trace`` and ``repro report`` consume it like any trace.
+
+The recorder shares :data:`~repro.obs.trace.EVENT_SCHEMA` with
+:class:`~repro.obs.trace.TraceWriter` and keeps its own monotone
+``seq``, so a dump is always a contiguous, validated window onto the
+end of the run (events older than the ring's capacity are gone — that
+is the point: bounded memory, forensic tail).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from collections import deque
+from typing import List, Optional
+
+from .trace import EVENT_SCHEMA
+
+__all__ = ["FlightRecorder", "DEFAULT_FLIGHT_CAPACITY"]
+
+#: ring capacity when ``--flight`` is given without a count
+DEFAULT_FLIGHT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """A fixed-capacity ring of trace events, dumped on demand.
+
+    :meth:`emit` mirrors :meth:`TraceWriter.emit` (same schema
+    assertion, same ``ev``/``ts``/``seq`` envelope) but appends to a
+    bounded deque instead of a stream — old events fall off the front.
+    :meth:`dump` writes the surviving window as JSONL and remembers
+    where (:attr:`dumped`), so the CLI can report it.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_FLIGHT_CAPACITY,
+        path: Optional[str] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"flight capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: default dump destination (``dump()`` may override)
+        self.path = path
+        #: ``(path, reason, events)`` of the last dump, ``None`` before
+        self.dumped: Optional[tuple] = None
+        self._ring: deque = deque(maxlen=capacity)
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def emit(self, ev: str, **fields) -> None:
+        """Record one event in the ring (drops the oldest when full)."""
+        assert ev in EVENT_SCHEMA, f"unknown trace event {ev!r}"
+        record = {"ev": ev, "ts": time.time(), "seq": self._seq}
+        record.update(fields)
+        self._seq += 1
+        self._ring.append(record)
+
+    def events(self) -> List[dict]:
+        """The surviving window, oldest first."""
+        return list(self._ring)
+
+    def dump(self, path: Optional[str] = None, reason: str = "") -> Optional[str]:
+        """Write the ring to ``path`` (or :attr:`path`) as trace JSONL.
+
+        Returns the path written, or ``None`` when the ring is empty or
+        no path is known.  The file is flushed and fsynced — it must
+        survive whatever is killing the run.
+        """
+        dest = path or self.path
+        if dest is None or not self._ring:
+            return None
+        with io.open(dest, "w", encoding="utf-8") as fh:
+            for record in self._ring:
+                fh.write(json.dumps(record, separators=(",", ":"), default=str) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.dumped = (dest, reason, len(self._ring))
+        return dest

@@ -37,7 +37,13 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_REGISTRY",
+    "SPAN_SEP",
+    "span_tree_rows",
+    "format_span_tree",
 ]
+
+#: separator between parent and child in hierarchical span timer names
+SPAN_SEP = "/"
 
 
 class _Span:
@@ -57,10 +63,42 @@ class _Span:
         self._registry.observe_s(self._name, time.perf_counter() - self._t0)
 
 
+class _TreeSpan:
+    """A nesting timer: the recorded timer name is the ``/``-joined
+    path of every enclosing tree span in the same registry, so
+    ``with reg.span("a"): with reg.span("b")`` records ``a`` and
+    ``a/b``.  The path is fixed on ``__enter__`` (read it via
+    :attr:`path`)."""
+
+    __slots__ = ("_registry", "_name", "path", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self.path = name
+
+    def __enter__(self) -> "_TreeSpan":
+        stack = self._registry._span_stack
+        self.path = (stack[-1] + SPAN_SEP + self._name) if stack else self._name
+        stack.append(self.path)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        dt = time.perf_counter() - self._t0
+        stack = self._registry._span_stack
+        if stack and stack[-1] == self.path:
+            stack.pop()
+        self._registry.observe_s(self.path, dt)
+
+
 class _NullSpan:
     """Shared no-op span for :data:`NULL_REGISTRY`."""
 
     __slots__ = ()
+
+    #: mirrors :attr:`_TreeSpan.path` for callers that label by it
+    path = ""
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -81,13 +119,15 @@ class MetricsRegistry:
     emits.
     """
 
-    __slots__ = ("counters", "gauges", "timers")
+    __slots__ = ("counters", "gauges", "timers", "_span_stack")
 
     def __init__(self) -> None:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         #: name -> [count, total seconds, max seconds]
         self.timers: Dict[str, List[float]] = {}
+        #: active tree-span paths, innermost last (see :meth:`span`)
+        self._span_stack: List[str] = []
 
     # ------------------------------------------------------------------
     def inc(self, name: str, n: float = 1) -> None:
@@ -107,6 +147,17 @@ class MetricsRegistry:
         """A context-manager span recording into timer ``name``."""
         return _Span(self, name)
 
+    def span(self, name: str) -> _TreeSpan:
+        """A *nesting* span: the timer it records is named by the full
+        ``/``-joined path of enclosing :meth:`span` contexts, so the
+        snapshot's timers form a tree (:func:`span_tree_rows`)."""
+        return _TreeSpan(self, name)
+
+    @property
+    def current_span(self) -> str:
+        """The innermost active tree-span path (``""`` outside any)."""
+        return self._span_stack[-1] if self._span_stack else ""
+
     def observe_s(self, name: str, seconds: float) -> None:
         """Record one ``seconds``-long observation into timer ``name``."""
         t = self.timers.get(name)
@@ -117,6 +168,21 @@ class MetricsRegistry:
             t[1] += seconds
             if seconds > t[2]:
                 t[2] = seconds
+
+    def observe_many(self, name: str, count: int, total_s: float) -> None:
+        """Fold a pre-aggregated batch of ``count`` observations
+        totalling ``total_s`` into timer ``name`` (the engines use this
+        for counters accumulated off the telemetry path, e.g.
+        canonicalization time).  ``max_s`` takes the batch total as an
+        upper bound."""
+        t = self.timers.get(name)
+        if t is None:
+            self.timers[name] = [count, total_s, total_s]
+        else:
+            t[0] += count
+            t[1] += total_s
+            if total_s > t[2]:
+                t[2] = total_s
 
     # ------------------------------------------------------------------
     def snapshot(self) -> "MetricsSnapshot":
@@ -165,7 +231,13 @@ class _NullRegistry(MetricsRegistry):
     def timer(self, name: str) -> _NullSpan:  # type: ignore[override]
         return _NULL_SPAN
 
+    def span(self, name: str) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
     def observe_s(self, name: str, seconds: float) -> None:
+        pass
+
+    def observe_many(self, name: str, count: int, total_s: float) -> None:
         pass
 
 
@@ -216,8 +288,11 @@ class MetricsSnapshot:
                 out.append((f"timer:{name}", at.get(name), bt.get(name)))
         return out
 
-    def format(self, title: str = "metrics") -> str:
-        """A readable multi-section report (counters, gauges, spans)."""
+    def format(self, title: str = "metrics", span_tree: bool = False) -> str:
+        """A readable multi-section report (counters, gauges, spans).
+        With ``span_tree=True`` the timer section is rendered as a
+        nested tree with self/total times (:func:`format_span_tree`)
+        instead of a flat table."""
         from ..util import format_table
 
         parts: List[str] = []
@@ -228,11 +303,14 @@ class MetricsSnapshot:
             rows = [(k, _fmt_num(v)) for k, v in sorted(self.gauges.items())]
             parts.append(format_table(["gauge", "value"], rows))
         if self.timers:
-            rows = [
-                (k, v["count"], f"{v['total_s']:.4f}s", f"{v['max_s']:.4f}s")
-                for k, v in sorted(self.timers.items())
-            ]
-            parts.append(format_table(["span", "count", "total", "max"], rows))
+            if span_tree:
+                parts.append(format_span_tree(self.timers))
+            else:
+                rows = [
+                    (k, v["count"], f"{v['total_s']:.4f}s", f"{v['max_s']:.4f}s")
+                    for k, v in sorted(self.timers.items())
+                ]
+                parts.append(format_table(["span", "count", "total", "max"], rows))
         if not parts:
             return f"{title}: (empty)"
         return f"{title}\n\n" + "\n\n".join(parts)
@@ -240,3 +318,53 @@ class MetricsSnapshot:
 
 def _fmt_num(v: float) -> str:
     return str(int(v)) if float(v).is_integer() else f"{v:.4f}"
+
+
+# ----------------------------------------------------------------------
+# span trees
+# ----------------------------------------------------------------------
+
+
+def span_tree_rows(timers: Dict[str, Dict[str, float]]):
+    """Flatten ``/``-pathed timers into depth-first tree rows.
+
+    Returns ``(path, name, depth, count, total_s, self_s)`` tuples in
+    deterministic (sibling-sorted) pre-order.  ``self_s`` is the span's
+    total minus its *direct* children's totals, so within any subtree
+    the self times telescope back to the root's total exactly.
+    Timers whose name contains no separator and that have no children
+    appear as depth-0 leaves (flat timers mix in unharmed)."""
+    children: Dict[str, List[str]] = {}
+    roots: List[str] = []
+    for path in timers:
+        head, sep, _ = path.rpartition(SPAN_SEP)
+        if sep and head in timers:
+            children.setdefault(head, []).append(path)
+        else:
+            roots.append(path)
+
+    rows: List[Tuple[str, str, int, float, float, float]] = []
+
+    def visit(path: str, depth: int) -> None:
+        t = timers[path]
+        kids = sorted(children.get(path, ()))
+        self_s = t["total_s"] - sum(timers[k]["total_s"] for k in kids)
+        name = path.rpartition(SPAN_SEP)[2] if depth else path
+        rows.append((path, name, depth, t["count"], t["total_s"], self_s))
+        for k in kids:
+            visit(k, depth + 1)
+
+    for r in sorted(roots):
+        visit(r, 0)
+    return rows
+
+
+def format_span_tree(timers: Dict[str, Dict[str, float]]) -> str:
+    """Render ``/``-pathed timers as an indented self/total table."""
+    from ..util import format_table
+
+    rows = [
+        ("  " * depth + name, int(count), f"{total:.4f}s", f"{self_s:.4f}s")
+        for _, name, depth, count, total, self_s in span_tree_rows(timers)
+    ]
+    return format_table(["span", "count", "total", "self"], rows)

@@ -70,14 +70,22 @@ class ProgressReporter:
         )
         if frontier is not None:
             line += f" frontier={frontier}"
-        burn = self._budget_burn()
+        burn = self._budget_burn(stats)
         if burn is not None:
             line += f" budget={burn:.0%}"
         print(line, file=self.stream if self.stream is not None else sys.stderr)
         return True
 
-    def _budget_burn(self) -> Optional[float]:
+    def _budget_burn(self, stats: ExplorationStats) -> Optional[float]:
         if self.budget is None:
             return None
         burn = getattr(self.budget, "burn", None)
-        return burn() if callable(burn) else None
+        if not callable(burn):
+            return None
+        try:
+            # Budget.burn(states=...) folds the state axis in and
+            # reports whichever axis is tighter
+            return burn(states=stats.states)
+        except TypeError:
+            # duck-typed budgets predating the states axis
+            return burn()

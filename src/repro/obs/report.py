@@ -1,0 +1,399 @@
+"""Self-contained run reports and cross-run trend tables.
+
+``repro report`` renders two kinds of document, as markdown or as a
+single-file HTML page (no external assets — it attaches to a CI
+artifact or an email as-is):
+
+* a **run report** for one trace (or flight dump): verdict header,
+  the hierarchical span tree, shard balance, reduction/POR
+  effectiveness, and every recovery/forensic event the trace carries;
+* **trend tables** across runs: the ledger grouped by search
+  provenance hash (is this exact search getting faster? has it ever
+  flipped verdict?) and the ``BENCH_verification.json`` trajectory.
+
+Everything here is a pure function of already-validated inputs —
+malformed traces/ledgers raise before rendering starts, which the CLI
+maps to exit code 2.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from .bench import RunSummary, summarize_trace
+from .ledger import LedgerEntry, group_by_hash
+from .metrics import format_span_tree
+from .trace import read_trace
+
+__all__ = [
+    "Section",
+    "run_report_sections",
+    "trend_sections",
+    "render_markdown",
+    "render_html",
+    "render_report",
+]
+
+#: forensic / lifecycle events surfaced verbatim in the run report
+_NOTABLE_EVENTS = (
+    "worker_died",
+    "round_retry",
+    "recovered",
+    "checkpoint_saved",
+    "degrade_stage",
+    "fault_activated",
+    "violation_found",
+)
+
+
+class Section:
+    """One report section: a title plus a table and/or preformatted
+    text (the renderers turn it into markdown or HTML)."""
+
+    def __init__(
+        self,
+        title: str,
+        *,
+        headers: Optional[Sequence[str]] = None,
+        rows: Optional[Sequence[Sequence[object]]] = None,
+        text: Optional[str] = None,
+        prose: Optional[str] = None,
+    ) -> None:
+        self.title = title
+        self.headers = list(headers) if headers is not None else None
+        self.rows = [list(r) for r in rows] if rows is not None else None
+        self.text = text
+        self.prose = prose
+
+
+def _fmt(v: object) -> str:
+    if v is None:
+        return "—"
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+# ----------------------------------------------------------------------
+# run report
+# ----------------------------------------------------------------------
+
+
+def run_report_sections(events: List[dict]) -> List[Section]:
+    """Sections for one run's validated trace events."""
+    summary: RunSummary = summarize_trace(events)
+    sections: List[Section] = []
+
+    head_rows = [
+        ("protocol", summary.protocol or "(unknown)"),
+        ("verdict", summary.verdict),
+        ("complete", summary.complete),
+        ("states", summary.states),
+        ("elapsed", f"{summary.elapsed_s:.3f}s"),
+        (
+            "throughput",
+            f"{summary.states_per_sec:.0f} states/s"
+            if summary.states_per_sec is not None
+            else None,
+        ),
+        ("workers", summary.workers),
+        ("reduce", summary.reduce),
+        ("por", summary.por),
+        ("trace events", summary.events),
+    ]
+    sections.append(Section("Run", headers=["field", "value"], rows=head_rows))
+
+    if summary.has_snapshot and summary.snapshot.timers:
+        sections.append(
+            Section(
+                "Span tree",
+                text=format_span_tree(summary.snapshot.timers),
+                prose=(
+                    "Hierarchical profiler spans: `total` includes children, "
+                    "`self` is the span's own time (subtree self times sum "
+                    "to the root total)."
+                ),
+            )
+        )
+
+    if summary.shards:
+        total = sum(s.get("states", 0) for s in summary.shards) or 1
+        rows = [
+            (
+                s.get("shard"),
+                s.get("states"),
+                f"{100.0 * s.get('states', 0) / total:.1f}%",
+                s.get("transitions"),
+                s.get("interned_states"),
+                s.get("peak_frontier"),
+            )
+            for s in summary.shards
+        ]
+        sections.append(
+            Section(
+                "Shard balance",
+                headers=["shard", "states", "share", "transitions", "interned", "peak frontier"],
+                rows=rows,
+                prose=(
+                    "Stable-hash sharding: share imbalance is workload "
+                    "structure, not scheduling noise (the split is "
+                    "deterministic per worker count)."
+                ),
+            )
+        )
+
+    gauges = summary.snapshot.gauges if summary.has_snapshot else {}
+    eff_rows = []
+    if any(k.startswith("reduction.") for k in gauges):
+        red_states = gauges.get("reduction.states", 0)
+        hits = gauges.get("reduction.orbit_hits", 0)
+        eff_rows.append(("reduction: canonicalizations", red_states))
+        eff_rows.append(("reduction: orbit hits", hits))
+        if red_states:
+            eff_rows.append(("reduction: hit rate", f"{100.0 * hits / red_states:.1f}%"))
+        eff_rows.append(("reduction: canon time", f"{gauges.get('reduction.canon_s', 0)}s"))
+    if any(k.startswith("por.") for k in gauges):
+        ample = gauges.get("por.ample_hits", 0)
+        eff_rows.append(("por: ample expansions", ample))
+        eff_rows.append(("por: steps deferred", gauges.get("por.deferred", 0)))
+        eff_rows.append(("por: full-expansion fallbacks", gauges.get("por.fallbacks", 0)))
+    if eff_rows:
+        sections.append(
+            Section(
+                "Reduction / POR effectiveness",
+                headers=["metric", "value"],
+                rows=eff_rows,
+            )
+        )
+
+    notable = [e for e in events if e["ev"] in _NOTABLE_EVENTS]
+    if notable:
+        rows = [
+            (
+                e["seq"],
+                e["ev"],
+                ", ".join(
+                    f"{k}={_fmt(v)}"
+                    for k, v in sorted(e.items())
+                    if k not in ("ev", "ts", "seq")
+                ),
+            )
+            for e in notable
+        ]
+        sections.append(
+            Section(
+                "Recovery & forensic events",
+                headers=["seq", "event", "detail"],
+                rows=rows,
+            )
+        )
+
+    return sections
+
+
+# ----------------------------------------------------------------------
+# cross-run trends
+# ----------------------------------------------------------------------
+
+
+def trend_sections(
+    entries: Sequence[LedgerEntry],
+    bench_record: Optional[dict] = None,
+) -> List[Section]:
+    """Trend tables from ledger entries and/or a benchmark record."""
+    sections: List[Section] = []
+
+    if entries:
+        rows = []
+        for h, group in group_by_hash(entries).items():
+            first, last = group[0], group[-1]
+            prov = last.provenance
+            verdicts = {e.verdict for e in group}
+            label = str(prov.get("protocol", "?"))
+            knobs = "/".join(
+                str(prov.get(k, "?")) for k in ("mode", "strategy", "reduce", "por")
+            )
+            best = min((e.elapsed_s for e in group if e.elapsed_s > 0), default=0.0)
+            trend = (
+                f"{first.elapsed_s:.3g}s → {last.elapsed_s:.3g}s"
+                if len(group) > 1
+                else f"{last.elapsed_s:.3g}s"
+            )
+            rows.append(
+                (
+                    h[:12],
+                    label,
+                    knobs,
+                    len(group),
+                    last.verdict if len(verdicts) == 1 else "MIXED: " + ", ".join(sorted(verdicts)),
+                    last.states,
+                    f"{best:.3g}s",
+                    trend,
+                )
+            )
+        sections.append(
+            Section(
+                "Ledger runs by search hash",
+                headers=["hash", "protocol", "mode/strategy/reduce/por", "runs", "verdict", "states", "best", "elapsed trend"],
+                rows=rows,
+                prose=(
+                    "One row per search provenance hash (workers and chaos "
+                    "are run policy — excluded). A MIXED verdict or varying "
+                    "state count inside one hash would mean the engines "
+                    "broke their determinism contract."
+                ),
+            )
+        )
+
+    if bench_record:
+        current = bench_record.get("current", {}).get("workloads", {})
+        if current:
+            rows = [
+                (
+                    name,
+                    w.get("states"),
+                    f"{w.get('seconds', 0):.3g}s",
+                    f"{w['states'] / w['seconds']:.0f}"
+                    if w.get("seconds")
+                    else "—",
+                )
+                for name, w in sorted(current.items())
+            ]
+            sections.append(
+                Section(
+                    "Benchmark workloads (current)",
+                    headers=["workload", "states", "seconds", "states/s"],
+                    rows=rows,
+                )
+            )
+        runs = bench_record.get("runs", [])
+        if runs:
+            rows = [
+                (
+                    r.get("recorded_at"),
+                    r.get("workload"),
+                    r.get("states"),
+                    r.get("seconds"),
+                    r.get("states_per_sec"),
+                    r.get("workers"),
+                )
+                for r in runs
+            ]
+            sections.append(
+                Section(
+                    "Recorded one-off runs",
+                    headers=["recorded", "workload", "states", "seconds", "states/s", "workers"],
+                    rows=rows,
+                )
+            )
+
+    return sections
+
+
+# ----------------------------------------------------------------------
+# renderers
+# ----------------------------------------------------------------------
+
+
+def render_markdown(title: str, sections: List[Section]) -> str:
+    out: List[str] = [f"# {title}", ""]
+    for s in sections:
+        out.append(f"## {s.title}")
+        out.append("")
+        if s.prose:
+            out.append(s.prose)
+            out.append("")
+        if s.headers is not None and s.rows is not None:
+            out.append("| " + " | ".join(s.headers) + " |")
+            out.append("|" + "|".join(" --- " for _ in s.headers) + "|")
+            for row in s.rows:
+                out.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+            out.append("")
+        if s.text:
+            out.append("```")
+            out.append(s.text)
+            out.append("```")
+            out.append("")
+    return "\n".join(out).rstrip() + "\n"
+
+
+_HTML_STYLE = """
+body { font: 14px/1.5 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       max-width: 60rem; margin: 2rem auto; padding: 0 1rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #4a4e69; padding-bottom: .3rem; }
+h2 { color: #4a4e69; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .5rem 0; }
+th, td { border: 1px solid #c9cbd8; padding: .25rem .6rem; text-align: left; }
+th { background: #f2f3f7; }
+pre { background: #f7f7fa; border: 1px solid #e1e2ea; padding: .7rem;
+      overflow-x: auto; }
+p.prose { color: #555; font-style: italic; }
+"""
+
+
+def render_html(title: str, sections: List[Section]) -> str:
+    esc = _html.escape
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset=\"utf-8\">",
+        f"<title>{esc(title)}</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{esc(title)}</h1>",
+    ]
+    for s in sections:
+        out.append(f"<h2>{esc(s.title)}</h2>")
+        if s.prose:
+            out.append(f"<p class=\"prose\">{esc(s.prose)}</p>")
+        if s.headers is not None and s.rows is not None:
+            out.append("<table><thead><tr>")
+            out.extend(f"<th>{esc(h)}</th>" for h in s.headers)
+            out.append("</tr></thead><tbody>")
+            for row in s.rows:
+                out.append(
+                    "<tr>" + "".join(f"<td>{esc(_fmt(v))}</td>" for v in row) + "</tr>"
+                )
+            out.append("</tbody></table>")
+        if s.text:
+            out.append(f"<pre>{esc(s.text)}</pre>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+# ----------------------------------------------------------------------
+# orchestration
+# ----------------------------------------------------------------------
+
+
+def render_report(
+    *,
+    trace_path: Optional[str] = None,
+    ledger_entries: Optional[Sequence[LedgerEntry]] = None,
+    bench_path: Optional[Union[str, Path]] = None,
+    fmt: str = "md",
+    title: Optional[str] = None,
+) -> str:
+    """Build a report from whichever sources are given.
+
+    ``trace_path`` contributes the single-run sections (torn final
+    lines are tolerated — a flight dump or crashed trace still
+    renders); ``ledger_entries`` and ``bench_path`` contribute the
+    trend sections.  ``fmt`` is ``"md"`` or ``"html"``.
+    """
+    sections: List[Section] = []
+    if title is None:
+        title = "Verification run report" if trace_path else "Verification trends"
+    if trace_path is not None:
+        events = read_trace(trace_path, allow_torn_tail=True)
+        sections.extend(run_report_sections(events))
+    bench_record = None
+    if bench_path is not None and Path(bench_path).exists():
+        bench_record = json.loads(Path(bench_path).read_text())
+    if ledger_entries or bench_record:
+        sections.extend(trend_sections(ledger_entries or [], bench_record))
+    if fmt == "html":
+        return render_html(title, sections)
+    return render_markdown(title, sections)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from typing import Optional, Sequence
 
+from .flight import FlightRecorder
 from .metrics import MetricsRegistry
 from .progress import ProgressReporter
 from .stats import ExplorationStats
@@ -46,10 +47,12 @@ class Telemetry:
         registry: Optional[MetricsRegistry] = None,
         trace: Optional[TraceWriter] = None,
         progress: Optional[ProgressReporter] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.registry = registry
         self.trace = trace
         self.progress = progress
+        self.flight = flight
         self._t0 = time.perf_counter()
         self._hb_last = self._t0
         interval = progress.interval if progress is not None else DEFAULT_HEARTBEAT_S
@@ -60,17 +63,22 @@ class Telemetry:
         return time.perf_counter() - self._t0
 
     def emit(self, ev: str, **fields) -> None:
-        """Write a trace event (no-op without a trace sink)."""
+        """Write a trace event to the trace log and/or the flight
+        recorder ring (no-op when neither sink is attached)."""
         if self.trace is not None:
             self.trace.emit(ev, **fields)
+        if self.flight is not None:
+            self.flight.emit(ev, **fields)
 
     def span(self, name: str):
-        """A timer span on the registry (no-op span without one)."""
-        if self.registry is not None:
-            return self.registry.timer(name)
-        from .metrics import NULL_REGISTRY
-
-        return NULL_REGISTRY.timer(name)
+        """A *hierarchical* timer span: nests under any enclosing
+        :meth:`span` in the same registry (the timer's name is the
+        ``/``-joined path — see ``MetricsRegistry.span``) and, when a
+        trace or flight sink is attached, emits a ``span`` event with
+        the path and duration on exit.  Per-state engine timings never
+        come through here — they use the registry directly — so the
+        event stream stays coarse (phases, rounds)."""
+        return _TelemetrySpan(self, name)
 
     # ------------------------------------------------------------------
     def heartbeat(
@@ -91,8 +99,8 @@ class Telemetry:
         self._hb_last = now
         if self.progress is not None:
             self.progress.tick(stats, frontier=frontier, force=True)
-        if self.trace is not None:
-            self.trace.emit(
+        if self.trace is not None or self.flight is not None:
+            self.emit(
                 "heartbeat",
                 states=stats.states,
                 transitions=stats.transitions,
@@ -125,11 +133,11 @@ class Telemetry:
         snapshot (when a registry is attached) followed by ``run_end``.
         Extra keyword fields (``stats``, ``shards``…) ride on
         ``run_end`` for ``repro metrics`` to summarise."""
-        if self.trace is None:
+        if self.trace is None and self.flight is None:
             return
         if self.registry is not None:
-            self.trace.emit("metrics", snapshot=self.registry.snapshot().as_dict())
-        self.trace.emit(
+            self.emit("metrics", snapshot=self.registry.snapshot().as_dict())
+        self.emit(
             "run_end",
             verdict=verdict,
             states=states,
@@ -212,3 +220,33 @@ class Telemetry:
     def close(self) -> None:
         if self.trace is not None:
             self.trace.close()
+
+
+class _TelemetrySpan:
+    """Context manager behind :meth:`Telemetry.span`: a nesting
+    registry span plus a ``span`` trace/flight event on exit."""
+
+    __slots__ = ("_telemetry", "_name", "_inner", "_t0")
+
+    def __init__(self, telemetry: Telemetry, name: str) -> None:
+        self._telemetry = telemetry
+        self._name = name
+        self._inner = None
+
+    def __enter__(self) -> "_TelemetrySpan":
+        reg = self._telemetry.registry
+        if reg is not None:
+            self._inner = reg.span(name=self._name)
+            self._inner.__enter__()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        dt = time.perf_counter() - self._t0
+        path = self._name
+        if self._inner is not None:
+            path = self._inner.path or self._name
+            self._inner.__exit__(*exc)
+        t = self._telemetry
+        if t.trace is not None or t.flight is not None:
+            t.emit("span", name=self._name, path=path, total_s=round(dt, 6))

@@ -55,6 +55,9 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
     "checkpoint_saved": frozenset({"path", "states", "elapsed_s"}),
     "degrade_stage": frozenset({"stage"}),
     "fault_activated": frozenset({"protocol", "fault", "expect"}),
+    # a closed hierarchical profiler span (coarse phases and parallel
+    # rounds only — per-state spans never reach the trace)
+    "span": frozenset({"name", "path", "total_s"}),
     # a full metrics snapshot (usually once, at run end)
     "metrics": frozenset({"snapshot"}),
 }
@@ -81,11 +84,16 @@ class TraceWriter:
         self._sink = sink
         self._seq = 0
         self._owns = False
+        #: the file path behind the sink when opened via :meth:`open`
+        #: (``None`` for streams and lists) — consumers such as the run
+        #: ledger record it alongside the run
+        self.path: Optional[str] = None
 
     @classmethod
     def open(cls, path: str) -> "TraceWriter":
         w = cls(io.open(path, "w", encoding="utf-8"))
         w._owns = True
+        w.path = path
         return w
 
     def emit(self, ev: str, **fields) -> None:
@@ -139,7 +147,12 @@ def validate_event(obj: dict, lineno: int = 0) -> dict:
     return obj
 
 
-def read_trace(source: Union[str, Iterable[str]], *, path: Optional[str] = None) -> List[dict]:
+def read_trace(
+    source: Union[str, Iterable[str]],
+    *,
+    path: Optional[str] = None,
+    allow_torn_tail: bool = False,
+) -> List[dict]:
     """Read and validate a whole JSONL trace.
 
     ``source`` is a file path or an iterable of lines.  A trailing
@@ -147,18 +160,34 @@ def read_trace(source: Union[str, Iterable[str]], *, path: Optional[str] = None)
     newline); anything else malformed raises :class:`TraceError`.
     Sequence numbers must be strictly increasing — a shuffled or
     spliced trace is rejected.
+
+    With ``allow_torn_tail=True`` a *final* line that is not valid
+    JSON — the signature of a crash mid-write — is dropped and the
+    complete prefix returned.  Corruption anywhere else (a torn middle
+    line, a schema violation, a bad sequence) still raises: tearing
+    only ever hits the tail of an append-only file.
     """
     if isinstance(source, str):
         with io.open(source, "r", encoding="utf-8") as fh:
             lines = fh.readlines()
     else:
         lines = list(source)
+    while lines and not lines[-1].strip():
+        lines.pop()
     events: List[dict] = []
     last_seq = -1
     for i, line in enumerate(lines, start=1):
         if not line.strip():
             continue
-        obj = validate_trace_line(line, i)
+        try:
+            obj = validate_trace_line(line, i)
+        except TraceError:
+            if allow_torn_tail and i == len(lines):
+                try:
+                    json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail: keep the complete prefix
+            raise
         if obj["seq"] <= last_seq:
             raise TraceError(
                 f"line {i}: sequence number {obj['seq']} not increasing "

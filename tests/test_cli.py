@@ -285,8 +285,9 @@ def test_verify_profile_prints_span_table(capsys):
     code, out = run_cli(capsys, "verify", "serial", "--b", "1", "--v", "1",
                         "--profile")
     assert code == 0
-    assert "Profile (timer spans)" in out
+    assert "Profile (span tree)" in out
     assert "phase.search" in out
+    assert "\n  expand" in out  # engine spans nest under the phase
 
 
 def test_metrics_malformed_trace_is_exit_2(capsys, tmp_path):
@@ -396,3 +397,91 @@ def test_degrade_trace_has_stage_events(capsys, tmp_path):
     stages = [e["stage"] for e in read_trace(str(trace))
               if e["ev"] == "degrade_stage"]
     assert stages and stages[0] == "model-check"
+
+
+# --------------------------------------------- report: run/trend documents
+
+
+def _traced_violation(tmp_path, capsys):
+    trace = str(tmp_path / "v.jsonl")
+    run_cli(capsys, "verify", "buggy-msi", "--trace-log", trace)
+    return trace
+
+
+def test_report_renders_a_run_report_from_a_trace(capsys, tmp_path):
+    trace = _traced_violation(tmp_path, capsys)
+    code, out = run_cli(capsys, "report", trace)
+    assert code == 0
+    assert "# Verification run report" in out
+    assert "## Span tree" in out and "phase.search" in out
+    assert "violation_found" in out
+    assert "NOT SC" in out
+
+
+def test_report_renders_html(capsys, tmp_path):
+    trace = _traced_violation(tmp_path, capsys)
+    out_file = tmp_path / "r.html"
+    code, out = run_cli(capsys, "report", trace, "--format", "html",
+                        "-o", str(out_file))
+    assert code == 0 and "report written:" in out
+    html = out_file.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<table>" in html and "phase.search" in html
+
+
+def test_report_renders_ledger_trends(capsys, tmp_path):
+    led = str(tmp_path / "led.jsonl")
+    run_cli(capsys, "verify", "serial", "--b", "1", "--v", "1", "--ledger", led)
+    run_cli(capsys, "verify", "serial", "--b", "1", "--v", "1", "--ledger", led)
+    code, out = run_cli(capsys, "report", "--ledger", led)
+    assert code == 0
+    assert "Ledger runs by search hash" in out
+    assert "SerialMemory" in out and "| 2 |" in out  # two runs, one row
+
+
+def test_report_tolerates_a_torn_trace(capsys, tmp_path):
+    trace = _traced_violation(tmp_path, capsys)
+    text = open(trace).read()
+    torn = tmp_path / "torn.jsonl"
+    torn.write_text(text[:-30])  # rip the final line
+    code, out = run_cli(capsys, "report", str(torn))
+    assert code == 0 and "# Verification run report" in out
+
+
+def test_report_renders_a_flight_dump(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    run_cli(capsys, "verify", "buggy-msi", "--flight")
+    dump = tmp_path / "repro-buggy-msi.flight.jsonl"
+    assert dump.exists()
+    code, out = run_cli(capsys, "report", str(dump))
+    assert code == 0 and "violation_found" in out
+
+
+def test_report_corrupt_trace_exit_2(capsys, tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"ev": "nope", "ts": 0, "seq": 0}\n{"ev": "x"}\n')
+    code, out = run_cli(capsys, "report", str(bad))
+    assert code == 2 and "error:" in out
+
+
+def test_metrics_diff_of_two_traces(capsys, tmp_path):
+    t1 = str(tmp_path / "a.jsonl")
+    t2 = str(tmp_path / "b.jsonl")
+    run_cli(capsys, "verify", "serial", "--b", "1", "--v", "1",
+            "--trace-log", t1)
+    run_cli(capsys, "verify", "msi", "--trace-log", t2)
+    code, out = run_cli(capsys, "metrics", t1, t2)
+    assert code == 0
+    assert "Metrics diff" in out and "search.states" in out
+
+
+def test_metrics_diff_without_snapshot_exit_2(capsys, tmp_path):
+    t1 = str(tmp_path / "a.jsonl")
+    run_cli(capsys, "verify", "serial", "--b", "1", "--v", "1",
+            "--trace-log", t1)
+    nosnap = tmp_path / "nosnap.jsonl"
+    nosnap.write_text(
+        "".join(l for l in open(t1) if '"ev":"metrics"' not in l.replace(" ", ""))
+    )
+    code, out = run_cli(capsys, "metrics", t1, str(nosnap))
+    assert code == 2 and "no metrics snapshot to diff" in out

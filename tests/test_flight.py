@@ -1,0 +1,147 @@
+"""The flight recorder: ring semantics, dump validity, crash triggers.
+
+Contracts (docs/OBSERVABILITY.md): the ring is bounded (oldest events
+fall off — wraparound is the normal regime, not an edge case), a dump
+is ordinary schema-valid trace JSONL that ``read_trace`` accepts, and
+the harness dumps it exactly when something goes wrong — violation,
+exception, cooperative signal stop — never on a clean verified run.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.harness import CheckpointError, run_verification
+from repro.memory import BuggyMSIProtocol, SerialMemory
+from repro.obs import FlightRecorder, Telemetry
+from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY
+from repro.obs.trace import read_trace
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+# ---------------------------------------------------------------- ring
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(0)
+
+
+def test_ring_wraparound_keeps_the_newest_window():
+    fl = FlightRecorder(capacity=16)
+    for i in range(300):
+        fl.emit("heartbeat", states=i, transitions=0, frontier=0,
+                elapsed_s=0.0)
+    assert len(fl) == 16
+    window = fl.events()
+    assert [e["states"] for e in window] == list(range(284, 300))
+    # seq stays globally monotone across the wrap — a dump is always a
+    # contiguous window onto the end of the run
+    seqs = [e["seq"] for e in window]
+    assert seqs == list(range(284, 300))
+
+
+def test_unknown_event_rejected():
+    fl = FlightRecorder(4)
+    with pytest.raises(AssertionError):
+        fl.emit("nonsense")
+
+
+def test_dump_is_schema_valid_trace_jsonl(tmp_path):
+    path = str(tmp_path / "f.flight.jsonl")
+    fl = FlightRecorder(capacity=8, path=path)
+    for i in range(20):
+        fl.emit("heartbeat", states=i, transitions=0, frontier=0,
+                elapsed_s=0.0)
+    assert fl.dump(reason="test") == path
+    assert fl.dumped == (path, "test", 8)
+    events = read_trace(path)  # strict read: schema + seq both hold
+    assert len(events) == 8 and events[0]["states"] == 12
+
+
+def test_dump_without_events_or_path_is_none(tmp_path):
+    assert FlightRecorder(4, path=str(tmp_path / "x")).dump() is None  # empty
+    fl = FlightRecorder(4)
+    fl.emit("degrade_stage", stage="s")
+    assert fl.dump() is None  # no destination known
+    assert fl.dumped is None
+
+
+def test_default_capacity_is_sane():
+    assert FlightRecorder().capacity == DEFAULT_FLIGHT_CAPACITY >= 64
+
+
+# --------------------------------------------------- harness triggers
+
+
+def test_violation_dumps_the_ring(tmp_path):
+    path = str(tmp_path / "v.flight.jsonl")
+    t = Telemetry(flight=FlightRecorder(64, path=path))
+    res = run_verification(BuggyMSIProtocol(p=2, b=1, v=1), telemetry=t)
+    assert res.counterexample is not None
+    assert t.flight.dumped is not None and t.flight.dumped[1] == "violation"
+    events = read_trace(path)
+    assert any(e["ev"] == "violation_found" for e in events)
+    assert any(e["ev"] == "run_start" for e in events)
+
+
+def test_clean_run_does_not_dump(tmp_path):
+    path = tmp_path / "c.flight.jsonl"
+    t = Telemetry(flight=FlightRecorder(64, path=str(path)))
+    res = run_verification(SerialMemory(p=2, b=1, v=1), telemetry=t)
+    assert res.sequentially_consistent
+    assert t.flight.dumped is None and not path.exists()
+    assert len(t.flight) > 0  # but the ring did record the run
+
+
+def test_exception_in_the_harness_dumps_the_ring(tmp_path):
+    path = tmp_path / "e.flight.jsonl"
+    flight = FlightRecorder(64, path=str(path))
+    # events recorded before the crash survive in the dump
+    flight.emit("heartbeat", states=1, transitions=0, frontier=0,
+                elapsed_s=0.0)
+    t = Telemetry(flight=flight)
+    with pytest.raises(CheckpointError):
+        run_verification(
+            resume_from=str(tmp_path / "no-such-checkpoint"), telemetry=t
+        )
+    assert flight.dumped is not None
+    assert flight.dumped[1] == "exception:CheckpointError"
+    assert path.exists() and len(read_trace(str(path))) == 1
+
+
+# ---------------------------------------------------------------- CLI
+
+
+def test_cli_flight_dumps_next_to_the_trace(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    trace = str(tmp_path / "run.jsonl")
+    code = main(["verify", "buggy-msi", "--flight", "--trace-log", trace])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert (tmp_path / "run.jsonl.flight.jsonl").exists()
+    # the dump notice goes to stderr — stdout stays machine-diffable
+    assert "flight recorder:" in captured.err
+    assert "flight recorder:" not in captured.out
+
+
+def test_cli_flight_without_trace_log_derives_a_path(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["verify", "buggy-msi", "--flight", "32"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert (tmp_path / "repro-buggy-msi.flight.jsonl").exists()
+    assert "flight recorder:" in captured.err
+    events = read_trace(str(tmp_path / "repro-buggy-msi.flight.jsonl"))
+    assert any(e["ev"] == "violation_found" for e in events)
+
+
+def test_cli_flight_capacity_must_be_positive(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit) as exc:
+        main(["verify", "serial", "--flight", "0"])
+    assert exc.value.code == 2

@@ -295,3 +295,34 @@ def test_stats_pickled_under_old_module_paths_load():
         loaded = pickle.loads(old_blob)
         assert type(loaded) is ExplorationStats
         assert loaded == ExplorationStats()
+
+
+# ------------------------------------------------- budget burn: both axes
+
+
+def test_budget_burn_states_axis():
+    from repro.harness import Budget
+
+    b = Budget(states=200).start()
+    assert b.burn(states=50) == pytest.approx(0.25)
+    assert b.burn(states=400) == 1.0  # clamped
+    assert b.burn() is None  # no wall budget, no states supplied
+
+
+def test_budget_burn_reports_the_tighter_axis():
+    from repro.harness import Budget
+
+    b = Budget(wall_s=1_000_000.0, states=100).start()
+    # wall burn ~0, state burn 80% — heartbeat shows the tighter one
+    assert b.burn(states=80) == pytest.approx(0.8)
+
+
+def test_progress_reporter_shows_states_budget_burn():
+    from repro.harness import Budget
+
+    out = io.StringIO()
+    rep = ProgressReporter(
+        interval=0.05, stream=out, budget=Budget(states=100).start()
+    )
+    rep.tick(ExplorationStats(states=25), force=True)
+    assert "budget=25%" in out.getvalue()

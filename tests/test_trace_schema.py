@@ -190,3 +190,69 @@ def test_shuffled_seq_rejected():
     with pytest.raises(TraceError, match="not increasing"):
         read_trace([mk(1), mk(0)])
     assert len(read_trace([mk(0), mk(1), "\n"])) == 2  # blank line tolerated
+
+
+# ------------------------------------------------- span events & torn tails
+
+
+def test_span_events_are_schema_valid(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _traced_run(path)
+    events = read_trace(str(path))
+    spans = [e for e in events if e["ev"] == "span"]
+    # coarse phase spans only — never one event per state
+    assert {e["path"] for e in spans} >= {"phase.search"}
+    assert len(spans) < 10
+    for e in spans:
+        assert EVENT_SCHEMA["span"] <= e.keys()
+        assert e["total_s"] >= 0
+
+
+def test_span_event_missing_field_rejected():
+    line = json.dumps({"ev": "span", "ts": 0, "seq": 0, "name": "x"})
+    with pytest.raises(TraceError, match="missing field"):
+        validate_trace_line(line, 1)
+
+
+def _mk(seq):
+    return json.dumps(
+        {"ev": "degrade_stage", "ts": 0, "seq": seq, "stage": "x"}
+    ) + "\n"
+
+
+def test_torn_tail_opt_in_keeps_the_complete_prefix():
+    lines = [_mk(0), _mk(1), '{"ev": "run_end", "ts": 1.0, "se']
+    with pytest.raises(TraceError):  # strict by default
+        read_trace(lines)
+    kept = read_trace(lines, allow_torn_tail=True)
+    assert [e["seq"] for e in kept] == [0, 1]
+
+
+def test_torn_tail_tolerance_does_not_mask_mid_file_corruption():
+    lines = [_mk(0), '{"ev": "run_end", "ts": 1.0, "se\n', _mk(1)]
+    with pytest.raises(TraceError, match="not valid JSON"):
+        read_trace(lines, allow_torn_tail=True)
+
+
+def test_torn_tail_tolerance_still_rejects_schema_violations():
+    # a final line that IS valid JSON but breaks the schema is not a
+    # torn tail — it is corruption, and stays an error
+    bad = json.dumps({"ev": "round", "ts": 0, "seq": 1, "round": 1}) + "\n"
+    with pytest.raises(TraceError, match="missing field"):
+        read_trace([_mk(0), bad], allow_torn_tail=True)
+
+
+def test_cli_metrics_summarises_a_torn_trace(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "t.jsonl"
+    _traced_run(path)
+    text = path.read_text()
+    torn = text[: len(text) - 40]  # rip the final line mid-JSON
+    assert not torn.endswith("\n")
+    torn_path = tmp_path / "torn.jsonl"
+    torn_path.write_text(torn)
+    code = main(["metrics", str(torn_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "in progress" in out or "partial" in out
