@@ -88,6 +88,75 @@ POR_WORKLOADS = [
     ),
 ]
 
+#: the capacity workload: the acceptance MESI instance verified twice,
+#: all-in-RAM and with a resident cap far below the closure's ~87k
+#: interned keys — verdict and state count must be bit-identical while
+#: the disk run's resident set stays pinned at the cap
+STORE_WORKLOAD = ("mesi_p3b1v1", "MESIProtocol(p=3, b=1, v=1)")
+STORE_CAP_KEYS = 4096
+
+#: runs in a subprocess so ``ru_maxrss`` (a per-process high-water
+#: mark) measures one backend, not whichever ran first
+_STORE_SNIPPET = """
+import json, resource, sys, time
+from repro.engine.intern import StoreConfig
+from repro.memory import MESIProtocol, MSIProtocol, SerialMemory
+from repro.modelcheck.product import ProductSearch
+
+src, cfg = json.loads(sys.argv[1])
+store = StoreConfig(**cfg) if cfg else None
+search = ProductSearch(eval(src), mode="fast", store=store)
+t0 = time.perf_counter()
+res = search.run()
+dt = time.perf_counter() - t0
+stats = search.engine.store.store_stats()
+print(json.dumps({
+    "seconds": round(dt, 6),
+    "states": res.stats.states,
+    "verified": bool(res.ok),
+    "states_per_sec": round(res.stats.states / dt, 1),
+    "resident_keys": stats["resident_keys"],
+    "spilled_keys": stats["spilled_keys"],
+    "spill_bytes": stats["spill_bytes"],
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+def time_store_subprocess() -> dict:
+    """Time the capacity workload per backend, one subprocess each."""
+    name, src = STORE_WORKLOAD
+    disk_cfg = {"kind": "disk", "cap_keys": STORE_CAP_KEYS}
+    results = {}
+    for label, cfg in (("mem", None), ("disk", disk_cfg)):
+        proc = subprocess.run(
+            [sys.executable, "-c", _STORE_SNIPPET, json.dumps([src, cfg])],
+            env=dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src")),
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        results[label] = json.loads(proc.stdout.strip().splitlines()[-1])
+    mem, disk = results["mem"], results["disk"]
+    # backend invariance, measured: same verdict, same closure
+    assert mem["verified"] and disk["verified"], results
+    assert mem["states"] == disk["states"], results
+    # the capacity claim: the resident set held at the cap while the
+    # spilled majority lived on disk
+    assert 0 < disk["resident_keys"] <= STORE_CAP_KEYS, disk
+    assert disk["spilled_keys"] == disk["states"] - disk["resident_keys"]
+    return {
+        name: {
+            "cap_keys": STORE_CAP_KEYS,
+            "mem": mem,
+            "disk": disk,
+            "rss_ratio_disk_over_mem": round(
+                disk["peak_rss_kb"] / mem["peak_rss_kb"], 3
+            ),
+        }
+    }
+
+
 _TIMER_SNIPPET = """
 import json, sys, time
 from repro.core.verify import verify_protocol
@@ -272,6 +341,7 @@ def main(argv=None) -> int:
     parallel = time_parallel_inprocess(args.rounds)
     reduction = time_reduction_inprocess()
     por = time_por_inprocess()
+    store = time_store_subprocess()
 
     previous = {}
     if args.output.exists():
@@ -289,6 +359,7 @@ def main(argv=None) -> int:
         parallel=parallel,
         reduction=reduction,
         por=por,
+        store=store,
         baseline=baseline,
         baseline_note=baseline_note,
         rounds=args.rounds,
@@ -320,6 +391,15 @@ def main(argv=None) -> int:
             f"{entry['on']['states']} states ({entry['state_gain']:.2f}x "
             f"fewer), {entry['off']['seconds']:.1f}s -> "
             f"{entry['on']['seconds']:.1f}s"
+        )
+    for name, entry in store.items():
+        mem, disk = entry["mem"], entry["disk"]
+        print(
+            f"{name:16s} store=disk cap={entry['cap_keys']}: "
+            f"{disk['resident_keys']} resident / {disk['spilled_keys']} "
+            f"spilled of {disk['states']} states, "
+            f"{mem['states_per_sec']:.0f} -> {disk['states_per_sec']:.0f} "
+            f"states/s, rss {mem['peak_rss_kb']} -> {disk['peak_rss_kb']} kB"
         )
     print(f"wrote {args.output}")
     return 0

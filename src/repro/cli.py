@@ -212,6 +212,7 @@ def cmd_verify(args) -> int:
 
 
 def _cmd_verify(args, telemetry=None) -> int:
+    from .engine.intern import StoreConfig, StoreError
     from .engine.por import PorError
     from .engine.reduction import ReductionError
     from .faults.infra import ChaosError, parse_chaos
@@ -225,6 +226,21 @@ def _cmd_verify(args, telemetry=None) -> int:
         except ChaosError as exc:
             print(f"error: {exc}")
             return 2
+
+    store = None
+    if args.store_budget_mb is not None or args.store_dir is not None:
+        if args.store != "disk":
+            print(
+                "error: --store-budget-mb/--store-dir tune the disk "
+                "backend; add --store disk"
+            )
+            return 2
+    if args.store is not None:
+        store = StoreConfig(
+            kind=args.store,
+            budget_mb=args.store_budget_mb,
+            dir=args.store_dir,
+        )
 
     budget = None
     if (
@@ -259,6 +275,7 @@ def _cmd_verify(args, telemetry=None) -> int:
                 on_worker_failure=args.on_worker_failure,
                 round_timeout_s=args.round_timeout_s,
                 chaos=chaos,
+                store=store,
                 telemetry=telemetry,
             )
         else:
@@ -285,7 +302,8 @@ def _cmd_verify(args, telemetry=None) -> int:
                         telemetry.progress.budget = budget
                 res = degrade(
                     proto, gen, budget=budget, mode=args.mode,
-                    workers=args.workers or 1, telemetry=telemetry,
+                    workers=args.workers or 1, store=store,
+                    telemetry=telemetry,
                 )
                 if telemetry is not None:
                     telemetry.finish_run(
@@ -313,10 +331,12 @@ def _cmd_verify(args, telemetry=None) -> int:
                     on_worker_failure=args.on_worker_failure,
                     round_timeout_s=args.round_timeout_s,
                     chaos=chaos,
+                    store=store,
                     telemetry=telemetry,
                     ledger=args.ledger,
                 )
-    except (CheckpointError, PorError, ReductionError, ModelError) as exc:
+    except (CheckpointError, PorError, ReductionError, ModelError,
+            StoreError) as exc:
         print(f"error: {exc}")
         return 2
     dt = time.perf_counter() - t0
@@ -768,16 +788,19 @@ def build_parser() -> argparse.ArgumentParser:
             "     --preemptions or --por), a --reduce level the protocol\n"
             "     declares no symmetry for, an unsupported model combination\n"
             "     (--model causal with --mode full, --reduce or --por,\n"
-            "     --preemptions with --model causal), or a malformed --chaos\n"
-            "     spec\n"
+            "     --preemptions with --model causal), a malformed --chaos\n"
+            "     spec, --store-budget-mb/--store-dir without --store disk, or\n"
+            "     a checkpoint whose referenced spill files are missing, torn\n"
+            "     or CRC-damaged\n"
             "\n"
             "resume semantics: --reduce, --model, --preemptions and --por are\n"
             "search state (baked into the checkpoint's interned keys, run set\n"
             "and ample-set pruning; with --resume they are inherited and an\n"
             "explicit mismatch exits 2 — checkpoints written before the POR\n"
-            "layer resume as --por off), while --workers and the supervision\n"
-            "knobs are run policy (explicit values override whatever the\n"
-            "checkpoint carried).\n"
+            "layer resume as --por off), while --workers, --store and the\n"
+            "supervision knobs are run policy (explicit values override\n"
+            "whatever the checkpoint carried; an explicit --store migrates the\n"
+            "interned keys into the requested backend, IDs preserved).\n"
             "\n"
             "SIGTERM/SIGINT during the search stop it cooperatively: the final\n"
             "checkpoint (with --checkpoint) is written and the run exits 0\n"
@@ -822,6 +845,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "state: with --resume an explicit N re-shards the "
                         "checkpointed search (parallel checkpoints only; a "
                         "sequential checkpoint resumes only with workers=1)")
+    v.add_argument("--store", choices=["mem", "disk"], default=None,
+                   help="state-store backend: mem keeps every interned key in "
+                        "RAM (default), disk spills keys past the resident "
+                        "budget to an append-only CRC-framed log with an "
+                        "mmap'd hash index (see docs/ARCHITECTURE.md). Run "
+                        "policy, not search state: verdicts, state counts and "
+                        "fingerprints are bit-identical across backends, and "
+                        "with --resume an explicit backend migrates the "
+                        "checkpointed store")
+    v.add_argument("--store-budget-mb", type=float, default=None, metavar="MB",
+                   help="resident-key budget for --store disk: keys beyond "
+                        "this many MB (pickled size) are evicted to the spill "
+                        "log and re-read on demand")
+    v.add_argument("--store-dir", metavar="DIR", default=None,
+                   help="directory for --store disk spill files (default: a "
+                        "fresh repro-store-* directory under the system temp "
+                        "dir; checkpoints reference the spill files by path, "
+                        "so keep them alongside long-lived checkpoints)")
     v.add_argument("--worker-retries", type=int, default=None, metavar="N",
                    help="worker failures (crash/stall) absorbed before giving "
                         "up (default 2; see docs/ROBUSTNESS.md)")

@@ -245,6 +245,7 @@ def fingerprint(
     on_worker_failure: str = "reshard",
     round_timeout_s: Optional[float] = None,
     chaos=None,
+    store=None,
 ) -> SearchFingerprint:
     """Run one product search and summarise it for comparison.
 
@@ -263,6 +264,14 @@ def fingerprint(
     field on the fingerprint: the whole point of the chaos tests is
     that a faulted-and-recovered run must fingerprint identically to
     a clean one.
+
+    ``store`` selects the state-store backend (``"mem"``/``"disk"``
+    or a :class:`~repro.engine.intern.StoreConfig`) — likewise run
+    policy and deliberately **not** a provenance field: the
+    backend-invariance contract (docs/ARCHITECTURE.md) is that a
+    spill-to-disk search fingerprints bit-identically to the
+    all-in-RAM one, and the cross-backend difftest asserts exactly
+    that.
     """
     search = ProductSearch(
         protocol,
@@ -282,6 +291,7 @@ def fingerprint(
         on_worker_failure=on_worker_failure,
         round_timeout_s=round_timeout_s,
         chaos=chaos,
+        store=store,
     )
     telemetry = Telemetry(registry=MetricsRegistry(), trace=TraceWriter([]))
     result = search.run(telemetry=telemetry)

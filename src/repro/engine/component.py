@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable, Iterator, Optional, Tuple
+from typing import Any, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.checker import Checker
 from ..core.cycle_checker import CycleChecker
@@ -424,8 +424,19 @@ class ComposedSystem(System):
             return (pstate, okey, chk.state_key(canon))
         return (pstate, obs.state_key(None), chk.state_key(None))
 
-    def steps(self, state) -> Iterator[Step]:
+    def steps(self, state) -> List[Step]:
+        """All successor steps of ``state``, keys computed in batch.
+
+        Children are materialised first, then every non-violating
+        child's canonical key is computed in one
+        :meth:`~repro.engine.reduction.Reduction.canonicalize_batch`
+        sweep (violating observer states keep their identity key —
+        see :meth:`key`).  Returns a list rather than a generator so
+        the engine's batched interning sees the whole successor set;
+        each key is bit-identical to a per-child :meth:`key` call.
+        """
         pstate, obs, chk = state
+        children = []
         for t in self.protocol_comp.enabled(pstate):
             obs2, symbols = self.observer_comp.step(obs, t)
             if symbols:
@@ -436,8 +447,27 @@ class ComposedSystem(System):
                 # shared — it is only ever mutated right after a fork
                 chk2 = chk
                 ok = obs2.violation is None
-            child = (t.state, obs2, chk2)
-            yield Step(t.action, child, self.key(child), ok)
+            children.append((t, (t.state, obs2, chk2), ok))
+        reduction = self.reduction
+        if reduction is not None:
+            items = [
+                child for _t, child, _ok in children
+                if child[1].violation is None
+            ]
+            batched = iter(reduction.canonicalize_batch(items)) if items else iter(())
+            return [
+                Step(
+                    t.action,
+                    child,
+                    next(batched) if child[1].violation is None else self.key(child),
+                    ok,
+                )
+                for t, child, ok in children
+            ]
+        return [
+            Step(t.action, child, self.key(child), ok)
+            for t, child, ok in children
+        ]
 
     def end_check(self, state) -> Optional[bool]:
         pstate, _obs, chk = state

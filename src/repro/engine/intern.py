@@ -14,19 +14,850 @@ with ints.  Counterexample runs are reconstructed from a
 parent-pointer array (one parent ID + one action per state) instead of
 an action list per frontier entry, which also cuts frontier memory.
 
-The store is plain data (a few lists and a dict) so a paused search
-pickles and resumes exactly (:mod:`repro.harness.checkpoint`), and a
-parallel shard's store re-shards by replaying its key list.
+Storage backends
+----------------
+
+What caps protocol size is not search logic but state explosion
+(ROADMAP: "Beyond-RAM state spaces"): the interning dict pins every
+canonical key in RAM for the lifetime of the search.  The store is
+therefore split into a thin **facade** (:class:`StateStore` /
+:class:`ShardStore` — parent/action/depth columns plus the public
+search API, unchanged) over a pluggable **key backend**
+(:class:`StoreBackend`):
+
+* :class:`MemBackend` (``--store mem``, the default) is the original
+  dict-plus-list representation, bit for bit.
+* :class:`DiskBackend` (``--store disk``) spills interned keys to an
+  append-only CRC-framed key log with an mmap'd open-addressing hash
+  index, keeping only a bounded *resident* dict of hot keys in RAM
+  (``--store-budget-mb``).  Columns are ``array``-backed.  Checkpoints
+  reference the spill files by path after an fsync
+  (:meth:`DiskBackend.sync`); a torn or corrupted spill file surfaces
+  as :class:`StoreError`, which checkpoint loading converts to a clean
+  ``CheckpointError``.
+
+The backend is **run policy**, never search provenance: which backend
+interned the keys cannot affect a single ID, count or verdict, and the
+differential harness enforces bit-identical
+:class:`~repro.difftest.SearchFingerprint` across ``mem`` × ``disk``
+(the same contract worker counts and supervision knobs are held to).
+
+Both facades additionally expose batched entry points
+(:meth:`StateStore.lookup_many` / :meth:`StateStore.intern_many`) so
+the engine hot loop can intern a whole successor batch in array form —
+the seam where a compiled kernel can later slot in without touching
+callers.
+
+The store is plain data so a paused search pickles and resumes exactly
+(:mod:`repro.harness.checkpoint`), and a parallel shard's store
+re-shards by replaying its key list.  Legacy checkpoints written
+before the backend split (raw ``_ids``/``_keys`` slot pickles) are
+still loaded: :meth:`StateStore.__setstate__` rebuilds a
+:class:`MemBackend` and recomputes the depth column from the parent
+pointers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+import mmap
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+from array import array
+from dataclasses import dataclass
+from time import perf_counter
+from typing import (
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
-__all__ = ["StateStore", "ShardStore"]
+from .sharding import key_hash64
+
+__all__ = [
+    "NO_PARENT",
+    "StoreError",
+    "StoreConfig",
+    "as_config",
+    "make_backend",
+    "StoreBackend",
+    "MemBackend",
+    "DiskBackend",
+    "StateStore",
+    "ShardStore",
+]
 
 #: parent marker of a root (initial) state
 NO_PARENT = -1
+
+
+class StoreError(RuntimeError):
+    """A store backend's persistent spill files are missing, torn or
+    corrupted (CRC mismatch, short frame, bad index header).
+
+    Raised while reopening a :class:`DiskBackend` from a checkpoint;
+    :func:`repro.harness.checkpoint.load` converts it to a
+    ``CheckpointError`` so the CLI exits 2 with a clear message
+    instead of a traceback.
+    """
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Which backend to intern state keys in, and its capacity knobs.
+
+    Run policy, like ``--workers``: a :class:`StoreConfig` never
+    appears in search provenance (ledger hash, fingerprint fields) and
+    an explicit ``--store`` on resume *overrides* the checkpointed
+    backend rather than raising a mismatch error.
+
+    ``budget_mb`` bounds the resident key cache of the disk backend in
+    (approximate, pickled-frame) megabytes; ``cap_keys`` bounds it in
+    keys directly (a test hook — the spill-thrash property test pins
+    it to 16); ``dir`` overrides where spill directories are created
+    (default: the system temp dir).
+    """
+
+    kind: str = "mem"
+    budget_mb: Optional[float] = None
+    cap_keys: Optional[int] = None
+    dir: Optional[str] = None
+
+
+def as_config(store) -> StoreConfig:
+    """Normalize ``None`` / ``"mem"`` / ``"disk"`` / :class:`StoreConfig`
+    to a :class:`StoreConfig`."""
+    if store is None:
+        return StoreConfig()
+    if isinstance(store, StoreConfig):
+        return store
+    if isinstance(store, str):
+        if store not in ("mem", "disk"):
+            raise StoreError(f"unknown store backend {store!r} (mem|disk)")
+        return StoreConfig(kind=store)
+    raise StoreError(f"cannot interpret {store!r} as a store configuration")
+
+
+def make_backend(config: StoreConfig) -> "StoreBackend":
+    """Instantiate the backend a :class:`StoreConfig` names."""
+    if config.kind == "mem":
+        return MemBackend(config)
+    if config.kind == "disk":
+        return DiskBackend(config)
+    raise StoreError(f"unknown store backend {config.kind!r} (mem|disk)")
+
+
+# ----------------------------------------------------------------------
+# the backend protocol
+# ----------------------------------------------------------------------
+
+
+class StoreBackend(Protocol):
+    """What a key backend owes the store facades.
+
+    A backend interns hashable canonical keys to dense IDs in
+    discovery order — nothing else.  Parent/action/depth columns stay
+    in the facade, but are *allocated* through the backend
+    (:meth:`new_int_column` / :meth:`new_action_column`) so a
+    spill-oriented backend can choose compact ``array`` storage.
+
+    The contract that keeps backends interchangeable: for the same
+    sequence of :meth:`intern` / :meth:`intern_many` calls, every
+    backend returns the same ``(id, is_new)`` sequence.  The
+    differential tests hold ``mem`` and ``disk`` to it bit for bit.
+    """
+
+    kind: str
+
+    @property
+    def config(self) -> StoreConfig: ...
+
+    def intern(self, key: Hashable) -> Tuple[int, bool]: ...
+
+    def intern_many(
+        self,
+        keys: Sequence[Hashable],
+        hits: Optional[Sequence[Optional[int]]] = None,
+    ) -> List[Tuple[int, bool]]: ...
+
+    def lookup(self, key: Hashable) -> Optional[int]: ...
+
+    def lookup_many(
+        self, keys: Sequence[Hashable]
+    ) -> List[Optional[int]]: ...
+
+    def key_of(self, sid: int) -> Hashable: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, key: Hashable) -> bool: ...
+
+    def new_int_column(self): ...
+
+    def new_action_column(self): ...
+
+    def store_stats(self) -> Dict[str, object]: ...
+
+    def sync(self) -> None: ...
+
+
+# ----------------------------------------------------------------------
+# mem backend — the original representation, bit for bit
+# ----------------------------------------------------------------------
+
+
+class MemBackend:
+    """The original dict-plus-list interning: every key resident in
+    RAM, IDs allocated by ``len``.  The reference semantics the disk
+    backend is difftested against."""
+
+    __slots__ = ("_cfg", "_ids", "_keys")
+
+    kind = "mem"
+
+    def __init__(self, config: Optional[StoreConfig] = None) -> None:
+        self._cfg = config if config is not None else StoreConfig()
+        self._ids: Dict[Hashable, int] = {}
+        self._keys: List[Hashable] = []
+
+    @property
+    def config(self) -> StoreConfig:
+        return self._cfg
+
+    def intern(self, key: Hashable) -> Tuple[int, bool]:
+        sid = self._ids.get(key)
+        if sid is not None:
+            return sid, False
+        sid = len(self._keys)
+        self._ids[key] = sid
+        self._keys.append(key)
+        return sid, True
+
+    def intern_many(self, keys, hits=None):
+        ids = self._ids
+        keyl = self._keys
+        out: List[Tuple[int, bool]] = []
+        if hits is None:
+            hits = [ids.get(k) for k in keys]
+        for key, hit in zip(keys, hits):
+            if hit is not None:
+                out.append((hit, False))
+                continue
+            sid = ids.get(key)  # duplicate within this batch?
+            if sid is not None:
+                out.append((sid, False))
+                continue
+            sid = len(keyl)
+            ids[key] = sid
+            keyl.append(key)
+            out.append((sid, True))
+        return out
+
+    def lookup(self, key: Hashable) -> Optional[int]:
+        return self._ids.get(key)
+
+    def lookup_many(self, keys):
+        get = self._ids.get
+        return [get(k) for k in keys]
+
+    def key_of(self, sid: int) -> Hashable:
+        return self._keys[sid]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._ids
+
+    def new_int_column(self):
+        return []
+
+    def new_action_column(self):
+        return []
+
+    def store_stats(self) -> Dict[str, object]:
+        return {
+            "backend": "mem",
+            "resident_keys": len(self._keys),
+            "spilled_keys": 0,
+            "spill_bytes": 0,
+            "index_probe_avg": 0.0,
+            "probes": 0,
+            "lookups": 0,
+            "io_s": 0.0,
+        }
+
+    def sync(self) -> None:
+        pass
+
+    def __setstate__(self, state):
+        # plain slots pickling; backfill _cfg for states pickled before
+        # a config was carried
+        if isinstance(state, tuple):
+            merged: Dict[str, object] = {}
+            for part in state:
+                if part:
+                    merged.update(part)
+            state = merged
+        self._cfg = state.get("_cfg", StoreConfig())
+        self._ids = state["_ids"]
+        self._keys = state["_keys"]
+
+
+# ----------------------------------------------------------------------
+# disk backend — spill-to-disk interning
+# ----------------------------------------------------------------------
+
+#: per-key frame header in the spill log: CRC-32 of the pickled key,
+#: then its length — the same framing discipline as checkpoint files
+_FRAME = struct.Struct("<IQ")
+
+_IDX_MAGIC = b"RPSIDX1\0"
+#: index header after the magic: (slot count, interned key count)
+_IDX_HEADER = struct.Struct("<QQ")
+#: one open-addressing slot: (64-bit stable key hash, id + 1; 0 = empty)
+_IDX_SLOT = struct.Struct("<QQ")
+_IDX_BASE = len(_IDX_MAGIC) + _IDX_HEADER.size
+_IDX_MIN_SLOTS = 1024
+
+
+class _PackedActions:
+    """Action column for the disk backend.
+
+    Actions repeat heavily (one distinct action per protocol
+    transition, not per state), so the column itself is an
+    ``array('q')`` of small interned action IDs (-1 = none).  Foreign
+    unhashable actions still work — they are stored without
+    deduplication.
+    """
+
+    __slots__ = ("_col", "_ids", "_vals")
+
+    def __init__(self) -> None:
+        self._col = array("q")
+        self._ids: Dict[object, int] = {}
+        self._vals: List[object] = []
+
+    def _pack(self, action) -> int:
+        if action is None:
+            return -1
+        try:
+            aid = self._ids.get(action)
+            hashable = True
+        except TypeError:
+            aid = None
+            hashable = False
+        if aid is None:
+            aid = len(self._vals)
+            self._vals.append(action)
+            if hashable:
+                self._ids[action] = aid
+        return aid
+
+    def append(self, action) -> None:
+        self._col.append(self._pack(action))
+
+    def __setitem__(self, i: int, action) -> None:
+        self._col[i] = self._pack(action)
+
+    def __getitem__(self, i: int):
+        aid = self._col[i]
+        return None if aid < 0 else self._vals[aid]
+
+    def __len__(self) -> int:
+        return len(self._col)
+
+
+class DiskBackend:
+    """Spill-to-disk interning: bounded resident dict over an
+    append-only CRC-framed key log plus an mmap'd open-addressing
+    hash index.
+
+    Layout on disk (one directory per backend instance, created under
+    ``config.dir`` or the system temp dir):
+
+    * ``keys.log`` — one frame per interned key in ID order:
+      ``crc32 | length | pickle(key)``.  Append-only; ``_offsets`` and
+      ``_lens`` (in-memory ``array('Q')``) locate each frame, so
+      :meth:`key_of` is one seek + read.
+    * ``keys.idx`` — open-addressing table of
+      ``(stable 64-bit key hash, id + 1)`` slots, memory-mapped.
+      A hash hit is verified against the real key (resident dict or a
+      log read) before it counts, so hash collisions cannot alias two
+      states.
+
+    RAM holds only the bounded *resident* dict (hot keys, FIFO
+    eviction once ``budget_mb`` / ``cap_keys`` is exceeded) and the
+    fixed 24 bytes/state of offset/length bookkeeping — capacity
+    becomes a disk problem.
+
+    Checkpointing is **fsync-and-reference**: pickling the backend
+    flushes and fsyncs both files and records their *paths* plus the
+    logical log length, never the log contents.  Unpickling verifies
+    every referenced frame (existence, length, CRC) and rebuilds the
+    index from the verified keys — a torn or damaged spill file is a
+    :class:`StoreError`, which checkpoint loading reports as a clean
+    ``CheckpointError``.  Bytes past the recorded log end (a crash
+    mid-append) are ignored on verification and truncated before the
+    new owner's first append.  Spill directories are never deleted
+    automatically: a checkpoint on disk may still reference them.
+
+    A shard's backend is owned by exactly one process at a time (the
+    BSP engine moves payloads, never shares them), which is what makes
+    the append-only log safe across fork/pickle hops; lazily reopened
+    file handles are keyed to ``os.getpid()`` so an inherited handle
+    is never written through.
+    """
+
+    __slots__ = (
+        "_cfg",
+        "_dir",
+        "_log_path",
+        "_idx_path",
+        "_offsets",
+        "_lens",
+        "_count",
+        "_log_end",
+        "_resident",
+        "_rkeys",
+        "_resident_bytes",
+        "_nslots",
+        "_probes",
+        "_lookups",
+        "_io_s",
+        "_logw",
+        "_logr",
+        "_idxf",
+        "_mm",
+        "_pid",
+    )
+
+    kind = "disk"
+
+    def __init__(self, config: Optional[StoreConfig] = None) -> None:
+        self._cfg = config if config is not None else StoreConfig(kind="disk")
+        base = self._cfg.dir or tempfile.gettempdir()
+        os.makedirs(base, exist_ok=True)
+        self._dir = tempfile.mkdtemp(prefix="repro-store-", dir=base)
+        self._log_path = os.path.join(self._dir, "keys.log")
+        self._idx_path = os.path.join(self._dir, "keys.idx")
+        with open(self._log_path, "wb"):
+            pass
+        self._offsets = array("Q")
+        self._lens = array("Q")
+        self._count = 0
+        self._log_end = 0
+        self._resident: Dict[Hashable, int] = {}
+        self._rkeys: Dict[int, Hashable] = {}
+        self._resident_bytes = 0
+        self._nslots = _IDX_MIN_SLOTS
+        self._probes = 0
+        self._lookups = 0
+        self._io_s = 0.0
+        self._logw = self._logr = self._idxf = self._mm = None
+        self._pid: Optional[int] = None
+        self._replace_index(self._nslots, ())
+
+    @property
+    def config(self) -> StoreConfig:
+        return self._cfg
+
+    # -- capacity ------------------------------------------------------
+
+    @property
+    def _budget_bytes(self) -> Optional[int]:
+        if self._cfg.budget_mb is None:
+            return None
+        return int(self._cfg.budget_mb * (1 << 20))
+
+    def _admit(self, key: Hashable, sid: int) -> None:
+        if key in self._resident:
+            return
+        self._resident[key] = sid
+        self._rkeys[sid] = key
+        self._resident_bytes += self._lens[sid] + _FRAME.size
+        cap = self._cfg.cap_keys
+        budget = self._budget_bytes
+        while len(self._resident) > 1:
+            over = (cap is not None and len(self._resident) > cap) or (
+                budget is not None and self._resident_bytes > budget
+            )
+            if not over:
+                break
+            # FIFO: dicts iterate in insertion order
+            old_key = next(iter(self._resident))
+            old_sid = self._resident.pop(old_key)
+            del self._rkeys[old_sid]
+            self._resident_bytes -= self._lens[old_sid] + _FRAME.size
+
+    # -- file plumbing -------------------------------------------------
+
+    def _close_handles(self) -> None:
+        for attr in ("_mm", "_idxf", "_logr", "_logw"):
+            h = getattr(self, attr)
+            if h is not None:
+                try:
+                    h.close()
+                except (OSError, ValueError):
+                    pass
+                setattr(self, attr, None)
+
+    def _ensure_open(self) -> None:
+        if self._logw is not None and self._pid == os.getpid():
+            return
+        self._close_handles()
+        try:
+            logw = open(self._log_path, "r+b")
+            # roll back any bytes past the referenced log end (a crash
+            # mid-append, or post-snapshot appends by a failed owner)
+            logw.truncate(self._log_end)
+            logw.seek(self._log_end)
+            self._logw = logw
+            self._logr = open(self._log_path, "rb")
+            self._idxf = open(self._idx_path, "r+b")
+            self._mm = mmap.mmap(self._idxf.fileno(), 0)
+        except OSError as exc:
+            self._close_handles()
+            raise StoreError(
+                f"cannot open spill files in {self._dir}: {exc}"
+            ) from exc
+        if (
+            len(self._mm) != _IDX_BASE + self._nslots * _IDX_SLOT.size
+            or self._mm[: len(_IDX_MAGIC)] != _IDX_MAGIC
+        ):
+            self._close_handles()
+            raise StoreError(f"spill index corrupt: {self._idx_path}")
+        self._pid = os.getpid()
+
+    def _append_frame(self, key: Hashable) -> None:
+        payload = pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = _FRAME.pack(zlib.crc32(payload), len(payload)) + payload
+        self._logw.write(frame)
+        self._offsets.append(self._log_end)
+        self._lens.append(len(payload))
+        self._log_end += len(frame)
+
+    def _read_key(self, sid: int) -> Hashable:
+        self._ensure_open()
+        t0 = perf_counter()
+        self._logw.flush()
+        self._logr.seek(self._offsets[sid])
+        plen = self._lens[sid]
+        data = self._logr.read(_FRAME.size + plen)
+        self._io_s += perf_counter() - t0
+        if len(data) < _FRAME.size + plen:
+            raise StoreError(
+                f"spill log truncated at state {sid}: {self._log_path}"
+            )
+        crc, flen = _FRAME.unpack_from(data)
+        payload = data[_FRAME.size :]
+        if flen != plen or zlib.crc32(payload) != crc:
+            raise StoreError(
+                f"spill log corrupt at state {sid}: {self._log_path}"
+            )
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:  # corrupt payload with a lucky CRC
+            raise StoreError(
+                f"spill log unreadable at state {sid}: {exc}"
+            ) from exc
+
+    # -- index ---------------------------------------------------------
+
+    def _replace_index(self, nslots: int, pairs) -> None:
+        """Atomically rewrite the index file with ``pairs`` of
+        ``(hash, id + 1)`` in a table of ``nslots`` slots."""
+        data = bytearray(_IDX_BASE + nslots * _IDX_SLOT.size)
+        data[: len(_IDX_MAGIC)] = _IDX_MAGIC
+        _IDX_HEADER.pack_into(data, len(_IDX_MAGIC), nslots, self._count)
+        mask = nslots - 1
+        empty = b"\x00" * 8
+        for h, s1 in pairs:
+            i = h & mask
+            while True:
+                off = _IDX_BASE + i * _IDX_SLOT.size
+                if data[off + 8 : off + 16] == empty:
+                    _IDX_SLOT.pack_into(data, off, h, s1)
+                    break
+                i = (i + 1) & mask
+        tmp = self._idx_path + ".tmp"
+        t0 = perf_counter()
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self._idx_path)
+        self._io_s += perf_counter() - t0
+        self._nslots = nslots
+        was_open = self._mm is not None and self._pid == os.getpid()
+        if was_open:
+            # remap the fresh inode
+            self._mm.close()
+            self._idxf.close()
+            self._idxf = open(self._idx_path, "r+b")
+            self._mm = mmap.mmap(self._idxf.fileno(), 0)
+
+    def _index_lookup(self, h: int, key: Hashable) -> Optional[int]:
+        mm = self._mm
+        mask = self._nslots - 1
+        i = h & mask
+        self._lookups += 1
+        while True:
+            self._probes += 1
+            sh, s1 = _IDX_SLOT.unpack_from(mm, _IDX_BASE + i * _IDX_SLOT.size)
+            if s1 == 0:
+                return None
+            if sh == h:
+                sid = s1 - 1
+                cand = self._rkeys.get(sid)
+                if cand is None:
+                    cand = self._read_key(sid)
+                if cand == key:
+                    return sid
+            i = (i + 1) & mask
+
+    def _index_insert(self, h: int, sid: int) -> None:
+        if (self._count + 1) * 3 > self._nslots * 2:
+            pairs = []
+            mm = self._mm
+            for i in range(self._nslots):
+                sh, s1 = _IDX_SLOT.unpack_from(
+                    mm, _IDX_BASE + i * _IDX_SLOT.size
+                )
+                if s1:
+                    pairs.append((sh, s1))
+            self._replace_index(self._nslots * 2, pairs)
+        mm = self._mm
+        mask = self._nslots - 1
+        i = h & mask
+        while True:
+            off = _IDX_BASE + i * _IDX_SLOT.size
+            sh, s1 = _IDX_SLOT.unpack_from(mm, off)
+            if s1 == 0:
+                _IDX_SLOT.pack_into(mm, off, h, sid + 1)
+                return
+            i = (i + 1) & mask
+
+    # -- the backend API -----------------------------------------------
+
+    def intern(self, key: Hashable) -> Tuple[int, bool]:
+        sid = self._resident.get(key)
+        if sid is not None:
+            return sid, False
+        self._ensure_open()
+        h = key_hash64(key)
+        sid = self._index_lookup(h, key)
+        if sid is not None:
+            self._admit(key, sid)
+            return sid, False
+        sid = self._count
+        t0 = perf_counter()
+        self._append_frame(key)
+        self._io_s += perf_counter() - t0
+        self._index_insert(h, sid)
+        self._count += 1
+        self._admit(key, sid)
+        return sid, True
+
+    def intern_many(self, keys, hits=None):
+        out: List[Tuple[int, bool]] = []
+        if hits is None:
+            for key in keys:
+                out.append(self.intern(key))
+            return out
+        for key, hit in zip(keys, hits):
+            if hit is not None:
+                out.append((hit, False))
+            else:
+                out.append(self.intern(key))
+        return out
+
+    def lookup(self, key: Hashable) -> Optional[int]:
+        sid = self._resident.get(key)
+        if sid is not None:
+            return sid
+        if self._count == 0:
+            return None
+        self._ensure_open()
+        sid = self._index_lookup(key_hash64(key), key)
+        if sid is not None:
+            self._admit(key, sid)
+        return sid
+
+    def lookup_many(self, keys):
+        return [self.lookup(k) for k in keys]
+
+    def key_of(self, sid: int) -> Hashable:
+        key = self._rkeys.get(sid)
+        if key is not None:
+            return key
+        key = self._read_key(sid)
+        self._admit(key, sid)
+        return key
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.lookup(key) is not None
+
+    def new_int_column(self):
+        return array("q")
+
+    def new_action_column(self):
+        return _PackedActions()
+
+    def store_stats(self) -> Dict[str, object]:
+        probe_avg = self._probes / self._lookups if self._lookups else 0.0
+        return {
+            "backend": "disk",
+            "resident_keys": len(self._resident),
+            "spilled_keys": self._count - len(self._resident),
+            "spill_bytes": self._log_end
+            + _IDX_BASE
+            + self._nslots * _IDX_SLOT.size,
+            "index_probe_avg": probe_avg,
+            "probes": self._probes,
+            "lookups": self._lookups,
+            "io_s": self._io_s,
+        }
+
+    def sync(self) -> None:
+        """Flush and fsync the spill files so a checkpoint can
+        reference them by path."""
+        if self._logw is None or self._pid != os.getpid():
+            return  # nothing written by this process since restore
+        t0 = perf_counter()
+        self._logw.flush()
+        os.fsync(self._logw.fileno())
+        _IDX_HEADER.pack_into(self._mm, len(_IDX_MAGIC), self._nslots, self._count)
+        self._mm.flush()
+        os.fsync(self._idxf.fileno())
+        self._io_s += perf_counter() - t0
+
+    # -- pickling: fsync-and-reference ---------------------------------
+
+    def __getstate__(self):
+        self.sync()
+        return {
+            "cfg": self._cfg,
+            "dir": self._dir,
+            "log_path": self._log_path,
+            "idx_path": self._idx_path,
+            "offsets": self._offsets,
+            "lens": self._lens,
+            "count": self._count,
+            "log_end": self._log_end,
+            "resident": dict(self._resident),
+            "probes": self._probes,
+            "lookups": self._lookups,
+            "io_s": self._io_s,
+        }
+
+    def __setstate__(self, state):
+        self._cfg = state["cfg"]
+        self._dir = state["dir"]
+        self._log_path = state["log_path"]
+        self._idx_path = state["idx_path"]
+        self._offsets = state["offsets"]
+        self._lens = state["lens"]
+        self._count = state["count"]
+        self._log_end = state["log_end"]
+        self._resident = state["resident"]
+        self._rkeys = {sid: key for key, sid in self._resident.items()}
+        self._resident_bytes = sum(
+            self._lens[sid] + _FRAME.size for sid in self._rkeys
+        )
+        self._nslots = _IDX_MIN_SLOTS
+        self._probes = state["probes"]
+        self._lookups = state["lookups"]
+        self._io_s = state["io_s"]
+        self._logw = self._logr = self._idxf = self._mm = None
+        self._pid = None
+        self._verify_and_reindex()
+
+    def _verify_and_reindex(self) -> None:
+        """Verify every referenced frame of the spill log and rebuild
+        the index from the verified keys.
+
+        Runs on every unpickle (worker hand-off, checkpoint resume).
+        Bytes past ``log_end`` are tolerated here — a crash mid-append
+        leaves a partial frame that the next owner truncates before
+        writing — but a log shorter than its reference, a length or
+        CRC mismatch, or an unreadable key is a :class:`StoreError`.
+        """
+        t0 = perf_counter()
+        try:
+            size = os.path.getsize(self._log_path)
+        except OSError as exc:
+            raise StoreError(
+                f"spill log missing: {self._log_path}: {exc}"
+            ) from exc
+        if size < self._log_end:
+            raise StoreError(
+                f"spill log torn: {self._log_path} holds {size} bytes, "
+                f"checkpoint references {self._log_end}"
+            )
+        pairs = []
+        with open(self._log_path, "rb") as f:
+            for sid in range(self._count):
+                f.seek(self._offsets[sid])
+                plen = self._lens[sid]
+                data = f.read(_FRAME.size + plen)
+                if len(data) < _FRAME.size + plen:
+                    raise StoreError(
+                        f"spill log truncated at state {sid}: {self._log_path}"
+                    )
+                crc, flen = _FRAME.unpack_from(data)
+                payload = data[_FRAME.size :]
+                if flen != plen or zlib.crc32(payload) != crc:
+                    raise StoreError(
+                        f"spill log corrupt at state {sid}: {self._log_path}"
+                    )
+                try:
+                    key = pickle.loads(payload)
+                except Exception as exc:
+                    raise StoreError(
+                        f"spill log unreadable at state {sid}: {exc}"
+                    ) from exc
+                pairs.append((key_hash64(key), sid + 1))
+        nslots = _IDX_MIN_SLOTS
+        while nslots * 2 < self._count * 3:
+            nslots *= 2
+        try:
+            self._replace_index(nslots, pairs)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot rebuild spill index {self._idx_path}: {exc}"
+            ) from exc
+        self._io_s += perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# facades
+# ----------------------------------------------------------------------
+
+
+def _legacy_state(state) -> Dict[str, object]:
+    """Flatten a pre-backend slots pickle ``(None, {slot: value})``."""
+    if isinstance(state, tuple):
+        merged: Dict[str, object] = {}
+        for part in state:
+            if part:
+                merged.update(part)
+        return merged
+    return state
 
 
 class StateStore:
@@ -37,34 +868,71 @@ class StateStore:
     tree: :meth:`set_parent` is called once per discovered state, and
     :meth:`path_to` walks the pointers back to a root to rebuild the
     action sequence that reached a state.
+
+    A thin facade: key interning is delegated to a
+    :class:`StoreBackend` chosen by run policy (``--store``), while
+    the parent/action/depth columns live here, allocated through the
+    backend so the disk backend gets compact ``array`` storage.  The
+    depth column is filled at :meth:`set_parent` time, making
+    :meth:`depth_of` O(1) — POR's C3 proviso calls it once per
+    expanded state and used to pay an O(depth) parent walk each time.
     """
 
-    __slots__ = ("_ids", "_keys", "_parent", "_action")
+    __slots__ = ("_backend", "_parent", "_action", "_depth")
 
-    def __init__(self) -> None:
-        self._ids: Dict[Hashable, int] = {}
-        self._keys: List[Hashable] = []
-        self._parent: List[int] = []
-        self._action: List[Optional[object]] = []
+    def __init__(self, store=None) -> None:
+        backend = make_backend(as_config(store))
+        self._backend = backend
+        self._parent = backend.new_int_column()
+        self._action = backend.new_action_column()
+        self._depth = backend.new_int_column()
+
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> StoreBackend:
+        return self._backend
+
+    @property
+    def backend_kind(self) -> str:
+        return self._backend.kind
+
+    @property
+    def config(self) -> StoreConfig:
+        return self._backend.config
 
     # ------------------------------------------------------------------
     def intern(self, key: Hashable) -> Tuple[int, bool]:
         """Return ``(id, is_new)`` for ``key``, interning it if new."""
-        sid = self._ids.get(key)
-        if sid is not None:
-            return sid, False
-        sid = len(self._parent)
-        self._ids[key] = sid
-        self._keys.append(key)
-        self._parent.append(NO_PARENT)
-        self._action.append(None)
-        return sid, True
+        sid, new = self._backend.intern(key)
+        if new:
+            self._parent.append(NO_PARENT)
+            self._action.append(None)
+            self._depth.append(0)
+        return sid, new
+
+    def intern_many(self, keys, hits=None) -> List[Tuple[int, bool]]:
+        """Batched :meth:`intern`: one ``(id, is_new)`` per key, in
+        order, with duplicates within the batch resolved exactly as
+        sequential calls would.  ``hits`` may carry the result of a
+        prior :meth:`lookup_many` over the same keys (``None`` per
+        miss) to avoid re-probing — valid only if nothing was interned
+        in between."""
+        pairs = self._backend.intern_many(keys, hits)
+        parent, action, depth = self._parent, self._action, self._depth
+        for _sid, new in pairs:
+            if new:
+                parent.append(NO_PARENT)
+                action.append(None)
+                depth.append(0)
+        return pairs
 
     def set_parent(self, sid: int, parent: int, action: object) -> None:
         """Record that ``sid`` was discovered from ``parent`` via
-        ``action`` (roots keep parent ``-1``)."""
+        ``action`` (roots keep parent ``-1``).  Memoizes the depth
+        column: a discovered state is one hop deeper than its parent."""
         self._parent[sid] = parent
         self._action[sid] = action
+        self._depth[sid] = 0 if parent == NO_PARENT else self._depth[parent] + 1
 
     def path_to(self, sid: int) -> List[object]:
         """The action sequence from the root to state ``sid``,
@@ -80,22 +948,23 @@ class StateStore:
         return actions
 
     def depth_of(self, sid: int) -> int:
-        """Number of parent hops from ``sid`` back to its root."""
-        d = 0
-        while self._parent[sid] != NO_PARENT:
-            sid = self._parent[sid]
-            d += 1
-        return d
+        """Number of parent hops from ``sid`` back to its root —
+        O(1), read from the column :meth:`set_parent` maintains."""
+        return self._depth[sid]
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._parent)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._ids
+        return key in self._backend
 
     def id_of(self, key: Hashable) -> Optional[int]:
-        return self._ids.get(key)
+        return self._backend.lookup(key)
+
+    def lookup_many(self, keys) -> List[Optional[int]]:
+        """Batched :meth:`id_of` — non-mutating."""
+        return self._backend.lookup_many(keys)
 
     def key_of(self, sid: int) -> Hashable:
         """The interned key of ``sid`` (IDs are dense, discovery
@@ -103,12 +972,66 @@ class StateStore:
         engine re-shards stores through it, and the differential
         harness uses it to compare violating-state *keys* (IDs are
         discovery-order artifacts; keys are canonical)."""
-        return self._keys[sid]
+        return self._backend.key_of(sid)
 
     def parent_of(self, sid: int) -> Tuple[int, Optional[object]]:
         """``(parent id, action)`` recorded for ``sid`` (parent is
         ``NO_PARENT`` for roots)."""
         return self._parent[sid], self._action[sid]
+
+    # ------------------------------------------------------------------
+    def store_stats(self) -> Dict[str, object]:
+        """The backend's capacity counters (``store.*`` gauges)."""
+        return self._backend.store_stats()
+
+    def sync(self) -> None:
+        self._backend.sync()
+
+    def converted(self, store) -> "StateStore":
+        """A copy of this store under a different backend: keys
+        re-interned in ID order (so every ID is preserved), columns
+        copied.  Used when ``--store`` on resume overrides the
+        checkpointed backend — run policy, like ``--workers``."""
+        new = StateStore(store)
+        for sid in range(len(self)):
+            nsid, fresh = new._backend.intern(self.key_of(sid))
+            assert fresh and nsid == sid
+            new._parent.append(self._parent[sid])
+            new._action.append(self._action[sid])
+            new._depth.append(self._depth[sid])
+        return new
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {
+            "backend": self._backend,
+            "parent": self._parent,
+            "action": self._action,
+            "depth": self._depth,
+        }
+
+    def __setstate__(self, state):
+        state = _legacy_state(state)
+        if "_ids" in state:
+            # pre-backend checkpoint: raw dict/list slots, no depth
+            # column — rebuild a mem backend and recompute depths (a
+            # parent is always interned before its child, so one
+            # forward pass suffices)
+            backend = MemBackend()
+            backend._ids = state["_ids"]
+            backend._keys = state["_keys"]
+            self._backend = backend
+            self._parent = state["_parent"]
+            self._action = state["_action"]
+            depth: List[int] = []
+            for sid, parent in enumerate(self._parent):
+                depth.append(0 if parent == NO_PARENT else depth[parent] + 1)
+            self._depth = depth
+        else:
+            self._backend = state["backend"]
+            self._parent = state["parent"]
+            self._action = state["action"]
+            self._depth = state["depth"]
 
 
 class ShardStore:
@@ -122,48 +1045,159 @@ class ShardStore:
     the pointers across shard stores
     (:meth:`repro.engine.parallel.ParallelSearchEngine.path_to`).
 
-    Plain data, so a shard's whole exploration state pickles — both
-    for the round-trip back to the coordinator when a search pauses
-    and for checkpoint format v3.
+    Shares the facade-over-:class:`StoreBackend` split (and the
+    ``depth_of`` / ``id_of`` surface) with :class:`StateStore`, so the
+    two stores are API parity and a shard spills to disk exactly like
+    a sequential store does.  Depths cannot be derived locally (the
+    parent may live in another shard), so :meth:`set_parent` takes the
+    depth the engine's successor record already carries.
+
+    Pickles — both for the round-trip back to the coordinator when a
+    search pauses and for checkpoint format v3; the disk backend
+    pickles by fsync-and-reference of its spill files.
     """
 
-    __slots__ = ("_ids", "_keys", "_pshard", "_pid", "_action")
+    __slots__ = ("_backend", "_pshard", "_pid", "_action", "_depth")
 
-    def __init__(self) -> None:
-        self._ids: Dict[Hashable, int] = {}
-        self._keys: List[Hashable] = []
-        self._pshard: List[int] = []
-        self._pid: List[int] = []
-        self._action: List[Optional[object]] = []
+    def __init__(self, store=None) -> None:
+        backend = make_backend(as_config(store))
+        self._backend = backend
+        self._pshard = backend.new_int_column()
+        self._pid = backend.new_int_column()
+        self._action = backend.new_action_column()
+        self._depth = backend.new_int_column()
 
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> StoreBackend:
+        return self._backend
+
+    @property
+    def backend_kind(self) -> str:
+        return self._backend.kind
+
+    @property
+    def config(self) -> StoreConfig:
+        return self._backend.config
+
+    # ------------------------------------------------------------------
     def intern(self, key: Hashable) -> Tuple[int, bool]:
         """Return ``(local id, is_new)`` for ``key``."""
-        lid = self._ids.get(key)
-        if lid is not None:
-            return lid, False
-        lid = len(self._keys)
-        self._ids[key] = lid
-        self._keys.append(key)
-        self._pshard.append(NO_PARENT)
-        self._pid.append(NO_PARENT)
-        self._action.append(None)
-        return lid, True
+        lid, new = self._backend.intern(key)
+        if new:
+            self._pshard.append(NO_PARENT)
+            self._pid.append(NO_PARENT)
+            self._action.append(None)
+            self._depth.append(0)
+        return lid, new
 
-    def set_parent(self, lid: int, pshard: int, pid: int, action: object) -> None:
+    def intern_many(self, keys, hits=None) -> List[Tuple[int, bool]]:
+        """Batched :meth:`intern` (see :meth:`StateStore.intern_many`)."""
+        pairs = self._backend.intern_many(keys, hits)
+        pshard, pid, action, depth = (
+            self._pshard,
+            self._pid,
+            self._action,
+            self._depth,
+        )
+        for _lid, new in pairs:
+            if new:
+                pshard.append(NO_PARENT)
+                pid.append(NO_PARENT)
+                action.append(None)
+                depth.append(0)
+        return pairs
+
+    def set_parent(
+        self,
+        lid: int,
+        pshard: int,
+        pid: int,
+        action: object,
+        depth: Optional[int] = None,
+    ) -> None:
         """Record the global parent of ``lid`` (roots keep
-        ``(NO_PARENT, NO_PARENT)``)."""
+        ``(NO_PARENT, NO_PARENT)``).  ``depth`` is the discovered
+        state's own depth, taken from the engine's successor record —
+        it cannot be derived locally because the parent may live in
+        another shard.  ``None`` (legacy callers) records 0."""
         self._pshard[lid] = pshard
         self._pid[lid] = pid
         self._action[lid] = action
+        self._depth[lid] = 0 if depth is None else depth
 
     def parent_of(self, lid: int) -> Tuple[int, int, Optional[object]]:
         return self._pshard[lid], self._pid[lid], self._action[lid]
 
+    def depth_of(self, lid: int) -> int:
+        """Depth recorded for ``lid`` at :meth:`set_parent` time —
+        O(1).  Zero for states restored from pre-backend checkpoints,
+        which carried no depth column."""
+        return self._depth[lid]
+
     def key_of(self, lid: int) -> Hashable:
-        return self._keys[lid]
+        return self._backend.key_of(lid)
+
+    def id_of(self, key: Hashable) -> Optional[int]:
+        return self._backend.lookup(key)
+
+    def lookup_many(self, keys) -> List[Optional[int]]:
+        return self._backend.lookup_many(keys)
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return len(self._backend)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._ids
+        return key in self._backend
+
+    # ------------------------------------------------------------------
+    def store_stats(self) -> Dict[str, object]:
+        return self._backend.store_stats()
+
+    def sync(self) -> None:
+        self._backend.sync()
+
+    def converted(self, store) -> "ShardStore":
+        """A copy under a different backend, IDs preserved (see
+        :meth:`StateStore.converted`)."""
+        new = ShardStore(store)
+        for lid in range(len(self)):
+            nlid, fresh = new._backend.intern(self.key_of(lid))
+            assert fresh and nlid == lid
+            new._pshard.append(self._pshard[lid])
+            new._pid.append(self._pid[lid])
+            new._action.append(self._action[lid])
+            new._depth.append(self._depth[lid])
+        return new
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {
+            "backend": self._backend,
+            "pshard": self._pshard,
+            "pid": self._pid,
+            "action": self._action,
+            "depth": self._depth,
+        }
+
+    def __setstate__(self, state):
+        state = _legacy_state(state)
+        if "_ids" in state:
+            # pre-backend checkpoint: depths are unrecoverable locally
+            # (parents live in other shards) — record zeros; nothing in
+            # the sharded search reads them (the frontier carries its
+            # own depths), the column only exists for API parity
+            backend = MemBackend()
+            backend._ids = state["_ids"]
+            backend._keys = state["_keys"]
+            self._backend = backend
+            self._pshard = state["_pshard"]
+            self._pid = state["_pid"]
+            self._action = state["_action"]
+            self._depth = [0] * len(self._pshard)
+        else:
+            self._backend = state["backend"]
+            self._pshard = state["pshard"]
+            self._pid = state["pid"]
+            self._action = state["action"]
+            self._depth = state["depth"]

@@ -75,7 +75,7 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 from ..obs.metrics import MetricsRegistry, MetricsSnapshot
 from . import por as _por
 from .component import System
-from .intern import NO_PARENT, ShardStore
+from .intern import NO_PARENT, ShardStore, StoreConfig, as_config
 from .sharding import reroute_records, shard_of, stable_hash
 from ..obs.stats import ExplorationStats, merge_shard_stats
 from .strategy import Frontier, SearchOutcome, StopHook, make_frontier
@@ -234,7 +234,9 @@ class _ShardRuntime:
             p.preds.setdefault(lid, []).append((pshard, pid))
         if not new:
             return
-        p.store.set_parent(lid, pshard, pid, action)
+        # the record carries the state's own depth — the store can't
+        # derive it locally (the parent may live in another shard)
+        p.store.set_parent(lid, pshard, pid, action, depth=depth)
         p.stats.states += 1
         p.stats.interned_states = len(p.store)
         bad = not ok
@@ -605,6 +607,7 @@ class ParallelSearchEngine:
         round_timeout_s: Optional[float] = None,
         snapshot_rounds: int = DEFAULT_SNAPSHOT_ROUNDS,
         chaos=None,
+        store=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -635,8 +638,14 @@ class ParallelSearchEngine:
         self.round_timeout_s = round_timeout_s
         self.snapshot_rounds = snapshot_rounds
         self.chaos = chaos
+        #: run policy, like ``workers`` — which backend interns the
+        #: shard stores' keys; never search provenance
+        self.store_config: StoreConfig = as_config(store)
 
-        self.shards: List[ShardPayload] = [ShardPayload(i) for i in range(workers)]
+        self.shards: List[ShardPayload] = [
+            ShardPayload(i, store=ShardStore(self.store_config))
+            for i in range(workers)
+        ]
         #: undelivered cross-shard batches, per destination shard
         self._pending: List[List[bytes]] = [[] for _ in range(workers)]
         self.stats = ExplorationStats()
@@ -681,6 +690,8 @@ class ParallelSearchEngine:
         state.setdefault("_in_process", False)
         state.setdefault("_recovery", None)
         state.setdefault("_timeout_backoff", 1.0)
+        # pre-backend checkpoints interned in plain dicts: mem policy
+        state.setdefault("store_config", StoreConfig())
         self.__dict__.update(state)
 
     # ------------------------------------------------------------------
@@ -1220,7 +1231,14 @@ class ParallelSearchEngine:
         new._in_process = self._in_process
         new._recovery = None
         new._timeout_backoff = self._timeout_backoff
-        new.shards = [ShardPayload(i) for i in range(workers)]
+        new.store_config = self.store_config
+        # fresh shard stores under the same backend policy (a disk
+        # backend gets fresh spill files; the old ones stay on disk —
+        # a checkpoint may still reference them)
+        new.shards = [
+            ShardPayload(i, store=ShardStore(self.store_config))
+            for i in range(workers)
+        ]
         new._pending = [[] for _ in range(workers)]
         new._round = self._round
         new._final = None
@@ -1242,12 +1260,17 @@ class ParallelSearchEngine:
         for old in self.shards:
             for lid in range(len(old.store)):
                 pshard, pid, action = old.store.parent_of(lid)
+                dpt = old.store.depth_of(lid)
                 dest, nlid = gid_map[(old.index, lid)]
                 if pid == NO_PARENT:
-                    new.shards[dest].store.set_parent(nlid, NO_PARENT, NO_PARENT, action)
+                    new.shards[dest].store.set_parent(
+                        nlid, NO_PARENT, NO_PARENT, action, depth=dpt
+                    )
                 else:
                     nps, npid = remap((pshard, pid))
-                    new.shards[dest].store.set_parent(nlid, nps, npid, action)
+                    new.shards[dest].store.set_parent(
+                        nlid, nps, npid, action, depth=dpt
+                    )
             for lid, sources in old.preds.items():
                 dest, nlid = gid_map[(old.index, lid)]
                 new.shards[dest].preds.setdefault(nlid, []).extend(

@@ -403,7 +403,14 @@ def proviso(ample, store, depth: int) -> bool:
     ``depth + 1`` — every ample-only edge then strictly increases
     discovery depth, so no cycle is ample-only (see the module
     docstring).  Diamond-shaped commutation — the whole point of POR —
-    passes: both interleavings meet at the same successor depth."""
+    passes: both interleavings meet at the same successor depth.
+
+    Called once per expanded state; ``store`` is any object with the
+    :class:`~repro.engine.intern.StateStore` facade surface
+    (``id_of`` / ``depth_of``), behind which the actual key backend —
+    in-memory or spill-to-disk — is invisible.  ``depth_of`` reads the
+    memoized depth column the store fills at ``set_parent`` time, so
+    the proviso is O(|ample|), not O(|ample| · depth)."""
     for step in ample:
         sid = store.id_of(step.key)
         if sid is not None and store.depth_of(sid) != depth + 1:

@@ -418,46 +418,78 @@ class Reduction:
         Two-stage: protocol states are cheap tuples, so every group
         element first permutes only those and the (much costlier)
         observer walk + checker key run only for the elements whose
-        permuted protocol state ties for the minimum.
+        permuted protocol state ties for the minimum.  The singleton
+        case of :meth:`canonicalize_batch` — exactly the same
+        comparisons, tie-breaks and counters.
+        """
+        return self.canonicalize_batch(((pstate, obs, chk),))[0]
+
+    def canonicalize_batch(self, items) -> List[Tuple]:
+        """Orbit-minimize a whole successor batch at once.
+
+        ``items`` is a sequence of ``(pstate, obs, chk)`` triples; the
+        result is one composed key per item, each bit-identical to a
+        sequential :meth:`canonical_key` call.  Stage 1 runs
+        group-element-outer over the batch, so each element's
+        precomputed gather tables (``perm.field_srcs``) stay hot
+        across all states in the batch — the array-sweep seam a
+        compiled kernel can later slot into.  Stage 2 (observer walk +
+        checker key, only for orbit-minimum ties) stays per-item.
+
+        Tie order is preserved: for every item the ties accumulate in
+        ``self.perms`` order, identity first, and the strict ``<``
+        keeps identity on equal keys — so the winner (and therefore
+        ``orbit_hits``) is exactly the sequential winner.
         """
         t0 = time.perf_counter()
-        best_pk = None
-        ties: List[Tuple[Permutation, Tuple]] = []
+        n = len(items)
+        best_pks: List[object] = [None] * n
+        ties: List[List[Tuple[Permutation, Tuple]]] = [[] for _ in range(n)]
         for perm in self.perms:
-            ps = self.permute_pstate(pstate, perm)
-            pk = order_key(ps)
-            if best_pk is None or pk < best_pk:
-                best_pk = pk
-                ties = [(perm, ps)]
-            elif pk == best_pk:
-                ties.append((perm, ps))
+            permute = self.permute_pstate
+            for idx in range(n):
+                ps = permute(items[idx][0], perm)
+                pk = order_key(ps)
+                bp = best_pks[idx]
+                if bp is None or pk < bp:
+                    best_pks[idx] = pk
+                    ties[idx] = [(perm, ps)]
+                elif pk == bp:
+                    ties[idx].append((perm, ps))
 
-        if len(ties) == 1:
-            perm, ps = ties[0]
-            canon, okey = obs.permuted_snapshot(perm)
-            key = (ps, okey, chk.state_key(canon, None if perm.is_identity else perm))
-            winner = perm
-        else:
-            key = None
-            best_fk = None
-            winner = ties[0][0]
-            for perm, ps in ties:
+        keys: List[Tuple] = []
+        hits = 0
+        for idx in range(n):
+            obs, chk = items[idx][1], items[idx][2]
+            tied = ties[idx]
+            if len(tied) == 1:
+                perm, ps = tied[0]
                 canon, okey = obs.permuted_snapshot(perm)
-                cand = (ps, okey,
-                        chk.state_key(canon, None if perm.is_identity else perm))
-                fk = order_key(cand)
-                # identity is first in self.perms, hence first among
-                # ties — strict < keeps it on equal keys
-                if best_fk is None or fk < best_fk:
-                    best_fk = fk
-                    key = cand
-                    winner = perm
+                key = (ps, okey, chk.state_key(canon, None if perm.is_identity else perm))
+                winner = perm
+            else:
+                key = None
+                best_fk = None
+                winner = tied[0][0]
+                for perm, ps in tied:
+                    canon, okey = obs.permuted_snapshot(perm)
+                    cand = (ps, okey,
+                            chk.state_key(canon, None if perm.is_identity else perm))
+                    fk = order_key(cand)
+                    # identity is first in self.perms, hence first among
+                    # ties — strict < keeps it on equal keys
+                    if best_fk is None or fk < best_fk:
+                        best_fk = fk
+                        key = cand
+                        winner = perm
+            if not winner.is_identity:
+                hits += 1
+            keys.append(key)
         c = self.counters
-        c.states += 1
-        if not winner.is_identity:
-            c.orbit_hits += 1
+        c.states += n
+        c.orbit_hits += hits
         c.canon_s += time.perf_counter() - t0
-        return key
+        return keys
 
     def describe(self) -> str:
         return f"reduce={self.level} |G|={len(self.perms)}"

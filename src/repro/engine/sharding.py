@@ -33,7 +33,7 @@ from __future__ import annotations
 import zlib
 from typing import Hashable
 
-__all__ = ["stable_hash", "shard_of", "reroute_records"]
+__all__ = ["stable_hash", "key_hash64", "shard_of", "reroute_records"]
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
@@ -104,6 +104,19 @@ def _mix(h: int, v: int) -> int:
     # selection uses ``% n`` with small n)
     h ^= h >> 29
     return h
+
+
+def key_hash64(key: Hashable) -> int:
+    """``stable_hash`` narrowed to its documented contract: an
+    **unsigned 64-bit** structural hash, suitable as-is for fixed-width
+    on-disk slots.
+
+    The disk store backend (:class:`~repro.engine.intern.DiskBackend`)
+    keys its mmap'd open-addressing index with this — the same
+    process/run stability argument that makes :func:`shard_of` safe
+    makes the index survive checkpoint resume in a fresh interpreter.
+    """
+    return stable_hash(key) & _MASK
 
 
 def shard_of(key: Hashable, num_shards: int) -> int:

@@ -201,6 +201,7 @@ class SearchEngine:
         check_quiescence_reachability: bool = True,
         on_state: Optional[Callable[[object, int], None]] = None,
         stats: Optional[ExplorationStats] = None,
+        store=None,
     ):
         self.system = system
         self.max_states = max_states
@@ -210,7 +211,11 @@ class SearchEngine:
         self._stop_on_violation = stop_on_violation
         self._on_state = on_state
         self.stats = stats if stats is not None else ExplorationStats()
-        self.store = StateStore()
+        # ``store`` is run policy (a backend name or
+        # :class:`~repro.engine.intern.StoreConfig`), never search
+        # provenance: which backend interns the keys cannot change a
+        # single ID, count or verdict
+        self.store = StateStore(store)
         self.frontier = make_frontier(strategy, seed)
         self._succs: Optional[Dict[int, List[int]]] = {} if track_successors else None
         self._quiescent: Set[int] = set()
@@ -365,16 +370,56 @@ class SearchEngine:
                     por_counters.fallbacks += 1
             else:
                 expand = system.steps(state)
-            for step in expand:
+            # Batched admission over the whole successor set: one
+            # lookup_many probe, then intern_many over exactly the
+            # prefix the old per-step loop would have reached — the
+            # array seam a compiled kernel can later slot into.  The
+            # prefix is found by a dry pre-pass that replays the
+            # sequential admission discipline (strict-cap stops
+            # *before* end-checking the capping state; a
+            # stop-on-violation halt is decided *after* it), caching
+            # end-checks so every admitted state is still checked
+            # exactly once.
+            steps = expand if isinstance(expand, list) else list(expand)
+            keys = [step.key for step in steps]
+            hits = store.lookup_many(keys)
+            limit = len(steps)
+            prechecked = strict_cap or self._stop_on_violation
+            ends: Optional[List[Optional[bool]]] = None
+            if prechecked:
+                ends = [None] * len(steps)
+                states_sim = stats.states
+                pending: Set[object] = set()
+                for i, step in enumerate(steps):
+                    if hits[i] is not None or step.key in pending:
+                        continue
+                    if strict_cap and max_states is not None and states_sim >= max_states:
+                        limit = i + 1
+                        break
+                    pending.add(step.key)
+                    states_sim += 1
+                    bad = not step.ok
+                    if not bad:
+                        ends[i] = system.end_check(step.state)
+                        bad = ends[i] is not None and not ends[i]
+                    if bad and self._stop_on_violation:
+                        limit = i + 1
+                        break
+            pre_len = len(store)
+            pairs = store.intern_many(keys[:limit] if limit < len(steps) else keys, hits)
+            news = 0
+            for i in range(limit):
+                step = steps[i]
                 stats.transitions += 1
                 system.record(stats, step.state)
-                cid, new = store.intern(step.key)
+                cid, new = pairs[i]
                 if kids is not None:
                     kids.append(cid)
                 if not new:
                     # a revisit: identical state, so its checks (eager
                     # and end alike) happened on first encounter
                     continue
+                news += 1
                 if strict_cap and max_states is not None and stats.states >= max_states:
                     stats.truncated = True
                     self._cap_truncated = True
@@ -382,12 +427,12 @@ class SearchEngine:
                     return self._final
                 store.set_parent(cid, sid, step.action)
                 stats.states += 1
-                stats.interned_states = len(store)
+                stats.interned_states = pre_len + news
                 if on_state is not None:
                     on_state(step.state, depth + 1)
                 bad = not step.ok
                 if not bad:
-                    end = system.end_check(step.state)
+                    end = ends[i] if prechecked else system.end_check(step.state)
                     if end is not None:
                         stats.quiescent_states += 1
                         self._quiescent.add(cid)

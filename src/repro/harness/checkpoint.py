@@ -46,6 +46,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..engine.intern import StoreError
 from ..modelcheck.product import ProductSearch
 
 __all__ = [
@@ -181,7 +182,13 @@ class Checkpoint:
 
         Raises :class:`CheckpointError` on any damage — truncation,
         checksum mismatch, unpicklable payload, wrong object, unknown
-        version — never returns a partially-unpickled search.
+        version — never returns a partially-unpickled search.  A
+        checkpoint written under ``--store disk`` references its spill
+        files by path (fsync-and-reference); unpickling re-verifies
+        every referenced frame, so a missing, torn or CRC-damaged
+        spill file surfaces here as a
+        :class:`~repro.engine.intern.StoreError`, reported as the same
+        clean :class:`CheckpointError`.
         """
         try:
             with open(path, "rb") as fh:
@@ -192,9 +199,10 @@ class Checkpoint:
         try:
             obj = pickle.loads(payload)
         # corrupt input makes pickle raise all sorts: UnpicklingError,
-        # EOFError, ValueError, ImportError, IndexError, ...
+        # EOFError, ValueError, ImportError, IndexError, ...; a disk
+        # store backend raises StoreError for damaged spill files
         except (pickle.UnpicklingError, EOFError, AttributeError,
-                ValueError, ImportError, IndexError) as exc:
+                ValueError, ImportError, IndexError, StoreError) as exc:
             raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
         if not isinstance(obj, cls):
             raise CheckpointError(

@@ -72,6 +72,7 @@ def degrade(
     max_fuzz_runs: int = 2000,
     seed: int = 0,
     workers: int = 1,
+    store=None,
     telemetry=None,
 ) -> VerificationResult:
     """Verify ``protocol`` within ``budget``, degrading gracefully.
@@ -82,6 +83,9 @@ def degrade(
     the model-check stages, with the supervision policy pinned to
     ``sequential`` — inside the ladder, a worker failure must degrade
     (to the in-process engine, then down the rungs), never raise.
+    ``store`` picks the state-store backend for the model-check rungs
+    (run policy, see :mod:`repro.engine.intern`) — the litmus/fuzz
+    rungs hold no interned store, so it does not apply there.
     ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records a
     ``degrade_stage`` trace event as each rung is entered.
     """
@@ -89,7 +93,7 @@ def degrade(
     try:
         return _degrade(
             protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed,
-            workers, telemetry,
+            workers, store, telemetry,
         )
     finally:
         budget.stop()
@@ -101,14 +105,14 @@ def _stage(telemetry, stage: str, **fields) -> None:
 
 
 def _degrade(protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed,
-             workers=1, telemetry=None):
+             workers=1, store=None, telemetry=None):
     # stage 1: the real thing, under most of the budget -----------------
     stage1 = budget.slice(0.6)
     stage1.start()
     _stage(telemetry, "model-check")
     search = ProductSearch(
         protocol, st_order, mode=mode, workers=workers,
-        on_worker_failure="sequential",
+        on_worker_failure="sequential", store=store,
     )
     res = search.run(stage1.should_stop, telemetry)
     base = result_from_product(protocol, res)
@@ -127,7 +131,7 @@ def _degrade(protocol, st_order, budget, mode, fuzz_length, max_fuzz_runs, seed,
         bounded = ProductSearch(
             protocol, st_order, mode=mode, max_depth=depth,
             check_quiescence_reachability=False, workers=workers,
-            on_worker_failure="sequential",
+            on_worker_failure="sequential", store=store,
         ).run(stage2.should_stop, telemetry)
         if bounded.counterexample is not None:
             return result_from_product(protocol, bounded)

@@ -30,6 +30,7 @@ from ..core.protocol import Protocol
 from ..core.storder import STOrderGenerator
 from ..core.verify import VerificationResult, result_from_product
 from ..engine import ParallelSearchEngine
+from ..engine.intern import as_config
 from ..modelcheck.product import ProductSearch
 from ..obs.ledger import RunLedger, search_provenance
 from .budget import Budget
@@ -139,6 +140,7 @@ def _run_verification(
     on_worker_failure: Optional[str] = None,
     round_timeout_s: Optional[float] = None,
     chaos=None,
+    store=None,
     telemetry=None,
     ledger: Optional[Union[str, RunLedger]] = None,
 ) -> VerificationResult:
@@ -193,6 +195,16 @@ def _run_verification(
     search state, not run policy: the interned joint states embed the
     model's observer/checker components, so an explicit mismatch on
     resume raises :class:`CheckpointError` (exit code 2).
+
+    ``store`` selects the state-store backend (a kind string or a
+    :class:`~repro.engine.intern.StoreConfig`; ``None`` means: ``mem``
+    for a fresh search, whatever the checkpoint used for a resumed
+    one).  Like ``workers`` — and unlike ``reduce`` — it is run
+    policy, not search state: an explicit ``store`` on resume migrates
+    the interned keys into the requested backend with every ID
+    preserved (:meth:`~repro.engine.intern.StateStore.converted`), so
+    a search checkpointed under ``mem`` can continue spilling to disk
+    and vice versa.
 
     ``por`` selects the partial-order-reduction level (``None`` means:
     ``"off"`` for a fresh search, whatever the checkpoint used for a
@@ -284,6 +296,21 @@ def _run_verification(
                 f"error; see `repro verify --help`.)"
             )
         parallel = isinstance(search.engine, ParallelSearchEngine)
+        if store is not None:
+            # store backend is run policy, like --workers: an explicit
+            # --store on resume migrates the interned keys into the
+            # requested backend, IDs preserved.  Done before any
+            # reshard so re-sharding builds its fresh stores under the
+            # new config.
+            cfg = as_config(store)
+            search.store_config = cfg
+            if parallel:
+                search.engine.store_config = cfg
+                for payload in search.engine.shards:
+                    if payload.store.config != cfg:
+                        payload.store = payload.store.converted(cfg)
+            elif search.engine.store.config != cfg:
+                search.engine.store = search.engine.store.converted(cfg)
         if workers is not None and workers != search.workers:
             if not parallel:
                 raise CheckpointError(
@@ -327,6 +354,7 @@ def _run_verification(
             ),
             round_timeout_s=round_timeout_s,
             chaos=chaos,
+            store=store,
         )
         spent = 0.0
 

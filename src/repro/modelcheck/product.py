@@ -39,6 +39,7 @@ from ..core.operations import Action
 from ..core.protocol import Protocol
 from ..core.storder import STOrderGenerator
 from ..engine import ComposedSystem, ParallelSearchEngine, SearchEngine
+from ..engine.intern import as_config
 from ..engine.strategy import StopHook
 from ..obs.stats import ExplorationStats
 from .counterexample import Counterexample
@@ -169,6 +170,7 @@ class ProductSearch:
         on_worker_failure: str = "reshard",
         round_timeout_s: Optional[float] = None,
         chaos=None,
+        store=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -183,6 +185,9 @@ class ProductSearch:
         self.por = por
         self.strategy = strategy
         self.stop_on_violation = stop_on_violation
+        # run policy, like workers/supervision: which backend interns
+        # the state keys — never search provenance
+        self.store_config = as_config(store)
         self.system = ComposedSystem(
             protocol,
             st_order,
@@ -219,6 +224,7 @@ class ProductSearch:
                 on_worker_failure=on_worker_failure,
                 round_timeout_s=round_timeout_s,
                 chaos=chaos,
+                store=self.store_config,
             )
         else:
             self.engine = SearchEngine(
@@ -231,6 +237,7 @@ class ProductSearch:
                 stop_on_violation=stop_on_violation,
                 track_successors=True,
                 check_quiescence_reachability=check_quiescence_reachability,
+                store=self.store_config,
             )
         self.stats = self.engine.stats
 
@@ -249,6 +256,8 @@ class ProductSearch:
         # the stop discipline; default to the CLI defaults they ran with
         state.setdefault("strategy", "bfs")
         state.setdefault("stop_on_violation", True)
+        # pre-backend checkpoints interned in plain dicts: mem policy
+        state.setdefault("store_config", as_config(None))
         self.__dict__.update(state)
 
     # ------------------------------------------------------------------
@@ -286,6 +295,22 @@ class ProductSearch:
         sel = getattr(self.system, "por_selector", None)
         if telemetry is not None and sel is not None:
             telemetry.record_por(sel)
+
+    def _record_store(self, telemetry) -> None:
+        """Publish ``store.*`` gauges for this run.
+
+        Sequential searches report the engine's one store; parallel
+        searches aggregate across the coordinator-side shard payloads
+        (backend counters ride the worker→coordinator pickles, so
+        unlike :meth:`_record_reduction` they *do* cover worker
+        activity)."""
+        if telemetry is None:
+            return
+        if isinstance(self.engine, ParallelSearchEngine):
+            per_shard = [p.store.store_stats() for p in self.engine.shards]
+            telemetry.record_store(per_shard, sharded=True)
+        else:
+            telemetry.record_store([self.engine.store.store_stats()])
 
     def _build_cx(self, ref) -> Counterexample:
         """``ref`` is a violating-state reference: an interned ID for
@@ -343,6 +368,7 @@ class ProductSearch:
                 telemetry.record_search(out.stats, self.shard_stats())
                 self._record_reduction(telemetry)
                 self._record_por(telemetry)
+                self._record_store(telemetry)
                 telemetry.emit(
                     "violation_found",
                     states=out.stats.states,
@@ -355,6 +381,7 @@ class ProductSearch:
             telemetry.record_search(out.stats, self.shard_stats())
             self._record_reduction(telemetry)
             self._record_por(telemetry)
+            self._record_store(telemetry)
         if out.status == "stopped":
             return ProductResult(True, None, out.stats)
         return ProductResult(
@@ -385,6 +412,7 @@ def explore_product(
     on_worker_failure: str = "reshard",
     round_timeout_s: Optional[float] = None,
     chaos=None,
+    store=None,
     should_stop: Optional[StopHook] = None,
     telemetry=None,
 ) -> ProductResult:
@@ -417,5 +445,6 @@ def explore_product(
         on_worker_failure=on_worker_failure,
         round_timeout_s=round_timeout_s,
         chaos=chaos,
+        store=store,
     )
     return search.run(should_stop, telemetry)

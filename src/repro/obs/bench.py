@@ -245,15 +245,17 @@ def build_record(
     previous: Optional[dict] = None,
     reduction: Optional[Dict[str, dict]] = None,
     por: Optional[Dict[str, dict]] = None,
+    store: Optional[Dict[str, dict]] = None,
 ) -> dict:
     """Assemble the full benchmark record (the trajectory file).
 
     ``current``/``baseline`` map workload name to
     ``{"seconds", "states"}``; ``parallel`` maps workload name to the
     per-worker-count timing block; ``reduction`` maps workload name to
-    the ``--reduce off`` vs reduced-level comparison and ``por`` to the
-    ``--por off`` vs ``--por on`` comparison (``None`` carries any
-    previous section forward).  Any ``"runs"`` entries already in
+    the ``--reduce off`` vs reduced-level comparison, ``por`` to the
+    ``--por off`` vs ``--por on`` comparison, and ``store`` to the
+    ``--store mem`` vs ``--store disk`` capacity comparison (``None``
+    carries any previous section forward).  Any ``"runs"`` entries already in
     ``previous`` are carried forward — appended one-off measurements
     are part of the trajectory too.
     """
@@ -302,6 +304,20 @@ def build_record(
                 "instance)."
             ),
             "workloads": por,
+        }
+    if store is None and previous:
+        store = previous.get("store", {}).get("workloads")
+    if store:
+        record["store"] = {
+            "note": (
+                "state-store backends (--store) on the capacity workload: "
+                "verdict and state count asserted bit-identical between "
+                "mem and disk while the disk run's resident budget sits "
+                "far below the closure's footprint. states_per_sec and "
+                "peak_rss_kb are wall-clock/machine figures; "
+                "resident_keys/spilled_keys are reproducible per config."
+            ),
+            "workloads": store,
         }
     for name, cur in current.items():
         base = baseline.get(name)

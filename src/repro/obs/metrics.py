@@ -143,6 +143,12 @@ class MetricsRegistry:
         if value > self.gauges.get(name, float("-inf")):
             self.gauges[name] = value
 
+    def gauge_add(self, name: str, delta: float) -> None:
+        """Add ``delta`` to gauge ``name`` (created at 0) — for gauges
+        aggregated across contributors, e.g. per-shard store stats
+        summed into one ``store.*`` figure."""
+        self.gauges[name] = self.gauges.get(name, 0) + delta
+
     def timer(self, name: str) -> _Span:
         """A context-manager span recording into timer ``name``."""
         return _Span(self, name)
@@ -226,6 +232,9 @@ class _NullRegistry(MetricsRegistry):
         pass
 
     def gauge_max(self, name: str, value: float) -> None:
+        pass
+
+    def gauge_add(self, name: str, delta: float) -> None:
         pass
 
     def timer(self, name: str) -> _NullSpan:  # type: ignore[override]

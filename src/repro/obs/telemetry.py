@@ -217,6 +217,49 @@ class Telemetry:
         reg.gauge("por.deferred", selector.counters.deferred)
         reg.gauge("por.fallbacks", selector.counters.fallbacks)
 
+    def record_store(self, stats_list, sharded: bool = False) -> None:
+        """Publish a run's state-store capacity counters as ``store.*``
+        gauges (see :mod:`repro.engine.intern`).
+
+        ``stats_list`` holds one ``store_stats()`` dict per store —
+        one for a sequential search, one per shard payload for a
+        parallel one (``sharded=True`` also publishes the per-shard
+        ``shard<i>.store.*`` split).  Count-like figures sum across
+        shards; ``index_probe_avg`` is re-derived from the summed raw
+        ``probes``/``lookups`` so the aggregate is lookup-weighted,
+        not an average of averages.
+
+        Determinism: ``store.resident_keys``/``spilled_keys`` are
+        deterministic for a fixed run *policy* (backend, budget,
+        worker count) but — unlike the ``search.*`` gauges — change
+        with it, so they are not part of the deterministic gauge
+        contract.  ``store.io_s`` is wall-clock and never comparable.
+        """
+        reg = self.registry
+        if reg is None or not stats_list:
+            return
+        resident = spilled = bytes_ = probes = lookups = 0
+        io_s = 0.0
+        for i, st in enumerate(stats_list):
+            resident += st["resident_keys"]
+            spilled += st["spilled_keys"]
+            bytes_ += st["spill_bytes"]
+            probes += st["probes"]
+            lookups += st["lookups"]
+            io_s += st["io_s"]
+            if sharded:
+                reg.gauge(f"shard{i}.store.resident_keys", st["resident_keys"])
+                reg.gauge(f"shard{i}.store.spilled_keys", st["spilled_keys"])
+        reg.gauge("store.resident_keys", resident)
+        reg.gauge("store.spilled_keys", spilled)
+        reg.gauge("store.spill_bytes", bytes_)
+        reg.gauge(
+            "store.index_probe_avg",
+            round(probes / lookups, 6) if lookups else 0.0,
+        )
+        if io_s:
+            reg.observe_s("phase.search/store", io_s)
+
     def close(self) -> None:
         if self.trace is not None:
             self.trace.close()

@@ -47,11 +47,12 @@ def _make(name):
 
 
 def _fp(name, *, strategy="bfs", workers=1, exhaustive=True, seed=3,
-        reduce="off", por="off"):
+        reduce="off", por="off", store=None):
     proto, gen = _make(name)
     return fingerprint(
         proto, gen, mode="fast", strategy=strategy, workers=workers,
         exhaustive=exhaustive, seed=seed, reduce=reduce, por=por,
+        store=store,
     )
 
 
@@ -229,6 +230,29 @@ def test_zoo_cross_por_matrix(name):
         if name in NON_SC_PROTOCOLS:
             assert reduced.verdict == "violation"
             assert reduced.cx_replays is True
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(PROTOCOLS))
+def test_zoo_cross_backend_matrix(name):
+    """Every zoo protocol × store {mem, disk} × workers {1, 2} holds
+    full fingerprint equality — the backend-invariance invariant of
+    docs/ARCHITECTURE.md, with the disk side pinned to a 16-key
+    resident cap so every run spills."""
+    from repro.engine.intern import StoreConfig
+
+    tiny = StoreConfig(kind="disk", cap_keys=16)
+    exhaustive = name not in STOP_MODE_ONLY
+    base = _fp(name, workers=1, exhaustive=exhaustive)
+    others = [
+        _fp(name, workers=w, exhaustive=exhaustive, store=s)
+        for w in (1, 2)
+        for s in (None, tiny)
+        if (w, s) != (1, None)
+    ]
+    assert_equivalent(base, others)
+    if name in NON_SC_PROTOCOLS:
+        assert all(fp.cx_replays for fp in others)
 
 
 @pytest.mark.slow
